@@ -1,0 +1,138 @@
+//! Cross-platform feature-distribution comparison (paper Fig 13 a–k).
+//!
+//! The paper's final validation argument: the 11 feature distributions of
+//! the *reported* fraud items on E-platform "roughly agree" with those of
+//! the *labeled* fraud items on Taobao, and the fraud-vs-normal contrast
+//! is similar on both platforms. [`FeatureComparison`] computes, per
+//! feature, the KS distances behind that claim.
+
+use crate::hist::ks_distance;
+use cats_core::{FeatureVector, FEATURE_NAMES, N_FEATURES};
+
+/// Per-feature cross-platform agreement figures.
+#[derive(Debug, Clone)]
+pub struct FeatureComparison {
+    /// KS distance between platform A fraud and platform B fraud, per
+    /// feature (small = the fraud signatures agree).
+    pub fraud_vs_fraud: [f64; N_FEATURES],
+    /// KS distance between platform A normal and platform B normal.
+    pub normal_vs_normal: [f64; N_FEATURES],
+    /// KS distance between fraud and normal *within* platform A (large =
+    /// the feature separates classes there).
+    pub contrast_a: [f64; N_FEATURES],
+    /// Same within platform B.
+    pub contrast_b: [f64; N_FEATURES],
+}
+
+fn column(rows: &[FeatureVector], f: usize) -> Vec<f64> {
+    rows.iter().map(|r| r.0[f]).collect()
+}
+
+impl FeatureComparison {
+    /// Computes all four KS families.
+    ///
+    /// # Panics
+    /// Panics if any of the four row sets is empty.
+    pub fn compute(
+        fraud_a: &[FeatureVector],
+        normal_a: &[FeatureVector],
+        fraud_b: &[FeatureVector],
+        normal_b: &[FeatureVector],
+    ) -> Self {
+        let mut out = Self {
+            fraud_vs_fraud: [0.0; N_FEATURES],
+            normal_vs_normal: [0.0; N_FEATURES],
+            contrast_a: [0.0; N_FEATURES],
+            contrast_b: [0.0; N_FEATURES],
+        };
+        for f in 0..N_FEATURES {
+            let fa = column(fraud_a, f);
+            let na = column(normal_a, f);
+            let fb = column(fraud_b, f);
+            let nb = column(normal_b, f);
+            out.fraud_vs_fraud[f] = ks_distance(&fa, &fb);
+            out.normal_vs_normal[f] = ks_distance(&na, &nb);
+            out.contrast_a[f] = ks_distance(&fa, &na);
+            out.contrast_b[f] = ks_distance(&fb, &nb);
+        }
+        out
+    }
+
+    /// One row per feature: `(name, fraud↔fraud, normal↔normal,
+    /// contrast A, contrast B)`.
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64, f64, f64)> {
+        (0..N_FEATURES)
+            .map(|f| {
+                (
+                    FEATURE_NAMES[f],
+                    self.fraud_vs_fraud[f],
+                    self.normal_vs_normal[f],
+                    self.contrast_a[f],
+                    self.contrast_b[f],
+                )
+            })
+            .collect()
+    }
+
+    /// The paper's agreement claim, made testable: on average across
+    /// features, the cross-platform same-class distance is smaller than
+    /// the within-platform class contrast.
+    pub fn platforms_agree(&self) -> bool {
+        let mean = |xs: &[f64; N_FEATURES]| xs.iter().sum::<f64>() / N_FEATURES as f64;
+        let cross = (mean(&self.fraud_vs_fraud) + mean(&self.normal_vs_normal)) / 2.0;
+        let contrast = (mean(&self.contrast_a) + mean(&self.contrast_b)) / 2.0;
+        cross < contrast
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic rows: fraud concentrates high on every feature, normal
+    /// low; platform B adds slight jitter to platform A.
+    fn rows(base: f64, jitter: f64, n: usize) -> Vec<FeatureVector> {
+        (0..n)
+            .map(|i| {
+                let x = base + jitter * ((i % 7) as f64 / 7.0);
+                FeatureVector([x; N_FEATURES])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agreement_holds_for_matching_platforms() {
+        let fa = rows(10.0, 0.5, 60);
+        let na = rows(1.0, 0.5, 60);
+        let fb = rows(10.1, 0.5, 60);
+        let nb = rows(1.1, 0.5, 60);
+        let c = FeatureComparison::compute(&fa, &na, &fb, &nb);
+        assert!(c.platforms_agree());
+        for f in 0..N_FEATURES {
+            assert!(c.contrast_a[f] > 0.9, "classes should separate");
+            assert!(c.fraud_vs_fraud[f] < 0.5, "fraud signatures should agree");
+        }
+    }
+
+    #[test]
+    fn agreement_fails_for_mismatched_platforms() {
+        let fa = rows(10.0, 0.5, 60);
+        let na = rows(1.0, 0.5, 60);
+        // platform B's "fraud" looks like A's normal and vice versa
+        let fb = rows(1.0, 0.5, 60);
+        let nb = rows(10.0, 0.5, 60);
+        let c = FeatureComparison::compute(&fa, &na, &fb, &nb);
+        assert!(!c.platforms_agree());
+    }
+
+    #[test]
+    fn rows_are_named_and_complete() {
+        let fa = rows(2.0, 0.1, 10);
+        let c = FeatureComparison::compute(&fa, &fa, &fa, &fa);
+        let r = c.rows();
+        assert_eq!(r.len(), N_FEATURES);
+        assert_eq!(r[0].0, "averagePositiveNumber");
+        // identical inputs → zero distances
+        assert!(r.iter().all(|&(_, a, b, _, _)| a == 0.0 && b == 0.0));
+    }
+}

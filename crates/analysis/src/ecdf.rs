@@ -1,0 +1,158 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper describes several findings as CDF statements ("45% of users
+//! have their userExpValue below 2,000"); [`Ecdf`] answers exactly those
+//! queries, plus quantiles, from a stored sorted sample.
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF, dropping NaNs.
+    ///
+    /// # Panics
+    /// Panics if no finite samples remain.
+    pub fn new(samples: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+        assert!(!sorted.is_empty(), "ECDF needs at least one finite sample");
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Self { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)` — the fraction of samples `<= x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        // partition_point: count of elements <= x
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples strictly below `x` (the paper's "below 2,000"
+    /// phrasing).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&v| v < x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile, `q ∈ [0, 1]`, by the nearest-rank method.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile in [0,1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    /// Evaluates the CDF at evenly spaced points across the sample range —
+    /// the plotted series for a figure.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least 2 points");
+        let (lo, hi) = (self.min(), self.max());
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.cdf(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ecdf() -> Ecdf {
+        Ecdf::new(&[4.0, 1.0, 3.0, 2.0])
+    }
+
+    #[test]
+    fn cdf_steps_through_sample() {
+        let e = ecdf();
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.cdf(99.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_below_is_strict() {
+        let e = ecdf();
+        assert_eq!(e.fraction_below(1.0), 0.0);
+        assert_eq!(e.fraction_below(1.5), 0.25);
+        assert_eq!(e.fraction_below(4.0), 0.75);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = ecdf();
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.25), 1.0);
+        assert_eq!(e.quantile(0.5), 2.0);
+        assert_eq!(e.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn duplicates_counted_with_multiplicity() {
+        let e = Ecdf::new(&[1.0, 1.0, 1.0, 5.0]);
+        assert_eq!(e.cdf(1.0), 0.75);
+        assert_eq!(e.fraction_below(1.0), 0.0);
+    }
+
+    #[test]
+    fn nan_dropped() {
+        let e = Ecdf::new(&[f64::NAN, 2.0]);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one finite sample")]
+    fn all_nan_rejected() {
+        Ecdf::new(&[f64::NAN]);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_spans_range() {
+        let e = Ecdf::new(&[0.0, 1.0, 2.0, 3.0, 10.0]);
+        let c = e.curve(11);
+        assert_eq!(c.len(), 11);
+        assert_eq!(c[0].0, 0.0);
+        assert_eq!(c[10].0, 10.0);
+        assert!(c.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(c[10].1, 1.0);
+    }
+
+    #[test]
+    fn cdf_matches_paper_style_queries() {
+        // "45% of users below 2000"-style query
+        let exp_values = [100.0, 500.0, 1500.0, 3000.0, 9000.0];
+        let e = Ecdf::new(&exp_values);
+        assert_eq!(e.fraction_below(2000.0), 0.6);
+    }
+}

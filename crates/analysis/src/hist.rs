@@ -1,0 +1,296 @@
+//! Histograms, ECDFs, summary statistics, and the Kolmogorov–Smirnov
+//! distance.
+//!
+//! Every figure in the paper's measurement study is a one-dimensional
+//! density or distribution comparison; [`Histogram`] produces the plotted
+//! series (probability-density bins over a fixed range) and
+//! [`ks_distance`] quantifies "the distributions roughly agree".
+
+/// Fixed-range, fixed-bin-count histogram with probability-density
+/// normalization (so its values match the paper's density plots).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    n: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `[lo, hi)` with `bins` bins.
+    ///
+    /// # Panics
+    /// Panics if `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "invalid range");
+        assert!(bins > 0, "need at least one bin");
+        Self { lo, hi, counts: vec![0; bins], n: 0 }
+    }
+
+    /// Builds a histogram from samples in one pass.
+    pub fn from_samples(samples: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        let mut h = Self::new(lo, hi, bins);
+        for &s in samples {
+            h.add(s);
+        }
+        h
+    }
+
+    /// Adds a sample; out-of-range samples are clamped into the edge bins
+    /// (NaN is ignored).
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = if t < 0.0 {
+            0
+        } else if t >= 1.0 {
+            bins - 1
+        } else {
+            ((t * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+        self.n += 1;
+    }
+
+    /// Number of samples added.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no sample has been added.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Bin centers.
+    pub fn centers(&self) -> Vec<f64> {
+        let w = self.bin_width();
+        (0..self.counts.len()).map(|i| self.lo + (i as f64 + 0.5) * w).collect()
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Probability densities per bin (integrates to 1 over the range).
+    pub fn densities(&self) -> Vec<f64> {
+        let denom = self.n as f64 * self.bin_width();
+        self.counts
+            .iter()
+            .map(|&c| if denom > 0.0 { c as f64 / denom } else { 0.0 })
+            .collect()
+    }
+
+    /// Fractions per bin (sum to 1).
+    pub fn fractions(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| if self.n > 0 { c as f64 / self.n as f64 } else { 0.0 })
+            .collect()
+    }
+
+    /// Raw counts per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Renders an ASCII sparkline-style table: one `center density bar`
+    /// line per bin — the textual stand-in for the paper's figures.
+    pub fn render(&self, width: usize) -> String {
+        let dens = self.densities();
+        let max = dens.iter().cloned().fold(0.0_f64, f64::max).max(1e-12);
+        let mut out = String::new();
+        for (c, d) in self.centers().iter().zip(&dens) {
+            let bar = "#".repeat(((d / max) * width as f64).round() as usize);
+            out.push_str(&format!("{c:>10.3} {d:>9.4} {bar}\n"));
+        }
+        out
+    }
+}
+
+/// Mean / standard deviation / min / max / median of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (midpoint of sorted sample).
+    pub median: f64,
+}
+
+impl SummaryStats {
+    /// Computes all statistics. Returns `None` for an empty sample.
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        Some(Self {
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            median,
+        })
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov distance: the supremum gap between the
+/// two empirical CDFs, in `[0, 1]`. Small values mean "the distributions
+/// agree".
+///
+/// # Panics
+/// Panics if either sample is empty.
+pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let mut sa: Vec<f64> = a.to_vec();
+    let mut sb: Vec<f64> = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    sb.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_and_densities() {
+        let h = Histogram::from_samples(&[0.1, 0.1, 0.9], 0.0, 1.0, 2);
+        assert_eq!(h.counts(), &[2, 1]);
+        let d = h.densities();
+        // bin width 0.5, n 3: densities 2/(3*0.5), 1/(3*0.5)
+        assert!((d[0] - 4.0 / 3.0).abs() < 1e-12);
+        assert!((d[1] - 2.0 / 3.0).abs() < 1e-12);
+        // integral = 1
+        let integral: f64 = d.iter().map(|x| x * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edges() {
+        let h = Histogram::from_samples(&[-5.0, 0.5, 99.0], 0.0, 1.0, 4);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let h = Histogram::from_samples(&[f64::NAN, 0.5], 0.0, 1.0, 2);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let h = Histogram::from_samples(&[0.2, 0.4, 0.6, 0.8], 0.0, 1.0, 5);
+        let s: f64 = h.fractions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert!(h.is_empty());
+        assert!(h.densities().iter().all(|&d| d == 0.0));
+        assert!(!h.render(10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn bad_range_rejected() {
+        Histogram::new(1.0, 1.0, 3);
+    }
+
+    #[test]
+    fn summary_stats_known_values() {
+        let s = SummaryStats::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std - (1.25_f64).sqrt()).abs() < 1e-12);
+        assert!(SummaryStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn odd_length_median() {
+        let s = SummaryStats::of(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn ks_identical_samples_is_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0];
+        assert!((ks_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_is_symmetric_and_bounded() {
+        let a = [1.0, 3.0, 5.0, 7.0, 9.0];
+        let b = [2.0, 3.0, 4.0, 8.0];
+        let d1 = ks_distance(&a, &b);
+        let d2 = ks_distance(&b, &a);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&d1));
+    }
+
+    #[test]
+    fn ks_known_half_shift() {
+        // a = {0,1}, b = {1,2}: CDF gap at 0.5 is 0.5
+        let d = ks_distance(&[0.0, 1.0], &[1.0, 2.0]);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn ks_empty_rejected() {
+        ks_distance(&[], &[1.0]);
+    }
+
+    #[test]
+    fn render_contains_bars() {
+        let h = Histogram::from_samples(&[0.1, 0.1, 0.1, 0.9], 0.0, 1.0, 2);
+        let r = h.render(10);
+        assert!(r.contains('#'));
+        assert_eq!(r.lines().count(), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! # cats-analysis — measurement & validation toolkit
+//!
+//! Implements the paper's §IV-B/§V methodology: validating the detector's
+//! reports on an unlabeled platform by combining simulated expert auditing
+//! with statistical comparisons against the labeled platform, plus the
+//! measurement study of fraud characteristics:
+//!
+//! * [`hist`] — histograms, ECDFs, summary statistics and the
+//!   Kolmogorov–Smirnov distance (used to quantify the "distributions
+//!   roughly agree" claims of Figs 10 & 13);
+//! * [`wordcloud`] — word-frequency tables behind Figs 8–9 and the top-50
+//!   word lists of Tables VIII–IX;
+//! * [`users`] — the user aspect: userExpValue distributions (Fig 11),
+//!   per-item average buyer reliability, risky users and risky-user
+//!   pairs (§V);
+//! * [`orders`] — the order aspect: client-source distributions (Fig 12);
+//! * [`expert`] — the simulated expert panel standing in for Alibaba's
+//!   manual validation (the 91% / 96% precision numbers);
+//! * [`compare`] — cross-platform feature-distribution comparison
+//!   (Fig 13 a–k);
+//! * [`temporal`] — comment-arrival burstiness (a campaign fingerprint;
+//!   an extension the paper flags as future work).
+
+pub mod compare;
+pub mod ecdf;
+pub mod expert;
+pub mod hist;
+pub mod orders;
+pub mod study;
+pub mod temporal;
+pub mod users;
+pub mod wordcloud;
+
+pub use ecdf::Ecdf;
+pub use expert::{ExpertPanel, ExpertVerdict};
+pub use hist::{ks_distance, Histogram, SummaryStats};
+pub use study::{MeasurementStudy, StudyConfig};
+pub use wordcloud::WordFrequency;

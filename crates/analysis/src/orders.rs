@@ -1,0 +1,131 @@
+//! The order aspect of the measurement study (paper §V, Fig 12).
+//!
+//! Only buyers can comment, so each comment's client field doubles as the
+//! order source. The paper observes fraud orders arrive predominantly
+//! through the Web client while normal orders arrive through Android —
+//! [`client_distribution`] computes the per-class shares behind Fig 12.
+
+use cats_collector::CollectedItem;
+use std::collections::HashMap;
+
+/// Per-client order shares (fractions summing to 1 for non-empty input),
+/// keyed by the client's display name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClientDistribution {
+    shares: HashMap<String, f64>,
+    total_orders: u64,
+}
+
+impl ClientDistribution {
+    /// The share of `client` (0 if unseen).
+    pub fn share(&self, client: &str) -> f64 {
+        self.shares.get(client).copied().unwrap_or(0.0)
+    }
+
+    /// Total orders counted.
+    pub fn total(&self) -> u64 {
+        self.total_orders
+    }
+
+    /// The client with the largest share, if any.
+    pub fn dominant(&self) -> Option<(&str, f64)> {
+        self.shares
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal).then(b.0.cmp(a.0)))
+            .map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// `(client, share)` pairs sorted by descending share then name.
+    pub fn sorted(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self.shares.clone().into_iter().collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Computes the order-source distribution over a set of items.
+pub fn client_distribution(items: &[&CollectedItem]) -> ClientDistribution {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    let mut total = 0u64;
+    for item in items {
+        for c in &item.comments {
+            *counts.entry(c.client.clone()).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    let shares = counts
+        .into_iter()
+        .map(|(k, v)| (k, v as f64 / total.max(1) as f64))
+        .collect();
+    ClientDistribution { shares, total_orders: total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cats_collector::CollectedComment;
+
+    fn item(clients: &[&str]) -> CollectedItem {
+        CollectedItem {
+            item_id: 0,
+            shop_id: 0,
+            name: String::new(),
+            price_cents: 0,
+            sales_volume: clients.len() as u64,
+            comments: clients
+                .iter()
+                .map(|c| CollectedComment {
+                    comment_id: 0,
+                    content: String::new(),
+                    nickname: "a***b".into(),
+                    user_exp_value: 100,
+                    client: c.to_string(),
+                    date: String::new(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn shares_computed_per_client() {
+        let a = item(&["Web", "Web", "Android", "iPhone"]);
+        let d = client_distribution(&[&a]);
+        assert_eq!(d.total(), 4);
+        assert!((d.share("Web") - 0.5).abs() < 1e-12);
+        assert!((d.share("Android") - 0.25).abs() < 1e-12);
+        assert_eq!(d.share("Wechat"), 0.0);
+    }
+
+    #[test]
+    fn dominant_client() {
+        let a = item(&["Web", "Web", "Android"]);
+        let d = client_distribution(&[&a]);
+        let (name, share) = d.dominant().unwrap();
+        assert_eq!(name, "Web");
+        assert!((share - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_order_is_descending() {
+        let a = item(&["Web", "Android", "Android", "iPhone", "Android"]);
+        let d = client_distribution(&[&a]);
+        let s = d.sorted();
+        assert_eq!(s[0].0, "Android");
+        assert!(s.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let a = item(&["Web", "Android", "iPhone", "Wechat", "Web"]);
+        let d = client_distribution(&[&a]);
+        let sum: f64 = d.sorted().iter().map(|(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let d = client_distribution(&[]);
+        assert_eq!(d.total(), 0);
+        assert!(d.dominant().is_none());
+    }
+}

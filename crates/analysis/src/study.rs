@@ -1,0 +1,203 @@
+//! The consolidated measurement study (paper §V) as one call.
+//!
+//! The paper validates its E-platform reports by statistical analysis
+//! from three aspects — item, user, order — plus the cross-platform
+//! comparisons. [`MeasurementStudy::run`] executes all of them over a
+//! partition of collected items into reported-fraud and normal sets and
+//! returns a single serializable summary (what the bench binaries print,
+//! exposed as a library API for downstream users).
+
+use crate::orders::{client_distribution, ClientDistribution};
+use crate::temporal::mean_peak_day_share;
+use crate::users::{mine_risky_pairs, share_at, share_below, unique_buyers, RiskyPairs};
+use crate::wordcloud::WordFrequency;
+use cats_collector::CollectedItem;
+use cats_text::{Lexicon, Segmenter, WhitespaceSegmenter};
+
+/// All §V measurements in one place.
+#[derive(Debug, Clone)]
+pub struct MeasurementStudy {
+    /// Item aspect: word-frequency table of fraud items' comments.
+    pub fraud_words: WordFrequency,
+    /// Item aspect: word-frequency table of normal items' comments.
+    pub normal_words: WordFrequency,
+    /// Positive fraction of the fraud items' top-50 words.
+    pub fraud_top50_positive_fraction: f64,
+    /// User aspect: share of fraud buyers below userExpValue 2,000.
+    pub fraud_buyers_below_2000: f64,
+    /// User aspect: share of fraud buyers below 1,000.
+    pub fraud_buyers_below_1000: f64,
+    /// User aspect: share of fraud buyers at the floor value 100.
+    pub fraud_buyers_at_floor: f64,
+    /// User aspect: same share for normal buyers (below 2,000).
+    pub normal_buyers_below_2000: f64,
+    /// User aspect: risky-pair mining result.
+    pub risky_pairs: RiskyPairs,
+    /// Order aspect: client distribution of fraud orders.
+    pub fraud_clients: ClientDistribution,
+    /// Order aspect: client distribution of normal orders.
+    pub normal_clients: ClientDistribution,
+    /// Temporal aspect: mean peak-day share of fraud items' comments.
+    pub fraud_peak_day_share: Option<f64>,
+    /// Temporal aspect: same for normal items.
+    pub normal_peak_day_share: Option<f64>,
+}
+
+/// Configuration of the study.
+#[derive(Debug, Clone, Default)]
+pub struct StudyConfig {
+    /// Ground-truth (or expanded) lexicon for positivity measurements.
+    pub lexicon: Lexicon,
+    /// Words to drop from the frequency tables (function words).
+    pub stopwords: Vec<String>,
+}
+
+impl MeasurementStudy {
+    /// Runs every analysis over the reported-fraud / normal partition.
+    pub fn run(
+        fraud_items: &[&CollectedItem],
+        normal_items: &[&CollectedItem],
+        config: &StudyConfig,
+    ) -> Self {
+        let seg = WhitespaceSegmenter;
+        let mut fraud_words = WordFrequency::with_stopwords(config.stopwords.iter().cloned());
+        let mut normal_words = WordFrequency::with_stopwords(config.stopwords.iter().cloned());
+        for item in fraud_items {
+            for c in &item.comments {
+                fraud_words.add_comment(&seg.segment(&c.content));
+            }
+        }
+        for item in normal_items {
+            for c in &item.comments {
+                normal_words.add_comment(&seg.segment(&c.content));
+            }
+        }
+
+        let fraud_buyers = unique_buyers(fraud_items);
+        let normal_buyers = unique_buyers(normal_items);
+
+        let fraud_top50_positive_fraction =
+            fraud_words.top_k_positive_fraction(50, &config.lexicon);
+        Self {
+            fraud_top50_positive_fraction,
+            fraud_buyers_below_2000: share_below(&fraud_buyers, 2_000),
+            fraud_buyers_below_1000: share_below(&fraud_buyers, 1_000),
+            fraud_buyers_at_floor: share_at(&fraud_buyers, 100),
+            normal_buyers_below_2000: share_below(&normal_buyers, 2_000),
+            risky_pairs: mine_risky_pairs(fraud_items, 2),
+            fraud_clients: client_distribution(fraud_items),
+            normal_clients: client_distribution(normal_items),
+            fraud_peak_day_share: mean_peak_day_share(fraud_items),
+            normal_peak_day_share: mean_peak_day_share(normal_items),
+            fraud_words,
+            normal_words,
+        }
+    }
+
+    /// The paper's three headline sanity signals for the reported items,
+    /// as booleans: buyers skew unreliable, orders skew Web, comments
+    /// burst in time.
+    pub fn fraud_signals(&self) -> (bool, bool, bool) {
+        let unreliable = self.fraud_buyers_below_2000 > self.normal_buyers_below_2000;
+        let web_skew = self.fraud_clients.share("Web") > self.normal_clients.share("Web");
+        let bursty = match (self.fraud_peak_day_share, self.normal_peak_day_share) {
+            (Some(f), Some(n)) => f > n,
+            _ => false,
+        };
+        (unreliable, web_skew, bursty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cats_collector::CollectedComment;
+
+    fn comment(nick: &str, exp: u64, client: &str, date: &str, text: &str) -> CollectedComment {
+        CollectedComment {
+            comment_id: 0,
+            content: text.to_string(),
+            nickname: nick.to_string(),
+            user_exp_value: exp,
+            client: client.to_string(),
+            date: date.to_string(),
+        }
+    }
+
+    fn fraud_item(id: u64) -> CollectedItem {
+        CollectedItem {
+            item_id: id,
+            shop_id: 0,
+            name: String::new(),
+            price_cents: 0,
+            sales_volume: 3,
+            comments: vec![
+                comment("u***1", 100, "Web", "2017-09-05 10:00:00", "hao hao zan"),
+                comment("u***2", 500, "Web", "2017-09-05 11:00:00", "hao zan zan"),
+                comment("u***1", 100, "Web", "2017-09-05 12:00:00", "hao de hao"),
+            ],
+        }
+    }
+
+    fn normal_item(id: u64) -> CollectedItem {
+        CollectedItem {
+            item_id: id,
+            shop_id: 0,
+            name: String::new(),
+            price_cents: 0,
+            sales_volume: 2,
+            comments: vec![
+                comment("o***1", 9_000, "Android", "2017-09-02 10:00:00", "shu hao kan"),
+                comment("o***2", 12_000, "Android", "2017-10-20 10:00:00", "dongxi cha"),
+            ],
+        }
+    }
+
+    fn config() -> StudyConfig {
+        StudyConfig {
+            lexicon: Lexicon::new(
+                ["hao".to_string(), "zan".to_string()],
+                ["cha".to_string()],
+            ),
+            stopwords: vec!["de".to_string()],
+        }
+    }
+
+    #[test]
+    fn study_computes_all_aspects() {
+        let f1 = fraud_item(1);
+        let f2 = fraud_item(2);
+        let n1 = normal_item(3);
+        let s = MeasurementStudy::run(&[&f1, &f2], &[&n1], &config());
+
+        // item aspect: stopwords dropped, positive words dominate
+        assert!(s.fraud_words.top_k(50).iter().all(|(w, _)| w != "de"));
+        assert!(s.fraud_top50_positive_fraction > 0.5);
+
+        // user aspect
+        assert!(s.fraud_buyers_below_2000 > s.normal_buyers_below_2000);
+        assert!(s.fraud_buyers_at_floor > 0.0);
+        // u***1(100) bought both fraud items → one risky pair? needs two
+        // users sharing 2+ items; u***2(500) also bought both → 1 pair.
+        assert_eq!(s.risky_pairs.n_pairs, 1);
+
+        // order aspect
+        assert_eq!(s.fraud_clients.dominant().unwrap().0, "Web");
+        assert_eq!(s.normal_clients.dominant().unwrap().0, "Android");
+
+        // temporal aspect: fraud items bursty (all comments same day)
+        assert!(s.fraud_peak_day_share.unwrap() > s.normal_peak_day_share.unwrap());
+
+        assert_eq!(s.fraud_signals(), (true, true, true));
+    }
+
+    #[test]
+    fn empty_partitions_are_safe() {
+        let n1 = normal_item(1);
+        let s = MeasurementStudy::run(&[], &[&n1], &config());
+        assert_eq!(s.fraud_words.total(), 0);
+        assert!(s.fraud_peak_day_share.is_none());
+        let (unreliable, web, bursty) = s.fraud_signals();
+        assert!(!unreliable && !web && !bursty);
+    }
+}

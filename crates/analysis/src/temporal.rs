@@ -1,0 +1,186 @@
+//! Temporal analysis of comment arrivals.
+//!
+//! A natural extension the paper flags as future work ("mine and
+//! understand the underground ecosystem"): hired campaigns post their
+//! comments in *bursts* — a pool works through an item over days, not
+//! months — whereas organic reviews arrive spread over the item's
+//! lifetime. This module measures that burstiness from the public
+//! timestamps of the comment records.
+
+use cats_collector::CollectedItem;
+use std::collections::HashMap;
+
+/// Parses the synthetic timestamp format `YYYY-MM-DD HH:MM:SS` into a
+/// comparable minute index (30-day months — the platform's own calendar).
+/// Returns `None` on malformed input.
+pub fn parse_minutes(date: &str) -> Option<u64> {
+    let bytes = date.as_bytes();
+    if bytes.len() < 16 {
+        return None;
+    }
+    let num = |s: &str| s.parse::<u64>().ok();
+    let year = num(date.get(0..4)?)?;
+    let month = num(date.get(5..7)?)?;
+    let day = num(date.get(8..10)?)?;
+    let hour = num(date.get(11..13)?)?;
+    let minute = num(date.get(14..16)?)?;
+    if !(1..=12 + 12).contains(&month) || day == 0 {
+        return None;
+    }
+    Some(((((year * 12 + month - 1) * 30 + day - 1) * 24 + hour) * 60) + minute)
+}
+
+/// Per-item temporal statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalStats {
+    /// Span between first and last comment, in days.
+    pub span_days: f64,
+    /// Largest share of the item's comments falling in any single day.
+    pub peak_day_share: f64,
+    /// Mean inter-comment gap in hours (0 for single-comment items).
+    pub mean_gap_hours: f64,
+}
+
+/// Computes temporal statistics for one item; `None` if it has no
+/// parseable timestamps.
+pub fn temporal_stats(item: &CollectedItem) -> Option<TemporalStats> {
+    let mut minutes: Vec<u64> = item
+        .comments
+        .iter()
+        .filter_map(|c| parse_minutes(&c.date))
+        .collect();
+    if minutes.is_empty() {
+        return None;
+    }
+    minutes.sort_unstable();
+    let span_min = minutes.last().unwrap() - minutes[0];
+
+    let mut per_day: HashMap<u64, usize> = HashMap::new();
+    for &m in &minutes {
+        *per_day.entry(m / (24 * 60)).or_insert(0) += 1;
+    }
+    let peak = per_day.values().copied().max().unwrap_or(0);
+
+    let mean_gap_hours = if minutes.len() < 2 {
+        0.0
+    } else {
+        (span_min as f64 / (minutes.len() - 1) as f64) / 60.0
+    };
+    Some(TemporalStats {
+        span_days: span_min as f64 / (24.0 * 60.0),
+        peak_day_share: peak as f64 / minutes.len() as f64,
+        mean_gap_hours,
+    })
+}
+
+/// Mean peak-day share over a set of items (the burstiness headline
+/// statistic; higher = more campaign-like). `None` for an empty or
+/// timestamp-free set.
+pub fn mean_peak_day_share(items: &[&CollectedItem]) -> Option<f64> {
+    let shares: Vec<f64> = items
+        .iter()
+        .filter_map(|i| temporal_stats(i))
+        .map(|s| s.peak_day_share)
+        .collect();
+    if shares.is_empty() {
+        return None;
+    }
+    Some(shares.iter().sum::<f64>() / shares.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cats_collector::CollectedComment;
+
+    fn item(dates: &[&str]) -> CollectedItem {
+        CollectedItem {
+            item_id: 0,
+            shop_id: 0,
+            name: String::new(),
+            price_cents: 0,
+            sales_volume: dates.len() as u64,
+            comments: dates
+                .iter()
+                .map(|d| CollectedComment {
+                    comment_id: 0,
+                    content: String::new(),
+                    nickname: "a***b".into(),
+                    user_exp_value: 100,
+                    client: "Web".into(),
+                    date: d.to_string(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parse_minutes_ordering() {
+        let a = parse_minutes("2017-09-01 00:00:00").unwrap();
+        let b = parse_minutes("2017-09-01 00:01:00").unwrap();
+        let c = parse_minutes("2017-09-02 00:00:00").unwrap();
+        let d = parse_minutes("2017-10-01 00:00:00").unwrap();
+        assert!(a < b && b < c && c < d);
+        assert_eq!(b - a, 1);
+        assert_eq!(c - a, 24 * 60);
+        assert_eq!(d - a, 30 * 24 * 60);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_minutes("").is_none());
+        assert!(parse_minutes("2017-09-01").is_none());
+        assert!(parse_minutes("not a date at all!").is_none());
+        assert!(parse_minutes("2017-00-01 00:00:00").is_none());
+    }
+
+    #[test]
+    fn bursty_item_has_high_peak_share() {
+        let it = item(&[
+            "2017-09-05 10:00:00",
+            "2017-09-05 11:00:00",
+            "2017-09-05 12:00:00",
+            "2017-09-05 13:00:00",
+            "2017-11-20 09:00:00",
+        ]);
+        let s = temporal_stats(&it).unwrap();
+        assert!((s.peak_day_share - 0.8).abs() < 1e-12);
+        assert!(s.span_days > 70.0);
+    }
+
+    #[test]
+    fn spread_item_has_low_peak_share() {
+        let it = item(&[
+            "2017-09-01 10:00:00",
+            "2017-09-15 10:00:00",
+            "2017-10-01 10:00:00",
+            "2017-10-15 10:00:00",
+        ]);
+        let s = temporal_stats(&it).unwrap();
+        assert!((s.peak_day_share - 0.25).abs() < 1e-12);
+        assert!(s.mean_gap_hours > 300.0);
+    }
+
+    #[test]
+    fn single_comment_item() {
+        let s = temporal_stats(&item(&["2017-09-01 00:00:00"])).unwrap();
+        assert_eq!(s.span_days, 0.0);
+        assert_eq!(s.peak_day_share, 1.0);
+        assert_eq!(s.mean_gap_hours, 0.0);
+    }
+
+    #[test]
+    fn timestamp_free_item_is_none() {
+        assert!(temporal_stats(&item(&["garbage"])).is_none());
+        assert!(temporal_stats(&item(&[])).is_none());
+    }
+
+    #[test]
+    fn mean_peak_share_aggregates() {
+        let a = item(&["2017-09-01 00:00:00", "2017-09-01 01:00:00"]); // 1.0
+        let b = item(&["2017-09-01 00:00:00", "2017-09-02 01:00:00"]); // 0.5
+        let m = mean_peak_day_share(&[&a, &b]).unwrap();
+        assert!((m - 0.75).abs() < 1e-12);
+        assert!(mean_peak_day_share(&[]).is_none());
+    }
+}

@@ -1,0 +1,241 @@
+//! The user aspect of the measurement study (paper §V, Fig 11).
+//!
+//! Works over the *collected* public data: each comment carries the
+//! buyer's userExpValue and nickname, so the analysis (1) identifies
+//! unique buyers per item class, (2) compares their reliability
+//! distributions, (3) computes per-item average buyer reliability
+//! (avgUserExpValue), and (4) mines *risky users* (buyers of reported
+//! fraud items) and *risky pairs* — pairs of users that co-purchased two
+//! or more of the same fraud items, the paper's hired-pool fingerprint
+//! (83,745 pairs collapsing to 1,056 distinct users).
+
+use cats_collector::CollectedItem;
+use std::collections::{HashMap, HashSet};
+
+/// A user identity as recoverable from public comment records. The paper
+/// "employ\[s\] userExpValue and nickname to approximately identify unique
+/// users"; we do the same.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserKey {
+    /// Anonymized nickname.
+    pub nickname: String,
+    /// Reliability score.
+    pub exp_value: u64,
+}
+
+/// Collects the unique buyers of a set of items.
+pub fn unique_buyers(items: &[&CollectedItem]) -> Vec<UserKey> {
+    let mut set: HashSet<UserKey> = HashSet::new();
+    for item in items {
+        for c in &item.comments {
+            set.insert(UserKey { nickname: c.nickname.clone(), exp_value: c.user_exp_value });
+        }
+    }
+    let mut v: Vec<UserKey> = set.into_iter().collect();
+    v.sort();
+    v
+}
+
+/// Share of buyers with `exp_value` strictly below `threshold`.
+pub fn share_below(buyers: &[UserKey], threshold: u64) -> f64 {
+    if buyers.is_empty() {
+        return 0.0;
+    }
+    buyers.iter().filter(|u| u.exp_value < threshold).count() as f64 / buyers.len() as f64
+}
+
+/// Share of buyers exactly at `value` (the paper reports 15% of fraud
+/// buyers at the floor score 100).
+pub fn share_at(buyers: &[UserKey], value: u64) -> f64 {
+    if buyers.is_empty() {
+        return 0.0;
+    }
+    buyers.iter().filter(|u| u.exp_value == value).count() as f64 / buyers.len() as f64
+}
+
+/// Average buyer exp-value of one item (`avgUserExpValue`); `None` if the
+/// item has no comments.
+pub fn avg_user_exp(item: &CollectedItem) -> Option<f64> {
+    if item.comments.is_empty() {
+        return None;
+    }
+    Some(
+        item.comments.iter().map(|c| c.user_exp_value as f64).sum::<f64>()
+            / item.comments.len() as f64,
+    )
+}
+
+/// Result of the risky-pair mining.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskyPairs {
+    /// Number of unordered user pairs sharing ≥ `min_shared` fraud items.
+    pub n_pairs: usize,
+    /// Distinct users participating in at least one such pair.
+    pub n_users: usize,
+    /// Maximum number of fraud items any single user purchased.
+    pub max_purchases_by_one_user: usize,
+    /// Share of risky users that purchased more than one fraud item.
+    pub repeat_buyer_share: f64,
+}
+
+/// Mines risky users and pairs over the reported fraud items.
+///
+/// A *risky user* is any buyer of a reported fraud item. A *risky pair*
+/// is an unordered pair of risky users that co-purchased at least
+/// `min_shared` distinct fraud items.
+pub fn mine_risky_pairs(fraud_items: &[&CollectedItem], min_shared: usize) -> RiskyPairs {
+    // user -> set of fraud item ids they commented on
+    let mut purchases: HashMap<UserKey, HashSet<u64>> = HashMap::new();
+    for item in fraud_items {
+        for c in &item.comments {
+            purchases
+                .entry(UserKey { nickname: c.nickname.clone(), exp_value: c.user_exp_value })
+                .or_default()
+                .insert(item.item_id);
+        }
+    }
+
+    let max_purchases = purchases.values().map(HashSet::len).max().unwrap_or(0);
+    let repeat = purchases.values().filter(|s| s.len() > 1).count();
+    let repeat_share = if purchases.is_empty() {
+        0.0
+    } else {
+        repeat as f64 / purchases.len() as f64
+    };
+
+    // Invert: item -> buyer index list, then count shared items per pair.
+    let users: Vec<&UserKey> = purchases.keys().collect();
+    let index: HashMap<&UserKey, usize> =
+        users.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+    let mut by_item: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (user, items) in &purchases {
+        let ui = index[user];
+        for &it in items {
+            by_item.entry(it).or_default().push(ui);
+        }
+    }
+    let mut pair_counts: HashMap<(usize, usize), usize> = HashMap::new();
+    for buyers in by_item.values() {
+        let mut b = buyers.clone();
+        b.sort_unstable();
+        for i in 0..b.len() {
+            for j in i + 1..b.len() {
+                *pair_counts.entry((b[i], b[j])).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut pair_users: HashSet<usize> = HashSet::new();
+    let mut n_pairs = 0usize;
+    for (&(a, b), &shared) in &pair_counts {
+        if shared >= min_shared {
+            n_pairs += 1;
+            pair_users.insert(a);
+            pair_users.insert(b);
+        }
+    }
+    RiskyPairs {
+        n_pairs,
+        n_users: pair_users.len(),
+        max_purchases_by_one_user: max_purchases,
+        repeat_buyer_share: repeat_share,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cats_collector::CollectedComment;
+
+    fn comment(nick: &str, exp: u64) -> CollectedComment {
+        CollectedComment {
+            comment_id: 0,
+            content: String::new(),
+            nickname: nick.to_string(),
+            user_exp_value: exp,
+            client: "Web".into(),
+            date: String::new(),
+        }
+    }
+
+    fn item(id: u64, buyers: &[(&str, u64)]) -> CollectedItem {
+        CollectedItem {
+            item_id: id,
+            shop_id: 0,
+            name: String::new(),
+            price_cents: 0,
+            sales_volume: buyers.len() as u64,
+            comments: buyers.iter().map(|(n, e)| comment(n, *e)).collect(),
+        }
+    }
+
+    #[test]
+    fn unique_buyers_dedup_by_nickname_and_exp() {
+        let a = item(1, &[("u1", 100), ("u1", 100), ("u2", 500)]);
+        let buyers = unique_buyers(&[&a]);
+        assert_eq!(buyers.len(), 2);
+    }
+
+    #[test]
+    fn same_nickname_different_exp_is_two_users() {
+        // approximate identification: the pair (nickname, exp) is the key
+        let a = item(1, &[("u1", 100), ("u1", 200)]);
+        assert_eq!(unique_buyers(&[&a]).len(), 2);
+    }
+
+    #[test]
+    fn shares() {
+        let a = item(1, &[("a", 100), ("b", 500), ("c", 1500), ("d", 5000)]);
+        let buyers = unique_buyers(&[&a]);
+        assert!((share_below(&buyers, 1000) - 0.5).abs() < 1e-12);
+        assert!((share_below(&buyers, 2000) - 0.75).abs() < 1e-12);
+        assert!((share_at(&buyers, 100) - 0.25).abs() < 1e-12);
+        assert_eq!(share_below(&[], 100), 0.0);
+    }
+
+    #[test]
+    fn avg_exp_of_item() {
+        let a = item(1, &[("a", 100), ("b", 300)]);
+        assert_eq!(avg_user_exp(&a), Some(200.0));
+        let empty = item(2, &[]);
+        assert_eq!(avg_user_exp(&empty), None);
+    }
+
+    #[test]
+    fn risky_pairs_require_min_shared_items() {
+        // u1,u2 share items 1 and 2; u3 only buys item 1.
+        let i1 = item(1, &[("u1", 100), ("u2", 100), ("u3", 900)]);
+        let i2 = item(2, &[("u1", 100), ("u2", 100)]);
+        let r = mine_risky_pairs(&[&i1, &i2], 2);
+        assert_eq!(r.n_pairs, 1);
+        assert_eq!(r.n_users, 2);
+        assert_eq!(r.max_purchases_by_one_user, 2);
+        // u1,u2 are repeat buyers; u3 is not → 2/3
+        assert!((r.repeat_buyer_share - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_shared_one_counts_every_copurchase() {
+        let i1 = item(1, &[("u1", 100), ("u2", 100), ("u3", 900)]);
+        let r = mine_risky_pairs(&[&i1], 1);
+        assert_eq!(r.n_pairs, 3); // all C(3,2) pairs share item 1
+        assert_eq!(r.n_users, 3);
+    }
+
+    #[test]
+    fn duplicate_comments_by_same_user_count_once_per_item() {
+        let i1 = item(1, &[("u1", 100), ("u1", 100), ("u2", 100)]);
+        let i2 = item(2, &[("u1", 100), ("u2", 100)]);
+        let r = mine_risky_pairs(&[&i1, &i2], 2);
+        assert_eq!(r.n_pairs, 1);
+        assert_eq!(r.max_purchases_by_one_user, 2);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let r = mine_risky_pairs(&[], 2);
+        assert_eq!(r.n_pairs, 0);
+        assert_eq!(r.n_users, 0);
+        assert_eq!(r.max_purchases_by_one_user, 0);
+        assert_eq!(r.repeat_buyer_share, 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Word-frequency analysis (Figs 8–9, Tables VIII–IX).
+//!
+//! The paper's "word clouds" are frequency-ranked word lists over the
+//! comments of a class of items; its Tables VIII–IX list the top-50 words
+//! of fraud items on both platforms and observe that (1) the lists are
+//! dominated by positive words (~28% of total occurrences) and (2) the
+//! lists agree across platforms. [`WordFrequency`] computes the ranking
+//! plus the positive-word share and a rank-overlap measure.
+
+use cats_text::Lexicon;
+use std::collections::{HashMap, HashSet};
+
+/// A frequency table over words (punctuation excluded; optionally,
+/// stopwords too — the paper's top-50 lists contain no function words,
+/// implying its segmentation pipeline dropped them).
+#[derive(Debug, Clone, Default)]
+pub struct WordFrequency {
+    counts: HashMap<String, u64>,
+    total: u64,
+    stopwords: HashSet<String>,
+}
+
+impl WordFrequency {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty table that additionally drops `stopwords`.
+    pub fn with_stopwords<I: IntoIterator<Item = String>>(stopwords: I) -> Self {
+        Self { stopwords: stopwords.into_iter().collect(), ..Self::default() }
+    }
+
+    /// Accumulates one segmented comment (punctuation and stopword tokens
+    /// skipped).
+    pub fn add_comment(&mut self, tokens: &[String]) {
+        for t in tokens {
+            if cats_text::segment::is_punctuation_token(t) || self.stopwords.contains(t) {
+                continue;
+            }
+            *self.counts.entry(t.clone()).or_insert(0) += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Total non-punctuation token occurrences.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct words seen.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The `k` most frequent words with counts, ties broken
+    /// lexicographically for determinism.
+    pub fn top_k(&self, k: usize) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .counts
+            .iter()
+            .map(|(w, &c)| (w.clone(), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Fraction of total occurrences contributed by the top-`k` words that
+    /// are in the positive set — the paper's "top 50 words … occupy ~28%
+    /// of a total".
+    pub fn top_k_positive_share(&self, k: usize, lexicon: &Lexicon) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mass: u64 = self
+            .top_k(k)
+            .iter()
+            .filter(|(w, _)| lexicon.is_positive(w))
+            .map(|(_, c)| c)
+            .sum();
+        mass as f64 / self.total as f64
+    }
+
+    /// Fraction of the top-`k` *words* that are positive.
+    pub fn top_k_positive_fraction(&self, k: usize, lexicon: &Lexicon) -> f64 {
+        let top = self.top_k(k);
+        if top.is_empty() {
+            return 0.0;
+        }
+        top.iter().filter(|(w, _)| lexicon.is_positive(w)).count() as f64 / top.len() as f64
+    }
+
+    /// Jaccard overlap of the top-`k` word sets of two tables — the
+    /// cross-platform agreement measure for Tables VIII vs IX.
+    pub fn top_k_overlap(&self, other: &Self, k: usize) -> f64 {
+        let a: std::collections::HashSet<String> =
+            self.top_k(k).into_iter().map(|(w, _)| w).collect();
+        let b: std::collections::HashSet<String> =
+            other.top_k(k).into_iter().map(|(w, _)| w).collect();
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        let inter = a.intersection(&b).count() as f64;
+        let union = a.union(&b).count() as f64;
+        inter / union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(ws: &[&str]) -> Vec<String> {
+        ws.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn counts_and_ranks() {
+        let mut wf = WordFrequency::new();
+        wf.add_comment(&toks(&["a", "b", "b", "c", "c", "c"]));
+        assert_eq!(wf.total(), 6);
+        assert_eq!(wf.distinct(), 3);
+        let top = wf.top_k(2);
+        assert_eq!(top[0], ("c".to_string(), 3));
+        assert_eq!(top[1], ("b".to_string(), 2));
+    }
+
+    #[test]
+    fn punctuation_excluded() {
+        let mut wf = WordFrequency::new();
+        wf.add_comment(&toks(&["a", "!", "，", "b"]));
+        assert_eq!(wf.total(), 2);
+        assert_eq!(wf.distinct(), 2);
+    }
+
+    #[test]
+    fn ties_break_lexicographically() {
+        let mut wf = WordFrequency::new();
+        wf.add_comment(&toks(&["z", "a"]));
+        let top = wf.top_k(2);
+        assert_eq!(top[0].0, "a");
+        assert_eq!(top[1].0, "z");
+    }
+
+    #[test]
+    fn positive_share_and_fraction() {
+        let lex = Lexicon::new(["hao".to_string()], []);
+        let mut wf = WordFrequency::new();
+        wf.add_comment(&toks(&["hao", "hao", "hao", "x", "y"]));
+        // top-1 = hao(3) of total 5
+        assert!((wf.top_k_positive_share(1, &lex) - 0.6).abs() < 1e-12);
+        assert!((wf.top_k_positive_fraction(2, &lex) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_is_safe() {
+        let lex = Lexicon::empty();
+        let wf = WordFrequency::new();
+        assert_eq!(wf.top_k_positive_share(10, &lex), 0.0);
+        assert_eq!(wf.top_k_positive_fraction(10, &lex), 0.0);
+        assert!(wf.top_k(5).is_empty());
+    }
+
+    #[test]
+    fn stopwords_are_dropped() {
+        let mut wf = WordFrequency::with_stopwords(["de".to_string(), "le".to_string()]);
+        wf.add_comment(&toks(&["hao", "de", "le", "hao"]));
+        assert_eq!(wf.total(), 2);
+        assert_eq!(wf.distinct(), 1);
+        assert!(wf.top_k(5).iter().all(|(w, _)| w != "de" && w != "le"));
+    }
+
+    #[test]
+    fn overlap_of_identical_tables_is_one() {
+        let mut a = WordFrequency::new();
+        a.add_comment(&toks(&["x", "y", "z"]));
+        assert!((a.top_k_overlap(&a.clone(), 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_of_disjoint_tables_is_zero() {
+        let mut a = WordFrequency::new();
+        a.add_comment(&toks(&["x"]));
+        let mut b = WordFrequency::new();
+        b.add_comment(&toks(&["y"]));
+        assert_eq!(a.top_k_overlap(&b, 5), 0.0);
+    }
+
+    #[test]
+    fn overlap_of_empty_tables_is_one() {
+        let a = WordFrequency::new();
+        assert_eq!(a.top_k_overlap(&WordFrequency::new(), 5), 1.0);
+    }
+}

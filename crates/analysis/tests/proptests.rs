@@ -1,0 +1,137 @@
+//! Property-based tests for the analysis toolkit.
+
+use cats_analysis::{ks_distance, Histogram, SummaryStats};
+use proptest::prelude::*;
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((-1e6f64..1e6).prop_filter("finite", |x| x.is_finite()), 1..200)
+}
+
+proptest! {
+    #[test]
+    fn histogram_conserves_samples(xs in samples(), bins in 1usize..40) {
+        let h = Histogram::from_samples(&xs, -1e6, 1e6 + 1.0, bins);
+        prop_assert_eq!(h.len(), xs.len() as u64);
+        let count_sum: u64 = h.counts().iter().sum();
+        prop_assert_eq!(count_sum, xs.len() as u64);
+    }
+
+    #[test]
+    fn histogram_density_integrates_to_one(xs in samples(), bins in 1usize..40) {
+        let h = Histogram::from_samples(&xs, -1e6, 1e6 + 1.0, bins);
+        let integral: f64 = h.densities().iter().map(|d| d * h.bin_width()).sum();
+        prop_assert!((integral - 1.0).abs() < 1e-9, "integral {integral}");
+    }
+
+    #[test]
+    fn histogram_fractions_sum_to_one(xs in samples(), bins in 1usize..40) {
+        let h = Histogram::from_samples(&xs, -1e6, 1e6 + 1.0, bins);
+        let s: f64 = h.fractions().iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_stats_ordering(xs in samples()) {
+        let s = SummaryStats::of(&xs).unwrap();
+        prop_assert!(s.min <= s.median + 1e-12);
+        prop_assert!(s.median <= s.max + 1e-12);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std >= 0.0);
+    }
+
+    #[test]
+    fn ks_is_a_premetric(a in samples(), b in samples()) {
+        let dab = ks_distance(&a, &b);
+        let dba = ks_distance(&b, &a);
+        prop_assert!((dab - dba).abs() < 1e-12, "symmetry");
+        prop_assert!((0.0..=1.0).contains(&dab), "bounds");
+        prop_assert!(ks_distance(&a, &a) < 1e-12, "identity");
+    }
+
+    #[test]
+    fn ks_detects_shift(a in samples(), shift in 1e7f64..1e8) {
+        let b: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        // shift larger than the whole sample range: fully separated CDFs
+        prop_assert!((ks_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_triangle_like_monotonicity(a in samples()) {
+        // Mixing a with itself cannot increase distance to a.
+        let mut doubled = a.clone();
+        doubled.extend_from_slice(&a);
+        prop_assert!(ks_distance(&a, &doubled) < 1e-12);
+    }
+}
+
+mod wordcloud_props {
+    use cats_analysis::WordFrequency;
+    use proptest::prelude::*;
+
+    fn comments() -> impl Strategy<Value = Vec<Vec<String>>> {
+        prop::collection::vec(prop::collection::vec("[a-z]{1,5}", 0..20), 0..20)
+    }
+
+    proptest! {
+        #[test]
+        fn top_k_is_sorted_and_bounded(cs in comments(), k in 0usize..30) {
+            let mut wf = WordFrequency::new();
+            for c in &cs {
+                wf.add_comment(c);
+            }
+            let top = wf.top_k(k);
+            prop_assert!(top.len() <= k);
+            prop_assert!(top.windows(2).all(|w| w[0].1 >= w[1].1), "sorted by count");
+            let total: u64 = top.iter().map(|(_, c)| c).sum();
+            prop_assert!(total <= wf.total());
+        }
+
+        #[test]
+        fn total_counts_non_punctuation_tokens(cs in comments()) {
+            let mut wf = WordFrequency::new();
+            let mut expected = 0u64;
+            for c in &cs {
+                wf.add_comment(c);
+                expected += c.len() as u64; // strategy emits no punctuation
+            }
+            prop_assert_eq!(wf.total(), expected);
+        }
+    }
+}
+
+mod ecdf_props {
+    use cats_analysis::Ecdf;
+    use proptest::prelude::*;
+
+    fn sample() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(-1e6f64..1e6, 1..120)
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone_and_bounded(xs in sample(), probe in -2e6f64..2e6) {
+            let e = Ecdf::new(&xs);
+            let a = e.cdf(probe);
+            let b = e.cdf(probe + 1.0);
+            prop_assert!((0.0..=1.0).contains(&a));
+            prop_assert!(a <= b + 1e-12);
+            prop_assert!(e.cdf(e.max()) == 1.0);
+            prop_assert!(e.fraction_below(e.min()) == 0.0);
+        }
+
+        #[test]
+        fn quantile_inverts_cdf(xs in sample(), q in 0.01f64..1.0) {
+            let e = Ecdf::new(&xs);
+            let x = e.quantile(q);
+            // at least a q-fraction of the sample is <= quantile(q)
+            prop_assert!(e.cdf(x) + 1e-12 >= q);
+        }
+
+        #[test]
+        fn quantiles_are_monotone(xs in sample(), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let e = Ecdf::new(&xs);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(e.quantile(lo) <= e.quantile(hi) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Training and prediction cost of the six Table III classifiers on
+//! CATS-shaped feature data.
+
+use cats_bench::setup;
+use cats_core::N_FEATURES;
+use cats_ml::model_selection::paper_panel;
+use cats_ml::Dataset;
+use cats_platform::datasets;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn feature_dataset() -> Dataset {
+    let platform = datasets::d0(0.02, 13);
+    let analyzer = setup::train_analyzer(&platform, 13);
+    let items: Vec<_> = platform.items().iter().map(setup::item_comments).collect();
+    let labels: Vec<u8> = platform.items().iter().map(setup::item_label).collect();
+    let rows = cats_core::features::extract_batch(&items, &analyzer, 0);
+    let mut data = Dataset::new(N_FEATURES);
+    for (r, &l) in rows.iter().zip(&labels) {
+        data.push(r.as_slice(), l);
+    }
+    data
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let data = feature_dataset();
+    let mut group = c.benchmark_group("fit");
+    for model in paper_panel() {
+        let name = model.name();
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    // fresh untrained model each iteration
+                    paper_panel()
+                        .into_iter()
+                        .find(|m| m.name() == name)
+                        .unwrap()
+                },
+                |mut m| {
+                    m.fit(&data);
+                    black_box(m.predict_proba(data.row(0)))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = feature_dataset();
+    let mut group = c.benchmark_group("predict_row");
+    for mut model in paper_panel() {
+        model.fit(&data);
+        let name = model.name();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(model.predict_proba(black_box(data.row(7)))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fit, bench_predict
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Feature-extraction throughput: one item, a sequential batch, and the
+//! parallel batch path (the paper notes its extractor is parallelized).
+
+use cats_bench::setup;
+use cats_core::{features, ItemComments};
+use cats_platform::datasets;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_extract(c: &mut Criterion) {
+    let platform = datasets::d0(0.01, 42);
+    let analyzer = setup::train_analyzer(&platform, 42);
+    let items: Vec<ItemComments> = platform
+        .items()
+        .iter()
+        .take(200)
+        .map(setup::item_comments)
+        .collect();
+
+    c.bench_function("extract_single_item", |b| {
+        b.iter(|| black_box(features::extract(&items[0], &analyzer)))
+    });
+    c.bench_function("extract_batch_200_seq", |b| {
+        b.iter(|| black_box(features::extract_batch(&items, &analyzer, 1)))
+    });
+    c.bench_function("extract_batch_200_par", |b| {
+        b.iter(|| black_box(features::extract_batch(&items, &analyzer, 0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_extract
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end costs: the detector over an item batch, and the collector
+//! crawling the simulated site.
+
+use cats_bench::setup;
+use cats_collector::{Collector, CollectorConfig, PublicSite, SiteConfig};
+use cats_core::ItemComments;
+use cats_platform::datasets;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_detect(c: &mut Criterion) {
+    let d0 = datasets::d0(0.01, 5);
+    let pipeline = setup::train_pipeline(&d0, 5);
+    let holdout = datasets::d0(0.01, 6);
+    let items: Vec<ItemComments> = holdout
+        .items()
+        .iter()
+        .take(300)
+        .map(setup::item_comments)
+        .collect();
+    let sales: Vec<u64> = holdout
+        .items()
+        .iter()
+        .take(300)
+        .map(|i| i.sales_volume)
+        .collect();
+    c.bench_function("detector_detect_300_items", |b| {
+        b.iter(|| black_box(pipeline.detect(&items, &sales)))
+    });
+}
+
+fn bench_crawl(c: &mut Criterion) {
+    let e = datasets::e_platform(0.0003, 9);
+    let site = PublicSite::new(&e, SiteConfig::default());
+    c.bench_function("collector_crawl_1500_items", |b| {
+        b.iter(|| {
+            let mut collector = Collector::new(CollectorConfig::default());
+            black_box(collector.crawl(&site).comment_count())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_detect, bench_crawl
+}
+criterion_main!(benches);

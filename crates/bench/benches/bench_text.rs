@@ -1,0 +1,113 @@
+//! Microbenchmarks for the text substrate: segmentation, per-comment
+//! statistics, lexicon counting, and sentiment scoring — the inner loops
+//! of the feature extractor.
+
+use cats_bench::setup;
+use cats_platform::comment_model::{generate_comment, CommentStyle};
+use cats_platform::SyntheticLexicon;
+use cats_sentiment::SentimentModel;
+use cats_text::{stats, Lexicon, Segmenter, WhitespaceSegmenter};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn fixture_comments(n: usize) -> Vec<String> {
+    let lex = SyntheticLexicon::generate(Default::default(), 7);
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..n)
+        .map(|i| {
+            let style = if i % 2 == 0 {
+                CommentStyle::FraudPromo
+            } else {
+                CommentStyle::OrganicNeutral
+            };
+            generate_comment(&lex, style, &mut rng)
+        })
+        .collect()
+}
+
+fn bench_segment(c: &mut Criterion) {
+    let comments = fixture_comments(200);
+    let seg = WhitespaceSegmenter;
+    c.bench_function("segment_200_comments", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            let mut buf = Vec::new();
+            for t in &comments {
+                seg.segment_into(t, &mut buf);
+                total += buf.len();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let comments = fixture_comments(200);
+    let seg = WhitespaceSegmenter;
+    let tokenized: Vec<(String, Vec<String>)> = comments
+        .into_iter()
+        .map(|t| {
+            let toks = seg.segment(&t);
+            (t, toks)
+        })
+        .collect();
+    c.bench_function("comment_stats_200", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (text, toks) in &tokenized {
+                acc += stats::CommentStats::compute(text, toks).entropy;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_lexicon_count(c: &mut Criterion) {
+    let lex_src = SyntheticLexicon::generate(Default::default(), 7);
+    let lex = Lexicon::new(lex_src.positive().to_vec(), lex_src.negative().to_vec());
+    let comments = fixture_comments(200);
+    let seg = WhitespaceSegmenter;
+    let tokenized: Vec<Vec<String>> = comments.iter().map(|t| seg.segment(t)).collect();
+    c.bench_function("lexicon_positive_count_200", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for toks in &tokenized {
+                acc += lex.positive_count(toks);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_sentiment(c: &mut Criterion) {
+    let lex = SyntheticLexicon::generate(Default::default(), 7);
+    let (pos, neg) = setup::sentiment_corpus(&lex, 500, 3);
+    let seg = WhitespaceSegmenter;
+    let model = SentimentModel::train(
+        &pos.iter().map(|t| seg.segment(t)).collect::<Vec<_>>(),
+        &neg.iter().map(|t| seg.segment(t)).collect::<Vec<_>>(),
+    );
+    let comments = fixture_comments(200);
+    let tokenized: Vec<Vec<String>> = comments.iter().map(|t| seg.segment(t)).collect();
+    c.bench_function("sentiment_score_200", |b| {
+        b.iter_batched(
+            || tokenized.clone(),
+            |toks| {
+                let mut acc = 0.0;
+                for t in &toks {
+                    acc += model.score(t);
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_segment, bench_stats, bench_lexicon_count, bench_sentiment
+}
+criterion_main!(benches);

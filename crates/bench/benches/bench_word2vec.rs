@@ -1,0 +1,49 @@
+//! Word2vec training and k-NN query cost.
+
+use cats_embedding::{Word2VecConfig, Word2VecTrainer};
+use cats_platform::comment_model::{generate_comment, CommentStyle};
+use cats_platform::SyntheticLexicon;
+use cats_text::{Corpus, WhitespaceSegmenter};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn fixture_corpus(n_comments: usize) -> Corpus {
+    let lex = SyntheticLexicon::generate(Default::default(), 7);
+    let mut rng = StdRng::seed_from_u64(2);
+    let seg = WhitespaceSegmenter;
+    let mut corpus = Corpus::new();
+    for i in 0..n_comments {
+        let style = match i % 3 {
+            0 => CommentStyle::FraudPromo,
+            1 => CommentStyle::OrganicPositive,
+            _ => CommentStyle::OrganicNeutral,
+        };
+        corpus.push_text(&generate_comment(&lex, style, &mut rng), &seg);
+    }
+    corpus
+}
+
+fn bench_train(c: &mut Criterion) {
+    let corpus = fixture_corpus(2_000);
+    let cfg = Word2VecConfig { dim: 32, epochs: 1, window: 4, ..Word2VecConfig::default() };
+    c.bench_function("word2vec_train_2k_comments_1_epoch", |b| {
+        b.iter(|| black_box(Word2VecTrainer::new(cfg).train(&corpus)))
+    });
+}
+
+fn bench_nearest(c: &mut Criterion) {
+    let corpus = fixture_corpus(2_000);
+    let cfg = Word2VecConfig { dim: 32, epochs: 1, window: 4, ..Word2VecConfig::default() };
+    let emb = Word2VecTrainer::new(cfg).train(&corpus);
+    c.bench_function("word2vec_nearest_k10", |b| {
+        b.iter(|| black_box(emb.nearest("haoping", 10)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_train, bench_nearest
+}
+criterion_main!(benches);

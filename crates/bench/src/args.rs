@@ -1,0 +1,81 @@
+//! Minimal CLI parsing for the experiment binaries.
+
+/// Common experiment arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct Args {
+    /// Dataset scale multiplier (1.0 = paper size).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Args {
+    /// Parses `--scale <f64>` and `--seed <u64>` from `std::env::args`,
+    /// with the given defaults. Unknown flags abort with a usage message.
+    pub fn parse(default_scale: f64, default_seed: u64) -> Self {
+        Self::parse_from(std::env::args().skip(1), default_scale, default_seed)
+    }
+
+    /// Testable core of [`Args::parse`].
+    pub fn parse_from<I: IntoIterator<Item = String>>(
+        args: I,
+        default_scale: f64,
+        default_seed: u64,
+    ) -> Self {
+        let mut out = Self { scale: default_scale, seed: default_seed };
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    out.scale = v.parse().expect("--scale must be a float");
+                }
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    out.seed = v.parse().expect("--seed must be an integer");
+                }
+                other => {
+                    eprintln!("unknown flag {other}; usage: --scale <f64> --seed <u64>");
+                    std::process::exit(2);
+                }
+            }
+        }
+        assert!(out.scale > 0.0, "scale must be positive");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse_from(v(&[]), 0.5, 9);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    fn flags_override() {
+        let a = Args::parse_from(v(&["--scale", "0.01", "--seed", "42"]), 1.0, 0);
+        assert_eq!(a.scale, 0.01);
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "--scale must be a float")]
+    fn bad_scale_panics() {
+        Args::parse_from(v(&["--scale", "abc"]), 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        Args::parse_from(v(&["--scale", "0"]), 1.0, 0);
+    }
+}

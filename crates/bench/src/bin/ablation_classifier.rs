@@ -1,0 +1,74 @@
+//! Ablation — classifier comparison across training-set sizes.
+//!
+//! Table III is a single point (5k + 5k items). This ablation re-runs the
+//! comparison at several training sizes to show where the ranking
+//! stabilizes and how data-hungry each model family is.
+
+use cats_bench::{render, setup, Args};
+use cats_core::N_FEATURES;
+use cats_ml::model_selection::{compare_models, paper_panel};
+use cats_ml::Dataset;
+
+fn main() {
+    let args = Args::parse(0.1, 0xAB1D);
+    let platform = setup::d0(args.scale, args.seed);
+    let analyzer = setup::train_analyzer(&platform, args.seed);
+    println!("== Ablation: classifier ranking vs training size (D0 scale={}) ==", args.scale);
+
+    let (fraud, normal) = setup::split_by_label(&platform);
+    let max_per_class = fraud.len().min(normal.len());
+
+    // Extract features once for the largest budget.
+    let mut items = Vec::new();
+    let mut labels = Vec::new();
+    for it in fraud.iter().take(max_per_class) {
+        items.push(setup::item_comments(it));
+        labels.push(1u8);
+    }
+    for it in normal.iter().take(max_per_class) {
+        items.push(setup::item_comments(it));
+        labels.push(0u8);
+    }
+    let rows = cats_core::features::extract_batch(&items, &analyzer, 0);
+
+    let sizes: Vec<usize> = [50usize, 150, 400, 1_000]
+        .into_iter()
+        .filter(|&s| s <= max_per_class)
+        .chain(std::iter::once(max_per_class))
+        .collect();
+
+    let mut table_rows = Vec::new();
+    for &per_class in &sizes {
+        let mut data = Dataset::new(N_FEATURES);
+        // fraud rows occupy the first half of `rows`
+        for (r, &l) in rows.iter().take(per_class).zip(labels.iter().take(per_class)) {
+            data.push(r.as_slice(), l);
+        }
+        for (r, &l) in rows
+            .iter()
+            .skip(max_per_class)
+            .take(per_class)
+            .zip(labels.iter().skip(max_per_class).take(per_class))
+        {
+            data.push(r.as_slice(), l);
+        }
+        let mut panel = paper_panel();
+        let results = compare_models(&mut panel, &data, 5, args.seed);
+        let best = results
+            .iter()
+            .max_by(|a, b| a.f1.partial_cmp(&b.f1).unwrap())
+            .unwrap();
+        let mut cells = vec![format!("{per_class}+{per_class}")];
+        cells.extend(results.iter().map(|r| render::f3(r.f1)));
+        cells.push(best.name.clone());
+        table_rows.push(cells);
+    }
+    println!(
+        "{}",
+        render::table(
+            &["Train size", "Xgboost", "SVM", "AdaBoost", "NN", "DT", "NB", "Best"],
+            &table_rows
+        )
+    );
+    println!("(paper: Xgboost selected at 5,000+5,000)");
+}

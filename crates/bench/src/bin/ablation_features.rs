@@ -1,0 +1,79 @@
+//! Ablation — feature groups.
+//!
+//! The paper organizes its 11 features into three categories (word-level,
+//! semantic, structural) and claims all contribute. This ablation retrains
+//! the detector's classifier with each group zeroed out and reports the
+//! F1 cost, validating the taxonomy.
+
+use cats_bench::{render, setup, Args};
+use cats_core::{FEATURE_NAMES, N_FEATURES};
+use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
+use cats_ml::model_selection::cross_validate;
+use cats_ml::Dataset;
+
+/// Feature indexes per paper category.
+const WORD_LEVEL: &[usize] = &[0, 1, 9, 10]; // positive counts + n-grams
+const SEMANTIC: &[usize] = &[3]; // averageSentiment
+const STRUCTURAL: &[usize] = &[2, 4, 5, 6, 7, 8];
+
+fn zeroed(data: &Dataset, drop: &[usize]) -> Dataset {
+    let mut out = Dataset::new(data.n_features());
+    let mut buf = vec![0.0; data.n_features()];
+    for i in 0..data.len() {
+        buf.copy_from_slice(data.row(i));
+        for &f in drop {
+            buf[f] = 0.0;
+        }
+        out.push(&buf, data.label(i));
+    }
+    out
+}
+
+fn main() {
+    let args = Args::parse(0.05, 0xAB1A);
+    let platform = setup::d0(args.scale, args.seed);
+    let analyzer = setup::train_analyzer(&platform, args.seed);
+    println!("== Ablation: feature groups (D0 scale={}) ==", args.scale);
+
+    let items: Vec<_> = platform.items().iter().map(setup::item_comments).collect();
+    let labels: Vec<u8> = platform.items().iter().map(setup::item_label).collect();
+    let rows = cats_core::features::extract_batch(&items, &analyzer, 0);
+    let mut data = Dataset::new(N_FEATURES);
+    for (r, &l) in rows.iter().zip(&labels) {
+        data.push(r.as_slice(), l);
+    }
+
+    let variants: [(&str, &[usize]); 4] = [
+        ("all features", &[]),
+        ("without word-level", WORD_LEVEL),
+        ("without semantic", SEMANTIC),
+        ("without structural", STRUCTURAL),
+    ];
+    let mut out_rows = Vec::new();
+    let mut baseline_f1 = 0.0;
+    for (name, drop) in variants {
+        let d = zeroed(&data, drop);
+        let mut gbt = GradientBoostedTrees::new(GbtConfig::default());
+        let r = cross_validate(&mut gbt, &d, 5, args.seed);
+        if drop.is_empty() {
+            baseline_f1 = r.f1;
+        }
+        out_rows.push(vec![
+            name.to_string(),
+            render::f3(r.precision),
+            render::f3(r.recall),
+            render::f3(r.f1),
+            format!("{:+.3}", r.f1 - baseline_f1),
+        ]);
+    }
+    println!(
+        "{}",
+        render::table(&["Variant", "Precision", "Recall", "F1", "ΔF1"], &out_rows)
+    );
+    println!(
+        "groups: word-level = {:?}; semantic = {:?}; structural = {:?}",
+        WORD_LEVEL.iter().map(|&f| FEATURE_NAMES[f]).collect::<Vec<_>>(),
+        SEMANTIC.iter().map(|&f| FEATURE_NAMES[f]).collect::<Vec<_>>(),
+        STRUCTURAL.iter().map(|&f| FEATURE_NAMES[f]).collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,57 @@
+//! Extension — feature-extraction scaling.
+//!
+//! The paper runs CATS on a 40-vCPU server and notes the feature
+//! extractor "is implemented in a parallelized style for fast
+//! processing". This experiment measures batch extraction throughput
+//! against the thread count on this machine.
+
+use cats_bench::{render, setup, Args};
+use cats_core::{features, ItemComments};
+use cats_platform::datasets;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse(0.02, 0x5CA1);
+    let platform = datasets::d0(args.scale, args.seed);
+    let analyzer = setup::train_analyzer(&platform, args.seed);
+    let items: Vec<ItemComments> = platform.items().iter().map(setup::item_comments).collect();
+    let comments: usize = items.iter().map(ItemComments::len).sum();
+    println!(
+        "== Extension: extraction scaling ({} items, {} comments) ==",
+        items.len(),
+        comments
+    );
+
+    let cores = std::thread::available_parallelism().map_or(4, usize::from);
+    let mut rows = Vec::new();
+    let mut base = 0.0;
+    for threads in [1usize, 2, 4, 8, 16] {
+        if threads > 2 * cores {
+            break;
+        }
+        // Warm-up + best-of-3 to damp scheduler noise.
+        features::extract_batch(&items, &analyzer, threads);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let out = features::extract_batch(&items, &analyzer, threads);
+            let dt = t0.elapsed().as_secs_f64();
+            assert_eq!(out.len(), items.len());
+            best = best.min(dt);
+        }
+        if threads == 1 {
+            base = best;
+        }
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.3}", best),
+            format!("{:.0}", items.len() as f64 / best),
+            format!("{:.2}x", base / best),
+        ]);
+    }
+    println!(
+        "{}",
+        render::table(&["Threads", "Best time (s)", "Items/s", "Speedup"], &rows)
+    );
+    println!("machine parallelism: {cores} threads");
+}

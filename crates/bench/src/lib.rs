@@ -1,0 +1,17 @@
+//! # cats-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` §3 for the
+//! index), plus Criterion micro-benchmarks in `benches/`. This library
+//! holds the shared machinery: CLI parsing, the standard "train CATS on a
+//! D0-shaped platform" setup, sentiment-corpus generation, and ASCII
+//! table rendering.
+//!
+//! Every experiment accepts `--scale <f64>` and `--seed <u64>`; the scale
+//! applied to each dataset preset is recorded in `EXPERIMENTS.md`
+//! alongside paper-vs-measured numbers.
+
+pub mod args;
+pub mod render;
+pub mod setup;
+
+pub use args::Args;

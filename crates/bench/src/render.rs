@@ -1,0 +1,88 @@
+//! ASCII table rendering for experiment output.
+
+/// Renders a simple aligned table: headers plus rows of cells.
+///
+/// ```
+/// let t = cats_bench::render::table(
+///     &["Classifier", "Precision"],
+///     &[vec!["Xgboost".into(), "0.93".into()]],
+/// );
+/// assert!(t.contains("Xgboost"));
+/// ```
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        assert_eq!(row.len(), n, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {c:<w$} |", w = w));
+        }
+        line.push('\n');
+        line
+    };
+    let sep = {
+        let mut line = String::from("+");
+        for w in &widths {
+            line.push_str(&"-".repeat(w + 2));
+            line.push('+');
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&sep);
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out.push_str(&sep);
+    out
+}
+
+/// Formats a float with 3 decimals (the paper's table precision).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float as a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "2".into()],
+            ],
+        );
+        assert!(t.contains("| name "));
+        assert!(t.contains("| longer-name | 2"));
+        assert_eq!(t.matches('\n').count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(0.93456), "0.935");
+        assert_eq!(pct(0.968), "96.8%");
+    }
+}

@@ -1,0 +1,258 @@
+//! The CLI subcommands, factored as library functions so they are
+//! testable without spawning processes.
+//!
+//! * [`generate`] — synthesize a labeled JSONL dataset from the platform
+//!   generator (for demos and pipelines without proprietary data);
+//! * [`train`] — train the full CATS pipeline from a labeled JSONL file
+//!   and persist the model snapshot;
+//! * [`detect`] — load a snapshot and score an unlabeled JSONL file,
+//!   emitting one report per item plus a batch summary;
+//! * [`analyze`] — evaluate reports against a labeled file
+//!   (precision/recall/F1) for closed-loop runs.
+
+use crate::io::{read_items, write_items, write_reports, ItemLine, ReportLine};
+use cats_core::pipeline::PipelineSnapshot;
+use cats_core::{
+    CatsPipeline, DetectionSummary, DetectorConfig, FilterDecision, ItemComments,
+    SemanticAnalyzer, N_FEATURES,
+};
+use cats_embedding::{ExpansionConfig, Word2VecConfig};
+use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
+use cats_ml::metrics::BinaryMetrics;
+use cats_ml::{Classifier, Dataset};
+use cats_platform::comment_model::{generate_comment, CommentStyle};
+use cats_platform::datasets;
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::HashMap;
+use std::io::BufRead;
+
+/// Synthesizes a D0-shaped labeled dataset as JSONL lines.
+pub fn generate(scale: f64, seed: u64, out: &mut dyn std::io::Write) -> Result<usize, String> {
+    let platform = datasets::d0(scale, seed);
+    let items: Vec<ItemLine> = platform
+        .items()
+        .iter()
+        .map(|it| ItemLine {
+            item_id: it.id,
+            sales_volume: it.sales_volume,
+            label: Some(u8::from(it.label.is_fraud())),
+            comments: it.comments.iter().map(|c| c.content.clone()).collect(),
+        })
+        .collect();
+    write_items(out, &items).map_err(|e| e.to_string())?;
+    Ok(items.len())
+}
+
+/// Trains the pipeline from labeled JSONL and returns the serialized
+/// snapshot (JSON). `threshold` sets the detector's operating point.
+pub fn train(
+    input: &mut dyn BufRead,
+    threshold: f64,
+    seed: u64,
+) -> Result<(String, usize), String> {
+    let items = read_items(input)?;
+    if items.is_empty() {
+        return Err("no items in training input".into());
+    }
+    let labels: Vec<u8> = items
+        .iter()
+        .map(|i| i.label.ok_or_else(|| format!("item {} has no label", i.item_id)))
+        .collect::<Result<_, String>>()?;
+    if !labels.contains(&1) || !labels.contains(&0) {
+        return Err("training data must contain both classes".into());
+    }
+
+    // Semantic analyzer from the training comments themselves. Sentiment
+    // reviews come from the synthetic language model (the SnowNLP
+    // stand-in is pre-trained, exactly as in the paper).
+    let corpus: Vec<&str> = items
+        .iter()
+        .flat_map(|i| i.comments.iter().map(String::as_str))
+        .collect();
+    let lang = cats_platform::SyntheticLexicon::generate(Default::default(), 0x1A96);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos: Vec<String> = (0..2_000)
+        .map(|_| generate_comment(&lang, CommentStyle::OrganicPositive, &mut rng))
+        .collect();
+    let neg: Vec<String> = (0..2_000)
+        .map(|_| generate_comment(&lang, CommentStyle::OrganicNegative, &mut rng))
+        .collect();
+    let analyzer = SemanticAnalyzer::train(
+        &corpus,
+        &lang.positive_seeds(),
+        &lang.negative_seeds(),
+        &pos.iter().map(String::as_str).collect::<Vec<_>>(),
+        &neg.iter().map(String::as_str).collect::<Vec<_>>(),
+        cats_core::SemanticConfig {
+            word2vec: Word2VecConfig { dim: 48, epochs: 3, ..Word2VecConfig::default() },
+            expansion: ExpansionConfig::default(),
+        },
+    );
+
+    let ics: Vec<ItemComments> = items.iter().map(ItemLine::to_item_comments).collect();
+    let rows = cats_core::features::extract_batch(&ics, &analyzer, 0);
+    let mut data = Dataset::new(N_FEATURES);
+    for (r, &l) in rows.iter().zip(&labels) {
+        data.push(r.as_slice(), l);
+    }
+    let mut gbt = GradientBoostedTrees::new(GbtConfig::default());
+    gbt.fit(&data);
+
+    let snapshot = CatsPipeline::snapshot(
+        analyzer,
+        DetectorConfig { threshold, ..DetectorConfig::default() },
+        gbt,
+    );
+    let json = serde_json::to_string(&snapshot).map_err(|e| e.to_string())?;
+    Ok((json, items.len()))
+}
+
+/// Loads a snapshot and scores unlabeled JSONL items; writes JSONL
+/// reports and returns the batch summary.
+pub fn detect(
+    model_json: &str,
+    input: &mut dyn BufRead,
+    out: &mut dyn std::io::Write,
+) -> Result<DetectionSummary, String> {
+    let snapshot: PipelineSnapshot =
+        serde_json::from_str(model_json).map_err(|e| format!("model: {e}"))?;
+    let pipeline = CatsPipeline::restore(snapshot);
+    let items = read_items(input)?;
+    let ics: Vec<ItemComments> = items.iter().map(ItemLine::to_item_comments).collect();
+    let sales: Vec<u64> = items.iter().map(|i| i.sales_volume).collect();
+    let reports = pipeline.detect(&ics, &sales);
+
+    let lines: Vec<ReportLine> = reports
+        .iter()
+        .zip(&items)
+        .map(|(r, i)| ReportLine {
+            item_id: i.item_id,
+            filter: match r.filter {
+                FilterDecision::Classified => "classified",
+                FilterDecision::FilteredLowSales => "filtered_low_sales",
+                FilterDecision::FilteredNoPositiveEvidence => "filtered_no_evidence",
+            }
+            .to_string(),
+            score: r.score,
+            is_fraud: r.is_fraud,
+        })
+        .collect();
+    write_reports(out, &lines).map_err(|e| e.to_string())?;
+    Ok(DetectionSummary::from_reports(&reports))
+}
+
+/// Evaluates a JSONL report file against a labeled JSONL item file,
+/// joining on `item_id`.
+pub fn analyze(
+    reports: &mut dyn BufRead,
+    labeled: &mut dyn BufRead,
+) -> Result<BinaryMetrics, String> {
+    let items = read_items(labeled)?;
+    let truth: HashMap<u64, u8> = items
+        .iter()
+        .filter_map(|i| i.label.map(|l| (i.item_id, l)))
+        .collect();
+    if truth.is_empty() {
+        return Err("labeled file contains no labels".into());
+    }
+    let mut labels = Vec::new();
+    let mut preds = Vec::new();
+    for (no, line) in reports.lines().enumerate() {
+        let line = line.map_err(|e| format!("reports line {}: {e}", no + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let r: ReportLine =
+            serde_json::from_str(&line).map_err(|e| format!("reports line {}: {e}", no + 1))?;
+        if let Some(&l) = truth.get(&r.item_id) {
+            labels.push(l);
+            preds.push(r.is_fraud);
+        }
+    }
+    if labels.is_empty() {
+        return Err("no report ids matched the labeled file".into());
+    }
+    Ok(BinaryMetrics::compute(&labels, &preds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn generate_emits_valid_jsonl() {
+        let mut buf = Vec::new();
+        let n = generate(0.002, 5, &mut buf).unwrap();
+        assert!(n >= 130);
+        let items = read_items(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(items.len(), n);
+        assert!(items.iter().any(|i| i.label == Some(1)));
+        assert!(items.iter().any(|i| i.label == Some(0)));
+    }
+
+    #[test]
+    fn train_then_detect_then_analyze_closed_loop() {
+        // generate labeled data
+        let mut data = Vec::new();
+        generate(0.004, 9, &mut data).unwrap();
+
+        // train
+        let (model, n) = train(&mut BufReader::new(data.as_slice()), 0.5, 9).unwrap();
+        assert!(n > 0);
+        assert!(model.len() > 10_000, "model json suspiciously small");
+
+        // detect on a fresh platform (same language, different seed)
+        let mut eval_data = Vec::new();
+        generate(0.004, 10, &mut eval_data).unwrap();
+        let mut reports = Vec::new();
+        let summary = detect(
+            &model,
+            &mut BufReader::new(eval_data.as_slice()),
+            &mut reports,
+        )
+        .unwrap();
+        assert!(summary.reported > 0, "{summary}");
+
+        // analyze against ground truth
+        let metrics = analyze(
+            &mut BufReader::new(reports.as_slice()),
+            &mut BufReader::new(eval_data.as_slice()),
+        )
+        .unwrap();
+        assert!(metrics.f1 > 0.7, "closed-loop F1 too low: {metrics}");
+    }
+
+    #[test]
+    fn train_rejects_unlabeled_and_single_class() {
+        let unlabeled = "{\"item_id\":1,\"sales_volume\":2,\"comments\":[\"hao\"]}\n";
+        let err = train(&mut BufReader::new(unlabeled.as_bytes()), 0.5, 1).unwrap_err();
+        assert!(err.contains("no label"), "{err}");
+
+        let one_class = "{\"item_id\":1,\"sales_volume\":2,\"label\":1,\"comments\":[\"hao\"]}\n";
+        let err = train(&mut BufReader::new(one_class.as_bytes()), 0.5, 1).unwrap_err();
+        assert!(err.contains("both classes"), "{err}");
+
+        let err = train(&mut BufReader::new("".as_bytes()), 0.5, 1).unwrap_err();
+        assert!(err.contains("no items"), "{err}");
+    }
+
+    #[test]
+    fn detect_rejects_bad_model() {
+        let mut out = Vec::new();
+        let err = detect("{not json", &mut BufReader::new("".as_bytes()), &mut out).unwrap_err();
+        assert!(err.starts_with("model:"), "{err}");
+    }
+
+    #[test]
+    fn analyze_requires_overlap() {
+        let labeled = "{\"item_id\":1,\"sales_volume\":2,\"label\":1,\"comments\":[]}\n";
+        let reports = "{\"item_id\":99,\"filter\":\"classified\",\"score\":0.9,\"is_fraud\":true}\n";
+        let err = analyze(
+            &mut BufReader::new(reports.as_bytes()),
+            &mut BufReader::new(labeled.as_bytes()),
+        )
+        .unwrap_err();
+        assert!(err.contains("matched"), "{err}");
+    }
+}

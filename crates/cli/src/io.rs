@@ -1,0 +1,152 @@
+//! JSONL item format shared by the CLI subcommands.
+//!
+//! One item per line:
+//!
+//! ```json
+//! {"item_id":42,"sales_volume":17,"label":1,"comments":["hao ping ...","..."]}
+//! ```
+//!
+//! `label` is optional — present in training/evaluation files, absent in
+//! detection inputs (the public-data scenario).
+
+use cats_core::ItemComments;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// One item on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ItemLine {
+    /// Platform item id.
+    pub item_id: u64,
+    /// Public sales volume.
+    pub sales_volume: u64,
+    /// Ground-truth label (1 = fraud), when known.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub label: Option<u8>,
+    /// Raw comment texts.
+    pub comments: Vec<String>,
+}
+
+impl ItemLine {
+    /// Segments the comments into the extractor input shape.
+    pub fn to_item_comments(&self) -> ItemComments {
+        ItemComments::from_texts(self.comments.iter().map(String::as_str))
+    }
+}
+
+/// One detection verdict on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReportLine {
+    /// Platform item id.
+    pub item_id: u64,
+    /// Stage-1 outcome (`classified`, `filtered_low_sales`,
+    /// `filtered_no_evidence`).
+    pub filter: String,
+    /// Fraud score in \[0,1\].
+    pub score: f64,
+    /// Final verdict.
+    pub is_fraud: bool,
+}
+
+/// Reads JSONL items from a reader; malformed lines are returned as
+/// errors with their line number.
+pub fn read_items<R: BufRead>(reader: R) -> Result<Vec<ItemLine>, String> {
+    let mut items = Vec::new();
+    for (no, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", no + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let item: ItemLine =
+            serde_json::from_str(&line).map_err(|e| format!("line {}: {e}", no + 1))?;
+        items.push(item);
+    }
+    Ok(items)
+}
+
+/// Writes items as JSONL.
+pub fn write_items<W: Write>(mut writer: W, items: &[ItemLine]) -> std::io::Result<()> {
+    for item in items {
+        serde_json::to_writer(&mut writer, item)?;
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Writes reports as JSONL.
+pub fn write_reports<W: Write>(mut writer: W, reports: &[ReportLine]) -> std::io::Result<()> {
+    for r in reports {
+        serde_json::to_writer(&mut writer, r)?;
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<ItemLine> {
+        vec![
+            ItemLine {
+                item_id: 1,
+                sales_volume: 9,
+                label: Some(1),
+                comments: vec!["hao hao".into(), "zan".into()],
+            },
+            ItemLine { item_id: 2, sales_volume: 3, label: None, comments: vec![] },
+        ]
+    }
+
+    #[test]
+    fn items_roundtrip_jsonl() {
+        let mut buf = Vec::new();
+        write_items(&mut buf, &sample()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let back = read_items(text.as_bytes()).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn label_omitted_when_none() {
+        let mut buf = Vec::new();
+        write_items(&mut buf, &sample()[1..]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.contains("label"), "{text}");
+    }
+
+    #[test]
+    fn blank_lines_skipped_and_errors_located() {
+        let good = "\n{\"item_id\":1,\"sales_volume\":2,\"comments\":[]}\n\n";
+        assert_eq!(read_items(good.as_bytes()).unwrap().len(), 1);
+        let bad = "{\"item_id\":1,\"sales_volume\":2,\"comments\":[]}\n{broken";
+        let err = read_items(bad.as_bytes()).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn to_item_comments_segments() {
+        let item = &sample()[0];
+        let ic = item.to_item_comments();
+        assert_eq!(ic.len(), 2);
+        assert_eq!(ic.tokens[0], vec!["hao", "hao"]);
+    }
+
+    #[test]
+    fn report_lines_serialize() {
+        let mut buf = Vec::new();
+        write_reports(
+            &mut buf,
+            &[ReportLine {
+                item_id: 7,
+                filter: "classified".into(),
+                score: 0.93,
+                is_fraud: true,
+            }],
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"is_fraud\":true"));
+    }
+}

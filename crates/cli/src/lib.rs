@@ -1,0 +1,16 @@
+//! # cats-cli — command-line interface to the CATS reproduction
+//!
+//! Four subcommands, designed for piping:
+//!
+//! ```text
+//! cats-cli generate --scale 0.01 --seed 7            > labeled.jsonl
+//! cats-cli train    --input labeled.jsonl --model m.json
+//! cats-cli detect   --model m.json --input items.jsonl > reports.jsonl
+//! cats-cli analyze  --reports reports.jsonl --labeled labeled.jsonl
+//! ```
+//!
+//! The command logic lives in [`commands`] (testable library functions);
+//! `main.rs` is a thin argument dispatcher.
+
+pub mod commands;
+pub mod io;

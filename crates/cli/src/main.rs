@@ -1,0 +1,97 @@
+//! Thin argument dispatcher over `cats_cli::commands`.
+
+use std::fs::File;
+use std::io::{BufReader, Write};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  cats-cli generate --scale <f64> --seed <u64>            (JSONL to stdout)\n  cats-cli train    --input <jsonl> --model <out.json> [--threshold <f64>] [--seed <u64>]\n  cats-cli detect   --model <json> --input <jsonl>        (reports to stdout)\n  cats-cli analyze  --reports <jsonl> --labeled <jsonl>"
+    );
+    ExitCode::from(2)
+}
+
+/// Pulls `--flag value` pairs out of args; returns None on unknown flags.
+fn parse_flags(args: &[String]) -> Option<std::collections::HashMap<String, String>> {
+    let mut map = std::collections::HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag.strip_prefix("--")?;
+        let value = it.next()?;
+        map.insert(key.to_string(), value.clone());
+    }
+    Some(map)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    let flags = parse_flags(rest).ok_or("malformed flags")?;
+    let get = |k: &str| flags.get(k).cloned();
+    let parse_f64 = |k: &str, default: f64| -> Result<f64, String> {
+        get(k).map_or(Ok(default), |v| v.parse().map_err(|e| format!("--{k}: {e}")))
+    };
+    let parse_u64 = |k: &str, default: u64| -> Result<u64, String> {
+        get(k).map_or(Ok(default), |v| v.parse().map_err(|e| format!("--{k}: {e}")))
+    };
+    let open = |k: &str| -> Result<BufReader<File>, String> {
+        let path = get(k).ok_or(format!("--{k} is required"))?;
+        File::open(&path)
+            .map(BufReader::new)
+            .map_err(|e| format!("{path}: {e}"))
+    };
+
+    match cmd.as_str() {
+        "generate" => {
+            let scale = parse_f64("scale", 0.01)?;
+            let seed = parse_u64("seed", 0xCA75)?;
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            let n = cats_cli::commands::generate(scale, seed, &mut lock)?;
+            eprintln!("generated {n} labeled items");
+            Ok(())
+        }
+        "train" => {
+            let mut input = open("input")?;
+            let model_path = get("model").ok_or("--model is required")?;
+            let threshold = parse_f64("threshold", 0.5)?;
+            let seed = parse_u64("seed", 0xCA75)?;
+            let (json, n) = cats_cli::commands::train(&mut input, threshold, seed)?;
+            std::fs::write(&model_path, &json).map_err(|e| format!("{model_path}: {e}"))?;
+            eprintln!("trained on {n} items; model written to {model_path} ({} KiB)", json.len() / 1024);
+            Ok(())
+        }
+        "detect" => {
+            let model_path = get("model").ok_or("--model is required")?;
+            let model = std::fs::read_to_string(&model_path)
+                .map_err(|e| format!("{model_path}: {e}"))?;
+            let mut input = open("input")?;
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            let summary = cats_cli::commands::detect(&model, &mut input, &mut lock)?;
+            lock.flush().ok();
+            eprintln!("{summary}");
+            Ok(())
+        }
+        "analyze" => {
+            let mut reports = open("reports")?;
+            let mut labeled = open("labeled")?;
+            let m = cats_cli::commands::analyze(&mut reports, &mut labeled)?;
+            println!("{m}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}

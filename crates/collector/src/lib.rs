@@ -1,0 +1,33 @@
+//! # cats-collector — the data collector
+//!
+//! CATS' first component "collects data from the public domain of
+//! e-commerce platforms" (§II-B); the paper's instance is a Scrapy crawler
+//! that walks shop homepages → item listings → paginated comment pages,
+//! filtering noisy records (§IV-A). The real E-platform website is
+//! unavailable, so this crate pairs:
+//!
+//! * [`site`] — a simulated public website over a `cats_platform::Platform`
+//!   serving paginated JSON responses, with configurable realistic noise
+//!   (duplicated records, malformed JSON, transient server errors);
+//! * [`crawler`] — the collector itself: pagination, bounded retries,
+//!   duplicate filtering, malformed-record skipping, and crawl accounting;
+//! * [`politeness`] — deterministic request-budget accounting (the
+//!   paper's crawl ran ~one week across three servers "designed to
+//!   minimize server impact").
+//!
+//! The output type [`records::CollectedItem`] is the exact public view a
+//! third party gets: no labels, no hired flags — only ids, text, and the
+//! public metadata of the paper's Listing 2 (nickname, userExpValue,
+//! client, date).
+
+pub mod crawler;
+pub mod politeness;
+pub mod records;
+pub mod resume;
+pub mod site;
+
+pub use crawler::{Collector, CollectorConfig, CrawlStats};
+pub use politeness::{CrawlBudget, PolitenessPolicy};
+pub use records::{CollectedComment, CollectedDataset, CollectedItem, CommentRecord};
+pub use resume::{CrawlCheckpoint, ResumableCrawl};
+pub use site::{PublicSite, SiteConfig};

@@ -1,0 +1,146 @@
+//! Politeness accounting.
+//!
+//! The paper stresses that "our data collector was designed to minimize
+//! server impact" (§VII) and that the E-platform crawl ran for about one
+//! week on three servers. This module models the request budget of such
+//! a crawl *deterministically*: given a pacing policy (requests per
+//! second per worker, worker count), it converts a crawl's page counts
+//! into the wall-clock duration that crawl would take, and checks a
+//! per-host rate ceiling. The simulated site needs no real waiting, so
+//! the accounting is pure arithmetic — and testable.
+
+use crate::crawler::CrawlStats;
+
+/// A crawl pacing policy.
+#[derive(Debug, Clone, Copy)]
+pub struct PolitenessPolicy {
+    /// Maximum request rate per worker, in requests per second.
+    pub requests_per_second: f64,
+    /// Number of crawl workers (the paper deployed three servers).
+    pub workers: usize,
+    /// Hard ceiling on the aggregate request rate against the host.
+    pub max_host_rps: f64,
+}
+
+impl Default for PolitenessPolicy {
+    fn default() -> Self {
+        Self { requests_per_second: 2.0, workers: 3, max_host_rps: 10.0 }
+    }
+}
+
+/// The deterministic accounting of one crawl under a policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrawlBudget {
+    /// Total page requests issued (successes + errors, incl. retries).
+    pub total_requests: u64,
+    /// Effective aggregate request rate (rps), after the host ceiling.
+    pub effective_rps: f64,
+    /// Estimated crawl duration in seconds.
+    pub duration_secs: f64,
+}
+
+impl PolitenessPolicy {
+    /// Whether the policy respects the host ceiling without clamping.
+    pub fn within_host_ceiling(&self) -> bool {
+        self.requests_per_second * self.workers as f64 <= self.max_host_rps
+    }
+
+    /// Accounts a finished crawl: every successful page and every
+    /// transient error consumed one request.
+    ///
+    /// # Panics
+    /// Panics on a non-positive rate or zero workers.
+    pub fn account(&self, stats: &CrawlStats) -> CrawlBudget {
+        assert!(self.requests_per_second > 0.0, "rate must be positive");
+        assert!(self.workers > 0, "need at least one worker");
+        assert!(self.max_host_rps > 0.0, "host ceiling must be positive");
+        let total_requests = stats.pages_fetched + stats.transient_errors;
+        let raw_rps = self.requests_per_second * self.workers as f64;
+        let effective_rps = raw_rps.min(self.max_host_rps);
+        CrawlBudget {
+            total_requests,
+            effective_rps,
+            duration_secs: total_requests as f64 / effective_rps,
+        }
+    }
+}
+
+/// Formats a duration in seconds as `Xd Yh Zm` for crawl reports.
+pub fn human_duration(secs: f64) -> String {
+    let total_minutes = (secs / 60.0).round() as u64;
+    let days = total_minutes / (24 * 60);
+    let hours = (total_minutes / 60) % 24;
+    let minutes = total_minutes % 60;
+    format!("{days}d {hours}h {minutes}m")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(pages: u64, errors: u64) -> CrawlStats {
+        CrawlStats {
+            pages_fetched: pages,
+            transient_errors: errors,
+            ..CrawlStats::default()
+        }
+    }
+
+    #[test]
+    fn accounts_requests_and_duration() {
+        let policy = PolitenessPolicy { requests_per_second: 2.0, workers: 3, max_host_rps: 10.0 };
+        let b = policy.account(&stats(6_000, 0));
+        assert_eq!(b.total_requests, 6_000);
+        assert!((b.effective_rps - 6.0).abs() < 1e-12);
+        assert!((b.duration_secs - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retries_count_as_requests() {
+        let policy = PolitenessPolicy::default();
+        let a = policy.account(&stats(100, 0));
+        let b = policy.account(&stats(100, 50));
+        assert_eq!(b.total_requests - a.total_requests, 50);
+        assert!(b.duration_secs > a.duration_secs);
+    }
+
+    #[test]
+    fn host_ceiling_clamps_aggregate_rate() {
+        let policy = PolitenessPolicy { requests_per_second: 10.0, workers: 5, max_host_rps: 8.0 };
+        assert!(!policy.within_host_ceiling());
+        let b = policy.account(&stats(80, 0));
+        assert!((b.effective_rps - 8.0).abs() < 1e-12);
+        assert!((b.duration_secs - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polite_policy_passes_ceiling_check() {
+        assert!(PolitenessPolicy::default().within_host_ceiling());
+    }
+
+    #[test]
+    fn human_duration_formats() {
+        assert_eq!(human_duration(0.0), "0d 0h 0m");
+        assert_eq!(human_duration(90.0), "0d 0h 2m"); // rounds
+        assert_eq!(human_duration(3_600.0), "0d 1h 0m");
+        assert_eq!(human_duration(26.5 * 3_600.0), "1d 2h 30m");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        PolitenessPolicy { requests_per_second: 0.0, ..PolitenessPolicy::default() }
+            .account(&stats(1, 0));
+    }
+
+    #[test]
+    fn paper_scale_sanity() {
+        // The paper's crawl: one week, 3 servers, ~4.5M items. At ~22
+        // comments/item and 20 records/page that's roughly 4.5M item pages
+        // + ~9.9M comment pages ≈ 14.4M requests.
+        let policy = PolitenessPolicy { requests_per_second: 8.0, workers: 3, max_host_rps: 24.0 };
+        let b = policy.account(&stats(14_400_000, 0));
+        let days = b.duration_secs / 86_400.0;
+        assert!((5.0..9.0).contains(&days), "≈one week, got {days:.1} days");
+    }
+}

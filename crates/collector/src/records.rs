@@ -1,0 +1,176 @@
+//! Record types on the public wire and in the collected dataset.
+//!
+//! [`CommentRecord`] mirrors the JSON comment record of the paper's
+//! Listing 2: item id, comment id, content, anonymized nickname,
+//! userExpValue, client information, and date. The collector aggregates
+//! records into per-item bundles ([`CollectedItem`]) that feed the CATS
+//! feature extractor.
+
+use serde::{Deserialize, Serialize};
+
+/// One comment record as served by the public site (paper Listing 2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommentRecord {
+    /// Item the comment belongs to.
+    pub item_id: u64,
+    /// Platform-wide comment id.
+    pub comment_id: u64,
+    /// The comment text.
+    pub comment_content: String,
+    /// Anonymized buyer nickname (e.g. `0***li`).
+    pub nickname: String,
+    /// The buyer's public reliability score.
+    #[serde(rename = "userExpValue")]
+    pub user_exp_value: u64,
+    /// Order client ("Web" / "Android" / "iPhone" / "Wechat").
+    pub client_information: String,
+    /// Order timestamp.
+    pub date: String,
+}
+
+/// A shop record from a shop homepage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShopRecord {
+    /// Shop id.
+    pub shop_id: u32,
+    /// Shop display name.
+    pub shop_name: String,
+    /// Shop homepage URL.
+    pub shop_url: String,
+}
+
+/// An item record from a shop's listing page.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ItemRecord {
+    /// Item id.
+    pub item_id: u64,
+    /// Owning shop id.
+    pub shop_id: u32,
+    /// Item display name.
+    pub item_name: String,
+    /// Price in cents.
+    pub price_cents: u64,
+    /// Public sales volume.
+    pub sales_volume: u64,
+}
+
+/// A collected comment (wire record minus the item id).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectedComment {
+    /// Platform-wide comment id.
+    pub comment_id: u64,
+    /// Comment text.
+    pub content: String,
+    /// Anonymized buyer nickname.
+    pub nickname: String,
+    /// Buyer reliability score.
+    pub user_exp_value: u64,
+    /// Order client.
+    pub client: String,
+    /// Order timestamp.
+    pub date: String,
+}
+
+/// An item with everything the crawl found about it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectedItem {
+    /// Item id.
+    pub item_id: u64,
+    /// Owning shop id.
+    pub shop_id: u32,
+    /// Item display name.
+    pub name: String,
+    /// Price in cents.
+    pub price_cents: u64,
+    /// Public sales volume.
+    pub sales_volume: u64,
+    /// All comments found, in crawl order, deduplicated by comment id.
+    pub comments: Vec<CollectedComment>,
+}
+
+impl CollectedItem {
+    /// Borrowed comment texts — the CATS feature-extractor input shape.
+    pub fn comment_texts(&self) -> Vec<&str> {
+        self.comments.iter().map(|c| c.content.as_str()).collect()
+    }
+}
+
+/// The full output of one crawl.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CollectedDataset {
+    /// All shops discovered.
+    pub shops: Vec<ShopRecord>,
+    /// All items with their comments, in discovery order.
+    pub items: Vec<CollectedItem>,
+}
+
+impl CollectedDataset {
+    /// Total comment count across items.
+    pub fn comment_count(&self) -> usize {
+        self.items.iter().map(|i| i.comments.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comment_record_json_shape_matches_listing2() {
+        let r = CommentRecord {
+            item_id: 545470505476,
+            comment_id: 40805023517,
+            comment_content: "zhege shangpin henhao".into(),
+            nickname: "0***li".into(),
+            user_exp_value: 100,
+            client_information: "Android".into(),
+            date: "2017-09-10 12:10:00".into(),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        // the paper's field name is userExpValue
+        assert!(json.contains("\"userExpValue\":100"), "{json}");
+        let back: CommentRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_panic() {
+        let r: Result<CommentRecord, _> = serde_json::from_str("{\"item_id\": 3");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn collected_item_texts() {
+        let it = CollectedItem {
+            item_id: 1,
+            shop_id: 2,
+            name: "n".into(),
+            price_cents: 3,
+            sales_volume: 4,
+            comments: vec![CollectedComment {
+                comment_id: 9,
+                content: "hao".into(),
+                nickname: "a***b".into(),
+                user_exp_value: 100,
+                client: "Web".into(),
+                date: "2017-09-01 00:00:00".into(),
+            }],
+        };
+        assert_eq!(it.comment_texts(), vec!["hao"]);
+    }
+
+    #[test]
+    fn dataset_comment_count_sums() {
+        let mut d = CollectedDataset::default();
+        assert_eq!(d.comment_count(), 0);
+        d.items.push(CollectedItem {
+            item_id: 0,
+            shop_id: 0,
+            name: String::new(),
+            price_cents: 0,
+            sales_volume: 0,
+            comments: vec![],
+        });
+        assert_eq!(d.comment_count(), 0);
+    }
+}

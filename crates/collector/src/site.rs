@@ -1,0 +1,334 @@
+//! Simulated public website of the platform.
+//!
+//! Serves the three page kinds the paper's crawler walks (§IV-A): shop
+//! homepages, per-shop item listings, and per-item comment pages — all
+//! paginated JSON. To exercise the collector's cleaning logic the site
+//! injects the noise a real crawl encounters:
+//!
+//! * **duplicate records** (pagination drift re-serves comments),
+//! * **malformed JSON lines** (truncated responses),
+//! * **transient errors** (HTTP-5xx equivalents that succeed on retry).
+//!
+//! Noise is deterministic in the site seed.
+
+use cats_platform::Platform;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use crate::records::{CommentRecord, ItemRecord, ShopRecord};
+
+/// Noise and pagination knobs of the simulated site.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteConfig {
+    /// Records per page.
+    pub page_size: usize,
+    /// Probability that a served comment record is a duplicate of the
+    /// previous one on the page.
+    pub duplicate_prob: f64,
+    /// Probability that a served record line is malformed JSON.
+    pub malformed_prob: f64,
+    /// Probability that a page request fails transiently.
+    pub error_prob: f64,
+    /// Seed for the noise process.
+    pub seed: u64,
+}
+
+impl Default for SiteConfig {
+    fn default() -> Self {
+        Self {
+            page_size: 20,
+            duplicate_prob: 0.02,
+            malformed_prob: 0.01,
+            error_prob: 0.02,
+            seed: 0xD00D,
+        }
+    }
+}
+
+/// A transient page-fetch failure (the HTTP-5xx stand-in).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransientError;
+
+impl std::fmt::Display for TransientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transient server error")
+    }
+}
+
+impl std::error::Error for TransientError {}
+
+/// One fetched page: raw JSON lines plus whether more pages follow.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// One JSON record per line (possibly malformed/duplicated).
+    pub lines: Vec<String>,
+    /// Whether a further page exists.
+    pub has_next: bool,
+}
+
+/// The simulated site.
+pub struct PublicSite<'a> {
+    platform: &'a Platform,
+    config: SiteConfig,
+}
+
+impl<'a> PublicSite<'a> {
+    /// Wraps `platform` behind a public web surface.
+    pub fn new(platform: &'a Platform, config: SiteConfig) -> Self {
+        Self { platform, config }
+    }
+
+    /// Number of shops (a real crawler learns this by walking pages; tests
+    /// and sanity checks use it directly).
+    pub fn shop_count(&self) -> usize {
+        self.platform.shops().len()
+    }
+
+    /// Deterministic per-request RNG: noise depends only on (seed, request
+    /// identity), so a retry of the *same* page can succeed/fail
+    /// independently while the overall process stays reproducible.
+    fn request_rng(&self, kind: u64, id: u64, page: usize, attempt: u32) -> StdRng {
+        let mix = self
+            .config
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(kind)
+            .wrapping_mul(31)
+            .wrapping_add(id)
+            .wrapping_mul(31)
+            .wrapping_add(page as u64)
+            .wrapping_mul(31)
+            .wrapping_add(u64::from(attempt));
+        StdRng::seed_from_u64(mix)
+    }
+
+    fn serve<T: serde::Serialize>(
+        &self,
+        records: &[T],
+        page: usize,
+        rng: &mut StdRng,
+    ) -> Result<Page, TransientError> {
+        if rng.random::<f64>() < self.config.error_prob {
+            return Err(TransientError);
+        }
+        let start = page * self.config.page_size;
+        let end = (start + self.config.page_size).min(records.len());
+        let mut lines = Vec::with_capacity(end.saturating_sub(start));
+        let mut prev: Option<String> = None;
+        for r in records.get(start..end).unwrap_or(&[]) {
+            let mut line = serde_json::to_string(r).expect("record serializes");
+            if rng.random::<f64>() < self.config.malformed_prob {
+                // Truncate at a char boundary: comments contain multibyte
+                // CJK punctuation.
+                let mut cut = line.len() / 2;
+                while cut > 0 && !line.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                line.truncate(cut);
+            } else if let Some(p) = &prev {
+                if rng.random::<f64>() < self.config.duplicate_prob {
+                    lines.push(p.clone());
+                }
+            }
+            prev = Some(line.clone());
+            lines.push(line);
+        }
+        Ok(Page { lines, has_next: end < records.len() })
+    }
+
+    /// Fetches one page of shop records.
+    pub fn shop_page(&self, page: usize, attempt: u32) -> Result<Page, TransientError> {
+        let records: Vec<ShopRecord> = self
+            .platform
+            .shops()
+            .iter()
+            .map(|s| ShopRecord {
+                shop_id: s.id,
+                shop_name: s.name.clone(),
+                shop_url: s.url.clone(),
+            })
+            .collect();
+        let mut rng = self.request_rng(1, 0, page, attempt);
+        self.serve(&records, page, &mut rng)
+    }
+
+    /// Fetches one page of a shop's item listing.
+    pub fn item_page(&self, shop_id: u32, page: usize, attempt: u32) -> Result<Page, TransientError> {
+        let records: Vec<ItemRecord> = self
+            .platform
+            .items()
+            .iter()
+            .filter(|i| i.shop_id == shop_id)
+            .map(|i| ItemRecord {
+                item_id: i.id,
+                shop_id: i.shop_id,
+                item_name: i.name.clone(),
+                price_cents: i.price_cents,
+                sales_volume: i.sales_volume,
+            })
+            .collect();
+        let mut rng = self.request_rng(2, u64::from(shop_id), page, attempt);
+        self.serve(&records, page, &mut rng)
+    }
+
+    /// Fetches one page of an item's comments.
+    pub fn comment_page(&self, item_id: u64, page: usize, attempt: u32) -> Result<Page, TransientError> {
+        let Some(item) = self.platform.item(item_id) else {
+            return Ok(Page { lines: Vec::new(), has_next: false });
+        };
+        let records: Vec<CommentRecord> = item
+            .comments
+            .iter()
+            .map(|c| {
+                let user = self.platform.user(c.user_id).expect("valid user id");
+                CommentRecord {
+                    item_id: item.id,
+                    comment_id: c.id,
+                    comment_content: c.content.clone(),
+                    nickname: user.nickname.clone(),
+                    user_exp_value: user.exp_value,
+                    client_information: c.client.name().to_string(),
+                    date: c.date.clone(),
+                }
+            })
+            .collect();
+        let mut rng = self.request_rng(3, item_id, page, attempt);
+        self.serve(&records, page, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cats_platform::{PlatformConfig, Platform};
+
+    fn platform() -> Platform {
+        Platform::generate(PlatformConfig {
+            seed: 5,
+            n_shops: 4,
+            n_fraud_items: 10,
+            n_normal_items: 30,
+            ..PlatformConfig::default()
+        })
+    }
+
+    fn noiseless(seed: u64) -> SiteConfig {
+        SiteConfig {
+            duplicate_prob: 0.0,
+            malformed_prob: 0.0,
+            error_prob: 0.0,
+            seed,
+            ..SiteConfig::default()
+        }
+    }
+
+    #[test]
+    fn shop_pages_cover_all_shops() {
+        let p = platform();
+        let site = PublicSite::new(&p, SiteConfig { page_size: 3, ..noiseless(1) });
+        let p0 = site.shop_page(0, 0).unwrap();
+        assert_eq!(p0.lines.len(), 3);
+        assert!(p0.has_next);
+        let p1 = site.shop_page(1, 0).unwrap();
+        assert_eq!(p1.lines.len(), 1);
+        assert!(!p1.has_next);
+    }
+
+    #[test]
+    fn item_pages_filter_by_shop() {
+        let p = platform();
+        let site = PublicSite::new(&p, noiseless(1));
+        let page = site.item_page(0, 0, 0).unwrap();
+        for line in &page.lines {
+            let r: ItemRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(r.shop_id, 0);
+        }
+    }
+
+    #[test]
+    fn comment_pages_parse_and_paginate() {
+        let p = platform();
+        let site = PublicSite::new(&p, SiteConfig { page_size: 5, ..noiseless(1) });
+        // find an item with >5 comments
+        let item = p.items().iter().find(|i| i.comments.len() > 5).expect("dense item");
+        let page0 = site.comment_page(item.id, 0, 0).unwrap();
+        assert_eq!(page0.lines.len(), 5);
+        assert!(page0.has_next);
+        let r: CommentRecord = serde_json::from_str(&page0.lines[0]).unwrap();
+        assert_eq!(r.item_id, item.id);
+        assert!(!r.nickname.is_empty());
+    }
+
+    #[test]
+    fn unknown_item_serves_empty_page() {
+        let p = platform();
+        let site = PublicSite::new(&p, noiseless(1));
+        let page = site.comment_page(999_999, 0, 0).unwrap();
+        assert!(page.lines.is_empty());
+        assert!(!page.has_next);
+    }
+
+    #[test]
+    fn noise_injects_malformed_and_duplicate_lines() {
+        let p = platform();
+        let site = PublicSite::new(
+            &p,
+            SiteConfig {
+                duplicate_prob: 0.5,
+                malformed_prob: 0.3,
+                error_prob: 0.0,
+                page_size: 50,
+                seed: 2,
+            },
+        );
+        let mut malformed = 0;
+        let mut total = 0;
+        for item in p.items().iter().take(20) {
+            let page = site.comment_page(item.id, 0, 0).unwrap();
+            for line in &page.lines {
+                total += 1;
+                if serde_json::from_str::<CommentRecord>(line).is_err() {
+                    malformed += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(malformed > 0, "expected some malformed lines");
+    }
+
+    #[test]
+    fn transient_errors_happen_and_retries_can_succeed() {
+        let p = platform();
+        let site = PublicSite::new(
+            &p,
+            SiteConfig { error_prob: 0.5, ..noiseless(3) },
+        );
+        let mut failures = 0;
+        let mut recovered = 0;
+        for page in 0..40 {
+            if site.shop_page(page % 2, page as u32).is_err() {
+                failures += 1;
+                // a different attempt number re-rolls the noise
+                for attempt in 1..10 {
+                    if site.shop_page(page % 2, attempt + 100 + page as u32).is_ok() {
+                        recovered += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(failures > 0, "expected transient failures at p=0.5");
+        assert!(recovered > 0, "retries should eventually succeed");
+    }
+
+    #[test]
+    fn requests_are_deterministic_per_attempt() {
+        let p = platform();
+        let site = PublicSite::new(&p, SiteConfig { error_prob: 0.3, ..noiseless(4) });
+        let a = site.shop_page(0, 7).map(|pg| pg.lines);
+        let b = site.shop_page(0, 7).map(|pg| pg.lines);
+        assert_eq!(a.is_ok(), b.is_ok());
+        if let (Ok(a), Ok(b)) = (a, b) {
+            assert_eq!(a, b);
+        }
+    }
+}

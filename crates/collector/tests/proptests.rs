@@ -1,0 +1,100 @@
+//! Property-based tests for the collector: across arbitrary seeds and
+//! noise levels, the crawl obeys its cleaning invariants.
+
+use cats_collector::{Collector, CollectorConfig, PublicSite, SiteConfig};
+use cats_platform::{Platform, PlatformConfig};
+use proptest::prelude::*;
+
+fn platform(seed: u64) -> Platform {
+    Platform::generate(PlatformConfig {
+        seed,
+        n_shops: 3,
+        n_fraud_items: 4,
+        n_normal_items: 12,
+        users: cats_platform::campaign::UserPopulationConfig {
+            n_users: 300,
+            hired_fraction: 0.05,
+        },
+        ..PlatformConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn crawl_invariants_under_noise(
+        seed in any::<u64>(),
+        dup in 0.0f64..0.3,
+        malformed in 0.0f64..0.2,
+        err in 0.0f64..0.2,
+    ) {
+        let p = platform(seed);
+        let site = PublicSite::new(
+            &p,
+            SiteConfig {
+                duplicate_prob: dup,
+                malformed_prob: malformed,
+                error_prob: err,
+                seed: seed.wrapping_add(1),
+                page_size: 7,
+            },
+        );
+        let mut c = Collector::new(CollectorConfig::default());
+        let data = c.crawl(&site);
+
+        // Never invents entities.
+        prop_assert!(data.shops.len() <= p.shops().len());
+        prop_assert!(data.items.len() <= p.items().len());
+        prop_assert!(data.comment_count() <= p.comment_count());
+
+        // Every collected item maps to a real one with matching metadata.
+        for item in &data.items {
+            let truth = p.item(item.item_id).expect("item exists");
+            prop_assert_eq!(item.sales_volume, truth.sales_volume);
+            prop_assert!(item.comments.len() <= truth.comments.len());
+        }
+
+        // Comment ids globally unique (dedup worked).
+        let mut ids: Vec<u64> = data
+            .items
+            .iter()
+            .flat_map(|i| i.comments.iter().map(|c| c.comment_id))
+            .collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n);
+
+        // Stats are consistent: without noise, nothing is dropped.
+        let stats = c.stats();
+        if malformed == 0.0 {
+            prop_assert_eq!(stats.malformed_records, 0);
+        }
+        if dup == 0.0 && malformed == 0.0 {
+            prop_assert_eq!(stats.duplicate_records, 0);
+        }
+        if err == 0.0 {
+            prop_assert_eq!(stats.transient_errors, 0);
+            prop_assert_eq!(stats.pages_abandoned, 0);
+        }
+    }
+
+    #[test]
+    fn max_items_is_respected(seed in any::<u64>(), cap in 1usize..10) {
+        let p = platform(seed);
+        let site = PublicSite::new(
+            &p,
+            SiteConfig {
+                duplicate_prob: 0.0,
+                malformed_prob: 0.0,
+                error_prob: 0.0,
+                seed,
+                ..SiteConfig::default()
+            },
+        );
+        let mut c = Collector::new(CollectorConfig { max_items: cap, ..CollectorConfig::default() });
+        let data = c.crawl(&site);
+        prop_assert!(data.items.len() <= cap);
+    }
+}

@@ -1,0 +1,351 @@
+//! The two-stage detector (paper §II-B).
+//!
+//! **Stage 1 — rule filter.** "It filters part of the items according to
+//! some rules, e.g., filtering the e-commerce items, of which the sales
+//! volumes are less than 5, and filtering the e-commerce items which
+//! contain no positive n-grams or words." Filtered items are never
+//! classified (they are reported as normal).
+//!
+//! **Stage 2 — binary classifier.** A pluggable
+//! [`cats_ml::Classifier`] over the 11-feature rows; the default is the
+//! gradient-boosted-tree model that won Table III.
+
+use crate::features::{extract_batch, FeatureVector, ItemComments, N_FEATURES};
+use crate::semantic::SemanticAnalyzer;
+use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
+use cats_ml::{Classifier, Dataset};
+use serde::{Deserialize, Serialize};
+
+/// Rule-filter and decision-threshold configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Items below this sales volume are filtered out (paper: 5).
+    pub min_sales_volume: u64,
+    /// Items whose comments contain no positive words and no positive
+    /// 2-grams are filtered out.
+    pub require_positive_evidence: bool,
+    /// Classification threshold on the fraud score.
+    pub threshold: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self { min_sales_volume: 5, require_positive_evidence: true, threshold: 0.5 }
+    }
+}
+
+/// Why stage 1 kept or dropped an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterDecision {
+    /// Passed both rules; scored by the classifier.
+    Classified,
+    /// Dropped: sales volume below the minimum.
+    FilteredLowSales,
+    /// Dropped: no positive words or positive 2-grams in any comment.
+    FilteredNoPositiveEvidence,
+}
+
+/// Per-item detection outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// Position of the item in the input batch.
+    pub index: usize,
+    /// Stage-1 outcome.
+    pub filter: FilterDecision,
+    /// Fraud score in \[0,1\]; 0 for filtered items.
+    pub score: f64,
+    /// Final verdict: reported as fraud?
+    pub is_fraud: bool,
+    /// The extracted features (present for classified items).
+    pub features: Option<FeatureVector>,
+}
+
+/// The CATS detector: rule filter + trained classifier.
+pub struct Detector {
+    config: DetectorConfig,
+    classifier: Box<dyn Classifier>,
+    fitted: bool,
+}
+
+impl Detector {
+    /// A detector with the paper's default GBT classifier.
+    pub fn with_default_classifier(config: DetectorConfig) -> Self {
+        Self::new(config, Box::new(GradientBoostedTrees::new(GbtConfig::default())))
+    }
+
+    /// A detector with a custom stage-2 classifier.
+    pub fn new(config: DetectorConfig, classifier: Box<dyn Classifier>) -> Self {
+        Self { config, classifier, fitted: false }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> DetectorConfig {
+        self.config
+    }
+
+    /// Whether [`Detector::fit`] has run.
+    pub fn is_fit(&self) -> bool {
+        self.fitted
+    }
+
+    /// Stage-2 classifier name.
+    pub fn classifier_name(&self) -> &'static str {
+        self.classifier.name()
+    }
+
+    /// Marks the detector as fitted — for wiring in a classifier that was
+    /// trained elsewhere (e.g. restored from a serialized snapshot).
+    pub fn mark_fitted(&mut self) {
+        self.fitted = true;
+    }
+
+    /// Adjusts the decision threshold — used to move the trained detector
+    /// to a different operating point (e.g. one calibrated on a holdout,
+    /// or the high-precision deployment point) without refitting.
+    pub fn set_threshold(&mut self, threshold: f64) {
+        assert!((0.0..=1.0).contains(&threshold), "threshold in [0,1]");
+        self.config.threshold = threshold;
+    }
+
+    /// Applies the stage-1 rules to one item.
+    pub fn filter_item(
+        &self,
+        sales_volume: u64,
+        item: &ItemComments,
+        analyzer: &SemanticAnalyzer,
+    ) -> FilterDecision {
+        if sales_volume < self.config.min_sales_volume {
+            return FilterDecision::FilteredLowSales;
+        }
+        if self.config.require_positive_evidence {
+            let lex = analyzer.lexicon();
+            let has_evidence = item.tokens.iter().any(|toks| {
+                lex.positive_count(toks) > 0
+                    || cats_text::ngram::positive_bigram_count(toks, lex) > 0
+            });
+            if !has_evidence {
+                return FilterDecision::FilteredNoPositiveEvidence;
+            }
+        }
+        FilterDecision::Classified
+    }
+
+    /// Trains the stage-2 classifier on labeled feature rows.
+    pub fn fit_features(&mut self, rows: &[FeatureVector], labels: &[u8]) {
+        assert_eq!(rows.len(), labels.len(), "rows/labels mismatch");
+        let mut data = Dataset::new(N_FEATURES);
+        for (r, &l) in rows.iter().zip(labels) {
+            data.push(r.as_slice(), l);
+        }
+        self.classifier.fit(&data);
+        self.fitted = true;
+    }
+
+    /// Trains from labeled items: extracts features (in parallel) then
+    /// fits. Filtered-out items still participate in training — the paper
+    /// pre-trains on a labeled dataset without re-filtering it.
+    pub fn fit(
+        &mut self,
+        items: &[ItemComments],
+        labels: &[u8],
+        analyzer: &SemanticAnalyzer,
+    ) {
+        let rows = extract_batch(items, analyzer, 0);
+        self.fit_features(&rows, labels);
+    }
+
+    /// Runs both stages over a batch, producing one report per item.
+    ///
+    /// # Panics
+    /// Panics if the detector has not been fit, or if
+    /// `sales_volumes.len() != items.len()`.
+    pub fn detect(
+        &self,
+        items: &[ItemComments],
+        sales_volumes: &[u64],
+        analyzer: &SemanticAnalyzer,
+    ) -> Vec<DetectionReport> {
+        assert!(self.fitted, "detect before fit");
+        assert_eq!(items.len(), sales_volumes.len(), "items/sales mismatch");
+
+        // Stage 1.
+        let decisions: Vec<FilterDecision> = items
+            .iter()
+            .zip(sales_volumes)
+            .map(|(it, &sv)| self.filter_item(sv, it, analyzer))
+            .collect();
+
+        // Stage 2: features only for survivors.
+        let survivors: Vec<usize> = (0..items.len())
+            .filter(|&i| decisions[i] == FilterDecision::Classified)
+            .collect();
+        let survivor_items: Vec<ItemComments> =
+            survivors.iter().map(|&i| items[i].clone()).collect();
+        let rows = extract_batch(&survivor_items, analyzer, 0);
+
+        let mut reports: Vec<DetectionReport> = decisions
+            .iter()
+            .enumerate()
+            .map(|(index, &filter)| DetectionReport {
+                index,
+                filter,
+                score: 0.0,
+                is_fraud: false,
+                features: None,
+            })
+            .collect();
+        for (&i, row) in survivors.iter().zip(rows) {
+            let score = self.classifier.predict_proba(row.as_slice());
+            reports[i].score = score;
+            reports[i].is_fraud = score >= self.config.threshold;
+            reports[i].features = Some(row);
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cats_sentiment::SentimentModel;
+    use cats_text::Lexicon;
+
+    fn analyzer() -> SemanticAnalyzer {
+        let lex = Lexicon::new(["hao".to_string()], ["cha".to_string()]);
+        let docs = |texts: &[&str]| -> Vec<Vec<String>> {
+            texts
+                .iter()
+                .map(|t| t.split_whitespace().map(String::from).collect())
+                .collect()
+        };
+        let sent = SentimentModel::train(&docs(&["hao hao"]), &docs(&["cha cha"]));
+        SemanticAnalyzer::from_parts(lex, sent)
+    }
+
+    /// Fraud-looking item: positive-saturated repetitive comments.
+    fn fraud_item(i: usize) -> ItemComments {
+        ItemComments::from_texts([
+            format!("hao hao hao ! zhen hao w{i} ， hao hao x y z hao").as_str(),
+            "hen hao hao ！ hao hao feichang hao hao hao",
+        ])
+    }
+
+    /// Normal-looking item: short mixed comments.
+    fn normal_item(i: usize) -> ItemComments {
+        ItemComments::from_texts([
+            format!("shu hao kan w{i}").as_str(),
+            "dongxi cha le dian",
+        ])
+    }
+
+    fn trained_detector(a: &SemanticAnalyzer) -> Detector {
+        let mut items = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            items.push(fraud_item(i));
+            labels.push(1);
+            items.push(normal_item(i));
+            labels.push(0);
+        }
+        let mut det = Detector::with_default_classifier(DetectorConfig::default());
+        det.fit(&items, &labels, a);
+        det
+    }
+
+    #[test]
+    fn filter_drops_low_sales() {
+        let a = analyzer();
+        let det = Detector::with_default_classifier(DetectorConfig::default());
+        let item = fraud_item(0);
+        assert_eq!(det.filter_item(4, &item, &a), FilterDecision::FilteredLowSales);
+        assert_eq!(det.filter_item(5, &item, &a), FilterDecision::Classified);
+    }
+
+    #[test]
+    fn filter_drops_items_without_positive_evidence() {
+        let a = analyzer();
+        let det = Detector::with_default_classifier(DetectorConfig::default());
+        let bare = ItemComments::from_texts(["cha dongxi", "x y z"]);
+        assert_eq!(
+            det.filter_item(100, &bare, &a),
+            FilterDecision::FilteredNoPositiveEvidence
+        );
+        let cfg = DetectorConfig { require_positive_evidence: false, ..DetectorConfig::default() };
+        let det2 = Detector::with_default_classifier(cfg);
+        assert_eq!(det2.filter_item(100, &bare, &a), FilterDecision::Classified);
+    }
+
+    #[test]
+    fn detector_learns_to_separate() {
+        let a = analyzer();
+        let det = trained_detector(&a);
+        let items = vec![fraud_item(99), normal_item(99)];
+        let reports = det.detect(&items, &[50, 50], &a);
+        assert!(reports[0].is_fraud, "score {}", reports[0].score);
+        assert!(!reports[1].is_fraud, "score {}", reports[1].score);
+        assert!(reports[0].features.is_some());
+    }
+
+    #[test]
+    fn filtered_items_are_not_scored() {
+        let a = analyzer();
+        let det = trained_detector(&a);
+        let items = vec![fraud_item(1)];
+        let reports = det.detect(&items, &[2], &a);
+        assert_eq!(reports[0].filter, FilterDecision::FilteredLowSales);
+        assert!(!reports[0].is_fraud);
+        assert_eq!(reports[0].score, 0.0);
+        assert!(reports[0].features.is_none());
+    }
+
+    #[test]
+    fn reports_preserve_input_order() {
+        let a = analyzer();
+        let det = trained_detector(&a);
+        let items = vec![normal_item(1), fraud_item(2), normal_item(3)];
+        let reports = det.detect(&items, &[50, 50, 50], &a);
+        assert_eq!(reports.len(), 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.index, i);
+        }
+        assert!(reports[1].is_fraud);
+    }
+
+    #[test]
+    fn threshold_shifts_verdicts() {
+        let a = analyzer();
+        let mut permissive = Detector::with_default_classifier(DetectorConfig {
+            threshold: 0.0,
+            ..DetectorConfig::default()
+        });
+        let mut items = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            items.push(fraud_item(i));
+            labels.push(1);
+            items.push(normal_item(i));
+            labels.push(0);
+        }
+        permissive.fit(&items, &labels, &a);
+        let reports = permissive.detect(&[normal_item(7)], &[50], &a);
+        assert!(reports[0].is_fraud, "threshold 0 reports everything classified");
+    }
+
+    #[test]
+    #[should_panic(expected = "detect before fit")]
+    fn detect_before_fit_panics() {
+        let a = analyzer();
+        let det = Detector::with_default_classifier(DetectorConfig::default());
+        det.detect(&[fraud_item(0)], &[10], &a);
+    }
+
+    #[test]
+    fn custom_classifier_is_used() {
+        use cats_ml::naive_bayes::GaussianNaiveBayes;
+        let det = Detector::new(
+            DetectorConfig::default(),
+            Box::new(GaussianNaiveBayes::new()),
+        );
+        assert_eq!(det.classifier_name(), "Naive Bayes");
+    }
+}

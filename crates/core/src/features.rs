@@ -1,0 +1,339 @@
+//! The feature extractor: the 11 features of Table II.
+//!
+//! Given an item's comments (segmented), computes:
+//!
+//! | # | name | definition |
+//! |---|------|------------|
+//! | 0 | `averagePositiveNumber` | mean count of *P*-words per comment |
+//! | 1 | `averagePositive/NegativeNumber` | mean of `abs(#P − #N)` per comment |
+//! | 2 | `uniqueWordRatio` | distinct words / total words over all comments |
+//! | 3 | `averageSentiment` | mean sentiment score of the comments |
+//! | 4 | `averageCommentEntropy` | mean token entropy per comment |
+//! | 5 | `averageCommentLength` | mean character length per comment |
+//! | 6 | `sumCommentLength` | total character length of all comments |
+//! | 7 | `sumPunctuationNumber` | total punctuation tokens |
+//! | 8 | `averagePunctuationRatio` | mean punctuation ratio per comment |
+//! | 9 | `averageNgramNumber` | mean count of positive 2-grams per comment |
+//! | 10 | `averageNgramRatio` | mean ratio of positive 2-grams per comment |
+//!
+//! Batch extraction is parallel across items via scoped threads — the
+//! paper notes its extractor "is implemented in a parallelized style for
+//! fast processing".
+
+use crate::semantic::SemanticAnalyzer;
+use cats_text::{ngram, stats, Segmenter, WhitespaceSegmenter};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Number of features (Table II).
+pub const N_FEATURES: usize = 11;
+
+/// Feature display names, in vector order.
+pub const FEATURE_NAMES: [&str; N_FEATURES] = [
+    "averagePositiveNumber",
+    "averagePositive/NegativeNumber",
+    "uniqueWordRatio",
+    "averageSentiment",
+    "averageCommentEntropy",
+    "averageCommentLength",
+    "sumCommentLength",
+    "sumPunctuationNumber",
+    "averagePunctuationRatio",
+    "averageNgramNumber",
+    "averageNgramRatio",
+];
+
+/// One item's feature row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector(pub [f64; N_FEATURES]);
+
+impl FeatureVector {
+    /// The row as a slice (classifier input shape).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Named access by Table II name; `None` for unknown names.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        FEATURE_NAMES.iter().position(|&n| n == name).map(|i| self.0[i])
+    }
+}
+
+/// An item's comments, pre-segmented — the extractor's input unit.
+#[derive(Debug, Clone, Default)]
+pub struct ItemComments {
+    /// Raw comment texts.
+    pub texts: Vec<String>,
+    /// Segmentation results, parallel to `texts`.
+    pub tokens: Vec<Vec<String>>,
+}
+
+impl ItemComments {
+    /// Segments raw comment texts with the default whitespace segmenter.
+    pub fn from_texts<'a, I: IntoIterator<Item = &'a str>>(texts: I) -> Self {
+        Self::from_texts_with(texts, &WhitespaceSegmenter)
+    }
+
+    /// Segments raw comment texts with an explicit segmenter — e.g. a
+    /// `cats_text::DictSegmenter` for delimiter-free (Chinese-style)
+    /// platforms. Swapping the segmenter is the only change required to
+    /// point CATS at a platform with a different comment orthography.
+    pub fn from_texts_with<'a, I: IntoIterator<Item = &'a str>>(
+        texts: I,
+        segmenter: &impl Segmenter,
+    ) -> Self {
+        let mut out = Self::default();
+        for t in texts {
+            out.tokens.push(segmenter.segment(t));
+            out.texts.push(t.to_owned());
+        }
+        out
+    }
+
+    /// Number of comments.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Whether the item has no comments.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+}
+
+/// Extracts the 11-feature row for one item.
+///
+/// An item with zero comments yields the natural zero/neutral values
+/// (sentiment 0.5, uniqueWordRatio 1.0, everything else 0) — the detector
+/// filters such items out before classification anyway.
+pub fn extract(item: &ItemComments, analyzer: &SemanticAnalyzer) -> FeatureVector {
+    let n = item.len();
+    if n == 0 {
+        let mut v = [0.0; N_FEATURES];
+        v[2] = 1.0; // uniqueWordRatio of nothing
+        v[3] = 0.5; // neutral sentiment
+        return FeatureVector(v);
+    }
+    let nf = n as f64;
+    let lex = analyzer.lexicon();
+
+    let mut sum_pos = 0.0;
+    let mut sum_pos_neg_diff = 0.0;
+    let mut distinct: HashSet<&str> = HashSet::new();
+    let mut total_words = 0usize;
+    let mut sum_sentiment = 0.0;
+    let mut sum_entropy = 0.0;
+    let mut sum_chars = 0usize;
+    let mut sum_punct = 0usize;
+    let mut sum_punct_ratio = 0.0;
+    let mut sum_ngram = 0.0;
+    let mut sum_ngram_ratio = 0.0;
+
+    for (text, toks) in item.texts.iter().zip(&item.tokens) {
+        sum_pos += lex.positive_count(toks) as f64;
+        sum_pos_neg_diff += lex.positive_negative_diff(toks) as f64;
+        for t in toks {
+            distinct.insert(t.as_str());
+        }
+        total_words += toks.len();
+        sum_sentiment += analyzer.sentiment().score(toks);
+        let st = stats::CommentStats::compute(text, toks);
+        sum_entropy += st.entropy;
+        sum_chars += st.chars;
+        sum_punct += st.punctuation;
+        sum_punct_ratio += st.punctuation_ratio;
+        sum_ngram += ngram::positive_bigram_count(toks, lex) as f64;
+        sum_ngram_ratio += ngram::positive_bigram_ratio(toks, lex);
+    }
+
+    FeatureVector([
+        sum_pos / nf,
+        sum_pos_neg_diff / nf,
+        if total_words == 0 { 1.0 } else { distinct.len() as f64 / total_words as f64 },
+        sum_sentiment / nf,
+        sum_entropy / nf,
+        sum_chars as f64 / nf,
+        sum_chars as f64,
+        sum_punct as f64,
+        sum_punct_ratio / nf,
+        sum_ngram / nf,
+        sum_ngram_ratio / nf,
+    ])
+}
+
+/// Parallel batch extraction: one feature row per item, order-preserving.
+///
+/// Splits the items across `n_threads` scoped threads (clamped to the item
+/// count; 0 means "use available parallelism").
+pub fn extract_batch(
+    items: &[ItemComments],
+    analyzer: &SemanticAnalyzer,
+    n_threads: usize,
+) -> Vec<FeatureVector> {
+    let n_threads = if n_threads == 0 {
+        std::thread::available_parallelism().map_or(4, usize::from)
+    } else {
+        n_threads
+    }
+    .clamp(1, items.len().max(1));
+
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if n_threads == 1 {
+        return items.iter().map(|it| extract(it, analyzer)).collect();
+    }
+
+    let chunk = items.len().div_ceil(n_threads);
+    let mut out: Vec<Option<Vec<FeatureVector>>> = vec![None; n_threads];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, slot) in items.chunks(chunk).zip(out.iter_mut()) {
+            handles.push(scope.spawn(move || {
+                *slot = Some(t.iter().map(|it| extract(it, analyzer)).collect());
+            }));
+        }
+        for h in handles {
+            h.join().expect("extraction thread panicked");
+        }
+    });
+    out.into_iter().flatten().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cats_sentiment::SentimentModel;
+    use cats_text::Lexicon;
+
+    fn analyzer() -> SemanticAnalyzer {
+        let lex = Lexicon::new(
+            ["hao".to_string(), "zan".to_string()],
+            ["cha".to_string()],
+        );
+        let docs = |texts: &[&str]| -> Vec<Vec<String>> {
+            texts
+                .iter()
+                .map(|t| t.split_whitespace().map(String::from).collect())
+                .collect()
+        };
+        let sent = SentimentModel::train(
+            &docs(&["hao zan hao", "zan zan hao"]),
+            &docs(&["cha cha", "cha zaogao"]),
+        );
+        SemanticAnalyzer::from_parts(lex, sent)
+    }
+
+    #[test]
+    fn feature_names_match_count() {
+        assert_eq!(FEATURE_NAMES.len(), N_FEATURES);
+        let v = FeatureVector([0.0; N_FEATURES]);
+        assert_eq!(v.as_slice().len(), N_FEATURES);
+    }
+
+    #[test]
+    fn named_access() {
+        let mut raw = [0.0; N_FEATURES];
+        raw[6] = 42.0;
+        let v = FeatureVector(raw);
+        assert_eq!(v.get("sumCommentLength"), Some(42.0));
+        assert_eq!(v.get("nonsense"), None);
+    }
+
+    #[test]
+    fn word_level_features_count_lexicon_hits() {
+        let a = analyzer();
+        // comment 1: "hao hao cha" → pos 2, |2-1|=1
+        // comment 2: "zan x" → pos 1, |1-0|=1
+        let item = ItemComments::from_texts(["hao hao cha", "zan x"]);
+        let v = extract(&item, &a);
+        assert!((v.get("averagePositiveNumber").unwrap() - 1.5).abs() < 1e-12);
+        assert!((v.get("averagePositive/NegativeNumber").unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unique_word_ratio_is_global_over_item() {
+        let a = analyzer();
+        // words: hao, hao | hao → 1 distinct / 3 total
+        let item = ItemComments::from_texts(["hao hao", "hao"]);
+        let v = extract(&item, &a);
+        assert!((v.get("uniqueWordRatio").unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_features_sum_and_average() {
+        let a = analyzer();
+        let item = ItemComments::from_texts(["abcd ef", "gh"]);
+        let v = extract(&item, &a);
+        // chars (no whitespace): 6 and 2
+        assert!((v.get("averageCommentLength").unwrap() - 4.0).abs() < 1e-12);
+        assert!((v.get("sumCommentLength").unwrap() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn punctuation_features() {
+        let a = analyzer();
+        let item = ItemComments::from_texts(["hao ! !", "x"]);
+        let v = extract(&item, &a);
+        assert!((v.get("sumPunctuationNumber").unwrap() - 2.0).abs() < 1e-12);
+        // ratios: 2/3 and 0 → mean 1/3
+        assert!((v.get("averagePunctuationRatio").unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ngram_features_count_positive_bigrams() {
+        let a = analyzer();
+        // "hen hao zan": bigrams (hen,hao)+, (hao,zan)+ → count 2, ratio 1.0
+        // "x y": none → 0, 0
+        let item = ItemComments::from_texts(["hen hao zan", "x y"]);
+        let v = extract(&item, &a);
+        assert!((v.get("averageNgramNumber").unwrap() - 1.0).abs() < 1e-12);
+        assert!((v.get("averageNgramRatio").unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sentiment_feature_averages_comment_scores() {
+        let a = analyzer();
+        let item = ItemComments::from_texts(["hao zan", "cha cha"]);
+        let v = extract(&item, &a);
+        let s1 = a.sentiment().score(&item.tokens[0]);
+        let s2 = a.sentiment().score(&item.tokens[1]);
+        assert!((v.get("averageSentiment").unwrap() - (s1 + s2) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_item_yields_neutral_row() {
+        let a = analyzer();
+        let v = extract(&ItemComments::default(), &a);
+        assert_eq!(v.get("uniqueWordRatio"), Some(1.0));
+        assert_eq!(v.get("averageSentiment"), Some(0.5));
+        assert_eq!(v.get("sumCommentLength"), Some(0.0));
+    }
+
+    #[test]
+    fn all_features_finite() {
+        let a = analyzer();
+        let item = ItemComments::from_texts(["hao ， zan cha ! hao", "", "x"]);
+        let v = extract(&item, &a);
+        assert!(v.as_slice().iter().all(|x| x.is_finite()), "{v:?}");
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_preserves_order() {
+        let a = analyzer();
+        let items: Vec<ItemComments> = (0..37)
+            .map(|i| ItemComments::from_texts([format!("hao w{i} zan").as_str(), "cha x"]))
+            .collect();
+        let seq: Vec<FeatureVector> = items.iter().map(|it| extract(it, &a)).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = extract_batch(&items, &a, threads);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batch_on_empty_input() {
+        let a = analyzer();
+        assert!(extract_batch(&[], &a, 4).is_empty());
+    }
+}

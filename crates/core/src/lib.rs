@@ -1,0 +1,35 @@
+//! # cats-core — the Cross-platform Anti-fraud System
+//!
+//! The paper's primary contribution: a third-party fraud-item detector
+//! that consumes only public e-commerce data. Architecture (Fig 6):
+//!
+//! ```text
+//!  data collector ─▶ semantic analyzer ─▶ feature extractor ─▶ detector
+//!  (cats-collector)  (word2vec+sentiment)  (11 features)    (filter+classifier)
+//! ```
+//!
+//! * [`semantic`] — the semantic analyzer: trains a word2vec model over a
+//!   comment corpus, expands seed words into the positive/negative
+//!   lexicon (Table I), and hosts the sentiment model.
+//! * [`features`] — the feature extractor: the 11 platform-independent
+//!   features of Table II, computed per item from its comments, with a
+//!   parallel batch path ("implemented in a parallelized style for fast
+//!   processing").
+//! * [`detector`] — the two-stage detector: rule filter (sales volume and
+//!   positive-evidence gates) followed by a pluggable binary classifier
+//!   (GBT by default, per Table III).
+//! * [`pipeline`] — end-to-end orchestration: train on a labeled corpus,
+//!   detect over item streams, evaluate against ground truth (Table VI),
+//!   and serialize/deserialize trained detectors.
+
+pub mod detector;
+pub mod features;
+pub mod pipeline;
+pub mod report;
+pub mod semantic;
+
+pub use detector::{DetectionReport, Detector, DetectorConfig, FilterDecision};
+pub use features::{FeatureVector, ItemComments, FEATURE_NAMES, N_FEATURES};
+pub use pipeline::{CatsPipeline, EvaluationSlices, PipelineConfig};
+pub use report::DetectionSummary;
+pub use semantic::{SemanticAnalyzer, SemanticConfig};

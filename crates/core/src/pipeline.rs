@@ -1,0 +1,402 @@
+//! End-to-end CATS pipeline: train once, detect anywhere.
+//!
+//! Wires the semantic analyzer, feature extractor and detector into the
+//! paper's deployment story: pre-train on a labeled dataset (D0), then
+//! run on any platform's public data (D1, E-platform) without retraining
+//! — the cross-platform property under evaluation in §III–IV. Also hosts
+//! the Table VI evaluation slicing (overall frauds vs sufficient-evidence
+//! frauds) and detector persistence.
+
+use crate::detector::{DetectionReport, Detector, DetectorConfig};
+use crate::features::ItemComments;
+use crate::semantic::{SemanticAnalyzer, SemanticConfig};
+use cats_ml::metrics::BinaryMetrics;
+use cats_ml::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// Pipeline construction knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineConfig {
+    /// Semantic-analyzer training configuration.
+    pub semantic: SemanticConfig,
+    /// Detector configuration.
+    pub detector: DetectorConfig,
+}
+
+/// One labeled training example for the pipeline.
+#[derive(Debug, Clone)]
+pub struct LabeledItem {
+    /// The item's comments.
+    pub comments: ItemComments,
+    /// 1 = fraud, 0 = normal.
+    pub label: u8,
+}
+
+/// A trained CATS instance.
+pub struct CatsPipeline {
+    analyzer: SemanticAnalyzer,
+    detector: Detector,
+}
+
+impl CatsPipeline {
+    /// Trains the full system:
+    ///
+    /// * the semantic analyzer from `corpus_texts` (word2vec + expansion)
+    ///   and the labeled sentiment review corpora;
+    /// * the detector's classifier from `training_items`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train(
+        corpus_texts: &[&str],
+        positive_seeds: &[String],
+        negative_seeds: &[String],
+        sentiment_positive: &[&str],
+        sentiment_negative: &[&str],
+        training_items: &[LabeledItem],
+        classifier: Option<Box<dyn Classifier>>,
+        config: PipelineConfig,
+    ) -> Self {
+        let analyzer = SemanticAnalyzer::train(
+            corpus_texts,
+            positive_seeds,
+            negative_seeds,
+            sentiment_positive,
+            sentiment_negative,
+            config.semantic,
+        );
+        let mut detector = match classifier {
+            Some(c) => Detector::new(config.detector, c),
+            None => Detector::with_default_classifier(config.detector),
+        };
+        let items: Vec<ItemComments> =
+            training_items.iter().map(|l| l.comments.clone()).collect();
+        let labels: Vec<u8> = training_items.iter().map(|l| l.label).collect();
+        detector.fit(&items, &labels, &analyzer);
+        Self { analyzer, detector }
+    }
+
+    /// Builds a pipeline from a pre-trained analyzer and detector.
+    pub fn from_parts(analyzer: SemanticAnalyzer, detector: Detector) -> Self {
+        Self { analyzer, detector }
+    }
+
+    /// The semantic analyzer.
+    pub fn analyzer(&self) -> &SemanticAnalyzer {
+        &self.analyzer
+    }
+
+    /// The detector.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Mutable access to the detector (e.g. for threshold recalibration).
+    pub fn detector_mut(&mut self) -> &mut Detector {
+        &mut self.detector
+    }
+
+    /// Detects frauds in a batch of items (with their public sales
+    /// volumes).
+    pub fn detect(&self, items: &[ItemComments], sales: &[u64]) -> Vec<DetectionReport> {
+        self.detector.detect(items, sales, &self.analyzer)
+    }
+
+    /// Evaluates predictions against ground-truth labels, overall.
+    pub fn evaluate(reports: &[DetectionReport], labels: &[u8]) -> BinaryMetrics {
+        let preds: Vec<bool> = reports.iter().map(|r| r.is_fraud).collect();
+        BinaryMetrics::compute(labels, &preds)
+    }
+}
+
+/// Table VI slices: the paper reports metrics for "the overall fraud
+/// items" and separately for "fraud items labeled with sufficient
+/// evidences" (recall restricted to that slice; precision is shared
+/// because the detector emits one report list).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvaluationSlices {
+    /// Metrics against all fraud labels.
+    pub overall: BinaryMetrics,
+    /// Metrics where only sufficient-evidence frauds count as positive;
+    /// expert-labeled frauds are excluded from the evaluation set (they
+    /// are neither positives nor negatives in this slice).
+    pub sufficient_evidence: BinaryMetrics,
+}
+
+/// Label provenance for slicing (mirrors `cats_platform::ItemLabel`
+/// without depending on the platform crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LabelKind {
+    /// Fraud backed by transaction evidence.
+    FraudSufficient,
+    /// Fraud identified by expert analysis.
+    FraudExpert,
+    /// Normal item.
+    Normal,
+}
+
+impl EvaluationSlices {
+    /// Computes both Table VI rows from reports plus label provenance.
+    pub fn compute(reports: &[DetectionReport], kinds: &[LabelKind]) -> Self {
+        assert_eq!(reports.len(), kinds.len(), "reports/labels mismatch");
+        let preds: Vec<bool> = reports.iter().map(|r| r.is_fraud).collect();
+
+        let overall_labels: Vec<u8> = kinds
+            .iter()
+            .map(|k| u8::from(!matches!(k, LabelKind::Normal)))
+            .collect();
+        let overall = BinaryMetrics::compute(&overall_labels, &preds);
+
+        // Sufficient-evidence slice: drop expert-labeled frauds entirely.
+        let keep: Vec<usize> = kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| !matches!(k, LabelKind::FraudExpert))
+            .map(|(i, _)| i)
+            .collect();
+        let se_labels: Vec<u8> = keep
+            .iter()
+            .map(|&i| u8::from(matches!(kinds[i], LabelKind::FraudSufficient)))
+            .collect();
+        let se_preds: Vec<bool> = keep.iter().map(|&i| preds[i]).collect();
+        let sufficient_evidence = BinaryMetrics::compute(&se_labels, &se_preds);
+
+        Self { overall, sufficient_evidence }
+    }
+}
+
+/// Picks the decision threshold at the *balanced* operating point —
+/// where precision is closest to recall (ties broken by higher F1) —
+/// from scored reports against holdout labels. This is the calibration a
+/// production deployment runs on a labeled validation slice before
+/// applying the detector to an unlabeled platform.
+///
+/// Returns the default threshold 0.5 when the holdout has no usable
+/// signal (no positive labels or no scored items).
+pub fn calibrate_balanced_threshold(reports: &[DetectionReport], labels: &[u8]) -> f64 {
+    assert_eq!(reports.len(), labels.len(), "reports/labels mismatch");
+    // Candidate thresholds: the distinct scores of classified items.
+    let mut scores: Vec<f64> = reports
+        .iter()
+        .filter(|r| r.features.is_some())
+        .map(|r| r.score)
+        .collect();
+    if scores.is_empty() || !labels.contains(&1) {
+        return 0.5;
+    }
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    scores.dedup();
+
+    let mut best = (f64::INFINITY, f64::NEG_INFINITY, 0.5); // (|P−R|, F1, threshold)
+    for &t in &scores {
+        let preds: Vec<bool> = reports.iter().map(|r| r.features.is_some() && r.score >= t).collect();
+        let m = BinaryMetrics::compute(labels, &preds);
+        if m.precision == 0.0 && m.recall == 0.0 {
+            continue;
+        }
+        let gap = (m.precision - m.recall).abs();
+        if gap < best.0 - 1e-12 || (gap < best.0 + 1e-12 && m.f1 > best.1) {
+            best = (gap, m.f1, t);
+        }
+    }
+    best.2
+}
+
+/// Picks the smallest threshold whose holdout precision reaches
+/// `target_precision` (maximizing recall under the precision constraint).
+/// Falls back to the highest-precision threshold when the target is
+/// unreachable, and to 0.5 when the holdout carries no signal.
+pub fn calibrate_precision_threshold(
+    reports: &[DetectionReport],
+    labels: &[u8],
+    target_precision: f64,
+) -> f64 {
+    assert_eq!(reports.len(), labels.len(), "reports/labels mismatch");
+    let mut scores: Vec<f64> = reports
+        .iter()
+        .filter(|r| r.features.is_some())
+        .map(|r| r.score)
+        .collect();
+    if scores.is_empty() || !labels.contains(&1) {
+        return 0.5;
+    }
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    scores.dedup();
+
+    let metrics_at = |t: f64| {
+        let preds: Vec<bool> =
+            reports.iter().map(|r| r.features.is_some() && r.score >= t).collect();
+        BinaryMetrics::compute(labels, &preds)
+    };
+    // Smallest threshold meeting the precision target (recall decreases
+    // with threshold, so the first hit maximizes recall).
+    let mut best_fallback = (0.0f64, 0.5f64); // (precision, threshold)
+    for &t in &scores {
+        let m = metrics_at(t);
+        if m.precision >= target_precision && m.recall > 0.0 {
+            return t;
+        }
+        if m.precision > best_fallback.0 && m.recall > 0.0 {
+            best_fallback = (m.precision, t);
+        }
+    }
+    best_fallback.1
+}
+
+/// Serializable snapshot of a trained pipeline.
+///
+/// The detector's classifier is stored as the default GBT model; custom
+/// classifiers need their own persistence.
+#[derive(Serialize, Deserialize)]
+pub struct PipelineSnapshot {
+    /// The trained analyzer (lexicon + sentiment model).
+    pub analyzer: SemanticAnalyzer,
+    /// Detector configuration.
+    pub detector_config: DetectorConfig,
+    /// The trained GBT classifier.
+    pub gbt: cats_ml::gbt::GradientBoostedTrees,
+}
+
+impl CatsPipeline {
+    /// Snapshots a pipeline whose classifier is the provided trained GBT.
+    /// (The `Classifier` trait is object-safe and therefore not
+    /// serializable as a trait object; callers keep the concrete model.)
+    pub fn snapshot(
+        analyzer: SemanticAnalyzer,
+        detector_config: DetectorConfig,
+        gbt: cats_ml::gbt::GradientBoostedTrees,
+    ) -> PipelineSnapshot {
+        PipelineSnapshot { analyzer, detector_config, gbt }
+    }
+
+    /// Restores a pipeline from a snapshot.
+    pub fn restore(snapshot: PipelineSnapshot) -> Self {
+        let mut detector = Detector::new(snapshot.detector_config, Box::new(snapshot.gbt));
+        // The stored model is already trained; mark the detector usable.
+        detector.mark_fitted();
+        Self { analyzer: snapshot.analyzer, detector }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::FilterDecision;
+
+    fn corpus() -> Vec<String> {
+        let mut texts = Vec::new();
+        for i in 0..250 {
+            let v = i % 3;
+            texts.push(format!("hao{v} zan{v} hao{v} bang{v} kuai du"));
+            texts.push(format!("cha{v} lan{v} cha{v} huai{v} man du"));
+            texts.push("he zi kuai di shou dao".to_string());
+        }
+        texts
+    }
+
+    fn fraud_item(i: usize) -> ItemComments {
+        ItemComments::from_texts([
+            format!("hao0 hao0 zan1 ! hao0 bang2 w{i} ， hao0 hao0 zan0 hao1 hao1").as_str(),
+            "hen hao0 zan2 ！ hao2 hao0 hao0 bang0 hao0",
+        ])
+    }
+
+    fn normal_item(i: usize) -> ItemComments {
+        ItemComments::from_texts([
+            format!("shu hao0 kan w{i}").as_str(),
+            "dongxi cha0 le dian",
+        ])
+    }
+
+    fn trained() -> CatsPipeline {
+        let texts = corpus();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let mut training = Vec::new();
+        for i in 0..30 {
+            training.push(LabeledItem { comments: fraud_item(i), label: 1 });
+            training.push(LabeledItem { comments: normal_item(i), label: 0 });
+        }
+        CatsPipeline::train(
+            &refs,
+            &["hao0".to_string()],
+            &["cha0".to_string()],
+            &["hao0 zan0 bang0 hao1", "zan1 hao2 bang1"],
+            &["cha0 lan0 huai0", "lan1 cha2 huai2"],
+            &training,
+            None,
+            PipelineConfig::default(),
+        )
+    }
+
+    #[test]
+    fn end_to_end_train_and_detect() {
+        let p = trained();
+        let items = vec![fraud_item(77), normal_item(77)];
+        let reports = p.detect(&items, &[50, 50]);
+        assert!(reports[0].is_fraud);
+        assert!(!reports[1].is_fraud);
+        let m = CatsPipeline::evaluate(&reports, &[1, 0]);
+        assert_eq!(m.accuracy, 1.0);
+    }
+
+    #[test]
+    fn slices_split_by_label_provenance() {
+        let p = trained();
+        let items = vec![fraud_item(1), fraud_item(2), normal_item(3), normal_item(4)];
+        let reports = p.detect(&items, &[50, 50, 50, 50]);
+        let kinds = vec![
+            LabelKind::FraudSufficient,
+            LabelKind::FraudExpert,
+            LabelKind::Normal,
+            LabelKind::Normal,
+        ];
+        let slices = EvaluationSlices::compute(&reports, &kinds);
+        // overall sees 2 positives, SE slice sees 1 positive and 3 rows
+        assert_eq!(slices.overall.confusion.total(), 4);
+        assert_eq!(slices.sufficient_evidence.confusion.total(), 3);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
+        use cats_ml::Classifier as _;
+        let p = trained();
+        // Re-train a concrete GBT on the same features to snapshot it.
+        let mut items = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            items.push(fraud_item(i));
+            labels.push(1u8);
+            items.push(normal_item(i));
+            labels.push(0u8);
+        }
+        let rows = crate::features::extract_batch(&items, p.analyzer(), 0);
+        let mut data = cats_ml::Dataset::new(crate::features::N_FEATURES);
+        for (r, &l) in rows.iter().zip(&labels) {
+            data.push(r.as_slice(), l);
+        }
+        let mut gbt = GradientBoostedTrees::new(GbtConfig::default());
+        gbt.fit(&data);
+
+        let snap = CatsPipeline::snapshot(
+            p.analyzer().clone(),
+            DetectorConfig::default(),
+            gbt,
+        );
+        let json = serde_json::to_string(&snap).unwrap();
+        let restored: PipelineSnapshot = serde_json::from_str(&json).unwrap();
+        let p2 = CatsPipeline::restore(restored);
+
+        let test_items = vec![fraud_item(88), normal_item(88)];
+        let reports = p2.detect(&test_items, &[50, 50]);
+        assert!(reports[0].is_fraud);
+        assert!(!reports[1].is_fraud);
+    }
+
+    #[test]
+    fn filtered_items_flow_through_pipeline() {
+        let p = trained();
+        let items = vec![fraud_item(5)];
+        let reports = p.detect(&items, &[1]);
+        assert_eq!(reports[0].filter, FilterDecision::FilteredLowSales);
+        assert!(!reports[0].is_fraud);
+    }
+}

@@ -1,0 +1,175 @@
+//! Batch-level detection summaries.
+//!
+//! A deployment (the paper's §VI: CATS running inside Taobao) consumes
+//! per-item [`DetectionReport`]s, but operators read aggregates: how many
+//! items were filtered and why, how the fraud scores distribute, which
+//! items to queue for expert review. [`DetectionSummary`] condenses a
+//! report batch into that view.
+
+use crate::detector::{DetectionReport, FilterDecision};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate view of one detection batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectionSummary {
+    /// Items in the batch.
+    pub total: usize,
+    /// Items dropped by the sales-volume rule.
+    pub filtered_low_sales: usize,
+    /// Items dropped by the positive-evidence rule.
+    pub filtered_no_evidence: usize,
+    /// Items that reached the classifier.
+    pub classified: usize,
+    /// Items reported as fraud.
+    pub reported: usize,
+    /// Share of classified items reported.
+    pub report_rate: f64,
+    /// Mean fraud score over classified items (0 if none).
+    pub mean_score: f64,
+    /// Decile counts of the classified items' scores (10 bins over \[0,1\]).
+    pub score_deciles: [usize; 10],
+}
+
+impl DetectionSummary {
+    /// Builds the summary from a report batch.
+    pub fn from_reports(reports: &[DetectionReport]) -> Self {
+        let mut s = Self {
+            total: reports.len(),
+            filtered_low_sales: 0,
+            filtered_no_evidence: 0,
+            classified: 0,
+            reported: 0,
+            report_rate: 0.0,
+            mean_score: 0.0,
+            score_deciles: [0; 10],
+        };
+        let mut score_sum = 0.0;
+        for r in reports {
+            match r.filter {
+                FilterDecision::FilteredLowSales => s.filtered_low_sales += 1,
+                FilterDecision::FilteredNoPositiveEvidence => s.filtered_no_evidence += 1,
+                FilterDecision::Classified => {
+                    s.classified += 1;
+                    score_sum += r.score;
+                    let decile = ((r.score * 10.0) as usize).min(9);
+                    s.score_deciles[decile] += 1;
+                    if r.is_fraud {
+                        s.reported += 1;
+                    }
+                }
+            }
+        }
+        if s.classified > 0 {
+            s.report_rate = s.reported as f64 / s.classified as f64;
+            s.mean_score = score_sum / s.classified as f64;
+        }
+        s
+    }
+
+    /// The indices of the `k` highest-scoring reported items — the expert
+    /// review queue, most suspicious first.
+    pub fn review_queue(reports: &[DetectionReport], k: usize) -> Vec<usize> {
+        let mut frauds: Vec<&DetectionReport> =
+            reports.iter().filter(|r| r.is_fraud).collect();
+        frauds.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        frauds.into_iter().take(k).map(|r| r.index).collect()
+    }
+}
+
+impl std::fmt::Display for DetectionSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "batch: {} items | filtered: {} low-sales, {} no-evidence | classified: {}",
+            self.total, self.filtered_low_sales, self.filtered_no_evidence, self.classified
+        )?;
+        write!(
+            f,
+            "reported: {} ({:.2}% of classified), mean score {:.3}",
+            self.reported,
+            self.report_rate * 100.0,
+            self.mean_score
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureVector, N_FEATURES};
+
+    fn report(index: usize, filter: FilterDecision, score: f64, is_fraud: bool) -> DetectionReport {
+        DetectionReport {
+            index,
+            filter,
+            score,
+            is_fraud,
+            features: matches!(filter, FilterDecision::Classified)
+                .then(|| FeatureVector([0.0; N_FEATURES])),
+        }
+    }
+
+    fn batch() -> Vec<DetectionReport> {
+        vec![
+            report(0, FilterDecision::Classified, 0.95, true),
+            report(1, FilterDecision::Classified, 0.15, false),
+            report(2, FilterDecision::FilteredLowSales, 0.0, false),
+            report(3, FilterDecision::Classified, 0.85, true),
+            report(4, FilterDecision::FilteredNoPositiveEvidence, 0.0, false),
+            report(5, FilterDecision::Classified, 0.55, false),
+        ]
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = DetectionSummary::from_reports(&batch());
+        assert_eq!(s.total, 6);
+        assert_eq!(s.filtered_low_sales, 1);
+        assert_eq!(s.filtered_no_evidence, 1);
+        assert_eq!(s.classified, 4);
+        assert_eq!(s.reported, 2);
+        assert!((s.report_rate - 0.5).abs() < 1e-12);
+        assert!((s.mean_score - (0.95 + 0.15 + 0.85 + 0.55) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deciles_partition_classified_items() {
+        let s = DetectionSummary::from_reports(&batch());
+        assert_eq!(s.score_deciles.iter().sum::<usize>(), s.classified);
+        assert_eq!(s.score_deciles[9], 1); // 0.95
+        assert_eq!(s.score_deciles[8], 1); // 0.85
+        assert_eq!(s.score_deciles[1], 1); // 0.15
+        assert_eq!(s.score_deciles[5], 1); // 0.55
+    }
+
+    #[test]
+    fn review_queue_ranked_by_score() {
+        let q = DetectionSummary::review_queue(&batch(), 10);
+        assert_eq!(q, vec![0, 3]);
+        assert_eq!(DetectionSummary::review_queue(&batch(), 1), vec![0]);
+    }
+
+    #[test]
+    fn empty_batch_is_safe() {
+        let s = DetectionSummary::from_reports(&[]);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.mean_score, 0.0);
+        assert_eq!(s.report_rate, 0.0);
+        assert!(DetectionSummary::review_queue(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = DetectionSummary::from_reports(&batch());
+        let text = format!("{s}");
+        assert!(text.contains("reported: 2"));
+        assert!(text.contains("filtered: 1 low-sales"));
+    }
+
+    #[test]
+    fn boundary_score_one_lands_in_top_decile() {
+        let reports = vec![report(0, FilterDecision::Classified, 1.0, true)];
+        let s = DetectionSummary::from_reports(&reports);
+        assert_eq!(s.score_deciles[9], 1);
+    }
+}

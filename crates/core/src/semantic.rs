@@ -1,0 +1,178 @@
+//! The semantic analyzer (paper §II-B).
+//!
+//! Responsible for "analyzing the semantic relationships within
+//! e-commerce data": it trains a word2vec model on a large comment corpus,
+//! uses it to expand seed words into the positive set *P* and negative set
+//! *N* (Table I), and provides the sentiment model that scores every
+//! comment. Feature extraction consumes the analyzer through
+//! [`SemanticAnalyzer`]'s lexicon/sentiment accessors.
+
+use cats_embedding::{expand_lexicon, Embedding, ExpansionConfig, Word2VecConfig, Word2VecTrainer};
+use cats_sentiment::SentimentModel;
+use cats_text::{Corpus, Lexicon, Segmenter, WhitespaceSegmenter};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of semantic-analyzer training.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct SemanticConfig {
+    /// word2vec hyperparameters.
+    pub word2vec: Word2VecConfig,
+    /// Lexicon expansion parameters (the paper caps both sets at ~200).
+    pub expansion: ExpansionConfig,
+}
+
+
+/// The trained semantic analyzer: expanded lexicon + sentiment model.
+///
+/// The word2vec embedding itself is training-time machinery; what the
+/// feature extractor needs at run time is the lexicon it produced and the
+/// sentiment scorer, which is also what gets serialized.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SemanticAnalyzer {
+    lexicon: Lexicon,
+    sentiment: SentimentModel,
+}
+
+impl SemanticAnalyzer {
+    /// Trains the full analyzer:
+    ///
+    /// 1. builds a [`Corpus`] from `comment_texts` (the paper uses ~70M
+    ///    Taobao comments; any scale works),
+    /// 2. trains word2vec on it,
+    /// 3. expands `positive_seeds` / `negative_seeds` into the lexicon,
+    /// 4. trains the sentiment model from `sentiment_positive` /
+    ///    `sentiment_negative` labeled review texts.
+    pub fn train(
+        comment_texts: &[&str],
+        positive_seeds: &[String],
+        negative_seeds: &[String],
+        sentiment_positive: &[&str],
+        sentiment_negative: &[&str],
+        config: SemanticConfig,
+    ) -> Self {
+        let seg = WhitespaceSegmenter;
+        let mut corpus = Corpus::new();
+        for text in comment_texts {
+            corpus.push_text(text, &seg);
+        }
+        let embedding = Word2VecTrainer::new(config.word2vec).train(&corpus);
+        let lexicon = expand_lexicon(&embedding, positive_seeds, negative_seeds, config.expansion);
+
+        let seg_docs = |texts: &[&str]| -> Vec<Vec<String>> {
+            texts.iter().map(|t| seg.segment(t)).collect()
+        };
+        let sentiment =
+            SentimentModel::train(&seg_docs(sentiment_positive), &seg_docs(sentiment_negative));
+        Self { lexicon, sentiment }
+    }
+
+    /// Trains word2vec and returns the raw embedding too — used by
+    /// experiments that inspect neighbourhoods (Table I).
+    pub fn train_embedding(comment_texts: &[&str], config: Word2VecConfig) -> Embedding {
+        let seg = WhitespaceSegmenter;
+        let mut corpus = Corpus::new();
+        for text in comment_texts {
+            corpus.push_text(text, &seg);
+        }
+        Word2VecTrainer::new(config).train(&corpus)
+    }
+
+    /// Builds an analyzer from already-trained parts (e.g. deserialized).
+    pub fn from_parts(lexicon: Lexicon, sentiment: SentimentModel) -> Self {
+        Self { lexicon, sentiment }
+    }
+
+    /// The expanded positive/negative lexicon.
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    /// The sentiment scorer.
+    pub fn sentiment(&self) -> &SentimentModel {
+        &self.sentiment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature platform-like corpus: promo comments share positive
+    /// words, complaints share negative words.
+    fn corpus() -> Vec<String> {
+        let mut texts = Vec::new();
+        for i in 0..400 {
+            let v = i % 4;
+            texts.push(format!(
+                "item great{v} superb{v} lovely{v} fast ship great{v}",
+            ));
+            texts.push(format!("broken bad{v} awful{v} refund bad{v} slow"));
+            texts.push("box arrived parcel store normal day".to_string());
+        }
+        texts
+    }
+
+    fn analyzer() -> SemanticAnalyzer {
+        let texts = corpus();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let pos_docs = ["great0 superb0 lovely0", "great1 lovely1 superb2"];
+        let neg_docs = ["bad0 awful0 refund", "awful1 bad2 broken"];
+        SemanticAnalyzer::train(
+            &refs,
+            &["great0".to_string()],
+            &["bad0".to_string()],
+            &pos_docs,
+            &neg_docs,
+            SemanticConfig {
+                word2vec: Word2VecConfig {
+                    dim: 16,
+                    epochs: 4,
+                    min_count: 2,
+                    subsample: 0.0,
+                    ..Word2VecConfig::default()
+                },
+                expansion: ExpansionConfig { k: 6, min_similarity: 0.3, max_words: 12 },
+            },
+        )
+    }
+
+    #[test]
+    fn training_expands_seed_words() {
+        let a = analyzer();
+        assert!(a.lexicon().is_positive("great0"), "seed kept");
+        assert!(a.lexicon().is_negative("bad0"), "seed kept");
+        assert!(a.lexicon().positive_len() > 1, "expansion found neighbours");
+    }
+
+    #[test]
+    fn expanded_sets_are_disjoint() {
+        let a = analyzer();
+        for w in a.lexicon().negative_words() {
+            assert!(!a.lexicon().is_positive(w));
+        }
+    }
+
+    #[test]
+    fn sentiment_scores_follow_training_polarity() {
+        let a = analyzer();
+        let seg = WhitespaceSegmenter;
+        let pos = a.sentiment().score_text("great0 lovely1", &seg);
+        let neg = a.sentiment().score_text("bad0 awful1", &seg);
+        assert!(pos > 0.6, "{pos}");
+        assert!(neg < 0.4, "{neg}");
+    }
+
+    #[test]
+    fn from_parts_roundtrip_via_serde() {
+        let a = analyzer();
+        let json = serde_json::to_string(&a).unwrap();
+        let b: SemanticAnalyzer = serde_json::from_str(&json).unwrap();
+        assert_eq!(b.lexicon().positive_len(), a.lexicon().positive_len());
+        let seg = WhitespaceSegmenter;
+        assert_eq!(
+            a.sentiment().score_text("great0", &seg),
+            b.sentiment().score_text("great0", &seg)
+        );
+    }
+}

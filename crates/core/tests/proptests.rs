@@ -1,0 +1,132 @@
+//! Property-based tests for the CATS core: feature extraction invariants
+//! and threshold calibration.
+
+use cats_core::pipeline::{calibrate_balanced_threshold, calibrate_precision_threshold};
+use cats_core::{features, DetectionReport, FilterDecision, ItemComments, SemanticAnalyzer};
+use cats_sentiment::SentimentModel;
+use cats_text::Lexicon;
+use proptest::prelude::*;
+
+fn analyzer() -> SemanticAnalyzer {
+    let lex = Lexicon::new(
+        ["hao".to_string(), "zan".to_string()],
+        ["cha".to_string()],
+    );
+    let docs = |texts: &[&str]| -> Vec<Vec<String>> {
+        texts
+            .iter()
+            .map(|t| t.split_whitespace().map(String::from).collect())
+            .collect()
+    };
+    let sent = SentimentModel::train(&docs(&["hao zan hao"]), &docs(&["cha cha"]));
+    SemanticAnalyzer::from_parts(lex, sent)
+}
+
+fn comment_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just("hao".to_string()),
+            Just("zan".to_string()),
+            Just("cha".to_string()),
+            Just("!".to_string()),
+            "[a-z]{1,6}",
+        ],
+        0..25,
+    )
+    .prop_map(|toks| toks.join(" "))
+}
+
+fn item() -> impl Strategy<Value = ItemComments> {
+    prop::collection::vec(comment_text(), 0..8)
+        .prop_map(|texts| ItemComments::from_texts(texts.iter().map(String::as_str)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn features_always_finite_and_in_natural_ranges(it in item()) {
+        let a = analyzer();
+        let v = features::extract(&it, &a);
+        for (&x, name) in v.as_slice().iter().zip(features::FEATURE_NAMES) {
+            prop_assert!(x.is_finite(), "{name} not finite");
+            prop_assert!(x >= 0.0, "{name} negative: {x}");
+        }
+        // ratio features bounded by 1
+        for name in ["uniqueWordRatio", "averageSentiment", "averagePunctuationRatio", "averageNgramRatio"] {
+            let x = v.get(name).unwrap();
+            prop_assert!(x <= 1.0 + 1e-12, "{name} = {x}");
+        }
+        // sums dominate averages
+        prop_assert!(v.get("sumCommentLength").unwrap() >= v.get("averageCommentLength").unwrap() - 1e-9);
+    }
+
+    #[test]
+    fn batch_extraction_equals_sequential(items in prop::collection::vec(item(), 0..12), threads in 1usize..5) {
+        let a = analyzer();
+        let seq: Vec<_> = items.iter().map(|it| features::extract(it, &a)).collect();
+        let par = features::extract_batch(&items, &a, threads);
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn calibration_thresholds_are_valid_scores(
+        scores in prop::collection::vec(0.0f64..1.0, 2..40),
+        labels in prop::collection::vec(0u8..2, 2..40),
+    ) {
+        let n = scores.len().min(labels.len());
+        let reports: Vec<DetectionReport> = scores[..n]
+            .iter()
+            .enumerate()
+            .map(|(index, &score)| DetectionReport {
+                index,
+                filter: FilterDecision::Classified,
+                score,
+                is_fraud: score >= 0.5,
+                features: Some(cats_core::FeatureVector([0.0; cats_core::N_FEATURES])),
+            })
+            .collect();
+        let labels = &labels[..n];
+        let t1 = calibrate_balanced_threshold(&reports, labels);
+        let t2 = calibrate_precision_threshold(&reports, labels, 0.9);
+        for t in [t1, t2] {
+            prop_assert!((0.0..=1.0).contains(&t), "threshold {t}");
+        }
+    }
+
+    #[test]
+    fn precision_calibration_meets_target_when_feasible(
+        n_pos in 3usize..20,
+        n_neg in 3usize..20,
+    ) {
+        // Perfectly separable scores: positives ≥ 0.8, negatives ≤ 0.3.
+        let mut reports = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_pos {
+            reports.push(DetectionReport {
+                index: i,
+                filter: FilterDecision::Classified,
+                score: 0.8 + 0.01 * (i as f64 % 10.0),
+                is_fraud: true,
+                features: Some(cats_core::FeatureVector([0.0; cats_core::N_FEATURES])),
+            });
+            labels.push(1u8);
+        }
+        for i in 0..n_neg {
+            reports.push(DetectionReport {
+                index: n_pos + i,
+                filter: FilterDecision::Classified,
+                score: 0.3 - 0.01 * (i as f64 % 10.0),
+                is_fraud: false,
+                features: Some(cats_core::FeatureVector([0.0; cats_core::N_FEATURES])),
+            });
+            labels.push(0u8);
+        }
+        let t = calibrate_precision_threshold(&reports, &labels, 1.0);
+        // Applying t must reach the target on this holdout.
+        let preds: Vec<bool> = reports.iter().map(|r| r.score >= t).collect();
+        let m = cats_ml::metrics::BinaryMetrics::compute(&labels, &preds);
+        prop_assert!((m.precision - 1.0).abs() < 1e-12);
+        prop_assert!((m.recall - 1.0).abs() < 1e-12, "separable data allows full recall");
+    }
+}

@@ -1,0 +1,208 @@
+//! Iterative seed expansion (paper §II-A2).
+//!
+//! Starting from a few seed words (e.g. *haoping* for the positive set),
+//! the paper queries the trained word2vec model for the k-nearest
+//! neighbours of the seeds, then iteratively for the neighbours of those
+//! neighbours, until the set reaches its size cap (~200 words, "for
+//! computation efficiency"). [`expand_lexicon`] runs that frontier search
+//! for both polarities and returns a `cats_text::Lexicon`.
+
+use crate::word2vec::Embedding;
+use cats_text::Lexicon;
+use std::collections::{HashSet, VecDeque};
+
+/// Parameters of the expansion search.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpansionConfig {
+    /// Neighbours fetched per frontier word.
+    pub k: usize,
+    /// Minimum cosine similarity for a neighbour to be accepted.
+    pub min_similarity: f32,
+    /// Size cap per set (the paper uses ~200).
+    pub max_words: usize,
+}
+
+impl Default for ExpansionConfig {
+    fn default() -> Self {
+        Self { k: 10, min_similarity: 0.5, max_words: 200 }
+    }
+}
+
+/// Expands one polarity from `seeds` by breadth-first k-NN search.
+///
+/// Returns the expanded word set (always containing every seed that exists
+/// in the embedding) in discovery order. Words in `exclude` are never
+/// added — used to keep the positive and negative sets disjoint.
+pub fn expand_set(
+    embedding: &Embedding,
+    seeds: &[String],
+    exclude: &HashSet<String>,
+    config: ExpansionConfig,
+) -> Vec<String> {
+    let mut accepted: Vec<String> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut frontier: VecDeque<String> = VecDeque::new();
+
+    for s in seeds {
+        if seen.insert(s.clone()) && !exclude.contains(s) {
+            accepted.push(s.clone());
+            frontier.push_back(s.clone());
+        }
+    }
+
+    while let Some(word) = frontier.pop_front() {
+        if accepted.len() >= config.max_words {
+            break;
+        }
+        let Some(neighbors) = embedding.nearest(&word, config.k) else {
+            continue;
+        };
+        for (cand, sim) in neighbors {
+            if accepted.len() >= config.max_words {
+                break;
+            }
+            if sim < config.min_similarity {
+                continue; // neighbours are sorted; the rest are weaker
+            }
+            if cats_text::segment::is_punctuation_token(cand) {
+                continue; // punctuation co-occurs with everything
+            }
+            if exclude.contains(cand) || !seen.insert(cand.to_owned()) {
+                continue;
+            }
+            accepted.push(cand.to_owned());
+            frontier.push_back(cand.to_owned());
+        }
+    }
+    accepted
+}
+
+/// Builds the full [`Lexicon`] by expanding positive seeds first (with
+/// negative *seeds* excluded — seed polarity is authoritative), then
+/// negative seeds with the whole positive result excluded. The returned
+/// sets are therefore disjoint: a word cannot be evidence for both
+/// polarities.
+pub fn expand_lexicon(
+    embedding: &Embedding,
+    positive_seeds: &[String],
+    negative_seeds: &[String],
+    config: ExpansionConfig,
+) -> Lexicon {
+    let neg_seed_set: HashSet<String> = negative_seeds.iter().cloned().collect();
+    let positive = expand_set(embedding, positive_seeds, &neg_seed_set, config);
+    let pos_set: HashSet<String> = positive.iter().cloned().collect();
+    let negative = expand_set(embedding, negative_seeds, &pos_set, config);
+    Lexicon::new(positive, negative)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word2vec::{Word2VecConfig, Word2VecTrainer};
+    use cats_text::{Corpus, WhitespaceSegmenter};
+
+    /// Corpus with positive-context words, negative-context words and
+    /// neutral filler; polarity words co-occur within their polarity.
+    fn polar_corpus() -> Corpus {
+        let mut corpus = Corpus::new();
+        let seg = WhitespaceSegmenter;
+        let pos = ["good", "great", "fine", "lovely", "super"];
+        let neg = ["bad", "awful", "poor", "nasty", "gross"];
+        let mut state = 7u64;
+        let mut next = |n: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize % n
+        };
+        for _ in 0..600 {
+            let s: Vec<&str> = (0..6).map(|_| pos[next(pos.len())]).collect();
+            corpus.push_text(&s.join(" "), &seg);
+            let s: Vec<&str> = (0..6).map(|_| neg[next(neg.len())]).collect();
+            corpus.push_text(&s.join(" "), &seg);
+            corpus.push_text("box ship item parcel store", &seg);
+        }
+        corpus
+    }
+
+    fn embedding() -> crate::word2vec::Embedding {
+        Word2VecTrainer::new(Word2VecConfig {
+            dim: 16,
+            window: 3,
+            negative: 4,
+            epochs: 6,
+            min_count: 1,
+            subsample: 0.0,
+            ..Word2VecConfig::default()
+        })
+        .train(&polar_corpus())
+    }
+
+    #[test]
+    fn expansion_recovers_polarity_cluster() {
+        let emb = embedding();
+        let cfg = ExpansionConfig { k: 4, min_similarity: 0.3, max_words: 10 };
+        let set = expand_set(&emb, &["good".into()], &HashSet::new(), cfg);
+        assert!(set.contains(&"good".to_string()));
+        // should find most of the positive cluster
+        let found = ["great", "fine", "lovely", "super"]
+            .iter()
+            .filter(|w| set.contains(&w.to_string()))
+            .count();
+        assert!(found >= 3, "found only {found} of the positive cluster: {set:?}");
+        // and none of the negative cluster
+        for w in ["bad", "awful", "poor", "nasty", "gross"] {
+            assert!(!set.contains(&w.to_string()), "{w} leaked into positive set");
+        }
+    }
+
+    #[test]
+    fn max_words_caps_the_set() {
+        let emb = embedding();
+        let cfg = ExpansionConfig { k: 10, min_similarity: -1.0, max_words: 3 };
+        let set = expand_set(&emb, &["good".into()], &HashSet::new(), cfg);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn seeds_always_included_even_with_strict_threshold() {
+        let emb = embedding();
+        let cfg = ExpansionConfig { k: 5, min_similarity: 0.999, max_words: 50 };
+        let set = expand_set(&emb, &["good".into(), "bad".into()], &HashSet::new(), cfg);
+        assert!(set.contains(&"good".to_string()));
+        assert!(set.contains(&"bad".to_string()));
+    }
+
+    #[test]
+    fn unknown_seed_is_skipped_gracefully() {
+        let emb = embedding();
+        let cfg = ExpansionConfig::default();
+        let set = expand_set(&emb, &["zzz_unknown".into(), "good".into()], &HashSet::new(), cfg);
+        // unknown seed stays in the list (harmless) but contributes no
+        // neighbours; the known seed still expands
+        assert!(set.len() > 2);
+    }
+
+    #[test]
+    fn exclusion_keeps_sets_disjoint() {
+        let emb = embedding();
+        let cfg = ExpansionConfig { k: 6, min_similarity: 0.0, max_words: 20 };
+        let lex = expand_lexicon(&emb, &["good".into()], &["bad".into()], cfg);
+        for w in lex.negative_words() {
+            assert!(!lex.is_positive(w), "{w} in both sets");
+        }
+        assert!(lex.is_positive("good"));
+        assert!(lex.is_negative("bad"));
+    }
+
+    #[test]
+    fn duplicate_seeds_counted_once() {
+        let emb = embedding();
+        let cfg = ExpansionConfig { k: 2, min_similarity: 0.9999, max_words: 10 };
+        let set = expand_set(
+            &emb,
+            &["good".into(), "good".into(), "good".into()],
+            &HashSet::new(),
+            cfg,
+        );
+        assert_eq!(set.iter().filter(|w| *w == "good").count(), 1);
+    }
+}

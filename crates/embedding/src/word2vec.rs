@@ -1,0 +1,569 @@
+//! Skip-gram word2vec with negative sampling, from scratch.
+//!
+//! Implements the SGNS objective of Mikolov et al. (the paper's reference 10):
+//! for each (center, context) pair inside a dynamic window, maximize
+//! `log σ(v·u_ctx) + Σ_k log σ(−v·u_neg)` over `k` negatives drawn from the
+//! unigram distribution raised to 0.75. Frequent words are subsampled with
+//! the standard `1 − sqrt(t / f)` discard rule. Training is plain SGD with
+//! linearly decaying learning rate, deterministic under a seed.
+
+use cats_text::{Corpus, TokenId, Vocab};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of the trainer.
+#[derive(Debug, Clone, Copy)]
+pub struct Word2VecConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Maximum window radius (the effective radius is sampled uniformly in
+    /// `1..=window` per center, as in the reference implementation).
+    pub window: usize,
+    /// Negative samples per (center, context) pair.
+    pub negative: usize,
+    /// Number of passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (decays linearly to 1e-4 of itself).
+    pub initial_lr: f32,
+    /// Subsampling threshold `t`; 0 disables subsampling.
+    pub subsample: f64,
+    /// Words with fewer occurrences are skipped entirely.
+    pub min_count: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Word2VecConfig {
+    fn default() -> Self {
+        Self {
+            dim: 48,
+            window: 5,
+            negative: 5,
+            epochs: 3,
+            initial_lr: 0.025,
+            subsample: 1e-4,
+            min_count: 3,
+            seed: 1,
+        }
+    }
+}
+
+/// Size of the pre-built negative-sampling table.
+const UNIGRAM_TABLE_SIZE: usize = 1 << 20;
+/// Domain bound of the precomputed sigmoid table.
+const SIGMOID_BOUND: f32 = 6.0;
+const SIGMOID_TABLE_SIZE: usize = 512;
+
+/// A trained embedding: one input vector per vocabulary word.
+/// Serializable, so a model trained once on a large corpus can ship with
+/// a deployed detector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedding {
+    dim: usize,
+    vectors: Vec<f32>, // vocab_len × dim, row-major
+    vocab_words: Vec<String>,
+    trained: Vec<bool>, // false for words below min_count
+}
+
+impl Embedding {
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vocabulary rows (including untrained ones).
+    pub fn len(&self) -> usize {
+        self.vocab_words.len()
+    }
+
+    /// Whether the embedding has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.vocab_words.is_empty()
+    }
+
+    /// The vector of `word`, if the word was in the training vocabulary
+    /// *and* met `min_count`.
+    pub fn vector(&self, word: &str) -> Option<&[f32]> {
+        let idx = self.vocab_words.iter().position(|w| w == word)?;
+        if !self.trained[idx] {
+            return None;
+        }
+        Some(&self.vectors[idx * self.dim..(idx + 1) * self.dim])
+    }
+
+    /// Cosine similarity between two words, if both are trained.
+    pub fn similarity(&self, a: &str, b: &str) -> Option<f32> {
+        Some(cosine(self.vector(a)?, self.vector(b)?))
+    }
+
+    /// The `k` nearest trained words to `word` by cosine similarity,
+    /// excluding `word` itself. Returns `(word, similarity)` pairs, most
+    /// similar first. `None` if `word` is untrained/unknown.
+    pub fn nearest(&self, word: &str, k: usize) -> Option<Vec<(&str, f32)>> {
+        let v = self.vector(word)?;
+        Some(self.nearest_to_vector(v, k, Some(word)))
+    }
+
+    /// The `k` nearest trained words to an arbitrary query vector.
+    pub fn nearest_to_vector(
+        &self,
+        query: &[f32],
+        k: usize,
+        exclude: Option<&str>,
+    ) -> Vec<(&str, f32)> {
+        let mut scored: Vec<(&str, f32)> = self
+            .vocab_words
+            .iter()
+            .enumerate()
+            .filter(|(i, w)| self.trained[*i] && Some(w.as_str()) != exclude)
+            .map(|(i, w)| {
+                let row = &self.vectors[i * self.dim..(i + 1) * self.dim];
+                (w.as_str(), cosine(query, row))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Solves the classic analogy query `a − b + c ≈ ?`: returns the `k`
+    /// trained words nearest to the offset vector, excluding the three
+    /// query words. `None` if any query word is untrained/unknown.
+    pub fn analogy(&self, a: &str, b: &str, c: &str, k: usize) -> Option<Vec<(&str, f32)>> {
+        let va = self.vector(a)?;
+        let vb = self.vector(b)?;
+        let vc = self.vector(c)?;
+        let query: Vec<f32> = va
+            .iter()
+            .zip(vb)
+            .zip(vc)
+            .map(|((&x, &y), &z)| x - y + z)
+            .collect();
+        let hits = self
+            .nearest_to_vector(&query, k + 3, None)
+            .into_iter()
+            .filter(|(w, _)| *w != a && *w != b && *w != c)
+            .take(k)
+            .collect();
+        Some(hits)
+    }
+
+    /// Iterates `(word, trained)` pairs in vocabulary order.
+    pub fn words(&self) -> impl Iterator<Item = (&str, bool)> {
+        self.vocab_words
+            .iter()
+            .zip(&self.trained)
+            .map(|(w, &t)| (w.as_str(), t))
+    }
+}
+
+/// Cosine similarity of two equal-length vectors (0 when either is zero).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+/// The SGNS trainer.
+pub struct Word2VecTrainer {
+    config: Word2VecConfig,
+}
+
+impl Word2VecTrainer {
+    /// Creates a trainer with `config`.
+    pub fn new(config: Word2VecConfig) -> Self {
+        assert!(config.dim > 0, "dim must be positive");
+        assert!(config.window > 0, "window must be positive");
+        Self { config }
+    }
+
+    /// Trains on `corpus` and returns the embedding.
+    pub fn train(&self, corpus: &Corpus) -> Embedding {
+        let cfg = self.config;
+        let vocab = corpus.vocab();
+        let n = vocab.len();
+        if n == 0 {
+            return Embedding {
+                dim: cfg.dim,
+                vectors: Vec::new(),
+                vocab_words: Vec::new(),
+                trained: Vec::new(),
+            };
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let trained: Vec<bool> = (0..n)
+            .map(|i| vocab.count(TokenId(i as u32)) >= cfg.min_count)
+            .collect();
+
+        // Input (syn0) and output (syn1neg) matrices. syn0 is initialized
+        // uniformly in [-0.5, 0.5]/dim as in the reference implementation;
+        // syn1neg starts at zero.
+        let mut syn0: Vec<f32> = (0..n * cfg.dim)
+            .map(|_| (rng.random::<f32>() - 0.5) / cfg.dim as f32)
+            .collect();
+        let mut syn1: Vec<f32> = vec![0.0; n * cfg.dim];
+
+        let unigram = build_unigram_table(vocab, &trained);
+        let sigmoid = build_sigmoid_table();
+        let keep_prob = build_keep_probs(vocab, cfg.subsample);
+
+        let total_tokens = (corpus.token_count() * cfg.epochs).max(1) as f64;
+        let mut processed: f64 = 0.0;
+        let mut neg_buf: Vec<usize> = Vec::with_capacity(cfg.negative);
+        let mut grad = vec![0.0f32; cfg.dim];
+        let mut kept: Vec<usize> = Vec::new();
+
+        for _epoch in 0..cfg.epochs {
+            for sentence in corpus.sentences() {
+                // Subsample the sentence.
+                kept.clear();
+                for &tok in sentence {
+                    let i = tok.index();
+                    processed += 1.0;
+                    if !trained[i] {
+                        continue;
+                    }
+                    if keep_prob[i] < 1.0 && rng.random::<f64>() > keep_prob[i] {
+                        continue;
+                    }
+                    kept.push(i);
+                }
+                if kept.len() < 2 {
+                    continue;
+                }
+                let lr = (cfg.initial_lr
+                    * (1.0 - (processed / total_tokens) as f32))
+                    .max(cfg.initial_lr * 1e-4);
+
+                for (pos, &center) in kept.iter().enumerate() {
+                    let radius = 1 + rng.random_range(0..cfg.window);
+                    let lo = pos.saturating_sub(radius);
+                    let hi = (pos + radius + 1).min(kept.len());
+                    #[allow(clippy::needless_range_loop)] // index math is the clearer form here
+                    for ctx_pos in lo..hi {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        let context = kept[ctx_pos];
+                        // Draw negatives (rejecting the true context).
+                        neg_buf.clear();
+                        while neg_buf.len() < cfg.negative {
+                            let cand =
+                                unigram[rng.random_range(0..unigram.len())];
+                            if cand != context {
+                                neg_buf.push(cand);
+                            }
+                        }
+                        sgns_update(
+                            &mut syn0,
+                            &mut syn1,
+                            cfg.dim,
+                            center,
+                            context,
+                            &neg_buf,
+                            lr,
+                            &sigmoid,
+                            &mut grad,
+                        );
+                    }
+                }
+            }
+        }
+
+        let vocab_words: Vec<String> = (0..n)
+            .map(|i| vocab.word(TokenId(i as u32)).unwrap_or_default().to_owned())
+            .collect();
+        Embedding { dim: cfg.dim, vectors: syn0, vocab_words, trained }
+    }
+}
+
+/// One SGNS gradient step for (center, context, negatives).
+#[allow(clippy::too_many_arguments)]
+fn sgns_update(
+    syn0: &mut [f32],
+    syn1: &mut [f32],
+    dim: usize,
+    center: usize,
+    context: usize,
+    negatives: &[usize],
+    lr: f32,
+    sigmoid: &[f32],
+    grad: &mut [f32],
+) {
+    grad.fill(0.0);
+    let v = center * dim;
+    // Positive pair (label 1) then negatives (label 0).
+    for (idx, &label) in std::iter::once(&context)
+        .chain(negatives)
+        .zip(std::iter::once(&1.0f32).chain(std::iter::repeat(&0.0f32)))
+    {
+        let u = idx * dim;
+        let mut dot = 0.0f32;
+        for d in 0..dim {
+            dot += syn0[v + d] * syn1[u + d];
+        }
+        let pred = fast_sigmoid(dot, sigmoid);
+        let g = (label - pred) * lr;
+        for d in 0..dim {
+            grad[d] += g * syn1[u + d];
+            syn1[u + d] += g * syn0[v + d];
+        }
+    }
+    for d in 0..dim {
+        syn0[v + d] += grad[d];
+    }
+}
+
+/// Builds the unigram^0.75 negative-sampling table over trained words.
+fn build_unigram_table(vocab: &Vocab, trained: &[bool]) -> Vec<usize> {
+    let mut weights: Vec<f64> = (0..vocab.len())
+        .map(|i| {
+            if trained[i] {
+                (vocab.count(TokenId(i as u32)) as f64).powf(0.75)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        // Degenerate corpus: sample uniformly.
+        weights.iter_mut().for_each(|w| *w = 1.0);
+    }
+    let total: f64 = weights.iter().sum();
+    let mut table = Vec::with_capacity(UNIGRAM_TABLE_SIZE);
+    let mut cum = 0.0;
+    let mut word = 0usize;
+    let mut next_cum = weights[0] / total;
+    for i in 0..UNIGRAM_TABLE_SIZE {
+        table.push(word);
+        cum = (i + 1) as f64 / UNIGRAM_TABLE_SIZE as f64;
+        while cum > next_cum && word + 1 < weights.len() {
+            word += 1;
+            next_cum += weights[word] / total;
+        }
+    }
+    let _ = cum;
+    table
+}
+
+/// Precomputed `σ(x)` for `x ∈ [−6, 6]`.
+fn build_sigmoid_table() -> Vec<f32> {
+    (0..SIGMOID_TABLE_SIZE)
+        .map(|i| {
+            let x = (i as f32 / SIGMOID_TABLE_SIZE as f32 * 2.0 - 1.0) * SIGMOID_BOUND;
+            1.0 / (1.0 + (-x).exp())
+        })
+        .collect()
+}
+
+#[inline]
+fn fast_sigmoid(x: f32, table: &[f32]) -> f32 {
+    if x >= SIGMOID_BOUND {
+        1.0
+    } else if x <= -SIGMOID_BOUND {
+        0.0
+    } else {
+        let idx = ((x + SIGMOID_BOUND) / (2.0 * SIGMOID_BOUND) * (table.len() - 1) as f32) as usize;
+        table[idx.min(table.len() - 1)]
+    }
+}
+
+/// Per-word keep probability under the subsampling rule.
+fn build_keep_probs(vocab: &Vocab, t: f64) -> Vec<f64> {
+    let total = vocab.total_count().max(1) as f64;
+    (0..vocab.len())
+        .map(|i| {
+            if t <= 0.0 {
+                return 1.0;
+            }
+            let f = vocab.count(TokenId(i as u32)) as f64 / total;
+            if f <= t {
+                1.0
+            } else {
+                ((t / f).sqrt() + t / f).min(1.0)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cats_text::WhitespaceSegmenter;
+
+    /// A toy corpus with two tight topical clusters: words of cluster A
+    /// co-occur with each other, words of cluster B likewise.
+    fn clustered_corpus(sentences_per_cluster: usize) -> Corpus {
+        let mut corpus = Corpus::new();
+        let seg = WhitespaceSegmenter;
+        let a = ["apple", "pear", "plum", "grape"];
+        let b = ["bolt", "nut", "screw", "washer"];
+        let mut rng_state = 12345u64;
+        let mut next = |n: usize| {
+            // Tiny LCG keeps the fixture dependency-free.
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng_state >> 33) as usize % n
+        };
+        for _ in 0..sentences_per_cluster {
+            let s: Vec<&str> = (0..8).map(|_| a[next(a.len())]).collect();
+            corpus.push_text(&s.join(" "), &seg);
+            let s: Vec<&str> = (0..8).map(|_| b[next(b.len())]).collect();
+            corpus.push_text(&s.join(" "), &seg);
+        }
+        corpus
+    }
+
+    fn small_cfg() -> Word2VecConfig {
+        Word2VecConfig {
+            dim: 16,
+            window: 3,
+            negative: 4,
+            epochs: 8,
+            min_count: 1,
+            subsample: 0.0,
+            ..Word2VecConfig::default()
+        }
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn clusters_separate_in_embedding_space() {
+        let corpus = clustered_corpus(400);
+        let emb = Word2VecTrainer::new(small_cfg()).train(&corpus);
+        let within = emb.similarity("apple", "pear").unwrap();
+        let across = emb.similarity("apple", "bolt").unwrap();
+        assert!(
+            within > across + 0.2,
+            "within {within} should exceed across {across}"
+        );
+    }
+
+    #[test]
+    fn nearest_neighbors_come_from_same_cluster() {
+        let corpus = clustered_corpus(400);
+        let emb = Word2VecTrainer::new(small_cfg()).train(&corpus);
+        let nn = emb.nearest("bolt", 3).unwrap();
+        let cluster_b = ["nut", "screw", "washer"];
+        for (w, _) in &nn {
+            assert!(cluster_b.contains(w), "unexpected neighbor {w}");
+        }
+    }
+
+    #[test]
+    fn nearest_excludes_self_and_respects_k() {
+        let corpus = clustered_corpus(50);
+        let emb = Word2VecTrainer::new(small_cfg()).train(&corpus);
+        let nn = emb.nearest("apple", 2).unwrap();
+        assert_eq!(nn.len(), 2);
+        assert!(nn.iter().all(|(w, _)| *w != "apple"));
+    }
+
+    #[test]
+    fn min_count_excludes_rare_words() {
+        let mut corpus = Corpus::new();
+        let seg = WhitespaceSegmenter;
+        for _ in 0..20 {
+            corpus.push_text("common words appear here", &seg);
+        }
+        corpus.push_text("rareword common", &seg);
+        let cfg = Word2VecConfig { min_count: 3, ..small_cfg() };
+        let emb = Word2VecTrainer::new(cfg).train(&corpus);
+        assert!(emb.vector("rareword").is_none());
+        assert!(emb.vector("common").is_some());
+        assert!(emb.similarity("rareword", "common").is_none());
+    }
+
+    #[test]
+    fn unknown_word_yields_none() {
+        let corpus = clustered_corpus(10);
+        let emb = Word2VecTrainer::new(small_cfg()).train(&corpus);
+        assert!(emb.vector("nonexistent").is_none());
+        assert!(emb.nearest("nonexistent", 3).is_none());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let corpus = clustered_corpus(50);
+        let a = Word2VecTrainer::new(small_cfg()).train(&corpus);
+        let b = Word2VecTrainer::new(small_cfg()).train(&corpus);
+        assert_eq!(a.vector("apple").unwrap(), b.vector("apple").unwrap());
+    }
+
+    #[test]
+    fn vectors_are_finite() {
+        let corpus = clustered_corpus(100);
+        let emb = Word2VecTrainer::new(small_cfg()).train(&corpus);
+        for (w, trained) in emb.words() {
+            if trained {
+                assert!(emb.vector(w).unwrap().iter().all(|x| x.is_finite()), "{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_corpus_trains_empty_embedding() {
+        let corpus = Corpus::new();
+        let emb = Word2VecTrainer::new(small_cfg()).train(&corpus);
+        assert!(emb.is_empty());
+    }
+
+    #[test]
+    fn sigmoid_table_monotone_and_bounded() {
+        let t = build_sigmoid_table();
+        assert!(t.windows(2).all(|w| w[0] <= w[1]));
+        assert!(fast_sigmoid(-100.0, &t) == 0.0);
+        assert!(fast_sigmoid(100.0, &t) == 1.0);
+        assert!((fast_sigmoid(0.0, &t) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn analogy_returns_k_non_query_words() {
+        let corpus = clustered_corpus(100);
+        let emb = Word2VecTrainer::new(small_cfg()).train(&corpus);
+        let hits = emb.analogy("apple", "pear", "bolt", 3).unwrap();
+        assert_eq!(hits.len(), 3);
+        for (w, s) in &hits {
+            assert!(!["apple", "pear", "bolt"].contains(w));
+            assert!(s.is_finite());
+        }
+        assert!(emb.analogy("apple", "nonexistent", "bolt", 3).is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_vectors() {
+        let corpus = clustered_corpus(30);
+        let emb = Word2VecTrainer::new(small_cfg()).train(&corpus);
+        let json = serde_json::to_string(&emb).unwrap();
+        let back: Embedding = serde_json::from_str(&json).unwrap();
+        assert_eq!(emb.vector("apple"), back.vector("apple"));
+        assert_eq!(
+            emb.nearest("bolt", 2).unwrap(),
+            back.nearest("bolt", 2).unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must be positive")]
+    fn zero_dim_rejected() {
+        Word2VecTrainer::new(Word2VecConfig { dim: 0, ..Word2VecConfig::default() });
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the embedding substrate.
+
+use cats_embedding::word2vec::cosine;
+use cats_embedding::expand::expand_set;
+use cats_embedding::{ExpansionConfig, Word2VecConfig, Word2VecTrainer};
+use cats_text::{Corpus, WhitespaceSegmenter};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn vector() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, 4)
+}
+
+fn small_corpus(seed: u64) -> Corpus {
+    let seg = WhitespaceSegmenter;
+    let mut corpus = Corpus::new();
+    let words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+    let mut state = seed | 1;
+    for _ in 0..120 {
+        let mut sentence = Vec::new();
+        for _ in 0..6 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            sentence.push(words[(state >> 33) as usize % words.len()]);
+        }
+        corpus.push_text(&sentence.join(" "), &seg);
+    }
+    corpus
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cosine_bounded_and_symmetric(a in vector(), b in vector()) {
+        let ab = cosine(&a, &b);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&ab));
+        prop_assert!((ab - cosine(&b, &a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_scale_invariant(a in vector(), b in vector(), k in 0.1f32..10.0) {
+        let scaled: Vec<f32> = a.iter().map(|x| x * k).collect();
+        let d = (cosine(&a, &b) - cosine(&scaled, &b)).abs();
+        prop_assert!(d < 1e-4, "scale changed cosine by {d}");
+    }
+
+    #[test]
+    fn self_similarity_is_one(a in vector()) {
+        prop_assume!(a.iter().any(|&x| x.abs() > 1e-3));
+        prop_assert!((cosine(&a, &a) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn trained_embedding_is_queryable(seed in any::<u64>()) {
+        let corpus = small_corpus(seed);
+        let emb = Word2VecTrainer::new(Word2VecConfig {
+            dim: 8,
+            epochs: 1,
+            window: 2,
+            min_count: 1,
+            subsample: 0.0,
+            seed,
+            ..Word2VecConfig::default()
+        })
+        .train(&corpus);
+        let nn = emb.nearest("alpha", 3).expect("alpha trained");
+        prop_assert_eq!(nn.len(), 3);
+        for (w, s) in nn {
+            prop_assert!(w != "alpha");
+            prop_assert!(s.is_finite());
+        }
+    }
+
+    #[test]
+    fn expansion_never_exceeds_cap_and_keeps_seeds(seed in any::<u64>(), cap in 1usize..8) {
+        let corpus = small_corpus(seed);
+        let emb = Word2VecTrainer::new(Word2VecConfig {
+            dim: 8,
+            epochs: 1,
+            window: 2,
+            min_count: 1,
+            subsample: 0.0,
+            seed,
+            ..Word2VecConfig::default()
+        })
+        .train(&corpus);
+        let set = expand_set(
+            &emb,
+            &["alpha".to_string()],
+            &HashSet::new(),
+            ExpansionConfig { k: 4, min_similarity: -1.0, max_words: cap },
+        );
+        prop_assert!(set.len() <= cap.max(1));
+        prop_assert!(set.contains(&"alpha".to_string()));
+        // no duplicates
+        let mut sorted = set.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), set.len());
+    }
+}

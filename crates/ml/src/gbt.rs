@@ -1,0 +1,831 @@
+//! Second-order gradient boosted trees — the XGBoost algorithm, from
+//! scratch.
+//!
+//! CATS' detector ships with this model (the paper's Table III winner).
+//! Implements the core of Chen & Guestrin's system (the paper's reference 12):
+//!
+//! * logistic loss with per-example gradient `g = p − y` and hessian
+//!   `h = p(1 − p)`;
+//! * regression trees grown by exact greedy search maximizing the
+//!   structure gain `½[G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ`;
+//! * leaf weights `−G/(H+λ)`, scaled by the shrinkage `η`;
+//! * optional per-tree example subsampling;
+//! * feature importance as **split counts** — the metric Fig 7 plots
+//!   ("the times this feature is split during the construction process").
+
+use crate::classifier::Classifier;
+use crate::data::Dataset;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Split-finding strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitMode {
+    /// Exact greedy: every boundary between distinct sorted feature
+    /// values is a candidate (the reference's "exact greedy algorithm").
+    Exact,
+    /// Histogram/approximate: candidates are the boundaries of `bins`
+    /// global quantile buckets per feature (the reference's approximate
+    /// algorithm with a global proposal) — O(bins) instead of O(n)
+    /// candidate evaluations per node and feature.
+    Histogram {
+        /// Number of quantile buckets per feature.
+        bins: usize,
+    },
+}
+
+/// GBT hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GbtConfig {
+    /// Number of boosting rounds (trees).
+    pub n_trees: usize,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// Shrinkage (learning rate) η.
+    pub eta: f64,
+    /// L2 regularization λ on leaf weights.
+    pub lambda: f64,
+    /// Minimum gain γ to keep a split.
+    pub gamma: f64,
+    /// Minimum hessian sum per child (≈ min child weight).
+    pub min_child_weight: f64,
+    /// Per-tree row subsample fraction in `(0, 1]`.
+    pub subsample: f64,
+    /// RNG seed for subsampling.
+    pub seed: u64,
+    /// Split-finding strategy.
+    pub split_mode: SplitMode,
+    /// Per-tree feature subsample fraction in `(0, 1]` (colsample_bytree).
+    pub colsample: f64,
+}
+
+impl Default for GbtConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 120,
+            max_depth: 4,
+            eta: 0.15,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+            subsample: 0.9,
+            seed: 7,
+            split_mode: SplitMode::Exact,
+            colsample: 1.0,
+        }
+    }
+}
+
+/// A node of a regression tree, in a flat arena.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf { weight: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RegTree {
+    nodes: Vec<Node>,
+}
+
+impl RegTree {
+    fn predict(&self, row: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { weight } => return *weight,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if row[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// The boosted model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GradientBoostedTrees {
+    config: GbtConfig,
+    trees: Vec<RegTree>,
+    base_score: f64,
+    /// Split counts per feature (Fig 7's importance metric).
+    split_counts: Vec<u64>,
+    /// Total structure gain accumulated per feature (the "gain"
+    /// importance variant).
+    gain_sums: Vec<f64>,
+}
+
+impl GradientBoostedTrees {
+    /// Creates an untrained model.
+    pub fn new(config: GbtConfig) -> Self {
+        assert!(config.n_trees > 0, "n_trees must be positive");
+        assert!((0.0..=1.0).contains(&config.subsample) && config.subsample > 0.0);
+        assert!(
+            (0.0..=1.0).contains(&config.colsample) && config.colsample > 0.0,
+            "colsample in (0, 1]"
+        );
+        Self { config, trees: Vec::new(), base_score: 0.0, split_counts: Vec::new(), gain_sums: Vec::new() }
+    }
+
+    /// Whether the model has been fit.
+    pub fn is_fit(&self) -> bool {
+        !self.trees.is_empty()
+    }
+
+    /// Number of trees in the fitted ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Split-count feature importance (length = `n_features` of the
+    /// training data). This is the "weight" importance Fig 7 plots.
+    pub fn feature_importance(&self) -> &[u64] {
+        &self.split_counts
+    }
+
+    /// Gain feature importance: total structure-gain contributed by each
+    /// feature's splits. More faithful to predictive value than split
+    /// counts when features have very different split granularities.
+    pub fn feature_gain(&self) -> &[f64] {
+        &self.gain_sums
+    }
+
+    /// Raw margin (log-odds) for a row.
+    pub fn predict_margin(&self, row: &[f64]) -> f64 {
+        let mut m = self.base_score;
+        for t in &self.trees {
+            m += t.predict(row);
+        }
+        m
+    }
+}
+
+impl GradientBoostedTrees {
+    /// Fits with early stopping: after each boosting round the model is
+    /// scored on `valid` (log-loss); training stops once the loss has not
+    /// improved for `patience` consecutive rounds, and the tree list is
+    /// truncated back to the best round. Returns the number of trees
+    /// kept.
+    pub fn fit_early_stopping(
+        &mut self,
+        train: &Dataset,
+        valid: &Dataset,
+        patience: usize,
+    ) -> usize {
+        assert!(patience > 0, "patience must be positive");
+        assert!(!valid.is_empty(), "validation set must be non-empty");
+        self.fit_impl(train, Some((valid, patience)));
+        self.trees.len()
+    }
+
+    /// Mean log-loss of the current model on `data`.
+    pub fn log_loss(&self, data: &Dataset) -> f64 {
+        assert!(!data.is_empty(), "log-loss of empty dataset");
+        let mut sum = 0.0;
+        for i in 0..data.len() {
+            let p = sigmoid(self.predict_margin(data.row(i))).clamp(1e-12, 1.0 - 1e-12);
+            sum -= if data.label(i) == 1 { p.ln() } else { (1.0 - p).ln() };
+        }
+        sum / data.len() as f64
+    }
+
+    fn fit_impl(&mut self, data: &Dataset, early: Option<(&Dataset, usize)>) {
+        assert!(!data.is_empty(), "cannot fit GBT on an empty dataset");
+        let cfg = self.config;
+        let n = data.len();
+        self.trees.clear();
+        self.split_counts = vec![0; data.n_features()];
+        self.gain_sums = vec![0.0; data.n_features()];
+
+        // Base score: log-odds of the positive prior (clamped away from
+        // degenerate single-class priors).
+        let pos = data.n_positive() as f64;
+        let prior = (pos / n as f64).clamp(1e-6, 1.0 - 1e-6);
+        self.base_score = (prior / (1.0 - prior)).ln();
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut margins = vec![self.base_score; n];
+        let mut grad = vec![0.0f64; n];
+        let mut hess = vec![0.0f64; n];
+
+        // Quantile candidate thresholds per feature (histogram mode).
+        let candidates: Option<Vec<Vec<f64>>> = match cfg.split_mode {
+            SplitMode::Exact => None,
+            SplitMode::Histogram { bins } => {
+                assert!(bins >= 2, "histogram mode needs at least 2 bins");
+                Some(
+                    (0..data.n_features())
+                        .map(|f| quantile_thresholds(data, f, bins))
+                        .collect(),
+                )
+            }
+        };
+
+        // Pre-sorted feature orders, reused by every tree.
+        let sorted: Vec<Vec<u32>> = (0..data.n_features())
+            .map(|f| {
+                let mut idx: Vec<u32> = (0..n as u32).collect();
+                idx.sort_by(|&a, &b| {
+                    data.row(a as usize)[f]
+                        .partial_cmp(&data.row(b as usize)[f])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                idx
+            })
+            .collect();
+
+        let mut best_valid_loss = f64::INFINITY;
+        let mut best_round = 0usize;
+        let mut rounds_since_best = 0usize;
+
+        for _round in 0..cfg.n_trees {
+            for i in 0..n {
+                let p = sigmoid(margins[i]);
+                grad[i] = p - f64::from(data.label(i));
+                hess[i] = (p * (1.0 - p)).max(1e-16);
+            }
+            let in_sample: Vec<bool> = if cfg.subsample < 1.0 {
+                (0..n).map(|_| rng.random::<f64>() < cfg.subsample).collect()
+            } else {
+                vec![true; n]
+            };
+            // Per-tree feature mask: keep at least one feature.
+            let feature_mask: Vec<bool> = if cfg.colsample < 1.0 {
+                let nf = data.n_features();
+                let keep = (((nf as f64) * cfg.colsample).round() as usize).clamp(1, nf);
+                let mut idx: Vec<usize> = (0..nf).collect();
+                for i in (1..nf).rev() {
+                    let j = rng.random_range(0..=i);
+                    idx.swap(i, j);
+                }
+                let mut mask = vec![false; nf];
+                for &f in &idx[..keep] {
+                    mask[f] = true;
+                }
+                mask
+            } else {
+                vec![true; data.n_features()]
+            };
+
+            let mut builder = TreeBuilder {
+                data,
+                grad: &grad,
+                hess: &hess,
+                sorted: &sorted,
+                candidates: candidates.as_deref(),
+                feature_mask: &feature_mask,
+                cfg: &cfg,
+                nodes: Vec::new(),
+                split_counts: &mut self.split_counts,
+                gain_sums: &mut self.gain_sums,
+            };
+            let members: Vec<u32> = (0..n as u32).filter(|&i| in_sample[i as usize]).collect();
+            if members.is_empty() {
+                continue;
+            }
+            builder.build(members, 0);
+            let tree = RegTree { nodes: builder.nodes };
+            for (i, m) in margins.iter_mut().enumerate() {
+                *m += tree.predict(data.row(i));
+            }
+            self.trees.push(tree);
+
+            if let Some((valid, patience)) = early {
+                let loss = self.log_loss(valid);
+                if loss + 1e-12 < best_valid_loss {
+                    best_valid_loss = loss;
+                    best_round = self.trees.len();
+                    rounds_since_best = 0;
+                } else {
+                    rounds_since_best += 1;
+                    if rounds_since_best >= patience {
+                        break;
+                    }
+                }
+            }
+        }
+        if early.is_some() {
+            self.trees.truncate(best_round.max(1));
+        }
+    }
+}
+
+impl Classifier for GradientBoostedTrees {
+    fn fit(&mut self, data: &Dataset) {
+        self.fit_impl(data, None);
+    }
+
+    fn predict_proba(&self, row: &[f64]) -> f64 {
+        assert!(self.is_fit(), "predict before fit");
+        sigmoid(self.predict_margin(row))
+    }
+
+    fn name(&self) -> &'static str {
+        "Xgboost"
+    }
+}
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Global quantile thresholds of one feature: up to `bins − 1` distinct
+/// cut points at evenly spaced sample quantiles.
+fn quantile_thresholds(data: &Dataset, feature: usize, bins: usize) -> Vec<f64> {
+    let mut values: Vec<f64> = (0..data.len()).map(|i| data.row(i)[feature]).collect();
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = Vec::with_capacity(bins.saturating_sub(1));
+    for b in 1..bins {
+        let idx = (b * values.len()) / bins;
+        let v = values[idx.min(values.len() - 1)];
+        if out.last().is_none_or(|&last| v > last) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Grows one regression tree over (grad, hess).
+struct TreeBuilder<'a> {
+    data: &'a Dataset,
+    grad: &'a [f64],
+    hess: &'a [f64],
+    sorted: &'a [Vec<u32>],
+    candidates: Option<&'a [Vec<f64>]>,
+    feature_mask: &'a [bool],
+    cfg: &'a GbtConfig,
+    nodes: Vec<Node>,
+    split_counts: &'a mut [u64],
+    gain_sums: &'a mut [f64],
+}
+
+impl TreeBuilder<'_> {
+    fn build(&mut self, members: Vec<u32>, depth: usize) -> usize {
+        let g: f64 = members.iter().map(|&i| self.grad[i as usize]).sum();
+        let h: f64 = members.iter().map(|&i| self.hess[i as usize]).sum();
+        let leaf_weight = -g / (h + self.cfg.lambda) * self.cfg.eta;
+
+        if depth >= self.cfg.max_depth || members.len() < 2 {
+            self.nodes.push(Node::Leaf { weight: leaf_weight });
+            return self.nodes.len() - 1;
+        }
+
+        let Some((feature, threshold, gain)) = self.best_split(&members, g, h) else {
+            self.nodes.push(Node::Leaf { weight: leaf_weight });
+            return self.nodes.len() - 1;
+        };
+
+        let (left, right): (Vec<u32>, Vec<u32>) = members
+            .into_iter()
+            .partition(|&i| self.data.row(i as usize)[feature] < threshold);
+        if left.is_empty() || right.is_empty() {
+            self.nodes.push(Node::Leaf { weight: leaf_weight });
+            return self.nodes.len() - 1;
+        }
+
+        self.split_counts[feature] += 1;
+        self.gain_sums[feature] += gain;
+        let me = self.nodes.len();
+        self.nodes.push(Node::Leaf { weight: leaf_weight });
+        let l = self.build(left, depth + 1);
+        let r = self.build(right, depth + 1);
+        self.nodes[me] = Node::Split { feature, threshold, left: l, right: r };
+        me
+    }
+
+    fn best_split(&self, members: &[u32], g_total: f64, h_total: f64) -> Option<(usize, f64, f64)> {
+        match self.candidates {
+            None => self.best_split_exact(members, g_total, h_total),
+            Some(c) => self.best_split_histogram(members, g_total, h_total, c),
+        }
+    }
+
+    /// Histogram split: accumulate (G, H) per global quantile bucket, then
+    /// scan the O(bins) boundaries.
+    fn best_split_histogram(
+        &self,
+        members: &[u32],
+        g_total: f64,
+        h_total: f64,
+        candidates: &[Vec<f64>],
+    ) -> Option<(usize, f64, f64)> {
+        let cfg = self.cfg;
+        let parent_score = g_total * g_total / (h_total + cfg.lambda);
+        let mut best: Option<(f64, usize, f64)> = None;
+
+        for (feature, thresholds) in candidates.iter().enumerate() {
+            if thresholds.is_empty() || !self.feature_mask[feature] {
+                continue;
+            }
+            // Bucket b holds rows with value < thresholds[b]; the last
+            // bucket is everything >= the final threshold.
+            let mut g_bins = vec![0.0f64; thresholds.len() + 1];
+            let mut h_bins = vec![0.0f64; thresholds.len() + 1];
+            for &i in members {
+                let v = self.data.row(i as usize)[feature];
+                let b = thresholds.partition_point(|&t| t <= v);
+                g_bins[b] += self.grad[i as usize];
+                h_bins[b] += self.hess[i as usize];
+            }
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            for (b, &t) in thresholds.iter().enumerate() {
+                gl += g_bins[b];
+                hl += h_bins[b];
+                let gr = g_total - gl;
+                let hr = h_total - hl;
+                if hl < cfg.min_child_weight || hr < cfg.min_child_weight {
+                    continue;
+                }
+                let gain = 0.5
+                    * (gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda) - parent_score)
+                    - cfg.gamma;
+                if gain > 1e-12 && best.as_ref().is_none_or(|(bg, _, _)| gain > *bg) {
+                    best = Some((gain, feature, t));
+                }
+            }
+        }
+        best.map(|(g, f, t)| (f, t, g))
+    }
+
+    /// Exact greedy split over the node's members, walking each feature in
+    /// globally pre-sorted order.
+    fn best_split_exact(&self, members: &[u32], g_total: f64, h_total: f64) -> Option<(usize, f64, f64)> {
+        let cfg = self.cfg;
+        let parent_score = g_total * g_total / (h_total + cfg.lambda);
+        let mut best: Option<(f64, usize, f64)> = None;
+
+        let mut in_node = vec![false; self.data.len()];
+        for &i in members {
+            in_node[i as usize] = true;
+        }
+
+        for (feature, order) in self.sorted.iter().enumerate() {
+            if !self.feature_mask[feature] {
+                continue;
+            }
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            let mut prev_val: Option<f64> = None;
+            for &i in order {
+                let i = i as usize;
+                if !in_node[i] {
+                    continue;
+                }
+                let v = self.data.row(i)[feature];
+                if let Some(pv) = prev_val {
+                    if v > pv && hl >= cfg.min_child_weight {
+                        let gr = g_total - gl;
+                        let hr = h_total - hl;
+                        if hr >= cfg.min_child_weight {
+                            let gain = 0.5
+                                * (gl * gl / (hl + cfg.lambda)
+                                    + gr * gr / (hr + cfg.lambda)
+                                    - parent_score)
+                                - cfg.gamma;
+                            if gain > 1e-12 && best.as_ref().is_none_or(|(bg, _, _)| gain > *bg) {
+                                best = Some((gain, feature, (pv + v) / 2.0));
+                            }
+                        }
+                    }
+                }
+                gl += self.grad[i];
+                hl += self.hess[i];
+                prev_val = Some(v);
+            }
+        }
+        best.map(|(g, f, t)| (f, t, g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::predict_all;
+    use crate::data::Dataset;
+
+    fn cfg_small() -> GbtConfig {
+        GbtConfig { n_trees: 30, max_depth: 3, eta: 0.3, subsample: 1.0, ..GbtConfig::default() }
+    }
+
+    /// Noisy linearly separable data on feature 0.
+    fn separable(n: usize) -> Dataset {
+        let mut d = Dataset::new(3);
+        for i in 0..n {
+            let x = i as f64 / n as f64;
+            d.push(&[1.0 + x, x, (i % 7) as f64], 1);
+            d.push(&[-1.0 - x, x, (i % 5) as f64], 0);
+        }
+        d
+    }
+
+    #[test]
+    fn fits_separable_data() {
+        let d = separable(100);
+        let mut m = GradientBoostedTrees::new(cfg_small());
+        m.fit(&d);
+        let preds = predict_all(&m, &d);
+        let correct = preds
+            .iter()
+            .zip(d.labels())
+            .filter(|(p, &l)| **p == (l == 1))
+            .count();
+        assert_eq!(correct, d.len());
+    }
+
+    #[test]
+    fn solves_xor_unlike_a_stump() {
+        let mut d = Dataset::new(2);
+        for _ in 0..20 {
+            d.push(&[0.0, 0.0], 0);
+            d.push(&[0.0, 1.0], 1);
+            d.push(&[1.0, 0.0], 1);
+            d.push(&[1.0, 1.0], 0);
+        }
+        // Full-batch exact greedy finds zero gain at the XOR root (both
+        // children inherit G = 0); row subsampling breaks the symmetry.
+        let mut m = GradientBoostedTrees::new(GbtConfig { subsample: 0.7, ..cfg_small() });
+        m.fit(&d);
+        assert!(!m.predict(&[0.0, 0.0]));
+        assert!(m.predict(&[0.0, 1.0]));
+        assert!(m.predict(&[1.0, 0.0]));
+        assert!(!m.predict(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval_and_finite() {
+        let d = separable(50);
+        let mut m = GradientBoostedTrees::new(cfg_small());
+        m.fit(&d);
+        for i in 0..d.len() {
+            let p = m.predict_proba(d.row(i));
+            assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn importance_concentrates_on_informative_feature() {
+        let d = separable(200);
+        let mut m = GradientBoostedTrees::new(cfg_small());
+        m.fit(&d);
+        let imp = m.feature_importance();
+        assert_eq!(imp.len(), 3);
+        assert!(
+            imp[0] > imp[1] && imp[0] > imp[2],
+            "feature 0 should dominate: {imp:?}"
+        );
+    }
+
+    #[test]
+    fn gain_importance_tracks_split_importance() {
+        let d = separable(200);
+        let mut m = GradientBoostedTrees::new(cfg_small());
+        m.fit(&d);
+        let gains = m.feature_gain();
+        assert_eq!(gains.len(), 3);
+        assert!(gains.iter().all(|g| g.is_finite() && *g >= 0.0));
+        // The informative feature dominates by gain too.
+        assert!(gains[0] > gains[1] && gains[0] > gains[2], "{gains:?}");
+        // Features never split have zero accumulated gain.
+        for (f, (&c, &g)) in m
+            .feature_importance()
+            .iter()
+            .zip(gains)
+            .enumerate()
+        {
+            if c == 0 {
+                assert_eq!(g, 0.0, "feature {f} has gain without splits");
+            } else {
+                assert!(g > 0.0, "feature {f} split {c} times with zero gain");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = separable(60);
+        let mut a = GradientBoostedTrees::new(cfg_small());
+        let mut b = GradientBoostedTrees::new(cfg_small());
+        a.fit(&d);
+        b.fit(&d);
+        for i in 0..d.len() {
+            assert_eq!(a.predict_proba(d.row(i)), b.predict_proba(d.row(i)));
+        }
+    }
+
+    #[test]
+    fn subsampling_still_learns() {
+        let d = separable(150);
+        let mut m = GradientBoostedTrees::new(GbtConfig {
+            subsample: 0.6,
+            n_trees: 60,
+            ..cfg_small()
+        });
+        m.fit(&d);
+        let preds = predict_all(&m, &d);
+        let correct = preds
+            .iter()
+            .zip(d.labels())
+            .filter(|(p, &l)| **p == (l == 1))
+            .count();
+        assert!(correct as f64 / d.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn single_class_data_predicts_that_class() {
+        let mut d = Dataset::new(1);
+        for i in 0..20 {
+            d.push(&[i as f64], 1);
+        }
+        let mut m = GradientBoostedTrees::new(cfg_small());
+        m.fit(&d);
+        assert!(m.predict_proba(&[5.0]) > 0.9);
+    }
+
+    #[test]
+    fn gamma_prunes_trees() {
+        let d = separable(100);
+        let mut free = GradientBoostedTrees::new(GbtConfig { gamma: 0.0, ..cfg_small() });
+        let mut strict = GradientBoostedTrees::new(GbtConfig { gamma: 1e6, ..cfg_small() });
+        free.fit(&d);
+        strict.fit(&d);
+        let splits_free: u64 = free.feature_importance().iter().sum();
+        let splits_strict: u64 = strict.feature_importance().iter().sum();
+        assert!(splits_strict < splits_free, "{splits_strict} vs {splits_free}");
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        GradientBoostedTrees::new(cfg_small()).predict_proba(&[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn margin_matches_proba() {
+        let d = separable(40);
+        let mut m = GradientBoostedTrees::new(cfg_small());
+        m.fit(&d);
+        let row = d.row(0);
+        assert!((sigmoid(m.predict_margin(row)) - m.predict_proba(row)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn colsample_restricts_but_still_learns() {
+        // With 3 features of which feature 0 carries the signal,
+        // colsample 0.67 keeps 2 of 3 per tree; across many trees the
+        // informative feature participates often enough to learn.
+        let d = separable(150);
+        let mut m = GradientBoostedTrees::new(GbtConfig {
+            colsample: 0.67,
+            n_trees: 60,
+            ..cfg_small()
+        });
+        m.fit(&d);
+        let acc = predict_all(&m, &d)
+            .iter()
+            .zip(d.labels())
+            .filter(|(p, &l)| **p == (l == 1))
+            .count() as f64
+            / d.len() as f64;
+        assert!(acc > 0.95, "colsample accuracy {acc}");
+        // and the other features get split chances they wouldn't otherwise
+        let imp = m.feature_importance();
+        assert!(imp.iter().filter(|&&c| c > 0).count() >= 2, "{imp:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "colsample in (0, 1]")]
+    fn zero_colsample_rejected() {
+        GradientBoostedTrees::new(GbtConfig { colsample: 0.0, ..cfg_small() });
+    }
+
+    #[test]
+    fn histogram_mode_learns_separable_data() {
+        let d = separable(150);
+        let mut m = GradientBoostedTrees::new(GbtConfig {
+            split_mode: SplitMode::Histogram { bins: 16 },
+            ..cfg_small()
+        });
+        m.fit(&d);
+        let preds = predict_all(&m, &d);
+        let acc = preds
+            .iter()
+            .zip(d.labels())
+            .filter(|(p, &l)| **p == (l == 1))
+            .count() as f64
+            / d.len() as f64;
+        assert!(acc > 0.97, "histogram-mode accuracy {acc}");
+    }
+
+    #[test]
+    fn histogram_and_exact_agree_closely() {
+        let d = separable(200);
+        let mut exact = GradientBoostedTrees::new(cfg_small());
+        let mut hist = GradientBoostedTrees::new(GbtConfig {
+            split_mode: SplitMode::Histogram { bins: 32 },
+            ..cfg_small()
+        });
+        exact.fit(&d);
+        hist.fit(&d);
+        let disagreements = (0..d.len())
+            .filter(|&i| exact.predict(d.row(i)) != hist.predict(d.row(i)))
+            .count();
+        assert!(
+            disagreements * 20 <= d.len(),
+            "modes disagree on {disagreements}/{} rows",
+            d.len()
+        );
+    }
+
+    #[test]
+    fn quantile_thresholds_sorted_distinct_bounded() {
+        let mut d = Dataset::new(1);
+        for i in 0..97 {
+            d.push(&[(i % 13) as f64], u8::from(i % 2 == 0));
+        }
+        let t = quantile_thresholds(&d, 0, 8);
+        assert!(t.len() <= 7);
+        assert!(t.windows(2).all(|w| w[0] < w[1]), "{t:?}");
+    }
+
+    #[test]
+    fn constant_feature_has_no_thresholds_but_trains() {
+        let mut d = Dataset::new(2);
+        for i in 0..40 {
+            d.push(&[5.0, i as f64], u8::from(i >= 20));
+        }
+        assert!(quantile_thresholds(&d, 0, 8).len() <= 1);
+        let mut m = GradientBoostedTrees::new(GbtConfig {
+            split_mode: SplitMode::Histogram { bins: 8 },
+            ..cfg_small()
+        });
+        m.fit(&d);
+        assert!(m.predict(&[5.0, 35.0]));
+        assert!(!m.predict(&[5.0, 5.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 bins")]
+    fn single_bin_rejected() {
+        let d = separable(10);
+        GradientBoostedTrees::new(GbtConfig {
+            split_mode: SplitMode::Histogram { bins: 1 },
+            ..cfg_small()
+        })
+        .fit(&d);
+    }
+
+    #[test]
+    fn early_stopping_truncates_and_matches_best_round() {
+        // Train/valid split of separable data: validation loss improves
+        // quickly then flattens; early stopping must keep fewer trees than
+        // the full budget without hurting accuracy.
+        let train = separable(120);
+        let valid = separable(40);
+        let cfg = GbtConfig { n_trees: 200, ..cfg_small() };
+        let mut es = GradientBoostedTrees::new(cfg);
+        let kept = es.fit_early_stopping(&train, &valid, 5);
+        assert!(kept >= 1);
+        assert!(kept < 200, "early stopping should fire before the budget: {kept}");
+        assert_eq!(es.n_trees(), kept);
+        let preds = predict_all(&es, &valid);
+        let acc = preds
+            .iter()
+            .zip(valid.labels())
+            .filter(|(p, &l)| **p == (l == 1))
+            .count() as f64
+            / valid.len() as f64;
+        assert!(acc > 0.95, "early-stopped model accuracy {acc}");
+    }
+
+    #[test]
+    fn log_loss_decreases_with_training() {
+        let d = separable(80);
+        let mut short = GradientBoostedTrees::new(GbtConfig { n_trees: 1, ..cfg_small() });
+        let mut long = GradientBoostedTrees::new(GbtConfig { n_trees: 30, ..cfg_small() });
+        short.fit(&d);
+        long.fit(&d);
+        assert!(long.log_loss(&d) < short.log_loss(&d));
+        assert!(long.log_loss(&d) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "patience must be positive")]
+    fn zero_patience_rejected() {
+        let d = separable(10);
+        GradientBoostedTrees::new(cfg_small()).fit_early_stopping(&d, &d, 0);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let d = separable(40);
+        let mut m = GradientBoostedTrees::new(cfg_small());
+        m.fit(&d);
+        let json = serde_json::to_string(&m).unwrap();
+        let m2: GradientBoostedTrees = serde_json::from_str(&json).unwrap();
+        for i in 0..d.len() {
+            assert_eq!(m.predict_proba(d.row(i)), m2.predict_proba(d.row(i)));
+        }
+    }
+}

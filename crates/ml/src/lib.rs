@@ -1,0 +1,44 @@
+//! # cats-ml — machine-learning substrate
+//!
+//! CATS' detector is "a binary classifier with a model for weighting the
+//! features" (§II-B). The paper compares six model families under
+//! five-fold cross-validation (Table III) — Xgboost, SVM, AdaBoost,
+//! Neural Network, Decision Tree, Naive Bayes — and picks the
+//! gradient-boosted-tree model. This crate implements all six from
+//! scratch, plus the evaluation harness around them:
+//!
+//! * [`data`] — dense datasets, stratified splits/k-folds, feature
+//!   standardization;
+//! * [`metrics`] — precision / recall / F-score / accuracy and confusion
+//!   counts (the quantities of Tables III & VI);
+//! * [`Classifier`] — object-safe train/predict interface all models
+//!   implement;
+//! * [`gbt`] — second-order gradient boosted trees (the XGBoost
+//!   algorithm: logistic loss, exact greedy splits, λ/γ regularization,
+//!   shrinkage, split-count feature importance for Fig 7);
+//! * [`tree`] — weighted CART decision trees (used standalone and as
+//!   AdaBoost's stump learner);
+//! * [`svm`] — linear SVM trained with the Pegasos subgradient method;
+//! * [`adaboost`] — discrete AdaBoost over depth-1 stumps;
+//! * [`mlp`] — one-hidden-layer neural network with SGD;
+//! * [`naive_bayes`] — Gaussian Naive Bayes;
+//! * [`model_selection`] — k-fold cross-validation and the Table III
+//!   comparison harness;
+//! * [`ranking`] — threshold-free metrics (ROC-AUC, precision–recall
+//!   curves, average precision) behind the operating-point calibration.
+
+pub mod adaboost;
+pub mod classifier;
+pub mod data;
+pub mod gbt;
+pub mod metrics;
+pub mod mlp;
+pub mod model_selection;
+pub mod naive_bayes;
+pub mod ranking;
+pub mod svm;
+pub mod tree;
+
+pub use classifier::Classifier;
+pub use data::{Dataset, StandardScaler};
+pub use metrics::{confusion, BinaryMetrics};

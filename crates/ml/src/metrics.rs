@@ -1,0 +1,182 @@
+//! Binary-classification metrics (Tables III & VI report precision,
+//! recall, and F-score of the fraud class).
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts with fraud (label 1) as the positive class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Fraud predicted fraud.
+    pub tp: usize,
+    /// Normal predicted fraud.
+    pub fp: usize,
+    /// Normal predicted normal.
+    pub tn: usize,
+    /// Fraud predicted normal.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Total examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+}
+
+/// Builds confusion counts from parallel label/prediction slices.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn confusion(labels: &[u8], predictions: &[bool]) -> Confusion {
+    assert_eq!(labels.len(), predictions.len(), "labels/predictions mismatch");
+    let mut c = Confusion::default();
+    for (&y, &p) in labels.iter().zip(predictions) {
+        match (y == 1, p) {
+            (true, true) => c.tp += 1,
+            (false, true) => c.fp += 1,
+            (false, false) => c.tn += 1,
+            (true, false) => c.fn_ += 1,
+        }
+    }
+    c
+}
+
+/// Precision / recall / F1 / accuracy derived from confusion counts.
+///
+/// Degenerate denominators follow the usual convention: a metric whose
+/// denominator is zero is reported as 0 (there is nothing to be right
+/// about), keeping every metric in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinaryMetrics {
+    /// TP / (TP + FP).
+    pub precision: f64,
+    /// TP / (TP + FN).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// (TP + TN) / total.
+    pub accuracy: f64,
+    /// The underlying counts.
+    pub confusion: Confusion,
+}
+
+impl BinaryMetrics {
+    /// Derives metrics from confusion counts.
+    pub fn from_confusion(c: Confusion) -> Self {
+        let ratio = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        let precision = ratio(c.tp, c.tp + c.fp);
+        let recall = ratio(c.tp, c.tp + c.fn_);
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        let accuracy = ratio(c.tp + c.tn, c.total());
+        Self { precision, recall, f1, accuracy, confusion: c }
+    }
+
+    /// Convenience: metrics straight from labels and predictions.
+    pub fn compute(labels: &[u8], predictions: &[bool]) -> Self {
+        Self::from_confusion(confusion(labels, predictions))
+    }
+}
+
+impl std::fmt::Display for BinaryMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.3} R={:.3} F1={:.3} Acc={:.3}",
+            self.precision, self.recall, self.f1, self.accuracy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let labels = [1, 1, 0, 0, 1];
+        let preds = [true, false, true, false, true];
+        let c = confusion(&labels, &preds);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let m = BinaryMetrics::compute(&[1, 0, 1], &[true, false, true]);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+    }
+
+    #[test]
+    fn all_wrong_prediction() {
+        let m = BinaryMetrics::compute(&[1, 0], &[false, true]);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.accuracy, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // tp=8, fp=2, fn=4, tn=6
+        let c = Confusion { tp: 8, fp: 2, tn: 6, fn_: 4 };
+        let m = BinaryMetrics::from_confusion(c);
+        assert!((m.precision - 0.8).abs() < 1e-12);
+        assert!((m.recall - 8.0 / 12.0).abs() < 1e-12);
+        let expect_f1 = 2.0 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0);
+        assert!((m.f1 - expect_f1).abs() < 1e-12);
+        assert!((m.accuracy - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_no_predictions_positive() {
+        // nothing predicted positive: precision denominator is 0
+        let m = BinaryMetrics::compute(&[1, 0], &[false, false]);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.accuracy, 0.5);
+    }
+
+    #[test]
+    fn degenerate_no_positive_labels() {
+        let m = BinaryMetrics::compute(&[0, 0], &[false, false]);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.accuracy, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn length_mismatch_rejected() {
+        confusion(&[1], &[true, false]);
+    }
+
+    #[test]
+    fn metrics_always_in_unit_interval() {
+        for tp in 0..3 {
+            for fp in 0..3 {
+                for tn in 0..3 {
+                    for fn_ in 0..3 {
+                        let m = BinaryMetrics::from_confusion(Confusion { tp, fp, tn, fn_ });
+                        for v in [m.precision, m.recall, m.f1, m.accuracy] {
+                            assert!((0.0..=1.0).contains(&v), "{v}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        let m = BinaryMetrics::compute(&[1, 0], &[true, false]);
+        let s = format!("{m}");
+        assert!(s.contains("P=1.000"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the ML substrate.
+
+use cats_ml::classifier::predict_all;
+use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
+use cats_ml::metrics::{BinaryMetrics, Confusion};
+use cats_ml::naive_bayes::GaussianNaiveBayes;
+use cats_ml::tree::{DecisionTree, TreeConfig};
+use cats_ml::{Classifier, Dataset, StandardScaler};
+use proptest::prelude::*;
+
+/// Strategy: a labeled dataset with 2 features, both classes present.
+fn dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        (
+            prop::num::f64::NORMAL.prop_map(|x| x % 100.0),
+            prop::num::f64::NORMAL.prop_map(|x| x % 100.0),
+            prop::bool::ANY,
+        ),
+        4..60,
+    )
+    .prop_map(|rows| {
+        let mut d = Dataset::new(2);
+        // Force at least one example of each class.
+        d.push(&[1.0, 1.0], 1);
+        d.push(&[-1.0, -1.0], 0);
+        for (a, b, y) in rows {
+            d.push(&[a, b], u8::from(y));
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metrics_in_unit_interval(tp in 0usize..50, fp in 0usize..50, tn in 0usize..50, fn_ in 0usize..50) {
+        let m = BinaryMetrics::from_confusion(Confusion { tp, fp, tn, fn_ });
+        for v in [m.precision, m.recall, m.f1, m.accuracy] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // F1 is between min and max of P and R when both nonzero.
+        if m.precision > 0.0 && m.recall > 0.0 {
+            prop_assert!(m.f1 <= m.precision.max(m.recall) + 1e-12);
+            prop_assert!(m.f1 >= m.precision.min(m.recall) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn kfold_partitions_exactly(data in dataset(), k in 2usize..6) {
+        let folds = data.stratified_kfold(k, 7);
+        prop_assert_eq!(folds.len(), k);
+        let total: usize = folds.iter().map(|(_, te)| te.len()).sum();
+        prop_assert_eq!(total, data.len());
+        for (tr, te) in &folds {
+            prop_assert_eq!(tr.len() + te.len(), data.len());
+        }
+        // Class balance: each fold's positive count within ±1 of fair share.
+        let pos = data.n_positive();
+        for (_, te) in &folds {
+            let share = pos as f64 / k as f64;
+            prop_assert!((te.n_positive() as f64 - share).abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn scaler_transform_is_affine_and_finite(data in dataset()) {
+        let sc = StandardScaler::fit(&data);
+        let t = sc.transform(&data);
+        prop_assert_eq!(t.len(), data.len());
+        for i in 0..t.len() {
+            for &v in t.row(i) {
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn gbt_probabilities_valid_on_any_data(data in dataset()) {
+        let mut m = GradientBoostedTrees::new(GbtConfig {
+            n_trees: 10,
+            subsample: 1.0,
+            ..GbtConfig::default()
+        });
+        m.fit(&data);
+        for i in 0..data.len() {
+            let p = m.predict_proba(data.row(i));
+            prop_assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn tree_training_accuracy_not_worse_than_majority(data in dataset()) {
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&data);
+        let preds = predict_all(&t, &data);
+        let correct = preds
+            .iter()
+            .zip(data.labels())
+            .filter(|(p, &l)| **p == (l == 1))
+            .count();
+        let pos = data.n_positive();
+        let majority = pos.max(data.len() - pos);
+        prop_assert!(correct >= majority, "tree {correct} < majority {majority}");
+    }
+
+    #[test]
+    fn nb_probability_monotone_along_class_axis(shift in 1.0f64..50.0) {
+        // Two Gaussian blobs separated along feature 0 by `shift`.
+        let mut d = Dataset::new(1);
+        for i in 0..20 {
+            let j = (i as f64) / 20.0;
+            d.push(&[shift + j], 1);
+            d.push(&[-shift - j], 0);
+        }
+        let mut m = GaussianNaiveBayes::new();
+        m.fit(&d);
+        let p_neg = m.predict_proba(&[-shift]);
+        let p_mid = m.predict_proba(&[0.0]);
+        let p_pos = m.predict_proba(&[shift]);
+        prop_assert!(p_neg <= p_mid + 1e-9);
+        prop_assert!(p_mid <= p_pos + 1e-9);
+    }
+
+    #[test]
+    fn stratified_split_preserves_all_rows(data in dataset(), frac in 0.1f64..0.5) {
+        let (tr, te) = data.stratified_split(frac, 3);
+        prop_assert_eq!(tr.len() + te.len(), data.len());
+        prop_assert_eq!(tr.n_positive() + te.n_positive(), data.n_positive());
+    }
+}
+
+mod ranking_props {
+    use cats_ml::ranking::{average_precision, pr_curve, roc_auc};
+    use proptest::prelude::*;
+
+    fn scored() -> impl Strategy<Value = (Vec<f64>, Vec<u8>)> {
+        prop::collection::vec((0.0f64..1.0, 0u8..2), 2..80).prop_map(|v| {
+            let (s, l): (Vec<f64>, Vec<u8>) = v.into_iter().unzip();
+            (s, l)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn auc_bounded_and_complement_symmetric((scores, labels) in scored()) {
+            let auc = roc_auc(&scores, &labels);
+            prop_assert!((0.0..=1.0).contains(&auc));
+            // Flipping labels mirrors the AUC around 0.5 (when both classes
+            // are present).
+            let flipped: Vec<u8> = labels.iter().map(|&l| 1 - l).collect();
+            let has_both = labels.contains(&0) && labels.contains(&1);
+            if has_both {
+                let auc_f = roc_auc(&scores, &flipped);
+                prop_assert!((auc + auc_f - 1.0).abs() < 1e-9, "{auc} + {auc_f}");
+            }
+        }
+
+        #[test]
+        fn auc_invariant_under_monotone_transform((scores, labels) in scored()) {
+            let squashed: Vec<f64> = scores.iter().map(|s| s * s).collect();
+            let a = roc_auc(&scores, &labels);
+            let b = roc_auc(&squashed, &labels);
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+
+        #[test]
+        fn pr_curve_valid((scores, labels) in scored()) {
+            let curve = pr_curve(&scores, &labels);
+            for p in &curve {
+                prop_assert!((0.0..=1.0).contains(&p.precision));
+                prop_assert!((0.0..=1.0).contains(&p.recall));
+            }
+            prop_assert!(curve.windows(2).all(|w| w[0].recall <= w[1].recall));
+            let ap = average_precision(&scores, &labels);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+        }
+    }
+}

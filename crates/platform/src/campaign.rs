@@ -1,0 +1,259 @@
+//! User population and fraud-campaign model.
+//!
+//! The measurement study of the paper's §V hinges on *who* buys fraud
+//! items: hired promoters with low reliability scores, organized in pools
+//! that repeatedly purchase the same targeted items. This module generates
+//! the user population and assigns buyers to comments so that the paper's
+//! user-aspect findings are reproducible:
+//!
+//! * userExpValue spans `[100, 27_158_720]`; overall ~20% of users fall
+//!   below 2,000;
+//! * among fraud-item buyers: ~45% below 2,000, ~39% below 1,000, ~15% at
+//!   the floor value 100 (Fig 11);
+//! * hired users buy fraud items repeatedly (some hundreds of times), and
+//!   pairs of hired users co-purchase ≥2 common fraud items because they
+//!   work from shared pools (the paper's 83,745 pairs / 1,056 users).
+
+use crate::dist::{log_normal, weighted_index};
+use crate::entities::{anonymized_nickname, Client, User, MAX_USER_EXP, MIN_USER_EXP};
+use rand::{Rng, RngExt};
+
+/// Parameters of the user population.
+#[derive(Debug, Clone, Copy)]
+pub struct UserPopulationConfig {
+    /// Total registered users.
+    pub n_users: usize,
+    /// Fraction of users that are hired promoters.
+    pub hired_fraction: f64,
+}
+
+impl Default for UserPopulationConfig {
+    fn default() -> Self {
+        Self { n_users: 50_000, hired_fraction: 0.02 }
+    }
+}
+
+/// Generates the user population. Hired users are placed at the front of
+/// the id space grouping them into contiguous pools.
+pub fn generate_users(cfg: UserPopulationConfig, rng: &mut impl Rng) -> Vec<User> {
+    let n_hired = ((cfg.n_users as f64) * cfg.hired_fraction).round() as usize;
+    let mut users = Vec::with_capacity(cfg.n_users);
+    for id in 0..cfg.n_users {
+        let hired = id < n_hired;
+        let exp_value = if hired {
+            sample_hired_exp(rng)
+        } else {
+            sample_organic_exp(rng)
+        };
+        users.push(User {
+            id: id as u32,
+            nickname: anonymized_nickname(id as u32),
+            exp_value,
+            hired,
+        });
+    }
+    users
+}
+
+/// Hired promoters: overwhelmingly low reliability. Mixture tuned so the
+/// fraud-buyer marginals of Fig 11 come out right after pool sampling:
+/// a thick atom at the floor (100), mass below 1,000 and 2,000, and a thin
+/// tail of "aged" accounts.
+fn sample_hired_exp(rng: &mut impl Rng) -> u64 {
+    match weighted_index(rng, &[0.25, 0.35, 0.15, 0.20, 0.05]) {
+        0 => MIN_USER_EXP,
+        1 => rng.random_range(MIN_USER_EXP + 1..1_000),
+        2 => rng.random_range(1_000..2_000),
+        3 => rng.random_range(2_000..20_000),
+        _ => (log_normal(rng, 10.0, 1.0) as u64).clamp(20_000, MAX_USER_EXP),
+    }
+}
+
+/// Organic users: log-normal reliability, floor-clamped; ~20% below 2,000
+/// (paper: "only ~20% of [overall users] have userExpValue smaller than
+/// 2,000").
+fn sample_organic_exp(rng: &mut impl Rng) -> u64 {
+    let v = log_normal(rng, 8.6, 1.35) as u64;
+    v.clamp(MIN_USER_EXP, MAX_USER_EXP)
+}
+
+/// A fraud campaign: a set of hired-user pools. Each fraud item is promoted
+/// by one pool; every promo comment on it is written by a member of that
+/// pool, which is what makes pool-mates co-purchase the same fraud items.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    pools: Vec<Vec<u32>>,
+}
+
+impl Campaign {
+    /// Partitions the hired users (by id) into `n_pools` round-robin pools.
+    ///
+    /// # Panics
+    /// Panics if there are no hired users or `n_pools == 0`.
+    pub fn from_users(users: &[User], n_pools: usize) -> Self {
+        assert!(n_pools > 0, "campaign needs at least one pool");
+        let hired: Vec<u32> = users.iter().filter(|u| u.hired).map(|u| u.id).collect();
+        assert!(!hired.is_empty(), "campaign needs hired users");
+        let n_pools = n_pools.min(hired.len());
+        let mut pools = vec![Vec::new(); n_pools];
+        for (i, id) in hired.into_iter().enumerate() {
+            pools[i % n_pools].push(id);
+        }
+        Self { pools }
+    }
+
+    /// Number of pools.
+    pub fn n_pools(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Picks the pool promoting fraud item number `item_ordinal`.
+    pub fn pool_for_item(&self, item_ordinal: usize) -> &[u32] {
+        &self.pools[item_ordinal % self.pools.len()]
+    }
+
+    /// Samples a promoter for a fraud item from its pool.
+    pub fn sample_promoter(&self, item_ordinal: usize, rng: &mut impl Rng) -> u32 {
+        let pool = self.pool_for_item(item_ordinal);
+        pool[rng.random_range(0..pool.len())]
+    }
+}
+
+/// Client-source distributions (paper Fig 12): fraud orders come mostly
+/// from the Web client, normal orders mostly from Android.
+pub fn sample_client(fraud_order: bool, rng: &mut impl Rng) -> Client {
+    let weights: [f64; 4] = if fraud_order {
+        // [Web, Android, iPhone, Wechat]
+        [0.52, 0.22, 0.16, 0.10]
+    } else {
+        [0.14, 0.47, 0.28, 0.11]
+    };
+    Client::ALL[weighted_index(rng, &weights)]
+}
+
+/// Samples an organic buyer id uniformly among non-hired users, given the
+/// hired-user count (organic ids are `n_hired..n_users`).
+pub fn sample_organic_buyer(n_hired: usize, n_users: usize, rng: &mut impl Rng) -> u32 {
+    rng.random_range(n_hired..n_users) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn users(n: usize, frac: f64) -> Vec<User> {
+        generate_users(UserPopulationConfig { n_users: n, hired_fraction: frac }, &mut rng())
+    }
+
+    #[test]
+    fn population_size_and_hired_count() {
+        let us = users(10_000, 0.02);
+        assert_eq!(us.len(), 10_000);
+        assert_eq!(us.iter().filter(|u| u.hired).count(), 200);
+        // hired users occupy the front of the id space
+        assert!(us[..200].iter().all(|u| u.hired));
+        assert!(us[200..].iter().all(|u| !u.hired));
+    }
+
+    #[test]
+    fn exp_values_in_bounds() {
+        for u in users(5_000, 0.05) {
+            assert!(u.exp_value >= MIN_USER_EXP, "{}", u.exp_value);
+            assert!(u.exp_value <= MAX_USER_EXP, "{}", u.exp_value);
+        }
+    }
+
+    #[test]
+    fn overall_low_reliability_share_near_twenty_percent() {
+        let us = users(40_000, 0.02);
+        let below = us.iter().filter(|u| u.exp_value < 2_000).count() as f64;
+        let frac = below / us.len() as f64;
+        assert!((0.12..0.30).contains(&frac), "below-2000 fraction {frac}");
+    }
+
+    #[test]
+    fn hired_users_skew_low() {
+        let us = users(40_000, 0.05);
+        let hired_low = us
+            .iter()
+            .filter(|u| u.hired && u.exp_value < 2_000)
+            .count() as f64
+            / us.iter().filter(|u| u.hired).count() as f64;
+        assert!(hired_low > 0.5, "hired low fraction {hired_low}");
+        let floor = us
+            .iter()
+            .filter(|u| u.hired && u.exp_value == MIN_USER_EXP)
+            .count() as f64
+            / us.iter().filter(|u| u.hired).count() as f64;
+        assert!((0.18..0.35).contains(&floor), "floor fraction {floor}");
+    }
+
+    #[test]
+    fn campaign_pools_partition_hired_users() {
+        let us = users(1_000, 0.1);
+        let c = Campaign::from_users(&us, 7);
+        assert_eq!(c.n_pools(), 7);
+        let total: usize = (0..7).map(|i| c.pool_for_item(i).len()).sum();
+        assert_eq!(total, 100);
+        // pools are disjoint
+        let mut all: Vec<u32> = (0..7).flat_map(|i| c.pool_for_item(i).to_vec()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn pool_assignment_is_stable_per_item() {
+        let us = users(1_000, 0.1);
+        let c = Campaign::from_users(&us, 5);
+        assert_eq!(c.pool_for_item(3), c.pool_for_item(3));
+        assert_eq!(c.pool_for_item(2), c.pool_for_item(7), "wraps modulo pools");
+    }
+
+    #[test]
+    fn promoter_comes_from_items_pool() {
+        let us = users(1_000, 0.1);
+        let c = Campaign::from_users(&us, 4);
+        let mut r = rng();
+        for _ in 0..100 {
+            let p = c.sample_promoter(2, &mut r);
+            assert!(c.pool_for_item(2).contains(&p));
+        }
+    }
+
+    #[test]
+    fn more_pools_than_hired_users_clamps() {
+        let us = users(100, 0.02); // 2 hired
+        let c = Campaign::from_users(&us, 10);
+        assert_eq!(c.n_pools(), 2);
+    }
+
+    #[test]
+    fn fraud_orders_prefer_web_normal_prefer_android() {
+        let mut r = rng();
+        let n = 10_000;
+        let count = |fraud: bool, client: Client, r: &mut StdRng| {
+            (0..n).filter(|_| sample_client(fraud, r) == client).count() as f64 / n as f64
+        };
+        let fraud_web = count(true, Client::Web, &mut r);
+        let normal_web = count(false, Client::Web, &mut r);
+        let normal_android = count(false, Client::Android, &mut r);
+        assert!(fraud_web > 0.45, "{fraud_web}");
+        assert!(normal_web < 0.2, "{normal_web}");
+        assert!(normal_android > 0.4, "{normal_android}");
+    }
+
+    #[test]
+    fn organic_buyer_never_hired() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let id = sample_organic_buyer(50, 1_000, &mut r);
+            assert!((50..1_000).contains(&(id as usize)));
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Generative comment model.
+//!
+//! Emits synthetic comments whose per-class statistics reproduce the
+//! paper's empirical observations (§II-A, Figs 1–5):
+//!
+//! * fraud-promotion comments are **long** (Fig 4), **chaotically
+//!   organized** — i.e. high token entropy (Fig 3) — carry **more
+//!   punctuation** (Fig 2), **repeat words** (lower unique ratio, Fig 5),
+//!   are **saturated with positive words and essentially free of negative
+//!   words** (the "deceptive characteristic"), and embed promotional
+//!   bigram templates (the positive 2-grams of set *G*);
+//! * organic comments are short, mildly positive on average (real review
+//!   sentiment skews positive, which is why the paper's Fig 1 puts normal
+//!   items near 0.7 rather than 0.5), and contain genuine negative words.
+
+use crate::dist::{clamp_round, normal, weighted_index};
+use crate::lexicon::SyntheticLexicon;
+use rand::{Rng, RngExt};
+
+/// Punctuation marks inserted by the comment model (a subset of
+/// `cats_text::segment::PUNCTUATION`).
+const MARKS: &[&str] = &["，", "。", "！", "？", ",", ".", "!"];
+
+/// The style a single comment is generated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommentStyle {
+    /// Written by a hired promoter: long, gushing, repetitive.
+    FraudPromo,
+    /// Genuine but effusive buyer: long positive review with some
+    /// promotional hallmarks — the overlap population that makes the
+    /// classification problem of Table III non-trivial.
+    OrganicEnthusiast,
+    /// Genuine satisfied buyer.
+    OrganicPositive,
+    /// Genuine neutral buyer ("book is fine").
+    OrganicNeutral,
+    /// Genuine dissatisfied buyer.
+    OrganicNegative,
+}
+
+/// Token-class sampling weights and shape parameters per style.
+#[derive(Debug, Clone, Copy)]
+struct StyleParams {
+    /// Mean/SD of comment length in tokens (before punctuation insertion).
+    len_mean: f64,
+    len_sd: f64,
+    len_min: usize,
+    len_max: usize,
+    /// Weights over [positive, negative, neutral, function] content words.
+    class_weights: [f64; 4],
+    /// Probability that a content token is immediately followed by a
+    /// punctuation mark.
+    punct_after: f64,
+    /// Probability of duplicating a recently used content word instead of
+    /// drawing a fresh one.
+    dup_prob: f64,
+    /// Probability of splicing in a promotional bigram template.
+    template_prob: f64,
+    /// Probability that a just-emitted positive word is immediately
+    /// followed by another positive word (sentiment bursts — "great,
+    /// lovely, perfect!"). Bursts are what give polarity words the shared
+    /// contexts word2vec needs for the Table I expansion.
+    pos_burst: f64,
+    /// Same for negative words (complaint runs).
+    neg_burst: f64,
+}
+
+fn params(style: CommentStyle) -> StyleParams {
+    match style {
+        CommentStyle::FraudPromo => StyleParams {
+            len_mean: 55.0,
+            len_sd: 20.0,
+            len_min: 18,
+            len_max: 170,
+            class_weights: [0.30, 0.002, 0.38, 0.32],
+            punct_after: 0.22,
+            dup_prob: 0.22,
+            template_prob: 0.14,
+            pos_burst: 0.5,
+            neg_burst: 0.0,
+        },
+        CommentStyle::OrganicEnthusiast => StyleParams {
+            len_mean: 32.0,
+            len_sd: 14.0,
+            len_min: 8,
+            len_max: 110,
+            class_weights: [0.20, 0.01, 0.42, 0.37],
+            punct_after: 0.16,
+            dup_prob: 0.12,
+            template_prob: 0.07,
+            pos_burst: 0.42,
+            neg_burst: 0.05,
+        },
+        CommentStyle::OrganicPositive => StyleParams {
+            len_mean: 14.0,
+            len_sd: 6.0,
+            len_min: 3,
+            len_max: 45,
+            class_weights: [0.13, 0.02, 0.45, 0.40],
+            punct_after: 0.10,
+            dup_prob: 0.04,
+            template_prob: 0.02,
+            pos_burst: 0.35,
+            neg_burst: 0.1,
+        },
+        CommentStyle::OrganicNeutral => StyleParams {
+            len_mean: 9.0,
+            len_sd: 4.0,
+            len_min: 2,
+            len_max: 30,
+            class_weights: [0.05, 0.04, 0.50, 0.41],
+            punct_after: 0.08,
+            dup_prob: 0.03,
+            template_prob: 0.0,
+            pos_burst: 0.3,
+            neg_burst: 0.25,
+        },
+        CommentStyle::OrganicNegative => StyleParams {
+            len_mean: 16.0,
+            len_sd: 7.0,
+            len_min: 3,
+            len_max: 50,
+            class_weights: [0.03, 0.18, 0.44, 0.35],
+            punct_after: 0.12,
+            dup_prob: 0.05,
+            template_prob: 0.0,
+            pos_burst: 0.15,
+            neg_burst: 0.45,
+        },
+    }
+}
+
+/// Promotional bigram templates: (left, positive-word index range into the
+/// canonical positives). Spliced verbatim into promo comments, they create
+/// the frequent positive 2-grams behind `averageNgramNumber` and give
+/// word2vec the shared contexts it needs to cluster positive words.
+const TEMPLATE_LEFT: &[&str] = &["hen", "zhen", "feichang", "jiushi", "queshi"];
+
+/// Draws a Zipf-skewed index into a polarity pool: real review language
+/// concentrates most polarity mass on a handful of canonical words (the
+/// paper's word clouds are dominated by 不错/很好/满意), and the canonical
+/// words sit at the front of the generated pools.
+fn zipfish_index(len: usize, rng: &mut impl Rng) -> usize {
+    let u: f64 = rng.random();
+    (((u * u) * len as f64) as usize).min(len - 1)
+}
+
+/// The contiguous slice of the neutral vocabulary belonging to `topic`.
+fn topic_slice(neutral: &[String], topic: usize) -> &[String] {
+    let n = neutral.len();
+    if n <= N_TOPICS {
+        return neutral;
+    }
+    let per = n / N_TOPICS;
+    let t = topic % N_TOPICS;
+    &neutral[t * per..((t + 1) * per).min(n)]
+}
+
+/// Number of topics the neutral vocabulary is partitioned into. Comments
+/// about one item draw their neutral words from the item's topic slice,
+/// giving neutral words *local* contexts while polarity words stay global
+/// — the structure that lets word2vec separate polarity from topic.
+pub const N_TOPICS: usize = 30;
+
+/// Generates one comment in `style` with a random topic.
+pub fn generate_comment(
+    lex: &SyntheticLexicon,
+    style: CommentStyle,
+    rng: &mut impl Rng,
+) -> String {
+    let topic = rng.random_range(0..N_TOPICS);
+    generate_comment_with_topic(lex, style, topic, rng)
+}
+
+/// Generates one comment in `style` about an item of `topic`, returning
+/// the raw text (tokens joined by single spaces; punctuation attached as
+/// separate space-delimited marks, which the whitespace segmenter
+/// re-splits losslessly).
+pub fn generate_comment_with_topic(
+    lex: &SyntheticLexicon,
+    style: CommentStyle,
+    topic: usize,
+    rng: &mut impl Rng,
+) -> String {
+    let p = params(style);
+    let target_len = clamp_round(normal(rng, p.len_mean, p.len_sd), p.len_min, p.len_max);
+    let mut tokens: Vec<&str> = Vec::with_capacity(target_len + target_len / 4);
+    let mut recent: Vec<&str> = Vec::with_capacity(8);
+    // Polarity of the most recently emitted content word: Some(true) for
+    // positive, Some(false) for negative.
+    let mut last_polarity: Option<bool> = None;
+
+    while tokens.len() < target_len {
+        // Sentiment burst: polarity words arrive in runs.
+        if let Some(pol) = last_polarity {
+            let burst = if pol { p.pos_burst } else { p.neg_burst };
+            if rng.random_bool(burst) {
+                let pool = if pol { lex.positive() } else { lex.negative() };
+                let w = pool[zipfish_index(pool.len(), rng)].as_str();
+                tokens.push(w);
+                if recent.len() == 8 {
+                    recent.remove(0);
+                }
+                recent.push(w);
+                if rng.random_bool(p.punct_after) {
+                    tokens.push(MARKS[rng.random_range(0..MARKS.len())]);
+                }
+                continue;
+            }
+            last_polarity = None;
+        }
+        // Promotional template splice.
+        if rng.random_bool(p.template_prob) {
+            let left = TEMPLATE_LEFT[rng.random_range(0..TEMPLATE_LEFT.len())];
+            let pos = &lex.positive()[rng.random_range(0..lex.positive().len().min(24))];
+            tokens.push(left);
+            tokens.push(pos);
+            recent.push(pos);
+            last_polarity = Some(true);
+            continue;
+        }
+        // Word duplication (fraud comments repeat their pitch).
+        if !recent.is_empty() && rng.random_bool(p.dup_prob) {
+            let w = recent[rng.random_range(0..recent.len())];
+            tokens.push(w);
+        } else {
+            let class = weighted_index(rng, &p.class_weights);
+            let pool: &[String] = match class {
+                0 => lex.positive(),
+                1 => lex.negative(),
+                2 => topic_slice(lex.neutral(), topic),
+                _ => lex.function(),
+            };
+            let w = if class <= 1 {
+                pool[zipfish_index(pool.len(), rng)].as_str()
+            } else {
+                pool[rng.random_range(0..pool.len())].as_str()
+            };
+            tokens.push(w);
+            if class != 3 {
+                if recent.len() == 8 {
+                    recent.remove(0);
+                }
+                recent.push(w);
+            }
+            last_polarity = match class {
+                0 => Some(true),
+                1 => Some(false),
+                _ => None,
+            };
+        }
+        if rng.random_bool(p.punct_after) {
+            tokens.push(MARKS[rng.random_range(0..MARKS.len())]);
+        }
+    }
+    // Terminal mark.
+    tokens.push(if rng.random_bool(0.5) { "。" } else { "!" });
+    tokens.join(" ")
+}
+
+/// Mixture of styles used for the comments of one item class.
+#[derive(Debug, Clone, Copy)]
+pub struct StyleMixture {
+    /// Weights over [FraudPromo, OrganicEnthusiast, OrganicPositive,
+    /// OrganicNeutral, OrganicNegative].
+    pub weights: [f64; 5],
+}
+
+impl StyleMixture {
+    /// Comment mixture of a fraud item with the given hired-promotion
+    /// share. Real campaigns vary in aggressiveness (some flood an item
+    /// with shills, others sprinkle them among genuine sales), which is
+    /// what makes some fraud items hard to detect; `promo_share` controls
+    /// that, with the remaining organic mass split 10/55/35 between
+    /// positive/neutral/negative buyers.
+    pub fn fraud_with_share(promo_share: f64) -> Self {
+        let promo = promo_share.clamp(0.05, 0.98);
+        let rest = 1.0 - promo;
+        Self { weights: [promo, 0.0, rest * 0.10, rest * 0.55, rest * 0.35] }
+    }
+
+    /// The default aggressive fraud mixture.
+    pub fn fraud() -> Self {
+        Self::fraud_with_share(0.85)
+    }
+
+    /// Comment mixture of a typical normal item: organic, skewing
+    /// positive, with a sliver of enthusiasts.
+    pub fn normal() -> Self {
+        Self { weights: [0.0, 0.04, 0.36, 0.48, 0.12] }
+    }
+
+    /// Comment mixture of a *popular* normal item: effusive fans dominate.
+    /// These items carry promotional hallmarks without being promoted —
+    /// the detector's main source of false positives.
+    pub fn normal_enthusiast() -> Self {
+        Self { weights: [0.0, 0.45, 0.35, 0.15, 0.05] }
+    }
+
+    /// Samples a style from the mixture.
+    pub fn sample(&self, rng: &mut impl Rng) -> CommentStyle {
+        match weighted_index(rng, &self.weights) {
+            0 => CommentStyle::FraudPromo,
+            1 => CommentStyle::OrganicEnthusiast,
+            2 => CommentStyle::OrganicPositive,
+            3 => CommentStyle::OrganicNeutral,
+            _ => CommentStyle::OrganicNegative,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::LexiconConfig;
+    use cats_text::{stats, Segmenter, WhitespaceSegmenter};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn lex() -> SyntheticLexicon {
+        SyntheticLexicon::generate(LexiconConfig::default(), 5)
+    }
+
+    fn batch(style: CommentStyle, n: usize) -> Vec<Vec<String>> {
+        let l = lex();
+        let mut rng = StdRng::seed_from_u64(11);
+        let seg = WhitespaceSegmenter;
+        (0..n)
+            .map(|_| seg.segment(&generate_comment(&l, style, &mut rng)))
+            .collect()
+    }
+
+    fn mean<F: Fn(&[String]) -> f64>(cs: &[Vec<String>], f: F) -> f64 {
+        cs.iter().map(|c| f(c)).sum::<f64>() / cs.len() as f64
+    }
+
+    #[test]
+    fn fraud_comments_are_longer() {
+        let fraud = batch(CommentStyle::FraudPromo, 200);
+        let neutral = batch(CommentStyle::OrganicNeutral, 200);
+        let lf = mean(&fraud, |c| c.len() as f64);
+        let ln = mean(&neutral, |c| c.len() as f64);
+        assert!(lf > 2.0 * ln, "fraud {lf} vs neutral {ln}");
+    }
+
+    #[test]
+    fn fraud_comments_have_higher_entropy() {
+        let fraud = batch(CommentStyle::FraudPromo, 200);
+        let neutral = batch(CommentStyle::OrganicNeutral, 200);
+        let ef = mean(&fraud, stats::token_entropy);
+        let en = mean(&neutral, stats::token_entropy);
+        assert!(ef > en, "fraud {ef} vs neutral {en}");
+    }
+
+    #[test]
+    fn fraud_comments_have_more_punctuation() {
+        let fraud = batch(CommentStyle::FraudPromo, 200);
+        let neutral = batch(CommentStyle::OrganicNeutral, 200);
+        let pf = mean(&fraud, |c| stats::punctuation_count(c) as f64);
+        let pn = mean(&neutral, |c| stats::punctuation_count(c) as f64);
+        assert!(pf > 2.0 * pn, "fraud {pf} vs neutral {pn}");
+    }
+
+    #[test]
+    fn fraud_comments_have_lower_unique_ratio() {
+        let fraud = batch(CommentStyle::FraudPromo, 200);
+        let neutral = batch(CommentStyle::OrganicNeutral, 200);
+        let uf = mean(&fraud, stats::unique_word_ratio);
+        let un = mean(&neutral, stats::unique_word_ratio);
+        assert!(uf < un, "fraud {uf} vs neutral {un}");
+    }
+
+    #[test]
+    fn fraud_comments_are_positive_heavy_and_negative_free() {
+        let l = lex();
+        let fraud = batch(CommentStyle::FraudPromo, 200);
+        let negative = batch(CommentStyle::OrganicNegative, 200);
+        let count =
+            |cs: &[Vec<String>], f: &dyn Fn(&str) -> bool| -> f64 {
+                mean(cs, |c| c.iter().filter(|t| f(t)).count() as f64)
+            };
+        let is_pos = |w: &str| l.positive().iter().any(|p| p == w);
+        let is_neg = |w: &str| l.negative().iter().any(|p| p == w);
+        assert!(count(&fraud, &is_pos) > 5.0 * count(&negative, &is_pos));
+        assert!(count(&negative, &is_neg) > 5.0 * (count(&fraud, &is_neg) + 0.1));
+    }
+
+    #[test]
+    fn lengths_respect_bounds() {
+        for style in [
+            CommentStyle::FraudPromo,
+            CommentStyle::OrganicEnthusiast,
+            CommentStyle::OrganicPositive,
+            CommentStyle::OrganicNeutral,
+            CommentStyle::OrganicNegative,
+        ] {
+            let p = params(style);
+            for c in batch(style, 50) {
+                // +1 terminal mark; punctuation inflation bounded by 2x+1.
+                assert!(c.len() >= p.len_min);
+                assert!(c.len() <= 2 * p.len_max + 2, "style {style:?} len {}", c.len());
+            }
+        }
+    }
+
+    #[test]
+    fn mixture_sampling_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = StyleMixture::normal();
+        let mut promo = 0;
+        for _ in 0..1000 {
+            if m.sample(&mut rng) == CommentStyle::FraudPromo {
+                promo += 1;
+            }
+        }
+        assert_eq!(promo, 0, "normal items never get promo comments");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let l = lex();
+        let a = generate_comment(&l, CommentStyle::FraudPromo, &mut StdRng::seed_from_u64(42));
+        let b = generate_comment(&l, CommentStyle::FraudPromo, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

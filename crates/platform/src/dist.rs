@@ -1,0 +1,162 @@
+//! Small sampling toolkit.
+//!
+//! The platform generator needs a handful of classical distributions
+//! (normal, log-normal, geometric, weighted discrete). The approved `rand`
+//! crate ships uniform sampling only, so the rest is implemented here; each
+//! sampler takes `&mut impl Rng` and is deterministic under a seeded
+//! `StdRng`.
+
+use rand::{Rng, RngExt};
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0) by sampling u1 from the open interval (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `N(mean, sd²)`.
+pub fn normal(rng: &mut impl Rng, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Samples a log-normal with the given parameters of the underlying normal.
+pub fn log_normal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Samples a geometric count `k ≥ 0` with success probability `p` — the
+/// number of failures before the first success. `p` is clamped into
+/// `(1e-9, 1.0]`.
+pub fn geometric(rng: &mut impl Rng, p: f64) -> u64 {
+    let p = p.clamp(1e-9, 1.0);
+    if p >= 1.0 {
+        return 0;
+    }
+    let u: f64 = 1.0 - rng.random::<f64>(); // in (0, 1]
+    (u.ln() / (1.0 - p).ln()).floor() as u64
+}
+
+/// Samples an index from a non-empty weight slice (weights need not sum
+/// to 1; non-finite or negative weights count as 0).
+///
+/// # Panics
+/// Panics if `weights` is empty or all weights are ≤ 0.
+pub fn weighted_index(rng: &mut impl Rng, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weighted_index: empty weights");
+    let clean = |w: f64| if w.is_finite() && w > 0.0 { w } else { 0.0 };
+    let total: f64 = weights.iter().copied().map(clean).sum();
+    assert!(total > 0.0, "weighted_index: all weights are zero");
+    let mut target = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= clean(w);
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Rounds a float sample into `lo..=hi` as usize.
+pub fn clamp_round(x: f64, lo: usize, hi: usize) -> usize {
+    let r = x.round();
+    if !r.is_finite() || r <= lo as f64 {
+        lo
+    } else if r >= hi as f64 {
+        hi
+    } else {
+        r as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            assert!(log_normal(&mut r, 1.0, 1.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_close_to_theory() {
+        let mut r = rng();
+        let p = 0.25;
+        let n = 20_000;
+        let mean = (0..n).map(|_| geometric(&mut r, p) as f64).sum::<f64>() / n as f64;
+        let expect = (1.0 - p) / p; // 3.0
+        assert!((mean - expect).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_with_p_one_is_zero() {
+        let mut r = rng();
+        assert_eq!(geometric(&mut r, 1.0), 0);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let w = [0.0, 9.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[weighted_index(&mut r, &w)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let frac1 = counts[1] as f64 / 10_000.0;
+        assert!((frac1 - 0.9).abs() < 0.03, "frac1 {frac1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weights")]
+    fn weighted_index_rejects_empty() {
+        weighted_index(&mut rng(), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights are zero")]
+    fn weighted_index_rejects_all_zero() {
+        weighted_index(&mut rng(), &[0.0, -1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn clamp_round_clamps() {
+        assert_eq!(clamp_round(4.6, 1, 10), 5);
+        assert_eq!(clamp_round(-3.0, 1, 10), 1);
+        assert_eq!(clamp_round(99.0, 1, 10), 10);
+        assert_eq!(clamp_round(f64::NAN, 1, 10), 1);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..50).map(|_| geometric(&mut r, 0.3)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..50).map(|_| geometric(&mut r, 0.3)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

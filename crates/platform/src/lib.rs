@@ -1,0 +1,33 @@
+//! # cats-platform — synthetic e-commerce platform substrate
+//!
+//! The paper evaluates CATS against two proprietary data sources (Taobao's
+//! labeled datasets and a crawl of "E-platform"). Neither is obtainable, so
+//! this crate implements a *generative* e-commerce platform whose public
+//! surface — shops, items, comments, buyer metadata — reproduces the
+//! statistical structure the paper reports:
+//!
+//! * a synthetic comment language with latent positive/negative word
+//!   classes and homograph variants ([`lexicon`]);
+//! * a per-style comment model matching the paper's Figs 1–5 contrasts
+//!   ([`comment_model`]);
+//! * a user population with the reliability-score (userExpValue)
+//!   distribution of §V, and a hired-promoter campaign model that makes
+//!   pool-mates co-purchase fraud items ([`campaign`]);
+//! * dataset presets shaped like D0, D1, and the E-platform crawl
+//!   ([`datasets`]).
+//!
+//! Ground-truth labels ride along on [`entities::Item`] but are *latent*:
+//! the collector crate only exposes the public view, exactly as a
+//! third-party crawler would see it.
+
+pub mod campaign;
+pub mod comment_model;
+pub mod datasets;
+pub mod dist;
+pub mod entities;
+pub mod lexicon;
+pub mod platform;
+
+pub use entities::{Category, Client, Comment, Item, ItemLabel, Shop, User};
+pub use lexicon::{LexiconConfig, SyntheticLexicon};
+pub use platform::{Platform, PlatformConfig};

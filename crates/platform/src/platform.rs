@@ -1,0 +1,421 @@
+//! The platform generator: wires the lexicon, comment model, user
+//! population, and fraud campaign into a full synthetic e-commerce
+//! platform.
+
+use crate::campaign::{
+    generate_users, sample_client, sample_organic_buyer, Campaign, UserPopulationConfig,
+};
+use crate::comment_model::{generate_comment_with_topic, CommentStyle, StyleMixture, N_TOPICS};
+use crate::dist::{geometric, log_normal};
+use crate::entities::{format_date, Category, Comment, Item, ItemLabel, Shop, User};
+use crate::lexicon::{LexiconConfig, SyntheticLexicon};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Full configuration of a synthetic platform instance.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Master RNG seed; every derived quantity is deterministic in it.
+    pub seed: u64,
+    /// Seed of the platform's *language*. Platforms sharing a language
+    /// seed speak the same vocabulary — the paper's platforms both speak
+    /// Chinese, and CATS' cross-platform transfer depends on it. Distinct
+    /// from `seed` so differently-seeded platforms stay comparable.
+    pub language_seed: u64,
+    /// Language size knobs.
+    pub lexicon: LexiconConfig,
+    /// User population knobs.
+    pub users: UserPopulationConfig,
+    /// Number of third-party shops.
+    pub n_shops: usize,
+    /// Number of fraud items.
+    pub n_fraud_items: usize,
+    /// Number of normal items.
+    pub n_normal_items: usize,
+    /// Among fraud items, the fraction labeled with *sufficient evidence*
+    /// (the rest are expert-labeled). D1 has 16,782 / 18,682 ≈ 0.898.
+    pub sufficient_evidence_fraction: f64,
+    /// Mean comments per fraud item (geometric-ish spread around it).
+    pub fraud_comments_mean: f64,
+    /// Mean comments per normal item.
+    pub normal_comments_mean: f64,
+    /// Number of hired-user pools in the fraud campaign.
+    pub n_campaign_pools: usize,
+    /// Per-fraud-item hired-promotion share is drawn uniformly from this
+    /// range; wide ranges create subtle campaigns (low promo share) that
+    /// are genuinely hard to detect.
+    pub fraud_promo_share: (f64, f64),
+    /// Fraction of normal items whose buyers are effusive enthusiasts —
+    /// the false-positive-shaped population.
+    pub enthusiast_normal_fraction: f64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xCA75,
+            language_seed: 0x1A96,
+            lexicon: LexiconConfig::default(),
+            users: UserPopulationConfig::default(),
+            n_shops: 200,
+            n_fraud_items: 500,
+            n_normal_items: 2_000,
+            sufficient_evidence_fraction: 0.898,
+            fraud_comments_mean: 14.0,
+            normal_comments_mean: 10.0,
+            n_campaign_pools: 12,
+            fraud_promo_share: (0.35, 0.95),
+            enthusiast_normal_fraction: 0.08,
+        }
+    }
+}
+
+/// A fully generated synthetic platform.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    config: PlatformConfig,
+    lexicon: SyntheticLexicon,
+    shops: Vec<Shop>,
+    users: Vec<User>,
+    items: Vec<Item>,
+}
+
+impl Platform {
+    /// Generates a platform from `config`. Items are laid out fraud-first
+    /// then shuffled by id assignment; iteration order is deterministic.
+    pub fn generate(config: PlatformConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let lexicon = SyntheticLexicon::generate(config.lexicon, config.language_seed);
+        let users = generate_users(config.users, &mut rng);
+        let n_hired = users.iter().filter(|u| u.hired).count();
+        let campaign = Campaign::from_users(&users, config.n_campaign_pools.max(1));
+
+        let shops: Vec<Shop> = (0..config.n_shops)
+            .map(|i| Shop {
+                id: i as u32,
+                name: format!("shop-{i:05}"),
+                url: format!("https://e-platform.example/shop/{i}"),
+            })
+            .collect();
+
+        let mut items = Vec::with_capacity(config.n_fraud_items + config.n_normal_items);
+        let mut comment_id: u64 = 0;
+
+        let n_sufficient =
+            ((config.n_fraud_items as f64) * config.sufficient_evidence_fraction).round() as usize;
+
+        for ordinal in 0..config.n_fraud_items {
+            let label = if ordinal < n_sufficient {
+                ItemLabel::FraudSufficientEvidence
+            } else {
+                ItemLabel::FraudExpertLabeled
+            };
+            let item = Self::generate_item(
+                items.len() as u64,
+                label,
+                ordinal,
+                &lexicon,
+                &config,
+                &campaign,
+                n_hired,
+                &mut comment_id,
+                &mut rng,
+            );
+            items.push(item);
+        }
+        for ordinal in 0..config.n_normal_items {
+            let item = Self::generate_item(
+                items.len() as u64,
+                ItemLabel::Normal,
+                ordinal,
+                &lexicon,
+                &config,
+                &campaign,
+                n_hired,
+                &mut comment_id,
+                &mut rng,
+            );
+            items.push(item);
+        }
+
+        Self { config, lexicon, shops, users, items }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn generate_item(
+        id: u64,
+        label: ItemLabel,
+        ordinal: usize,
+        lexicon: &SyntheticLexicon,
+        config: &PlatformConfig,
+        campaign: &Campaign,
+        n_hired: usize,
+        comment_id: &mut u64,
+        rng: &mut StdRng,
+    ) -> Item {
+        let is_fraud = label.is_fraud();
+        let mixture = if is_fraud {
+            let (lo, hi) = config.fraud_promo_share;
+            let share = if hi > lo { lo + (hi - lo) * rng.random::<f64>() } else { lo };
+            StyleMixture::fraud_with_share(share)
+        } else if rng.random_bool(config.enthusiast_normal_fraction) {
+            StyleMixture::normal_enthusiast()
+        } else {
+            StyleMixture::normal()
+        };
+        let mean = if is_fraud {
+            config.fraud_comments_mean
+        } else {
+            config.normal_comments_mean
+        };
+        // Geometric spread with mean `mean`: p = 1 / (1 + mean); +1 so every
+        // item has at least one comment when mean > 0.
+        let n_comments = if mean <= 0.0 {
+            0
+        } else {
+            (geometric(rng, 1.0 / (1.0 + mean)) as usize).clamp(1, 600)
+        };
+
+        // The item's topic (category): all its comments talk about the
+        // same domain vocabulary.
+        let topic = (id as usize).wrapping_mul(2654435761) % N_TOPICS;
+        // Hired campaigns work through an item in a short burst window;
+        // organic comments spread over the listing's whole lifetime.
+        let campaign_start: u32 = rng.random_range(0..100);
+        let campaign_days: u32 = 2 + rng.random_range(0..6);
+        let mut comments = Vec::with_capacity(n_comments);
+        for _ in 0..n_comments {
+            let style = mixture.sample(rng);
+            let promo = style == CommentStyle::FraudPromo;
+            let user_id = if promo {
+                campaign.sample_promoter(ordinal, rng)
+            } else {
+                sample_organic_buyer(n_hired, config.users.n_users, rng)
+            };
+            let content = generate_comment_with_topic(lexicon, style, topic, rng);
+            let day = if promo {
+                campaign_start + rng.random_range(0..campaign_days)
+            } else {
+                rng.random_range(0..110)
+            };
+            let date = format_date(day, rng.random_range(0..24 * 60));
+            comments.push(Comment {
+                id: *comment_id,
+                user_id,
+                client: sample_client(promo, rng),
+                date,
+                content,
+            });
+            *comment_id += 1;
+        }
+
+        // Sales volume: at least the number of comments (every comment is an
+        // order); organic long-tail on top. A slice of normal items are
+        // low-volume (< 5) to exercise the detector's stage-1 rule filter.
+        let extra = log_normal(rng, 2.0, 1.2) as u64;
+        let mut sales_volume = comments.len() as u64 + extra;
+        if !is_fraud && rng.random_bool(0.06) {
+            sales_volume = rng.random_range(0..5);
+            comments.truncate(sales_volume as usize);
+        }
+
+        let noun = &lexicon.neutral()[ordinal % lexicon.neutral().len()];
+        Item {
+            id,
+            shop_id: (id % config.n_shops.max(1) as u64) as u32,
+            name: format!("{noun}-{id:06}"),
+            price_cents: (log_normal(rng, 8.0, 1.0) as u64).clamp(100, 5_000_000),
+            sales_volume,
+            category: Category::from_topic(topic),
+            label,
+            comments,
+        }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// The platform language.
+    pub fn lexicon(&self) -> &SyntheticLexicon {
+        &self.lexicon
+    }
+
+    /// All shops.
+    pub fn shops(&self) -> &[Shop] {
+        &self.shops
+    }
+
+    /// All users.
+    pub fn users(&self) -> &[User] {
+        &self.users
+    }
+
+    /// User by id.
+    pub fn user(&self, id: u32) -> Option<&User> {
+        self.users.get(id as usize)
+    }
+
+    /// All items (fraud items first, then normal items).
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Item by id.
+    pub fn item(&self, id: u64) -> Option<&Item> {
+        self.items.get(id as usize)
+    }
+
+    /// Total number of comments across all items.
+    pub fn comment_count(&self) -> usize {
+        self.items.iter().map(|i| i.comments.len()).sum()
+    }
+
+    /// Counts of (sufficient-evidence fraud, expert-labeled fraud, normal).
+    pub fn label_counts(&self) -> (usize, usize, usize) {
+        let mut s = 0;
+        let mut e = 0;
+        let mut n = 0;
+        for i in &self.items {
+            match i.label {
+                ItemLabel::FraudSufficientEvidence => s += 1,
+                ItemLabel::FraudExpertLabeled => e += 1,
+                ItemLabel::Normal => n += 1,
+            }
+        }
+        (s, e, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Platform {
+        Platform::generate(PlatformConfig {
+            seed: 42,
+            n_shops: 10,
+            n_fraud_items: 40,
+            n_normal_items: 120,
+            users: UserPopulationConfig { n_users: 2_000, hired_fraction: 0.05 },
+            ..PlatformConfig::default()
+        })
+    }
+
+    #[test]
+    fn generates_requested_counts() {
+        let p = small();
+        assert_eq!(p.items().len(), 160);
+        assert_eq!(p.shops().len(), 10);
+        assert_eq!(p.users().len(), 2_000);
+        let (s, e, n) = p.label_counts();
+        assert_eq!(s + e, 40);
+        assert_eq!(n, 120);
+        // 89.8% of 40 ≈ 36
+        assert_eq!(s, 36);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.comment_count(), b.comment_count());
+        assert_eq!(a.items()[7].comments.len(), b.items()[7].comments.len());
+        if !a.items()[7].comments.is_empty() {
+            assert_eq!(a.items()[7].comments[0].content, b.items()[7].comments[0].content);
+        }
+    }
+
+    #[test]
+    fn sales_volume_covers_comments() {
+        let p = small();
+        for item in p.items() {
+            assert!(
+                item.sales_volume >= item.comments.len() as u64,
+                "item {} sales {} < comments {}",
+                item.id,
+                item.sales_volume,
+                item.comments.len()
+            );
+        }
+    }
+
+    #[test]
+    fn some_normal_items_fall_below_filter_threshold() {
+        let p = Platform::generate(PlatformConfig {
+            seed: 7,
+            n_fraud_items: 50,
+            n_normal_items: 800,
+            ..PlatformConfig::default()
+        });
+        let low = p
+            .items()
+            .iter()
+            .filter(|i| !i.label.is_fraud() && i.sales_volume < 5)
+            .count();
+        assert!(low > 10, "expected low-volume normal items, got {low}");
+        // fraud campaigns keep volumes up
+        assert!(p
+            .items()
+            .iter()
+            .filter(|i| i.label.is_fraud())
+            .all(|i| i.sales_volume >= 1));
+    }
+
+    #[test]
+    fn comment_user_ids_are_valid() {
+        let p = small();
+        for item in p.items() {
+            for c in &item.comments {
+                assert!(p.user(c.user_id).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn fraud_comments_written_mostly_by_hired_users() {
+        let p = small();
+        let mut fraud_hired = 0usize;
+        let mut fraud_total = 0usize;
+        let mut normal_hired = 0usize;
+        let mut normal_total = 0usize;
+        for item in p.items() {
+            for c in &item.comments {
+                let hired = p.user(c.user_id).unwrap().hired;
+                if item.label.is_fraud() {
+                    fraud_total += 1;
+                    fraud_hired += usize::from(hired);
+                } else {
+                    normal_total += 1;
+                    normal_hired += usize::from(hired);
+                }
+            }
+        }
+        let ff = fraud_hired as f64 / fraud_total as f64;
+        let nf = normal_hired as f64 / normal_total.max(1) as f64;
+        assert!(ff > 0.45, "fraud hired fraction {ff}");
+        assert!(nf < 0.05, "normal hired fraction {nf}");
+    }
+
+    #[test]
+    fn item_lookup_by_id() {
+        let p = small();
+        assert_eq!(p.item(0).unwrap().id, 0);
+        assert_eq!(p.item(159).unwrap().id, 159);
+        assert!(p.item(160).is_none());
+    }
+
+    #[test]
+    fn comment_ids_unique_and_dense() {
+        let p = small();
+        let mut ids: Vec<u64> = p
+            .items()
+            .iter()
+            .flat_map(|i| i.comments.iter().map(|c| c.id))
+            .collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the platform generator and its sampling
+//! toolkit.
+
+use cats_platform::dist::{clamp_round, geometric, log_normal, normal, weighted_index};
+use cats_platform::{Platform, PlatformConfig};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn weighted_index_stays_in_range(seed in any::<u64>(), weights in prop::collection::vec(0.0f64..10.0, 1..12)) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let i = weighted_index(&mut rng, &weights);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "zero-weight index {i} drawn");
+        }
+    }
+
+    #[test]
+    fn geometric_and_lognormal_are_nonnegative(seed in any::<u64>(), p in 0.01f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let _ = geometric(&mut rng, p); // u64: nonnegative by type
+        prop_assert!(log_normal(&mut rng, 0.0, 1.0) > 0.0);
+        prop_assert!(normal(&mut rng, 0.0, 1.0).is_finite());
+    }
+
+    #[test]
+    fn clamp_round_respects_bounds(x in -1e9f64..1e9, lo in 0usize..10, width in 0usize..100) {
+        let hi = lo + width;
+        let r = clamp_round(x, lo, hi);
+        prop_assert!(r >= lo && r <= hi);
+    }
+
+    #[test]
+    fn generated_platform_invariants(seed in any::<u64>(), n_fraud in 2usize..20, n_normal in 2usize..40) {
+        let p = Platform::generate(PlatformConfig {
+            seed,
+            n_fraud_items: n_fraud,
+            n_normal_items: n_normal,
+            n_shops: 5,
+            users: cats_platform::campaign::UserPopulationConfig {
+                n_users: 500,
+                hired_fraction: 0.05,
+            },
+            ..PlatformConfig::default()
+        });
+        prop_assert_eq!(p.items().len(), n_fraud + n_normal);
+        let (s, e, n) = p.label_counts();
+        prop_assert_eq!(s + e, n_fraud);
+        prop_assert_eq!(n, n_normal);
+        for item in p.items() {
+            // Sales volume covers the comment count (every comment is an order).
+            prop_assert!(item.sales_volume >= item.comments.len() as u64);
+            for c in &item.comments {
+                prop_assert!(p.user(c.user_id).is_some());
+                prop_assert!(!c.content.is_empty());
+            }
+        }
+        // Comment ids are globally unique.
+        let mut ids: Vec<u64> = p
+            .items()
+            .iter()
+            .flat_map(|i| i.comments.iter().map(|c| c.id))
+            .collect();
+        let count = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), count);
+    }
+
+    #[test]
+    fn same_language_seed_means_same_vocabulary(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        let mk = |seed| Platform::generate(PlatformConfig {
+            seed,
+            n_fraud_items: 2,
+            n_normal_items: 2,
+            n_shops: 2,
+            users: cats_platform::campaign::UserPopulationConfig { n_users: 100, hired_fraction: 0.1 },
+            ..PlatformConfig::default()
+        });
+        let a = mk(seed_a);
+        let b = mk(seed_b);
+        // Different platform seeds, same (default) language seed: the
+        // vocabulary is shared — the cross-platform transfer precondition.
+        prop_assert_eq!(a.lexicon().positive(), b.lexicon().positive());
+        prop_assert_eq!(a.lexicon().neutral(), b.lexicon().neutral());
+    }
+}

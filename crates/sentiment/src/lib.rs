@@ -1,0 +1,376 @@
+//! # cats-sentiment — comment sentiment substrate
+//!
+//! The paper's semantic analyzer scores every comment with a pre-trained
+//! sentiment model (SnowNLP, trained on large-scale e-commerce review
+//! data), producing the `averageSentiment` feature whose class-conditional
+//! distributions (Fig 1) separate fraud items (mass near 1.0) from normal
+//! items (mass near 0.7).
+//!
+//! SnowNLP's sentiment component is a multinomial Naive Bayes classifier
+//! over segmented words, returning `P(positive | comment)`. This crate is
+//! the same model class built from scratch:
+//!
+//! * [`SentimentModel::train`] fits token likelihoods with Laplace
+//!   smoothing from positive- and negative-labeled review corpora;
+//! * [`SentimentModel::score`] returns `P(positive)` ∈ [0, 1], computed
+//!   with *length-normalized* log-likelihoods (the geometric-mean
+//!   per-token likelihood). Normalization keeps long comments from
+//!   saturating to exactly 0/1, matching the smooth densities of Fig 1.
+
+use cats_text::{Segmenter, TokenId, Vocab};
+use serde::{Deserialize, Serialize};
+
+/// Laplace smoothing pseudo-count.
+const ALPHA: f64 = 1.0;
+
+/// Sharpness of the length-normalized posterior. The per-token average
+/// log-likelihood ratio is multiplied by this before the sigmoid; it trades
+/// off the saturation of the raw NB posterior (which drives every long
+/// comment to exactly 0/1) against the washed-out scores of the pure
+/// geometric mean. 2.5 reproduces the paper's Fig 1 shape: promotional
+/// comments land near 1.0, organic mildly-positive ones near 0.7.
+const TEMPERATURE: f64 = 2.5;
+
+/// Emits the model's features of a segmented comment: the tokens
+/// themselves, plus joined adjacent pairs in bigram mode.
+fn feature_stream(tokens: &[String], order: FeatureOrder) -> Vec<String> {
+    match order {
+        FeatureOrder::Unigram => tokens.to_vec(),
+        FeatureOrder::UnigramBigram => {
+            let mut out = Vec::with_capacity(tokens.len() * 2);
+            out.extend(tokens.iter().cloned());
+            out.extend(tokens.windows(2).map(|w| format!("{}\u{1}{}", w[0], w[1])));
+            out
+        }
+    }
+}
+
+/// Feature order used by the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureOrder {
+    /// Bag of single tokens (SnowNLP's model).
+    Unigram,
+    /// Single tokens plus adjacent-pair features — captures negation-ish
+    /// patterns ("bu hao") a unigram model conflates.
+    UnigramBigram,
+}
+
+impl Default for FeatureOrder {
+    fn default() -> Self {
+        FeatureOrder::Unigram
+    }
+}
+
+fn default_order() -> FeatureOrder {
+    FeatureOrder::Unigram
+}
+
+/// A trained multinomial Naive Bayes sentiment scorer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SentimentModel {
+    #[serde(default = "default_order")]
+    order: FeatureOrder,
+    vocab: Vocab,
+    /// log P(token | positive), indexed by `TokenId`.
+    log_pos: Vec<f64>,
+    /// log P(token | negative).
+    log_neg: Vec<f64>,
+    /// log prior of the positive class.
+    log_prior_pos: f64,
+    log_prior_neg: f64,
+    /// log-likelihood assigned to tokens never seen in training.
+    log_unseen_pos: f64,
+    log_unseen_neg: f64,
+}
+
+impl SentimentModel {
+    /// Trains a unigram model from segmented positive and negative
+    /// documents.
+    ///
+    /// # Panics
+    /// Panics if either corpus is empty — a one-sided sentiment model is
+    /// meaningless and would silently score everything identically.
+    pub fn train(positive_docs: &[Vec<String>], negative_docs: &[Vec<String>]) -> Self {
+        Self::train_with_order(positive_docs, negative_docs, FeatureOrder::Unigram)
+    }
+
+    /// Trains with an explicit feature order.
+    ///
+    /// # Panics
+    /// Panics if either corpus is empty.
+    pub fn train_with_order(
+        positive_docs: &[Vec<String>],
+        negative_docs: &[Vec<String>],
+        order: FeatureOrder,
+    ) -> Self {
+        assert!(
+            !positive_docs.is_empty() && !negative_docs.is_empty(),
+            "sentiment training requires both positive and negative documents"
+        );
+        let mut vocab = Vocab::new();
+        let mut pos_counts: Vec<u64> = Vec::new();
+        let mut neg_counts: Vec<u64> = Vec::new();
+
+        let tally = |docs: &[Vec<String>], vocab: &mut Vocab, counts: &mut Vec<u64>,
+                         other: &mut Vec<u64>| {
+            for doc in docs {
+                for tok in feature_stream(doc, order) {
+                    let id = vocab.intern(&tok);
+                    if id.index() >= counts.len() {
+                        counts.resize(id.index() + 1, 0);
+                        other.resize(id.index() + 1, 0);
+                    }
+                    counts[id.index()] += 1;
+                }
+            }
+        };
+        tally(positive_docs, &mut vocab, &mut pos_counts, &mut neg_counts);
+        tally(negative_docs, &mut vocab, &mut neg_counts, &mut pos_counts);
+        let v = vocab.len();
+        pos_counts.resize(v, 0);
+        neg_counts.resize(v, 0);
+
+        let pos_total: u64 = pos_counts.iter().sum();
+        let neg_total: u64 = neg_counts.iter().sum();
+        let pos_denom = pos_total as f64 + ALPHA * (v as f64 + 1.0);
+        let neg_denom = neg_total as f64 + ALPHA * (v as f64 + 1.0);
+
+        let log_pos = pos_counts
+            .iter()
+            .map(|&c| ((c as f64 + ALPHA) / pos_denom).ln())
+            .collect();
+        let log_neg = neg_counts
+            .iter()
+            .map(|&c| ((c as f64 + ALPHA) / neg_denom).ln())
+            .collect();
+
+        let n_docs = (positive_docs.len() + negative_docs.len()) as f64;
+        Self {
+            order,
+            vocab,
+            log_pos,
+            log_neg,
+            log_prior_pos: (positive_docs.len() as f64 / n_docs).ln(),
+            log_prior_neg: (negative_docs.len() as f64 / n_docs).ln(),
+            log_unseen_pos: (ALPHA / pos_denom).ln(),
+            log_unseen_neg: (ALPHA / neg_denom).ln(),
+        }
+    }
+
+    /// Scores a segmented comment: `P(positive)` with length-normalized
+    /// token likelihoods. An empty comment scores exactly 0.5.
+    pub fn score(&self, tokens: &[String]) -> f64 {
+        if tokens.is_empty() {
+            return 0.5;
+        }
+        let mut lp = 0.0;
+        let mut ln = 0.0;
+        let mut n_feats = 0usize;
+        for tok in feature_stream(tokens, self.order) {
+            n_feats += 1;
+            match self.vocab.id(&tok) {
+                Some(TokenId(i)) => {
+                    lp += self.log_pos[i as usize];
+                    ln += self.log_neg[i as usize];
+                }
+                None => {
+                    lp += self.log_unseen_pos;
+                    ln += self.log_unseen_neg;
+                }
+            }
+        }
+        // Geometric-mean per-feature likelihood, then the prior once.
+        let n = n_feats.max(1) as f64;
+        let zp = lp / n + self.log_prior_pos / n;
+        let zn = ln / n + self.log_prior_neg / n;
+        // σ(T·(zp − zn)) == tempered exp(zp) / (exp(zp) + exp(zn)),
+        // overflow-safe.
+        1.0 / (1.0 + (TEMPERATURE * (zn - zp)).exp())
+    }
+
+    /// Scores raw text, segmenting it first.
+    pub fn score_text(&self, text: &str, segmenter: &impl Segmenter) -> f64 {
+        self.score(&segmenter.segment(text))
+    }
+
+    /// Average score over many segmented comments (0.5 for an empty slice,
+    /// matching the empty-comment convention).
+    pub fn average_score(&self, comments: &[Vec<String>]) -> f64 {
+        if comments.is_empty() {
+            return 0.5;
+        }
+        comments.iter().map(|c| self.score(c)).sum::<f64>() / comments.len() as f64
+    }
+
+    /// Vocabulary size seen during training.
+    pub fn vocab_len(&self) -> usize {
+        self.vocab.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs(texts: &[&str]) -> Vec<Vec<String>> {
+        texts
+            .iter()
+            .map(|t| t.split_whitespace().map(|w| w.to_string()).collect())
+            .collect()
+    }
+
+    fn model() -> SentimentModel {
+        SentimentModel::train(
+            &docs(&[
+                "good great item love it",
+                "great quality good price",
+                "love this good good",
+                "fine item works great",
+            ]),
+            &docs(&[
+                "bad awful broken return",
+                "terrible bad quality awful",
+                "broken on arrival bad",
+                "worst item terrible return",
+            ]),
+        )
+    }
+
+    #[test]
+    fn positive_text_scores_high() {
+        let m = model();
+        let s = m.score(&"good great love".split_whitespace().map(String::from).collect::<Vec<_>>());
+        assert!(s > 0.8, "score {s}");
+    }
+
+    #[test]
+    fn negative_text_scores_low() {
+        let m = model();
+        let s = m.score(&"bad awful broken".split_whitespace().map(String::from).collect::<Vec<_>>());
+        assert!(s < 0.2, "score {s}");
+    }
+
+    #[test]
+    fn mixed_text_scores_middling() {
+        let m = model();
+        let s = m.score(&"good bad".split_whitespace().map(String::from).collect::<Vec<_>>());
+        assert!((0.25..0.75).contains(&s), "score {s}");
+    }
+
+    #[test]
+    fn unseen_only_text_is_near_half() {
+        let m = model();
+        let s = m.score(&"zzz qqq xxx".split_whitespace().map(String::from).collect::<Vec<_>>());
+        assert!((0.4..0.6).contains(&s), "score {s}");
+    }
+
+    #[test]
+    fn empty_comment_is_exactly_half() {
+        assert_eq!(model().score(&[]), 0.5);
+    }
+
+    #[test]
+    fn scores_always_in_unit_interval() {
+        let m = model();
+        for text in ["good", "bad", "good good good good good good good good", "zzz", ""] {
+            let toks: Vec<String> = text.split_whitespace().map(String::from).collect();
+            let s = m.score(&toks);
+            assert!((0.0..=1.0).contains(&s), "{text} -> {s}");
+        }
+    }
+
+    #[test]
+    fn long_positive_does_not_fully_saturate_vs_short() {
+        // Length normalization: 50 repetitions should not push the score
+        // meaningfully past a handful of repetitions.
+        let m = model();
+        let short: Vec<String> = vec!["good".into(); 3];
+        let long: Vec<String> = vec!["good".into(); 50];
+        let (ss, sl) = (m.score(&short), m.score(&long));
+        assert!((ss - sl).abs() < 0.05, "short {ss} long {sl}");
+    }
+
+    #[test]
+    fn average_score_averages() {
+        let m = model();
+        let cs = vec![
+            "good great".split_whitespace().map(String::from).collect::<Vec<_>>(),
+            "bad awful".split_whitespace().map(String::from).collect::<Vec<_>>(),
+        ];
+        let avg = m.average_score(&cs);
+        let manual = (m.score(&cs[0]) + m.score(&cs[1])) / 2.0;
+        assert!((avg - manual).abs() < 1e-12);
+        assert_eq!(m.average_score(&[]), 0.5);
+    }
+
+    #[test]
+    fn score_text_segments_first() {
+        use cats_text::WhitespaceSegmenter;
+        let m = model();
+        let a = m.score_text("good great love", &WhitespaceSegmenter);
+        let toks: Vec<String> = "good great love".split_whitespace().map(String::from).collect();
+        assert!((a - m.score(&toks)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires both")]
+    fn one_sided_training_rejected() {
+        SentimentModel::train(&docs(&["good"]), &[]);
+    }
+
+    #[test]
+    fn class_imbalance_shifts_prior_only_slightly_after_normalization() {
+        // 9:1 positive-heavy training set; a neutral unseen comment should
+        // still land near 0.5 because the prior is also length-normalized.
+        let pos: Vec<Vec<String>> = (0..9).map(|_| vec!["good".to_string()]).collect();
+        let neg = vec![vec!["bad".to_string()]];
+        let m = SentimentModel::train(&pos, &neg);
+        let s = m.score(&["zzz".to_string(), "yyy".to_string()]);
+        assert!((0.35..0.65).contains(&s), "score {s}");
+    }
+
+    #[test]
+    fn bigram_model_separates_negated_phrases() {
+        // "bu hao" (not good) is negative; "hao" alone positive. A unigram
+        // model sees "hao" in both classes; the bigram feature resolves it.
+        let pos: Vec<Vec<String>> = (0..20)
+            .map(|_| docs(&["hao hen hao zhen hao"]).remove(0))
+            .collect();
+        let neg: Vec<Vec<String>> = (0..20)
+            .map(|_| docs(&["bu hao zhen bu hao tui"]).remove(0))
+            .collect();
+        let uni = SentimentModel::train_with_order(&pos, &neg, FeatureOrder::Unigram);
+        let bi = SentimentModel::train_with_order(&pos, &neg, FeatureOrder::UnigramBigram);
+        let probe: Vec<String> = "bu hao".split_whitespace().map(String::from).collect();
+        assert!(
+            bi.score(&probe) < uni.score(&probe) + 1e-9,
+            "bigram model should be at least as negative on 'bu hao': uni {} bi {}",
+            uni.score(&probe),
+            bi.score(&probe)
+        );
+        assert!(bi.score(&probe) < 0.4, "{}", bi.score(&probe));
+    }
+
+    #[test]
+    fn bigram_model_scores_stay_bounded() {
+        let m = SentimentModel::train_with_order(
+            &docs(&["good great", "great fine"]),
+            &docs(&["bad awful", "awful poor"]),
+            FeatureOrder::UnigramBigram,
+        );
+        for text in ["good great", "bad", "zzz yyy xxx", ""] {
+            let toks: Vec<String> = text.split_whitespace().map(String::from).collect();
+            let s = m.score(&toks);
+            assert!((0.0..=1.0).contains(&s) && s.is_finite(), "{text} -> {s}");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_scores() {
+        let m = model();
+        let json = serde_json::to_string(&m).unwrap();
+        let m2: SentimentModel = serde_json::from_str(&json).unwrap();
+        let toks: Vec<String> = "good bad great".split_whitespace().map(String::from).collect();
+        assert_eq!(m.score(&toks), m2.score(&toks));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the sentiment scorer.
+
+use cats_sentiment::SentimentModel;
+use proptest::prelude::*;
+
+fn docs(pol: &str, n: usize) -> Vec<Vec<String>> {
+    (0..n)
+        .map(|i| vec![format!("{pol}{}", i % 5), format!("{pol}{}", (i + 1) % 5)])
+        .collect()
+}
+
+fn model() -> SentimentModel {
+    SentimentModel::train(&docs("good", 10), &docs("bad", 10))
+}
+
+fn token_vec() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just("good0".to_string()),
+            Just("good1".to_string()),
+            Just("bad0".to_string()),
+            Just("bad1".to_string()),
+            "[a-z]{2,6}".prop_map(|s| s),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn scores_always_in_unit_interval(toks in token_vec()) {
+        let s = model().score(&toks);
+        prop_assert!(s.is_finite());
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn score_invariant_under_permutation(mut toks in token_vec()) {
+        let m = model();
+        let a = m.score(&toks);
+        toks.reverse();
+        prop_assert!((m.score(&toks) - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adding_positive_token_never_decreases_score(toks in token_vec()) {
+        // Appending the strongest positive token cannot lower a
+        // length-normalized score below the all-unseen baseline direction.
+        let m = model();
+        let mut plus = toks.clone();
+        plus.push("good0".into());
+        let mut minus = toks;
+        minus.push("bad0".into());
+        prop_assert!(m.score(&plus) >= m.score(&minus) - 1e-12);
+    }
+
+    #[test]
+    fn duplication_of_whole_comment_preserves_score(toks in token_vec()) {
+        prop_assume!(!toks.is_empty());
+        let m = model();
+        let once = m.score(&toks);
+        let mut twice = toks.clone();
+        twice.extend(toks);
+        // Length normalization: score depends on per-token average only.
+        prop_assert!((m.score(&twice) - once).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_score_within_min_max(comments in prop::collection::vec(token_vec(), 1..8)) {
+        let m = model();
+        let avg = m.average_score(&comments);
+        let scores: Vec<f64> = comments.iter().map(|c| m.score(c)).collect();
+        let lo = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(avg >= lo - 1e-12 && avg <= hi + 1e-12);
+    }
+}

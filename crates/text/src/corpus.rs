@@ -1,0 +1,129 @@
+//! Tokenized comment containers shared across the workspace.
+//!
+//! A [`TokenizedComment`] keeps the raw comment text alongside its
+//! segmentation result; a [`Corpus`] is a flat collection of tokenized
+//! comments plus the [`Vocab`] interning their words, which is what the
+//! word2vec trainer and the sentiment model consume.
+
+use crate::segment::Segmenter;
+use crate::token::{TokenId, Vocab};
+use serde::{Deserialize, Serialize};
+
+/// A comment with both its raw text and segmentation result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenizedComment {
+    /// Raw comment text, pre-segmentation.
+    pub text: String,
+    /// Word segmentation result (the paper's `Cᵢʲ(t)` sequence).
+    pub tokens: Vec<String>,
+}
+
+impl TokenizedComment {
+    /// Segments `text` with `segmenter`.
+    pub fn new(text: impl Into<String>, segmenter: &impl Segmenter) -> Self {
+        let text = text.into();
+        let tokens = segmenter.segment(&text);
+        Self { text, tokens }
+    }
+
+    /// Wraps an already-segmented comment.
+    pub fn from_parts(text: impl Into<String>, tokens: Vec<String>) -> Self {
+        Self { text: text.into(), tokens }
+    }
+}
+
+/// A corpus of tokenized comments with an interning vocabulary.
+///
+/// Token ids are stored as one flat `Vec<TokenId>` per comment; the
+/// embedding trainer iterates comments as sentences.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    vocab: Vocab,
+    sentences: Vec<Vec<TokenId>>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one segmented comment, interning its tokens.
+    pub fn push_tokens(&mut self, tokens: &[String]) {
+        let ids = self.vocab.intern_all(tokens);
+        self.sentences.push(ids);
+    }
+
+    /// Adds raw text after segmenting it.
+    pub fn push_text(&mut self, text: &str, segmenter: &impl Segmenter) {
+        let toks = segmenter.segment(text);
+        self.push_tokens(&toks);
+    }
+
+    /// The interning vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Sentences as token-id slices.
+    pub fn sentences(&self) -> &[Vec<TokenId>] {
+        &self.sentences
+    }
+
+    /// Number of sentences (comments).
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// Whether the corpus holds no sentences.
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+
+    /// Total token count across all sentences.
+    pub fn token_count(&self) -> usize {
+        self.sentences.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::WhitespaceSegmenter;
+
+    #[test]
+    fn tokenized_comment_segments() {
+        let c = TokenizedComment::new("hao ping!", &WhitespaceSegmenter);
+        assert_eq!(c.tokens, vec!["hao", "ping", "!"]);
+        assert_eq!(c.text, "hao ping!");
+    }
+
+    #[test]
+    fn corpus_interns_shared_words_once() {
+        let mut c = Corpus::new();
+        c.push_text("hao hao ping", &WhitespaceSegmenter);
+        c.push_text("ping cha", &WhitespaceSegmenter);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.vocab().len(), 3);
+        assert_eq!(c.token_count(), 5);
+        // "ping" in both sentences maps to the same id.
+        let s = c.sentences();
+        assert_eq!(s[0][2], s[1][0]);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = Corpus::new();
+        assert!(c.is_empty());
+        assert_eq!(c.token_count(), 0);
+        assert!(c.vocab().is_empty());
+    }
+
+    #[test]
+    fn push_empty_comment_keeps_sentence() {
+        let mut c = Corpus::new();
+        c.push_tokens(&[]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.token_count(), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Dictionary-based word segmentation (maximum matching).
+//!
+//! Chinese e-commerce comments are written without word delimiters; the
+//! paper's pipeline runs a word segmenter before any feature is computed.
+//! [`DictSegmenter`] implements the classical *bidirectional maximum
+//! matching* algorithm over a known vocabulary: at each position, the
+//! longest dictionary word starting (forward pass) or ending (backward
+//! pass) there is taken; the pass with fewer resulting words (ties: fewer
+//! single-character leftovers) wins. Unknown spans fall back to
+//! single-character tokens.
+//!
+//! Paired with `cats_platform`'s unspaced rendering this exercises the
+//! same segment-then-extract path a real Chinese deployment runs.
+
+use crate::segment::{is_punctuation_char, Segmenter};
+use std::collections::HashSet;
+
+/// A maximum-matching segmenter over an explicit vocabulary.
+#[derive(Debug, Clone)]
+pub struct DictSegmenter {
+    words: HashSet<String>,
+    max_word_chars: usize,
+}
+
+impl DictSegmenter {
+    /// Builds the segmenter from a vocabulary iterator. Word lookups are
+    /// exact; the maximum word length bounds the matching window.
+    pub fn new<I: IntoIterator<Item = String>>(vocab: I) -> Self {
+        let words: HashSet<String> = vocab.into_iter().filter(|w| !w.is_empty()).collect();
+        let max_word_chars = words.iter().map(|w| w.chars().count()).max().unwrap_or(1);
+        Self { words, max_word_chars }
+    }
+
+    /// Number of dictionary words.
+    pub fn vocab_len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Forward maximum matching over a delimiter-free span.
+    fn forward(&self, chars: &[char], out: &mut Vec<String>) {
+        let mut i = 0;
+        while i < chars.len() {
+            let mut matched = 0;
+            let hi = (i + self.max_word_chars).min(chars.len());
+            // longest match first
+            for j in (i + 1..=hi).rev() {
+                let cand: String = chars[i..j].iter().collect();
+                if self.words.contains(&cand) {
+                    out.push(cand);
+                    matched = j - i;
+                    break;
+                }
+            }
+            if matched == 0 {
+                out.push(chars[i].to_string());
+                i += 1;
+            } else {
+                i += matched;
+            }
+        }
+    }
+
+    /// Backward maximum matching (longest word *ending* at each position,
+    /// scanning right to left).
+    fn backward(&self, chars: &[char], out: &mut Vec<String>) {
+        let mut rev: Vec<String> = Vec::new();
+        let mut i = chars.len();
+        while i > 0 {
+            let lo = i.saturating_sub(self.max_word_chars);
+            let mut matched = 0;
+            for j in lo..i {
+                let cand: String = chars[j..i].iter().collect();
+                if self.words.contains(&cand) {
+                    rev.push(cand);
+                    matched = i - j;
+                    break;
+                }
+            }
+            if matched == 0 {
+                rev.push(chars[i - 1].to_string());
+                i -= 1;
+            } else {
+                i -= matched;
+            }
+        }
+        out.extend(rev.into_iter().rev());
+    }
+
+    /// Segments one delimiter-free span bidirectionally and keeps the
+    /// better pass: fewer tokens, ties broken by fewer single-char tokens
+    /// (the standard disambiguation heuristic).
+    fn segment_span(&self, chars: &[char], out: &mut Vec<String>) {
+        if chars.is_empty() {
+            return;
+        }
+        let mut fwd = Vec::new();
+        self.forward(chars, &mut fwd);
+        let mut bwd = Vec::new();
+        self.backward(chars, &mut bwd);
+        let singles = |v: &[String]| v.iter().filter(|w| w.chars().count() == 1).count();
+        let pick_backward = bwd.len() < fwd.len()
+            || (bwd.len() == fwd.len() && singles(&bwd) < singles(&fwd));
+        out.extend(if pick_backward { bwd } else { fwd });
+    }
+}
+
+impl Segmenter for DictSegmenter {
+    fn segment_into(&self, text: &str, out: &mut Vec<String>) {
+        out.clear();
+        let mut span: Vec<char> = Vec::new();
+        for c in text.chars() {
+            if c.is_whitespace() {
+                let chars = std::mem::take(&mut span);
+                self.segment_span(&chars, out);
+            } else if is_punctuation_char(c) {
+                let chars = std::mem::take(&mut span);
+                self.segment_span(&chars, out);
+                out.push(c.to_string());
+            } else {
+                span.push(c);
+            }
+        }
+        self.segment_span(&span, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(vocab: &[&str]) -> DictSegmenter {
+        DictSegmenter::new(vocab.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn segments_unspaced_known_words() {
+        let s = seg(&["haoping", "zhide", "mai"]);
+        assert_eq!(s.segment("haopingzhidemai"), vec!["haoping", "zhide", "mai"]);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        // "haoping" must beat the shorter prefix "hao".
+        let s = seg(&["hao", "haoping", "ping"]);
+        assert_eq!(s.segment("haoping"), vec!["haoping"]);
+    }
+
+    #[test]
+    fn unknown_spans_fall_back_to_chars() {
+        let s = seg(&["mai"]);
+        assert_eq!(s.segment("xymai"), vec!["x", "y", "mai"]);
+    }
+
+    #[test]
+    fn punctuation_breaks_spans_and_is_kept() {
+        let s = seg(&["hao", "cha"]);
+        assert_eq!(s.segment("hao！cha"), vec!["hao", "！", "cha"]);
+    }
+
+    #[test]
+    fn whitespace_breaks_spans() {
+        let s = seg(&["ab", "abc"]);
+        assert_eq!(s.segment("ab abc"), vec!["ab", "abc"]);
+    }
+
+    #[test]
+    fn backward_pass_disambiguates() {
+        // Forward on "abc" with dict {ab, bc, abc? no}: fwd → [ab, c];
+        // bwd → [a, bc]. Equal length, equal singles → forward kept.
+        let s = seg(&["ab", "bc"]);
+        let toks = s.segment("abc");
+        assert_eq!(toks.len(), 2);
+        // Classic case where backward wins: dict {a, ab, cb, b} on "acb":
+        // fwd: [a, c, b] (3); bwd: [a, cb] (2).
+        let s2 = seg(&["a", "ab", "cb", "b"]);
+        assert_eq!(s2.segment("acb"), vec!["a", "cb"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        let s = seg(&["a"]);
+        assert!(s.segment("").is_empty());
+        assert!(s.segment("   ").is_empty());
+    }
+
+    #[test]
+    fn roundtrips_platform_language_without_spaces() {
+        // Simulate: a spaced sentence whose tokens are all in the dict
+        // segments identically once spaces are removed.
+        let vocab = ["haoping", "zhide", "manyi", "kuaidi", "de"];
+        let s = seg(&vocab);
+        let spaced = "haoping zhide manyi de kuaidi";
+        let unspaced: String = spaced.split_whitespace().collect();
+        let expect: Vec<String> = spaced.split_whitespace().map(String::from).collect();
+        assert_eq!(s.segment(&unspaced), expect);
+    }
+
+    #[test]
+    fn vocab_len_reported() {
+        assert_eq!(seg(&["a", "b", ""]).vocab_len(), 2, "empty words dropped");
+    }
+}

@@ -1,0 +1,109 @@
+//! Bigrams and the positive-2-gram set *G* (paper §II-A2).
+//!
+//! The paper defines *G* as the set of 2-grams `(Wi, Wj)` in which at least
+//! one word belongs to the positive set *P*, and derives two features from
+//! it: `averageNgramNumber` (average count of positive bigrams per comment)
+//! and `averageNgramRatio` (that count normalized by the number of bigram
+//! positions, `|Cᵢʲ| − 1`). Since membership in *G* is a predicate over the
+//! lexicon, we never enumerate *G*; [`positive_bigram_count`] streams through
+//! a comment's adjacent pairs.
+
+use crate::lexicon::Lexicon;
+
+/// Iterates adjacent token pairs of a segmented comment.
+pub fn bigrams(tokens: &[String]) -> impl Iterator<Item = (&str, &str)> + '_ {
+    tokens
+        .windows(2)
+        .map(|w| (w[0].as_str(), w[1].as_str()))
+}
+
+/// Number of bigram positions of a comment: `max(len − 1, 0)`.
+#[inline]
+pub fn bigram_positions(tokens: &[String]) -> usize {
+    tokens.len().saturating_sub(1)
+}
+
+/// Counts bigrams of `tokens` that are in *G*, i.e. whose first or second
+/// word is in the positive set of `lexicon`.
+///
+/// ```
+/// use cats_text::{Lexicon, ngram::positive_bigram_count};
+/// let lex = Lexicon::new(["hao".to_string()], []);
+/// let toks: Vec<String> = ["hen", "hao", "yong"].iter().map(|s| s.to_string()).collect();
+/// // ("hen","hao") and ("hao","yong") both contain "hao".
+/// assert_eq!(positive_bigram_count(&toks, &lex), 2);
+/// ```
+pub fn positive_bigram_count(tokens: &[String], lexicon: &Lexicon) -> usize {
+    bigrams(tokens)
+        .filter(|(a, b)| lexicon.is_positive(a) || lexicon.is_positive(b))
+        .count()
+}
+
+/// Fraction of a comment's bigram positions that are positive bigrams
+/// (0 when the comment has fewer than two tokens).
+pub fn positive_bigram_ratio(tokens: &[String], lexicon: &Lexicon) -> f64 {
+    let n = bigram_positions(tokens);
+    if n == 0 {
+        return 0.0;
+    }
+    positive_bigram_count(tokens, lexicon) as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(ws: &[&str]) -> Vec<String> {
+        ws.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn lex() -> Lexicon {
+        Lexicon::new(["hao".to_string(), "zan".to_string()], ["cha".to_string()])
+    }
+
+    #[test]
+    fn bigram_iteration() {
+        let t = toks(&["a", "b", "c"]);
+        let bs: Vec<_> = bigrams(&t).collect();
+        assert_eq!(bs, vec![("a", "b"), ("b", "c")]);
+    }
+
+    #[test]
+    fn bigrams_of_short_comments_are_empty() {
+        assert_eq!(bigrams(&toks(&["a"])).count(), 0);
+        assert_eq!(bigrams(&[]).count(), 0);
+        assert_eq!(bigram_positions(&toks(&["a"])), 0);
+        assert_eq!(bigram_positions(&[]), 0);
+    }
+
+    #[test]
+    fn counts_bigrams_with_either_side_positive() {
+        let t = toks(&["hen", "hao", "zan", "x"]);
+        // (hen,hao) yes, (hao,zan) yes, (zan,x) yes
+        assert_eq!(positive_bigram_count(&t, &lex()), 3);
+    }
+
+    #[test]
+    fn negative_words_do_not_count() {
+        let t = toks(&["cha", "x", "cha"]);
+        assert_eq!(positive_bigram_count(&t, &lex()), 0);
+        assert_eq!(positive_bigram_ratio(&t, &lex()), 0.0);
+    }
+
+    #[test]
+    fn ratio_normalizes_by_positions() {
+        let t = toks(&["hao", "x", "y"]); // (hao,x) positive, (x,y) not
+        assert!((positive_bigram_ratio(&t, &lex()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_of_singleton_is_zero() {
+        assert_eq!(positive_bigram_ratio(&toks(&["hao"]), &lex()), 0.0);
+    }
+
+    #[test]
+    fn ratio_never_exceeds_one() {
+        let t = toks(&["hao", "hao", "hao"]);
+        assert_eq!(positive_bigram_ratio(&t, &lex()), 1.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Word segmentation.
+//!
+//! The paper segments each Chinese comment into its word set before any
+//! feature is computed. Our synthetic corpus is whitespace-delimited, so the
+//! stand-in segmenter splits on whitespace and additionally detaches
+//! punctuation marks into their own tokens — the punctuation features
+//! (Fig 2, `sumPunctuationNumber`, `averagePunctuationRatio`) need
+//! punctuation to survive segmentation as countable tokens.
+
+/// Characters treated as punctuation by the segmenter and by
+/// [`is_punctuation_token`]. Includes both ASCII and full-width CJK marks,
+/// mirroring the mixed punctuation of real e-commerce comments.
+pub const PUNCTUATION: &[char] = &[
+    ',', '.', '!', '?', ';', ':', '~', '…', '，', '。', '！', '？', '；', '：', '、',
+];
+
+/// Returns `true` if `c` counts as punctuation for the structural features.
+#[inline]
+pub fn is_punctuation_char(c: char) -> bool {
+    PUNCTUATION.contains(&c)
+}
+
+/// Returns `true` if every character of `tok` is punctuation (and `tok` is
+/// non-empty).
+#[inline]
+pub fn is_punctuation_token(tok: &str) -> bool {
+    !tok.is_empty() && tok.chars().all(is_punctuation_char)
+}
+
+/// A word segmenter: raw comment text → token sequence.
+///
+/// The paper's pipeline uses a Chinese word segmenter here; swapping the
+/// implementation is the only change needed to run CATS on a platform with a
+/// different comment language — exactly the cross-platform property the
+/// paper claims.
+pub trait Segmenter {
+    /// Segments `text` into tokens, appending to `out` (reusing its
+    /// allocation; `out` is cleared first).
+    fn segment_into(&self, text: &str, out: &mut Vec<String>);
+
+    /// Convenience wrapper returning a fresh `Vec`.
+    fn segment(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.segment_into(text, &mut out);
+        out
+    }
+}
+
+/// Splits on Unicode whitespace and detaches punctuation characters into
+/// standalone tokens.
+///
+/// ```
+/// use cats_text::segment::{Segmenter, WhitespaceSegmenter};
+/// let s = WhitespaceSegmenter::default();
+/// assert_eq!(
+///     s.segment("hao ping! zhide mai."),
+///     vec!["hao", "ping", "!", "zhide", "mai", "."]
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WhitespaceSegmenter;
+
+impl Segmenter for WhitespaceSegmenter {
+    fn segment_into(&self, text: &str, out: &mut Vec<String>) {
+        out.clear();
+        let mut word = String::new();
+        for c in text.chars() {
+            if c.is_whitespace() {
+                if !word.is_empty() {
+                    out.push(std::mem::take(&mut word));
+                }
+            } else if is_punctuation_char(c) {
+                if !word.is_empty() {
+                    out.push(std::mem::take(&mut word));
+                }
+                out.push(c.to_string());
+            } else {
+                word.push(c);
+            }
+        }
+        if !word.is_empty() {
+            out.push(word);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(text: &str) -> Vec<String> {
+        WhitespaceSegmenter.segment(text)
+    }
+
+    #[test]
+    fn splits_on_whitespace() {
+        assert_eq!(seg("a b  c\td"), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(seg("").is_empty());
+        assert!(seg("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn detaches_ascii_punctuation() {
+        assert_eq!(seg("good!bad?"), vec!["good", "!", "bad", "?"]);
+    }
+
+    #[test]
+    fn detaches_cjk_punctuation() {
+        assert_eq!(seg("hao，ping。"), vec!["hao", "，", "ping", "。"]);
+    }
+
+    #[test]
+    fn consecutive_punctuation_yields_separate_tokens() {
+        assert_eq!(seg("wow!!!"), vec!["wow", "!", "!", "!"]);
+    }
+
+    #[test]
+    fn punctuation_token_predicate() {
+        assert!(is_punctuation_token("!"));
+        assert!(is_punctuation_token("。"));
+        assert!(!is_punctuation_token("a!"));
+        assert!(!is_punctuation_token(""));
+        assert!(!is_punctuation_token("word"));
+    }
+
+    #[test]
+    fn segment_into_reuses_buffer() {
+        let s = WhitespaceSegmenter;
+        let mut buf = vec!["stale".to_string()];
+        s.segment_into("x y", &mut buf);
+        assert_eq!(buf, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn no_whitespace_single_token() {
+        assert_eq!(seg("haoping"), vec!["haoping"]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Per-comment statistics behind the paper's structural features.
+//!
+//! Section II-A4 of the paper observes (Figs 2–5) that fraud-item comments
+//! are longer, more chaotically organized (higher token entropy), heavier on
+//! punctuation, and more repetitive (lower unique-word ratio) than organic
+//! comments. The functions here compute those raw statistics for a single
+//! segmented comment; `cats-core` aggregates them per item.
+
+use crate::segment::is_punctuation_token;
+use std::collections::HashMap;
+
+/// Shannon entropy (bits) of the token frequency distribution of a comment.
+///
+/// This is the paper's measure of "how chaotically a comment is organized":
+/// `-Σ p(t) log2 p(t)` where `p(t)` is the within-comment frequency of
+/// token `t`. Empty comments have entropy 0.
+///
+/// ```
+/// use cats_text::stats::token_entropy;
+/// let toks: Vec<String> = ["a", "b", "a", "b"].iter().map(|s| s.to_string()).collect();
+/// assert!((token_entropy(&toks) - 1.0).abs() < 1e-12);
+/// ```
+pub fn token_entropy(tokens: &[String]) -> f64 {
+    if tokens.is_empty() {
+        return 0.0;
+    }
+    let mut freq: HashMap<&str, u32> = HashMap::new();
+    for t in tokens {
+        *freq.entry(t.as_str()).or_insert(0) += 1;
+    }
+    let n = tokens.len() as f64;
+    // Sum in sorted count order: entropy depends only on the count
+    // multiset, and a deterministic order keeps the result bit-identical
+    // across HashMap instances (and therefore across threads).
+    let mut counts: Vec<u32> = freq.into_values().collect();
+    counts.sort_unstable();
+    let mut h = 0.0;
+    for c in counts {
+        let p = f64::from(c) / n;
+        h -= p * p.log2();
+    }
+    // -0.0 can appear when the comment is a single repeated token.
+    if h == 0.0 {
+        0.0
+    } else {
+        h
+    }
+}
+
+/// Number of punctuation tokens in a segmented comment.
+pub fn punctuation_count(tokens: &[String]) -> usize {
+    tokens.iter().filter(|t| is_punctuation_token(t)).count()
+}
+
+/// Fraction of a comment's tokens that are punctuation (0 for empty).
+pub fn punctuation_ratio(tokens: &[String]) -> f64 {
+    if tokens.is_empty() {
+        return 0.0;
+    }
+    punctuation_count(tokens) as f64 / tokens.len() as f64
+}
+
+/// Ratio of distinct tokens to total tokens (1 for empty, by convention —
+/// an empty comment has no duplication).
+pub fn unique_word_ratio(tokens: &[String]) -> f64 {
+    if tokens.is_empty() {
+        return 1.0;
+    }
+    let mut seen: HashMap<&str, ()> = HashMap::with_capacity(tokens.len());
+    for t in tokens {
+        seen.entry(t.as_str()).or_insert(());
+    }
+    seen.len() as f64 / tokens.len() as f64
+}
+
+/// Comment length in characters of the raw (pre-segmentation) text,
+/// excluding whitespace. The paper's Fig 4 measures comment length over the
+/// raw comment string.
+pub fn char_length(text: &str) -> usize {
+    text.chars().filter(|c| !c.is_whitespace()).count()
+}
+
+/// Comment length in tokens.
+pub fn token_length(tokens: &[String]) -> usize {
+    tokens.len()
+}
+
+/// All single-comment statistics bundled, to avoid re-walking the token
+/// slice once per feature in the hot extraction path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommentStats {
+    /// Shannon entropy in bits of the token distribution.
+    pub entropy: f64,
+    /// Count of punctuation tokens.
+    pub punctuation: usize,
+    /// Punctuation tokens / total tokens.
+    pub punctuation_ratio: f64,
+    /// Distinct tokens / total tokens.
+    pub unique_ratio: f64,
+    /// Non-whitespace character count of the raw text.
+    pub chars: usize,
+    /// Token count.
+    pub tokens: usize,
+}
+
+impl CommentStats {
+    /// Computes every statistic in a single pass over the token slice.
+    pub fn compute(text: &str, tokens: &[String]) -> Self {
+        let n = tokens.len();
+        let mut freq: HashMap<&str, u32> = HashMap::with_capacity(n);
+        let mut punct = 0usize;
+        for t in tokens {
+            if is_punctuation_token(t) {
+                punct += 1;
+            }
+            *freq.entry(t.as_str()).or_insert(0) += 1;
+        }
+        let entropy = if n == 0 {
+            0.0
+        } else {
+            let nf = n as f64;
+            // Deterministic order (see `token_entropy`).
+            let mut counts: Vec<u32> = freq.values().copied().collect();
+            counts.sort_unstable();
+            let h: f64 = counts
+                .iter()
+                .map(|&c| {
+                    let p = f64::from(c) / nf;
+                    -p * p.log2()
+                })
+                .sum();
+            if h == 0.0 {
+                0.0
+            } else {
+                h
+            }
+        };
+        Self {
+            entropy,
+            punctuation: punct,
+            punctuation_ratio: if n == 0 { 0.0 } else { punct as f64 / n as f64 },
+            unique_ratio: if n == 0 { 1.0 } else { freq.len() as f64 / n as f64 },
+            chars: char_length(text),
+            tokens: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(ws: &[&str]) -> Vec<String> {
+        ws.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn entropy_of_uniform_distribution() {
+        // 4 distinct tokens, each once: entropy = log2(4) = 2 bits.
+        assert!((token_entropy(&toks(&["a", "b", "c", "d"])) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_single_repeated_token_is_zero() {
+        let e = token_entropy(&toks(&["a", "a", "a"]));
+        assert_eq!(e, 0.0);
+        assert!(e.is_sign_positive(), "no -0.0");
+    }
+
+    #[test]
+    fn entropy_of_empty_is_zero() {
+        assert_eq!(token_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn entropy_bounded_by_log_len() {
+        let t = toks(&["a", "b", "a", "c", "d", "d", "e"]);
+        let e = token_entropy(&t);
+        assert!(e > 0.0);
+        assert!(e <= (t.len() as f64).log2() + 1e-12);
+    }
+
+    #[test]
+    fn punctuation_counting() {
+        let t = toks(&["good", "!", "!", "bad", "?"]);
+        assert_eq!(punctuation_count(&t), 3);
+        assert!((punctuation_ratio(&t) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn punctuation_ratio_empty_is_zero() {
+        assert_eq!(punctuation_ratio(&[]), 0.0);
+    }
+
+    #[test]
+    fn unique_ratio_all_distinct_is_one() {
+        assert_eq!(unique_word_ratio(&toks(&["a", "b", "c"])), 1.0);
+    }
+
+    #[test]
+    fn unique_ratio_with_duplicates() {
+        assert!((unique_word_ratio(&toks(&["a", "a", "b", "b"])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unique_ratio_empty_is_one() {
+        assert_eq!(unique_word_ratio(&[]), 1.0);
+    }
+
+    #[test]
+    fn char_length_ignores_whitespace() {
+        assert_eq!(char_length("ab cd\te"), 5);
+        assert_eq!(char_length(""), 0);
+        assert_eq!(char_length("很好 的"), 3);
+    }
+
+    #[test]
+    fn bundle_matches_individual_functions() {
+        let text = "hao ping ! hao";
+        let t = toks(&["hao", "ping", "!", "hao"]);
+        let s = CommentStats::compute(text, &t);
+        assert!((s.entropy - token_entropy(&t)).abs() < 1e-12);
+        assert_eq!(s.punctuation, punctuation_count(&t));
+        assert!((s.punctuation_ratio - punctuation_ratio(&t)).abs() < 1e-12);
+        assert!((s.unique_ratio - unique_word_ratio(&t)).abs() < 1e-12);
+        assert_eq!(s.chars, char_length(text));
+        assert_eq!(s.tokens, 4);
+    }
+
+    #[test]
+    fn bundle_on_empty_comment() {
+        let s = CommentStats::compute("", &[]);
+        assert_eq!(s.entropy, 0.0);
+        assert_eq!(s.punctuation, 0);
+        assert_eq!(s.punctuation_ratio, 0.0);
+        assert_eq!(s.unique_ratio, 1.0);
+        assert_eq!(s.chars, 0);
+        assert_eq!(s.tokens, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the text substrate.
+
+use cats_text::{ngram, stats, Lexicon, Segmenter, Vocab, WhitespaceSegmenter};
+use proptest::prelude::*;
+
+/// Strategy: short lowercase pseudo-words.
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}"
+}
+
+/// Strategy: a comment as a token list.
+fn tokens() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(word(), 0..40)
+}
+
+proptest! {
+    #[test]
+    fn entropy_is_bounded_by_log2_len(toks in tokens()) {
+        let h = stats::token_entropy(&toks);
+        prop_assert!(h >= 0.0);
+        let bound = if toks.is_empty() { 0.0 } else { (toks.len() as f64).log2() };
+        prop_assert!(h <= bound + 1e-9, "h={h} bound={bound}");
+    }
+
+    #[test]
+    fn entropy_invariant_under_permutation(mut toks in tokens()) {
+        let h1 = stats::token_entropy(&toks);
+        toks.reverse();
+        let h2 = stats::token_entropy(&toks);
+        prop_assert!((h1 - h2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unique_ratio_in_unit_interval(toks in tokens()) {
+        let r = stats::unique_word_ratio(&toks);
+        prop_assert!((0.0..=1.0).contains(&r));
+        // all-distinct iff ratio == 1 (for non-empty)
+        if !toks.is_empty() {
+            let mut sorted = toks.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len() == toks.len(), (r - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn punctuation_ratio_consistent_with_count(toks in tokens()) {
+        let c = stats::punctuation_count(&toks);
+        let r = stats::punctuation_ratio(&toks);
+        if toks.is_empty() {
+            prop_assert_eq!(r, 0.0);
+        } else {
+            prop_assert!((r - c as f64 / toks.len() as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn segmenter_output_has_no_whitespace_and_covers_input(text in "[a-z !，。?]{0,60}") {
+        let toks = WhitespaceSegmenter.segment(&text);
+        for t in &toks {
+            prop_assert!(!t.is_empty());
+            prop_assert!(!t.chars().any(char::is_whitespace), "{t:?}");
+        }
+        // Non-whitespace chars are preserved in order.
+        let rejoined: String = toks.concat();
+        let expected: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+        prop_assert_eq!(rejoined, expected);
+    }
+
+    #[test]
+    fn segmentation_is_idempotent_on_its_own_output(text in "[a-z !，。?]{0,60}") {
+        let seg = WhitespaceSegmenter;
+        let once = seg.segment(&text);
+        let again = seg.segment(&once.join(" "));
+        prop_assert_eq!(once, again);
+    }
+
+    #[test]
+    fn vocab_intern_roundtrips(words in prop::collection::vec(word(), 1..50)) {
+        let mut v = Vocab::new();
+        let ids: Vec<_> = words.iter().map(|w| v.intern(w)).collect();
+        for (w, id) in words.iter().zip(&ids) {
+            prop_assert_eq!(v.word(*id), Some(w.as_str()));
+            prop_assert_eq!(v.id(w), Some(*id));
+        }
+        prop_assert_eq!(v.total_count(), words.len() as u64);
+    }
+
+    #[test]
+    fn bigram_count_bounded_by_positions(toks in tokens(), pos_words in prop::collection::vec(word(), 0..5)) {
+        let lex = Lexicon::new(pos_words, Vec::<String>::new());
+        let count = ngram::positive_bigram_count(&toks, &lex);
+        prop_assert!(count <= ngram::bigram_positions(&toks));
+        let ratio = ngram::positive_bigram_ratio(&toks, &lex);
+        prop_assert!((0.0..=1.0).contains(&ratio));
+    }
+
+    #[test]
+    fn lexicon_counts_additive_under_concat(a in tokens(), b in tokens(), pos in prop::collection::vec(word(), 1..5)) {
+        let lex = Lexicon::new(pos, Vec::<String>::new());
+        let mut ab = a.clone();
+        ab.extend(b.clone());
+        prop_assert_eq!(
+            lex.positive_count(&ab),
+            lex.positive_count(&a) + lex.positive_count(&b)
+        );
+    }
+}
+
+mod dictseg_props {
+    use cats_text::{DictSegmenter, Segmenter};
+    use proptest::prelude::*;
+
+    fn vocab() -> impl Strategy<Value = Vec<String>> {
+        prop::collection::vec("[a-d]{1,4}", 1..12)
+    }
+
+    proptest! {
+        #[test]
+        fn segmentation_covers_input(vocab in vocab(), text in "[a-e]{0,30}") {
+            let seg = DictSegmenter::new(vocab);
+            let toks = seg.segment(&text);
+            let rejoined: String = toks.concat();
+            prop_assert_eq!(rejoined, text);
+        }
+
+        #[test]
+        fn every_token_is_dict_word_or_single_char(vocab in vocab(), text in "[a-e]{0,30}") {
+            let words: std::collections::HashSet<String> = vocab.iter().cloned().collect();
+            let seg = DictSegmenter::new(vocab);
+            for tok in seg.segment(&text) {
+                prop_assert!(
+                    words.contains(&tok) || tok.chars().count() == 1,
+                    "token {tok:?} neither dict word nor single char"
+                );
+            }
+        }
+
+        #[test]
+        fn known_sentences_never_oversegment(vocab in vocab(), idx in prop::collection::vec(any::<prop::sample::Index>(), 1..8)) {
+            // A sentence of dictionary words re-segments into at most as
+            // many tokens as the original sentence: maximum matching may
+            // re-analyse boundaries ("a"+"ab" → "aa"+"b") but it cannot do
+            // worse than the original segmentation plus char fallbacks,
+            // and bidirectional selection keeps the shorter pass.
+            let seg = DictSegmenter::new(vocab.clone());
+            let sentence: Vec<&String> = idx.iter().map(|i| i.get(&vocab)).collect();
+            let unspaced: String = sentence.iter().map(|w| w.as_str()).collect();
+            let toks = seg.segment(&unspaced);
+            prop_assert_eq!(toks.concat(), unspaced.clone());
+            // every multi-char token is a dictionary word
+            let words: std::collections::HashSet<&str> = vocab.iter().map(String::as_str).collect();
+            for t in &toks {
+                prop_assert!(
+                    t.chars().count() == 1 || words.contains(t.as_str()),
+                    "{t:?} multi-char but not in dict"
+                );
+            }
+        }
+    }
+}

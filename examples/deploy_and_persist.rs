@@ -1,0 +1,109 @@
+//! Deployment workflow: train once, persist the model to disk, restore it
+//! in a fresh process, and read the operator's batch summary — the §VI
+//! story of shipping a pre-trained CATS into a platform.
+//!
+//! ```sh
+//! cargo run --release --example deploy_and_persist
+//! ```
+
+use cats::core::pipeline::PipelineSnapshot;
+use cats::core::semantic::SemanticConfig;
+use cats::core::{
+    CatsPipeline, DetectionSummary, DetectorConfig, ItemComments, SemanticAnalyzer,
+};
+use cats::embedding::{ExpansionConfig, Word2VecConfig};
+use cats::ml::gbt::{GbtConfig, GradientBoostedTrees};
+use cats::ml::{Classifier, Dataset};
+use cats::platform::comment_model::{generate_comment, CommentStyle};
+use cats::platform::datasets;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // --- Training process ---------------------------------------------
+    let train = datasets::d0(0.006, 81);
+    let corpus: Vec<&str> = train
+        .items()
+        .iter()
+        .flat_map(|i| i.comments.iter().map(|c| c.content.as_str()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(81);
+    let pos: Vec<String> = (0..600)
+        .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicPositive, &mut rng))
+        .collect();
+    let neg: Vec<String> = (0..600)
+        .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicNegative, &mut rng))
+        .collect();
+    let analyzer = SemanticAnalyzer::train(
+        &corpus,
+        &train.lexicon().positive_seeds(),
+        &train.lexicon().negative_seeds(),
+        &pos.iter().map(String::as_str).collect::<Vec<_>>(),
+        &neg.iter().map(String::as_str).collect::<Vec<_>>(),
+        SemanticConfig {
+            word2vec: Word2VecConfig { dim: 48, epochs: 3, ..Word2VecConfig::default() },
+            expansion: ExpansionConfig::default(),
+        },
+    );
+
+    // Train the concrete GBT on extracted features (the snapshot keeps the
+    // concrete model type).
+    let items: Vec<ItemComments> = train
+        .items()
+        .iter()
+        .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
+        .collect();
+    let labels: Vec<u8> = train
+        .items()
+        .iter()
+        .map(|i| u8::from(i.label.is_fraud()))
+        .collect();
+    let rows = cats::core::features::extract_batch(&items, &analyzer, 0);
+    let mut data = Dataset::new(cats::core::N_FEATURES);
+    for (r, &l) in rows.iter().zip(&labels) {
+        data.push(r.as_slice(), l);
+    }
+    let mut gbt = GradientBoostedTrees::new(GbtConfig::default());
+    gbt.fit(&data);
+
+    // --- Persist to disk -----------------------------------------------
+    let snapshot = CatsPipeline::snapshot(
+        analyzer,
+        DetectorConfig { threshold: 0.9, ..DetectorConfig::default() },
+        gbt,
+    );
+    let path = std::env::temp_dir().join("cats_detector.json");
+    let json = serde_json::to_string(&snapshot).expect("serialize snapshot");
+    std::fs::write(&path, &json).expect("write model file");
+    println!("persisted trained detector: {} ({} KiB)", path.display(), json.len() / 1024);
+
+    // --- A "fresh process": restore and run ----------------------------
+    let loaded = std::fs::read_to_string(&path).expect("read model file");
+    let restored: PipelineSnapshot = serde_json::from_str(&loaded).expect("parse model");
+    let pipeline = CatsPipeline::restore(restored);
+
+    let stream = datasets::d1(0.003, 4242);
+    let batch: Vec<ItemComments> = stream
+        .items()
+        .iter()
+        .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
+        .collect();
+    let sales: Vec<u64> = stream.items().iter().map(|i| i.sales_volume).collect();
+    let reports = pipeline.detect(&batch, &sales);
+
+    // --- Operator view --------------------------------------------------
+    let summary = DetectionSummary::from_reports(&reports);
+    println!("\n{summary}");
+    let queue = DetectionSummary::review_queue(&reports, 5);
+    println!("expert review queue (top {} by score):", queue.len());
+    for idx in queue {
+        println!(
+            "  item #{idx} score {:.3} — first comment: {:?}",
+            reports[idx].score,
+            stream.items()[idx]
+                .comments
+                .first()
+                .map(|c| c.content.chars().take(48).collect::<String>())
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,145 @@
+//! Measurement study: after detecting frauds on a crawled platform, run
+//! the paper's §V analyses — word frequencies, buyer reliability, client
+//! sources, and risky-user-pair mining — from the public data alone.
+//!
+//! ```sh
+//! cargo run --release --example measurement_study
+//! ```
+
+use cats::analysis::orders::client_distribution;
+use cats::analysis::users::{mine_risky_pairs, share_below, unique_buyers};
+use cats::analysis::WordFrequency;
+use cats::collector::{CollectedItem, Collector, CollectorConfig, PublicSite, SiteConfig};
+use cats::core::semantic::SemanticConfig;
+use cats::core::{CatsPipeline, Detector, DetectorConfig, ItemComments, SemanticAnalyzer};
+use cats::embedding::{ExpansionConfig, Word2VecConfig};
+use cats::platform::comment_model::{generate_comment, CommentStyle};
+use cats::platform::datasets;
+use cats::text::{Lexicon, Segmenter, WhitespaceSegmenter};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // --- Train on the labeled platform, deploy at high precision. ---
+    let train = datasets::d0(0.01, 51);
+    let corpus: Vec<&str> = train
+        .items()
+        .iter()
+        .flat_map(|i| i.comments.iter().map(|c| c.content.as_str()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(51);
+    let pos: Vec<String> = (0..800)
+        .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicPositive, &mut rng))
+        .collect();
+    let neg: Vec<String> = (0..800)
+        .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicNegative, &mut rng))
+        .collect();
+    let analyzer = SemanticAnalyzer::train(
+        &corpus,
+        &train.lexicon().positive_seeds(),
+        &train.lexicon().negative_seeds(),
+        &pos.iter().map(String::as_str).collect::<Vec<_>>(),
+        &neg.iter().map(String::as_str).collect::<Vec<_>>(),
+        SemanticConfig {
+            word2vec: Word2VecConfig { dim: 48, epochs: 4, ..Word2VecConfig::default() },
+            expansion: ExpansionConfig::default(),
+        },
+    );
+    let mut detector = Detector::with_default_classifier(DetectorConfig {
+        threshold: 0.97,
+        ..DetectorConfig::default()
+    });
+    let items: Vec<ItemComments> = train
+        .items()
+        .iter()
+        .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
+        .collect();
+    let labels: Vec<u8> = train
+        .items()
+        .iter()
+        .map(|i| u8::from(i.label.is_fraud()))
+        .collect();
+    detector.fit(&items, &labels, &analyzer);
+    let pipeline = CatsPipeline::from_parts(analyzer, detector);
+
+    // --- Crawl the second platform and detect. ---
+    let target = datasets::e_platform(0.001, 1234);
+    let site = PublicSite::new(&target, SiteConfig::default());
+    let collected = Collector::new(CollectorConfig::default()).crawl(&site);
+    let test_items: Vec<ItemComments> = collected
+        .items
+        .iter()
+        .map(|i| ItemComments::from_texts(i.comment_texts()))
+        .collect();
+    let sales: Vec<u64> = collected.items.iter().map(|i| i.sales_volume).collect();
+    let reports = pipeline.detect(&test_items, &sales);
+
+    let fraud_items: Vec<&CollectedItem> = collected
+        .items
+        .iter()
+        .zip(&reports)
+        .filter(|(_, r)| r.is_fraud)
+        .map(|(i, _)| i)
+        .collect();
+    let normal_items: Vec<&CollectedItem> = collected
+        .items
+        .iter()
+        .zip(&reports)
+        .filter(|(_, r)| !r.is_fraud)
+        .map(|(i, _)| i)
+        .collect();
+    println!(
+        "reported {} fraud / {} normal items\n",
+        fraud_items.len(),
+        normal_items.len()
+    );
+
+    // --- Item aspect: word frequencies. ---
+    let seg = WhitespaceSegmenter;
+    let mut wf_fraud = WordFrequency::new();
+    for item in &fraud_items {
+        for c in &item.comments {
+            wf_fraud.add_comment(&seg.segment(&c.content));
+        }
+    }
+    let lex = Lexicon::new(
+        train.lexicon().positive().to_vec(),
+        train.lexicon().negative().to_vec(),
+    );
+    let top: Vec<String> = wf_fraud
+        .top_k(12)
+        .into_iter()
+        .map(|(w, c)| format!("{w}({c})"))
+        .collect();
+    println!("item aspect — fraud items' most frequent words: {}", top.join(", "));
+    println!(
+        "  positive fraction of top-50 words: {:.0}%",
+        100.0 * wf_fraud.top_k_positive_fraction(50, &lex)
+    );
+
+    // --- User aspect: buyer reliability and risky pairs. ---
+    let fraud_buyers = unique_buyers(&fraud_items);
+    let normal_buyers = unique_buyers(&normal_items);
+    println!(
+        "\nuser aspect — buyers below userExpValue 2000: fraud {:.0}% vs normal {:.0}%",
+        100.0 * share_below(&fraud_buyers, 2_000),
+        100.0 * share_below(&normal_buyers, 2_000)
+    );
+    let pairs = mine_risky_pairs(&fraud_items, 2);
+    println!(
+        "  risky pairs sharing 2+ fraud items: {} pairs over {} users \
+         (max purchases by one user: {})",
+        pairs.n_pairs, pairs.n_users, pairs.max_purchases_by_one_user
+    );
+
+    // --- Order aspect: client sources. ---
+    let df = client_distribution(&fraud_items);
+    let dn = client_distribution(&normal_items);
+    println!("\norder aspect — client shares (fraud vs normal):");
+    for client in ["Web", "Android", "iPhone", "Wechat"] {
+        println!(
+            "  {client:<8} {:>5.1}% vs {:>5.1}%",
+            100.0 * df.share(client),
+            100.0 * dn.share(client)
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Quickstart: train CATS on a small labeled platform and detect frauds.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cats::core::{CatsPipeline, DetectorConfig, Detector, ItemComments, SemanticAnalyzer};
+use cats::core::semantic::SemanticConfig;
+use cats::embedding::{ExpansionConfig, Word2VecConfig};
+use cats::platform::datasets;
+
+fn main() {
+    // 1. A small labeled platform (D0-shaped: fraud + normal items with
+    //    ground-truth labels). In a real deployment this is your labeled
+    //    training corpus.
+    let train = datasets::d0(0.005, 1);
+    println!(
+        "training platform: {} items, {} comments",
+        train.items().len(),
+        train.comment_count()
+    );
+
+    // 2. Train the semantic analyzer: word2vec over the public comments,
+    //    seed expansion into the positive/negative lexicon, and the
+    //    sentiment model from labeled reviews.
+    let corpus: Vec<&str> = train
+        .items()
+        .iter()
+        .flat_map(|i| i.comments.iter().map(|c| c.content.as_str()))
+        .collect();
+    // Labeled sentiment reviews (here: generated; in production, any
+    // rating-labeled review corpus).
+    use cats::platform::comment_model::{generate_comment, CommentStyle};
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(9);
+    let pos_reviews: Vec<String> = (0..500)
+        .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicPositive, &mut rng))
+        .collect();
+    let neg_reviews: Vec<String> = (0..500)
+        .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicNegative, &mut rng))
+        .collect();
+
+    let analyzer = SemanticAnalyzer::train(
+        &corpus,
+        &train.lexicon().positive_seeds(),
+        &train.lexicon().negative_seeds(),
+        &pos_reviews.iter().map(String::as_str).collect::<Vec<_>>(),
+        &neg_reviews.iter().map(String::as_str).collect::<Vec<_>>(),
+        SemanticConfig {
+            word2vec: Word2VecConfig { dim: 48, epochs: 4, ..Word2VecConfig::default() },
+            expansion: ExpansionConfig::default(),
+        },
+    );
+    println!(
+        "semantic analyzer: |P| = {}, |N| = {}",
+        analyzer.lexicon().positive_len(),
+        analyzer.lexicon().negative_len()
+    );
+
+    // 3. Fit the two-stage detector (rule filter + GBT classifier).
+    let mut detector = Detector::with_default_classifier(DetectorConfig::default());
+    let items: Vec<ItemComments> = train
+        .items()
+        .iter()
+        .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
+        .collect();
+    let labels: Vec<u8> = train
+        .items()
+        .iter()
+        .map(|i| u8::from(i.label.is_fraud()))
+        .collect();
+    detector.fit(&items, &labels, &analyzer);
+    let pipeline = CatsPipeline::from_parts(analyzer, detector);
+
+    // 4. Detect on unseen items.
+    let unseen = datasets::d0(0.005, 2);
+    let test_items: Vec<ItemComments> = unseen
+        .items()
+        .iter()
+        .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
+        .collect();
+    let sales: Vec<u64> = unseen.items().iter().map(|i| i.sales_volume).collect();
+    let reports = pipeline.detect(&test_items, &sales);
+
+    let labels: Vec<u8> = unseen
+        .items()
+        .iter()
+        .map(|i| u8::from(i.label.is_fraud()))
+        .collect();
+    let metrics = CatsPipeline::evaluate(&reports, &labels);
+    println!(
+        "detected {} frauds among {} unseen items — {}",
+        reports.iter().filter(|r| r.is_fraud).count(),
+        reports.len(),
+        metrics
+    );
+
+    // Peek at the highest-scoring report.
+    if let Some(top) = reports
+        .iter()
+        .filter(|r| r.is_fraud)
+        .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+    {
+        println!(
+            "top report: item #{} score {:.3}, first comment: {:?}",
+            top.index,
+            top.score,
+            unseen.items()[top.index]
+                .comments
+                .first()
+                .map(|c| c.content.chars().take(60).collect::<String>())
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # cats — Cross-platform Anti-fraud System (ICDE 2019 reproduction)
+//!
+//! Umbrella crate re-exporting every subsystem of the CATS reproduction.
+//! See the workspace `README.md` for an architecture overview and
+//! `DESIGN.md` for the system inventory and experiment index.
+//!
+//! ```
+//! use cats::prelude::*;
+//! ```
+
+pub use cats_analysis as analysis;
+pub use cats_collector as collector;
+pub use cats_core as core;
+pub use cats_embedding as embedding;
+pub use cats_ml as ml;
+pub use cats_platform as platform;
+pub use cats_sentiment as sentiment;
+pub use cats_text as text;
+
+/// Common imports for examples and downstream users.
+pub mod prelude {
+    pub use cats_text::{Lexicon, Segmenter, Vocab, WhitespaceSegmenter};
+}

@@ -1,0 +1,182 @@
+//! Integration: collector → feature extraction → detection over the
+//! simulated public site, and the measurement analyses over the results.
+
+use cats::analysis::orders::client_distribution;
+use cats::analysis::users::{mine_risky_pairs, share_below, unique_buyers};
+use cats::collector::{CollectedItem, Collector, CollectorConfig, PublicSite, SiteConfig};
+use cats::core::semantic::SemanticConfig;
+use cats::core::{CatsPipeline, Detector, DetectorConfig, ItemComments, SemanticAnalyzer};
+use cats::embedding::{ExpansionConfig, Word2VecConfig};
+use cats::platform::comment_model::{generate_comment, CommentStyle};
+use cats::platform::datasets;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn trained(seed: u64, threshold: f64) -> (CatsPipeline, cats::platform::Platform) {
+    let train = datasets::d0(0.006, seed);
+    let corpus: Vec<&str> = train
+        .items()
+        .iter()
+        .flat_map(|i| i.comments.iter().map(|c| c.content.as_str()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos: Vec<String> = (0..400)
+        .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicPositive, &mut rng))
+        .collect();
+    let neg: Vec<String> = (0..400)
+        .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicNegative, &mut rng))
+        .collect();
+    let analyzer = SemanticAnalyzer::train(
+        &corpus,
+        &train.lexicon().positive_seeds(),
+        &train.lexicon().negative_seeds(),
+        &pos.iter().map(String::as_str).collect::<Vec<_>>(),
+        &neg.iter().map(String::as_str).collect::<Vec<_>>(),
+        SemanticConfig {
+            word2vec: Word2VecConfig { dim: 32, epochs: 3, ..Word2VecConfig::default() },
+            expansion: ExpansionConfig::default(),
+        },
+    );
+    let mut detector =
+        Detector::with_default_classifier(DetectorConfig { threshold, ..DetectorConfig::default() });
+    let items: Vec<ItemComments> = train
+        .items()
+        .iter()
+        .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
+        .collect();
+    let labels: Vec<u8> = train
+        .items()
+        .iter()
+        .map(|i| u8::from(i.label.is_fraud()))
+        .collect();
+    detector.fit(&items, &labels, &analyzer);
+    (CatsPipeline::from_parts(analyzer, detector), train)
+}
+
+#[test]
+fn crawl_then_detect_finds_latent_frauds() {
+    let (pipeline, _) = trained(41, 0.9);
+    let target = datasets::e_platform(0.0006, 900);
+    let site = PublicSite::new(&target, SiteConfig::default());
+    let mut collector = Collector::new(CollectorConfig::default());
+    let collected = collector.crawl(&site);
+    assert!(!collected.items.is_empty());
+
+    let items: Vec<ItemComments> = collected
+        .items
+        .iter()
+        .map(|i| ItemComments::from_texts(i.comment_texts()))
+        .collect();
+    let sales: Vec<u64> = collected.items.iter().map(|i| i.sales_volume).collect();
+    let reports = pipeline.detect(&items, &sales);
+
+    let reported: Vec<&CollectedItem> = collected
+        .items
+        .iter()
+        .zip(&reports)
+        .filter(|(_, r)| r.is_fraud)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!reported.is_empty(), "no frauds reported");
+    // Majority of reports should be latent frauds.
+    let true_hits = reported
+        .iter()
+        .filter(|ci| target.item(ci.item_id).is_some_and(|it| it.label.is_fraud()))
+        .count();
+    assert!(
+        true_hits * 2 > reported.len(),
+        "precision below 0.5: {true_hits}/{}",
+        reported.len()
+    );
+}
+
+#[test]
+fn measurement_signals_hold_on_reported_items() {
+    let (pipeline, _) = trained(43, 0.9);
+    let target = datasets::e_platform(0.0008, 904);
+    let site = PublicSite::new(&target, SiteConfig::default());
+    let collected = Collector::new(CollectorConfig::default()).crawl(&site);
+    let items: Vec<ItemComments> = collected
+        .items
+        .iter()
+        .map(|i| ItemComments::from_texts(i.comment_texts()))
+        .collect();
+    let sales: Vec<u64> = collected.items.iter().map(|i| i.sales_volume).collect();
+    let reports = pipeline.detect(&items, &sales);
+
+    let fraud: Vec<&CollectedItem> = collected
+        .items
+        .iter()
+        .zip(&reports)
+        .filter(|(_, r)| r.is_fraud)
+        .map(|(i, _)| i)
+        .collect();
+    let normal: Vec<&CollectedItem> = collected
+        .items
+        .iter()
+        .zip(&reports)
+        .filter(|(_, r)| !r.is_fraud)
+        .map(|(i, _)| i)
+        .collect();
+    if fraud.is_empty() {
+        panic!("no frauds reported at this scale");
+    }
+
+    // User aspect: fraud buyers skew unreliable.
+    let fb = unique_buyers(&fraud);
+    let nb = unique_buyers(&normal);
+    assert!(
+        share_below(&fb, 2_000) > share_below(&nb, 2_000),
+        "fraud buyers should skew low-reliability"
+    );
+
+    // Order aspect: Web share higher among fraud orders.
+    let df = client_distribution(&fraud);
+    let dn = client_distribution(&normal);
+    assert!(df.share("Web") > dn.share("Web"), "fraud should skew Web");
+
+    // Risky pairs exist (hired pools co-purchase).
+    let pairs = mine_risky_pairs(&fraud, 2);
+    assert!(pairs.max_purchases_by_one_user >= 1);
+}
+
+#[test]
+fn noisy_site_and_clean_site_agree_on_verdicts() {
+    let (pipeline, _) = trained(47, 0.9);
+    let target = datasets::e_platform(0.0004, 910);
+    let clean = PublicSite::new(
+        &target,
+        SiteConfig {
+            duplicate_prob: 0.0,
+            malformed_prob: 0.0,
+            error_prob: 0.0,
+            ..SiteConfig::default()
+        },
+    );
+    let noisy = PublicSite::new(&target, SiteConfig::default());
+    let run = |site: &PublicSite<'_>| -> Vec<u64> {
+        let collected = Collector::new(CollectorConfig::default()).crawl(site);
+        let items: Vec<ItemComments> = collected
+            .items
+            .iter()
+            .map(|i| ItemComments::from_texts(i.comment_texts()))
+            .collect();
+        let sales: Vec<u64> = collected.items.iter().map(|i| i.sales_volume).collect();
+        let reports = pipeline.detect(&items, &sales);
+        collected
+            .items
+            .iter()
+            .zip(&reports)
+            .filter(|(_, r)| r.is_fraud)
+            .map(|(i, _)| i.item_id)
+            .collect()
+    };
+    let clean_ids = run(&clean);
+    let noisy_ids = run(&noisy);
+    // Crawl noise (a few % of records) must not change the verdict set much.
+    let overlap = clean_ids.iter().filter(|id| noisy_ids.contains(id)).count();
+    assert!(
+        overlap * 10 >= clean_ids.len() * 7,
+        "noise flipped too many verdicts: {overlap}/{}",
+        clean_ids.len()
+    );
+}

@@ -1,0 +1,134 @@
+//! Cross-crate integration: the full CATS pipeline from platform
+//! generation through detection and evaluation.
+
+use cats::core::semantic::SemanticConfig;
+use cats::core::{
+    CatsPipeline, Detector, DetectorConfig, ItemComments, SemanticAnalyzer,
+};
+use cats::embedding::{ExpansionConfig, Word2VecConfig};
+use cats::platform::comment_model::{generate_comment, CommentStyle};
+use cats::platform::{datasets, Platform};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn train_pipeline(platform: &Platform, seed: u64, threshold: f64) -> CatsPipeline {
+    let corpus: Vec<&str> = platform
+        .items()
+        .iter()
+        .flat_map(|i| i.comments.iter().map(|c| c.content.as_str()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos: Vec<String> = (0..400)
+        .map(|_| generate_comment(platform.lexicon(), CommentStyle::OrganicPositive, &mut rng))
+        .collect();
+    let neg: Vec<String> = (0..400)
+        .map(|_| generate_comment(platform.lexicon(), CommentStyle::OrganicNegative, &mut rng))
+        .collect();
+    let analyzer = SemanticAnalyzer::train(
+        &corpus,
+        &platform.lexicon().positive_seeds(),
+        &platform.lexicon().negative_seeds(),
+        &pos.iter().map(String::as_str).collect::<Vec<_>>(),
+        &neg.iter().map(String::as_str).collect::<Vec<_>>(),
+        SemanticConfig {
+            word2vec: Word2VecConfig { dim: 32, epochs: 3, ..Word2VecConfig::default() },
+            expansion: ExpansionConfig::default(),
+        },
+    );
+    let mut detector =
+        Detector::with_default_classifier(DetectorConfig { threshold, ..DetectorConfig::default() });
+    let items: Vec<ItemComments> = platform
+        .items()
+        .iter()
+        .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
+        .collect();
+    let labels: Vec<u8> = platform
+        .items()
+        .iter()
+        .map(|i| u8::from(i.label.is_fraud()))
+        .collect();
+    detector.fit(&items, &labels, &analyzer);
+    CatsPipeline::from_parts(analyzer, detector)
+}
+
+fn to_inputs(platform: &Platform) -> (Vec<ItemComments>, Vec<u64>, Vec<u8>) {
+    let items = platform
+        .items()
+        .iter()
+        .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
+        .collect();
+    let sales = platform.items().iter().map(|i| i.sales_volume).collect();
+    let labels = platform
+        .items()
+        .iter()
+        .map(|i| u8::from(i.label.is_fraud()))
+        .collect();
+    (items, sales, labels)
+}
+
+#[test]
+fn train_on_one_platform_detect_on_another() {
+    let train = datasets::d0(0.006, 301);
+    let pipeline = train_pipeline(&train, 301, 0.5);
+
+    let target = datasets::d0(0.006, 999);
+    let (items, sales, labels) = to_inputs(&target);
+    let reports = pipeline.detect(&items, &sales);
+    let m = CatsPipeline::evaluate(&reports, &labels);
+    assert!(m.f1 > 0.75, "cross-platform F1 too low: {m}");
+    assert!(m.precision > 0.75, "{m}");
+}
+
+#[test]
+fn detection_reports_are_deterministic() {
+    let train = datasets::d0(0.004, 77);
+    let pipeline = train_pipeline(&train, 77, 0.5);
+    let target = datasets::d0(0.004, 78);
+    let (items, sales, _) = to_inputs(&target);
+    let a = pipeline.detect(&items, &sales);
+    let b = pipeline.detect(&items, &sales);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.score, y.score);
+        assert_eq!(x.is_fraud, y.is_fraud);
+        assert_eq!(x.filter, y.filter);
+    }
+}
+
+#[test]
+fn stricter_threshold_reports_subset() {
+    let train = datasets::d0(0.004, 11);
+    let loose = train_pipeline(&train, 11, 0.3);
+    let target = datasets::d0(0.004, 12);
+    let (items, sales, _) = to_inputs(&target);
+    let loose_reports = loose.detect(&items, &sales);
+
+    let mut strict = train_pipeline(&train, 11, 0.3);
+    strict.detector_mut().set_threshold(0.9);
+    let strict_reports = strict.detect(&items, &sales);
+
+    for (l, s) in loose_reports.iter().zip(&strict_reports) {
+        // same trained model, same scores: strict verdicts imply loose ones
+        assert_eq!(l.score, s.score);
+        if s.is_fraud {
+            assert!(l.is_fraud, "strict fraud not in loose report set");
+        }
+    }
+    let n_loose = loose_reports.iter().filter(|r| r.is_fraud).count();
+    let n_strict = strict_reports.iter().filter(|r| r.is_fraud).count();
+    assert!(n_strict <= n_loose);
+}
+
+#[test]
+fn filtered_low_sales_items_never_reported() {
+    let train = datasets::d0(0.004, 21);
+    let pipeline = train_pipeline(&train, 21, 0.0); // report everything classified
+    let target = datasets::d0(0.004, 22);
+    let (items, sales, _) = to_inputs(&target);
+    let reports = pipeline.detect(&items, &sales);
+    for (r, &sv) in reports.iter().zip(&sales) {
+        if sv < 5 {
+            assert!(!r.is_fraud, "low-sales item reported");
+            assert_eq!(r.score, 0.0);
+        }
+    }
+}

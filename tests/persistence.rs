@@ -1,0 +1,91 @@
+//! Integration: detector persistence — train, snapshot to JSON, restore,
+//! and verify identical verdicts (the workflow for shipping a pre-trained
+//! CATS to a new platform).
+
+use cats::core::pipeline::PipelineSnapshot;
+use cats::core::semantic::SemanticConfig;
+use cats::core::{CatsPipeline, DetectorConfig, ItemComments, SemanticAnalyzer};
+use cats::embedding::{ExpansionConfig, Word2VecConfig};
+use cats::ml::gbt::{GbtConfig, GradientBoostedTrees};
+use cats::ml::{Classifier, Dataset};
+use cats::platform::comment_model::{generate_comment, CommentStyle};
+use cats::platform::datasets;
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn snapshot_roundtrip_preserves_verdicts() {
+    let train = datasets::d0(0.004, 61);
+    let corpus: Vec<&str> = train
+        .items()
+        .iter()
+        .flat_map(|i| i.comments.iter().map(|c| c.content.as_str()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(61);
+    let pos: Vec<String> = (0..300)
+        .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicPositive, &mut rng))
+        .collect();
+    let neg: Vec<String> = (0..300)
+        .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicNegative, &mut rng))
+        .collect();
+    let analyzer = SemanticAnalyzer::train(
+        &corpus,
+        &train.lexicon().positive_seeds(),
+        &train.lexicon().negative_seeds(),
+        &pos.iter().map(String::as_str).collect::<Vec<_>>(),
+        &neg.iter().map(String::as_str).collect::<Vec<_>>(),
+        SemanticConfig {
+            word2vec: Word2VecConfig { dim: 24, epochs: 2, ..Word2VecConfig::default() },
+            expansion: ExpansionConfig::default(),
+        },
+    );
+
+    // Train a concrete GBT on the extracted features.
+    let items: Vec<ItemComments> = train
+        .items()
+        .iter()
+        .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
+        .collect();
+    let labels: Vec<u8> = train
+        .items()
+        .iter()
+        .map(|i| u8::from(i.label.is_fraud()))
+        .collect();
+    let rows = cats::core::features::extract_batch(&items, &analyzer, 0);
+    let mut data = Dataset::new(cats::core::N_FEATURES);
+    for (r, &l) in rows.iter().zip(&labels) {
+        data.push(r.as_slice(), l);
+    }
+    let mut gbt = GradientBoostedTrees::new(GbtConfig::default());
+    gbt.fit(&data);
+
+    // Snapshot → JSON → restore.
+    let snap = CatsPipeline::snapshot(analyzer.clone(), DetectorConfig::default(), gbt.clone());
+    let json = serde_json::to_string(&snap).expect("serialize");
+    assert!(json.len() > 1_000, "snapshot suspiciously small");
+    let restored: PipelineSnapshot = serde_json::from_str(&json).expect("deserialize");
+    let pipeline = CatsPipeline::restore(restored);
+
+    // Fresh target platform; compare restored pipeline against the
+    // original concrete model.
+    let target = datasets::d0(0.004, 62);
+    let t_items: Vec<ItemComments> = target
+        .items()
+        .iter()
+        .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
+        .collect();
+    let t_sales: Vec<u64> = target.items().iter().map(|i| i.sales_volume).collect();
+    let reports = pipeline.detect(&t_items, &t_sales);
+
+    let t_rows = cats::core::features::extract_batch(&t_items, &analyzer, 0);
+    for (report, row) in reports.iter().zip(&t_rows) {
+        if report.features.is_some() {
+            let direct = gbt.predict_proba(row.as_slice());
+            assert!(
+                (report.score - direct).abs() < 1e-12,
+                "restored score {} != direct {}",
+                report.score,
+                direct
+            );
+        }
+    }
+}

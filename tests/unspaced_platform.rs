@@ -1,0 +1,124 @@
+//! Integration: the delimiter-free (Chinese-style) path — comments with
+//! their whitespace stripped, segmented by the dictionary-based
+//! maximum-matching segmenter, must yield the same detection pipeline
+//! behaviour as the delimited path.
+
+use cats::core::{features, ItemComments, SemanticAnalyzer};
+use cats::platform::datasets;
+use cats::sentiment::SentimentModel;
+use cats::text::{DictSegmenter, Lexicon, Segmenter, WhitespaceSegmenter};
+
+/// A dictionary segmenter covering the platform's full vocabulary.
+fn dict_for(platform: &cats::platform::Platform) -> DictSegmenter {
+    let lex = platform.lexicon();
+    DictSegmenter::new(
+        lex.positive()
+            .iter()
+            .chain(lex.negative())
+            .chain(lex.neutral())
+            .chain(lex.function())
+            .cloned()
+            // the template intensifiers appear in comments without being
+            // vocabulary members of a class
+            .chain(
+                ["hen", "zhen", "feichang", "jiushi", "queshi"]
+                    .into_iter()
+                    .map(String::from),
+            ),
+    )
+}
+
+fn strip_spaces(text: &str) -> String {
+    text.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+#[test]
+fn dict_segmentation_recovers_spaced_tokenization() {
+    let platform = datasets::d0(0.002, 71);
+    let dict = dict_for(&platform);
+    let ws = WhitespaceSegmenter;
+
+    let mut comments = 0usize;
+    let mut exact = 0usize;
+    for item in platform.items().iter().take(40) {
+        for c in &item.comments {
+            let spaced = ws.segment(&c.content);
+            let unspaced = dict.segment(&strip_spaces(&c.content));
+            comments += 1;
+            if spaced == unspaced {
+                exact += 1;
+            }
+        }
+    }
+    assert!(comments > 50, "fixture too small: {comments}");
+    // Maximum matching over a complete dictionary with Zipfian word reuse
+    // is not always unique, but the overwhelming majority of comments must
+    // re-segment exactly.
+    assert!(
+        exact * 10 >= comments * 9,
+        "only {exact}/{comments} comments re-segmented exactly"
+    );
+}
+
+#[test]
+fn features_agree_between_spaced_and_unspaced_paths() {
+    let platform = datasets::d0(0.002, 72);
+    let dict = dict_for(&platform);
+
+    // A minimal analyzer (ground-truth lexicon + tiny sentiment model):
+    // the comparison only needs both paths to share it.
+    let lexicon = Lexicon::new(
+        platform.lexicon().positive().to_vec(),
+        platform.lexicon().negative().to_vec(),
+    );
+    let docs = |texts: &[&str]| -> Vec<Vec<String>> {
+        texts
+            .iter()
+            .map(|t| t.split_whitespace().map(String::from).collect())
+            .collect()
+    };
+    let sentiment = SentimentModel::train(
+        &docs(&["haoping zhide manyi", "bucuo xihuan"]),
+        &docs(&["chaping zaogao", "tuihuo buhao"]),
+    );
+    let analyzer = SemanticAnalyzer::from_parts(lexicon, sentiment);
+
+    // Maximum matching on delimiter-free text is inherently ambiguous at
+    // word boundaries (adjacent words can re-analyse into a different
+    // dictionary word), so agreement is a population property, not a
+    // per-item guarantee: most items must agree on most features.
+    let mut checked = 0usize;
+    let mut agreeing = 0usize;
+    for item in platform.items().iter().take(40) {
+        let texts: Vec<&str> = item.comments.iter().map(|c| c.content.as_str()).collect();
+        if texts.is_empty() {
+            continue;
+        }
+        let spaced = ItemComments::from_texts(texts.clone());
+        let unspaced_texts: Vec<String> = texts.iter().map(|t| strip_spaces(t)).collect();
+        let unspaced = ItemComments::from_texts_with(
+            unspaced_texts.iter().map(String::as_str),
+            &dict,
+        );
+        let fa = features::extract(&spaced, &analyzer);
+        let fb = features::extract(&unspaced, &analyzer);
+        let close = fa
+            .as_slice()
+            .iter()
+            .zip(fb.as_slice())
+            .filter(|(a, b)| {
+                let denom = a.abs().max(1.0);
+                ((*a - *b) / denom).abs() < 0.05
+            })
+            .count();
+        checked += 1;
+        if close >= 9 {
+            agreeing += 1;
+        }
+    }
+    assert!(checked > 10, "too few items checked");
+    assert!(
+        agreeing * 10 >= checked * 8,
+        "only {agreeing}/{checked} items agree on ≥9/11 features"
+    );
+}
