@@ -79,10 +79,7 @@ impl Histogram {
     /// Probability densities per bin (integrates to 1 over the range).
     pub fn densities(&self) -> Vec<f64> {
         let denom = self.n as f64 * self.bin_width();
-        self.counts
-            .iter()
-            .map(|&c| if denom > 0.0 { c as f64 / denom } else { 0.0 })
-            .collect()
+        self.counts.iter().map(|&c| if denom > 0.0 { c as f64 / denom } else { 0.0 }).collect()
     }
 
     /// Fractions per bin (sum to 1).
@@ -143,13 +140,7 @@ impl SummaryStats {
         } else {
             (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
         };
-        Some(Self {
-            mean,
-            std: var.sqrt(),
-            min: sorted[0],
-            max: *sorted.last().unwrap(),
-            median,
-        })
+        Some(Self { mean, std: var.sqrt(), min: sorted[0], max: *sorted.last().unwrap(), median })
     }
 }
 

@@ -31,14 +31,18 @@ impl ClientDistribution {
     pub fn dominant(&self) -> Option<(&str, f64)> {
         self.shares
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal).then(b.0.cmp(a.0)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal).then(b.0.cmp(a.0))
+            })
             .map(|(k, &v)| (k.as_str(), v))
     }
 
     /// `(client, share)` pairs sorted by descending share then name.
     pub fn sorted(&self) -> Vec<(String, f64)> {
         let mut v: Vec<(String, f64)> = self.shares.clone().into_iter().collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
         v
     }
 }
@@ -53,10 +57,7 @@ pub fn client_distribution(items: &[&CollectedItem]) -> ClientDistribution {
             total += 1;
         }
     }
-    let shares = counts
-        .into_iter()
-        .map(|(k, v)| (k, v as f64 / total.max(1) as f64))
-        .collect();
+    let shares = counts.into_iter().map(|(k, v)| (k, v as f64 / total.max(1) as f64)).collect();
     ClientDistribution { shares, total_orders: total }
 }
 
@@ -83,6 +84,7 @@ mod tests {
                     date: String::new(),
                 })
                 .collect(),
+            truncated: false,
         }
     }
 

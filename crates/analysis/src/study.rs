@@ -136,6 +136,7 @@ mod tests {
                 comment("u***2", 500, "Web", "2017-09-05 11:00:00", "hao zan zan"),
                 comment("u***1", 100, "Web", "2017-09-05 12:00:00", "hao de hao"),
             ],
+            truncated: false,
         }
     }
 
@@ -150,15 +151,13 @@ mod tests {
                 comment("o***1", 9_000, "Android", "2017-09-02 10:00:00", "shu hao kan"),
                 comment("o***2", 12_000, "Android", "2017-10-20 10:00:00", "dongxi cha"),
             ],
+            truncated: false,
         }
     }
 
     fn config() -> StudyConfig {
         StudyConfig {
-            lexicon: Lexicon::new(
-                ["hao".to_string(), "zan".to_string()],
-                ["cha".to_string()],
-            ),
+            lexicon: Lexicon::new(["hao".to_string(), "zan".to_string()], ["cha".to_string()]),
             stopwords: vec!["de".to_string()],
         }
     }

@@ -44,11 +44,8 @@ pub struct TemporalStats {
 /// Computes temporal statistics for one item; `None` if it has no
 /// parseable timestamps.
 pub fn temporal_stats(item: &CollectedItem) -> Option<TemporalStats> {
-    let mut minutes: Vec<u64> = item
-        .comments
-        .iter()
-        .filter_map(|c| parse_minutes(&c.date))
-        .collect();
+    let mut minutes: Vec<u64> =
+        item.comments.iter().filter_map(|c| parse_minutes(&c.date)).collect();
     if minutes.is_empty() {
         return None;
     }
@@ -61,11 +58,8 @@ pub fn temporal_stats(item: &CollectedItem) -> Option<TemporalStats> {
     }
     let peak = per_day.values().copied().max().unwrap_or(0);
 
-    let mean_gap_hours = if minutes.len() < 2 {
-        0.0
-    } else {
-        (span_min as f64 / (minutes.len() - 1) as f64) / 60.0
-    };
+    let mean_gap_hours =
+        if minutes.len() < 2 { 0.0 } else { (span_min as f64 / (minutes.len() - 1) as f64) / 60.0 };
     Some(TemporalStats {
         span_days: span_min as f64 / (24.0 * 60.0),
         peak_day_share: peak as f64 / minutes.len() as f64,
@@ -77,11 +71,8 @@ pub fn temporal_stats(item: &CollectedItem) -> Option<TemporalStats> {
 /// statistic; higher = more campaign-like). `None` for an empty or
 /// timestamp-free set.
 pub fn mean_peak_day_share(items: &[&CollectedItem]) -> Option<f64> {
-    let shares: Vec<f64> = items
-        .iter()
-        .filter_map(|i| temporal_stats(i))
-        .map(|s| s.peak_day_share)
-        .collect();
+    let shares: Vec<f64> =
+        items.iter().filter_map(|i| temporal_stats(i)).map(|s| s.peak_day_share).collect();
     if shares.is_empty() {
         return None;
     }
@@ -111,6 +102,7 @@ mod tests {
                     date: d.to_string(),
                 })
                 .collect(),
+            truncated: false,
         }
     }
 

@@ -97,16 +97,12 @@ pub fn mine_risky_pairs(fraud_items: &[&CollectedItem], min_shared: usize) -> Ri
 
     let max_purchases = purchases.values().map(HashSet::len).max().unwrap_or(0);
     let repeat = purchases.values().filter(|s| s.len() > 1).count();
-    let repeat_share = if purchases.is_empty() {
-        0.0
-    } else {
-        repeat as f64 / purchases.len() as f64
-    };
+    let repeat_share =
+        if purchases.is_empty() { 0.0 } else { repeat as f64 / purchases.len() as f64 };
 
     // Invert: item -> buyer index list, then count shared items per pair.
     let users: Vec<&UserKey> = purchases.keys().collect();
-    let index: HashMap<&UserKey, usize> =
-        users.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+    let index: HashMap<&UserKey, usize> = users.iter().enumerate().map(|(i, &u)| (u, i)).collect();
     let mut by_item: HashMap<u64, Vec<usize>> = HashMap::new();
     for (user, items) in &purchases {
         let ui = index[user];
@@ -165,6 +161,7 @@ mod tests {
             price_cents: 0,
             sales_volume: buyers.len() as u64,
             comments: buyers.iter().map(|(n, e)| comment(n, *e)).collect(),
+            truncated: false,
         }
     }
 

@@ -56,11 +56,7 @@ impl WordFrequency {
     /// The `k` most frequent words with counts, ties broken
     /// lexicographically for determinism.
     pub fn top_k(&self, k: usize) -> Vec<(String, u64)> {
-        let mut v: Vec<(String, u64)> = self
-            .counts
-            .iter()
-            .map(|(w, &c)| (w.clone(), c))
-            .collect();
+        let mut v: Vec<(String, u64)> = self.counts.iter().map(|(w, &c)| (w.clone(), c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(k);
         v
@@ -73,12 +69,8 @@ impl WordFrequency {
         if self.total == 0 {
             return 0.0;
         }
-        let mass: u64 = self
-            .top_k(k)
-            .iter()
-            .filter(|(w, _)| lexicon.is_positive(w))
-            .map(|(_, c)| c)
-            .sum();
+        let mass: u64 =
+            self.top_k(k).iter().filter(|(w, _)| lexicon.is_positive(w)).map(|(_, c)| c).sum();
         mass as f64 / self.total as f64
     }
 

@@ -31,10 +31,7 @@ fn bench_fit(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     // fresh untrained model each iteration
-                    paper_panel()
-                        .into_iter()
-                        .find(|m| m.name() == name)
-                        .unwrap()
+                    paper_panel().into_iter().find(|m| m.name() == name).unwrap()
                 },
                 |mut m| {
                     m.fit(&data);

@@ -10,12 +10,8 @@ use std::hint::black_box;
 fn bench_extract(c: &mut Criterion) {
     let platform = datasets::d0(0.01, 42);
     let analyzer = setup::train_analyzer(&platform, 42);
-    let items: Vec<ItemComments> = platform
-        .items()
-        .iter()
-        .take(200)
-        .map(setup::item_comments)
-        .collect();
+    let items: Vec<ItemComments> =
+        platform.items().iter().take(200).map(setup::item_comments).collect();
 
     c.bench_function("extract_single_item", |b| {
         b.iter(|| black_box(features::extract(&items[0], &analyzer)))

@@ -12,18 +12,9 @@ fn bench_detect(c: &mut Criterion) {
     let d0 = datasets::d0(0.01, 5);
     let pipeline = setup::train_pipeline(&d0, 5);
     let holdout = datasets::d0(0.01, 6);
-    let items: Vec<ItemComments> = holdout
-        .items()
-        .iter()
-        .take(300)
-        .map(setup::item_comments)
-        .collect();
-    let sales: Vec<u64> = holdout
-        .items()
-        .iter()
-        .take(300)
-        .map(|i| i.sales_volume)
-        .collect();
+    let items: Vec<ItemComments> =
+        holdout.items().iter().take(300).map(setup::item_comments).collect();
+    let sales: Vec<u64> = holdout.items().iter().take(300).map(|i| i.sales_volume).collect();
     c.bench_function("detector_detect_300_items", |b| {
         b.iter(|| black_box(pipeline.detect(&items, &sales)))
     });

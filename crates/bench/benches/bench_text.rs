@@ -16,11 +16,8 @@ fn fixture_comments(n: usize) -> Vec<String> {
     let mut rng = StdRng::seed_from_u64(1);
     (0..n)
         .map(|i| {
-            let style = if i % 2 == 0 {
-                CommentStyle::FraudPromo
-            } else {
-                CommentStyle::OrganicNeutral
-            };
+            let style =
+                if i % 2 == 0 { CommentStyle::FraudPromo } else { CommentStyle::OrganicNeutral };
             generate_comment(&lex, style, &mut rng)
         })
         .collect()

@@ -36,9 +36,7 @@ fn bench_nearest(c: &mut Criterion) {
     let corpus = fixture_corpus(2_000);
     let cfg = Word2VecConfig { dim: 32, epochs: 1, window: 4, ..Word2VecConfig::default() };
     let emb = Word2VecTrainer::new(cfg).train(&corpus);
-    c.bench_function("word2vec_nearest_k10", |b| {
-        b.iter(|| black_box(emb.nearest("haoping", 10)))
-    });
+    c.bench_function("word2vec_nearest_k10", |b| b.iter(|| black_box(emb.nearest("haoping", 10))));
 }
 
 criterion_group! {

@@ -54,10 +54,7 @@ fn main() {
         }
         let mut panel = paper_panel();
         let results = compare_models(&mut panel, &data, 5, args.seed);
-        let best = results
-            .iter()
-            .max_by(|a, b| a.f1.partial_cmp(&b.f1).unwrap())
-            .unwrap();
+        let best = results.iter().max_by(|a, b| a.f1.partial_cmp(&b.f1).unwrap()).unwrap();
         let mut cells = vec![format!("{per_class}+{per_class}")];
         cells.extend(results.iter().map(|r| render::f3(r.f1)));
         cells.push(best.name.clone());

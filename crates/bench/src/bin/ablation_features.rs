@@ -66,10 +66,7 @@ fn main() {
             format!("{:+.3}", r.f1 - baseline_f1),
         ]);
     }
-    println!(
-        "{}",
-        render::table(&["Variant", "Precision", "Recall", "F1", "ΔF1"], &out_rows)
-    );
+    println!("{}", render::table(&["Variant", "Precision", "Recall", "F1", "ΔF1"], &out_rows));
     println!(
         "groups: word-level = {:?}; semantic = {:?}; structural = {:?}",
         WORD_LEVEL.iter().map(|&f| FEATURE_NAMES[f]).collect::<Vec<_>>(),

@@ -45,10 +45,7 @@ fn main() {
         let pipeline = setup::train_pipeline_with(&d0, args.seed, cfg);
         let reports = pipeline.detect(&items, &sales);
         let m = CatsPipeline::evaluate(&reports, &labels);
-        let filtered = reports
-            .iter()
-            .filter(|r| r.filter != FilterDecision::Classified)
-            .count();
+        let filtered = reports.iter().filter(|r| r.filter != FilterDecision::Classified).count();
         rows.push(vec![
             name.to_string(),
             render::f3(m.precision),

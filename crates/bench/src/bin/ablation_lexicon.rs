@@ -6,10 +6,10 @@
 //! truth) and detection F1, locating the knee the paper's cap sits on.
 
 use cats_bench::{render, setup, Args};
-use cats_core::{DetectorConfig, Detector, SemanticAnalyzer, N_FEATURES};
+use cats_core::{Detector, DetectorConfig, SemanticAnalyzer, N_FEATURES};
 use cats_embedding::{expand_lexicon, ExpansionConfig};
-use cats_ml::model_selection::cross_validate;
 use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
+use cats_ml::model_selection::cross_validate;
 use cats_ml::Dataset;
 use cats_sentiment::SentimentModel;
 use cats_text::{Segmenter, WhitespaceSegmenter};
@@ -47,11 +47,10 @@ fn main() {
             ExpansionConfig { max_words: cap, ..ExpansionConfig::default() },
         );
         let truth = platform.lexicon();
-        let pos_precision = lexicon
-            .positive_words()
-            .filter(|w| truth.positive().iter().any(|p| p == w))
-            .count() as f64
-            / lexicon.positive_len().max(1) as f64;
+        let pos_precision =
+            lexicon.positive_words().filter(|w| truth.positive().iter().any(|p| p == w)).count()
+                as f64
+                / lexicon.positive_len().max(1) as f64;
 
         let analyzer = SemanticAnalyzer::from_parts(lexicon, sentiment.clone());
         let rows_f = cats_core::features::extract_batch(&items, &analyzer, 0);
@@ -83,7 +82,13 @@ fn main() {
     println!(
         "{}",
         render::table(
-            &["Cap", "|P| realized", "P precision", "Detection F1 (5-fold)", "Items passing filter"],
+            &[
+                "Cap",
+                "|P| realized",
+                "P precision",
+                "Detection F1 (5-fold)",
+                "Items passing filter"
+            ],
             &rows
         )
     );

@@ -1,0 +1,178 @@
+//! Chaos sweep — ingestion robustness under injected site faults.
+//!
+//! Not a paper table: the paper crawls a live site for a week and reports
+//! no trouble, but a reproduction should know what its collector does when
+//! the site misbehaves. This binary re-crawls the same E-platform preset
+//! through a [`FaultPlan`] at increasing intensity and reports, per level:
+//!
+//! 1. **completeness** — items and comments recovered vs the clean crawl;
+//! 2. **distribution shift** — mean/max Kolmogorov–Smirnov distance of
+//!    the 11 feature distributions against the clean crawl's;
+//! 3. **detector degradation** — precision/recall of the deployed
+//!    detector against the platform's *full* latent ground truth, so data
+//!    lost to outages shows up as recall loss rather than silent success.
+//!
+//! Every crawl runs on a fresh [`PublicSite`] with the same seed, so each
+//! row is deterministic and rows differ only by fault intensity.
+
+use cats_analysis::ks_distance;
+use cats_bench::{render, setup, Args};
+use cats_collector::{
+    CollectedDataset, Collector, CollectorConfig, CrawlStats, FaultPlan, PublicSite, SiteConfig,
+};
+use cats_core::{features, CatsPipeline, DetectionSummary, ItemComments, N_FEATURES};
+use cats_platform::{datasets, Platform};
+
+/// Fault levels swept (0 = clean reference).
+const INTENSITIES: [f64; 4] = [0.0, 0.25, 0.5, 0.75];
+
+/// One deterministic crawl of `platform` under `faults`.
+fn crawl_at(platform: &Platform, faults: FaultPlan) -> (CollectedDataset, CrawlStats) {
+    let site = PublicSite::new(platform, SiteConfig { faults, ..SiteConfig::default() });
+    let mut collector = Collector::new(CollectorConfig::default());
+    let data = collector.crawl(&site);
+    (data, collector.stats())
+}
+
+/// Per-feature sample columns over the finite feature rows of a crawl.
+fn feature_samples(data: &CollectedDataset, pipeline: &CatsPipeline) -> Vec<Vec<f64>> {
+    let mut cols = vec![Vec::new(); N_FEATURES];
+    for item in &data.items {
+        if item.comments.is_empty() {
+            continue;
+        }
+        let ic = ItemComments::from_texts(item.comment_texts());
+        let fv = features::extract(&ic, pipeline.analyzer());
+        if fv.is_finite() {
+            for (col, &x) in cols.iter_mut().zip(fv.as_slice()) {
+                col.push(x);
+            }
+        }
+    }
+    cols
+}
+
+/// Mean and max KS distance across feature columns (skipping any column
+/// that ended up empty on either side).
+fn ks_summary(clean: &[Vec<f64>], degraded: &[Vec<f64>]) -> (f64, f64) {
+    let mut sum = 0.0;
+    let mut max: f64 = 0.0;
+    let mut n = 0usize;
+    for (a, b) in clean.iter().zip(degraded) {
+        if a.is_empty() || b.is_empty() {
+            continue;
+        }
+        let d = ks_distance(a, b);
+        sum += d;
+        max = max.max(d);
+        n += 1;
+    }
+    (if n > 0 { sum / n as f64 } else { 0.0 }, max)
+}
+
+fn main() {
+    let args = Args::parse(0.002, 0xC4A0);
+    println!("== chaos sweep: fault-injected ingestion (scale={}) ==", args.scale);
+
+    // Pre-train the deployed detector exactly as the §IV experiment does.
+    let d0 = datasets::d0(args.scale * 25.0, args.seed);
+    let pipeline = setup::train_deploy_pipeline(&d0, args.seed);
+    let e = datasets::e_platform(args.scale, args.seed.wrapping_add(3));
+    let total_frauds = e.items().iter().filter(|i| i.label.is_fraud()).count();
+    println!(
+        "deployed on E-platform preset: {} items, {} latent frauds",
+        e.items().len(),
+        total_frauds
+    );
+
+    // Clean reference crawl: the completeness and KS baselines.
+    let (clean, _) = crawl_at(&e, FaultPlan::none());
+    let clean_cols = feature_samples(&clean, &pipeline);
+    let clean_items = clean.items.len().max(1);
+    let clean_comments = clean.comment_count().max(1);
+
+    let mut rows = Vec::new();
+    for &intensity in &INTENSITIES {
+        let (data, stats) = crawl_at(&e, FaultPlan::at_intensity(intensity));
+
+        let items: Vec<ItemComments> =
+            data.items.iter().map(|i| ItemComments::from_texts(i.comment_texts())).collect();
+        let sales: Vec<u64> = data.items.iter().map(|i| i.sales_volume).collect();
+        let reports = pipeline.detect(&items, &sales);
+        let truncated = data.items.iter().filter(|i| i.truncated).count();
+        let summary = DetectionSummary::from_reports(&reports).with_crawl_health(
+            truncated,
+            data.comment_count() as u64,
+            stats.malformed_records + stats.duplicate_records + stats.poisoned_records,
+        );
+
+        // Recall denominator is the full latent fraud population, not just
+        // what survived the crawl: missing data must cost recall.
+        let mut reported = 0usize;
+        let mut hits = 0usize;
+        for r in reports.iter().filter(|r| r.is_fraud) {
+            reported += 1;
+            let truly_fraud =
+                e.item(data.items[r.index].item_id).map(|it| it.label.is_fraud()).unwrap_or(false);
+            hits += usize::from(truly_fraud);
+        }
+        let precision = if reported > 0 { hits as f64 / reported as f64 } else { 0.0 };
+        let recall = hits as f64 / total_frauds.max(1) as f64;
+
+        let cols = feature_samples(&data, &pipeline);
+        let (ks_mean, ks_max) = ks_summary(&clean_cols, &cols);
+
+        println!(
+            "intensity {intensity:.2}: {} pages, {} backoff waits, {} breaker opens, \
+             {} give-ups, {}s simulated waiting; health: {} quarantined, {} truncated, \
+             {:.1}% comments dropped",
+            stats.pages_fetched,
+            stats.backoff_waits,
+            stats.breaker_opens,
+            stats.breaker_give_ups,
+            stats.sim_clock_secs,
+            summary.health.items_quarantined,
+            summary.health.items_truncated,
+            100.0 * summary.health.dropped_fraction,
+        );
+
+        rows.push(vec![
+            format!("{intensity:.2}"),
+            data.items.len().to_string(),
+            render::pct(data.items.len() as f64 / clean_items as f64),
+            render::pct(data.comment_count() as f64 / clean_comments as f64),
+            truncated.to_string(),
+            summary.quarantined.to_string(),
+            render::f3(ks_mean),
+            render::f3(ks_max),
+            render::f3(precision),
+            render::f3(recall),
+        ]);
+    }
+
+    println!(
+        "{}",
+        render::table(
+            &[
+                "Intensity",
+                "Items",
+                "ItemCompl",
+                "CommCompl",
+                "Truncated",
+                "Quarantined",
+                "KSmean",
+                "KSmax",
+                "Precision",
+                "Recall",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "(clean crawl: {} items, {} comments; KS over the {} feature \
+         distributions vs the clean crawl)",
+        clean.items.len(),
+        clean.comment_count(),
+        N_FEATURES
+    );
+}

@@ -37,7 +37,10 @@ fn main() {
     );
     println!(
         "crawl hygiene: {} pages, {} transient errors, {} malformed dropped, {} duplicates dropped",
-        stats.pages_fetched, stats.transient_errors, stats.malformed_records, stats.duplicate_records
+        stats.pages_fetched,
+        stats.transient_errors,
+        stats.malformed_records,
+        stats.duplicate_records
     );
     let policy = PolitenessPolicy::default();
     let budget = policy.account(&stats);
@@ -50,18 +53,11 @@ fn main() {
     );
 
     // 3. Detect over the collected (unlabeled) data.
-    let items: Vec<ItemComments> = collected
-        .items
-        .iter()
-        .map(|i| ItemComments::from_texts(i.comment_texts()))
-        .collect();
+    let items: Vec<ItemComments> =
+        collected.items.iter().map(|i| ItemComments::from_texts(i.comment_texts())).collect();
     let sales: Vec<u64> = collected.items.iter().map(|i| i.sales_volume).collect();
     let reports = pipeline.detect(&items, &sales);
-    let reported: Vec<usize> = reports
-        .iter()
-        .filter(|r| r.is_fraud)
-        .map(|r| r.index)
-        .collect();
+    let reported: Vec<usize> = reports.iter().filter(|r| r.is_fraud).map(|r| r.index).collect();
     println!(
         "reported {} fraud items of {} collected (paper: 10,720 of ~4.5M ≈ {:.2}%; measured {:.2}%)",
         reported.len(),

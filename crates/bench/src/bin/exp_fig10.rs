@@ -12,10 +12,7 @@ use cats_core::ItemComments;
 use cats_platform::datasets;
 use cats_text::{Segmenter, WhitespaceSegmenter};
 
-fn sentiments(
-    items: &[&cats_platform::Item],
-    analyzer: &cats_core::SemanticAnalyzer,
-) -> Vec<f64> {
+fn sentiments(items: &[&cats_platform::Item], analyzer: &cats_core::SemanticAnalyzer) -> Vec<f64> {
     let seg = WhitespaceSegmenter;
     items
         .iter()

@@ -24,28 +24,15 @@ fn main() {
     // public comment metadata, exactly as the paper's does.
     let site = PublicSite::new(&e, SiteConfig::default());
     let collected = Collector::new(CollectorConfig::default()).crawl(&site);
-    let items: Vec<ItemComments> = collected
-        .items
-        .iter()
-        .map(|i| ItemComments::from_texts(i.comment_texts()))
-        .collect();
+    let items: Vec<ItemComments> =
+        collected.items.iter().map(|i| ItemComments::from_texts(i.comment_texts())).collect();
     let sales: Vec<u64> = collected.items.iter().map(|i| i.sales_volume).collect();
     let reports = pipeline.detect(&items, &sales);
 
-    let fraud_items: Vec<&cats_collector::CollectedItem> = collected
-        .items
-        .iter()
-        .zip(&reports)
-        .filter(|(_, r)| r.is_fraud)
-        .map(|(i, _)| i)
-        .collect();
-    let normal_items: Vec<&cats_collector::CollectedItem> = collected
-        .items
-        .iter()
-        .zip(&reports)
-        .filter(|(_, r)| !r.is_fraud)
-        .map(|(i, _)| i)
-        .collect();
+    let fraud_items: Vec<&cats_collector::CollectedItem> =
+        collected.items.iter().zip(&reports).filter(|(_, r)| r.is_fraud).map(|(i, _)| i).collect();
+    let normal_items: Vec<&cats_collector::CollectedItem> =
+        collected.items.iter().zip(&reports).filter(|(_, r)| !r.is_fraud).map(|(i, _)| i).collect();
 
     let fraud_buyers = unique_buyers(&fraud_items);
     let normal_buyers = unique_buyers(&normal_items);
@@ -77,23 +64,16 @@ fn main() {
     );
 
     // Overall population share below 2,000 (paper ~20%).
-    let overall_below = e
-        .users()
-        .iter()
-        .filter(|u| u.exp_value < 2_000)
-        .count() as f64
-        / e.users().len() as f64;
+    let overall_below =
+        e.users().iter().filter(|u| u.exp_value < 2_000).count() as f64 / e.users().len() as f64;
     println!("overall users below 2,000: {} (paper ~20%)", render::pct(overall_below));
 
     // avgUserExpValue vs population mean (paper: 70% of fraud items below).
     let pop_mean =
         e.users().iter().map(|u| u.exp_value as f64).sum::<f64>() / e.users().len() as f64;
-    let below_mean = fraud_items
-        .iter()
-        .filter_map(|i| avg_user_exp(i))
-        .filter(|&a| a < pop_mean)
-        .count() as f64
-        / fraud_items.len().max(1) as f64;
+    let below_mean =
+        fraud_items.iter().filter_map(|i| avg_user_exp(i)).filter(|&a| a < pop_mean).count() as f64
+            / fraud_items.len().max(1) as f64;
     println!(
         "fraud items with avgUserExpValue below the population mean ({pop_mean:.0}): {} \
          (paper: 70%)",

@@ -22,28 +22,15 @@ fn main() {
     let site = PublicSite::new(&e, SiteConfig::default());
     let collected = Collector::new(CollectorConfig::default()).crawl(&site);
 
-    let items: Vec<ItemComments> = collected
-        .items
-        .iter()
-        .map(|i| ItemComments::from_texts(i.comment_texts()))
-        .collect();
+    let items: Vec<ItemComments> =
+        collected.items.iter().map(|i| ItemComments::from_texts(i.comment_texts())).collect();
     let sales: Vec<u64> = collected.items.iter().map(|i| i.sales_volume).collect();
     let reports = pipeline.detect(&items, &sales);
 
-    let fraud_items: Vec<&cats_collector::CollectedItem> = collected
-        .items
-        .iter()
-        .zip(&reports)
-        .filter(|(_, r)| r.is_fraud)
-        .map(|(i, _)| i)
-        .collect();
-    let normal_items: Vec<&cats_collector::CollectedItem> = collected
-        .items
-        .iter()
-        .zip(&reports)
-        .filter(|(_, r)| !r.is_fraud)
-        .map(|(i, _)| i)
-        .collect();
+    let fraud_items: Vec<&cats_collector::CollectedItem> =
+        collected.items.iter().zip(&reports).filter(|(_, r)| r.is_fraud).map(|(i, _)| i).collect();
+    let normal_items: Vec<&cats_collector::CollectedItem> =
+        collected.items.iter().zip(&reports).filter(|(_, r)| !r.is_fraud).map(|(i, _)| i).collect();
 
     let df = client_distribution(&fraud_items);
     let dn = client_distribution(&normal_items);
@@ -51,18 +38,11 @@ fn main() {
     let clients = ["Web", "Android", "iPhone", "Wechat"];
     let rows: Vec<Vec<String>> = clients
         .iter()
-        .map(|c| {
-            vec![c.to_string(), render::pct(df.share(c)), render::pct(dn.share(c))]
-        })
+        .map(|c| vec![c.to_string(), render::pct(df.share(c)), render::pct(dn.share(c))])
         .collect();
-    println!(
-        "{}",
-        render::table(&["Client", "Fraud orders", "Normal orders"], &rows)
-    );
+    println!("{}", render::table(&["Client", "Fraud orders", "Normal orders"], &rows));
 
     let fd = df.dominant().map(|(n, _)| n.to_string()).unwrap_or_default();
     let nd = dn.dominant().map(|(n, _)| n.to_string()).unwrap_or_default();
-    println!(
-        "dominant source: fraud = {fd} (paper: Web), normal = {nd} (paper: Android)"
-    );
+    println!("dominant source: fraud = {fd} (paper: Web), normal = {nd} (paper: Android)");
 }

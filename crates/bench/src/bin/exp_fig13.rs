@@ -41,11 +41,7 @@ fn main() {
             normal_b.push(item);
         }
     }
-    println!(
-        "platform B reports: {} fraud / {} normal items",
-        fraud_b.len(),
-        normal_b.len()
-    );
+    println!("platform B reports: {} fraud / {} normal items", fraud_b.len(), normal_b.len());
     if fraud_b.is_empty() {
         println!("no reported frauds at this scale; rerun with a larger --scale");
         return;
@@ -58,13 +54,7 @@ fn main() {
         .rows()
         .into_iter()
         .map(|(name, ff, nn, ca, cb)| {
-            vec![
-                name.to_string(),
-                render::f3(ff),
-                render::f3(nn),
-                render::f3(ca),
-                render::f3(cb),
-            ]
+            vec![name.to_string(), render::f3(ff), render::f3(nn), render::f3(ca), render::f3(cb)]
         })
         .collect();
     println!(

@@ -27,23 +27,15 @@ fn main() {
     let mut gbt = GradientBoostedTrees::new(GbtConfig::default());
     gbt.fit(&data);
 
-    let mut ranked: Vec<(usize, u64)> = gbt
-        .feature_importance()
-        .iter()
-        .copied()
-        .enumerate()
-        .collect();
+    let mut ranked: Vec<(usize, u64)> =
+        gbt.feature_importance().iter().copied().enumerate().collect();
     ranked.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
 
     let gains = gbt.feature_gain();
     let table_rows: Vec<Vec<String>> = ranked
         .iter()
         .map(|&(f, c)| {
-            vec![
-                FEATURE_NAMES[f].to_string(),
-                c.to_string(),
-                format!("{:.1}", gains[f]),
-            ]
+            vec![FEATURE_NAMES[f].to_string(), c.to_string(), format!("{:.1}", gains[f])]
         })
         .collect();
     println!(

@@ -45,10 +45,8 @@ fn main() {
     let wf_normal_b = freq_of(&normal_b, &stopwords);
 
     // Ground-truth lexicon for the positivity measurements.
-    let lex = cats_text::Lexicon::new(
-        a.lexicon().positive().to_vec(),
-        a.lexicon().negative().to_vec(),
-    );
+    let lex =
+        cats_text::Lexicon::new(a.lexicon().positive().to_vec(), a.lexicon().negative().to_vec());
 
     for (name, wf, paper) in [
         ("fraud items, platform A (Taobao-like)", &wf_fraud_a, "top-50 all positive, ~28% of mass"),
@@ -72,10 +70,9 @@ fn main() {
     );
 
     // Fig 9: normal items contain negative words among frequent terms.
-    for (name, wf) in [
-        ("normal items, platform A", &wf_normal_a),
-        ("normal items, platform B", &wf_normal_b),
-    ] {
+    for (name, wf) in
+        [("normal items, platform A", &wf_normal_a), ("normal items, platform B", &wf_normal_b)]
+    {
         let negs: Vec<String> = wf
             .top_k(100)
             .into_iter()

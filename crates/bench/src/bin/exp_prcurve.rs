@@ -40,13 +40,7 @@ fn main() {
     let rows: Vec<Vec<String>> = curve
         .iter()
         .step_by(step)
-        .map(|p| {
-            vec![
-                format!("{:.4}", p.threshold),
-                render::f3(p.precision),
-                render::f3(p.recall),
-            ]
-        })
+        .map(|p| vec![format!("{:.4}", p.threshold), render::f3(p.precision), render::f3(p.recall)])
         .collect();
     println!("{}", render::table(&["Threshold", "Precision", "Recall"], &rows));
 

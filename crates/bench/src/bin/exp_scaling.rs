@@ -16,11 +16,7 @@ fn main() {
     let analyzer = setup::train_analyzer(&platform, args.seed);
     let items: Vec<ItemComments> = platform.items().iter().map(setup::item_comments).collect();
     let comments: usize = items.iter().map(ItemComments::len).sum();
-    println!(
-        "== Extension: extraction scaling ({} items, {} comments) ==",
-        items.len(),
-        comments
-    );
+    println!("== Extension: extraction scaling ({} items, {} comments) ==", items.len(), comments);
 
     let cores = std::thread::available_parallelism().map_or(4, usize::from);
     let mut rows = Vec::new();
@@ -49,9 +45,6 @@ fn main() {
             format!("{:.2}x", base / best),
         ]);
     }
-    println!(
-        "{}",
-        render::table(&["Threads", "Best time (s)", "Items/s", "Speedup"], &rows)
-    );
+    println!("{}", render::table(&["Threads", "Best time (s)", "Items/s", "Speedup"], &rows));
     println!("machine parallelism: {cores} threads");
 }

@@ -14,10 +14,7 @@ use cats_platform::lexicon::HAOPING_VARIANTS;
 fn main() {
     let args = Args::parse(0.02, 0xCA75);
     let platform = setup::d0(args.scale, args.seed);
-    println!(
-        "== Table I: seed expansion on D0(scale={}, seed={}) ==",
-        args.scale, args.seed
-    );
+    println!("== Table I: seed expansion on D0(scale={}, seed={}) ==", args.scale, args.seed);
 
     let corpus: Vec<&str> = platform
         .items()
@@ -40,14 +37,10 @@ fn main() {
 
     // Precision of the expansion against latent ground truth.
     let truth = platform.lexicon();
-    let correct_pos = lexicon
-        .positive_words()
-        .filter(|w| truth.positive().iter().any(|p| p == w))
-        .count();
-    let correct_neg = lexicon
-        .negative_words()
-        .filter(|w| truth.negative().iter().any(|p| p == w))
-        .count();
+    let correct_pos =
+        lexicon.positive_words().filter(|w| truth.positive().iter().any(|p| p == w)).count();
+    let correct_neg =
+        lexicon.negative_words().filter(|w| truth.negative().iter().any(|p| p == w)).count();
     println!(
         "expansion precision: P {} / N {}",
         render::pct(correct_pos as f64 / lexicon.positive_len().max(1) as f64),
@@ -55,11 +48,8 @@ fn main() {
     );
 
     // The homograph-discovery claim.
-    let found: Vec<&str> = HAOPING_VARIANTS
-        .iter()
-        .copied()
-        .filter(|v| lexicon.is_positive(v))
-        .collect();
+    let found: Vec<&str> =
+        HAOPING_VARIANTS.iter().copied().filter(|v| lexicon.is_positive(v)).collect();
     println!(
         "homograph variants of `haoping` discovered: {}/{} ({:?})",
         found.len(),

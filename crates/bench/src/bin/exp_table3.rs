@@ -54,11 +54,11 @@ fn main() {
     let table_rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
-            let (_, pp, pr) = paper
-                .iter()
-                .find(|(n, _, _)| *n == r.name)
-                .copied()
-                .unwrap_or((r.name.as_str(), f64::NAN, f64::NAN));
+            let (_, pp, pr) = paper.iter().find(|(n, _, _)| *n == r.name).copied().unwrap_or((
+                r.name.as_str(),
+                f64::NAN,
+                f64::NAN,
+            ));
             vec![
                 r.name.clone(),
                 render::f3(r.precision),
@@ -77,9 +77,6 @@ fn main() {
         )
     );
 
-    let best = results
-        .iter()
-        .max_by(|a, b| a.f1.partial_cmp(&b.f1).unwrap())
-        .unwrap();
+    let best = results.iter().max_by(|a, b| a.f1.partial_cmp(&b.f1).unwrap()).unwrap();
     println!("best by F1: {} (paper selects Xgboost)", best.name);
 }

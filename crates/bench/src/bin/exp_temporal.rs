@@ -23,21 +23,13 @@ fn main() {
     let site = PublicSite::new(&e, SiteConfig::default());
     let collected = Collector::new(CollectorConfig::default()).crawl(&site);
 
-    let items: Vec<ItemComments> = collected
-        .items
-        .iter()
-        .map(|i| ItemComments::from_texts(i.comment_texts()))
-        .collect();
+    let items: Vec<ItemComments> =
+        collected.items.iter().map(|i| ItemComments::from_texts(i.comment_texts())).collect();
     let sales: Vec<u64> = collected.items.iter().map(|i| i.sales_volume).collect();
     let reports = pipeline.detect(&items, &sales);
 
-    let fraud: Vec<&CollectedItem> = collected
-        .items
-        .iter()
-        .zip(&reports)
-        .filter(|(_, r)| r.is_fraud)
-        .map(|(i, _)| i)
-        .collect();
+    let fraud: Vec<&CollectedItem> =
+        collected.items.iter().zip(&reports).filter(|(_, r)| r.is_fraud).map(|(i, _)| i).collect();
     let normal: Vec<&CollectedItem> = collected
         .items
         .iter()
@@ -45,11 +37,7 @@ fn main() {
         .filter(|(i, r)| !r.is_fraud && i.comments.len() >= 5)
         .map(|(i, _)| i)
         .collect();
-    println!(
-        "reported fraud items: {}, dense normal items: {}",
-        fraud.len(),
-        normal.len()
-    );
+    println!("reported fraud items: {}, dense normal items: {}", fraud.len(), normal.len());
 
     let mean_gap = |items: &[&CollectedItem]| -> f64 {
         let gaps: Vec<f64> = items
@@ -72,10 +60,7 @@ fn main() {
             format!("{:.1}", mean_gap(&normal)),
         ],
     ];
-    println!(
-        "{}",
-        render::table(&["Items", "Mean peak-day share", "Mean gap (hours)"], &rows)
-    );
+    println!("{}", render::table(&["Items", "Mean peak-day share", "Mean gap (hours)"], &rows));
     println!(
         "expectation: campaigns concentrate comments into burst windows → \
          higher peak-day share and shorter gaps for reported fraud items"

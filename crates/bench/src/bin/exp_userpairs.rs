@@ -22,20 +22,12 @@ fn main() {
     let site = PublicSite::new(&e, SiteConfig::default());
     let collected = Collector::new(CollectorConfig::default()).crawl(&site);
 
-    let items: Vec<ItemComments> = collected
-        .items
-        .iter()
-        .map(|i| ItemComments::from_texts(i.comment_texts()))
-        .collect();
+    let items: Vec<ItemComments> =
+        collected.items.iter().map(|i| ItemComments::from_texts(i.comment_texts())).collect();
     let sales: Vec<u64> = collected.items.iter().map(|i| i.sales_volume).collect();
     let reports = pipeline.detect(&items, &sales);
-    let fraud_items: Vec<&cats_collector::CollectedItem> = collected
-        .items
-        .iter()
-        .zip(&reports)
-        .filter(|(_, r)| r.is_fraud)
-        .map(|(i, _)| i)
-        .collect();
+    let fraud_items: Vec<&cats_collector::CollectedItem> =
+        collected.items.iter().zip(&reports).filter(|(_, r)| r.is_fraud).map(|(i, _)| i).collect();
     println!("reported fraud items: {}", fraud_items.len());
 
     let mined = mine_risky_pairs(&fraud_items, 2);

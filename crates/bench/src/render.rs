@@ -64,10 +64,7 @@ mod tests {
     fn renders_aligned_table() {
         let t = table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer-name".into(), "2".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["longer-name".into(), "2".into()]],
         );
         assert!(t.contains("| name "));
         assert!(t.contains("| longer-name | 2"));

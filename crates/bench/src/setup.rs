@@ -103,8 +103,7 @@ pub fn train_pipeline_with(
 ) -> CatsPipeline {
     let analyzer = train_analyzer(train_platform, seed);
     let mut detector = cats_core::Detector::with_default_classifier(config);
-    let items: Vec<ItemComments> =
-        train_platform.items().iter().map(item_comments).collect();
+    let items: Vec<ItemComments> = train_platform.items().iter().map(item_comments).collect();
     let labels: Vec<u8> = train_platform.items().iter().map(item_label).collect();
     detector.fit(&items, &labels, &analyzer);
     CatsPipeline::from_parts(analyzer, detector)
@@ -203,8 +202,7 @@ mod tests {
         let pipeline = train_pipeline(&d0, 11);
         // Evaluate on a different platform instance (cross-platform claim).
         let holdout = datasets::d0(0.004, 99);
-        let items: Vec<ItemComments> =
-            holdout.items().iter().map(item_comments).collect();
+        let items: Vec<ItemComments> = holdout.items().iter().map(item_comments).collect();
         let sales: Vec<u64> = holdout.items().iter().map(|i| i.sales_volume).collect();
         let reports = pipeline.detect(&items, &sales);
         let labels: Vec<u8> = holdout.items().iter().map(item_label).collect();

@@ -8,13 +8,17 @@
 //! * [`detect`] — load a snapshot and score an unlabeled JSONL file,
 //!   emitting one report per item plus a batch summary;
 //! * [`analyze`] — evaluate reports against a labeled file
-//!   (precision/recall/F1) for closed-loop runs.
+//!   (precision/recall/F1) for closed-loop runs;
+//! * [`crawl`] — run the resilient collector against the simulated public
+//!   site (optionally fault-injected) and emit the collected items as
+//!   unlabeled JSONL, the public-data scenario end to end.
 
 use crate::io::{read_items, write_items, write_reports, ItemLine, ReportLine};
+use cats_collector::{Collector, CollectorConfig, CrawlStats, FaultPlan, PublicSite, SiteConfig};
 use cats_core::pipeline::PipelineSnapshot;
 use cats_core::{
-    CatsPipeline, DetectionSummary, DetectorConfig, FilterDecision, ItemComments,
-    SemanticAnalyzer, N_FEATURES,
+    CatsPipeline, DetectionSummary, DetectorConfig, FilterDecision, ItemComments, SemanticAnalyzer,
+    N_FEATURES,
 };
 use cats_embedding::{ExpansionConfig, Word2VecConfig};
 use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
@@ -65,10 +69,8 @@ pub fn train(
     // Semantic analyzer from the training comments themselves. Sentiment
     // reviews come from the synthetic language model (the SnowNLP
     // stand-in is pre-trained, exactly as in the paper).
-    let corpus: Vec<&str> = items
-        .iter()
-        .flat_map(|i| i.comments.iter().map(String::as_str))
-        .collect();
+    let corpus: Vec<&str> =
+        items.iter().flat_map(|i| i.comments.iter().map(String::as_str)).collect();
     let lang = cats_platform::SyntheticLexicon::generate(Default::default(), 0x1A96);
     let mut rng = StdRng::seed_from_u64(seed);
     let pos: Vec<String> = (0..2_000)
@@ -131,6 +133,7 @@ pub fn detect(
                 FilterDecision::Classified => "classified",
                 FilterDecision::FilteredLowSales => "filtered_low_sales",
                 FilterDecision::FilteredNoPositiveEvidence => "filtered_no_evidence",
+                FilterDecision::Quarantined => "quarantined",
             }
             .to_string(),
             score: r.score,
@@ -141,6 +144,44 @@ pub fn detect(
     Ok(DetectionSummary::from_reports(&reports))
 }
 
+/// Crawls the simulated public site of an E-platform-shaped world and
+/// writes the collected items as unlabeled JSONL (ready for [`detect`]).
+/// `fault_intensity` in `[0, 1]` scales the injected fault schedule
+/// (0 = clean site). Returns the item count and the crawl statistics.
+pub fn crawl(
+    scale: f64,
+    seed: u64,
+    fault_intensity: f64,
+    out: &mut dyn std::io::Write,
+) -> Result<(usize, CrawlStats), String> {
+    if !(0.0..=1.0).contains(&fault_intensity) {
+        return Err("--faults must be in [0, 1]".into());
+    }
+    let platform = datasets::e_platform(scale, seed);
+    let site = PublicSite::new(
+        &platform,
+        SiteConfig {
+            seed: seed ^ 0x517E,
+            faults: FaultPlan::at_intensity(fault_intensity),
+            ..SiteConfig::default()
+        },
+    );
+    let mut collector = Collector::new(CollectorConfig::default());
+    let data = collector.crawl(&site);
+    let items: Vec<ItemLine> = data
+        .items
+        .iter()
+        .map(|it| ItemLine {
+            item_id: it.item_id,
+            sales_volume: it.sales_volume,
+            label: None,
+            comments: it.comments.iter().map(|c| c.content.clone()).collect(),
+        })
+        .collect();
+    write_items(out, &items).map_err(|e| e.to_string())?;
+    Ok((items.len(), collector.stats()))
+}
+
 /// Evaluates a JSONL report file against a labeled JSONL item file,
 /// joining on `item_id`.
 pub fn analyze(
@@ -148,10 +189,8 @@ pub fn analyze(
     labeled: &mut dyn BufRead,
 ) -> Result<BinaryMetrics, String> {
     let items = read_items(labeled)?;
-    let truth: HashMap<u64, u8> = items
-        .iter()
-        .filter_map(|i| i.label.map(|l| (i.item_id, l)))
-        .collect();
+    let truth: HashMap<u64, u8> =
+        items.iter().filter_map(|i| i.label.map(|l| (i.item_id, l))).collect();
     if truth.is_empty() {
         return Err("labeled file contains no labels".into());
     }
@@ -206,12 +245,8 @@ mod tests {
         let mut eval_data = Vec::new();
         generate(0.004, 10, &mut eval_data).unwrap();
         let mut reports = Vec::new();
-        let summary = detect(
-            &model,
-            &mut BufReader::new(eval_data.as_slice()),
-            &mut reports,
-        )
-        .unwrap();
+        let summary =
+            detect(&model, &mut BufReader::new(eval_data.as_slice()), &mut reports).unwrap();
         assert!(summary.reported > 0, "{summary}");
 
         // analyze against ground truth
@@ -221,6 +256,47 @@ mod tests {
         )
         .unwrap();
         assert!(metrics.f1 > 0.7, "closed-loop F1 too low: {metrics}");
+    }
+
+    #[test]
+    fn crawl_emits_unlabeled_jsonl() {
+        let mut buf = Vec::new();
+        let (n, stats) = crawl(0.02, 7, 0.0, &mut buf).unwrap();
+        assert!(n > 0);
+        assert!(stats.pages_fetched > 0);
+        assert_eq!(stats.truncated_resources, 0, "clean site: no truncation");
+        let items = read_items(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(items.len(), n);
+        assert!(items.iter().all(|i| i.label.is_none()), "crawl output is unlabeled");
+    }
+
+    #[test]
+    fn crawl_under_faults_still_produces_parseable_output() {
+        let mut buf = Vec::new();
+        let (n, stats) = crawl(0.02, 7, 0.9, &mut buf).unwrap();
+        let items = read_items(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(items.len(), n);
+        // heavy faults leave footprints in the stats
+        assert!(stats.rate_limited + stats.outage_errors + stats.stalled_pages > 0, "{stats:?}");
+        assert!(crawl(0.02, 7, 1.5, &mut Vec::new()).is_err(), "intensity out of range");
+    }
+
+    #[test]
+    fn crawl_then_detect_closed_loop() {
+        // train on labeled generator output, detect on crawled public data
+        let mut data = Vec::new();
+        generate(0.004, 9, &mut data).unwrap();
+        let (model, _) = train(&mut BufReader::new(data.as_slice()), 0.5, 9).unwrap();
+
+        let mut crawled = Vec::new();
+        crawl(0.02, 11, 0.5, &mut crawled).unwrap();
+        let mut reports = Vec::new();
+        let summary =
+            detect(&model, &mut BufReader::new(crawled.as_slice()), &mut reports).unwrap();
+        assert!(summary.total > 0);
+        // degraded input must not leak NaN into the report stream
+        let text = String::from_utf8(reports).unwrap();
+        assert!(!text.contains("NaN") && !text.contains("null"), "{text}");
     }
 
     #[test]
@@ -247,7 +323,8 @@ mod tests {
     #[test]
     fn analyze_requires_overlap() {
         let labeled = "{\"item_id\":1,\"sales_volume\":2,\"label\":1,\"comments\":[]}\n";
-        let reports = "{\"item_id\":99,\"filter\":\"classified\",\"score\":0.9,\"is_fraud\":true}\n";
+        let reports =
+            "{\"item_id\":99,\"filter\":\"classified\",\"score\":0.9,\"is_fraud\":true}\n";
         let err = analyze(
             &mut BufReader::new(reports.as_bytes()),
             &mut BufReader::new(labeled.as_bytes()),

@@ -138,12 +138,7 @@ mod tests {
         let mut buf = Vec::new();
         write_reports(
             &mut buf,
-            &[ReportLine {
-                item_id: 7,
-                filter: "classified".into(),
-                score: 0.93,
-                is_fraud: true,
-            }],
+            &[ReportLine { item_id: 7, filter: "classified".into(), score: 0.93, is_fraud: true }],
         )
         .unwrap();
         let text = String::from_utf8(buf).unwrap();

@@ -6,7 +6,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cats-cli generate --scale <f64> --seed <u64>            (JSONL to stdout)\n  cats-cli train    --input <jsonl> --model <out.json> [--threshold <f64>] [--seed <u64>]\n  cats-cli detect   --model <json> --input <jsonl>        (reports to stdout)\n  cats-cli analyze  --reports <jsonl> --labeled <jsonl>"
+        "usage:\n  cats-cli generate --scale <f64> --seed <u64>            (JSONL to stdout)\n  cats-cli crawl    --scale <f64> --seed <u64> [--faults <0..1>]  (JSONL to stdout)\n  cats-cli train    --input <jsonl> --model <out.json> [--threshold <f64>] [--seed <u64>]\n  cats-cli detect   --model <json> --input <jsonl>        (reports to stdout)\n  cats-cli analyze  --reports <jsonl> --labeled <jsonl>"
     );
     ExitCode::from(2)
 }
@@ -38,9 +38,7 @@ fn run() -> Result<(), String> {
     };
     let open = |k: &str| -> Result<BufReader<File>, String> {
         let path = get(k).ok_or(format!("--{k} is required"))?;
-        File::open(&path)
-            .map(BufReader::new)
-            .map_err(|e| format!("{path}: {e}"))
+        File::open(&path).map(BufReader::new).map_err(|e| format!("{path}: {e}"))
     };
 
     match cmd.as_str() {
@@ -53,6 +51,19 @@ fn run() -> Result<(), String> {
             eprintln!("generated {n} labeled items");
             Ok(())
         }
+        "crawl" => {
+            let scale = parse_f64("scale", 0.01)?;
+            let seed = parse_u64("seed", 0xCA75)?;
+            let faults = parse_f64("faults", 0.0)?;
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            let (n, stats) = cats_cli::commands::crawl(scale, seed, faults, &mut lock)?;
+            eprintln!(
+                "crawled {n} items ({} pages, {} truncated resources, {} poisoned records dropped, {}s simulated waiting)",
+                stats.pages_fetched, stats.truncated_resources, stats.poisoned_records, stats.sim_clock_secs
+            );
+            Ok(())
+        }
         "train" => {
             let mut input = open("input")?;
             let model_path = get("model").ok_or("--model is required")?;
@@ -60,13 +71,16 @@ fn run() -> Result<(), String> {
             let seed = parse_u64("seed", 0xCA75)?;
             let (json, n) = cats_cli::commands::train(&mut input, threshold, seed)?;
             std::fs::write(&model_path, &json).map_err(|e| format!("{model_path}: {e}"))?;
-            eprintln!("trained on {n} items; model written to {model_path} ({} KiB)", json.len() / 1024);
+            eprintln!(
+                "trained on {n} items; model written to {model_path} ({} KiB)",
+                json.len() / 1024
+            );
             Ok(())
         }
         "detect" => {
             let model_path = get("model").ok_or("--model is required")?;
-            let model = std::fs::read_to_string(&model_path)
-                .map_err(|e| format!("{model_path}: {e}"))?;
+            let model =
+                std::fs::read_to_string(&model_path).map_err(|e| format!("{model_path}: {e}"))?;
             let mut input = open("input")?;
             let stdout = std::io::stdout();
             let mut lock = stdout.lock();

@@ -39,13 +39,7 @@ fn four_command_pipeline_through_the_binary() {
 
     // train
     let out = Command::new(bin())
-        .args([
-            "train",
-            "--input",
-            labeled.to_str().unwrap(),
-            "--model",
-            model.to_str().unwrap(),
-        ])
+        .args(["train", "--input", labeled.to_str().unwrap(), "--model", model.to_str().unwrap()])
         .output()
         .expect("run train");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
@@ -53,13 +47,7 @@ fn four_command_pipeline_through_the_binary() {
 
     // detect
     let out = Command::new(bin())
-        .args([
-            "detect",
-            "--model",
-            model.to_str().unwrap(),
-            "--input",
-            eval.to_str().unwrap(),
-        ])
+        .args(["detect", "--model", model.to_str().unwrap(), "--input", eval.to_str().unwrap()])
         .output()
         .expect("run detect");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));

@@ -3,48 +3,200 @@
 //! Mirrors the paper's §IV-A procedure: (1) fetch all shop homepages;
 //! (2) scrape each shop's item listing; (3) scrape every comment page of
 //! every item. Noise handling matches what any production crawler needs:
-//! bounded retries on transient errors, malformed-line skipping, and
-//! comment-id deduplication (the paper's data collector "can filter the
-//! noisy data (e.g., duplicated data records)").
+//! typed fetch errors with exponential backoff and deterministic jitter,
+//! rate-limit compliance (honouring the server's retry-after), a
+//! per-resource circuit breaker for sustained outages, malformed-line
+//! skipping, comment-id deduplication, and poisoned-record sanity checks
+//! (the paper's data collector "can filter the noisy data (e.g.,
+//! duplicated data records)").
+//!
+//! All waiting is accounted on a **simulated clock** (same style as
+//! [`crate::politeness`]): backoff, retry-after, and breaker cooldowns
+//! advance `CrawlStats::sim_clock_secs` instead of sleeping, so crawls
+//! are fast and fully deterministic in the site seed.
 
 use std::collections::HashSet;
 
 use crate::records::{
     CollectedComment, CollectedDataset, CollectedItem, CommentRecord, ItemRecord, ShopRecord,
 };
-use crate::site::{Page, PublicSite, TransientError};
+use crate::site::{FetchError, Page, PublicSite};
+
+/// Exponential-backoff policy for retryable fetch errors.
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffPolicy {
+    /// First wait, simulated seconds (doubles per attempt).
+    pub base_secs: u64,
+    /// Cap on a single backoff wait, before jitter.
+    pub max_secs: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self { base_secs: 1, max_secs: 64 }
+    }
+}
+
+impl BackoffPolicy {
+    /// Wait before retry number `attempt` (0-based), with deterministic
+    /// jitter derived from the simulated clock — no RNG, no wall clock.
+    pub fn wait_secs(&self, attempt: u32, clock_secs: u64) -> u64 {
+        let capped = self.base_secs.saturating_mul(1u64 << attempt.min(16)).min(self.max_secs);
+        let h = (clock_secs ^ u64::from(attempt).wrapping_mul(0x9E3779B97F4A7C15))
+            .wrapping_mul(0xD1B54A32D192ED03);
+        capped + h % (capped / 2 + 1)
+    }
+}
+
+/// Per-resource circuit-breaker policy.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerPolicy {
+    /// Consecutive failures on a resource that open the breaker.
+    pub failure_threshold: u32,
+    /// First cooldown, simulated seconds (doubles per trip).
+    pub cooldown_secs: u64,
+    /// Trips after which the resource is given up as unreachable.
+    pub max_trips: u32,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        Self { failure_threshold: 4, cooldown_secs: 60, max_trips: 3 }
+    }
+}
 
 /// Crawl limits and retry policy.
 #[derive(Debug, Clone, Copy)]
 pub struct CollectorConfig {
-    /// Maximum retries per page before giving up on it.
+    /// Maximum retries per page within one burst before giving up on it
+    /// (breaker cooldowns reset the burst).
     pub max_retries: u32,
     /// Hard cap on items collected (0 = unlimited) — the paper subsamples
     /// its crawl for ethics reasons; this is the equivalent knob.
     pub max_items: usize,
     /// Hard cap on comment pages fetched per item (0 = unlimited).
     pub max_comment_pages_per_item: usize,
+    /// Backoff policy for retryable errors.
+    pub backoff: BackoffPolicy,
+    /// Circuit-breaker policy for failing resources.
+    pub breaker: BreakerPolicy,
 }
 
 impl Default for CollectorConfig {
     fn default() -> Self {
-        Self { max_retries: 5, max_items: 0, max_comment_pages_per_item: 0 }
+        Self {
+            max_retries: 5,
+            max_items: 0,
+            max_comment_pages_per_item: 0,
+            backoff: BackoffPolicy::default(),
+            breaker: BreakerPolicy::default(),
+        }
     }
 }
 
-/// Counters describing what a crawl did.
+/// Counters describing what a crawl did. Everything is integral so the
+/// struct stays `Eq` — the determinism tests compare whole values.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CrawlStats {
     /// Pages fetched successfully.
     pub pages_fetched: u64,
     /// Transient errors encountered (including those retried away).
     pub transient_errors: u64,
-    /// Pages abandoned after exhausting retries.
+    /// Rate-limited responses encountered.
+    pub rate_limited: u64,
+    /// Outage errors encountered.
+    pub outage_errors: u64,
+    /// Pages abandoned after exhausting a retry burst.
     pub pages_abandoned: u64,
     /// Records dropped as malformed JSON.
     pub malformed_records: u64,
     /// Records dropped as duplicates (already-seen comment ids).
     pub duplicate_records: u64,
+    /// Records dropped by the poisoned-record sanity checks.
+    pub poisoned_records: u64,
+    /// Backoff / retry-after waits taken.
+    pub backoff_waits: u64,
+    /// Simulated seconds spent in backoff / retry-after waits.
+    pub backoff_wait_secs: u64,
+    /// Circuit-breaker trips (closed → open transitions).
+    pub breaker_opens: u64,
+    /// Simulated seconds spent waiting out breaker cooldowns.
+    pub breaker_wait_secs: u64,
+    /// Resources given up after exhausting breaker trips.
+    pub breaker_give_ups: u64,
+    /// Resources whose page walk ended early (abandoned page or breaker
+    /// give-up): their tail records were never fetched.
+    pub truncated_resources: u64,
+    /// Pages that stalled (served slowly).
+    pub stalled_pages: u64,
+    /// Simulated seconds lost to stalled pages.
+    pub stall_secs: u64,
+    /// Total simulated waiting time of the crawl (backoff + breaker +
+    /// stalls); request pacing on top of this is [`crate::politeness`]'s
+    /// job.
+    pub sim_clock_secs: u64,
+}
+
+/// Circuit-breaker state for one resource (one paginated walk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { until_secs: u64 },
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    trips: u32,
+    given_up: bool,
+}
+
+enum BreakerEvent {
+    None,
+    Opened,
+    GaveUp,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Self { state: BreakerState::Closed, consecutive_failures: 0, trips: 0, given_up: false }
+    }
+
+    fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Feeds one breaker-relevant failure; may open the breaker or give
+    /// the resource up.
+    fn on_failure(&mut self, policy: &BreakerPolicy, now_secs: u64) -> BreakerEvent {
+        match self.state {
+            BreakerState::HalfOpen => self.trip(policy, now_secs),
+            _ => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= policy.failure_threshold {
+                    self.trip(policy, now_secs)
+                } else {
+                    BreakerEvent::None
+                }
+            }
+        }
+    }
+
+    fn trip(&mut self, policy: &BreakerPolicy, now_secs: u64) -> BreakerEvent {
+        self.trips += 1;
+        self.consecutive_failures = 0;
+        if self.trips > policy.max_trips {
+            self.given_up = true;
+            BreakerEvent::GaveUp
+        } else {
+            let cooldown = policy.cooldown_secs.saturating_mul(1u64 << (self.trips - 1).min(16));
+            self.state = BreakerState::Open { until_secs: now_secs + cooldown };
+            BreakerEvent::Opened
+        }
+    }
 }
 
 /// The crawler.
@@ -64,41 +216,111 @@ impl Collector {
         self.stats
     }
 
-    /// Fetches a page with retries; `None` if abandoned.
-    fn fetch_with_retries(
+    /// Advances the simulated clock by a backoff/retry-after wait.
+    fn wait(&mut self, secs: u64) {
+        self.stats.backoff_waits += 1;
+        self.stats.backoff_wait_secs += secs;
+        self.stats.sim_clock_secs += secs;
+    }
+
+    /// Fetches a page with backoff, rate-limit compliance, and the
+    /// resource's circuit breaker; `None` if the page (or the whole
+    /// resource) was given up.
+    fn fetch_page(
         &mut self,
-        mut fetch: impl FnMut(u32) -> Result<Page, TransientError>,
+        breaker: &mut Breaker,
+        mut fetch: impl FnMut(u32) -> Result<Page, FetchError>,
     ) -> Option<Page> {
-        for attempt in 0..=self.config.max_retries {
-            match fetch(attempt) {
+        let mut burst_attempt = 0u32;
+        let mut total_attempt = 0u32;
+        loop {
+            if breaker.given_up {
+                return None;
+            }
+            if let BreakerState::Open { until_secs } = breaker.state {
+                let wait = until_secs.saturating_sub(self.stats.sim_clock_secs);
+                self.stats.breaker_wait_secs += wait;
+                self.stats.sim_clock_secs += wait;
+                breaker.state = BreakerState::HalfOpen;
+                burst_attempt = 0; // the cooldown resets the retry budget
+            }
+            match fetch(total_attempt) {
                 Ok(page) => {
+                    breaker.on_success();
                     self.stats.pages_fetched += 1;
+                    if page.stall_secs > 0 {
+                        self.stats.stalled_pages += 1;
+                        self.stats.stall_secs += page.stall_secs;
+                        self.stats.sim_clock_secs += page.stall_secs;
+                    }
                     return Some(page);
                 }
-                Err(TransientError) => {
-                    self.stats.transient_errors += 1;
+                Err(err) => {
+                    total_attempt += 1;
+                    // Rate limiting is the server pacing us, not failing:
+                    // honour retry-after, don't feed the breaker.
+                    let breaker_event = match err {
+                        FetchError::Transient => {
+                            self.stats.transient_errors += 1;
+                            breaker.on_failure(&self.config.breaker, self.stats.sim_clock_secs)
+                        }
+                        FetchError::Outage => {
+                            self.stats.outage_errors += 1;
+                            breaker.on_failure(&self.config.breaker, self.stats.sim_clock_secs)
+                        }
+                        FetchError::RateLimited { .. } => {
+                            self.stats.rate_limited += 1;
+                            BreakerEvent::None
+                        }
+                    };
+                    match breaker_event {
+                        BreakerEvent::Opened => {
+                            self.stats.breaker_opens += 1;
+                            continue; // cooldown handled at the loop top
+                        }
+                        BreakerEvent::GaveUp => {
+                            self.stats.breaker_give_ups += 1;
+                            return None;
+                        }
+                        BreakerEvent::None => {}
+                    }
+                    if burst_attempt >= self.config.max_retries {
+                        self.stats.pages_abandoned += 1;
+                        return None;
+                    }
+                    let wait = match err {
+                        FetchError::RateLimited { retry_after_secs } => retry_after_secs,
+                        _ => {
+                            self.config.backoff.wait_secs(burst_attempt, self.stats.sim_clock_secs)
+                        }
+                    };
+                    self.wait(wait);
+                    burst_attempt += 1;
                 }
             }
         }
-        self.stats.pages_abandoned += 1;
-        None
     }
 
     /// Walks every page of one paginated resource, feeding parsed records
-    /// of type `T` to `sink`.
+    /// of type `T` to `sink`. Returns `true` if the walk was truncated —
+    /// a page was abandoned or the breaker gave the resource up, so tail
+    /// records were never fetched.
     fn walk_pages<T: serde::de::DeserializeOwned>(
         &mut self,
-        mut fetch: impl FnMut(usize, u32) -> Result<Page, TransientError>,
+        mut fetch: impl FnMut(usize, u32) -> Result<Page, FetchError>,
         max_pages: usize,
         mut sink: impl FnMut(T),
-    ) {
+    ) -> bool {
+        let mut breaker = Breaker::new();
         let mut page_no = 0usize;
         loop {
             if max_pages > 0 && page_no >= max_pages {
-                break;
+                return false; // voluntary cap, not data loss
             }
-            let Some(page) = self.fetch_with_retries(|attempt| fetch(page_no, attempt)) else {
-                break; // abandoned page: stop walking this resource
+            let Some(page) = self.fetch_page(&mut breaker, |attempt| fetch(page_no, attempt))
+            else {
+                self.stats.truncated_resources += 1;
+                return true;
             };
             for line in &page.lines {
                 match serde_json::from_str::<T>(line) {
@@ -107,7 +329,7 @@ impl Collector {
                 }
             }
             if !page.has_next {
-                break;
+                return false;
             }
             page_no += 1;
         }
@@ -121,22 +343,32 @@ impl Collector {
         // Stage 1: shop homepages.
         let mut shops: Vec<ShopRecord> = Vec::new();
         let mut seen_shops: HashSet<u32> = HashSet::new();
-        self.walk_pages(|p, a| site.shop_page(p, a), 0, |rec: ShopRecord| {
-            if seen_shops.insert(rec.shop_id) {
-                shops.push(rec);
-            }
-        });
+        let mut catalogue_truncated = self.walk_pages(
+            |p, a| site.shop_page(p, a),
+            0,
+            |rec: ShopRecord| {
+                if seen_shops.insert(rec.shop_id) {
+                    shops.push(rec);
+                }
+            },
+        );
 
         // Stage 2: item listings per shop.
         let mut items: Vec<ItemRecord> = Vec::new();
         let mut seen_items: HashSet<u64> = HashSet::new();
+        let mut poisoned_total = 0u64;
         'shops: for shop in &shops {
             let mut full = false;
+            let mut poisoned = 0u64;
             let max_items = self.config.max_items;
-            self.walk_pages(
+            let truncated = self.walk_pages(
                 |p, a| site.item_page(shop.shop_id, p, a),
                 0,
                 |rec: ItemRecord| {
+                    if item_record_poisoned(&rec) {
+                        poisoned += 1;
+                        return;
+                    }
                     if max_items > 0 && items.len() >= max_items {
                         full = true;
                         return;
@@ -146,6 +378,8 @@ impl Collector {
                     }
                 },
             );
+            poisoned_total += poisoned;
+            catalogue_truncated |= truncated;
             if full {
                 break 'shops;
             }
@@ -156,12 +390,17 @@ impl Collector {
         for item in items {
             let mut comments: Vec<CollectedComment> = Vec::new();
             let mut dupes = 0u64;
-            self.walk_pages(
+            let mut poisoned = 0u64;
+            let truncated = self.walk_pages(
                 |p, a| site.comment_page(item.item_id, p, a),
                 self.config.max_comment_pages_per_item,
                 |rec: CommentRecord| {
                     if rec.item_id != item.item_id {
                         return; // cross-item leakage: treat as noise
+                    }
+                    if comment_record_poisoned(&rec) {
+                        poisoned += 1;
+                        return;
                     }
                     if !seen_comments.insert(rec.comment_id) {
                         dupes += 1;
@@ -178,6 +417,7 @@ impl Collector {
                 },
             );
             self.stats.duplicate_records += dupes;
+            poisoned_total += poisoned;
             dataset.items.push(CollectedItem {
                 item_id: item.item_id,
                 shop_id: item.shop_id,
@@ -185,17 +425,31 @@ impl Collector {
                 price_cents: item.price_cents,
                 sales_volume: item.sales_volume,
                 comments,
+                truncated,
             });
         }
+        self.stats.poisoned_records += poisoned_total;
         dataset.shops = shops;
+        dataset.catalogue_truncated = catalogue_truncated;
         dataset
     }
+}
+
+/// Sanity bounds for poisoned records. The generator's real ranges are
+/// far below these (prices cap at 5M cents, userExpValue at ~27M), so a
+/// record beyond them is corrupt regardless of platform scale.
+fn item_record_poisoned(rec: &ItemRecord) -> bool {
+    rec.price_cents > 1_000_000_000 || rec.sales_volume > 100_000_000
+}
+
+fn comment_record_poisoned(rec: &CommentRecord) -> bool {
+    rec.user_exp_value > 100_000_000 || !rec.date.starts_with('2')
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::site::SiteConfig;
+    use crate::site::{FaultPlan, SiteConfig};
     use cats_platform::{Platform, PlatformConfig};
 
     fn platform() -> Platform {
@@ -208,17 +462,18 @@ mod tests {
         })
     }
 
+    fn clean_config(seed: u64) -> SiteConfig {
+        SiteConfig {
+            duplicate_prob: 0.0,
+            malformed_prob: 0.0,
+            error_prob: 0.0,
+            seed,
+            ..SiteConfig::default()
+        }
+    }
+
     fn clean_site(p: &Platform) -> PublicSite<'_> {
-        PublicSite::new(
-            p,
-            SiteConfig {
-                duplicate_prob: 0.0,
-                malformed_prob: 0.0,
-                error_prob: 0.0,
-                seed: 1,
-                ..SiteConfig::default()
-            },
-        )
+        PublicSite::new(p, clean_config(1))
     }
 
     #[test]
@@ -230,10 +485,14 @@ mod tests {
         assert_eq!(data.shops.len(), 5);
         assert_eq!(data.items.len(), p.items().len());
         assert_eq!(data.comment_count(), p.comment_count());
+        assert!(!data.catalogue_truncated);
+        assert!(data.items.iter().all(|i| !i.truncated));
         let s = c.stats();
         assert_eq!(s.malformed_records, 0);
         assert_eq!(s.duplicate_records, 0);
         assert_eq!(s.pages_abandoned, 0);
+        assert_eq!(s.poisoned_records, 0);
+        assert_eq!(s.sim_clock_secs, 0);
         assert!(s.pages_fetched > 0);
     }
 
@@ -273,11 +532,8 @@ mod tests {
         assert!(s.malformed_records > 0, "{s:?}");
         assert!(s.transient_errors > 0, "{s:?}");
         // dedup: no repeated comment ids anywhere
-        let mut ids: Vec<u64> = data
-            .items
-            .iter()
-            .flat_map(|i| i.comments.iter().map(|c| c.comment_id))
-            .collect();
+        let mut ids: Vec<u64> =
+            data.items.iter().flat_map(|i| i.comments.iter().map(|c| c.comment_id)).collect();
         let n = ids.len();
         ids.sort_unstable();
         ids.dedup();
@@ -306,16 +562,7 @@ mod tests {
     #[test]
     fn max_comment_pages_caps_depth() {
         let p = platform();
-        let site = PublicSite::new(
-            &p,
-            SiteConfig {
-                page_size: 2,
-                duplicate_prob: 0.0,
-                malformed_prob: 0.0,
-                error_prob: 0.0,
-                seed: 1,
-            },
-        );
+        let site = PublicSite::new(&p, SiteConfig { page_size: 2, ..clean_config(1) });
         let mut c = Collector::new(CollectorConfig {
             max_comment_pages_per_item: 1,
             ..CollectorConfig::default()
@@ -323,6 +570,7 @@ mod tests {
         let data = c.crawl(&site);
         for item in &data.items {
             assert!(item.comments.len() <= 2, "one page of size 2");
+            assert!(!item.truncated, "a voluntary cap is not truncation");
         }
     }
 
@@ -331,12 +579,144 @@ mod tests {
         let p = platform();
         let site = PublicSite::new(
             &p,
-            SiteConfig { duplicate_prob: 0.1, malformed_prob: 0.05, error_prob: 0.05, seed: 3, ..SiteConfig::default() },
+            SiteConfig {
+                duplicate_prob: 0.1,
+                malformed_prob: 0.05,
+                error_prob: 0.05,
+                seed: 3,
+                ..SiteConfig::default()
+            },
         );
         let a = Collector::new(CollectorConfig::default()).crawl(&site);
         let b = Collector::new(CollectorConfig::default()).crawl(&site);
         assert_eq!(a.comment_count(), b.comment_count());
         assert_eq!(a.items.len(), b.items.len());
+    }
+
+    #[test]
+    fn faulted_crawl_is_deterministic_including_stats() {
+        let p = platform();
+        let config = SiteConfig { faults: FaultPlan::at_intensity(0.8), ..clean_config(11) };
+        // fresh site per run: outage windows count per-site requests
+        let mut c1 = Collector::new(CollectorConfig::default());
+        let d1 = c1.crawl(&PublicSite::new(&p, config));
+        let mut c2 = Collector::new(CollectorConfig::default());
+        let d2 = c2.crawl(&PublicSite::new(&p, config));
+        assert_eq!(c1.stats(), c2.stats());
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn backoff_waits_accrue_on_simulated_clock() {
+        let p = platform();
+        let site = PublicSite::new(&p, SiteConfig { error_prob: 0.3, ..clean_config(12) });
+        let mut c = Collector::new(CollectorConfig::default());
+        c.crawl(&site);
+        let s = c.stats();
+        assert!(s.transient_errors > 0, "{s:?}");
+        assert!(s.backoff_waits > 0, "{s:?}");
+        assert!(s.backoff_wait_secs >= s.backoff_waits, "waits are ≥1s each: {s:?}");
+        assert_eq!(s.sim_clock_secs, s.backoff_wait_secs + s.breaker_wait_secs + s.stall_secs);
+    }
+
+    #[test]
+    fn rate_limits_are_honoured_not_hammered() {
+        let p = platform();
+        let site = PublicSite::new(
+            &p,
+            SiteConfig {
+                faults: FaultPlan {
+                    rate_limit_prob: 0.3,
+                    retry_after_secs: 37,
+                    ..FaultPlan::none()
+                },
+                ..clean_config(13)
+            },
+        );
+        // a large retry budget so no page is abandoned mid-429-burst
+        let mut c =
+            Collector::new(CollectorConfig { max_retries: 20, ..CollectorConfig::default() });
+        c.crawl(&site);
+        let s = c.stats();
+        assert!(s.rate_limited > 0, "{s:?}");
+        assert_eq!(s.pages_abandoned, 0, "{s:?}");
+        // every rate-limited response waits exactly the advertised 37s
+        assert_eq!(s.backoff_wait_secs, s.rate_limited * 37, "{s:?}");
+        assert_eq!(s.breaker_opens, 0, "429s must not trip the breaker: {s:?}");
+    }
+
+    #[test]
+    fn breaker_rides_out_short_outages() {
+        let p = platform();
+        // outage_len 5 ≤ threshold 4 + (max_trips − 1) probes, so every
+        // affected resource recovers via the half-open probe.
+        let site = PublicSite::new(
+            &p,
+            SiteConfig {
+                faults: FaultPlan { outage_resource_prob: 1.0, outage_len: 5, ..FaultPlan::none() },
+                ..clean_config(14)
+            },
+        );
+        let mut c = Collector::new(CollectorConfig::default());
+        let data = c.crawl(&site);
+        let s = c.stats();
+        assert!(s.outage_errors > 0, "{s:?}");
+        assert!(s.breaker_opens > 0, "{s:?}");
+        assert!(s.breaker_wait_secs > 0, "{s:?}");
+        assert_eq!(s.breaker_give_ups, 0, "{s:?}");
+        assert_eq!(s.truncated_resources, 0, "{s:?}");
+        assert_eq!(data.comment_count(), p.comment_count(), "full recovery");
+        assert!(!data.catalogue_truncated);
+    }
+
+    #[test]
+    fn breaker_gives_up_on_sustained_outages_and_marks_truncation() {
+        let p = platform();
+        let site = PublicSite::new(
+            &p,
+            SiteConfig {
+                faults: FaultPlan {
+                    outage_resource_prob: 0.5,
+                    outage_len: 50, // far beyond the breaker's patience
+                    ..FaultPlan::none()
+                },
+                ..clean_config(15)
+            },
+        );
+        let mut c = Collector::new(CollectorConfig::default());
+        let data = c.crawl(&site);
+        let s = c.stats();
+        assert!(s.breaker_give_ups > 0, "{s:?}");
+        assert_eq!(s.truncated_resources, s.breaker_give_ups + s.pages_abandoned, "{s:?}");
+        let item_truncations = data.items.iter().filter(|i| i.truncated).count() as u64;
+        assert!(
+            data.catalogue_truncated || item_truncations > 0,
+            "give-ups must surface as completeness flags: {s:?}"
+        );
+    }
+
+    #[test]
+    fn poisoned_records_are_quarantined_at_the_crawler() {
+        let p = platform();
+        let site = PublicSite::new(
+            &p,
+            SiteConfig {
+                faults: FaultPlan { poison_prob: 0.2, ..FaultPlan::none() },
+                ..clean_config(16)
+            },
+        );
+        let mut c = Collector::new(CollectorConfig::default());
+        let data = c.crawl(&site);
+        let s = c.stats();
+        assert!(s.poisoned_records > 0, "{s:?}");
+        for item in &data.items {
+            assert!(item.price_cents < 1_000_000_000);
+            assert!(item.sales_volume < 100_000_000);
+            for comment in &item.comments {
+                assert!(comment.user_exp_value < 100_000_000);
+                assert!(comment.date.starts_with('2'));
+            }
+        }
     }
 
     #[test]
@@ -348,5 +728,17 @@ mod tests {
         let first = c.stats().pages_fetched;
         c.crawl(&site);
         assert_eq!(c.stats().pages_fetched, first, "stats are per-crawl");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let b = BackoffPolicy { base_secs: 1, max_secs: 8 };
+        // jitter is bounded by half the capped wait
+        for attempt in 0..10 {
+            let w = b.wait_secs(attempt, 1234);
+            let capped = (1u64 << attempt.min(16)).min(8);
+            assert!(w >= capped && w <= capped + capped / 2, "attempt {attempt}: {w}");
+        }
+        assert_eq!(b.wait_secs(3, 77), b.wait_secs(3, 77), "deterministic");
     }
 }

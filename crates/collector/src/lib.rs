@@ -26,8 +26,8 @@ pub mod records;
 pub mod resume;
 pub mod site;
 
-pub use crawler::{Collector, CollectorConfig, CrawlStats};
+pub use crawler::{BackoffPolicy, BreakerPolicy, Collector, CollectorConfig, CrawlStats};
 pub use politeness::{CrawlBudget, PolitenessPolicy};
 pub use records::{CollectedComment, CollectedDataset, CollectedItem, CommentRecord};
 pub use resume::{CrawlCheckpoint, ResumableCrawl};
-pub use site::{PublicSite, SiteConfig};
+pub use site::{FaultPlan, FetchError, Page, PublicSite, SiteConfig};

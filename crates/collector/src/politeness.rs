@@ -45,8 +45,10 @@ impl PolitenessPolicy {
         self.requests_per_second * self.workers as f64 <= self.max_host_rps
     }
 
-    /// Accounts a finished crawl: every successful page and every
-    /// transient error consumed one request.
+    /// Accounts a finished crawl: every page response — success,
+    /// transient error, rate-limit, or outage error — consumed one
+    /// request, and every simulated wait (backoff, retry-after, breaker
+    /// cooldown, stall) extends the duration on top of request pacing.
     ///
     /// # Panics
     /// Panics on a non-positive rate or zero workers.
@@ -54,13 +56,14 @@ impl PolitenessPolicy {
         assert!(self.requests_per_second > 0.0, "rate must be positive");
         assert!(self.workers > 0, "need at least one worker");
         assert!(self.max_host_rps > 0.0, "host ceiling must be positive");
-        let total_requests = stats.pages_fetched + stats.transient_errors;
+        let total_requests =
+            stats.pages_fetched + stats.transient_errors + stats.rate_limited + stats.outage_errors;
         let raw_rps = self.requests_per_second * self.workers as f64;
         let effective_rps = raw_rps.min(self.max_host_rps);
         CrawlBudget {
             total_requests,
             effective_rps,
-            duration_secs: total_requests as f64 / effective_rps,
+            duration_secs: total_requests as f64 / effective_rps + stats.sim_clock_secs as f64,
         }
     }
 }
@@ -79,11 +82,7 @@ mod tests {
     use super::*;
 
     fn stats(pages: u64, errors: u64) -> CrawlStats {
-        CrawlStats {
-            pages_fetched: pages,
-            transient_errors: errors,
-            ..CrawlStats::default()
-        }
+        CrawlStats { pages_fetched: pages, transient_errors: errors, ..CrawlStats::default() }
     }
 
     #[test]
@@ -124,6 +123,48 @@ mod tests {
         assert_eq!(human_duration(90.0), "0d 0h 2m"); // rounds
         assert_eq!(human_duration(3_600.0), "0d 1h 0m");
         assert_eq!(human_duration(26.5 * 3_600.0), "1d 2h 30m");
+    }
+
+    #[test]
+    fn all_error_kinds_count_as_requests() {
+        let policy = PolitenessPolicy::default();
+        let s = CrawlStats {
+            pages_fetched: 100,
+            transient_errors: 10,
+            rate_limited: 5,
+            outage_errors: 3,
+            ..CrawlStats::default()
+        };
+        assert_eq!(policy.account(&s).total_requests, 118);
+    }
+
+    #[test]
+    fn backoff_waits_extend_the_deterministic_duration() {
+        let policy = PolitenessPolicy { requests_per_second: 2.0, workers: 3, max_host_rps: 10.0 };
+        let quiet = stats(600, 0);
+        let waited = CrawlStats {
+            backoff_waits: 4,
+            backoff_wait_secs: 90,
+            breaker_wait_secs: 60,
+            stall_secs: 20,
+            sim_clock_secs: 170,
+            ..quiet
+        };
+        let a = policy.account(&quiet);
+        let b = policy.account(&waited);
+        assert_eq!(a.total_requests, b.total_requests, "waits are not requests");
+        assert!((b.duration_secs - a.duration_secs - 170.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crawl_budget_respects_host_ceiling() {
+        // A crawl under the default polite policy must never be accounted
+        // faster than the host ceiling allows.
+        let policy = PolitenessPolicy::default();
+        assert!(policy.within_host_ceiling());
+        let b = policy.account(&stats(12_345, 678));
+        assert!(b.effective_rps <= policy.max_host_rps);
+        assert!(b.duration_secs >= b.total_requests as f64 / policy.max_host_rps);
     }
 
     #[test]

@@ -86,6 +86,10 @@ pub struct CollectedItem {
     pub sales_volume: u64,
     /// All comments found, in crawl order, deduplicated by comment id.
     pub comments: Vec<CollectedComment>,
+    /// Whether the comment walk ended early (abandoned page or circuit
+    /// breaker give-up): some of this item's comments were never fetched.
+    #[serde(default)]
+    pub truncated: bool,
 }
 
 impl CollectedItem {
@@ -96,12 +100,16 @@ impl CollectedItem {
 }
 
 /// The full output of one crawl.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CollectedDataset {
     /// All shops discovered.
     pub shops: Vec<ShopRecord>,
     /// All items with their comments, in discovery order.
     pub items: Vec<CollectedItem>,
+    /// Whether the catalogue itself is incomplete: the shop walk or an
+    /// item-listing walk was truncated, so whole items may be missing.
+    #[serde(default)]
+    pub catalogue_truncated: bool,
 }
 
 impl CollectedDataset {
@@ -155,6 +163,7 @@ mod tests {
                 client: "Web".into(),
                 date: "2017-09-01 00:00:00".into(),
             }],
+            truncated: false,
         };
         assert_eq!(it.comment_texts(), vec!["hao"]);
     }
@@ -170,7 +179,18 @@ mod tests {
             price_cents: 0,
             sales_volume: 0,
             comments: vec![],
+            truncated: false,
         });
         assert_eq!(d.comment_count(), 0);
+    }
+
+    #[test]
+    fn truncation_fields_default_when_absent_from_json() {
+        // Pre-resilience serialized datasets lack the completeness flags.
+        let json = r#"{"shops":[],"items":[{"item_id":1,"shop_id":2,"name":"n",
+            "price_cents":3,"sales_volume":4,"comments":[]}]}"#;
+        let d: CollectedDataset = serde_json::from_str(json).unwrap();
+        assert!(!d.catalogue_truncated);
+        assert!(!d.items[0].truncated);
     }
 }

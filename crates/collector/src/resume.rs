@@ -34,8 +34,8 @@ impl CrawlCheckpoint {
     }
 
     /// Serializes the checkpoint to JSON (the on-disk format).
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("checkpoint serializes")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 
     /// Restores a checkpoint from JSON.
@@ -90,8 +90,22 @@ impl ResumableCrawl {
             if max_new_items > 0 && added >= max_new_items {
                 break;
             }
-            self.checkpoint.completed_items.insert(item.item_id);
-            self.checkpoint.dataset.items.push(item);
+            // A truncated comment walk is not completion: leave the item
+            // eligible for re-collection on the next increment, keeping
+            // whatever was fetched so far as the best copy to date.
+            if !item.truncated {
+                self.checkpoint.completed_items.insert(item.item_id);
+            }
+            let slot = self
+                .checkpoint
+                .dataset
+                .items
+                .iter_mut()
+                .find(|existing| existing.item_id == item.item_id);
+            match slot {
+                Some(existing) => *existing = item,
+                None => self.checkpoint.dataset.items.push(item),
+            }
             added += 1;
         }
         // Shops are idempotent: keep the latest walk's list.
@@ -166,7 +180,7 @@ mod tests {
         let site = clean_site(&p);
         let mut session = ResumableCrawl::new(CollectorConfig::default());
         session.crawl_increment(&site, 7);
-        let json = session.checkpoint().to_json();
+        let json = session.checkpoint().to_json().unwrap();
 
         // "restart": rebuild the session from the serialized checkpoint
         let restored = CrawlCheckpoint::from_json(&json).unwrap();
@@ -199,5 +213,65 @@ mod tests {
     #[test]
     fn bad_json_is_an_error() {
         assert!(CrawlCheckpoint::from_json("{broken").is_err());
+    }
+
+    #[test]
+    fn truncated_items_are_recollected_on_resume() {
+        use crate::site::FaultPlan;
+        let p = platform();
+        // outage_len 10 > the breaker's patience (4 failures + 3 probes):
+        // affected resources are given up on the first pass, but their
+        // windows are exhausted enough that a second pass rides them out.
+        let site = PublicSite::new(
+            &p,
+            SiteConfig {
+                faults: FaultPlan {
+                    outage_resource_prob: 0.4,
+                    outage_len: 10,
+                    ..FaultPlan::none()
+                },
+                duplicate_prob: 0.0,
+                malformed_prob: 0.0,
+                error_prob: 0.0,
+                seed: 21,
+                ..SiteConfig::default()
+            },
+        );
+        let mut session = ResumableCrawl::new(CollectorConfig::default());
+        // A give-up consumes 7 of the 10 outage requests, so the next walk
+        // of that resource always rides out the remainder; each catalogue
+        // level (shops → listings → comments) may absorb one pass, so a
+        // handful of increments is guaranteed to converge.
+        for _ in 0..6 {
+            session.crawl_increment(&site, 0);
+        }
+        let data = session.into_dataset();
+        assert_eq!(data.items.len(), p.items().len());
+        assert!(data.items.iter().all(|i| !i.truncated), "later passes complete the walk");
+        // no duplicated item entries from the re-collection
+        let mut ids: Vec<u64> = data.items.iter().map(|i| i.item_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), data.items.len());
+    }
+
+    #[test]
+    fn corrupted_checkpoint_recovers_by_restarting() {
+        let p = platform();
+        let site = clean_site(&p);
+        let mut session = ResumableCrawl::new(CollectorConfig::default());
+        session.crawl_increment(&site, 7);
+        let json = session.checkpoint().to_json().unwrap();
+
+        // Simulate a checkpoint file truncated mid-write (crash during
+        // persistence): loading fails, and the recovery path is a fresh
+        // checkpoint — the crawl is slower but still converges.
+        let corrupted = &json[..json.len() / 2];
+        assert!(CrawlCheckpoint::from_json(corrupted).is_err());
+        let recovered = CrawlCheckpoint::from_json(corrupted).unwrap_or_default();
+        assert!(recovered.completed_items.is_empty());
+        let mut resumed = ResumableCrawl::resume(CollectorConfig::default(), recovered);
+        let added = resumed.crawl_increment(&site, 0);
+        assert_eq!(added, 25, "fresh checkpoint recollects everything");
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests for the collector: across arbitrary seeds and
 //! noise levels, the crawl obeys its cleaning invariants.
 
-use cats_collector::{Collector, CollectorConfig, PublicSite, SiteConfig};
+use cats_collector::{Collector, CollectorConfig, FaultPlan, PublicSite, SiteConfig};
 use cats_platform::{Platform, PlatformConfig};
 use proptest::prelude::*;
 
@@ -11,10 +11,7 @@ fn platform(seed: u64) -> Platform {
         n_shops: 3,
         n_fraud_items: 4,
         n_normal_items: 12,
-        users: cats_platform::campaign::UserPopulationConfig {
-            n_users: 300,
-            hired_fraction: 0.05,
-        },
+        users: cats_platform::campaign::UserPopulationConfig { n_users: 300, hired_fraction: 0.05 },
         ..PlatformConfig::default()
     })
 }
@@ -38,6 +35,7 @@ proptest! {
                 error_prob: err,
                 seed: seed.wrapping_add(1),
                 page_size: 7,
+                faults: FaultPlan::none(),
             },
         );
         let mut c = Collector::new(CollectorConfig::default());
@@ -77,6 +75,52 @@ proptest! {
         if err == 0.0 {
             prop_assert_eq!(stats.transient_errors, 0);
             prop_assert_eq!(stats.pages_abandoned, 0);
+        }
+    }
+
+    #[test]
+    fn crawl_invariants_under_faults(
+        seed in any::<u64>(),
+        intensity in 0.0f64..1.0,
+    ) {
+        let p = platform(seed);
+        let config = SiteConfig {
+            duplicate_prob: 0.05,
+            malformed_prob: 0.05,
+            error_prob: 0.05,
+            seed: seed.wrapping_add(2),
+            faults: FaultPlan::at_intensity(intensity),
+            ..SiteConfig::default()
+        };
+        let mut c1 = Collector::new(CollectorConfig::default());
+        let d1 = c1.crawl(&PublicSite::new(&p, config));
+        let mut c2 = Collector::new(CollectorConfig::default());
+        let d2 = c2.crawl(&PublicSite::new(&p, config));
+
+        // Deterministic in (seed, FaultPlan): identical stats and data.
+        prop_assert_eq!(c1.stats(), c2.stats());
+        prop_assert_eq!(&d1, &d2);
+
+        // Never invents entities; poisoned records never survive.
+        prop_assert!(d1.items.len() <= p.items().len());
+        for item in &d1.items {
+            prop_assert!(item.price_cents < 1_000_000_000);
+            for comment in &item.comments {
+                prop_assert!(comment.user_exp_value < 100_000_000);
+                prop_assert!(comment.date.starts_with('2'));
+            }
+        }
+
+        // Completeness flags cover every truncation the stats report.
+        let stats = c1.stats();
+        prop_assert_eq!(
+            stats.truncated_resources,
+            stats.breaker_give_ups + stats.pages_abandoned
+        );
+        if stats.truncated_resources > 0 {
+            let flagged = d1.catalogue_truncated
+                || d1.items.iter().any(|i| i.truncated);
+            prop_assert!(flagged, "truncation must be visible in the dataset");
         }
     }
 

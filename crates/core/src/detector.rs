@@ -43,6 +43,10 @@ pub enum FilterDecision {
     FilteredLowSales,
     /// Dropped: no positive words or positive 2-grams in any comment.
     FilteredNoPositiveEvidence,
+    /// Dropped for data health, not by the paper's rules: the item has
+    /// zero usable comments (e.g. a fully truncated crawl) or produced a
+    /// non-finite feature row. Quarantined items are never scored.
+    Quarantined,
 }
 
 /// Per-item detection outcome.
@@ -130,13 +134,21 @@ impl Detector {
         FilterDecision::Classified
     }
 
-    /// Trains the stage-2 classifier on labeled feature rows.
+    /// Trains the stage-2 classifier on labeled feature rows. Non-finite
+    /// rows (degraded input that slipped past upstream cleaning) are
+    /// dropped rather than poisoning the model.
+    ///
+    /// # Panics
+    /// Panics if no finite rows remain.
     pub fn fit_features(&mut self, rows: &[FeatureVector], labels: &[u8]) {
         assert_eq!(rows.len(), labels.len(), "rows/labels mismatch");
         let mut data = Dataset::new(N_FEATURES);
         for (r, &l) in rows.iter().zip(labels) {
-            data.push(r.as_slice(), l);
+            if r.is_finite() {
+                data.push(r.as_slice(), l);
+            }
         }
+        assert!(!data.is_empty(), "no finite training rows");
         self.classifier.fit(&data);
         self.fitted = true;
     }
@@ -144,12 +156,7 @@ impl Detector {
     /// Trains from labeled items: extracts features (in parallel) then
     /// fits. Filtered-out items still participate in training — the paper
     /// pre-trains on a labeled dataset without re-filtering it.
-    pub fn fit(
-        &mut self,
-        items: &[ItemComments],
-        labels: &[u8],
-        analyzer: &SemanticAnalyzer,
-    ) {
+    pub fn fit(&mut self, items: &[ItemComments], labels: &[u8], analyzer: &SemanticAnalyzer) {
         let rows = extract_batch(items, analyzer, 0);
         self.fit_features(&rows, labels);
     }
@@ -168,17 +175,25 @@ impl Detector {
         assert!(self.fitted, "detect before fit");
         assert_eq!(items.len(), sales_volumes.len(), "items/sales mismatch");
 
-        // Stage 1.
+        // Stage 0: data-health quarantine — an item with zero usable
+        // comments (fully truncated or fully dropped crawl) carries no
+        // text signal; scoring its synthetic zero-row would be noise.
+        // Stage 1: the paper's rule filter.
         let decisions: Vec<FilterDecision> = items
             .iter()
             .zip(sales_volumes)
-            .map(|(it, &sv)| self.filter_item(sv, it, analyzer))
+            .map(|(it, &sv)| {
+                if it.is_empty() {
+                    FilterDecision::Quarantined
+                } else {
+                    self.filter_item(sv, it, analyzer)
+                }
+            })
             .collect();
 
         // Stage 2: features only for survivors.
-        let survivors: Vec<usize> = (0..items.len())
-            .filter(|&i| decisions[i] == FilterDecision::Classified)
-            .collect();
+        let survivors: Vec<usize> =
+            (0..items.len()).filter(|&i| decisions[i] == FilterDecision::Classified).collect();
         let survivor_items: Vec<ItemComments> =
             survivors.iter().map(|&i| items[i].clone()).collect();
         let rows = extract_batch(&survivor_items, analyzer, 0);
@@ -195,6 +210,12 @@ impl Detector {
             })
             .collect();
         for (&i, row) in survivors.iter().zip(rows) {
+            // Post-extraction quarantine: never feed a non-finite row to
+            // the classifier or emit a NaN score.
+            if !row.is_finite() {
+                reports[i].filter = FilterDecision::Quarantined;
+                continue;
+            }
             let score = self.classifier.predict_proba(row.as_slice());
             reports[i].score = score;
             reports[i].is_fraud = score >= self.config.threshold;
@@ -213,10 +234,7 @@ mod tests {
     fn analyzer() -> SemanticAnalyzer {
         let lex = Lexicon::new(["hao".to_string()], ["cha".to_string()]);
         let docs = |texts: &[&str]| -> Vec<Vec<String>> {
-            texts
-                .iter()
-                .map(|t| t.split_whitespace().map(String::from).collect())
-                .collect()
+            texts.iter().map(|t| t.split_whitespace().map(String::from).collect()).collect()
         };
         let sent = SentimentModel::train(&docs(&["hao hao"]), &docs(&["cha cha"]));
         SemanticAnalyzer::from_parts(lex, sent)
@@ -232,10 +250,7 @@ mod tests {
 
     /// Normal-looking item: short mixed comments.
     fn normal_item(i: usize) -> ItemComments {
-        ItemComments::from_texts([
-            format!("shu hao kan w{i}").as_str(),
-            "dongxi cha le dian",
-        ])
+        ItemComments::from_texts([format!("shu hao kan w{i}").as_str(), "dongxi cha le dian"])
     }
 
     fn trained_detector(a: &SemanticAnalyzer) -> Detector {
@@ -266,10 +281,7 @@ mod tests {
         let a = analyzer();
         let det = Detector::with_default_classifier(DetectorConfig::default());
         let bare = ItemComments::from_texts(["cha dongxi", "x y z"]);
-        assert_eq!(
-            det.filter_item(100, &bare, &a),
-            FilterDecision::FilteredNoPositiveEvidence
-        );
+        assert_eq!(det.filter_item(100, &bare, &a), FilterDecision::FilteredNoPositiveEvidence);
         let cfg = DetectorConfig { require_positive_evidence: false, ..DetectorConfig::default() };
         let det2 = Detector::with_default_classifier(cfg);
         assert_eq!(det2.filter_item(100, &bare, &a), FilterDecision::Classified);
@@ -340,12 +352,66 @@ mod tests {
     }
 
     #[test]
+    fn empty_items_are_quarantined_not_scored() {
+        let a = analyzer();
+        let det = trained_detector(&a);
+        let items = vec![ItemComments::default(), fraud_item(3)];
+        let reports = det.detect(&items, &[50, 50], &a);
+        assert_eq!(reports[0].filter, FilterDecision::Quarantined);
+        assert!(!reports[0].is_fraud);
+        assert_eq!(reports[0].score, 0.0);
+        assert!(reports[0].features.is_none());
+        assert!(reports[1].is_fraud, "healthy items still classified");
+    }
+
+    #[test]
+    fn non_finite_training_rows_are_dropped() {
+        let mut det = Detector::with_default_classifier(DetectorConfig::default());
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let mut v = [0.0; N_FEATURES];
+            v[0] = (i % 7) as f64;
+            v[5] = i as f64;
+            rows.push(FeatureVector(v));
+            labels.push(u8::from(i % 7 >= 4));
+        }
+        rows.push(FeatureVector([f64::NAN; N_FEATURES]));
+        labels.push(1);
+        rows.push(FeatureVector([f64::INFINITY; N_FEATURES]));
+        labels.push(0);
+        det.fit_features(&rows, &labels);
+        assert!(det.is_fit());
+        // scoring a finite row stays finite
+        let score = {
+            let a = analyzer();
+            let reports = det.detect(&[fraud_item(0)], &[50], &a);
+            reports[0].score
+        };
+        assert!(score.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite training rows")]
+    fn all_non_finite_training_rows_panic() {
+        let mut det = Detector::with_default_classifier(DetectorConfig::default());
+        det.fit_features(&[FeatureVector([f64::NAN; N_FEATURES])], &[1]);
+    }
+
+    #[test]
+    fn feature_vector_finiteness_check() {
+        assert!(FeatureVector([0.0; N_FEATURES]).is_finite());
+        let mut v = [1.0; N_FEATURES];
+        v[4] = f64::NAN;
+        assert!(!FeatureVector(v).is_finite());
+        v[4] = f64::NEG_INFINITY;
+        assert!(!FeatureVector(v).is_finite());
+    }
+
+    #[test]
     fn custom_classifier_is_used() {
         use cats_ml::naive_bayes::GaussianNaiveBayes;
-        let det = Detector::new(
-            DetectorConfig::default(),
-            Box::new(GaussianNaiveBayes::new()),
-        );
+        let det = Detector::new(DetectorConfig::default(), Box::new(GaussianNaiveBayes::new()));
         assert_eq!(det.classifier_name(), "Naive Bayes");
     }
 }

@@ -57,6 +57,13 @@ impl FeatureVector {
     pub fn get(&self, name: &str) -> Option<f64> {
         FEATURE_NAMES.iter().position(|&n| n == name).map(|i| self.0[i])
     }
+
+    /// Whether every component is finite (no NaN/±∞). The detector
+    /// quarantines rows that fail this instead of feeding them to the
+    /// classifier.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|x| x.is_finite())
+    }
 }
 
 /// An item's comments, pre-segmented — the extractor's input unit.
@@ -207,15 +214,9 @@ mod tests {
     use cats_text::Lexicon;
 
     fn analyzer() -> SemanticAnalyzer {
-        let lex = Lexicon::new(
-            ["hao".to_string(), "zan".to_string()],
-            ["cha".to_string()],
-        );
+        let lex = Lexicon::new(["hao".to_string(), "zan".to_string()], ["cha".to_string()]);
         let docs = |texts: &[&str]| -> Vec<Vec<String>> {
-            texts
-                .iter()
-                .map(|t| t.split_whitespace().map(String::from).collect())
-                .collect()
+            texts.iter().map(|t| t.split_whitespace().map(String::from).collect()).collect()
         };
         let sent = SentimentModel::train(
             &docs(&["hao zan hao", "zan zan hao"]),

@@ -31,5 +31,5 @@ pub mod semantic;
 pub use detector::{DetectionReport, Detector, DetectorConfig, FilterDecision};
 pub use features::{FeatureVector, ItemComments, FEATURE_NAMES, N_FEATURES};
 pub use pipeline::{CatsPipeline, EvaluationSlices, PipelineConfig};
-pub use report::DetectionSummary;
+pub use report::{DataHealth, DetectionSummary};
 pub use semantic::{SemanticAnalyzer, SemanticConfig};

@@ -67,8 +67,7 @@ impl CatsPipeline {
             Some(c) => Detector::new(config.detector, c),
             None => Detector::with_default_classifier(config.detector),
         };
-        let items: Vec<ItemComments> =
-            training_items.iter().map(|l| l.comments.clone()).collect();
+        let items: Vec<ItemComments> = training_items.iter().map(|l| l.comments.clone()).collect();
         let labels: Vec<u8> = training_items.iter().map(|l| l.label).collect();
         detector.fit(&items, &labels, &analyzer);
         Self { analyzer, detector }
@@ -139,10 +138,8 @@ impl EvaluationSlices {
         assert_eq!(reports.len(), kinds.len(), "reports/labels mismatch");
         let preds: Vec<bool> = reports.iter().map(|r| r.is_fraud).collect();
 
-        let overall_labels: Vec<u8> = kinds
-            .iter()
-            .map(|k| u8::from(!matches!(k, LabelKind::Normal)))
-            .collect();
+        let overall_labels: Vec<u8> =
+            kinds.iter().map(|k| u8::from(!matches!(k, LabelKind::Normal))).collect();
         let overall = BinaryMetrics::compute(&overall_labels, &preds);
 
         // Sufficient-evidence slice: drop expert-labeled frauds entirely.
@@ -174,20 +171,18 @@ impl EvaluationSlices {
 pub fn calibrate_balanced_threshold(reports: &[DetectionReport], labels: &[u8]) -> f64 {
     assert_eq!(reports.len(), labels.len(), "reports/labels mismatch");
     // Candidate thresholds: the distinct scores of classified items.
-    let mut scores: Vec<f64> = reports
-        .iter()
-        .filter(|r| r.features.is_some())
-        .map(|r| r.score)
-        .collect();
+    let mut scores: Vec<f64> =
+        reports.iter().filter(|r| r.features.is_some()).map(|r| r.score).collect();
     if scores.is_empty() || !labels.contains(&1) {
         return 0.5;
     }
-    scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    scores.sort_by(|a, b| a.total_cmp(b));
     scores.dedup();
 
     let mut best = (f64::INFINITY, f64::NEG_INFINITY, 0.5); // (|P−R|, F1, threshold)
     for &t in &scores {
-        let preds: Vec<bool> = reports.iter().map(|r| r.features.is_some() && r.score >= t).collect();
+        let preds: Vec<bool> =
+            reports.iter().map(|r| r.features.is_some() && r.score >= t).collect();
         let m = BinaryMetrics::compute(labels, &preds);
         if m.precision == 0.0 && m.recall == 0.0 {
             continue;
@@ -210,15 +205,12 @@ pub fn calibrate_precision_threshold(
     target_precision: f64,
 ) -> f64 {
     assert_eq!(reports.len(), labels.len(), "reports/labels mismatch");
-    let mut scores: Vec<f64> = reports
-        .iter()
-        .filter(|r| r.features.is_some())
-        .map(|r| r.score)
-        .collect();
+    let mut scores: Vec<f64> =
+        reports.iter().filter(|r| r.features.is_some()).map(|r| r.score).collect();
     if scores.is_empty() || !labels.contains(&1) {
         return 0.5;
     }
-    scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    scores.sort_by(|a, b| a.total_cmp(b));
     scores.dedup();
 
     let metrics_at = |t: f64| {
@@ -300,10 +292,7 @@ mod tests {
     }
 
     fn normal_item(i: usize) -> ItemComments {
-        ItemComments::from_texts([
-            format!("shu hao0 kan w{i}").as_str(),
-            "dongxi cha0 le dian",
-        ])
+        ItemComments::from_texts([format!("shu hao0 kan w{i}").as_str(), "dongxi cha0 le dian"])
     }
 
     fn trained() -> CatsPipeline {
@@ -376,11 +365,7 @@ mod tests {
         let mut gbt = GradientBoostedTrees::new(GbtConfig::default());
         gbt.fit(&data);
 
-        let snap = CatsPipeline::snapshot(
-            p.analyzer().clone(),
-            DetectorConfig::default(),
-            gbt,
-        );
+        let snap = CatsPipeline::snapshot(p.analyzer().clone(), DetectorConfig::default(), gbt);
         let json = serde_json::to_string(&snap).unwrap();
         let restored: PipelineSnapshot = serde_json::from_str(&json).unwrap();
         let p2 = CatsPipeline::restore(restored);
@@ -389,6 +374,27 @@ mod tests {
         let reports = p2.detect(&test_items, &[50, 50]);
         assert!(reports[0].is_fraud);
         assert!(!reports[1].is_fraud);
+    }
+
+    #[test]
+    fn calibration_survives_nan_scores() {
+        // Regression: a NaN score among the candidate thresholds must not
+        // panic the sort or be chosen as the operating point.
+        use crate::features::{FeatureVector, N_FEATURES};
+        let mk = |index: usize, score: f64| DetectionReport {
+            index,
+            filter: FilterDecision::Classified,
+            score,
+            is_fraud: score >= 0.5,
+            features: Some(FeatureVector([0.0; N_FEATURES])),
+        };
+        let reports = vec![mk(0, 0.9), mk(1, 0.2), mk(2, f64::NAN), mk(3, 0.8), mk(4, 0.1)];
+        let labels = [1, 0, 0, 1, 0];
+        let t = calibrate_balanced_threshold(&reports, &labels);
+        assert!(t.is_finite(), "got {t}");
+        assert!((0.0..=1.0).contains(&t));
+        let tp = calibrate_precision_threshold(&reports, &labels, 0.9);
+        assert!(tp.is_finite(), "got {tp}");
     }
 
     #[test]

@@ -9,6 +9,26 @@
 use crate::detector::{DetectionReport, FilterDecision};
 use serde::{Deserialize, Serialize};
 
+/// Data-health section of a detection batch: how degraded the input was.
+///
+/// The quarantine counters come from the reports themselves; the crawl
+/// counters are attached by the caller (who holds the crawl stats) via
+/// [`DetectionSummary::with_crawl_health`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DataHealth {
+    /// Items quarantined (zero usable comments or non-finite features).
+    pub items_quarantined: usize,
+    /// Items whose comment walk was truncated during collection.
+    pub items_truncated: usize,
+    /// Comment records that survived crawling and cleaning.
+    pub comments_kept: u64,
+    /// Comment records dropped during collection (malformed, duplicated,
+    /// or poisoned).
+    pub comments_dropped: u64,
+    /// `comments_dropped / (kept + dropped)`; 0 when nothing was seen.
+    pub dropped_fraction: f64,
+}
+
 /// Aggregate view of one detection batch.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DetectionSummary {
@@ -18,6 +38,9 @@ pub struct DetectionSummary {
     pub filtered_low_sales: usize,
     /// Items dropped by the positive-evidence rule.
     pub filtered_no_evidence: usize,
+    /// Items quarantined for data health (never scored).
+    #[serde(default)]
+    pub quarantined: usize,
     /// Items that reached the classifier.
     pub classified: usize,
     /// Items reported as fraud.
@@ -28,6 +51,9 @@ pub struct DetectionSummary {
     pub mean_score: f64,
     /// Decile counts of the classified items' scores (10 bins over \[0,1\]).
     pub score_deciles: [usize; 10],
+    /// Data-health section (quarantine + crawl-degradation counters).
+    #[serde(default)]
+    pub health: DataHealth,
 }
 
 impl DetectionSummary {
@@ -37,17 +63,20 @@ impl DetectionSummary {
             total: reports.len(),
             filtered_low_sales: 0,
             filtered_no_evidence: 0,
+            quarantined: 0,
             classified: 0,
             reported: 0,
             report_rate: 0.0,
             mean_score: 0.0,
             score_deciles: [0; 10],
+            health: DataHealth::default(),
         };
         let mut score_sum = 0.0;
         for r in reports {
             match r.filter {
                 FilterDecision::FilteredLowSales => s.filtered_low_sales += 1,
                 FilterDecision::FilteredNoPositiveEvidence => s.filtered_no_evidence += 1,
+                FilterDecision::Quarantined => s.quarantined += 1,
                 FilterDecision::Classified => {
                     s.classified += 1;
                     score_sum += r.score;
@@ -63,15 +92,37 @@ impl DetectionSummary {
             s.report_rate = s.reported as f64 / s.classified as f64;
             s.mean_score = score_sum / s.classified as f64;
         }
+        s.health.items_quarantined = s.quarantined;
         s
     }
 
+    /// Attaches the collection-side health counters (the summary only
+    /// sees reports; the caller holds the crawl bookkeeping).
+    pub fn with_crawl_health(
+        mut self,
+        items_truncated: usize,
+        comments_kept: u64,
+        comments_dropped: u64,
+    ) -> Self {
+        self.health.items_truncated = items_truncated;
+        self.health.comments_kept = comments_kept;
+        self.health.comments_dropped = comments_dropped;
+        let seen = comments_kept + comments_dropped;
+        self.health.dropped_fraction =
+            if seen > 0 { comments_dropped as f64 / seen as f64 } else { 0.0 };
+        self
+    }
+
     /// The indices of the `k` highest-scoring reported items — the expert
-    /// review queue, most suspicious first.
+    /// review queue, most suspicious first. NaN scores (which should not
+    /// occur — the detector quarantines non-finite rows) rank last rather
+    /// than poisoning the order.
     pub fn review_queue(reports: &[DetectionReport], k: usize) -> Vec<usize> {
-        let mut frauds: Vec<&DetectionReport> =
-            reports.iter().filter(|r| r.is_fraud).collect();
-        frauds.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        let mut frauds: Vec<&DetectionReport> = reports.iter().filter(|r| r.is_fraud).collect();
+        frauds.sort_by(|a, b| {
+            let (a_nan, b_nan) = (a.score.is_nan(), b.score.is_nan());
+            a_nan.cmp(&b_nan).then_with(|| b.score.total_cmp(&a.score))
+        });
         frauds.into_iter().take(k).map(|r| r.index).collect()
     }
 }
@@ -80,15 +131,26 @@ impl std::fmt::Display for DetectionSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "batch: {} items | filtered: {} low-sales, {} no-evidence | classified: {}",
-            self.total, self.filtered_low_sales, self.filtered_no_evidence, self.classified
+            "batch: {} items | filtered: {} low-sales, {} no-evidence | quarantined: {} | classified: {}",
+            self.total,
+            self.filtered_low_sales,
+            self.filtered_no_evidence,
+            self.quarantined,
+            self.classified
         )?;
-        write!(
+        writeln!(
             f,
             "reported: {} ({:.2}% of classified), mean score {:.3}",
             self.reported,
             self.report_rate * 100.0,
             self.mean_score
+        )?;
+        write!(
+            f,
+            "health: {} quarantined, {} truncated, {:.2}% comments dropped",
+            self.health.items_quarantined,
+            self.health.items_truncated,
+            self.health.dropped_fraction * 100.0
         )
     }
 }
@@ -164,6 +226,62 @@ mod tests {
         let text = format!("{s}");
         assert!(text.contains("reported: 2"));
         assert!(text.contains("filtered: 1 low-sales"));
+    }
+
+    #[test]
+    fn quarantined_items_counted_into_health() {
+        let mut reports = batch();
+        reports.push(report(6, FilterDecision::Quarantined, 0.0, false));
+        reports.push(report(7, FilterDecision::Quarantined, 0.0, false));
+        let s = DetectionSummary::from_reports(&reports);
+        assert_eq!(s.total, 8);
+        assert_eq!(s.quarantined, 2);
+        assert_eq!(s.health.items_quarantined, 2);
+        assert_eq!(s.classified, 4, "quarantined items are not classified");
+    }
+
+    #[test]
+    fn crawl_health_attaches_and_computes_fraction() {
+        let s = DetectionSummary::from_reports(&batch()).with_crawl_health(3, 900, 100);
+        assert_eq!(s.health.items_truncated, 3);
+        assert_eq!(s.health.comments_kept, 900);
+        assert_eq!(s.health.comments_dropped, 100);
+        assert!((s.health.dropped_fraction - 0.1).abs() < 1e-12);
+        let text = format!("{s}");
+        assert!(text.contains("health:"), "{text}");
+        assert!(text.contains("3 truncated"), "{text}");
+
+        let clean = DetectionSummary::from_reports(&batch()).with_crawl_health(0, 0, 0);
+        assert_eq!(clean.health.dropped_fraction, 0.0);
+    }
+
+    #[test]
+    fn review_queue_survives_nan_scores() {
+        // Regression: a NaN score must neither panic nor float to the top
+        // of the review queue.
+        let reports = vec![
+            report(0, FilterDecision::Classified, 0.7, true),
+            report(1, FilterDecision::Classified, f64::NAN, true),
+            report(2, FilterDecision::Classified, 0.9, true),
+        ];
+        let q = DetectionSummary::review_queue(&reports, 10);
+        assert_eq!(q, vec![2, 0, 1], "NaN ranks last");
+        assert_eq!(DetectionSummary::review_queue(&reports, 2), vec![2, 0]);
+    }
+
+    #[test]
+    fn summary_json_roundtrips_with_health() {
+        let s = DetectionSummary::from_reports(&batch()).with_crawl_health(1, 10, 5);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: DetectionSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.health, s.health);
+        // older summaries without the section still deserialize
+        let legacy = r#"{"total":0,"filtered_low_sales":0,"filtered_no_evidence":0,
+            "classified":0,"reported":0,"report_rate":0.0,"mean_score":0.0,
+            "score_deciles":[0,0,0,0,0,0,0,0,0,0]}"#;
+        let old: DetectionSummary = serde_json::from_str(legacy).unwrap();
+        assert_eq!(old.quarantined, 0);
+        assert_eq!(old.health, DataHealth::default());
     }
 
     #[test]

@@ -13,15 +13,13 @@ use cats_text::{Corpus, Lexicon, Segmenter, WhitespaceSegmenter};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of semantic-analyzer training.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SemanticConfig {
     /// word2vec hyperparameters.
     pub word2vec: Word2VecConfig,
     /// Lexicon expansion parameters (the paper caps both sets at ~200).
     pub expansion: ExpansionConfig,
 }
-
 
 /// The trained semantic analyzer: expanded lexicon + sentiment model.
 ///
@@ -59,9 +57,8 @@ impl SemanticAnalyzer {
         let embedding = Word2VecTrainer::new(config.word2vec).train(&corpus);
         let lexicon = expand_lexicon(&embedding, positive_seeds, negative_seeds, config.expansion);
 
-        let seg_docs = |texts: &[&str]| -> Vec<Vec<String>> {
-            texts.iter().map(|t| seg.segment(t)).collect()
-        };
+        let seg_docs =
+            |texts: &[&str]| -> Vec<Vec<String>> { texts.iter().map(|t| seg.segment(t)).collect() };
         let sentiment =
             SentimentModel::train(&seg_docs(sentiment_positive), &seg_docs(sentiment_negative));
         Self { lexicon, sentiment }
@@ -104,9 +101,7 @@ mod tests {
         let mut texts = Vec::new();
         for i in 0..400 {
             let v = i % 4;
-            texts.push(format!(
-                "item great{v} superb{v} lovely{v} fast ship great{v}",
-            ));
+            texts.push(format!("item great{v} superb{v} lovely{v} fast ship great{v}",));
             texts.push(format!("broken bad{v} awful{v} refund bad{v} slow"));
             texts.push("box arrived parcel store normal day".to_string());
         }

@@ -8,15 +8,9 @@ use cats_text::Lexicon;
 use proptest::prelude::*;
 
 fn analyzer() -> SemanticAnalyzer {
-    let lex = Lexicon::new(
-        ["hao".to_string(), "zan".to_string()],
-        ["cha".to_string()],
-    );
+    let lex = Lexicon::new(["hao".to_string(), "zan".to_string()], ["cha".to_string()]);
     let docs = |texts: &[&str]| -> Vec<Vec<String>> {
-        texts
-            .iter()
-            .map(|t| t.split_whitespace().map(String::from).collect())
-            .collect()
+        texts.iter().map(|t| t.split_whitespace().map(String::from).collect()).collect()
     };
     let sent = SentimentModel::train(&docs(&["hao zan hao"]), &docs(&["cha cha"]));
     SemanticAnalyzer::from_parts(lex, sent)

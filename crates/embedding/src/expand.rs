@@ -197,12 +197,8 @@ mod tests {
     fn duplicate_seeds_counted_once() {
         let emb = embedding();
         let cfg = ExpansionConfig { k: 2, min_similarity: 0.9999, max_words: 10 };
-        let set = expand_set(
-            &emb,
-            &["good".into(), "good".into(), "good".into()],
-            &HashSet::new(),
-            cfg,
-        );
+        let set =
+            expand_set(&emb, &["good".into(), "good".into(), "good".into()], &HashSet::new(), cfg);
         assert_eq!(set.iter().filter(|w| *w == "good").count(), 1);
     }
 }

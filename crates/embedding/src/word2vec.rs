@@ -133,12 +133,7 @@ impl Embedding {
         let va = self.vector(a)?;
         let vb = self.vector(b)?;
         let vc = self.vector(c)?;
-        let query: Vec<f32> = va
-            .iter()
-            .zip(vb)
-            .zip(vc)
-            .map(|((&x, &y), &z)| x - y + z)
-            .collect();
+        let query: Vec<f32> = va.iter().zip(vb).zip(vc).map(|((&x, &y), &z)| x - y + z).collect();
         let hits = self
             .nearest_to_vector(&query, k + 3, None)
             .into_iter()
@@ -150,10 +145,7 @@ impl Embedding {
 
     /// Iterates `(word, trained)` pairs in vocabulary order.
     pub fn words(&self) -> impl Iterator<Item = (&str, bool)> {
-        self.vocab_words
-            .iter()
-            .zip(&self.trained)
-            .map(|(w, &t)| (w.as_str(), t))
+        self.vocab_words.iter().zip(&self.trained).map(|(w, &t)| (w.as_str(), t))
     }
 }
 
@@ -202,16 +194,14 @@ impl Word2VecTrainer {
         }
         let mut rng = StdRng::seed_from_u64(cfg.seed);
 
-        let trained: Vec<bool> = (0..n)
-            .map(|i| vocab.count(TokenId(i as u32)) >= cfg.min_count)
-            .collect();
+        let trained: Vec<bool> =
+            (0..n).map(|i| vocab.count(TokenId(i as u32)) >= cfg.min_count).collect();
 
         // Input (syn0) and output (syn1neg) matrices. syn0 is initialized
         // uniformly in [-0.5, 0.5]/dim as in the reference implementation;
         // syn1neg starts at zero.
-        let mut syn0: Vec<f32> = (0..n * cfg.dim)
-            .map(|_| (rng.random::<f32>() - 0.5) / cfg.dim as f32)
-            .collect();
+        let mut syn0: Vec<f32> =
+            (0..n * cfg.dim).map(|_| (rng.random::<f32>() - 0.5) / cfg.dim as f32).collect();
         let mut syn1: Vec<f32> = vec![0.0; n * cfg.dim];
 
         let unigram = build_unigram_table(vocab, &trained);
@@ -242,8 +232,7 @@ impl Word2VecTrainer {
                 if kept.len() < 2 {
                     continue;
                 }
-                let lr = (cfg.initial_lr
-                    * (1.0 - (processed / total_tokens) as f32))
+                let lr = (cfg.initial_lr * (1.0 - (processed / total_tokens) as f32))
                     .max(cfg.initial_lr * 1e-4);
 
                 for (pos, &center) in kept.iter().enumerate() {
@@ -259,21 +248,13 @@ impl Word2VecTrainer {
                         // Draw negatives (rejecting the true context).
                         neg_buf.clear();
                         while neg_buf.len() < cfg.negative {
-                            let cand =
-                                unigram[rng.random_range(0..unigram.len())];
+                            let cand = unigram[rng.random_range(0..unigram.len())];
                             if cand != context {
                                 neg_buf.push(cand);
                             }
                         }
                         sgns_update(
-                            &mut syn0,
-                            &mut syn1,
-                            cfg.dim,
-                            center,
-                            context,
-                            &neg_buf,
-                            lr,
-                            &sigmoid,
+                            &mut syn0, &mut syn1, cfg.dim, center, context, &neg_buf, lr, &sigmoid,
                             &mut grad,
                         );
                     }
@@ -281,9 +262,8 @@ impl Word2VecTrainer {
             }
         }
 
-        let vocab_words: Vec<String> = (0..n)
-            .map(|i| vocab.word(TokenId(i as u32)).unwrap_or_default().to_owned())
-            .collect();
+        let vocab_words: Vec<String> =
+            (0..n).map(|i| vocab.word(TokenId(i as u32)).unwrap_or_default().to_owned()).collect();
         Embedding { dim: cfg.dim, vectors: syn0, vocab_words, trained }
     }
 }
@@ -328,13 +308,7 @@ fn sgns_update(
 /// Builds the unigram^0.75 negative-sampling table over trained words.
 fn build_unigram_table(vocab: &Vocab, trained: &[bool]) -> Vec<usize> {
     let mut weights: Vec<f64> = (0..vocab.len())
-        .map(|i| {
-            if trained[i] {
-                (vocab.count(TokenId(i as u32)) as f64).powf(0.75)
-            } else {
-                0.0
-            }
-        })
+        .map(|i| if trained[i] { (vocab.count(TokenId(i as u32)) as f64).powf(0.75) } else { 0.0 })
         .collect();
     let total: f64 = weights.iter().sum();
     if total <= 0.0 {
@@ -413,7 +387,8 @@ mod tests {
         let mut rng_state = 12345u64;
         let mut next = |n: usize| {
             // Tiny LCG keeps the fixture dependency-free.
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state =
+                rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             (rng_state >> 33) as usize % n
         };
         for _ in 0..sentences_per_cluster {
@@ -451,10 +426,7 @@ mod tests {
         let emb = Word2VecTrainer::new(small_cfg()).train(&corpus);
         let within = emb.similarity("apple", "pear").unwrap();
         let across = emb.similarity("apple", "bolt").unwrap();
-        assert!(
-            within > across + 0.2,
-            "within {within} should exceed across {across}"
-        );
+        assert!(within > across + 0.2, "within {within} should exceed across {across}");
     }
 
     #[test]
@@ -555,10 +527,7 @@ mod tests {
         let json = serde_json::to_string(&emb).unwrap();
         let back: Embedding = serde_json::from_str(&json).unwrap();
         assert_eq!(emb.vector("apple"), back.vector("apple"));
-        assert_eq!(
-            emb.nearest("bolt", 2).unwrap(),
-            back.nearest("bolt", 2).unwrap()
-        );
+        assert_eq!(emb.nearest("bolt", 2).unwrap(), back.nearest("bolt", 2).unwrap());
     }
 
     #[test]

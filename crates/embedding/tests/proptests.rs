@@ -1,7 +1,7 @@
 //! Property-based tests for the embedding substrate.
 
-use cats_embedding::word2vec::cosine;
 use cats_embedding::expand::expand_set;
+use cats_embedding::word2vec::cosine;
 use cats_embedding::{ExpansionConfig, Word2VecConfig, Word2VecTrainer};
 use cats_text::{Corpus, WhitespaceSegmenter};
 use proptest::prelude::*;

@@ -84,7 +84,8 @@ impl Classifier for AdaBoost {
 
             // Weighted error of the stump.
             let mut eps = 0.0;
-            let preds: Vec<bool> = (0..n).map(|i| stump.predict_proba(data.row(i)) >= 0.5).collect();
+            let preds: Vec<bool> =
+                (0..n).map(|i| stump.predict_proba(data.row(i)) >= 0.5).collect();
             for i in 0..n {
                 if preds[i] != (data.label(i) == 1) {
                     eps += weights[i];
@@ -145,10 +146,7 @@ mod tests {
         let mut m = AdaBoost::new(AdaBoostConfig::default());
         m.fit(&d);
         let preds = predict_all(&m, &d);
-        assert!(preds
-            .iter()
-            .zip(d.labels())
-            .all(|(p, &l)| *p == (l == 1)));
+        assert!(preds.iter().zip(d.labels()).all(|(p, &l)| *p == (l == 1)));
     }
 
     #[test]

@@ -58,10 +58,7 @@ mod tests {
     }
 
     fn toy() -> Dataset {
-        Dataset::from_rows(
-            &[vec![1.0], vec![2.0], vec![-1.0], vec![-2.0]],
-            &[1, 1, 0, 0],
-        )
+        Dataset::from_rows(&[vec![1.0], vec![2.0], vec![-1.0], vec![-2.0]], &[1, 1, 0, 0])
     }
 
     #[test]

@@ -131,12 +131,8 @@ fn stratified_assignment(labels: &[u8], k: usize, seed: u64) -> Vec<usize> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut folds = vec![0usize; labels.len()];
     for class in [0u8, 1u8] {
-        let mut idx: Vec<usize> = labels
-            .iter()
-            .enumerate()
-            .filter(|(_, &l)| l == class)
-            .map(|(i, _)| i)
-            .collect();
+        let mut idx: Vec<usize> =
+            labels.iter().enumerate().filter(|(_, &l)| l == class).map(|(i, _)| i).collect();
         // Fisher–Yates shuffle.
         for i in (1..idx.len()).rev() {
             let j = rng.random_range(0..=i);

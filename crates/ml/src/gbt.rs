@@ -124,7 +124,13 @@ impl GradientBoostedTrees {
             (0.0..=1.0).contains(&config.colsample) && config.colsample > 0.0,
             "colsample in (0, 1]"
         );
-        Self { config, trees: Vec::new(), base_score: 0.0, split_counts: Vec::new(), gain_sums: Vec::new() }
+        Self {
+            config,
+            trees: Vec::new(),
+            base_score: 0.0,
+            split_counts: Vec::new(),
+            gain_sums: Vec::new(),
+        }
     }
 
     /// Whether the model has been fit.
@@ -213,11 +219,7 @@ impl GradientBoostedTrees {
             SplitMode::Exact => None,
             SplitMode::Histogram { bins } => {
                 assert!(bins >= 2, "histogram mode needs at least 2 bins");
-                Some(
-                    (0..data.n_features())
-                        .map(|f| quantile_thresholds(data, f, bins))
-                        .collect(),
-                )
+                Some((0..data.n_features()).map(|f| quantile_thresholds(data, f, bins)).collect())
             }
         };
 
@@ -376,9 +378,8 @@ impl TreeBuilder<'_> {
             return self.nodes.len() - 1;
         };
 
-        let (left, right): (Vec<u32>, Vec<u32>) = members
-            .into_iter()
-            .partition(|&i| self.data.row(i as usize)[feature] < threshold);
+        let (left, right): (Vec<u32>, Vec<u32>) =
+            members.into_iter().partition(|&i| self.data.row(i as usize)[feature] < threshold);
         if left.is_empty() || right.is_empty() {
             self.nodes.push(Node::Leaf { weight: leaf_weight });
             return self.nodes.len() - 1;
@@ -451,7 +452,12 @@ impl TreeBuilder<'_> {
 
     /// Exact greedy split over the node's members, walking each feature in
     /// globally pre-sorted order.
-    fn best_split_exact(&self, members: &[u32], g_total: f64, h_total: f64) -> Option<(usize, f64, f64)> {
+    fn best_split_exact(
+        &self,
+        members: &[u32],
+        g_total: f64,
+        h_total: f64,
+    ) -> Option<(usize, f64, f64)> {
         let cfg = self.cfg;
         let parent_score = g_total * g_total / (h_total + cfg.lambda);
         let mut best: Option<(f64, usize, f64)> = None;
@@ -480,8 +486,7 @@ impl TreeBuilder<'_> {
                         let hr = h_total - hl;
                         if hr >= cfg.min_child_weight {
                             let gain = 0.5
-                                * (gl * gl / (hl + cfg.lambda)
-                                    + gr * gr / (hr + cfg.lambda)
+                                * (gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda)
                                     - parent_score)
                                 - cfg.gamma;
                             if gain > 1e-12 && best.as_ref().is_none_or(|(bg, _, _)| gain > *bg) {
@@ -526,11 +531,7 @@ mod tests {
         let mut m = GradientBoostedTrees::new(cfg_small());
         m.fit(&d);
         let preds = predict_all(&m, &d);
-        let correct = preds
-            .iter()
-            .zip(d.labels())
-            .filter(|(p, &l)| **p == (l == 1))
-            .count();
+        let correct = preds.iter().zip(d.labels()).filter(|(p, &l)| **p == (l == 1)).count();
         assert_eq!(correct, d.len());
     }
 
@@ -571,10 +572,7 @@ mod tests {
         m.fit(&d);
         let imp = m.feature_importance();
         assert_eq!(imp.len(), 3);
-        assert!(
-            imp[0] > imp[1] && imp[0] > imp[2],
-            "feature 0 should dominate: {imp:?}"
-        );
+        assert!(imp[0] > imp[1] && imp[0] > imp[2], "feature 0 should dominate: {imp:?}");
     }
 
     #[test]
@@ -588,12 +586,7 @@ mod tests {
         // The informative feature dominates by gain too.
         assert!(gains[0] > gains[1] && gains[0] > gains[2], "{gains:?}");
         // Features never split have zero accumulated gain.
-        for (f, (&c, &g)) in m
-            .feature_importance()
-            .iter()
-            .zip(gains)
-            .enumerate()
-        {
+        for (f, (&c, &g)) in m.feature_importance().iter().zip(gains).enumerate() {
             if c == 0 {
                 assert_eq!(g, 0.0, "feature {f} has gain without splits");
             } else {
@@ -617,18 +610,11 @@ mod tests {
     #[test]
     fn subsampling_still_learns() {
         let d = separable(150);
-        let mut m = GradientBoostedTrees::new(GbtConfig {
-            subsample: 0.6,
-            n_trees: 60,
-            ..cfg_small()
-        });
+        let mut m =
+            GradientBoostedTrees::new(GbtConfig { subsample: 0.6, n_trees: 60, ..cfg_small() });
         m.fit(&d);
         let preds = predict_all(&m, &d);
-        let correct = preds
-            .iter()
-            .zip(d.labels())
-            .filter(|(p, &l)| **p == (l == 1))
-            .count();
+        let correct = preds.iter().zip(d.labels()).filter(|(p, &l)| **p == (l == 1)).count();
         assert!(correct as f64 / d.len() as f64 > 0.95);
     }
 
@@ -676,18 +662,13 @@ mod tests {
         // colsample 0.67 keeps 2 of 3 per tree; across many trees the
         // informative feature participates often enough to learn.
         let d = separable(150);
-        let mut m = GradientBoostedTrees::new(GbtConfig {
-            colsample: 0.67,
-            n_trees: 60,
-            ..cfg_small()
-        });
+        let mut m =
+            GradientBoostedTrees::new(GbtConfig { colsample: 0.67, n_trees: 60, ..cfg_small() });
         m.fit(&d);
-        let acc = predict_all(&m, &d)
-            .iter()
-            .zip(d.labels())
-            .filter(|(p, &l)| **p == (l == 1))
-            .count() as f64
-            / d.len() as f64;
+        let acc =
+            predict_all(&m, &d).iter().zip(d.labels()).filter(|(p, &l)| **p == (l == 1)).count()
+                as f64
+                / d.len() as f64;
         assert!(acc > 0.95, "colsample accuracy {acc}");
         // and the other features get split chances they wouldn't otherwise
         let imp = m.feature_importance();
@@ -709,11 +690,7 @@ mod tests {
         });
         m.fit(&d);
         let preds = predict_all(&m, &d);
-        let acc = preds
-            .iter()
-            .zip(d.labels())
-            .filter(|(p, &l)| **p == (l == 1))
-            .count() as f64
+        let acc = preds.iter().zip(d.labels()).filter(|(p, &l)| **p == (l == 1)).count() as f64
             / d.len() as f64;
         assert!(acc > 0.97, "histogram-mode accuracy {acc}");
     }
@@ -728,9 +705,8 @@ mod tests {
         });
         exact.fit(&d);
         hist.fit(&d);
-        let disagreements = (0..d.len())
-            .filter(|&i| exact.predict(d.row(i)) != hist.predict(d.row(i)))
-            .count();
+        let disagreements =
+            (0..d.len()).filter(|&i| exact.predict(d.row(i)) != hist.predict(d.row(i))).count();
         assert!(
             disagreements * 20 <= d.len(),
             "modes disagree on {disagreements}/{} rows",
@@ -790,11 +766,7 @@ mod tests {
         assert!(kept < 200, "early stopping should fire before the budget: {kept}");
         assert_eq!(es.n_trees(), kept);
         let preds = predict_all(&es, &valid);
-        let acc = preds
-            .iter()
-            .zip(valid.labels())
-            .filter(|(p, &l)| **p == (l == 1))
-            .count() as f64
+        let acc = preds.iter().zip(valid.labels()).filter(|(p, &l)| **p == (l == 1)).count() as f64
             / valid.len() as f64;
         assert!(acc > 0.95, "early-stopped model accuracy {acc}");
     }

@@ -100,9 +100,7 @@ impl Classifier for Mlp {
 
         // Xavier-ish init.
         let scale1 = (2.0 / (self.n_in + h) as f64).sqrt();
-        self.w1 = (0..h * self.n_in)
-            .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale1)
-            .collect();
+        self.w1 = (0..h * self.n_in).map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale1).collect();
         self.b1 = vec![0.0; h];
         let scale2 = (2.0 / (h + 1) as f64).sqrt();
         self.w2 = (0..h).map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale2).collect();
@@ -182,12 +180,10 @@ mod tests {
         let d = separable(80);
         let mut m = Mlp::new(MlpConfig::default());
         m.fit(&d);
-        let acc = predict_all(&m, &d)
-            .iter()
-            .zip(d.labels())
-            .filter(|(p, &l)| **p == (l == 1))
-            .count() as f64
-            / d.len() as f64;
+        let acc =
+            predict_all(&m, &d).iter().zip(d.labels()).filter(|(p, &l)| **p == (l == 1)).count()
+                as f64
+                / d.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
 

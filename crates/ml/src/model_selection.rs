@@ -31,12 +31,7 @@ pub struct CvResult {
 /// Runs stratified k-fold cross-validation of `model` on `data`.
 ///
 /// The model is refit from scratch on each fold's training split.
-pub fn cross_validate(
-    model: &mut dyn Classifier,
-    data: &Dataset,
-    k: usize,
-    seed: u64,
-) -> CvResult {
+pub fn cross_validate(model: &mut dyn Classifier, data: &Dataset, k: usize, seed: u64) -> CvResult {
     let folds = data.stratified_kfold(k, seed);
     let mut per_fold = Vec::with_capacity(k);
     for (train, test) in &folds {
@@ -61,10 +56,7 @@ pub fn compare_models(
     k: usize,
     seed: u64,
 ) -> Vec<CvResult> {
-    models
-        .iter_mut()
-        .map(|m| cross_validate(m.as_mut(), data, k, seed))
-        .collect()
+    models.iter_mut().map(|m| cross_validate(m.as_mut(), data, k, seed)).collect()
 }
 
 /// The paper's candidate panel with CATS' default hyperparameters, in

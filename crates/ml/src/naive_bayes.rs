@@ -66,11 +66,7 @@ impl GaussianNaiveBayes {
             }
         }
         vars.iter_mut().for_each(|v| *v = (*v / n as f64).max(VAR_FLOOR));
-        ClassStats {
-            log_prior: (n as f64 / n_total as f64).ln(),
-            means,
-            vars,
-        }
+        ClassStats { log_prior: (n as f64 / n_total as f64).ln(), means, vars }
     }
 
     fn log_likelihood(stats: &ClassStats, row: &[f64]) -> f64 {

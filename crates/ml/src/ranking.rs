@@ -88,11 +88,7 @@ pub fn pr_curve(scores: &[f64], labels: &[u8]) -> Vec<PrPoint> {
             }
             i += 1;
         }
-        curve.push(PrPoint {
-            threshold: t,
-            precision: tp / (tp + fp),
-            recall: tp / n_pos,
-        });
+        curve.push(PrPoint { threshold: t, precision: tp / (tp + fp), recall: tp / n_pos });
     }
     curve
 }

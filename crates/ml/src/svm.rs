@@ -132,11 +132,7 @@ mod tests {
         let mut m = LinearSvm::new(SvmConfig::default());
         m.fit(&d);
         let preds = predict_all(&m, &d);
-        let acc = preds
-            .iter()
-            .zip(d.labels())
-            .filter(|(p, &l)| **p == (l == 1))
-            .count() as f64
+        let acc = preds.iter().zip(d.labels()).filter(|(p, &l)| **p == (l == 1)).count() as f64
             / d.len() as f64;
         assert!(acc > 0.98, "accuracy {acc}");
     }

@@ -99,9 +99,8 @@ impl DecisionTree {
             return make_leaf(&mut self.nodes);
         };
 
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
-            .into_iter()
-            .partition(|&i| data.row(i)[split.feature] < split.threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.into_iter().partition(|&i| data.row(i)[split.feature] < split.threshold);
         if left_idx.is_empty() || right_idx.is_empty() {
             return make_leaf(&mut self.nodes);
         }
@@ -111,7 +110,8 @@ impl DecisionTree {
         self.nodes.push(Node::Leaf { prob });
         let left = self.build(data, weights, left_idx, depth + 1);
         let right = self.build(data, weights, right_idx, depth + 1);
-        self.nodes[me] = Node::Split { feature: split.feature, threshold: split.threshold, left, right };
+        self.nodes[me] =
+            Node::Split { feature: split.feature, threshold: split.threshold, left, right };
         me
     }
 
@@ -193,11 +193,9 @@ fn best_split(
             }
             let child = (wl * gini(wl, pl) + wr * gini(wr, pr)) / w_total;
             let gain = parent - child;
-            if gain >= min_gain && gain.is_finite() && best.as_ref().is_none_or(|(g, _)| gain > *g) {
-                best = Some((
-                    gain,
-                    SplitChoice { feature, threshold: (v + v_next) / 2.0 },
-                ));
+            if gain >= min_gain && gain.is_finite() && best.as_ref().is_none_or(|(g, _)| gain > *g)
+            {
+                best = Some((gain, SplitChoice { feature, threshold: (v + v_next) / 2.0 }));
             }
         }
     }
@@ -248,10 +246,7 @@ mod tests {
         let mut t = DecisionTree::new(TreeConfig::default());
         t.fit(&d);
         let preds = predict_all(&t, &d);
-        assert_eq!(
-            preds,
-            d.labels().iter().map(|&l| l == 1).collect::<Vec<_>>()
-        );
+        assert_eq!(preds, d.labels().iter().map(|&l| l == 1).collect::<Vec<_>>());
     }
 
     #[test]
@@ -314,12 +309,7 @@ mod tests {
 
     #[test]
     fn xor_needs_depth_two() {
-        let rows = vec![
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ];
+        let rows = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
         let labels = vec![0, 1, 1, 0];
         let d = Dataset::from_rows(&rows, &labels);
         let mut shallow = DecisionTree::new(TreeConfig {
@@ -328,22 +318,16 @@ mod tests {
             ..TreeConfig::default()
         });
         shallow.fit(&d);
-        let acc1 = predict_all(&shallow, &d)
-            .iter()
-            .zip(&labels)
-            .filter(|(p, &l)| **p == (l == 1))
-            .count();
+        let acc1 =
+            predict_all(&shallow, &d).iter().zip(&labels).filter(|(p, &l)| **p == (l == 1)).count();
         let mut deep = DecisionTree::new(TreeConfig {
             max_depth: 3,
             min_split_weight: 1.0,
             ..TreeConfig::default()
         });
         deep.fit(&d);
-        let acc3 = predict_all(&deep, &d)
-            .iter()
-            .zip(&labels)
-            .filter(|(p, &l)| **p == (l == 1))
-            .count();
+        let acc3 =
+            predict_all(&deep, &d).iter().zip(&labels).filter(|(p, &l)| **p == (l == 1)).count();
         assert!(acc1 < 4, "depth-1 cannot solve XOR");
         assert_eq!(acc3, 4, "depth-3 solves XOR");
     }

@@ -40,11 +40,7 @@ pub fn generate_users(cfg: UserPopulationConfig, rng: &mut impl Rng) -> Vec<User
     let mut users = Vec::with_capacity(cfg.n_users);
     for id in 0..cfg.n_users {
         let hired = id < n_hired;
-        let exp_value = if hired {
-            sample_hired_exp(rng)
-        } else {
-            sample_organic_exp(rng)
-        };
+        let exp_value = if hired { sample_hired_exp(rng) } else { sample_organic_exp(rng) };
         users.push(User {
             id: id as u32,
             nickname: anonymized_nickname(id as u32),
@@ -179,16 +175,10 @@ mod tests {
     #[test]
     fn hired_users_skew_low() {
         let us = users(40_000, 0.05);
-        let hired_low = us
-            .iter()
-            .filter(|u| u.hired && u.exp_value < 2_000)
-            .count() as f64
+        let hired_low = us.iter().filter(|u| u.hired && u.exp_value < 2_000).count() as f64
             / us.iter().filter(|u| u.hired).count() as f64;
         assert!(hired_low > 0.5, "hired low fraction {hired_low}");
-        let floor = us
-            .iter()
-            .filter(|u| u.hired && u.exp_value == MIN_USER_EXP)
-            .count() as f64
+        let floor = us.iter().filter(|u| u.hired && u.exp_value == MIN_USER_EXP).count() as f64
             / us.iter().filter(|u| u.hired).count() as f64;
         assert!((0.18..0.35).contains(&floor), "floor fraction {floor}");
     }

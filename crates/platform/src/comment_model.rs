@@ -163,11 +163,7 @@ fn topic_slice(neutral: &[String], topic: usize) -> &[String] {
 pub const N_TOPICS: usize = 30;
 
 /// Generates one comment in `style` with a random topic.
-pub fn generate_comment(
-    lex: &SyntheticLexicon,
-    style: CommentStyle,
-    rng: &mut impl Rng,
-) -> String {
+pub fn generate_comment(lex: &SyntheticLexicon, style: CommentStyle, rng: &mut impl Rng) -> String {
     let topic = rng.random_range(0..N_TOPICS);
     generate_comment_with_topic(lex, style, topic, rng)
 }
@@ -324,9 +320,7 @@ mod tests {
         let l = lex();
         let mut rng = StdRng::seed_from_u64(11);
         let seg = WhitespaceSegmenter;
-        (0..n)
-            .map(|_| seg.segment(&generate_comment(&l, style, &mut rng)))
-            .collect()
+        (0..n).map(|_| seg.segment(&generate_comment(&l, style, &mut rng))).collect()
     }
 
     fn mean<F: Fn(&[String]) -> f64>(cs: &[Vec<String>], f: F) -> f64 {
@@ -374,10 +368,9 @@ mod tests {
         let l = lex();
         let fraud = batch(CommentStyle::FraudPromo, 200);
         let negative = batch(CommentStyle::OrganicNegative, 200);
-        let count =
-            |cs: &[Vec<String>], f: &dyn Fn(&str) -> bool| -> f64 {
-                mean(cs, |c| c.iter().filter(|t| f(t)).count() as f64)
-            };
+        let count = |cs: &[Vec<String>], f: &dyn Fn(&str) -> bool| -> f64 {
+            mean(cs, |c| c.iter().filter(|t| f(t)).count() as f64)
+        };
         let is_pos = |w: &str| l.positive().iter().any(|p| p == w);
         let is_neg = |w: &str| l.negative().iter().any(|p| p == w);
         assert!(count(&fraud, &is_pos) > 5.0 * count(&negative, &is_pos));

@@ -25,34 +25,34 @@ use std::collections::HashSet;
 
 /// Syllable inventory for pseudo-word composition.
 const SYLLABLES: &[&str] = &[
-    "ba", "bei", "bi", "bu", "cai", "chang", "chi", "chu", "da", "de", "dian", "ding", "duo",
-    "fa", "fan", "fei", "fen", "gao", "gei", "gong", "gu", "hai", "han", "hou", "hu", "hua",
-    "ji", "jia", "jian", "jing", "ju", "kan", "ke", "kou", "kuai", "la", "lai", "lei", "li",
-    "lian", "lin", "liu", "lu", "ma", "mai", "mao", "mei", "men", "mi", "mian", "min", "mu",
-    "na", "nai", "nan", "nei", "ni", "nian", "niu", "nong", "nu", "pai", "pan", "pei", "pen",
-    "pi", "pin", "po", "pu", "qi", "qian", "qin", "qu", "ran", "ren", "ri", "rong", "ru",
-    "sai", "san", "sao", "sen", "shan", "shen", "shi", "shou", "shu", "si", "song", "su",
-    "sun", "ta", "tan", "tao", "te", "ti", "tian", "tie", "tong", "tou", "tu", "wai", "wan",
-    "wei", "wen", "wo", "wu", "xi", "xia", "xian", "xiao", "xin", "xiu", "xu", "yan", "yao",
-    "ye", "yin", "ying", "you", "yu", "yuan", "yun", "za", "zai", "zao", "zen", "zhan",
-    "zhao", "zhen", "zheng", "zhi", "zhong", "zhou", "zhu", "zi", "zong", "zou", "zu", "zui",
+    "ba", "bei", "bi", "bu", "cai", "chang", "chi", "chu", "da", "de", "dian", "ding", "duo", "fa",
+    "fan", "fei", "fen", "gao", "gei", "gong", "gu", "hai", "han", "hou", "hu", "hua", "ji", "jia",
+    "jian", "jing", "ju", "kan", "ke", "kou", "kuai", "la", "lai", "lei", "li", "lian", "lin",
+    "liu", "lu", "ma", "mai", "mao", "mei", "men", "mi", "mian", "min", "mu", "na", "nai", "nan",
+    "nei", "ni", "nian", "niu", "nong", "nu", "pai", "pan", "pei", "pen", "pi", "pin", "po", "pu",
+    "qi", "qian", "qin", "qu", "ran", "ren", "ri", "rong", "ru", "sai", "san", "sao", "sen",
+    "shan", "shen", "shi", "shou", "shu", "si", "song", "su", "sun", "ta", "tan", "tao", "te",
+    "ti", "tian", "tie", "tong", "tou", "tu", "wai", "wan", "wei", "wen", "wo", "wu", "xi", "xia",
+    "xian", "xiao", "xin", "xiu", "xu", "yan", "yao", "ye", "yin", "ying", "you", "yu", "yuan",
+    "yun", "za", "zai", "zao", "zen", "zhan", "zhao", "zhen", "zheng", "zhi", "zhong", "zhou",
+    "zhu", "zi", "zong", "zou", "zu", "zui",
 ];
 
 /// Canonical positive words with stable spellings (seed candidates).
 /// Loose glosses mirror the paper's Table I entries.
 pub const CANONICAL_POSITIVE: &[&str] = &[
-    "haoping",    // good reputation (好评)
-    "zhide",      // deserve/worth (值得)
-    "huasuan",    // cost-effective (划算)
-    "piaoliang",  // beautiful (漂亮)
-    "manyi",      // satisfied (满意)
-    "bucuo",      // not bad / well (不错)
-    "xihuan",     // like (喜欢)
-    "henhao",     // very good (很好)
-    "heshi",      // suitable (合适)
-    "jingzhi",    // delicate (精致)
-    "shihui",     // good value (实惠)
-    "zan",        // like/praise (赞)
+    "haoping",   // good reputation (好评)
+    "zhide",     // deserve/worth (值得)
+    "huasuan",   // cost-effective (划算)
+    "piaoliang", // beautiful (漂亮)
+    "manyi",     // satisfied (满意)
+    "bucuo",     // not bad / well (不错)
+    "xihuan",    // like (喜欢)
+    "henhao",    // very good (很好)
+    "heshi",     // suitable (合适)
+    "jingzhi",   // delicate (精致)
+    "shihui",    // good value (实惠)
+    "zan",       // like/praise (赞)
 ];
 
 /// Homograph variants of `haoping`, standing in for the paper's
@@ -61,22 +61,22 @@ pub const HAOPING_VARIANTS: &[&str] = &["haopping", "haopin", "haoqing"];
 
 /// Canonical negative words with stable spellings.
 pub const CANONICAL_NEGATIVE: &[&str] = &[
-    "chaping",   // negative reputation (差评)
-    "zaogao",    // terrible (糟糕)
-    "zuilan",    // the worst (最烂)
-    "tuihuo",    // sales return (退货)
-    "keheng",    // hateful (可恨)
-    "eyi",       // malevolence (恶意)
-    "weixie",    // threat (威胁)
-    "yixing",    // one star (一星)
-    "buhao",     // bad (不好)
-    "meiyong",   // useless (没用)
+    "chaping", // negative reputation (差评)
+    "zaogao",  // terrible (糟糕)
+    "zuilan",  // the worst (最烂)
+    "tuihuo",  // sales return (退货)
+    "keheng",  // hateful (可恨)
+    "eyi",     // malevolence (恶意)
+    "weixie",  // threat (威胁)
+    "yixing",  // one star (一星)
+    "buhao",   // bad (不好)
+    "meiyong", // useless (没用)
 ];
 
 /// High-frequency function words (glue).
 pub const FUNCTION_WORDS: &[&str] = &[
-    "de", "le", "wo", "ni", "ta", "zhe", "na", "hen", "jiu", "dou", "ye", "hai", "zai",
-    "shi", "you", "he", "gei", "bei", "ba", "ge",
+    "de", "le", "wo", "ni", "ta", "zhe", "na", "hen", "jiu", "dou", "ye", "hai", "zai", "shi",
+    "you", "he", "gei", "bei", "ba", "ge",
 ];
 
 /// Word classes of the synthetic language.
@@ -134,14 +134,9 @@ impl SyntheticLexicon {
             .chain(HAOPING_VARIANTS)
             .map(|w| reserve(w, &mut used))
             .collect();
-        let mut negative: Vec<String> = CANONICAL_NEGATIVE
-            .iter()
-            .map(|w| reserve(w, &mut used))
-            .collect();
-        let function: Vec<String> = FUNCTION_WORDS
-            .iter()
-            .map(|w| reserve(w, &mut used))
-            .collect();
+        let mut negative: Vec<String> =
+            CANONICAL_NEGATIVE.iter().map(|w| reserve(w, &mut used)).collect();
+        let function: Vec<String> = FUNCTION_WORDS.iter().map(|w| reserve(w, &mut used)).collect();
 
         while positive.len() < config.n_positive {
             let w = Self::fresh_word(&mut rng, &mut used);

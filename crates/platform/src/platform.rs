@@ -162,11 +162,7 @@ impl Platform {
         } else {
             StyleMixture::normal()
         };
-        let mean = if is_fraud {
-            config.fraud_comments_mean
-        } else {
-            config.normal_comments_mean
-        };
+        let mean = if is_fraud { config.fraud_comments_mean } else { config.normal_comments_mean };
         // Geometric spread with mean `mean`: p = 1 / (1 + mean); +1 so every
         // item has at least one comment when mean > 0.
         let n_comments = if mean <= 0.0 {
@@ -348,18 +344,10 @@ mod tests {
             n_normal_items: 800,
             ..PlatformConfig::default()
         });
-        let low = p
-            .items()
-            .iter()
-            .filter(|i| !i.label.is_fraud() && i.sales_volume < 5)
-            .count();
+        let low = p.items().iter().filter(|i| !i.label.is_fraud() && i.sales_volume < 5).count();
         assert!(low > 10, "expected low-volume normal items, got {low}");
         // fraud campaigns keep volumes up
-        assert!(p
-            .items()
-            .iter()
-            .filter(|i| i.label.is_fraud())
-            .all(|i| i.sales_volume >= 1));
+        assert!(p.items().iter().filter(|i| i.label.is_fraud()).all(|i| i.sales_volume >= 1));
     }
 
     #[test]
@@ -408,11 +396,8 @@ mod tests {
     #[test]
     fn comment_ids_unique_and_dense() {
         let p = small();
-        let mut ids: Vec<u64> = p
-            .items()
-            .iter()
-            .flat_map(|i| i.comments.iter().map(|c| c.id))
-            .collect();
+        let mut ids: Vec<u64> =
+            p.items().iter().flat_map(|i| i.comments.iter().map(|c| c.id)).collect();
         let n = ids.len();
         ids.sort_unstable();
         ids.dedup();

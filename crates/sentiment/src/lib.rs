@@ -111,8 +111,10 @@ impl SentimentModel {
         let mut pos_counts: Vec<u64> = Vec::new();
         let mut neg_counts: Vec<u64> = Vec::new();
 
-        let tally = |docs: &[Vec<String>], vocab: &mut Vocab, counts: &mut Vec<u64>,
-                         other: &mut Vec<u64>| {
+        let tally = |docs: &[Vec<String>],
+                     vocab: &mut Vocab,
+                     counts: &mut Vec<u64>,
+                     other: &mut Vec<u64>| {
             for doc in docs {
                 for tok in feature_stream(doc, order) {
                     let id = vocab.intern(&tok);
@@ -135,14 +137,8 @@ impl SentimentModel {
         let pos_denom = pos_total as f64 + ALPHA * (v as f64 + 1.0);
         let neg_denom = neg_total as f64 + ALPHA * (v as f64 + 1.0);
 
-        let log_pos = pos_counts
-            .iter()
-            .map(|&c| ((c as f64 + ALPHA) / pos_denom).ln())
-            .collect();
-        let log_neg = neg_counts
-            .iter()
-            .map(|&c| ((c as f64 + ALPHA) / neg_denom).ln())
-            .collect();
+        let log_pos = pos_counts.iter().map(|&c| ((c as f64 + ALPHA) / pos_denom).ln()).collect();
+        let log_neg = neg_counts.iter().map(|&c| ((c as f64 + ALPHA) / neg_denom).ln()).collect();
 
         let n_docs = (positive_docs.len() + negative_docs.len()) as f64;
         Self {
@@ -213,10 +209,7 @@ mod tests {
     use super::*;
 
     fn docs(texts: &[&str]) -> Vec<Vec<String>> {
-        texts
-            .iter()
-            .map(|t| t.split_whitespace().map(|w| w.to_string()).collect())
-            .collect()
+        texts.iter().map(|t| t.split_whitespace().map(|w| w.to_string()).collect()).collect()
     }
 
     fn model() -> SentimentModel {
@@ -239,14 +232,16 @@ mod tests {
     #[test]
     fn positive_text_scores_high() {
         let m = model();
-        let s = m.score(&"good great love".split_whitespace().map(String::from).collect::<Vec<_>>());
+        let s =
+            m.score(&"good great love".split_whitespace().map(String::from).collect::<Vec<_>>());
         assert!(s > 0.8, "score {s}");
     }
 
     #[test]
     fn negative_text_scores_low() {
         let m = model();
-        let s = m.score(&"bad awful broken".split_whitespace().map(String::from).collect::<Vec<_>>());
+        let s =
+            m.score(&"bad awful broken".split_whitespace().map(String::from).collect::<Vec<_>>());
         assert!(s < 0.2, "score {s}");
     }
 
@@ -333,12 +328,10 @@ mod tests {
     fn bigram_model_separates_negated_phrases() {
         // "bu hao" (not good) is negative; "hao" alone positive. A unigram
         // model sees "hao" in both classes; the bigram feature resolves it.
-        let pos: Vec<Vec<String>> = (0..20)
-            .map(|_| docs(&["hao hen hao zhen hao"]).remove(0))
-            .collect();
-        let neg: Vec<Vec<String>> = (0..20)
-            .map(|_| docs(&["bu hao zhen bu hao tui"]).remove(0))
-            .collect();
+        let pos: Vec<Vec<String>> =
+            (0..20).map(|_| docs(&["hao hen hao zhen hao"]).remove(0)).collect();
+        let neg: Vec<Vec<String>> =
+            (0..20).map(|_| docs(&["bu hao zhen bu hao tui"]).remove(0)).collect();
         let uni = SentimentModel::train_with_order(&pos, &neg, FeatureOrder::Unigram);
         let bi = SentimentModel::train_with_order(&pos, &neg, FeatureOrder::UnigramBigram);
         let probe: Vec<String> = "bu hao".split_whitespace().map(String::from).collect();

@@ -4,9 +4,7 @@ use cats_sentiment::SentimentModel;
 use proptest::prelude::*;
 
 fn docs(pol: &str, n: usize) -> Vec<Vec<String>> {
-    (0..n)
-        .map(|i| vec![format!("{pol}{}", i % 5), format!("{pol}{}", (i + 1) % 5)])
-        .collect()
+    (0..n).map(|i| vec![format!("{pol}{}", i % 5), format!("{pol}{}", (i + 1) % 5)]).collect()
 }
 
 fn model() -> SentimentModel {

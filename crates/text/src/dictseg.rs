@@ -98,8 +98,8 @@ impl DictSegmenter {
         let mut bwd = Vec::new();
         self.backward(chars, &mut bwd);
         let singles = |v: &[String]| v.iter().filter(|w| w.chars().count() == 1).count();
-        let pick_backward = bwd.len() < fwd.len()
-            || (bwd.len() == fwd.len() && singles(&bwd) < singles(&fwd));
+        let pick_backward =
+            bwd.len() < fwd.len() || (bwd.len() == fwd.len() && singles(&bwd) < singles(&fwd));
         out.extend(if pick_backward { bwd } else { fwd });
     }
 }

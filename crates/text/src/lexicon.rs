@@ -27,10 +27,7 @@ impl Lexicon {
         N: IntoIterator<Item = String>,
     {
         let positive: HashSet<String> = positive.into_iter().collect();
-        let negative = negative
-            .into_iter()
-            .filter(|w| !positive.contains(w))
-            .collect();
+        let negative = negative.into_iter().filter(|w| !positive.contains(w)).collect();
         Self { positive, negative }
     }
 

@@ -12,9 +12,7 @@ use crate::lexicon::Lexicon;
 
 /// Iterates adjacent token pairs of a segmented comment.
 pub fn bigrams(tokens: &[String]) -> impl Iterator<Item = (&str, &str)> + '_ {
-    tokens
-        .windows(2)
-        .map(|w| (w[0].as_str(), w[1].as_str()))
+    tokens.windows(2).map(|w| (w[0].as_str(), w[1].as_str()))
 }
 
 /// Number of bigram positions of a comment: `max(len − 1, 0)`.
@@ -34,9 +32,7 @@ pub fn bigram_positions(tokens: &[String]) -> usize {
 /// assert_eq!(positive_bigram_count(&toks, &lex), 2);
 /// ```
 pub fn positive_bigram_count(tokens: &[String], lexicon: &Lexicon) -> usize {
-    bigrams(tokens)
-        .filter(|(a, b)| lexicon.is_positive(a) || lexicon.is_positive(b))
-        .count()
+    bigrams(tokens).filter(|(a, b)| lexicon.is_positive(a) || lexicon.is_positive(b)).count()
 }
 
 /// Fraction of a comment's bigram positions that are positive bigrams

@@ -10,9 +10,8 @@
 /// Characters treated as punctuation by the segmenter and by
 /// [`is_punctuation_token`]. Includes both ASCII and full-width CJK marks,
 /// mirroring the mixed punctuation of real e-commerce comments.
-pub const PUNCTUATION: &[char] = &[
-    ',', '.', '!', '?', ';', ':', '~', '…', '，', '。', '！', '？', '；', '：', '、',
-];
+pub const PUNCTUATION: &[char] =
+    &[',', '.', '!', '?', ';', ':', '~', '…', '，', '。', '！', '？', '；', '：', '、'];
 
 /// Returns `true` if `c` counts as punctuation for the structural features.
 #[inline]

@@ -108,11 +108,7 @@ impl Vocab {
     /// Ids of the `k` most frequent words, ties broken by id order.
     pub fn top_k(&self, k: usize) -> Vec<TokenId> {
         let mut ids: Vec<TokenId> = (0..self.words.len() as u32).map(TokenId).collect();
-        ids.sort_by(|a, b| {
-            self.counts[b.index()]
-                .cmp(&self.counts[a.index()])
-                .then(a.0.cmp(&b.0))
-        });
+        ids.sort_by(|a, b| self.counts[b.index()].cmp(&self.counts[a.index()]).then(a.0.cmp(&b.0)));
         ids.truncate(k);
         ids
     }

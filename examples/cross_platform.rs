@@ -57,11 +57,8 @@ mod cats_bench_like {
             .iter()
             .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
             .collect();
-        let labels: Vec<u8> = platform
-            .items()
-            .iter()
-            .map(|i| u8::from(i.label.is_fraud()))
-            .collect();
+        let labels: Vec<u8> =
+            platform.items().iter().map(|i| u8::from(i.label.is_fraud())).collect();
         detector.fit(&items, &labels, &analyzer);
         CatsPipeline::from_parts(analyzer, detector)
     }
@@ -92,18 +89,11 @@ fn main() {
     );
 
     // Detect over the crawl.
-    let items: Vec<ItemComments> = collected
-        .items
-        .iter()
-        .map(|i| ItemComments::from_texts(i.comment_texts()))
-        .collect();
+    let items: Vec<ItemComments> =
+        collected.items.iter().map(|i| ItemComments::from_texts(i.comment_texts())).collect();
     let sales: Vec<u64> = collected.items.iter().map(|i| i.sales_volume).collect();
     let reports = pipeline.detect(&items, &sales);
-    let reported: Vec<usize> = reports
-        .iter()
-        .filter(|r| r.is_fraud)
-        .map(|r| r.index)
-        .collect();
+    let reported: Vec<usize> = reports.iter().filter(|r| r.is_fraud).map(|r| r.index).collect();
     println!("reported {} suspected fraud items", reported.len());
 
     // Audit a sample against latent ground truth (the expert-panel

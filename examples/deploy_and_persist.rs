@@ -8,9 +8,7 @@
 
 use cats::core::pipeline::PipelineSnapshot;
 use cats::core::semantic::SemanticConfig;
-use cats::core::{
-    CatsPipeline, DetectionSummary, DetectorConfig, ItemComments, SemanticAnalyzer,
-};
+use cats::core::{CatsPipeline, DetectionSummary, DetectorConfig, ItemComments, SemanticAnalyzer};
 use cats::embedding::{ExpansionConfig, Word2VecConfig};
 use cats::ml::gbt::{GbtConfig, GradientBoostedTrees};
 use cats::ml::{Classifier, Dataset};
@@ -21,11 +19,8 @@ use rand::{rngs::StdRng, SeedableRng};
 fn main() {
     // --- Training process ---------------------------------------------
     let train = datasets::d0(0.006, 81);
-    let corpus: Vec<&str> = train
-        .items()
-        .iter()
-        .flat_map(|i| i.comments.iter().map(|c| c.content.as_str()))
-        .collect();
+    let corpus: Vec<&str> =
+        train.items().iter().flat_map(|i| i.comments.iter().map(|c| c.content.as_str())).collect();
     let mut rng = StdRng::seed_from_u64(81);
     let pos: Vec<String> = (0..600)
         .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicPositive, &mut rng))
@@ -52,11 +47,7 @@ fn main() {
         .iter()
         .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
         .collect();
-    let labels: Vec<u8> = train
-        .items()
-        .iter()
-        .map(|i| u8::from(i.label.is_fraud()))
-        .collect();
+    let labels: Vec<u8> = train.items().iter().map(|i| u8::from(i.label.is_fraud())).collect();
     let rows = cats::core::features::extract_batch(&items, &analyzer, 0);
     let mut data = Dataset::new(cats::core::N_FEATURES);
     for (r, &l) in rows.iter().zip(&labels) {
@@ -99,10 +90,11 @@ fn main() {
         println!(
             "  item #{idx} score {:.3} — first comment: {:?}",
             reports[idx].score,
-            stream.items()[idx]
-                .comments
-                .first()
-                .map(|c| c.content.chars().take(48).collect::<String>())
+            stream.items()[idx].comments.first().map(|c| c
+                .content
+                .chars()
+                .take(48)
+                .collect::<String>())
         );
     }
     std::fs::remove_file(&path).ok();

@@ -67,10 +67,8 @@ fn main() {
 
     // Precision vs the latent ground-truth word classes.
     let truth = platform.lexicon();
-    let pos_ok = lexicon
-        .positive_words()
-        .filter(|w| truth.positive().iter().any(|p| p == w))
-        .count();
+    let pos_ok =
+        lexicon.positive_words().filter(|w| truth.positive().iter().any(|p| p == w)).count();
     println!(
         "\nexpansion precision: {}/{} expanded positive words are truly positive",
         pos_ok,

@@ -21,11 +21,8 @@ use rand::{rngs::StdRng, SeedableRng};
 fn main() {
     // --- Train on the labeled platform, deploy at high precision. ---
     let train = datasets::d0(0.01, 51);
-    let corpus: Vec<&str> = train
-        .items()
-        .iter()
-        .flat_map(|i| i.comments.iter().map(|c| c.content.as_str()))
-        .collect();
+    let corpus: Vec<&str> =
+        train.items().iter().flat_map(|i| i.comments.iter().map(|c| c.content.as_str())).collect();
     let mut rng = StdRng::seed_from_u64(51);
     let pos: Vec<String> = (0..800)
         .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicPositive, &mut rng))
@@ -53,11 +50,7 @@ fn main() {
         .iter()
         .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
         .collect();
-    let labels: Vec<u8> = train
-        .items()
-        .iter()
-        .map(|i| u8::from(i.label.is_fraud()))
-        .collect();
+    let labels: Vec<u8> = train.items().iter().map(|i| u8::from(i.label.is_fraud())).collect();
     detector.fit(&items, &labels, &analyzer);
     let pipeline = CatsPipeline::from_parts(analyzer, detector);
 
@@ -65,33 +58,16 @@ fn main() {
     let target = datasets::e_platform(0.001, 1234);
     let site = PublicSite::new(&target, SiteConfig::default());
     let collected = Collector::new(CollectorConfig::default()).crawl(&site);
-    let test_items: Vec<ItemComments> = collected
-        .items
-        .iter()
-        .map(|i| ItemComments::from_texts(i.comment_texts()))
-        .collect();
+    let test_items: Vec<ItemComments> =
+        collected.items.iter().map(|i| ItemComments::from_texts(i.comment_texts())).collect();
     let sales: Vec<u64> = collected.items.iter().map(|i| i.sales_volume).collect();
     let reports = pipeline.detect(&test_items, &sales);
 
-    let fraud_items: Vec<&CollectedItem> = collected
-        .items
-        .iter()
-        .zip(&reports)
-        .filter(|(_, r)| r.is_fraud)
-        .map(|(i, _)| i)
-        .collect();
-    let normal_items: Vec<&CollectedItem> = collected
-        .items
-        .iter()
-        .zip(&reports)
-        .filter(|(_, r)| !r.is_fraud)
-        .map(|(i, _)| i)
-        .collect();
-    println!(
-        "reported {} fraud / {} normal items\n",
-        fraud_items.len(),
-        normal_items.len()
-    );
+    let fraud_items: Vec<&CollectedItem> =
+        collected.items.iter().zip(&reports).filter(|(_, r)| r.is_fraud).map(|(i, _)| i).collect();
+    let normal_items: Vec<&CollectedItem> =
+        collected.items.iter().zip(&reports).filter(|(_, r)| !r.is_fraud).map(|(i, _)| i).collect();
+    println!("reported {} fraud / {} normal items\n", fraud_items.len(), normal_items.len());
 
     // --- Item aspect: word frequencies. ---
     let seg = WhitespaceSegmenter;
@@ -101,15 +77,10 @@ fn main() {
             wf_fraud.add_comment(&seg.segment(&c.content));
         }
     }
-    let lex = Lexicon::new(
-        train.lexicon().positive().to_vec(),
-        train.lexicon().negative().to_vec(),
-    );
-    let top: Vec<String> = wf_fraud
-        .top_k(12)
-        .into_iter()
-        .map(|(w, c)| format!("{w}({c})"))
-        .collect();
+    let lex =
+        Lexicon::new(train.lexicon().positive().to_vec(), train.lexicon().negative().to_vec());
+    let top: Vec<String> =
+        wf_fraud.top_k(12).into_iter().map(|(w, c)| format!("{w}({c})")).collect();
     println!("item aspect — fraud items' most frequent words: {}", top.join(", "));
     println!(
         "  positive fraction of top-50 words: {:.0}%",

@@ -4,8 +4,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cats::core::{CatsPipeline, DetectorConfig, Detector, ItemComments, SemanticAnalyzer};
 use cats::core::semantic::SemanticConfig;
+use cats::core::{CatsPipeline, Detector, DetectorConfig, ItemComments, SemanticAnalyzer};
 use cats::embedding::{ExpansionConfig, Word2VecConfig};
 use cats::platform::datasets;
 
@@ -23,11 +23,8 @@ fn main() {
     // 2. Train the semantic analyzer: word2vec over the public comments,
     //    seed expansion into the positive/negative lexicon, and the
     //    sentiment model from labeled reviews.
-    let corpus: Vec<&str> = train
-        .items()
-        .iter()
-        .flat_map(|i| i.comments.iter().map(|c| c.content.as_str()))
-        .collect();
+    let corpus: Vec<&str> =
+        train.items().iter().flat_map(|i| i.comments.iter().map(|c| c.content.as_str())).collect();
     // Labeled sentiment reviews (here: generated; in production, any
     // rating-labeled review corpus).
     use cats::platform::comment_model::{generate_comment, CommentStyle};
@@ -64,11 +61,7 @@ fn main() {
         .iter()
         .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
         .collect();
-    let labels: Vec<u8> = train
-        .items()
-        .iter()
-        .map(|i| u8::from(i.label.is_fraud()))
-        .collect();
+    let labels: Vec<u8> = train.items().iter().map(|i| u8::from(i.label.is_fraud())).collect();
     detector.fit(&items, &labels, &analyzer);
     let pipeline = CatsPipeline::from_parts(analyzer, detector);
 
@@ -82,11 +75,7 @@ fn main() {
     let sales: Vec<u64> = unseen.items().iter().map(|i| i.sales_volume).collect();
     let reports = pipeline.detect(&test_items, &sales);
 
-    let labels: Vec<u8> = unseen
-        .items()
-        .iter()
-        .map(|i| u8::from(i.label.is_fraud()))
-        .collect();
+    let labels: Vec<u8> = unseen.items().iter().map(|i| u8::from(i.label.is_fraud())).collect();
     let metrics = CatsPipeline::evaluate(&reports, &labels);
     println!(
         "detected {} frauds among {} unseen items — {}",
@@ -96,19 +85,18 @@ fn main() {
     );
 
     // Peek at the highest-scoring report.
-    if let Some(top) = reports
-        .iter()
-        .filter(|r| r.is_fraud)
-        .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+    if let Some(top) =
+        reports.iter().filter(|r| r.is_fraud).max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
     {
         println!(
             "top report: item #{} score {:.3}, first comment: {:?}",
             top.index,
             top.score,
-            unseen.items()[top.index]
-                .comments
-                .first()
-                .map(|c| c.content.chars().take(60).collect::<String>())
+            unseen.items()[top.index].comments.first().map(|c| c
+                .content
+                .chars()
+                .take(60)
+                .collect::<String>())
         );
     }
 }

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full local verification, in order of increasing cost. CI runs exactly
+# this; a clean exit here means the tree is mergeable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy -- -D warnings

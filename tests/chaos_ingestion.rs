@@ -1,0 +1,140 @@
+//! Integration: the full chain under aggressive fault injection — the
+//! crawl must terminate on the simulated clock, account for every fault it
+//! absorbed, and hand the detector data it can score without a single
+//! panic or non-finite number.
+
+use cats::collector::{
+    CollectedDataset, Collector, CollectorConfig, CrawlStats, FaultPlan, PublicSite, SiteConfig,
+};
+use cats::core::semantic::SemanticConfig;
+use cats::core::{
+    CatsPipeline, DetectionSummary, Detector, DetectorConfig, FilterDecision, ItemComments,
+    SemanticAnalyzer,
+};
+use cats::embedding::{ExpansionConfig, Word2VecConfig};
+use cats::platform::comment_model::{generate_comment, CommentStyle};
+use cats::platform::{datasets, Platform};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn trained(seed: u64, threshold: f64) -> CatsPipeline {
+    let train = datasets::d0(0.006, seed);
+    let corpus: Vec<&str> =
+        train.items().iter().flat_map(|i| i.comments.iter().map(|c| c.content.as_str())).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos: Vec<String> = (0..400)
+        .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicPositive, &mut rng))
+        .collect();
+    let neg: Vec<String> = (0..400)
+        .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicNegative, &mut rng))
+        .collect();
+    let analyzer = SemanticAnalyzer::train(
+        &corpus,
+        &train.lexicon().positive_seeds(),
+        &train.lexicon().negative_seeds(),
+        &pos.iter().map(String::as_str).collect::<Vec<_>>(),
+        &neg.iter().map(String::as_str).collect::<Vec<_>>(),
+        SemanticConfig {
+            word2vec: Word2VecConfig { dim: 32, epochs: 3, ..Word2VecConfig::default() },
+            expansion: ExpansionConfig::default(),
+        },
+    );
+    let mut detector = Detector::with_default_classifier(DetectorConfig {
+        threshold,
+        ..DetectorConfig::default()
+    });
+    let items: Vec<ItemComments> = train
+        .items()
+        .iter()
+        .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
+        .collect();
+    let labels: Vec<u8> = train.items().iter().map(|i| u8::from(i.label.is_fraud())).collect();
+    detector.fit(&items, &labels, &analyzer);
+    CatsPipeline::from_parts(analyzer, detector)
+}
+
+fn crawl_at(platform: &Platform, faults: FaultPlan) -> (CollectedDataset, CrawlStats) {
+    let site = PublicSite::new(platform, SiteConfig { faults, ..SiteConfig::default() });
+    let mut collector = Collector::new(CollectorConfig::default());
+    let data = collector.crawl(&site);
+    (data, collector.stats())
+}
+
+#[test]
+fn aggressive_faults_terminate_on_the_simulated_clock() {
+    let target = datasets::e_platform(0.0006, 930);
+    let wall = std::time::Instant::now();
+    let (data, s) = crawl_at(&target, FaultPlan::at_intensity(0.9));
+
+    // Every second waited out is simulated: hours of backoff, breaker
+    // cooldowns, and stalls must pass in real-time seconds.
+    assert_eq!(s.sim_clock_secs, s.backoff_wait_secs + s.breaker_wait_secs + s.stall_secs);
+    assert!(s.sim_clock_secs > 0, "a 0.9-intensity crawl should have waited: {s:?}");
+    assert!(wall.elapsed().as_secs() < 60, "crawl slept on the wall clock");
+
+    // The fault mix actually fired...
+    assert!(s.rate_limited > 0 && s.outage_errors > 0, "{s:?}");
+    assert!(s.poisoned_records > 0, "{s:?}");
+
+    // ...and every lost resource is accounted for, once.
+    assert_eq!(s.truncated_resources, s.breaker_give_ups + s.pages_abandoned, "{s:?}");
+    if s.truncated_resources > 0 {
+        assert!(
+            data.catalogue_truncated || data.items.iter().any(|i| i.truncated),
+            "truncation invisible in the dataset: {s:?}"
+        );
+    }
+    // Poison never reaches the dataset.
+    for item in &data.items {
+        assert!(item.price_cents <= 1_000_000_000 && item.sales_volume <= 100_000_000);
+        for c in &item.comments {
+            assert!(c.user_exp_value <= 100_000_000 && c.date.starts_with('2'));
+        }
+    }
+}
+
+#[test]
+fn degraded_data_flows_through_detection_without_nans() {
+    let pipeline = trained(53, 0.9);
+    let target = datasets::e_platform(0.0006, 931);
+    let (data, stats) = crawl_at(&target, FaultPlan::at_intensity(0.6));
+    assert!(!data.items.is_empty(), "0.6 intensity should not wipe out the crawl");
+
+    let items: Vec<ItemComments> =
+        data.items.iter().map(|i| ItemComments::from_texts(i.comment_texts())).collect();
+    let sales: Vec<u64> = data.items.iter().map(|i| i.sales_volume).collect();
+    let reports = pipeline.detect(&items, &sales);
+    assert_eq!(reports.len(), data.items.len());
+    for r in &reports {
+        assert!(r.score.is_finite(), "non-finite score at {}", r.index);
+        if let Some(fv) = &r.features {
+            assert!(fv.is_finite(), "non-finite features at {}", r.index);
+        }
+        if matches!(r.filter, FilterDecision::Quarantined) {
+            assert!(!r.is_fraud && r.features.is_none());
+        }
+    }
+
+    let truncated = data.items.iter().filter(|i| i.truncated).count();
+    let summary = DetectionSummary::from_reports(&reports).with_crawl_health(
+        truncated,
+        data.comment_count() as u64,
+        stats.malformed_records + stats.duplicate_records + stats.poisoned_records,
+    );
+    assert_eq!(summary.health.items_truncated, truncated);
+    assert_eq!(summary.health.comments_kept, data.comment_count() as u64);
+    assert!(summary.health.comments_dropped > 0, "0.6 intensity drops records: {stats:?}");
+    assert!(summary.health.dropped_fraction > 0.0 && summary.health.dropped_fraction.is_finite());
+    // The summary serializes cleanly (a NaN would become `null`).
+    let json = serde_json::to_string(&summary).expect("summary serializes");
+    assert!(!json.contains("null"), "{json}");
+}
+
+#[test]
+fn faulted_ingestion_is_deterministic_end_to_end() {
+    let target = datasets::e_platform(0.0005, 932);
+    let faults = FaultPlan::at_intensity(0.7);
+    let (data_a, stats_a) = crawl_at(&target, faults);
+    let (data_b, stats_b) = crawl_at(&target, faults);
+    assert_eq!(stats_a, stats_b);
+    assert_eq!(data_a, data_b);
+}

@@ -13,11 +13,8 @@ use rand::{rngs::StdRng, SeedableRng};
 
 fn trained(seed: u64, threshold: f64) -> (CatsPipeline, cats::platform::Platform) {
     let train = datasets::d0(0.006, seed);
-    let corpus: Vec<&str> = train
-        .items()
-        .iter()
-        .flat_map(|i| i.comments.iter().map(|c| c.content.as_str()))
-        .collect();
+    let corpus: Vec<&str> =
+        train.items().iter().flat_map(|i| i.comments.iter().map(|c| c.content.as_str())).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     let pos: Vec<String> = (0..400)
         .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicPositive, &mut rng))
@@ -36,18 +33,16 @@ fn trained(seed: u64, threshold: f64) -> (CatsPipeline, cats::platform::Platform
             expansion: ExpansionConfig::default(),
         },
     );
-    let mut detector =
-        Detector::with_default_classifier(DetectorConfig { threshold, ..DetectorConfig::default() });
+    let mut detector = Detector::with_default_classifier(DetectorConfig {
+        threshold,
+        ..DetectorConfig::default()
+    });
     let items: Vec<ItemComments> = train
         .items()
         .iter()
         .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
         .collect();
-    let labels: Vec<u8> = train
-        .items()
-        .iter()
-        .map(|i| u8::from(i.label.is_fraud()))
-        .collect();
+    let labels: Vec<u8> = train.items().iter().map(|i| u8::from(i.label.is_fraud())).collect();
     detector.fit(&items, &labels, &analyzer);
     (CatsPipeline::from_parts(analyzer, detector), train)
 }
@@ -61,32 +56,20 @@ fn crawl_then_detect_finds_latent_frauds() {
     let collected = collector.crawl(&site);
     assert!(!collected.items.is_empty());
 
-    let items: Vec<ItemComments> = collected
-        .items
-        .iter()
-        .map(|i| ItemComments::from_texts(i.comment_texts()))
-        .collect();
+    let items: Vec<ItemComments> =
+        collected.items.iter().map(|i| ItemComments::from_texts(i.comment_texts())).collect();
     let sales: Vec<u64> = collected.items.iter().map(|i| i.sales_volume).collect();
     let reports = pipeline.detect(&items, &sales);
 
-    let reported: Vec<&CollectedItem> = collected
-        .items
-        .iter()
-        .zip(&reports)
-        .filter(|(_, r)| r.is_fraud)
-        .map(|(i, _)| i)
-        .collect();
+    let reported: Vec<&CollectedItem> =
+        collected.items.iter().zip(&reports).filter(|(_, r)| r.is_fraud).map(|(i, _)| i).collect();
     assert!(!reported.is_empty(), "no frauds reported");
     // Majority of reports should be latent frauds.
     let true_hits = reported
         .iter()
         .filter(|ci| target.item(ci.item_id).is_some_and(|it| it.label.is_fraud()))
         .count();
-    assert!(
-        true_hits * 2 > reported.len(),
-        "precision below 0.5: {true_hits}/{}",
-        reported.len()
-    );
+    assert!(true_hits * 2 > reported.len(), "precision below 0.5: {true_hits}/{}", reported.len());
 }
 
 #[test]
@@ -95,28 +78,15 @@ fn measurement_signals_hold_on_reported_items() {
     let target = datasets::e_platform(0.0008, 904);
     let site = PublicSite::new(&target, SiteConfig::default());
     let collected = Collector::new(CollectorConfig::default()).crawl(&site);
-    let items: Vec<ItemComments> = collected
-        .items
-        .iter()
-        .map(|i| ItemComments::from_texts(i.comment_texts()))
-        .collect();
+    let items: Vec<ItemComments> =
+        collected.items.iter().map(|i| ItemComments::from_texts(i.comment_texts())).collect();
     let sales: Vec<u64> = collected.items.iter().map(|i| i.sales_volume).collect();
     let reports = pipeline.detect(&items, &sales);
 
-    let fraud: Vec<&CollectedItem> = collected
-        .items
-        .iter()
-        .zip(&reports)
-        .filter(|(_, r)| r.is_fraud)
-        .map(|(i, _)| i)
-        .collect();
-    let normal: Vec<&CollectedItem> = collected
-        .items
-        .iter()
-        .zip(&reports)
-        .filter(|(_, r)| !r.is_fraud)
-        .map(|(i, _)| i)
-        .collect();
+    let fraud: Vec<&CollectedItem> =
+        collected.items.iter().zip(&reports).filter(|(_, r)| r.is_fraud).map(|(i, _)| i).collect();
+    let normal: Vec<&CollectedItem> =
+        collected.items.iter().zip(&reports).filter(|(_, r)| !r.is_fraud).map(|(i, _)| i).collect();
     if fraud.is_empty() {
         panic!("no frauds reported at this scale");
     }
@@ -155,11 +125,8 @@ fn noisy_site_and_clean_site_agree_on_verdicts() {
     let noisy = PublicSite::new(&target, SiteConfig::default());
     let run = |site: &PublicSite<'_>| -> Vec<u64> {
         let collected = Collector::new(CollectorConfig::default()).crawl(site);
-        let items: Vec<ItemComments> = collected
-            .items
-            .iter()
-            .map(|i| ItemComments::from_texts(i.comment_texts()))
-            .collect();
+        let items: Vec<ItemComments> =
+            collected.items.iter().map(|i| ItemComments::from_texts(i.comment_texts())).collect();
         let sales: Vec<u64> = collected.items.iter().map(|i| i.sales_volume).collect();
         let reports = pipeline.detect(&items, &sales);
         collected

@@ -2,9 +2,7 @@
 //! generation through detection and evaluation.
 
 use cats::core::semantic::SemanticConfig;
-use cats::core::{
-    CatsPipeline, Detector, DetectorConfig, ItemComments, SemanticAnalyzer,
-};
+use cats::core::{CatsPipeline, Detector, DetectorConfig, ItemComments, SemanticAnalyzer};
 use cats::embedding::{ExpansionConfig, Word2VecConfig};
 use cats::platform::comment_model::{generate_comment, CommentStyle};
 use cats::platform::{datasets, Platform};
@@ -34,18 +32,16 @@ fn train_pipeline(platform: &Platform, seed: u64, threshold: f64) -> CatsPipelin
             expansion: ExpansionConfig::default(),
         },
     );
-    let mut detector =
-        Detector::with_default_classifier(DetectorConfig { threshold, ..DetectorConfig::default() });
+    let mut detector = Detector::with_default_classifier(DetectorConfig {
+        threshold,
+        ..DetectorConfig::default()
+    });
     let items: Vec<ItemComments> = platform
         .items()
         .iter()
         .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
         .collect();
-    let labels: Vec<u8> = platform
-        .items()
-        .iter()
-        .map(|i| u8::from(i.label.is_fraud()))
-        .collect();
+    let labels: Vec<u8> = platform.items().iter().map(|i| u8::from(i.label.is_fraud())).collect();
     detector.fit(&items, &labels, &analyzer);
     CatsPipeline::from_parts(analyzer, detector)
 }
@@ -57,11 +53,7 @@ fn to_inputs(platform: &Platform) -> (Vec<ItemComments>, Vec<u64>, Vec<u8>) {
         .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
         .collect();
     let sales = platform.items().iter().map(|i| i.sales_volume).collect();
-    let labels = platform
-        .items()
-        .iter()
-        .map(|i| u8::from(i.label.is_fraud()))
-        .collect();
+    let labels = platform.items().iter().map(|i| u8::from(i.label.is_fraud())).collect();
     (items, sales, labels)
 }
 

@@ -15,11 +15,8 @@ use rand::{rngs::StdRng, SeedableRng};
 #[test]
 fn snapshot_roundtrip_preserves_verdicts() {
     let train = datasets::d0(0.004, 61);
-    let corpus: Vec<&str> = train
-        .items()
-        .iter()
-        .flat_map(|i| i.comments.iter().map(|c| c.content.as_str()))
-        .collect();
+    let corpus: Vec<&str> =
+        train.items().iter().flat_map(|i| i.comments.iter().map(|c| c.content.as_str())).collect();
     let mut rng = StdRng::seed_from_u64(61);
     let pos: Vec<String> = (0..300)
         .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicPositive, &mut rng))
@@ -45,11 +42,7 @@ fn snapshot_roundtrip_preserves_verdicts() {
         .iter()
         .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
         .collect();
-    let labels: Vec<u8> = train
-        .items()
-        .iter()
-        .map(|i| u8::from(i.label.is_fraud()))
-        .collect();
+    let labels: Vec<u8> = train.items().iter().map(|i| u8::from(i.label.is_fraud())).collect();
     let rows = cats::core::features::extract_batch(&items, &analyzer, 0);
     let mut data = Dataset::new(cats::core::N_FEATURES);
     for (r, &l) in rows.iter().zip(&labels) {

@@ -20,11 +20,7 @@ fn dict_for(platform: &cats::platform::Platform) -> DictSegmenter {
             .cloned()
             // the template intensifiers appear in comments without being
             // vocabulary members of a class
-            .chain(
-                ["hen", "zhen", "feichang", "jiushi", "queshi"]
-                    .into_iter()
-                    .map(String::from),
-            ),
+            .chain(["hen", "zhen", "feichang", "jiushi", "queshi"].into_iter().map(String::from)),
     )
 }
 
@@ -54,10 +50,7 @@ fn dict_segmentation_recovers_spaced_tokenization() {
     // Maximum matching over a complete dictionary with Zipfian word reuse
     // is not always unique, but the overwhelming majority of comments must
     // re-segment exactly.
-    assert!(
-        exact * 10 >= comments * 9,
-        "only {exact}/{comments} comments re-segmented exactly"
-    );
+    assert!(exact * 10 >= comments * 9, "only {exact}/{comments} comments re-segmented exactly");
 }
 
 #[test]
@@ -72,10 +65,7 @@ fn features_agree_between_spaced_and_unspaced_paths() {
         platform.lexicon().negative().to_vec(),
     );
     let docs = |texts: &[&str]| -> Vec<Vec<String>> {
-        texts
-            .iter()
-            .map(|t| t.split_whitespace().map(String::from).collect())
-            .collect()
+        texts.iter().map(|t| t.split_whitespace().map(String::from).collect()).collect()
     };
     let sentiment = SentimentModel::train(
         &docs(&["haoping zhide manyi", "bucuo xihuan"]),
@@ -96,10 +86,8 @@ fn features_agree_between_spaced_and_unspaced_paths() {
         }
         let spaced = ItemComments::from_texts(texts.clone());
         let unspaced_texts: Vec<String> = texts.iter().map(|t| strip_spaces(t)).collect();
-        let unspaced = ItemComments::from_texts_with(
-            unspaced_texts.iter().map(String::as_str),
-            &dict,
-        );
+        let unspaced =
+            ItemComments::from_texts_with(unspaced_texts.iter().map(String::as_str), &dict);
         let fa = features::extract(&spaced, &analyzer);
         let fb = features::extract(&unspaced, &analyzer);
         let close = fa
