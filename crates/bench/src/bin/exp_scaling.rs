@@ -1,50 +1,175 @@
-//! Extension — feature-extraction scaling.
+//! Extension — full-pipeline thread scaling.
 //!
 //! The paper runs CATS on a 40-vCPU server and notes the feature
 //! extractor "is implemented in a parallelized style for fast
-//! processing". This experiment measures batch extraction throughput
-//! against the thread count on this machine.
+//! processing". This experiment sweeps the whole training pipeline —
+//! corpus segmentation, embedding + sentiment training, detector fit,
+//! and batch detection — over thread counts and reports per-stage wall
+//! times plus the end-to-end speedup. Results are also written to
+//! `BENCH_scaling.json` at the repo root for the acceptance gate.
 
 use cats_bench::{render, setup, Args};
-use cats_core::{features, ItemComments};
-use cats_platform::datasets;
+use cats_core::{Detector, DetectorConfig, ItemComments, SemanticAnalyzer};
+use cats_embedding::{expand_lexicon, ExpansionConfig, Word2VecConfig, Word2VecTrainer};
+use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
+use cats_par::Parallelism;
+use cats_sentiment::SentimentModel;
+use cats_text::{Corpus, Segmenter, WhitespaceSegmenter};
 use std::time::Instant;
+
+/// One sweep row: per-stage and total wall times at a thread count.
+struct Row {
+    threads: usize,
+    segment_s: f64,
+    embed_s: f64,
+    fit_s: f64,
+    detect_s: f64,
+}
+
+impl Row {
+    fn total(&self) -> f64 {
+        self.segment_s + self.embed_s + self.fit_s + self.detect_s
+    }
+}
+
+/// Runs the full training + detection pipeline once at `threads`,
+/// timing each stage.
+fn run_once(
+    platform: &cats_platform::Platform,
+    items: &[ItemComments],
+    sales: &[u64],
+    labels: &[u8],
+    seed: u64,
+    threads: usize,
+) -> Row {
+    let par = Parallelism { threads, deterministic: true };
+    let seg = WhitespaceSegmenter;
+
+    // Stage 1: corpus segmentation (work-stealing batch segmentation).
+    let corpus_texts: Vec<&str> = platform
+        .items()
+        .iter()
+        .flat_map(|i| i.comments.iter().map(|c| c.content.as_str()))
+        .take(setup::MAX_W2V_COMMENTS)
+        .collect();
+    let t0 = Instant::now();
+    let mut corpus = Corpus::new();
+    corpus.push_texts(&corpus_texts, &seg, par);
+    let segment_s = t0.elapsed().as_secs_f64();
+
+    // Stage 2: embedding + lexicon expansion + sentiment training.
+    let (sent_pos, sent_neg) =
+        setup::sentiment_corpus(platform.lexicon(), setup::SENTIMENT_REVIEWS, seed);
+    let t0 = Instant::now();
+    let w2v = Word2VecConfig { parallelism: par, ..setup::experiment_w2v() };
+    let embedding = Word2VecTrainer::new(w2v).train(&corpus);
+    let lexicon = expand_lexicon(
+        &embedding,
+        &platform.lexicon().positive_seeds(),
+        &platform.lexicon().negative_seeds(),
+        ExpansionConfig::default(),
+    );
+    let seg_docs = |texts: &[String]| -> Vec<Vec<String>> {
+        cats_par::map_chunked(par, texts, |t| seg.segment(t))
+    };
+    let sentiment = SentimentModel::train_par(&seg_docs(&sent_pos), &seg_docs(&sent_neg), par);
+    let analyzer = SemanticAnalyzer::from_parts(lexicon, sentiment);
+    let embed_s = t0.elapsed().as_secs_f64();
+
+    // Stage 3: detector fit (parallel extraction + parallel GBT).
+    let t0 = Instant::now();
+    let gbt = GradientBoostedTrees::new(GbtConfig { parallelism: par, ..GbtConfig::default() });
+    let mut detector = Detector::new(
+        DetectorConfig { parallelism: par, ..DetectorConfig::default() },
+        Box::new(gbt),
+    );
+    detector.fit(items, labels, &analyzer);
+    let fit_s = t0.elapsed().as_secs_f64();
+
+    // Stage 4: batch detection.
+    let t0 = Instant::now();
+    let reports = detector.detect(items, sales, &analyzer);
+    let detect_s = t0.elapsed().as_secs_f64();
+    assert_eq!(reports.len(), items.len());
+
+    Row { threads, segment_s, embed_s, fit_s, detect_s }
+}
 
 fn main() {
     let args = Args::parse(0.02, 0x5CA1);
-    let platform = datasets::d0(args.scale, args.seed);
-    let analyzer = setup::train_analyzer(&platform, args.seed);
+    let platform = cats_platform::datasets::d0(args.scale, args.seed);
     let items: Vec<ItemComments> = platform.items().iter().map(setup::item_comments).collect();
+    let sales: Vec<u64> = platform.items().iter().map(|i| i.sales_volume).collect();
+    let labels: Vec<u8> = platform.items().iter().map(setup::item_label).collect();
     let comments: usize = items.iter().map(ItemComments::len).sum();
-    println!("== Extension: extraction scaling ({} items, {} comments) ==", items.len(), comments);
+    println!(
+        "== Extension: full-pipeline scaling ({} items, {} comments) ==",
+        items.len(),
+        comments
+    );
 
-    let cores = std::thread::available_parallelism().map_or(4, usize::from);
-    let mut rows = Vec::new();
-    let mut base = 0.0;
-    for threads in [1usize, 2, 4, 8, 16] {
+    let cores = cats_par::default_threads();
+    let mut rows: Vec<Row> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
         if threads > 2 * cores {
             break;
         }
-        // Warm-up + best-of-3 to damp scheduler noise.
-        features::extract_batch(&items, &analyzer, threads);
-        let mut best = f64::INFINITY;
-        for _ in 0..3 {
-            let t0 = Instant::now();
-            let out = features::extract_batch(&items, &analyzer, threads);
-            let dt = t0.elapsed().as_secs_f64();
-            assert_eq!(out.len(), items.len());
-            best = best.min(dt);
-        }
-        if threads == 1 {
-            base = best;
-        }
-        rows.push(vec![
-            threads.to_string(),
-            format!("{:.3}", best),
-            format!("{:.0}", items.len() as f64 / best),
-            format!("{:.2}x", base / best),
-        ]);
+        rows.push(run_once(&platform, &items, &sales, &labels, args.seed, threads));
     }
-    println!("{}", render::table(&["Threads", "Best time (s)", "Items/s", "Speedup"], &rows));
+
+    let base = rows[0].total();
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.threads.to_string(),
+                format!("{:.3}", r.segment_s),
+                format!("{:.3}", r.embed_s),
+                format!("{:.3}", r.fit_s),
+                format!("{:.3}", r.detect_s),
+                format!("{:.3}", r.total()),
+                format!("{:.2}x", base / r.total()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            &["Threads", "Segment (s)", "Embed (s)", "Fit (s)", "Detect (s)", "Total (s)", "Speedup"],
+            &table_rows
+        )
+    );
     println!("machine parallelism: {cores} threads");
+
+    // Machine-readable output for the acceptance gate. Hand-rolled JSON:
+    // the bench crate deliberately has no serde dependency.
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"threads\": {}, \"segment_s\": {:.6}, \"embed_s\": {:.6}, \
+                 \"fit_s\": {:.6}, \"detect_s\": {:.6}, \"total_s\": {:.6}, \
+                 \"speedup\": {:.4}}}",
+                r.threads,
+                r.segment_s,
+                r.embed_s,
+                r.fit_s,
+                r.detect_s,
+                r.total(),
+                base / r.total()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"exp_scaling\",\n  \"scale\": {},\n  \"seed\": {},\n  \
+         \"machine_threads\": {},\n  \"items\": {},\n  \"comments\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        args.scale,
+        args.seed,
+        cores,
+        items.len(),
+        comments,
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_scaling.json", json).expect("write BENCH_scaling.json");
+    println!("wrote BENCH_scaling.json");
 }

@@ -65,6 +65,16 @@ pub fn experiment_w2v() -> Word2VecConfig {
 
 /// Trains the semantic analyzer from a platform's own public comments.
 pub fn train_analyzer(platform: &Platform, seed: u64) -> SemanticAnalyzer {
+    train_analyzer_with(platform, seed, cats_par::Parallelism::default())
+}
+
+/// [`train_analyzer`] with an explicit parallelism setting — the scaling
+/// experiment sweeps this over thread counts.
+pub fn train_analyzer_with(
+    platform: &Platform,
+    seed: u64,
+    parallelism: cats_par::Parallelism,
+) -> SemanticAnalyzer {
     let corpus: Vec<&str> = platform
         .items()
         .iter()
@@ -80,7 +90,11 @@ pub fn train_analyzer(platform: &Platform, seed: u64) -> SemanticAnalyzer {
         &platform.lexicon().negative_seeds(),
         &sp,
         &sn,
-        SemanticConfig { word2vec: experiment_w2v(), expansion: ExpansionConfig::default() },
+        SemanticConfig {
+            word2vec: experiment_w2v(),
+            expansion: ExpansionConfig::default(),
+            parallelism,
+        },
     )
 }
 
@@ -168,8 +182,10 @@ pub fn pipeline_config() -> PipelineConfig {
         semantic: SemanticConfig {
             word2vec: experiment_w2v(),
             expansion: ExpansionConfig::default(),
+            ..SemanticConfig::default()
         },
         detector: DetectorConfig::default(),
+        ..PipelineConfig::default()
     }
 }
 

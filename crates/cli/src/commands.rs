@@ -88,6 +88,7 @@ pub fn train(
         cats_core::SemanticConfig {
             word2vec: Word2VecConfig { dim: 48, epochs: 3, ..Word2VecConfig::default() },
             expansion: ExpansionConfig::default(),
+            ..cats_core::SemanticConfig::default()
         },
     );
 

@@ -14,6 +14,7 @@ use crate::features::{extract_batch, FeatureVector, ItemComments, N_FEATURES};
 use crate::semantic::SemanticAnalyzer;
 use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
 use cats_ml::{Classifier, Dataset};
+use cats_par::Parallelism;
 use serde::{Deserialize, Serialize};
 
 /// Rule-filter and decision-threshold configuration.
@@ -26,11 +27,20 @@ pub struct DetectorConfig {
     pub require_positive_evidence: bool,
     /// Classification threshold on the fraud score.
     pub threshold: f64,
+    /// Parallelism for feature extraction during fit/detect (a runtime
+    /// knob, not part of the serialized model).
+    #[serde(skip)]
+    pub parallelism: Parallelism,
 }
 
 impl Default for DetectorConfig {
     fn default() -> Self {
-        Self { min_sales_volume: 5, require_positive_evidence: true, threshold: 0.5 }
+        Self {
+            min_sales_volume: 5,
+            require_positive_evidence: true,
+            threshold: 0.5,
+            parallelism: Parallelism::default(),
+        }
     }
 }
 
@@ -156,8 +166,14 @@ impl Detector {
     /// Trains from labeled items: extracts features (in parallel) then
     /// fits. Filtered-out items still participate in training — the paper
     /// pre-trains on a labeled dataset without re-filtering it.
-    pub fn fit(&mut self, items: &[ItemComments], labels: &[u8], analyzer: &SemanticAnalyzer) {
-        let rows = extract_batch(items, analyzer, 0);
+    ///
+    /// Accepts owned items or references, so callers holding borrowed
+    /// training sets do not have to clone the comment vectors.
+    pub fn fit<T>(&mut self, items: &[T], labels: &[u8], analyzer: &SemanticAnalyzer)
+    where
+        T: std::borrow::Borrow<ItemComments> + Sync,
+    {
+        let rows = extract_batch(items, analyzer, self.config.parallelism.threads);
         self.fit_features(&rows, labels);
     }
 
@@ -194,9 +210,8 @@ impl Detector {
         // Stage 2: features only for survivors.
         let survivors: Vec<usize> =
             (0..items.len()).filter(|&i| decisions[i] == FilterDecision::Classified).collect();
-        let survivor_items: Vec<ItemComments> =
-            survivors.iter().map(|&i| items[i].clone()).collect();
-        let rows = extract_batch(&survivor_items, analyzer, 0);
+        let survivor_items: Vec<&ItemComments> = survivors.iter().map(|&i| &items[i]).collect();
+        let rows = extract_batch(&survivor_items, analyzer, self.config.parallelism.threads);
 
         let mut reports: Vec<DetectionReport> = decisions
             .iter()

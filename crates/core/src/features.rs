@@ -170,41 +170,21 @@ pub fn extract(item: &ItemComments, analyzer: &SemanticAnalyzer) -> FeatureVecto
 
 /// Parallel batch extraction: one feature row per item, order-preserving.
 ///
-/// Splits the items across `n_threads` scoped threads (clamped to the item
-/// count; 0 means "use available parallelism").
-pub fn extract_batch(
-    items: &[ItemComments],
+/// Runs on the `cats-par` work-stealing pool (`n_threads` workers; 0 means
+/// "use available parallelism"), so items with heavily skewed comment
+/// counts rebalance instead of straggling one static chunk. Accepts owned
+/// items or references (`&[ItemComments]` and `&[&ItemComments]` both
+/// work), and the output is identical at every thread count.
+pub fn extract_batch<T>(
+    items: &[T],
     analyzer: &SemanticAnalyzer,
     n_threads: usize,
-) -> Vec<FeatureVector> {
-    let n_threads = if n_threads == 0 {
-        std::thread::available_parallelism().map_or(4, usize::from)
-    } else {
-        n_threads
-    }
-    .clamp(1, items.len().max(1));
-
-    if items.is_empty() {
-        return Vec::new();
-    }
-    if n_threads == 1 {
-        return items.iter().map(|it| extract(it, analyzer)).collect();
-    }
-
-    let chunk = items.len().div_ceil(n_threads);
-    let mut out: Vec<Option<Vec<FeatureVector>>> = vec![None; n_threads];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (t, slot) in items.chunks(chunk).zip(out.iter_mut()) {
-            handles.push(scope.spawn(move || {
-                *slot = Some(t.iter().map(|it| extract(it, analyzer)).collect());
-            }));
-        }
-        for h in handles {
-            h.join().expect("extraction thread panicked");
-        }
-    });
-    out.into_iter().flatten().flatten().collect()
+) -> Vec<FeatureVector>
+where
+    T: std::borrow::Borrow<ItemComments> + Sync,
+{
+    let par = cats_par::Parallelism { threads: n_threads, deterministic: true };
+    cats_par::map_chunked(par, items, |it| extract(it.borrow(), analyzer))
 }
 
 #[cfg(test)]
@@ -335,6 +315,15 @@ mod tests {
     #[test]
     fn batch_on_empty_input() {
         let a = analyzer();
-        assert!(extract_batch(&[], &a, 4).is_empty());
+        assert!(extract_batch::<ItemComments>(&[], &a, 4).is_empty());
+    }
+
+    #[test]
+    fn batch_accepts_references() {
+        let a = analyzer();
+        let items: Vec<ItemComments> =
+            (0..5).map(|i| ItemComments::from_texts([format!("hao w{i}").as_str()])).collect();
+        let refs: Vec<&ItemComments> = items.iter().collect();
+        assert_eq!(extract_batch(&refs, &a, 2), extract_batch(&items, &a, 2));
     }
 }

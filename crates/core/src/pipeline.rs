@@ -12,6 +12,7 @@ use crate::features::ItemComments;
 use crate::semantic::{SemanticAnalyzer, SemanticConfig};
 use cats_ml::metrics::BinaryMetrics;
 use cats_ml::Classifier;
+use cats_par::Parallelism;
 use serde::{Deserialize, Serialize};
 
 /// Pipeline construction knobs.
@@ -21,6 +22,10 @@ pub struct PipelineConfig {
     pub semantic: SemanticConfig,
     /// Detector configuration.
     pub detector: DetectorConfig,
+    /// Top-level parallelism knob. [`CatsPipeline::train`] copies it into
+    /// the semantic and detector configurations, so setting it here is
+    /// enough to parallelize the whole pipeline.
+    pub parallelism: Parallelism,
 }
 
 /// One labeled training example for the pipeline.
@@ -55,19 +60,22 @@ impl CatsPipeline {
         classifier: Option<Box<dyn Classifier>>,
         config: PipelineConfig,
     ) -> Self {
+        // The top-level knob wins: stage configs inherit it wholesale.
+        let semantic = SemanticConfig { parallelism: config.parallelism, ..config.semantic };
+        let detector_cfg = DetectorConfig { parallelism: config.parallelism, ..config.detector };
         let analyzer = SemanticAnalyzer::train(
             corpus_texts,
             positive_seeds,
             negative_seeds,
             sentiment_positive,
             sentiment_negative,
-            config.semantic,
+            semantic,
         );
         let mut detector = match classifier {
-            Some(c) => Detector::new(config.detector, c),
-            None => Detector::with_default_classifier(config.detector),
+            Some(c) => Detector::new(detector_cfg, c),
+            None => Detector::with_default_classifier(detector_cfg),
         };
-        let items: Vec<ItemComments> = training_items.iter().map(|l| l.comments.clone()).collect();
+        let items: Vec<&ItemComments> = training_items.iter().map(|l| &l.comments).collect();
         let labels: Vec<u8> = training_items.iter().map(|l| l.label).collect();
         detector.fit(&items, &labels, &analyzer);
         Self { analyzer, detector }

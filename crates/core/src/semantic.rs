@@ -8,6 +8,7 @@
 //! [`SemanticAnalyzer`]'s lexicon/sentiment accessors.
 
 use cats_embedding::{expand_lexicon, Embedding, ExpansionConfig, Word2VecConfig, Word2VecTrainer};
+use cats_par::Parallelism;
 use cats_sentiment::SentimentModel;
 use cats_text::{Corpus, Lexicon, Segmenter, WhitespaceSegmenter};
 use serde::{Deserialize, Serialize};
@@ -19,6 +20,9 @@ pub struct SemanticConfig {
     pub word2vec: Word2VecConfig,
     /// Lexicon expansion parameters (the paper caps both sets at ~200).
     pub expansion: ExpansionConfig,
+    /// Parallelism for corpus segmentation, embedding training and
+    /// sentiment training. Overrides `word2vec.parallelism`.
+    pub parallelism: Parallelism,
 }
 
 /// The trained semantic analyzer: expanded lexicon + sentiment model.
@@ -50,17 +54,21 @@ impl SemanticAnalyzer {
         config: SemanticConfig,
     ) -> Self {
         let seg = WhitespaceSegmenter;
+        let par = config.parallelism;
         let mut corpus = Corpus::new();
-        for text in comment_texts {
-            corpus.push_text(text, &seg);
-        }
-        let embedding = Word2VecTrainer::new(config.word2vec).train(&corpus);
+        corpus.push_texts(comment_texts, &seg, par);
+        let w2v = Word2VecConfig { parallelism: par, ..config.word2vec };
+        let embedding = Word2VecTrainer::new(w2v).train(&corpus);
         let lexicon = expand_lexicon(&embedding, positive_seeds, negative_seeds, config.expansion);
 
-        let seg_docs =
-            |texts: &[&str]| -> Vec<Vec<String>> { texts.iter().map(|t| seg.segment(t)).collect() };
-        let sentiment =
-            SentimentModel::train(&seg_docs(sentiment_positive), &seg_docs(sentiment_negative));
+        let seg_docs = |texts: &[&str]| -> Vec<Vec<String>> {
+            cats_par::map_chunked(par, texts, |t| seg.segment(t))
+        };
+        let sentiment = SentimentModel::train_par(
+            &seg_docs(sentiment_positive),
+            &seg_docs(sentiment_negative),
+            par,
+        );
         Self { lexicon, sentiment }
     }
 
@@ -69,9 +77,7 @@ impl SemanticAnalyzer {
     pub fn train_embedding(comment_texts: &[&str], config: Word2VecConfig) -> Embedding {
         let seg = WhitespaceSegmenter;
         let mut corpus = Corpus::new();
-        for text in comment_texts {
-            corpus.push_text(text, &seg);
-        }
+        corpus.push_texts(comment_texts, &seg, config.parallelism);
         Word2VecTrainer::new(config).train(&corpus)
     }
 
@@ -128,6 +134,7 @@ mod tests {
                     ..Word2VecConfig::default()
                 },
                 expansion: ExpansionConfig { k: 6, min_similarity: 0.3, max_words: 12 },
+                ..SemanticConfig::default()
             },
         )
     }

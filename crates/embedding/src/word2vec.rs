@@ -6,10 +6,33 @@
 //! unigram distribution raised to 0.75. Frequent words are subsampled with
 //! the standard `1 − sqrt(t / f)` discard rule. Training is plain SGD with
 //! linearly decaying learning rate, deterministic under a seed.
+//!
+//! # Parallel training
+//!
+//! Three schedules, selected by [`Word2VecConfig::parallelism`]:
+//!
+//! - **Serial** — small corpora (fewer than `DET_MIN_SENTENCES` sentences)
+//!   or a single thread: the historical reference loop, bit-identical to
+//!   the pre-parallel implementation.
+//! - **Deterministic sharded** (the default for large corpora) — each
+//!   epoch snapshots the weights, trains a *fixed* number of contiguous
+//!   sentence shards independently (per-shard RNG seeded from
+//!   `(seed, epoch, shard)`), then merges each shard's delta against the
+//!   snapshot back into the shared weights in shard order behind the
+//!   epoch barrier. The schedule is a pure function of corpus and seed, so
+//!   results are identical at every thread count — including one.
+//! - **Hogwild** (`deterministic: false`) — workers update shared
+//!   `syn0`/`syn1` lock-free through racy bit-cast read-modify-writes, as
+//!   in the reference C implementation; SGD tolerates the occasional lost
+//!   update. Fastest, but run-to-run results differ with more than one
+//!   thread.
 
+use cats_par::Parallelism;
 use cats_text::{Corpus, TokenId, Vocab};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Hyperparameters of the trainer.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +54,9 @@ pub struct Word2VecConfig {
     pub min_count: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Parallel schedule (see the module docs). The deterministic flag
+    /// chooses sharded-with-barrier over Hogwild.
+    pub parallelism: Parallelism,
 }
 
 impl Default for Word2VecConfig {
@@ -44,9 +70,19 @@ impl Default for Word2VecConfig {
             subsample: 1e-4,
             min_count: 3,
             seed: 1,
+            parallelism: Parallelism::default(),
         }
     }
 }
+
+/// Shard count of the deterministic parallel schedule. Fixed — rather than
+/// derived from the thread count — so the schedule (and therefore the
+/// trained vectors) is identical however many workers execute it.
+const DET_SHARDS: usize = 8;
+/// Minimum corpus size (in sentences) before the deterministic path
+/// shards. Below this the exact historical serial schedule runs: sharding
+/// tiny corpora would change results for no wall-clock win.
+const DET_MIN_SENTENCES: usize = 4096;
 
 /// Size of the pre-built negative-sampling table.
 const UNIGRAM_TABLE_SIZE: usize = 1 << 20;
@@ -208,58 +244,21 @@ impl Word2VecTrainer {
         let sigmoid = build_sigmoid_table();
         let keep_prob = build_keep_probs(vocab, cfg.subsample);
 
-        let total_tokens = (corpus.token_count() * cfg.epochs).max(1) as f64;
-        let mut processed: f64 = 0.0;
-        let mut neg_buf: Vec<usize> = Vec::with_capacity(cfg.negative);
-        let mut grad = vec![0.0f32; cfg.dim];
-        let mut kept: Vec<usize> = Vec::new();
-
-        for _epoch in 0..cfg.epochs {
-            for sentence in corpus.sentences() {
-                // Subsample the sentence.
-                kept.clear();
-                for &tok in sentence {
-                    let i = tok.index();
-                    processed += 1.0;
-                    if !trained[i] {
-                        continue;
-                    }
-                    if keep_prob[i] < 1.0 && rng.random::<f64>() > keep_prob[i] {
-                        continue;
-                    }
-                    kept.push(i);
-                }
-                if kept.len() < 2 {
-                    continue;
-                }
-                let lr = (cfg.initial_lr * (1.0 - (processed / total_tokens) as f32))
-                    .max(cfg.initial_lr * 1e-4);
-
-                for (pos, &center) in kept.iter().enumerate() {
-                    let radius = 1 + rng.random_range(0..cfg.window);
-                    let lo = pos.saturating_sub(radius);
-                    let hi = (pos + radius + 1).min(kept.len());
-                    #[allow(clippy::needless_range_loop)] // index math is the clearer form here
-                    for ctx_pos in lo..hi {
-                        if ctx_pos == pos {
-                            continue;
-                        }
-                        let context = kept[ctx_pos];
-                        // Draw negatives (rejecting the true context).
-                        neg_buf.clear();
-                        while neg_buf.len() < cfg.negative {
-                            let cand = unigram[rng.random_range(0..unigram.len())];
-                            if cand != context {
-                                neg_buf.push(cand);
-                            }
-                        }
-                        sgns_update(
-                            &mut syn0, &mut syn1, cfg.dim, center, context, &neg_buf, lr, &sigmoid,
-                            &mut grad,
-                        );
-                    }
-                }
-            }
+        let ctx = TrainCtx {
+            cfg,
+            trained: &trained,
+            keep_prob: &keep_prob,
+            unigram: &unigram,
+            sigmoid: &sigmoid,
+            total_tokens: (corpus.token_count() * cfg.epochs).max(1) as f64,
+        };
+        let threads = cfg.parallelism.resolved_threads();
+        if cfg.parallelism.deterministic && corpus.len() >= DET_MIN_SENTENCES {
+            train_sharded(&ctx, corpus, &mut syn0, &mut syn1);
+        } else if !cfg.parallelism.deterministic && threads > 1 && corpus.len() >= threads {
+            train_hogwild(&ctx, corpus, &mut syn0, &mut syn1, threads);
+        } else {
+            train_serial(&ctx, corpus, &mut syn0, &mut syn1, &mut rng);
         }
 
         let vocab_words: Vec<String> =
@@ -268,11 +267,293 @@ impl Word2VecTrainer {
     }
 }
 
-/// One SGNS gradient step for (center, context, negatives).
-#[allow(clippy::too_many_arguments)]
-fn sgns_update(
+/// Uniform read/add access to a weight matrix, so every training schedule
+/// shares one gradient-step routine.
+trait Weights {
+    fn get(&self, i: usize) -> f32;
+    fn add(&self, i: usize, delta: f32);
+}
+
+/// Single-owner view through `Cell`: zero synchronization cost. Used by
+/// the serial and deterministic sharded paths.
+struct CellWeights<'a>(&'a [Cell<f32>]);
+
+impl Weights for CellWeights<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f32 {
+        self.0[i].get()
+    }
+
+    #[inline]
+    fn add(&self, i: usize, delta: f32) {
+        self.0[i].set(self.0[i].get() + delta);
+    }
+}
+
+/// Shared Hogwild view: the read-modify-write is deliberately a plain
+/// load/store pair on bit-cast atomics, so concurrent updates to the same
+/// row can drop — exactly the unsynchronized float writes of the reference
+/// C implementation. SGD absorbs the noise.
+struct AtomicWeights<'a>(&'a [AtomicU32]);
+
+impl Weights for AtomicWeights<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f32 {
+        f32::from_bits(self.0[i].load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn add(&self, i: usize, delta: f32) {
+        let v = f32::from_bits(self.0[i].load(Ordering::Relaxed)) + delta;
+        self.0[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+fn as_cells(xs: &mut [f32]) -> &[Cell<f32>] {
+    Cell::from_mut(xs).as_slice_of_cells()
+}
+
+/// Read-only state shared by every training schedule.
+struct TrainCtx<'a> {
+    cfg: Word2VecConfig,
+    trained: &'a [bool],
+    keep_prob: &'a [f64],
+    unigram: &'a [usize],
+    sigmoid: &'a [f32],
+    /// Denominator of the linear lr decay: tokens across all epochs.
+    total_tokens: f64,
+}
+
+/// Per-worker scratch buffers, reused across sentences.
+struct Scratch {
+    kept: Vec<usize>,
+    neg_buf: Vec<usize>,
+    grad: Vec<f32>,
+}
+
+impl Scratch {
+    fn new(cfg: &Word2VecConfig) -> Self {
+        Self {
+            kept: Vec::new(),
+            neg_buf: Vec::with_capacity(cfg.negative),
+            grad: vec![0.0f32; cfg.dim],
+        }
+    }
+}
+
+/// Learning rate after `done` of `total` scheduled tokens (linear decay
+/// with the reference implementation's 1e-4 floor). `done` counts *every*
+/// token of each visited sentence, kept or not, exactly like the
+/// historical serial loop did with its running `f64` counter.
+fn lr_at(cfg: &Word2VecConfig, done: u64, total: f64) -> f32 {
+    (cfg.initial_lr * (1.0 - (done as f64 / total) as f32)).max(cfg.initial_lr * 1e-4)
+}
+
+/// SplitMix64-style hash decorrelating per-shard RNG streams.
+fn shard_seed(seed: u64, epoch: usize, shard: usize) -> u64 {
+    let mut z = seed
+        .wrapping_add((epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((shard as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Trains one sentence against the weight views. The RNG draw order
+/// (subsample per token, window radius per center, negatives per pair)
+/// matches the original serial loop exactly, so any schedule that feeds a
+/// correctly positioned RNG and token count reproduces its results.
+fn train_sentence<W: Weights>(
+    ctx: &TrainCtx<'_>,
+    sentence: &[TokenId],
+    syn0: &W,
+    syn1: &W,
+    lr: f32,
+    rng: &mut StdRng,
+    scratch: &mut Scratch,
+) {
+    let cfg = &ctx.cfg;
+    // Subsample the sentence.
+    scratch.kept.clear();
+    for &tok in sentence {
+        let i = tok.index();
+        if !ctx.trained[i] {
+            continue;
+        }
+        if ctx.keep_prob[i] < 1.0 && rng.random::<f64>() > ctx.keep_prob[i] {
+            continue;
+        }
+        scratch.kept.push(i);
+    }
+    if scratch.kept.len() < 2 {
+        return;
+    }
+    #[allow(clippy::needless_range_loop)] // index math is the clearer form here
+    for pos in 0..scratch.kept.len() {
+        let center = scratch.kept[pos];
+        let radius = 1 + rng.random_range(0..cfg.window);
+        let lo = pos.saturating_sub(radius);
+        let hi = (pos + radius + 1).min(scratch.kept.len());
+        for ctx_pos in lo..hi {
+            if ctx_pos == pos {
+                continue;
+            }
+            let context = scratch.kept[ctx_pos];
+            // Draw negatives (rejecting the true context).
+            scratch.neg_buf.clear();
+            while scratch.neg_buf.len() < cfg.negative {
+                let cand = ctx.unigram[rng.random_range(0..ctx.unigram.len())];
+                if cand != context {
+                    scratch.neg_buf.push(cand);
+                }
+            }
+            sgns_update(
+                syn0,
+                syn1,
+                cfg.dim,
+                center,
+                context,
+                &scratch.neg_buf,
+                lr,
+                ctx.sigmoid,
+                &mut scratch.grad,
+            );
+        }
+    }
+}
+
+/// The historical serial schedule: one RNG stream drives subsampling,
+/// windows and negatives across all epochs. Bit-identical to the
+/// pre-parallel implementation.
+fn train_serial(
+    ctx: &TrainCtx<'_>,
+    corpus: &Corpus,
     syn0: &mut [f32],
     syn1: &mut [f32],
+    rng: &mut StdRng,
+) {
+    let cfg = ctx.cfg;
+    let w0 = CellWeights(as_cells(syn0));
+    let w1 = CellWeights(as_cells(syn1));
+    let mut scratch = Scratch::new(&cfg);
+    let mut processed: u64 = 0;
+    for _epoch in 0..cfg.epochs {
+        for sentence in corpus.sentences() {
+            processed += sentence.len() as u64;
+            let lr = lr_at(&cfg, processed, ctx.total_tokens);
+            train_sentence(ctx, sentence, &w0, &w1, lr, rng, &mut scratch);
+        }
+    }
+}
+
+/// Deterministic sharded schedule: per epoch, every shard trains a private
+/// copy of the epoch snapshot over its contiguous sentence range, then the
+/// shard deltas (`trained − snapshot`) merge back in fixed shard order
+/// behind the barrier. A pure function of (corpus, config) — the thread
+/// count only changes wall-clock time, never the vectors.
+fn train_sharded(ctx: &TrainCtx<'_>, corpus: &Corpus, syn0: &mut [f32], syn1: &mut [f32]) {
+    let cfg = ctx.cfg;
+    let sents = corpus.sentences();
+    let n_sent = sents.len();
+    let epoch_tokens = corpus.token_count() as u64;
+    let bounds: Vec<(usize, usize)> = (0..DET_SHARDS)
+        .map(|s| (s * n_sent / DET_SHARDS, (s + 1) * n_sent / DET_SHARDS))
+        .collect();
+    // Token offset of each shard, so per-shard lr decay picks up exactly
+    // where a serial pass over the preceding shards would have left it.
+    let mut tokens_before = vec![0u64; DET_SHARDS];
+    let mut acc = 0u64;
+    for (s, &(lo, hi)) in bounds.iter().enumerate() {
+        tokens_before[s] = acc;
+        acc += sents[lo..hi].iter().map(|t| t.len() as u64).sum::<u64>();
+    }
+
+    for epoch in 0..cfg.epochs {
+        let snap0 = syn0.to_vec();
+        let snap1 = syn1.to_vec();
+        let (snap0_ref, snap1_ref) = (&snap0, &snap1);
+        let (bounds_ref, tokens_before_ref) = (&bounds, &tokens_before);
+        let shards: Vec<(Vec<f32>, Vec<f32>)> =
+            cats_par::map_indexed(cfg.parallelism, DET_SHARDS, move |s| {
+                let (lo, hi) = bounds_ref[s];
+                let mut w0 = snap0_ref.clone();
+                let mut w1 = snap1_ref.clone();
+                {
+                    let c0 = CellWeights(as_cells(&mut w0));
+                    let c1 = CellWeights(as_cells(&mut w1));
+                    let mut rng = StdRng::seed_from_u64(shard_seed(cfg.seed, epoch, s));
+                    let mut scratch = Scratch::new(&cfg);
+                    let mut processed = epoch as u64 * epoch_tokens + tokens_before_ref[s];
+                    for sentence in &sents[lo..hi] {
+                        processed += sentence.len() as u64;
+                        let lr = lr_at(&cfg, processed, ctx.total_tokens);
+                        train_sentence(ctx, sentence, &c0, &c1, lr, &mut rng, &mut scratch);
+                    }
+                }
+                (w0, w1)
+            });
+        // Untouched rows contribute an exact 0.0 delta, so no bookkeeping
+        // of which rows a shard updated is needed.
+        for (w0, w1) in &shards {
+            for ((dst, &sh), &sn) in syn0.iter_mut().zip(w0).zip(snap0.iter()) {
+                *dst += sh - sn;
+            }
+            for ((dst, &sh), &sn) in syn1.iter_mut().zip(w1).zip(snap1.iter()) {
+                *dst += sh - sn;
+            }
+        }
+    }
+}
+
+/// Hogwild schedule: one contiguous sentence shard per worker, no epoch
+/// barrier, racy lock-free updates to the shared matrices. The lr decay
+/// follows a global atomic token counter.
+fn train_hogwild(
+    ctx: &TrainCtx<'_>,
+    corpus: &Corpus,
+    syn0: &mut [f32],
+    syn1: &mut [f32],
+    threads: usize,
+) {
+    let cfg = ctx.cfg;
+    let sents = corpus.sentences();
+    let n_sent = sents.len();
+    let a0: Vec<AtomicU32> = syn0.iter().map(|x| AtomicU32::new(x.to_bits())).collect();
+    let a1: Vec<AtomicU32> = syn1.iter().map(|x| AtomicU32::new(x.to_bits())).collect();
+    let processed = AtomicU64::new(0);
+    let (a0_ref, a1_ref, processed_ref) = (&a0, &a1, &processed);
+    cats_par::parallel_for(Parallelism { threads, deterministic: false }, threads, move |w| {
+        let w0 = AtomicWeights(a0_ref);
+        let w1 = AtomicWeights(a1_ref);
+        let lo = w * n_sent / threads;
+        let hi = (w + 1) * n_sent / threads;
+        // `usize::MAX` keeps the Hogwild streams disjoint from the
+        // deterministic schedule's (epoch, shard) seed space.
+        let mut rng = StdRng::seed_from_u64(shard_seed(cfg.seed, usize::MAX, w));
+        let mut scratch = Scratch::new(&cfg);
+        for _epoch in 0..cfg.epochs {
+            for sentence in &sents[lo..hi] {
+                let before = processed_ref.fetch_add(sentence.len() as u64, Ordering::Relaxed);
+                let lr = lr_at(&cfg, before + sentence.len() as u64, ctx.total_tokens);
+                train_sentence(ctx, sentence, &w0, &w1, lr, &mut rng, &mut scratch);
+            }
+        }
+    });
+    for (dst, a) in syn0.iter_mut().zip(&a0) {
+        *dst = f32::from_bits(a.load(Ordering::Relaxed));
+    }
+    for (dst, a) in syn1.iter_mut().zip(&a1) {
+        *dst = f32::from_bits(a.load(Ordering::Relaxed));
+    }
+}
+
+/// One SGNS gradient step for (center, context, negatives), generic over
+/// the weight storage so the Cell-based and Hogwild paths share the exact
+/// update sequence.
+#[allow(clippy::too_many_arguments)]
+fn sgns_update<W: Weights>(
+    syn0: &W,
+    syn1: &W,
     dim: usize,
     center: usize,
     context: usize,
@@ -291,17 +572,17 @@ fn sgns_update(
         let u = idx * dim;
         let mut dot = 0.0f32;
         for d in 0..dim {
-            dot += syn0[v + d] * syn1[u + d];
+            dot += syn0.get(v + d) * syn1.get(u + d);
         }
         let pred = fast_sigmoid(dot, sigmoid);
         let g = (label - pred) * lr;
         for d in 0..dim {
-            grad[d] += g * syn1[u + d];
-            syn1[u + d] += g * syn0[v + d];
+            grad[d] += g * syn1.get(u + d);
+            syn1.add(u + d, g * syn0.get(v + d));
         }
     }
     for d in 0..dim {
-        syn0[v + d] += grad[d];
+        syn0.add(v + d, grad[d]);
     }
 }
 

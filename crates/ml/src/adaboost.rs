@@ -123,6 +123,10 @@ impl Classifier for AdaBoost {
     fn name(&self) -> &'static str {
         "AdaBoost"
     }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,10 @@ use crate::data::Dataset;
 use crate::metrics::BinaryMetrics;
 
 /// An object-safe binary classifier.
-pub trait Classifier: Send {
+///
+/// `Send + Sync` so a shared reference can cross worker threads during
+/// fold-parallel cross-validation; every model here is plain data.
+pub trait Classifier: Send + Sync {
     /// Fits the model to `data`, replacing any previous fit.
     fn fit(&mut self, data: &Dataset);
 
@@ -23,6 +26,10 @@ pub trait Classifier: Send {
 
     /// Human-readable model name (used in Table III output).
     fn name(&self) -> &'static str;
+
+    /// Boxed deep copy, so parallel cross-validation can refit one clone
+    /// per fold.
+    fn clone_box(&self) -> Box<dyn Classifier>;
 }
 
 /// Scores every row of `data` with `model`.
@@ -54,6 +61,9 @@ mod tests {
         }
         fn name(&self) -> &'static str {
             "stub"
+        }
+        fn clone_box(&self) -> Box<dyn Classifier> {
+            Box::new(Stub)
         }
     }
 

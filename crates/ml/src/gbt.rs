@@ -15,6 +15,7 @@
 
 use crate::classifier::Classifier;
 use crate::data::Dataset;
+use cats_par::Parallelism;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
@@ -57,6 +58,12 @@ pub struct GbtConfig {
     pub split_mode: SplitMode,
     /// Per-tree feature subsample fraction in `(0, 1]` (colsample_bytree).
     pub colsample: f64,
+    /// Parallelism for split scans and per-round recomputation. Results
+    /// are bit-identical at every thread count (parallelism is only over
+    /// features and rows whose accumulation order is self-contained).
+    /// Not serialized: a restored model refits with the caller's setting.
+    #[serde(skip)]
+    pub parallelism: Parallelism,
 }
 
 impl Default for GbtConfig {
@@ -72,8 +79,21 @@ impl Default for GbtConfig {
             seed: 7,
             split_mode: SplitMode::Exact,
             colsample: 1.0,
+            parallelism: Parallelism::default(),
         }
     }
+}
+
+/// Rows below which per-round gradient/margin recomputation stays serial.
+const PAR_MIN_ROWS: usize = 2048;
+/// Node size below which split scans stay serial (a per-feature scan over
+/// few members no longer amortizes the thread hand-off).
+const PAR_MIN_SPLIT_MEMBERS: usize = 1024;
+
+/// `par` when the work is `large`, else strictly serial — a size gate so
+/// tiny work items never pay scheduling overhead.
+fn par_if(par: Parallelism, large: bool) -> Parallelism {
+    if large { par } else { Parallelism::serial() }
 }
 
 /// A node of a regression tree, in a flat arena.
@@ -214,37 +234,44 @@ impl GradientBoostedTrees {
         let mut grad = vec![0.0f64; n];
         let mut hess = vec![0.0f64; n];
 
+        // Parallelism for row-linear passes (feature pre-sorts, gradient
+        // and margin recomputation). Gated on the dataset size.
+        let row_par = par_if(cfg.parallelism, n >= PAR_MIN_ROWS);
+
         // Quantile candidate thresholds per feature (histogram mode).
         let candidates: Option<Vec<Vec<f64>>> = match cfg.split_mode {
             SplitMode::Exact => None,
             SplitMode::Histogram { bins } => {
                 assert!(bins >= 2, "histogram mode needs at least 2 bins");
-                Some((0..data.n_features()).map(|f| quantile_thresholds(data, f, bins)).collect())
+                Some(cats_par::map_indexed(row_par, data.n_features(), |f| {
+                    quantile_thresholds(data, f, bins)
+                }))
             }
         };
 
         // Pre-sorted feature orders, reused by every tree.
-        let sorted: Vec<Vec<u32>> = (0..data.n_features())
-            .map(|f| {
-                let mut idx: Vec<u32> = (0..n as u32).collect();
-                idx.sort_by(|&a, &b| {
-                    data.row(a as usize)[f]
-                        .partial_cmp(&data.row(b as usize)[f])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
-                idx
-            })
-            .collect();
+        let sorted: Vec<Vec<u32>> = cats_par::map_indexed(row_par, data.n_features(), |f| {
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            idx.sort_by(|&a, &b| {
+                data.row(a as usize)[f]
+                    .partial_cmp(&data.row(b as usize)[f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            idx
+        });
 
         let mut best_valid_loss = f64::INFINITY;
         let mut best_round = 0usize;
         let mut rounds_since_best = 0usize;
 
         for _round in 0..cfg.n_trees {
-            for i in 0..n {
+            let gh = cats_par::map_indexed(row_par, n, |i| {
                 let p = sigmoid(margins[i]);
-                grad[i] = p - f64::from(data.label(i));
-                hess[i] = (p * (1.0 - p)).max(1e-16);
+                (p - f64::from(data.label(i)), (p * (1.0 - p)).max(1e-16))
+            });
+            for (i, &(g, h)) in gh.iter().enumerate() {
+                grad[i] = g;
+                hess[i] = h;
             }
             let in_sample: Vec<bool> = if cfg.subsample < 1.0 {
                 (0..n).map(|_| rng.random::<f64>() < cfg.subsample).collect()
@@ -287,8 +314,10 @@ impl GradientBoostedTrees {
             }
             builder.build(members, 0);
             let tree = RegTree { nodes: builder.nodes };
-            for (i, m) in margins.iter_mut().enumerate() {
-                *m += tree.predict(data.row(i));
+            let tree_ref = &tree;
+            let deltas = cats_par::map_indexed(row_par, n, |i| tree_ref.predict(data.row(i)));
+            for (m, d) in margins.iter_mut().zip(&deltas) {
+                *m += d;
             }
             self.trees.push(tree);
 
@@ -324,6 +353,10 @@ impl Classifier for GradientBoostedTrees {
 
     fn name(&self) -> &'static str {
         "Xgboost"
+    }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
     }
 }
 
@@ -402,8 +435,10 @@ impl TreeBuilder<'_> {
         }
     }
 
-    /// Histogram split: accumulate (G, H) per global quantile bucket, then
-    /// scan the O(bins) boundaries.
+    /// Histogram split: features scan independently — in parallel on
+    /// large nodes — and the per-feature bests fold in feature order.
+    /// Per-feature (G, H) accumulation order is untouched, so the result
+    /// is bit-identical to the serial sweep.
     fn best_split_histogram(
         &self,
         members: &[u32],
@@ -411,97 +446,140 @@ impl TreeBuilder<'_> {
         h_total: f64,
         candidates: &[Vec<f64>],
     ) -> Option<(usize, f64, f64)> {
-        let cfg = self.cfg;
-        let parent_score = g_total * g_total / (h_total + cfg.lambda);
-        let mut best: Option<(f64, usize, f64)> = None;
-
-        for (feature, thresholds) in candidates.iter().enumerate() {
-            if thresholds.is_empty() || !self.feature_mask[feature] {
-                continue;
-            }
-            // Bucket b holds rows with value < thresholds[b]; the last
-            // bucket is everything >= the final threshold.
-            let mut g_bins = vec![0.0f64; thresholds.len() + 1];
-            let mut h_bins = vec![0.0f64; thresholds.len() + 1];
-            for &i in members {
-                let v = self.data.row(i as usize)[feature];
-                let b = thresholds.partition_point(|&t| t <= v);
-                g_bins[b] += self.grad[i as usize];
-                h_bins[b] += self.hess[i as usize];
-            }
-            let mut gl = 0.0;
-            let mut hl = 0.0;
-            for (b, &t) in thresholds.iter().enumerate() {
-                gl += g_bins[b];
-                hl += h_bins[b];
-                let gr = g_total - gl;
-                let hr = h_total - hl;
-                if hl < cfg.min_child_weight || hr < cfg.min_child_weight {
-                    continue;
-                }
-                let gain = 0.5
-                    * (gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda) - parent_score)
-                    - cfg.gamma;
-                if gain > 1e-12 && best.as_ref().is_none_or(|(bg, _, _)| gain > *bg) {
-                    best = Some((gain, feature, t));
-                }
-            }
-        }
-        best.map(|(g, f, t)| (f, t, g))
+        let par = par_if(self.cfg.parallelism, members.len() >= PAR_MIN_SPLIT_MEMBERS);
+        let per_feature = cats_par::map_indexed(par, candidates.len(), |feature| {
+            self.scan_feature_histogram(feature, members, &candidates[feature], g_total, h_total)
+        });
+        fold_feature_bests(per_feature)
     }
 
-    /// Exact greedy split over the node's members, walking each feature in
-    /// globally pre-sorted order.
+    /// One feature's histogram scan: accumulate (G, H) per global quantile
+    /// bucket, then scan the O(bins) boundaries. Returns
+    /// `(gain, feature, threshold)` of the feature's best candidate.
+    fn scan_feature_histogram(
+        &self,
+        feature: usize,
+        members: &[u32],
+        thresholds: &[f64],
+        g_total: f64,
+        h_total: f64,
+    ) -> Option<(f64, usize, f64)> {
+        let cfg = self.cfg;
+        if thresholds.is_empty() || !self.feature_mask[feature] {
+            return None;
+        }
+        let parent_score = g_total * g_total / (h_total + cfg.lambda);
+        let mut best: Option<(f64, usize, f64)> = None;
+        // Bucket b holds rows with value < thresholds[b]; the last
+        // bucket is everything >= the final threshold.
+        let mut g_bins = vec![0.0f64; thresholds.len() + 1];
+        let mut h_bins = vec![0.0f64; thresholds.len() + 1];
+        for &i in members {
+            let v = self.data.row(i as usize)[feature];
+            let b = thresholds.partition_point(|&t| t <= v);
+            g_bins[b] += self.grad[i as usize];
+            h_bins[b] += self.hess[i as usize];
+        }
+        let mut gl = 0.0;
+        let mut hl = 0.0;
+        for (b, &t) in thresholds.iter().enumerate() {
+            gl += g_bins[b];
+            hl += h_bins[b];
+            let gr = g_total - gl;
+            let hr = h_total - hl;
+            if hl < cfg.min_child_weight || hr < cfg.min_child_weight {
+                continue;
+            }
+            let gain = 0.5
+                * (gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda) - parent_score)
+                - cfg.gamma;
+            if gain > 1e-12 && best.as_ref().is_none_or(|(bg, _, _)| gain > *bg) {
+                best = Some((gain, feature, t));
+            }
+        }
+        best
+    }
+
+    /// Exact greedy split over the node's members. Features scan
+    /// independently (in parallel on large nodes) and fold in feature
+    /// order, bit-identical to the serial sweep.
     fn best_split_exact(
         &self,
         members: &[u32],
         g_total: f64,
         h_total: f64,
     ) -> Option<(usize, f64, f64)> {
-        let cfg = self.cfg;
-        let parent_score = g_total * g_total / (h_total + cfg.lambda);
-        let mut best: Option<(f64, usize, f64)> = None;
-
         let mut in_node = vec![false; self.data.len()];
         for &i in members {
             in_node[i as usize] = true;
         }
+        let in_node = &in_node;
+        let par = par_if(self.cfg.parallelism, members.len() >= PAR_MIN_SPLIT_MEMBERS);
+        let per_feature = cats_par::map_indexed(par, self.sorted.len(), |feature| {
+            self.scan_feature_exact(feature, in_node, g_total, h_total)
+        });
+        fold_feature_bests(per_feature)
+    }
 
-        for (feature, order) in self.sorted.iter().enumerate() {
-            if !self.feature_mask[feature] {
+    /// One feature's exact greedy scan, walking the node's members in
+    /// globally pre-sorted order.
+    fn scan_feature_exact(
+        &self,
+        feature: usize,
+        in_node: &[bool],
+        g_total: f64,
+        h_total: f64,
+    ) -> Option<(f64, usize, f64)> {
+        if !self.feature_mask[feature] {
+            return None;
+        }
+        let cfg = self.cfg;
+        let parent_score = g_total * g_total / (h_total + cfg.lambda);
+        let mut best: Option<(f64, usize, f64)> = None;
+        let mut gl = 0.0;
+        let mut hl = 0.0;
+        let mut prev_val: Option<f64> = None;
+        for &i in &self.sorted[feature] {
+            let i = i as usize;
+            if !in_node[i] {
                 continue;
             }
-            let mut gl = 0.0;
-            let mut hl = 0.0;
-            let mut prev_val: Option<f64> = None;
-            for &i in order {
-                let i = i as usize;
-                if !in_node[i] {
-                    continue;
-                }
-                let v = self.data.row(i)[feature];
-                if let Some(pv) = prev_val {
-                    if v > pv && hl >= cfg.min_child_weight {
-                        let gr = g_total - gl;
-                        let hr = h_total - hl;
-                        if hr >= cfg.min_child_weight {
-                            let gain = 0.5
-                                * (gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda)
-                                    - parent_score)
-                                - cfg.gamma;
-                            if gain > 1e-12 && best.as_ref().is_none_or(|(bg, _, _)| gain > *bg) {
-                                best = Some((gain, feature, (pv + v) / 2.0));
-                            }
+            let v = self.data.row(i)[feature];
+            if let Some(pv) = prev_val {
+                if v > pv && hl >= cfg.min_child_weight {
+                    let gr = g_total - gl;
+                    let hr = h_total - hl;
+                    if hr >= cfg.min_child_weight {
+                        let gain = 0.5
+                            * (gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda)
+                                - parent_score)
+                            - cfg.gamma;
+                        if gain > 1e-12 && best.as_ref().is_none_or(|(bg, _, _)| gain > *bg) {
+                            best = Some((gain, feature, (pv + v) / 2.0));
                         }
                     }
                 }
-                gl += self.grad[i];
-                hl += self.hess[i];
-                prev_val = Some(v);
             }
+            gl += self.grad[i];
+            hl += self.hess[i];
+            prev_val = Some(v);
         }
-        best.map(|(g, f, t)| (f, t, g))
+        best
     }
+}
+
+/// Folds per-feature `(gain, feature, threshold)` results in feature order
+/// with the same strict `gain >` comparison the serial sweep used: the
+/// first feature (and first candidate within it) reaching the maximum gain
+/// wins, exactly as in a single serial pass.
+fn fold_feature_bests(per_feature: Vec<Option<(f64, usize, f64)>>) -> Option<(usize, f64, f64)> {
+    let mut best: Option<(f64, usize, f64)> = None;
+    for cand in per_feature.into_iter().flatten() {
+        if best.as_ref().is_none_or(|(bg, _, _)| cand.0 > *bg) {
+            best = Some(cand);
+        }
+    }
+    best.map(|(g, f, t)| (f, t, g))
 }
 
 #[cfg(test)]
@@ -787,6 +865,32 @@ mod tests {
     fn zero_patience_rejected() {
         let d = separable(10);
         GradientBoostedTrees::new(cfg_small()).fit_early_stopping(&d, &d, 0);
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_serial() {
+        // Large enough to cross both parallel gates (row count and node
+        // member count), in both split modes.
+        let d = separable(1500);
+        for mode in [SplitMode::Exact, SplitMode::Histogram { bins: 16 }] {
+            let base = GbtConfig { n_trees: 8, split_mode: mode, ..cfg_small() };
+            let mut serial =
+                GradientBoostedTrees::new(GbtConfig { parallelism: Parallelism::serial(), ..base });
+            let mut parallel = GradientBoostedTrees::new(GbtConfig {
+                parallelism: Parallelism::with_threads(8),
+                ..base
+            });
+            serial.fit(&d);
+            parallel.fit(&d);
+            assert_eq!(serial.feature_importance(), parallel.feature_importance());
+            for i in 0..d.len() {
+                assert_eq!(
+                    serial.predict_proba(d.row(i)).to_bits(),
+                    parallel.predict_proba(d.row(i)).to_bits(),
+                    "row {i} diverged in {mode:?}"
+                );
+            }
+        }
     }
 
     #[test]

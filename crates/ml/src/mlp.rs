@@ -158,6 +158,10 @@ impl Classifier for Mlp {
     fn name(&self) -> &'static str {
         "Neural Network"
     }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 use crate::classifier::{fit_evaluate, Classifier};
 use crate::data::Dataset;
 use crate::metrics::BinaryMetrics;
+use cats_par::Parallelism;
 use serde::{Deserialize, Serialize};
 
 /// Averaged cross-validation result for one model.
@@ -28,15 +29,31 @@ pub struct CvResult {
     pub folds: Vec<BinaryMetrics>,
 }
 
-/// Runs stratified k-fold cross-validation of `model` on `data`.
-///
-/// The model is refit from scratch on each fold's training split.
+/// Runs stratified k-fold cross-validation of `model` on `data` with
+/// default (auto) parallelism. See [`cross_validate_with`].
 pub fn cross_validate(model: &mut dyn Classifier, data: &Dataset, k: usize, seed: u64) -> CvResult {
+    cross_validate_with(model, data, k, seed, Parallelism::default())
+}
+
+/// Runs stratified k-fold cross-validation of `model` on `data`, refitting
+/// the folds in parallel.
+///
+/// Each fold refits a [`Classifier::clone_box`] copy of `model` from
+/// scratch on its training split, so fold results — and their average —
+/// are identical to the serial protocol at any thread count.
+pub fn cross_validate_with(
+    model: &mut dyn Classifier,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    par: Parallelism,
+) -> CvResult {
     let folds = data.stratified_kfold(k, seed);
-    let mut per_fold = Vec::with_capacity(k);
-    for (train, test) in &folds {
-        per_fold.push(fit_evaluate(model, train, test));
-    }
+    let model_ref: &dyn Classifier = model;
+    let per_fold: Vec<BinaryMetrics> = cats_par::map_chunked(par, &folds, |(train, test)| {
+        let mut fold_model = model_ref.clone_box();
+        fit_evaluate(fold_model.as_mut(), train, test)
+    });
     let n = per_fold.len() as f64;
     CvResult {
         name: model.name().to_string(),

@@ -105,6 +105,10 @@ impl Classifier for GaussianNaiveBayes {
     fn name(&self) -> &'static str {
         "Naive Bayes"
     }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

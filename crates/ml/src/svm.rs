@@ -109,6 +109,10 @@ impl Classifier for LinearSvm {
     fn name(&self) -> &'static str {
         "SVM"
     }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

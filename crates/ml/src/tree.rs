@@ -223,6 +223,10 @@ impl Classifier for DecisionTree {
     fn name(&self) -> &'static str {
         "Decision Tree"
     }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

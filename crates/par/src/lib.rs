@@ -1,0 +1,403 @@
+//! Work-stealing parallelism for the CATS pipeline.
+//!
+//! The paper notes CATS "is implemented in a parallelized style for fast
+//! processing" and evaluates on a 40-vCPU server. This crate supplies the
+//! runtime for that claim without pulling in an external scheduler: a scoped
+//! work-stealing pool built on `std::thread::scope`, plus the three
+//! primitives the pipeline's hot paths need — [`parallel_for`],
+//! order-preserving [`map_indexed`] / [`map_chunked`], and a deterministic
+//! tree [`reduce`].
+//!
+//! # Scheduling
+//!
+//! Work is an index range `0..n`. Each worker owns a range queue packed into
+//! a single `AtomicU64` (`start` in the high 32 bits, `end` in the low 32).
+//! Owners pop a grain of indices from the front with a CAS; idle workers
+//! steal the back half of a victim's remaining range with a CAS. Both
+//! operations only depend on the queue's *current* value, so the ABA
+//! pattern is harmless, and a failed CAS simply reloads and retries. A
+//! worker exits once a full scan over the other queues finds nothing to
+//! steal. Because stealing rebalances at grain granularity, heavily skewed
+//! per-index costs (e.g. items with wildly different comment counts) do not
+//! straggle the way static chunking does.
+//!
+//! # Determinism contract
+//!
+//! The scheduler decides only *which thread* runs an index, never *what* is
+//! computed for it. [`map_indexed`] and [`map_chunked`] write each result
+//! into its own slot, so their output is identical to the serial loop for
+//! any thread count, provided `f` itself is a pure function of the index.
+//! [`reduce`] fixes its chunk boundaries from the caller-supplied chunk
+//! size (not the thread count) and combines partials in chunk order, so
+//! floating-point accumulation is reassociated relative to a plain serial
+//! fold, but identically so at every thread count. Callers that need
+//! bit-compatibility with a historical serial order must pick chunk
+//! boundaries matching that order (or keep the accumulation inside
+//! `map_chunk`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// How much parallelism a pipeline stage may use.
+///
+/// `threads == 0` means "auto": resolve to [`default_threads`] at the call
+/// site. `deterministic` selects, for stages that offer one, the schedule
+/// whose results are a pure function of the inputs and seed — identical at
+/// every thread count. Stages without a nondeterministic fast path ignore
+/// the flag (everything in this repo except Hogwild word2vec is
+/// deterministic by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads to use; `0` resolves to [`default_threads`].
+    pub threads: usize,
+    /// Prefer bit-reproducible schedules over raw throughput.
+    pub deterministic: bool,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self { threads: 0, deterministic: true }
+    }
+}
+
+impl Parallelism {
+    /// Single-threaded execution; every primitive degenerates to the plain
+    /// serial loop.
+    pub fn serial() -> Self {
+        Self { threads: 1, deterministic: true }
+    }
+
+    /// Deterministic execution on `threads` workers (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads, deterministic: true }
+    }
+
+    /// The concrete worker count: `threads`, or [`default_threads`] if auto.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            default_threads()
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// The machine's available parallelism, falling back to 4 when the runtime
+/// cannot tell (the same fallback the scoped-thread batch extractor used
+/// before this crate existed).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, usize::from)
+}
+
+/// A contiguous index range `[start, end)` packed into one `AtomicU64` so
+/// pop and steal are single-CAS operations.
+struct RangeQueue(AtomicU64);
+
+fn pack(start: u32, end: u32) -> u64 {
+    (u64::from(start) << 32) | u64::from(end)
+}
+
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+impl RangeQueue {
+    fn new(start: u32, end: u32) -> Self {
+        Self(AtomicU64::new(pack(start, end)))
+    }
+
+    /// Owner side: take up to `grain` indices from the front.
+    fn pop(&self, grain: u32) -> Option<(u32, u32)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (s, e) = unpack(cur);
+            if s >= e {
+                return None;
+            }
+            let take = grain.min(e - s);
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(s + take, e),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((s, s + take)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Thief side: claim the back half of whatever remains.
+    fn steal_half(&self) -> Option<(u32, u32)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (s, e) = unpack(cur);
+            if s >= e {
+                return None;
+            }
+            let take = (e - s).div_ceil(2);
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(s, e - take),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((e - take, e)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Replace the queue's range. Only legal on the caller's *own* queue
+    /// and only while it is empty — thieves may still CAS against the new
+    /// value, which is fine; they must never observe a torn one, which the
+    /// single-word store rules out.
+    fn put(&self, start: u32, end: u32) {
+        self.0.store(pack(start, end), Ordering::Release);
+    }
+}
+
+/// One OS worker: drain the own queue, then go stealing; exit when a full
+/// sweep of the other queues comes back empty. (Another worker may still be
+/// *executing* its last grain at that point, but every unclaimed index is
+/// in some queue, so nothing is lost by leaving early.)
+fn worker<F: Fn(usize) + Sync>(me: usize, queues: &[RangeQueue], grain: u32, f: &F) {
+    loop {
+        while let Some((s, e)) = queues[me].pop(grain) {
+            for i in s..e {
+                f(i as usize);
+            }
+        }
+        let mut stolen = None;
+        for k in 1..queues.len() {
+            let victim = (me + k) % queues.len();
+            if let Some(range) = queues[victim].steal_half() {
+                stolen = Some(range);
+                break;
+            }
+        }
+        match stolen {
+            Some((s, e)) => queues[me].put(s, e),
+            None => return,
+        }
+    }
+}
+
+fn run_indexed<F: Fn(usize) + Sync>(par: Parallelism, n: usize, f: &F) {
+    let threads = par.resolved_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    assert!(
+        u32::try_from(n).is_ok(),
+        "parallel index range exceeds u32 ({n} items)"
+    );
+    let grain = u32::try_from((n / (threads * 8)).clamp(1, 1024)).expect("grain fits u32");
+    let queues: Vec<RangeQueue> = (0..threads)
+        .map(|w| RangeQueue::new((w * n / threads) as u32, ((w + 1) * n / threads) as u32))
+        .collect();
+    let queues = &queues;
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            scope.spawn(move || worker(w, queues, grain, f));
+        }
+    });
+}
+
+/// Runs `f(i)` for every `i in 0..n`, each index exactly once, on up to
+/// `par.resolved_threads()` workers. Panics in `f` propagate (the scope
+/// joins all workers first).
+pub fn parallel_for<F: Fn(usize) + Sync>(par: Parallelism, n: usize, f: F) {
+    run_indexed(par, n, &f);
+}
+
+/// `(0..n).map(f).collect()`, computed in parallel with the output in index
+/// order. `R: Sync` because results land in shared `OnceLock` slots.
+pub fn map_indexed<R, F>(par: Parallelism, n: usize, f: F) -> Vec<R>
+where
+    R: Send + Sync,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = par.resolved_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
+    {
+        let slots = &slots;
+        let f = &f;
+        run_indexed(par, n, &move |i| {
+            let _ = slots[i].set(f(i));
+        });
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("index ran exactly once"))
+        .collect()
+}
+
+/// `items.iter().map(f).collect()`, computed in parallel with the output in
+/// input order.
+pub fn map_chunked<T, R, F>(par: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(&T) -> R + Sync,
+{
+    map_indexed(par, items.len(), |i| f(&items[i]))
+}
+
+/// Deterministic tree reduction: `items` is cut at fixed `chunk` boundaries
+/// (independent of the thread count), each chunk is mapped to a partial
+/// with `map_chunk` in parallel, and the partials are folded pairwise in
+/// chunk order. Returns `None` on empty input.
+pub fn reduce<T, A, M, C>(
+    par: Parallelism,
+    items: &[T],
+    chunk: usize,
+    map_chunk: M,
+    combine: C,
+) -> Option<A>
+where
+    T: Sync,
+    A: Send + Sync,
+    M: Fn(&[T]) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    if items.is_empty() {
+        return None;
+    }
+    let chunk = chunk.max(1);
+    let n_chunks = items.len().div_ceil(chunk);
+    let mut partials: Vec<A> = map_indexed(par, n_chunks, |c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(items.len());
+        map_chunk(&items[lo..hi])
+    });
+    while partials.len() > 1 {
+        let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+        let mut it = partials.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(combine(a, b)),
+                None => next.push(a),
+            }
+        }
+        partials = next;
+    }
+    partials.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn default_is_auto_deterministic() {
+        let par = Parallelism::default();
+        assert_eq!(par.threads, 0);
+        assert!(par.deterministic);
+        assert!(par.resolved_threads() >= 1);
+        assert_eq!(Parallelism::serial().resolved_threads(), 1);
+        assert_eq!(Parallelism::with_threads(3).resolved_threads(), 3);
+    }
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        for &(s, e) in &[(0u32, 0u32), (0, 7), (5, 5), (123, u32::MAX)] {
+            assert_eq!(unpack(pack(s, e)), (s, e));
+        }
+    }
+
+    #[test]
+    fn queue_pop_and_steal_partition_the_range() {
+        let q = RangeQueue::new(0, 10);
+        assert_eq!(q.pop(3), Some((0, 3)));
+        assert_eq!(q.steal_half(), Some((7, 10)));
+        assert_eq!(q.pop(100), Some((3, 7)));
+        assert_eq!(q.pop(1), None);
+        assert_eq!(q.steal_half(), None);
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        for &threads in &[1usize, 2, 3, 8, 64] {
+            let n = 1000;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            parallel_for(Parallelism::with_threads(threads), n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "every index must run exactly once at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn map_indexed_matches_serial_at_any_thread_count() {
+        let n = 517;
+        let expected: Vec<usize> = (0..n).map(|i| i * i + 1).collect();
+        for &threads in &[1usize, 2, 5, 16] {
+            let got = map_indexed(Parallelism::with_threads(threads), n, |i| i * i + 1);
+            assert_eq!(got, expected, "order must be preserved at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn map_chunked_preserves_input_order_under_skew() {
+        // Heavily skewed per-item cost: early items are orders of magnitude
+        // more expensive, which static chunking would serialize.
+        let items: Vec<usize> = (0..200).collect();
+        let costly = |&x: &usize| -> u64 {
+            let spins = if x < 4 { 200_000 } else { 50 };
+            (0..spins).fold(x as u64, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+        };
+        let expected: Vec<u64> = items.iter().map(costly).collect();
+        let got = map_chunked(Parallelism::with_threads(8), &items, costly);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = map_indexed(Parallelism::with_threads(8), 0, |i| i as u32);
+        assert!(empty.is_empty());
+        let one = map_indexed(Parallelism::with_threads(8), 1, |i| i + 41);
+        assert_eq!(one, vec![41]);
+    }
+
+    #[test]
+    fn reduce_is_identical_across_thread_counts() {
+        let items: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let sum = |xs: &[f64]| xs.iter().sum::<f64>();
+        let serial = reduce(Parallelism::serial(), &items, 256, sum, |a, b| a + b).unwrap();
+        for &threads in &[2usize, 4, 8] {
+            let par = reduce(
+                Parallelism::with_threads(threads),
+                &items,
+                256,
+                sum,
+                |a, b| a + b,
+            )
+            .unwrap();
+            assert_eq!(
+                serial.to_bits(),
+                par.to_bits(),
+                "tree reduce must be bit-identical at {threads} threads"
+            );
+        }
+        assert_eq!(reduce(Parallelism::default(), &[] as &[f64], 8, sum, |a, b| a + b), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        parallel_for(Parallelism::with_threads(4), 100, |i| {
+            assert!(i != 57, "boom");
+        });
+    }
+}

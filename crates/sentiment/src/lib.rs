@@ -103,21 +103,68 @@ impl SentimentModel {
         negative_docs: &[Vec<String>],
         order: FeatureOrder,
     ) -> Self {
+        let pos: Vec<Vec<String>> =
+            positive_docs.iter().map(|d| feature_stream(d, order)).collect();
+        let neg: Vec<Vec<String>> =
+            negative_docs.iter().map(|d| feature_stream(d, order)).collect();
+        Self::from_streams(&pos, &neg, order)
+    }
+
+    /// [`SentimentModel::train`] with feature extraction fanned out over
+    /// worker threads. Bit-identical to the serial path at any thread
+    /// count: only per-document feature-stream generation runs in
+    /// parallel; interning and counting stay serial in input order.
+    ///
+    /// # Panics
+    /// Panics if either corpus is empty.
+    pub fn train_par(
+        positive_docs: &[Vec<String>],
+        negative_docs: &[Vec<String>],
+        par: cats_par::Parallelism,
+    ) -> Self {
+        Self::train_with_order_par(positive_docs, negative_docs, FeatureOrder::Unigram, par)
+    }
+
+    /// [`SentimentModel::train_with_order`] with parallel feature
+    /// extraction. See [`SentimentModel::train_par`].
+    ///
+    /// # Panics
+    /// Panics if either corpus is empty.
+    pub fn train_with_order_par(
+        positive_docs: &[Vec<String>],
+        negative_docs: &[Vec<String>],
+        order: FeatureOrder,
+        par: cats_par::Parallelism,
+    ) -> Self {
+        let pos = cats_par::map_chunked(par, positive_docs, |d| feature_stream(d, order));
+        let neg = cats_par::map_chunked(par, negative_docs, |d| feature_stream(d, order));
+        Self::from_streams(&pos, &neg, order)
+    }
+
+    /// Fits likelihoods from per-document feature streams (already
+    /// expanded by [`feature_stream`]). Interning happens here, serially,
+    /// positive documents first — the vocabulary layout is a function of
+    /// document order alone.
+    fn from_streams(
+        pos_streams: &[Vec<String>],
+        neg_streams: &[Vec<String>],
+        order: FeatureOrder,
+    ) -> Self {
         assert!(
-            !positive_docs.is_empty() && !negative_docs.is_empty(),
+            !pos_streams.is_empty() && !neg_streams.is_empty(),
             "sentiment training requires both positive and negative documents"
         );
         let mut vocab = Vocab::new();
         let mut pos_counts: Vec<u64> = Vec::new();
         let mut neg_counts: Vec<u64> = Vec::new();
 
-        let tally = |docs: &[Vec<String>],
+        let tally = |streams: &[Vec<String>],
                      vocab: &mut Vocab,
                      counts: &mut Vec<u64>,
                      other: &mut Vec<u64>| {
-            for doc in docs {
-                for tok in feature_stream(doc, order) {
-                    let id = vocab.intern(&tok);
+            for stream in streams {
+                for tok in stream {
+                    let id = vocab.intern(tok);
                     if id.index() >= counts.len() {
                         counts.resize(id.index() + 1, 0);
                         other.resize(id.index() + 1, 0);
@@ -126,8 +173,8 @@ impl SentimentModel {
                 }
             }
         };
-        tally(positive_docs, &mut vocab, &mut pos_counts, &mut neg_counts);
-        tally(negative_docs, &mut vocab, &mut neg_counts, &mut pos_counts);
+        tally(pos_streams, &mut vocab, &mut pos_counts, &mut neg_counts);
+        tally(neg_streams, &mut vocab, &mut neg_counts, &mut pos_counts);
         let v = vocab.len();
         pos_counts.resize(v, 0);
         neg_counts.resize(v, 0);
@@ -140,14 +187,14 @@ impl SentimentModel {
         let log_pos = pos_counts.iter().map(|&c| ((c as f64 + ALPHA) / pos_denom).ln()).collect();
         let log_neg = neg_counts.iter().map(|&c| ((c as f64 + ALPHA) / neg_denom).ln()).collect();
 
-        let n_docs = (positive_docs.len() + negative_docs.len()) as f64;
+        let n_docs = (pos_streams.len() + neg_streams.len()) as f64;
         Self {
             order,
             vocab,
             log_pos,
             log_neg,
-            log_prior_pos: (positive_docs.len() as f64 / n_docs).ln(),
-            log_prior_neg: (negative_docs.len() as f64 / n_docs).ln(),
+            log_prior_pos: (pos_streams.len() as f64 / n_docs).ln(),
+            log_prior_neg: (neg_streams.len() as f64 / n_docs).ln(),
             log_unseen_pos: (ALPHA / pos_denom).ln(),
             log_unseen_neg: (ALPHA / neg_denom).ln(),
         }
@@ -355,6 +402,24 @@ mod tests {
             let toks: Vec<String> = text.split_whitespace().map(String::from).collect();
             let s = m.score(&toks);
             assert!((0.0..=1.0).contains(&s) && s.is_finite(), "{text} -> {s}");
+        }
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical_to_serial() {
+        let pos = docs(&["good great item", "love this good", "fine works great", "great price"]);
+        let neg = docs(&["bad awful broken", "terrible bad", "worst item return", "broken bad"]);
+        for order in [FeatureOrder::Unigram, FeatureOrder::UnigramBigram] {
+            let serial = SentimentModel::train_with_order(&pos, &neg, order);
+            for threads in [1usize, 2, 8] {
+                let par = cats_par::Parallelism { threads, deterministic: true };
+                let parallel = SentimentModel::train_with_order_par(&pos, &neg, order, par);
+                assert_eq!(
+                    serde_json::to_string(&serial).unwrap(),
+                    serde_json::to_string(&parallel).unwrap(),
+                    "order {order:?} threads {threads}"
+                );
+            }
         }
     }
 

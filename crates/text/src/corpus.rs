@@ -60,6 +60,24 @@ impl Corpus {
         self.push_tokens(&toks);
     }
 
+    /// Adds a batch of raw texts, segmenting them in parallel.
+    ///
+    /// Segmentation (the CPU-heavy part) fans out across worker threads;
+    /// interning stays serial in input order, so the resulting vocabulary
+    /// ids and sentence order are identical to repeated
+    /// [`Corpus::push_text`] calls at any thread count.
+    pub fn push_texts<S, T>(&mut self, texts: &[T], segmenter: &S, par: cats_par::Parallelism)
+    where
+        S: Segmenter + Sync,
+        T: AsRef<str> + Sync,
+    {
+        let segmented: Vec<Vec<String>> =
+            cats_par::map_chunked(par, texts, |t| segmenter.segment(t.as_ref()));
+        for toks in &segmented {
+            self.push_tokens(toks);
+        }
+    }
+
     /// The interning vocabulary.
     pub fn vocab(&self) -> &Vocab {
         &self.vocab
@@ -109,6 +127,23 @@ mod tests {
         // "ping" in both sentences maps to the same id.
         let s = c.sentences();
         assert_eq!(s[0][2], s[1][0]);
+    }
+
+    #[test]
+    fn push_texts_matches_serial_push_text() {
+        let texts: Vec<String> =
+            (0..64).map(|i| format!("hao w{} ping hao cha{}", i % 7, i % 3)).collect();
+        let mut serial = Corpus::new();
+        for t in &texts {
+            serial.push_text(t, &WhitespaceSegmenter);
+        }
+        for threads in [1usize, 2, 8] {
+            let mut par = Corpus::new();
+            let p = cats_par::Parallelism { threads, deterministic: true };
+            par.push_texts(&texts, &WhitespaceSegmenter, p);
+            assert_eq!(par.sentences(), serial.sentences(), "threads={threads}");
+            assert_eq!(par.vocab().len(), serial.vocab().len());
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn main() {
         SemanticConfig {
             word2vec: Word2VecConfig { dim: 48, epochs: 3, ..Word2VecConfig::default() },
             expansion: ExpansionConfig::default(),
+            ..SemanticConfig::default()
         },
     );
 

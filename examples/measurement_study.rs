@@ -39,6 +39,7 @@ fn main() {
         SemanticConfig {
             word2vec: Word2VecConfig { dim: 48, epochs: 4, ..Word2VecConfig::default() },
             expansion: ExpansionConfig::default(),
+            ..SemanticConfig::default()
         },
     );
     let mut detector = Detector::with_default_classifier(DetectorConfig {

@@ -7,4 +7,7 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo fmt --check
-cargo clippy -- -D warnings
+cargo clippy --workspace -- -D warnings
+# Smoke-run the full-pipeline scaling sweep at a tiny scale; exercises
+# every parallel stage end-to-end and regenerates BENCH_scaling.json.
+cargo run --release -p cats-bench --bin exp_scaling -- --scale 0.002

@@ -13,11 +13,13 @@ pub use cats_collector as collector;
 pub use cats_core as core;
 pub use cats_embedding as embedding;
 pub use cats_ml as ml;
+pub use cats_par as par;
 pub use cats_platform as platform;
 pub use cats_sentiment as sentiment;
 pub use cats_text as text;
 
 /// Common imports for examples and downstream users.
 pub mod prelude {
+    pub use cats_par::Parallelism;
     pub use cats_text::{Lexicon, Segmenter, Vocab, WhitespaceSegmenter};
 }

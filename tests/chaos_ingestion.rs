@@ -36,6 +36,7 @@ fn trained(seed: u64, threshold: f64) -> CatsPipeline {
         SemanticConfig {
             word2vec: Word2VecConfig { dim: 32, epochs: 3, ..Word2VecConfig::default() },
             expansion: ExpansionConfig::default(),
+            ..SemanticConfig::default()
         },
     );
     let mut detector = Detector::with_default_classifier(DetectorConfig {

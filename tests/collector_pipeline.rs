@@ -31,6 +31,7 @@ fn trained(seed: u64, threshold: f64) -> (CatsPipeline, cats::platform::Platform
         SemanticConfig {
             word2vec: Word2VecConfig { dim: 32, epochs: 3, ..Word2VecConfig::default() },
             expansion: ExpansionConfig::default(),
+            ..SemanticConfig::default()
         },
     );
     let mut detector = Detector::with_default_classifier(DetectorConfig {

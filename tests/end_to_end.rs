@@ -30,6 +30,7 @@ fn train_pipeline(platform: &Platform, seed: u64, threshold: f64) -> CatsPipelin
         SemanticConfig {
             word2vec: Word2VecConfig { dim: 32, epochs: 3, ..Word2VecConfig::default() },
             expansion: ExpansionConfig::default(),
+            ..SemanticConfig::default()
         },
     );
     let mut detector = Detector::with_default_classifier(DetectorConfig {

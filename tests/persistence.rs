@@ -33,6 +33,7 @@ fn snapshot_roundtrip_preserves_verdicts() {
         SemanticConfig {
             word2vec: Word2VecConfig { dim: 24, epochs: 2, ..Word2VecConfig::default() },
             expansion: ExpansionConfig::default(),
+            ..SemanticConfig::default()
         },
     );
 
