@@ -36,6 +36,34 @@ impl Histogram {
         h
     }
 
+    /// Builds a histogram whose range is derived from the data itself —
+    /// the safe constructor for data-driven plots, where feeding a range
+    /// computed from an empty or constant dataset into [`Histogram::new`]
+    /// would panic. Non-finite samples are skipped entirely. Degenerate
+    /// inputs get a well-defined fallback: no finite sample yields an
+    /// empty histogram over `[0, 1)`, an all-equal sample `v` yields the
+    /// range `[v - 0.5, v + 0.5)`, and `bins` is clamped to at least 1.
+    pub fn from_data(samples: &[f64], bins: usize) -> Self {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for x in samples.iter().copied().filter(|x| x.is_finite()) {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        let (lo, hi) = if lo > hi {
+            (0.0, 1.0) // no finite samples at all
+        } else if lo == hi {
+            (lo - 0.5, lo + 0.5)
+        } else {
+            (lo, hi) // `add` clamps x == hi into the last bin
+        };
+        let mut h = Self::new(lo, hi, bins.max(1));
+        for x in samples.iter().copied().filter(|x| x.is_finite()) {
+            h.add(x);
+        }
+        h
+    }
+
     /// Adds a sample; out-of-range samples are clamped into the edge bins
     /// (NaN is ignored).
     pub fn add(&mut self, x: f64) {
@@ -222,6 +250,46 @@ mod tests {
     #[should_panic(expected = "invalid range")]
     fn bad_range_rejected() {
         Histogram::new(1.0, 1.0, 3);
+    }
+
+    #[test]
+    fn from_data_empty_dataset_does_not_panic() {
+        let h = Histogram::from_data(&[], 10);
+        assert!(h.is_empty());
+        assert_eq!(h.counts().len(), 10);
+        assert!(h.densities().iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn from_data_nonfinite_only_behaves_like_empty() {
+        let h = Histogram::from_data(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY], 4);
+        assert!(h.is_empty());
+        assert_eq!(h.counts().len(), 4);
+    }
+
+    #[test]
+    fn from_data_constant_dataset_gets_unit_range() {
+        let h = Histogram::from_data(&[3.0, 3.0, 3.0], 5);
+        assert_eq!(h.len(), 3);
+        assert!((h.bin_width() - 0.2).abs() < 1e-12, "range [2.5, 3.5)");
+        let s: f64 = h.fractions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_data_spans_the_sample_range() {
+        let h = Histogram::from_data(&[1.0, f64::NAN, 2.0, 5.0], 4);
+        assert_eq!(h.len(), 3, "NaN skipped");
+        // range [1, 5), width 1: 1.0 -> bin 0, 2.0 -> bin 1, 5.0 clamps
+        // into the last bin.
+        assert_eq!(h.counts(), &[1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn from_data_clamps_zero_bins() {
+        let h = Histogram::from_data(&[1.0, 2.0], 0);
+        assert_eq!(h.counts().len(), 1);
+        assert_eq!(h.len(), 2);
     }
 
     #[test]

@@ -26,12 +26,44 @@ use cats_platform::{datasets, Platform};
 /// Fault levels swept (0 = clean reference).
 const INTENSITIES: [f64; 4] = [0.0, 0.25, 0.5, 0.75];
 
-/// One deterministic crawl of `platform` under `faults`.
-fn crawl_at(platform: &Platform, faults: FaultPlan) -> (CollectedDataset, CrawlStats) {
+/// One deterministic crawl of `platform` under `faults`. Each crawl also
+/// cross-checks the metrics-registry migration: the registry delta over
+/// the crawl must equal the public [`CrawlStats`] field-for-field, so the
+/// ad-hoc counters and their `cats.collector.crawl.*` mirrors can never
+/// drift apart silently.
+fn crawl_at(
+    platform: &Platform,
+    faults: FaultPlan,
+) -> (CollectedDataset, CrawlStats, cats_obs::Snapshot) {
+    let base = cats_obs::global().snapshot();
     let site = PublicSite::new(platform, SiteConfig { faults, ..SiteConfig::default() });
     let mut collector = Collector::new(CollectorConfig::default());
     let data = collector.crawl(&site);
-    (data, collector.stats())
+    let stats = collector.stats();
+    let reg = cats_obs::global().snapshot().diff(&base);
+    for (name, want) in [
+        ("pages_fetched", stats.pages_fetched),
+        ("transient_errors", stats.transient_errors),
+        ("rate_limited", stats.rate_limited),
+        ("outage_errors", stats.outage_errors),
+        ("pages_abandoned", stats.pages_abandoned),
+        ("malformed_records", stats.malformed_records),
+        ("duplicate_records", stats.duplicate_records),
+        ("poisoned_records", stats.poisoned_records),
+        ("backoff_waits", stats.backoff_waits),
+        ("backoff_wait_secs", stats.backoff_wait_secs),
+        ("breaker_opens", stats.breaker_opens),
+        ("breaker_wait_secs", stats.breaker_wait_secs),
+        ("breaker_give_ups", stats.breaker_give_ups),
+        ("truncated_resources", stats.truncated_resources),
+        ("stalled_pages", stats.stalled_pages),
+        ("stall_secs", stats.stall_secs),
+        ("sim_clock_secs", stats.sim_clock_secs),
+    ] {
+        let got = reg.counter(&format!("cats.collector.crawl.{name}"));
+        assert_eq!(got, want, "registry counter cats.collector.crawl.{name} != CrawlStats.{name}");
+    }
+    (data, stats, reg)
 }
 
 /// Per-feature sample columns over the finite feature rows of a crawl.
@@ -86,14 +118,14 @@ fn main() {
     );
 
     // Clean reference crawl: the completeness and KS baselines.
-    let (clean, _) = crawl_at(&e, FaultPlan::none());
+    let (clean, _, _) = crawl_at(&e, FaultPlan::none());
     let clean_cols = feature_samples(&clean, &pipeline);
     let clean_items = clean.items.len().max(1);
     let clean_comments = clean.comment_count().max(1);
 
     let mut rows = Vec::new();
     for &intensity in &INTENSITIES {
-        let (data, stats) = crawl_at(&e, FaultPlan::at_intensity(intensity));
+        let (data, stats, reg) = crawl_at(&e, FaultPlan::at_intensity(intensity));
 
         let items: Vec<ItemComments> =
             data.items.iter().map(|i| ItemComments::from_texts(i.comment_texts())).collect();
@@ -122,15 +154,17 @@ fn main() {
         let cols = feature_samples(&data, &pipeline);
         let (ks_mean, ks_max) = ks_summary(&clean_cols, &cols);
 
+        // Fault-handling numbers come from the metrics registry (crawl_at
+        // already proved them equal to the CrawlStats fields).
         println!(
             "intensity {intensity:.2}: {} pages, {} backoff waits, {} breaker opens, \
              {} give-ups, {}s simulated waiting; health: {} quarantined, {} truncated, \
              {:.1}% comments dropped",
-            stats.pages_fetched,
-            stats.backoff_waits,
-            stats.breaker_opens,
-            stats.breaker_give_ups,
-            stats.sim_clock_secs,
+            reg.counter("cats.collector.crawl.pages_fetched"),
+            reg.counter("cats.collector.crawl.backoff_waits"),
+            reg.counter("cats.collector.crawl.breaker_opens"),
+            reg.counter("cats.collector.crawl.breaker_give_ups"),
+            reg.counter("cats.collector.crawl.sim_clock_secs"),
             summary.health.items_quarantined,
             summary.health.items_truncated,
             100.0 * summary.health.dropped_fraction,
@@ -174,5 +208,10 @@ fn main() {
         clean.items.len(),
         clean.comment_count(),
         N_FEATURES
+    );
+    println!(
+        "registry cross-check: cats.collector.crawl.* deltas matched CrawlStats \
+         on all {} crawls",
+        INTENSITIES.len() + 1
     );
 }

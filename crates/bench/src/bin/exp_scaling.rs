@@ -5,8 +5,16 @@
 //! processing". This experiment sweeps the whole training pipeline —
 //! corpus segmentation, embedding + sentiment training, detector fit,
 //! and batch detection — over thread counts and reports per-stage wall
-//! times plus the end-to-end speedup. Results are also written to
-//! `BENCH_scaling.json` at the repo root for the acceptance gate.
+//! times plus the end-to-end speedup.
+//!
+//! Each sweep row is bracketed by a [`cats_obs::StageTimer`], so
+//! `BENCH_scaling.json` embeds the row's full [`cats_obs::RunProfile`]
+//! (every span down to word2vec epochs and GBT rounds) and the deepest
+//! row is also written standalone to `PROFILE_scaling.json` for CI
+//! artifact upload. Stage wall times in the table come from `Instant`,
+//! not the observer clock, so the table stays meaningful under
+//! `CATS_OBS=off` — which is exactly how the observability overhead is
+//! measured (see EXPERIMENTS.md).
 
 use cats_bench::{render, setup, Args};
 use cats_core::{Detector, DetectorConfig, ItemComments, SemanticAnalyzer};
@@ -24,6 +32,7 @@ struct Row {
     embed_s: f64,
     fit_s: f64,
     detect_s: f64,
+    profile: cats_obs::RunProfile,
 }
 
 impl Row {
@@ -42,6 +51,8 @@ fn run_once(
     seed: u64,
     threads: usize,
 ) -> Row {
+    let label = format!("exp_scaling threads={threads}");
+    let timer = cats_obs::StageTimer::start(&label);
     let par = Parallelism { threads, deterministic: true };
     let seg = WhitespaceSegmenter;
 
@@ -53,14 +64,17 @@ fn run_once(
         .take(setup::MAX_W2V_COMMENTS)
         .collect();
     let t0 = Instant::now();
+    let segment_span = cats_obs::span!("cats.bench.scaling.segment", { corpus_texts.len() });
     let mut corpus = Corpus::new();
     corpus.push_texts(&corpus_texts, &seg, par);
+    drop(segment_span);
     let segment_s = t0.elapsed().as_secs_f64();
 
     // Stage 2: embedding + lexicon expansion + sentiment training.
     let (sent_pos, sent_neg) =
         setup::sentiment_corpus(platform.lexicon(), setup::SENTIMENT_REVIEWS, seed);
     let t0 = Instant::now();
+    let embed_span = cats_obs::span!("cats.bench.scaling.embed");
     let w2v = Word2VecConfig { parallelism: par, ..setup::experiment_w2v() };
     let embedding = Word2VecTrainer::new(w2v).train(&corpus);
     let lexicon = expand_lexicon(
@@ -74,25 +88,30 @@ fn run_once(
     };
     let sentiment = SentimentModel::train_par(&seg_docs(&sent_pos), &seg_docs(&sent_neg), par);
     let analyzer = SemanticAnalyzer::from_parts(lexicon, sentiment);
+    drop(embed_span);
     let embed_s = t0.elapsed().as_secs_f64();
 
     // Stage 3: detector fit (parallel extraction + parallel GBT).
     let t0 = Instant::now();
+    let fit_span = cats_obs::span!("cats.bench.scaling.fit", { items.len() });
     let gbt = GradientBoostedTrees::new(GbtConfig { parallelism: par, ..GbtConfig::default() });
     let mut detector = Detector::new(
         DetectorConfig { parallelism: par, ..DetectorConfig::default() },
         Box::new(gbt),
     );
     detector.fit(items, labels, &analyzer);
+    drop(fit_span);
     let fit_s = t0.elapsed().as_secs_f64();
 
     // Stage 4: batch detection.
     let t0 = Instant::now();
+    let detect_span = cats_obs::span!("cats.bench.scaling.detect", { items.len() });
     let reports = detector.detect(items, sales, &analyzer);
+    drop(detect_span);
     let detect_s = t0.elapsed().as_secs_f64();
     assert_eq!(reports.len(), items.len());
 
-    Row { threads, segment_s, embed_s, fit_s, detect_s }
+    Row { threads, segment_s, embed_s, fit_s, detect_s, profile: timer.finish() }
 }
 
 fn main() {
@@ -106,6 +125,10 @@ fn main() {
         "== Extension: full-pipeline scaling ({} items, {} comments) ==",
         items.len(),
         comments
+    );
+    println!(
+        "observability: {} (set CATS_OBS=off for the no-op observer baseline)",
+        if cats_obs::enabled() { "enabled" } else { "disabled" }
     );
 
     let cores = cats_par::default_threads();
@@ -135,41 +158,59 @@ fn main() {
     println!(
         "{}",
         render::table(
-            &["Threads", "Segment (s)", "Embed (s)", "Fit (s)", "Detect (s)", "Total (s)", "Speedup"],
+            &[
+                "Threads",
+                "Segment (s)",
+                "Embed (s)",
+                "Fit (s)",
+                "Detect (s)",
+                "Total (s)",
+                "Speedup"
+            ],
             &table_rows
         )
     );
     println!("machine parallelism: {cores} threads");
 
     // Machine-readable output for the acceptance gate. Hand-rolled JSON:
-    // the bench crate deliberately has no serde dependency.
+    // the bench crate deliberately has no serde dependency. Each row
+    // embeds its RunProfile document verbatim.
     let json_rows: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
                 "    {{\"threads\": {}, \"segment_s\": {:.6}, \"embed_s\": {:.6}, \
                  \"fit_s\": {:.6}, \"detect_s\": {:.6}, \"total_s\": {:.6}, \
-                 \"speedup\": {:.4}}}",
+                 \"speedup\": {:.4}, \"profile\": {}}}",
                 r.threads,
                 r.segment_s,
                 r.embed_s,
                 r.fit_s,
                 r.detect_s,
                 r.total(),
-                base / r.total()
+                base / r.total(),
+                r.profile.to_json().trim_end()
             )
         })
         .collect();
     let json = format!(
         "{{\n  \"experiment\": \"exp_scaling\",\n  \"scale\": {},\n  \"seed\": {},\n  \
-         \"machine_threads\": {},\n  \"items\": {},\n  \"comments\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"machine_threads\": {},\n  \"items\": {},\n  \"comments\": {},\n  \
+         \"obs_enabled\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
         args.scale,
         args.seed,
         cores,
         items.len(),
         comments,
+        cats_obs::enabled(),
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_scaling.json", json).expect("write BENCH_scaling.json");
     println!("wrote BENCH_scaling.json");
+
+    // Deepest sweep row standalone, for CI artifact upload.
+    let last = rows.last().expect("at least one sweep row");
+    std::fs::write("PROFILE_scaling.json", last.profile.to_json())
+        .expect("write PROFILE_scaling.json");
+    println!("wrote PROFILE_scaling.json (threads={})", last.threads);
 }

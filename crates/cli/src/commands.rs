@@ -28,7 +28,16 @@ use cats_platform::comment_model::{generate_comment, CommentStyle};
 use cats_platform::datasets;
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::HashMap;
-use std::io::BufRead;
+use std::io::{BufRead, Read};
+
+/// Runs `f` bracketed by a [`cats_obs::StageTimer`], returning its result
+/// plus the per-run profile carved out of the global metrics registry.
+/// This is what `--metrics-out` wraps around a subcommand.
+pub fn profiled<T>(label: &str, f: impl FnOnce() -> T) -> (T, cats_obs::RunProfile) {
+    let timer = cats_obs::StageTimer::start(label);
+    let out = f();
+    (out, timer.finish())
+}
 
 /// Synthesizes a D0-shaped labeled dataset as JSONL lines.
 pub fn generate(scale: f64, seed: u64, out: &mut dyn std::io::Write) -> Result<usize, String> {
@@ -54,7 +63,9 @@ pub fn train(
     threshold: f64,
     seed: u64,
 ) -> Result<(String, usize), String> {
+    let read_span = cats_obs::span!("cats.cli.train.read_input");
     let items = read_items(input)?;
+    drop(read_span);
     if items.is_empty() {
         return Err("no items in training input".into());
     }
@@ -101,6 +112,7 @@ pub fn train(
     let mut gbt = GradientBoostedTrees::new(GbtConfig::default());
     gbt.fit(&data);
 
+    let _snap_span = cats_obs::span!("cats.cli.train.snapshot");
     let snapshot = CatsPipeline::snapshot(
         analyzer,
         DetectorConfig { threshold, ..DetectorConfig::default() },
@@ -117,12 +129,16 @@ pub fn detect(
     input: &mut dyn BufRead,
     out: &mut dyn std::io::Write,
 ) -> Result<DetectionSummary, String> {
+    let load_span = cats_obs::span!("cats.cli.detect.load_model");
     let snapshot: PipelineSnapshot =
         serde_json::from_str(model_json).map_err(|e| format!("model: {e}"))?;
     let pipeline = CatsPipeline::restore(snapshot);
+    drop(load_span);
+    let read_span = cats_obs::span!("cats.cli.detect.read_input");
     let items = read_items(input)?;
     let ics: Vec<ItemComments> = items.iter().map(ItemLine::to_item_comments).collect();
     let sales: Vec<u64> = items.iter().map(|i| i.sales_volume).collect();
+    drop(read_span);
     let reports = pipeline.detect(&ics, &sales);
 
     let lines: Vec<ReportLine> = reports
@@ -141,7 +157,9 @@ pub fn detect(
             is_fraud: r.is_fraud,
         })
         .collect();
+    let write_span = cats_obs::span!("cats.cli.detect.write_reports", { lines.len() });
     write_reports(out, &lines).map_err(|e| e.to_string())?;
+    drop(write_span);
     Ok(DetectionSummary::from_reports(&reports))
 }
 
@@ -181,6 +199,41 @@ pub fn crawl(
         .collect();
     write_items(out, &items).map_err(|e| e.to_string())?;
     Ok((items.len(), collector.stats()))
+}
+
+/// Parses a saved [`cats_obs::RunProfile`] JSON document (written by
+/// `--metrics-out`) and returns the human-readable rendering.
+pub fn metrics(input: &mut dyn BufRead) -> Result<String, String> {
+    let mut text = String::new();
+    input.read_to_string(&mut text).map_err(|e| e.to_string())?;
+    let v: serde_json::Value = serde_json::from_str(&text).map_err(|e| format!("profile: {e}"))?;
+    if v["schema"] != "cats.run_profile.v1" {
+        return Err(format!("unsupported profile schema: {}", v["schema"]));
+    }
+    let u = |v: &serde_json::Value| v.as_u64().unwrap_or(0);
+    let f = |v: &serde_json::Value| v.as_f64().unwrap_or(0.0);
+    let s = |v: &serde_json::Value| v.as_str().unwrap_or("").to_string();
+    let arr = |v: &serde_json::Value| v.as_array().cloned().unwrap_or_default();
+    let profile = cats_obs::RunProfile {
+        label: s(&v["label"]),
+        wall_micros: u(&v["wall_micros"]),
+        stages: arr(&v["stages"])
+            .iter()
+            .map(|st| cats_obs::StageProfile {
+                name: s(&st["name"]),
+                count: u(&st["count"]),
+                items: u(&st["items"]),
+                total_micros: u(&st["total_micros"]),
+                self_micros: u(&st["self_micros"]),
+                p50_micros: f(&st["p50_micros"]),
+                p95_micros: f(&st["p95_micros"]),
+                p99_micros: f(&st["p99_micros"]),
+            })
+            .collect(),
+        counters: arr(&v["counters"]).iter().map(|c| (s(&c["name"]), u(&c["value"]))).collect(),
+        gauges: arr(&v["gauges"]).iter().map(|g| (s(&g["name"]), f(&g["value"]))).collect(),
+    };
+    Ok(profile.render())
 }
 
 /// Evaluates a JSONL report file against a labeled JSONL item file,
@@ -319,6 +372,63 @@ mod tests {
         let mut out = Vec::new();
         let err = detect("{not json", &mut BufReader::new("".as_bytes()), &mut out).unwrap_err();
         assert!(err.starts_with("model:"), "{err}");
+    }
+
+    #[test]
+    fn detect_profile_names_pipeline_stages() {
+        let mut data = Vec::new();
+        generate(0.004, 9, &mut data).unwrap();
+        let (model, _) = train(&mut BufReader::new(data.as_slice()), 0.5, 9).unwrap();
+        let mut reports = Vec::new();
+        let (res, profile) = profiled("cli.detect", || {
+            detect(&model, &mut BufReader::new(data.as_slice()), &mut reports)
+        });
+        res.unwrap();
+        let names: Vec<&str> = profile.stages.iter().map(|s| s.name.as_str()).collect();
+        assert!(profile.stages.len() >= 6, "want >=6 stages, got {names:?}");
+        for s in &profile.stages {
+            assert!(s.count > 0, "{}", s.name);
+            assert!(s.self_micros <= s.total_micros, "{}", s.name);
+            assert!(s.p50_micros <= s.p95_micros, "{}", s.name);
+        }
+        for want in [
+            "cats.cli.detect.load_model",
+            "cats.cli.detect.read_input",
+            "cats.cli.detect.write_reports",
+            "cats.core.pipeline.detect",
+            "cats.core.detect",
+            "cats.core.extract",
+        ] {
+            assert!(profile.stage(want).is_some(), "missing stage {want} in {names:?}");
+        }
+    }
+
+    #[test]
+    fn metrics_renders_saved_profile() {
+        let profile = cats_obs::RunProfile {
+            label: "demo".into(),
+            wall_micros: 1_000,
+            stages: vec![cats_obs::StageProfile {
+                name: "cats.x.stage".into(),
+                count: 2,
+                items: 8,
+                total_micros: 500,
+                self_micros: 400,
+                p50_micros: 200.0,
+                p95_micros: 300.5,
+                p99_micros: 310.0,
+            }],
+            counters: vec![("cats.x.n".into(), 3)],
+            gauges: vec![("cats.x.g".into(), 0.25)],
+        };
+        let json = profile.to_json();
+        let text = metrics(&mut BufReader::new(json.as_bytes())).unwrap();
+        assert_eq!(text, profile.render(), "render survives the JSON roundtrip");
+        assert!(text.contains("cats.x.stage"));
+        assert!(text.contains("cats.x.n 3"));
+
+        let err = metrics(&mut BufReader::new(b"{}".as_slice())).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! # cats-cli — command-line interface to the CATS reproduction
 //!
-//! Four subcommands, designed for piping:
+//! Subcommands designed for piping:
 //!
 //! ```text
 //! cats-cli generate --scale 0.01 --seed 7            > labeled.jsonl
 //! cats-cli train    --input labeled.jsonl --model m.json
-//! cats-cli detect   --model m.json --input items.jsonl > reports.jsonl
+//! cats-cli detect   --model m.json --input items.jsonl --metrics-out profile.json > reports.jsonl
 //! cats-cli analyze  --reports reports.jsonl --labeled labeled.jsonl
+//! cats-cli metrics  --profile profile.json
 //! ```
+//!
+//! `--metrics-out` (on `train` and `detect`) writes the run's
+//! [`cats_obs::RunProfile`] — per-stage span timings plus counter/gauge
+//! deltas — as JSON; `metrics` pretty-prints such a file.
 //!
 //! The command logic lives in [`commands`] (testable library functions);
 //! `main.rs` is a thin argument dispatcher.

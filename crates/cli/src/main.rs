@@ -6,9 +6,18 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cats-cli generate --scale <f64> --seed <u64>            (JSONL to stdout)\n  cats-cli crawl    --scale <f64> --seed <u64> [--faults <0..1>]  (JSONL to stdout)\n  cats-cli train    --input <jsonl> --model <out.json> [--threshold <f64>] [--seed <u64>]\n  cats-cli detect   --model <json> --input <jsonl>        (reports to stdout)\n  cats-cli analyze  --reports <jsonl> --labeled <jsonl>"
+        "usage:\n  cats-cli generate --scale <f64> --seed <u64>            (JSONL to stdout)\n  cats-cli crawl    --scale <f64> --seed <u64> [--faults <0..1>]  (JSONL to stdout)\n  cats-cli train    --input <jsonl> --model <out.json> [--threshold <f64>] [--seed <u64>] [--metrics-out <json>]\n  cats-cli detect   --model <json> --input <jsonl> [--metrics-out <json>]  (reports to stdout)\n  cats-cli analyze  --reports <jsonl> --labeled <jsonl>\n  cats-cli metrics  --profile <json>                      (pretty-print a RunProfile)"
     );
     ExitCode::from(2)
+}
+
+/// Writes a run profile to `--metrics-out` when the flag was given.
+fn write_metrics(path: Option<String>, profile: &cats_obs::RunProfile) -> Result<(), String> {
+    if let Some(path) = path {
+        std::fs::write(&path, profile.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("metrics profile written to {path}");
+    }
+    Ok(())
 }
 
 /// Pulls `--flag value` pairs out of args; returns None on unknown flags.
@@ -69,8 +78,12 @@ fn run() -> Result<(), String> {
             let model_path = get("model").ok_or("--model is required")?;
             let threshold = parse_f64("threshold", 0.5)?;
             let seed = parse_u64("seed", 0xCA75)?;
-            let (json, n) = cats_cli::commands::train(&mut input, threshold, seed)?;
+            let (result, profile) = cats_cli::commands::profiled("cats-cli train", || {
+                cats_cli::commands::train(&mut input, threshold, seed)
+            });
+            let (json, n) = result?;
             std::fs::write(&model_path, &json).map_err(|e| format!("{model_path}: {e}"))?;
+            write_metrics(get("metrics-out"), &profile)?;
             eprintln!(
                 "trained on {n} items; model written to {model_path} ({} KiB)",
                 json.len() / 1024
@@ -84,9 +97,19 @@ fn run() -> Result<(), String> {
             let mut input = open("input")?;
             let stdout = std::io::stdout();
             let mut lock = stdout.lock();
-            let summary = cats_cli::commands::detect(&model, &mut input, &mut lock)?;
+            let (result, profile) = cats_cli::commands::profiled("cats-cli detect", || {
+                cats_cli::commands::detect(&model, &mut input, &mut lock)
+            });
+            let summary = result?;
             lock.flush().ok();
+            write_metrics(get("metrics-out"), &profile)?;
             eprintln!("{summary}");
+            Ok(())
+        }
+        "metrics" => {
+            let mut profile = open("profile")?;
+            let text = cats_cli::commands::metrics(&mut profile)?;
+            print!("{text}");
             Ok(())
         }
         "analyze" => {

@@ -199,16 +199,67 @@ impl Breaker {
     }
 }
 
+/// Registry-backed mirrors of every [`CrawlStats`] field, resolved once
+/// at collector construction so the hot paths only touch atomics. The
+/// public `CrawlStats` struct stays the per-crawl source of truth (it
+/// resets on every `crawl`); these counters accumulate monotonically
+/// across crawls, so per-run views come from registry snapshot diffs.
+struct CrawlCounters {
+    pages_fetched: std::sync::Arc<cats_obs::Counter>,
+    transient_errors: std::sync::Arc<cats_obs::Counter>,
+    rate_limited: std::sync::Arc<cats_obs::Counter>,
+    outage_errors: std::sync::Arc<cats_obs::Counter>,
+    pages_abandoned: std::sync::Arc<cats_obs::Counter>,
+    malformed_records: std::sync::Arc<cats_obs::Counter>,
+    duplicate_records: std::sync::Arc<cats_obs::Counter>,
+    poisoned_records: std::sync::Arc<cats_obs::Counter>,
+    backoff_waits: std::sync::Arc<cats_obs::Counter>,
+    backoff_wait_secs: std::sync::Arc<cats_obs::Counter>,
+    breaker_opens: std::sync::Arc<cats_obs::Counter>,
+    breaker_wait_secs: std::sync::Arc<cats_obs::Counter>,
+    breaker_give_ups: std::sync::Arc<cats_obs::Counter>,
+    truncated_resources: std::sync::Arc<cats_obs::Counter>,
+    stalled_pages: std::sync::Arc<cats_obs::Counter>,
+    stall_secs: std::sync::Arc<cats_obs::Counter>,
+    sim_clock_secs: std::sync::Arc<cats_obs::Counter>,
+}
+
+impl CrawlCounters {
+    fn new() -> Self {
+        let c = cats_obs::counter;
+        Self {
+            pages_fetched: c("cats.collector.crawl.pages_fetched"),
+            transient_errors: c("cats.collector.crawl.transient_errors"),
+            rate_limited: c("cats.collector.crawl.rate_limited"),
+            outage_errors: c("cats.collector.crawl.outage_errors"),
+            pages_abandoned: c("cats.collector.crawl.pages_abandoned"),
+            malformed_records: c("cats.collector.crawl.malformed_records"),
+            duplicate_records: c("cats.collector.crawl.duplicate_records"),
+            poisoned_records: c("cats.collector.crawl.poisoned_records"),
+            backoff_waits: c("cats.collector.crawl.backoff_waits"),
+            backoff_wait_secs: c("cats.collector.crawl.backoff_wait_secs"),
+            breaker_opens: c("cats.collector.crawl.breaker_opens"),
+            breaker_wait_secs: c("cats.collector.crawl.breaker_wait_secs"),
+            breaker_give_ups: c("cats.collector.crawl.breaker_give_ups"),
+            truncated_resources: c("cats.collector.crawl.truncated_resources"),
+            stalled_pages: c("cats.collector.crawl.stalled_pages"),
+            stall_secs: c("cats.collector.crawl.stall_secs"),
+            sim_clock_secs: c("cats.collector.crawl.sim_clock_secs"),
+        }
+    }
+}
+
 /// The crawler.
 pub struct Collector {
     config: CollectorConfig,
     stats: CrawlStats,
+    counters: CrawlCounters,
 }
 
 impl Collector {
     /// Creates a collector.
     pub fn new(config: CollectorConfig) -> Self {
-        Self { config, stats: CrawlStats::default() }
+        Self { config, stats: CrawlStats::default(), counters: CrawlCounters::new() }
     }
 
     /// Statistics of the most recent crawl.
@@ -221,6 +272,9 @@ impl Collector {
         self.stats.backoff_waits += 1;
         self.stats.backoff_wait_secs += secs;
         self.stats.sim_clock_secs += secs;
+        self.counters.backoff_waits.inc();
+        self.counters.backoff_wait_secs.add(secs);
+        self.counters.sim_clock_secs.add(secs);
     }
 
     /// Fetches a page with backoff, rate-limit compliance, and the
@@ -241,6 +295,8 @@ impl Collector {
                 let wait = until_secs.saturating_sub(self.stats.sim_clock_secs);
                 self.stats.breaker_wait_secs += wait;
                 self.stats.sim_clock_secs += wait;
+                self.counters.breaker_wait_secs.add(wait);
+                self.counters.sim_clock_secs.add(wait);
                 breaker.state = BreakerState::HalfOpen;
                 burst_attempt = 0; // the cooldown resets the retry budget
             }
@@ -248,10 +304,14 @@ impl Collector {
                 Ok(page) => {
                     breaker.on_success();
                     self.stats.pages_fetched += 1;
+                    self.counters.pages_fetched.inc();
                     if page.stall_secs > 0 {
                         self.stats.stalled_pages += 1;
                         self.stats.stall_secs += page.stall_secs;
                         self.stats.sim_clock_secs += page.stall_secs;
+                        self.counters.stalled_pages.inc();
+                        self.counters.stall_secs.add(page.stall_secs);
+                        self.counters.sim_clock_secs.add(page.stall_secs);
                     }
                     return Some(page);
                 }
@@ -262,30 +322,36 @@ impl Collector {
                     let breaker_event = match err {
                         FetchError::Transient => {
                             self.stats.transient_errors += 1;
+                            self.counters.transient_errors.inc();
                             breaker.on_failure(&self.config.breaker, self.stats.sim_clock_secs)
                         }
                         FetchError::Outage => {
                             self.stats.outage_errors += 1;
+                            self.counters.outage_errors.inc();
                             breaker.on_failure(&self.config.breaker, self.stats.sim_clock_secs)
                         }
                         FetchError::RateLimited { .. } => {
                             self.stats.rate_limited += 1;
+                            self.counters.rate_limited.inc();
                             BreakerEvent::None
                         }
                     };
                     match breaker_event {
                         BreakerEvent::Opened => {
                             self.stats.breaker_opens += 1;
+                            self.counters.breaker_opens.inc();
                             continue; // cooldown handled at the loop top
                         }
                         BreakerEvent::GaveUp => {
                             self.stats.breaker_give_ups += 1;
+                            self.counters.breaker_give_ups.inc();
                             return None;
                         }
                         BreakerEvent::None => {}
                     }
                     if burst_attempt >= self.config.max_retries {
                         self.stats.pages_abandoned += 1;
+                        self.counters.pages_abandoned.inc();
                         return None;
                     }
                     let wait = match err {
@@ -320,12 +386,16 @@ impl Collector {
             let Some(page) = self.fetch_page(&mut breaker, |attempt| fetch(page_no, attempt))
             else {
                 self.stats.truncated_resources += 1;
+                self.counters.truncated_resources.inc();
                 return true;
             };
             for line in &page.lines {
                 match serde_json::from_str::<T>(line) {
                     Ok(rec) => sink(rec),
-                    Err(_) => self.stats.malformed_records += 1,
+                    Err(_) => {
+                        self.stats.malformed_records += 1;
+                        self.counters.malformed_records.inc();
+                    }
                 }
             }
             if !page.has_next {
@@ -337,6 +407,7 @@ impl Collector {
 
     /// Runs the full three-stage crawl against `site`.
     pub fn crawl(&mut self, site: &PublicSite<'_>) -> CollectedDataset {
+        let _span = cats_obs::span!("cats.collector.crawl");
         self.stats = CrawlStats::default();
         let mut dataset = CollectedDataset::default();
 
@@ -417,6 +488,7 @@ impl Collector {
                 },
             );
             self.stats.duplicate_records += dupes;
+            self.counters.duplicate_records.add(dupes);
             poisoned_total += poisoned;
             dataset.items.push(CollectedItem {
                 item_id: item.item_id,
@@ -429,6 +501,7 @@ impl Collector {
             });
         }
         self.stats.poisoned_records += poisoned_total;
+        self.counters.poisoned_records.add(poisoned_total);
         dataset.shops = shops;
         dataset.catalogue_truncated = catalogue_truncated;
         dataset

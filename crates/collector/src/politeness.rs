@@ -53,6 +53,7 @@ impl PolitenessPolicy {
     /// # Panics
     /// Panics on a non-positive rate or zero workers.
     pub fn account(&self, stats: &CrawlStats) -> CrawlBudget {
+        let _span = cats_obs::span!("cats.collector.politeness.account");
         assert!(self.requests_per_second > 0.0, "rate must be positive");
         assert!(self.workers > 0, "need at least one worker");
         assert!(self.max_host_rps > 0.0, "host ceiling must be positive");
@@ -60,11 +61,15 @@ impl PolitenessPolicy {
             stats.pages_fetched + stats.transient_errors + stats.rate_limited + stats.outage_errors;
         let raw_rps = self.requests_per_second * self.workers as f64;
         let effective_rps = raw_rps.min(self.max_host_rps);
-        CrawlBudget {
+        let budget = CrawlBudget {
             total_requests,
             effective_rps,
             duration_secs: total_requests as f64 / effective_rps + stats.sim_clock_secs as f64,
-        }
+        };
+        cats_obs::counter("cats.collector.politeness.requests_accounted").add(total_requests);
+        cats_obs::gauge("cats.collector.politeness.effective_rps").set(effective_rps);
+        cats_obs::gauge("cats.collector.politeness.duration_secs").set(budget.duration_secs);
+        budget
     }
 }
 

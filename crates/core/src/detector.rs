@@ -173,6 +173,7 @@ impl Detector {
     where
         T: std::borrow::Borrow<ItemComments> + Sync,
     {
+        let _span = cats_obs::span!("cats.core.fit", { items.len() });
         let rows = extract_batch(items, analyzer, self.config.parallelism.threads);
         self.fit_features(&rows, labels);
     }
@@ -190,11 +191,13 @@ impl Detector {
     ) -> Vec<DetectionReport> {
         assert!(self.fitted, "detect before fit");
         assert_eq!(items.len(), sales_volumes.len(), "items/sales mismatch");
+        let _span = cats_obs::span!("cats.core.detect", { items.len() });
 
         // Stage 0: data-health quarantine — an item with zero usable
         // comments (fully truncated or fully dropped crawl) carries no
         // text signal; scoring its synthetic zero-row would be noise.
         // Stage 1: the paper's rule filter.
+        let filter_span = cats_obs::span!("cats.core.detect.filter", { items.len() });
         let decisions: Vec<FilterDecision> = items
             .iter()
             .zip(sales_volumes)
@@ -206,6 +209,7 @@ impl Detector {
                 }
             })
             .collect();
+        drop(filter_span);
 
         // Stage 2: features only for survivors.
         let survivors: Vec<usize> =
@@ -213,6 +217,7 @@ impl Detector {
         let survivor_items: Vec<&ItemComments> = survivors.iter().map(|&i| &items[i]).collect();
         let rows = extract_batch(&survivor_items, analyzer, self.config.parallelism.threads);
 
+        let classify_span = cats_obs::span!("cats.core.detect.classify", { survivors.len() });
         let mut reports: Vec<DetectionReport> = decisions
             .iter()
             .enumerate()
@@ -236,6 +241,7 @@ impl Detector {
             reports[i].is_fraud = score >= self.config.threshold;
             reports[i].features = Some(row);
         }
+        drop(classify_span);
         reports
     }
 }

@@ -183,8 +183,15 @@ pub fn extract_batch<T>(
 where
     T: std::borrow::Borrow<ItemComments> + Sync,
 {
+    let _span = cats_obs::span!("cats.core.extract", { items.len() });
     let par = cats_par::Parallelism { threads: n_threads, deterministic: true };
-    cats_par::map_chunked(par, items, |it| extract(it.borrow(), analyzer))
+    cats_par::map_chunked(par, items, |it| {
+        // Per-item span: records from worker threads through the
+        // thread-local stack, so `cats.core.extract.item` gets real
+        // per-item latency percentiles without locking.
+        let _item_span = cats_obs::span!("cats.core.extract.item");
+        extract(it.borrow(), analyzer)
+    })
 }
 
 #[cfg(test)]

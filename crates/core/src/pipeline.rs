@@ -60,6 +60,7 @@ impl CatsPipeline {
         classifier: Option<Box<dyn Classifier>>,
         config: PipelineConfig,
     ) -> Self {
+        let _span = cats_obs::span!("cats.core.pipeline.train", { training_items.len() });
         // The top-level knob wins: stage configs inherit it wholesale.
         let semantic = SemanticConfig { parallelism: config.parallelism, ..config.semantic };
         let detector_cfg = DetectorConfig { parallelism: config.parallelism, ..config.detector };
@@ -104,6 +105,7 @@ impl CatsPipeline {
     /// Detects frauds in a batch of items (with their public sales
     /// volumes).
     pub fn detect(&self, items: &[ItemComments], sales: &[u64]) -> Vec<DetectionReport> {
+        let _span = cats_obs::span!("cats.core.pipeline.detect", { items.len() });
         self.detector.detect(items, sales, &self.analyzer)
     }
 

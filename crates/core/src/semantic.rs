@@ -53,22 +53,37 @@ impl SemanticAnalyzer {
         sentiment_negative: &[&str],
         config: SemanticConfig,
     ) -> Self {
+        let _span = cats_obs::span!("cats.core.train");
         let seg = WhitespaceSegmenter;
         let par = config.parallelism;
         let mut corpus = Corpus::new();
-        corpus.push_texts(comment_texts, &seg, par);
-        let w2v = Word2VecConfig { parallelism: par, ..config.word2vec };
-        let embedding = Word2VecTrainer::new(w2v).train(&corpus);
-        let lexicon = expand_lexicon(&embedding, positive_seeds, negative_seeds, config.expansion);
-
-        let seg_docs = |texts: &[&str]| -> Vec<Vec<String>> {
-            cats_par::map_chunked(par, texts, |t| seg.segment(t))
+        {
+            let _seg_span = cats_obs::span!("cats.core.train.segment", { comment_texts.len() });
+            corpus.push_texts(comment_texts, &seg, par);
+        }
+        let embedding = {
+            let _embed_span = cats_obs::span!("cats.core.train.embed", { comment_texts.len() });
+            let w2v = Word2VecConfig { parallelism: par, ..config.word2vec };
+            Word2VecTrainer::new(w2v).train(&corpus)
         };
-        let sentiment = SentimentModel::train_par(
-            &seg_docs(sentiment_positive),
-            &seg_docs(sentiment_negative),
-            par,
-        );
+        let lexicon = {
+            let _expand_span = cats_obs::span!("cats.core.train.expand");
+            expand_lexicon(&embedding, positive_seeds, negative_seeds, config.expansion)
+        };
+
+        let sentiment = {
+            let _sent_span = cats_obs::span!("cats.core.train.sentiment", {
+                sentiment_positive.len() + sentiment_negative.len()
+            });
+            let seg_docs = |texts: &[&str]| -> Vec<Vec<String>> {
+                cats_par::map_chunked(par, texts, |t| seg.segment(t))
+            };
+            SentimentModel::train_par(
+                &seg_docs(sentiment_positive),
+                &seg_docs(sentiment_negative),
+                par,
+            )
+        };
         Self { lexicon, sentiment }
     }
 

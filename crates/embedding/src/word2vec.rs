@@ -217,6 +217,7 @@ impl Word2VecTrainer {
 
     /// Trains on `corpus` and returns the embedding.
     pub fn train(&self, corpus: &Corpus) -> Embedding {
+        let _span = cats_obs::span!("cats.embedding.w2v.train", { corpus.len() });
         let cfg = self.config;
         let vocab = corpus.vocab();
         let n = vocab.len();
@@ -329,6 +330,12 @@ struct Scratch {
     kept: Vec<usize>,
     neg_buf: Vec<usize>,
     grad: Vec<f32>,
+    /// Sum of `|label − σ(u·v)|` over trained pairs — a per-epoch
+    /// training-progress signal surfaced through `cats-obs` (two float
+    /// adds per pair; the gradient already computes the residual).
+    residual: f64,
+    /// Number of (center, context/negative) pairs trained.
+    pairs: u64,
 }
 
 impl Scratch {
@@ -337,6 +344,8 @@ impl Scratch {
             kept: Vec::new(),
             neg_buf: Vec::with_capacity(cfg.negative),
             grad: vec![0.0f32; cfg.dim],
+            residual: 0.0,
+            pairs: 0,
         }
     }
 }
@@ -407,7 +416,7 @@ fn train_sentence<W: Weights>(
                     scratch.neg_buf.push(cand);
                 }
             }
-            sgns_update(
+            let (residual, pairs) = sgns_update(
                 syn0,
                 syn1,
                 cfg.dim,
@@ -418,6 +427,8 @@ fn train_sentence<W: Weights>(
                 ctx.sigmoid,
                 &mut scratch.grad,
             );
+            scratch.residual += f64::from(residual);
+            scratch.pairs += u64::from(pairs);
         }
     }
 }
@@ -438,11 +449,24 @@ fn train_serial(
     let mut scratch = Scratch::new(&cfg);
     let mut processed: u64 = 0;
     for _epoch in 0..cfg.epochs {
+        let epoch_span = cats_obs::span!("cats.embedding.w2v.epoch");
+        let (res0, pairs0) = (scratch.residual, scratch.pairs);
         for sentence in corpus.sentences() {
             processed += sentence.len() as u64;
             let lr = lr_at(&cfg, processed, ctx.total_tokens);
             train_sentence(ctx, sentence, &w0, &w1, lr, rng, &mut scratch);
         }
+        record_epoch(scratch.residual - res0, scratch.pairs - pairs0);
+        drop(epoch_span);
+    }
+}
+
+/// Publishes one epoch's pair count and mean absolute residual
+/// (`mean |label − σ(u·v)|`, an L1 training-loss signal) to the registry.
+fn record_epoch(residual: f64, pairs: u64) {
+    cats_obs::counter("cats.embedding.w2v.pairs").add(pairs);
+    if pairs > 0 {
+        cats_obs::gauge("cats.embedding.w2v.epoch_mean_abs_err").set(residual / pairs as f64);
     }
 }
 
@@ -456,9 +480,8 @@ fn train_sharded(ctx: &TrainCtx<'_>, corpus: &Corpus, syn0: &mut [f32], syn1: &m
     let sents = corpus.sentences();
     let n_sent = sents.len();
     let epoch_tokens = corpus.token_count() as u64;
-    let bounds: Vec<(usize, usize)> = (0..DET_SHARDS)
-        .map(|s| (s * n_sent / DET_SHARDS, (s + 1) * n_sent / DET_SHARDS))
-        .collect();
+    let bounds: Vec<(usize, usize)> =
+        (0..DET_SHARDS).map(|s| (s * n_sent / DET_SHARDS, (s + 1) * n_sent / DET_SHARDS)).collect();
     // Token offset of each shard, so per-shard lr decay picks up exactly
     // where a serial pass over the preceding shards would have left it.
     let mut tokens_before = vec![0u64; DET_SHARDS];
@@ -469,20 +492,21 @@ fn train_sharded(ctx: &TrainCtx<'_>, corpus: &Corpus, syn0: &mut [f32], syn1: &m
     }
 
     for epoch in 0..cfg.epochs {
+        let epoch_span = cats_obs::span!("cats.embedding.w2v.epoch");
         let snap0 = syn0.to_vec();
         let snap1 = syn1.to_vec();
         let (snap0_ref, snap1_ref) = (&snap0, &snap1);
         let (bounds_ref, tokens_before_ref) = (&bounds, &tokens_before);
-        let shards: Vec<(Vec<f32>, Vec<f32>)> =
+        let shards: Vec<(Vec<f32>, Vec<f32>, f64, u64)> =
             cats_par::map_indexed(cfg.parallelism, DET_SHARDS, move |s| {
                 let (lo, hi) = bounds_ref[s];
                 let mut w0 = snap0_ref.clone();
                 let mut w1 = snap1_ref.clone();
+                let mut scratch = Scratch::new(&cfg);
                 {
                     let c0 = CellWeights(as_cells(&mut w0));
                     let c1 = CellWeights(as_cells(&mut w1));
                     let mut rng = StdRng::seed_from_u64(shard_seed(cfg.seed, epoch, s));
-                    let mut scratch = Scratch::new(&cfg);
                     let mut processed = epoch as u64 * epoch_tokens + tokens_before_ref[s];
                     for sentence in &sents[lo..hi] {
                         processed += sentence.len() as u64;
@@ -490,18 +514,25 @@ fn train_sharded(ctx: &TrainCtx<'_>, corpus: &Corpus, syn0: &mut [f32], syn1: &m
                         train_sentence(ctx, sentence, &c0, &c1, lr, &mut rng, &mut scratch);
                     }
                 }
-                (w0, w1)
+                (w0, w1, scratch.residual, scratch.pairs)
             });
         // Untouched rows contribute an exact 0.0 delta, so no bookkeeping
-        // of which rows a shard updated is needed.
-        for (w0, w1) in &shards {
+        // of which rows a shard updated is needed. Residuals fold in
+        // fixed shard order, keeping the published gauge deterministic.
+        let mut epoch_residual = 0.0f64;
+        let mut epoch_pairs = 0u64;
+        for (w0, w1, residual, pairs) in &shards {
             for ((dst, &sh), &sn) in syn0.iter_mut().zip(w0).zip(snap0.iter()) {
                 *dst += sh - sn;
             }
             for ((dst, &sh), &sn) in syn1.iter_mut().zip(w1).zip(snap1.iter()) {
                 *dst += sh - sn;
             }
+            epoch_residual += residual;
+            epoch_pairs += pairs;
         }
+        record_epoch(epoch_residual, epoch_pairs);
+        drop(epoch_span);
     }
 }
 
@@ -538,6 +569,10 @@ fn train_hogwild(
                 train_sentence(ctx, sentence, &w0, &w1, lr, &mut rng, &mut scratch);
             }
         }
+        // No epoch barrier in Hogwild: publish the pair tally per worker
+        // (order-independent), but skip the residual gauge whose f64
+        // fold order would be racy.
+        cats_obs::counter("cats.embedding.w2v.pairs").add(scratch.pairs);
     });
     for (dst, a) in syn0.iter_mut().zip(&a0) {
         *dst = f32::from_bits(a.load(Ordering::Relaxed));
@@ -561,9 +596,11 @@ fn sgns_update<W: Weights>(
     lr: f32,
     sigmoid: &[f32],
     grad: &mut [f32],
-) {
+) -> (f32, u32) {
     grad.fill(0.0);
     let v = center * dim;
+    let mut residual = 0.0f32;
+    let mut pairs = 0u32;
     // Positive pair (label 1) then negatives (label 0).
     for (idx, &label) in std::iter::once(&context)
         .chain(negatives)
@@ -575,6 +612,8 @@ fn sgns_update<W: Weights>(
             dot += syn0.get(v + d) * syn1.get(u + d);
         }
         let pred = fast_sigmoid(dot, sigmoid);
+        residual += (label - pred).abs();
+        pairs += 1;
         let g = (label - pred) * lr;
         for d in 0..dim {
             grad[d] += g * syn1.get(u + d);
@@ -584,6 +623,7 @@ fn sgns_update<W: Weights>(
     for d in 0..dim {
         syn0.add(v + d, grad[d]);
     }
+    (residual, pairs)
 }
 
 /// Builds the unigram^0.75 negative-sampling table over trained words.

@@ -93,7 +93,11 @@ const PAR_MIN_SPLIT_MEMBERS: usize = 1024;
 /// `par` when the work is `large`, else strictly serial — a size gate so
 /// tiny work items never pay scheduling overhead.
 fn par_if(par: Parallelism, large: bool) -> Parallelism {
-    if large { par } else { Parallelism::serial() }
+    if large {
+        par
+    } else {
+        Parallelism::serial()
+    }
 }
 
 /// A node of a regression tree, in a flat arena.
@@ -217,6 +221,7 @@ impl GradientBoostedTrees {
 
     fn fit_impl(&mut self, data: &Dataset, early: Option<(&Dataset, usize)>) {
         assert!(!data.is_empty(), "cannot fit GBT on an empty dataset");
+        let _span = cats_obs::span!("cats.ml.gbt.fit", { data.len() });
         let cfg = self.config;
         let n = data.len();
         self.trees.clear();
@@ -264,15 +269,23 @@ impl GradientBoostedTrees {
         let mut best_round = 0usize;
         let mut rounds_since_best = 0usize;
 
+        // Per-round training-progress gauge: mean |p − y| is already on
+        // hand in the gradient pass, so publishing it costs one add per
+        // row and no extra log/exp work.
+        let round_err = cats_obs::gauge("cats.ml.gbt.round_mean_abs_grad");
         for _round in 0..cfg.n_trees {
+            let _round_span = cats_obs::span!("cats.ml.gbt.round");
             let gh = cats_par::map_indexed(row_par, n, |i| {
                 let p = sigmoid(margins[i]);
                 (p - f64::from(data.label(i)), (p * (1.0 - p)).max(1e-16))
             });
+            let mut abs_grad = 0.0f64;
             for (i, &(g, h)) in gh.iter().enumerate() {
                 grad[i] = g;
                 hess[i] = h;
+                abs_grad += g.abs();
             }
+            round_err.set(abs_grad / n as f64);
             let in_sample: Vec<bool> = if cfg.subsample < 1.0 {
                 (0..n).map(|_| rng.random::<f64>() < cfg.subsample).collect()
             } else {

@@ -1,0 +1,42 @@
+//! # cats-obs — zero-dependency observability for the CATS workspace
+//!
+//! Three pieces, layered bottom-up (DESIGN.md §8):
+//!
+//! 1. **Metrics registry** ([`metrics`]): named [`Counter`]s,
+//!    [`Gauge`]s and fixed-bucket [`Histogram`]s backed by atomics —
+//!    handle lookup locks once, recording never does — with JSON and
+//!    Prometheus-text exporters.
+//! 2. **Spans** ([`span`]): `let _g = span!("cats.core.detect");`
+//!    scoped timers with parent–child nesting, wall/self time, an
+//!    items payload, and a bounded structured event stream fed from
+//!    per-thread buffers.
+//! 3. **Run profiles** ([`profile`]): a [`StageTimer`] diffs registry
+//!    snapshots around a unit of work and emits a [`RunProfile`] — the
+//!    JSON artifact behind `cats-cli --metrics-out` and the
+//!    `BENCH_*.json` per-stage breakdowns.
+//!
+//! Timing flows through a pluggable [`Observer`]: wall clock by
+//! default, a [`SimObserver`] for deterministic tests, and a
+//! [`NoopObserver`] (also via `CATS_OBS=off`) that turns every span
+//! into a single branch for overhead measurements.
+//!
+//! Metric names follow `cats.<crate>.<stage>.<name>`; the Prometheus
+//! exporter sanitizes `.` to `_`.
+//!
+//! Like `cats-par`, this crate is deliberately dependency-free so it
+//! can sit below every other crate in the workspace.
+
+pub mod clock;
+pub mod metrics;
+pub mod profile;
+pub mod span;
+
+pub use clock::{
+    enabled, now_micros, observer, set_observer, NoopObserver, Observer, SimObserver, WallObserver,
+};
+pub use metrics::{
+    counter, gauge, global, histogram, Counter, Gauge, HistSnapshot, Histogram, Registry, Snapshot,
+    StageSnapshot,
+};
+pub use profile::{RunProfile, StageProfile, StageTimer};
+pub use span::{dropped_events, flush_thread, take_events, SpanEvent, StageStats};

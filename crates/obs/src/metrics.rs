@@ -1,0 +1,627 @@
+//! Lock-free-ish metrics: named counters, gauges and fixed-bucket
+//! histograms backed by atomics.
+//!
+//! Handle lookup (`registry.counter("name")`) takes a mutex; recording
+//! through a handle is atomics only, so `cats-par` worker threads cache
+//! a handle once and record without locks. Names follow the
+//! `cats.<crate>.<stage>.<name>` scheme documented in DESIGN.md §8.
+//!
+//! [`Registry::snapshot`] captures a consistent-enough point-in-time
+//! copy of every metric; [`Snapshot::diff`] subtracts an earlier
+//! snapshot, which is how per-run [`crate::RunProfile`]s are carved out
+//! of the process-global, monotonically growing registry.
+
+use crate::span::StageStats;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self { bits: AtomicU64::new(0f64.to_bits()) }
+    }
+}
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram: `bounds` are ascending bucket upper bounds
+/// plus one implicit overflow bucket. Recording is a binary search and
+/// two relaxed atomic adds; percentiles are estimated by linear
+/// interpolation inside the winning bucket.
+///
+/// Non-finite samples are dropped, and quantiles of an empty histogram
+/// are `None` — never a panic (see the `empty_and_nan` tests).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Builds a histogram from the given bucket upper bounds.
+    /// Non-finite bounds are dropped; duplicates are merged.
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut b: Vec<f64> = bounds.iter().copied().filter(|x| x.is_finite()).collect();
+        b.sort_by(f64::total_cmp);
+        b.dedup();
+        let buckets = (0..=b.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds: b,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Default duration buckets: powers of two from 1 µs to ~1.2 hours.
+    pub fn exponential_micros() -> Self {
+        let bounds: Vec<f64> = (0..32).map(|i| (1u64 << i) as f64).collect();
+        Self::new(&bounds)
+    }
+
+    /// Records one sample. Non-finite samples (NaN, ±inf) are ignored.
+    pub fn record(&self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|b| *b < x);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + x).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`, clamped). `None` when
+    /// the histogram is empty or `q` is NaN.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.snapshot().quantile(q)
+    }
+
+    /// Point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`]; supports exact bucket-wise
+/// subtraction so per-run percentiles can be computed from deltas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSnapshot {
+    pub bounds: Vec<f64>,
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+}
+
+impl HistSnapshot {
+    /// Empty snapshot with the default duration buckets.
+    pub fn empty() -> Self {
+        Histogram::exponential_micros().snapshot()
+    }
+
+    /// See [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || q.is_nan() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen >= rank {
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    // Overflow bucket: clamp to the last finite bound.
+                    self.bounds.last().copied().unwrap_or(0.0)
+                };
+                let frac = (rank - (seen - c)) as f64 / c as f64;
+                return Some(lo + (hi - lo).max(0.0) * frac);
+            }
+        }
+        None
+    }
+
+    /// Bucket-wise `self - earlier` (saturating). Bounds must match;
+    /// mismatched layouts fall back to `self`.
+    pub fn diff(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        if self.bounds != earlier.bounds || self.buckets.len() != earlier.buckets.len() {
+            return self.clone();
+        }
+        HistSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: (self.sum - earlier.sum).max(0.0),
+        }
+    }
+}
+
+/// Plain-data copy of one span name's aggregate stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSnapshot {
+    pub count: u64,
+    pub items: u64,
+    pub total_micros: u64,
+    pub self_micros: u64,
+    pub hist: HistSnapshot,
+}
+
+impl StageSnapshot {
+    fn diff(&self, earlier: &StageSnapshot) -> StageSnapshot {
+        StageSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            items: self.items.saturating_sub(earlier.items),
+            total_micros: self.total_micros.saturating_sub(earlier.total_micros),
+            self_micros: self.self_micros.saturating_sub(earlier.self_micros),
+            hist: self.hist.diff(&earlier.hist),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    hists: BTreeMap<String, Arc<Histogram>>,
+    stages: BTreeMap<String, Arc<StageStats>>,
+}
+
+/// Named-metric registry. Handle lookup locks; recording does not.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut g = self.inner.lock().unwrap();
+        g.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns (registering on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut g = self.inner.lock().unwrap();
+        g.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns (registering on first use) a histogram with the default
+    /// duration buckets.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut g = self.inner.lock().unwrap();
+        g.hists
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::exponential_micros()))
+            .clone()
+    }
+
+    /// Returns (registering on first use) a histogram with caller-chosen
+    /// bucket bounds. Bounds are fixed by whichever call registers first.
+    pub fn histogram_with(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut g = self.inner.lock().unwrap();
+        g.hists.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new(bounds))).clone()
+    }
+
+    pub(crate) fn stage(&self, name: &str) -> Arc<StageStats> {
+        let mut g = self.inner.lock().unwrap();
+        g.stages.entry(name.to_string()).or_insert_with(|| Arc::new(StageStats::new())).clone()
+    }
+
+    /// Point-in-time copy of every metric, keyed and ordered by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.inner.lock().unwrap();
+        Snapshot {
+            counters: g.counters.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: g.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            hists: g.hists.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect(),
+            stages: g.stages.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect(),
+        }
+    }
+
+    /// JSON export of the current state (see [`Snapshot::to_json`]).
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+
+    /// Prometheus text export (see [`Snapshot::to_prometheus`]).
+    pub fn to_prometheus(&self) -> String {
+        self.snapshot().to_prometheus()
+    }
+}
+
+/// The process-global registry all instrumentation records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Shorthand for `global().counter(name)`.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Shorthand for `global().gauge(name)`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// Shorthand for `global().histogram(name)`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// Plain-data copy of a whole [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub hists: BTreeMap<String, HistSnapshot>,
+    pub stages: BTreeMap<String, StageSnapshot>,
+}
+
+impl Snapshot {
+    /// Value of a counter, defaulting to 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// `self - earlier` for counters, histograms and stages (entries
+    /// absent from `earlier` pass through). Gauges are last-write-wins,
+    /// so the later value is kept as-is.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(k, v)| match earlier.hists.get(k) {
+                    Some(e) => (k.clone(), v.diff(e)),
+                    None => (k.clone(), v.clone()),
+                })
+                .collect(),
+            stages: self
+                .stages
+                .iter()
+                .map(|(k, v)| match earlier.stages.get(k) {
+                    Some(e) => (k.clone(), v.diff(e)),
+                    None => (k.clone(), v.clone()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Hand-rolled JSON object (the obs crate is dependency-free):
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...},
+    /// "stages": {...}}` with keys in sorted order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_map(&mut out, self.counters.iter().map(|(k, v)| (k, v.to_string())));
+        out.push_str("},\n  \"gauges\": {");
+        push_map(&mut out, self.gauges.iter().map(|(k, v)| (k, fmt_f64(*v))));
+        out.push_str("},\n  \"histograms\": {");
+        push_map(
+            &mut out,
+            self.hists.iter().map(|(k, h)| {
+                (
+                    k,
+                    format!(
+                        "{{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                        h.count,
+                        fmt_f64(h.sum),
+                        fmt_f64(h.quantile(0.50).unwrap_or(0.0)),
+                        fmt_f64(h.quantile(0.95).unwrap_or(0.0)),
+                        fmt_f64(h.quantile(0.99).unwrap_or(0.0)),
+                    ),
+                )
+            }),
+        );
+        out.push_str("},\n  \"stages\": {");
+        push_map(
+            &mut out,
+            self.stages.iter().map(|(k, s)| {
+                (
+                    k,
+                    format!(
+                        "{{\"count\": {}, \"items\": {}, \"total_micros\": {}, \
+                         \"self_micros\": {}, \"p50_micros\": {}, \"p95_micros\": {}, \
+                         \"p99_micros\": {}}}",
+                        s.count,
+                        s.items,
+                        s.total_micros,
+                        s.self_micros,
+                        fmt_f64(s.hist.quantile(0.50).unwrap_or(0.0)),
+                        fmt_f64(s.hist.quantile(0.95).unwrap_or(0.0)),
+                        fmt_f64(s.hist.quantile(0.99).unwrap_or(0.0)),
+                    ),
+                )
+            }),
+        );
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Prometheus text format: every line is `name{labels} value` (or
+    /// `name value`), names sanitized to `[a-zA-Z0-9_:]`. Histograms and
+    /// stages export `_count`/`_sum`-style series plus
+    /// `{quantile="..."}` summary lines.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let name = prom_name(k);
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{} {}\n", prom_name(k), fmt_f64(*v)));
+        }
+        for (k, h) in &self.hists {
+            prom_summary(&mut out, &prom_name(k), h);
+        }
+        for (k, s) in &self.stages {
+            let name = prom_name(&format!("{k}.micros"));
+            prom_summary(&mut out, &name, &s.hist);
+            out.push_str(&format!(
+                "{} {}\n",
+                prom_name(&format!("{k}.self_micros")),
+                s.self_micros
+            ));
+            if s.items > 0 {
+                out.push_str(&format!("{} {}\n", prom_name(&format!("{k}.items")), s.items));
+            }
+        }
+        out
+    }
+}
+
+fn prom_summary(out: &mut String, name: &str, h: &HistSnapshot) {
+    out.push_str(&format!("{name}_count {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum)));
+    for (label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
+        out.push_str(&format!(
+            "{name}{{quantile=\"{label}\"}} {}\n",
+            fmt_f64(h.quantile(q).unwrap_or(0.0))
+        ));
+    }
+}
+
+fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, String)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{}\": {v}", json_escape(k)));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Deterministic, JSON-compatible float formatting (shortest
+/// round-trip; NaN/inf mapped to 0 for JSON safety).
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    v.to_string()
+}
+
+/// Sanitizes a dotted metric name for the Prometheus exposition format.
+pub(crate) fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("cats.test.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(r.counter("cats.test.count").get(), 5, "same handle by name");
+        let g = r.gauge("cats.test.gauge");
+        g.set(2.5);
+        assert_eq!(r.gauge("cats.test.gauge").get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let h = Histogram::exponential_micros();
+        for v in 1..=1000 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((256.0..=1024.0).contains(&p50), "p50 {p50}");
+        assert!(p99 >= p50, "p99 {p99} < p50 {p50}");
+        assert!(p99 <= 1024.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn empty_and_nan_histogram_is_safe() {
+        let h = Histogram::exponential_micros();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0, "non-finite samples dropped");
+        assert_eq!(h.quantile(0.99), None);
+        h.record(3.0);
+        assert_eq!(h.quantile(f64::NAN), None, "NaN quantile rejected");
+        assert!(h.quantile(-1.0).unwrap() <= h.quantile(2.0).unwrap(), "q clamped");
+    }
+
+    #[test]
+    fn zero_bucket_histogram_is_safe() {
+        let h = Histogram::new(&[]);
+        h.record(7.0);
+        assert_eq!(h.count(), 1, "overflow bucket still counts");
+        assert!(h.quantile(0.5).is_some());
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts_counters_and_buckets() {
+        let r = Registry::new();
+        r.counter("a").add(3);
+        r.histogram("h").record(5.0);
+        let before = r.snapshot();
+        r.counter("a").add(2);
+        r.histogram("h").record(9.0);
+        r.histogram("h").record(9.0);
+        let delta = r.snapshot().diff(&before);
+        assert_eq!(delta.counter("a"), 2);
+        let h = &delta.hists["h"];
+        assert_eq!(h.count, 2);
+        assert!((h.sum - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prometheus_lines_parse_as_name_value() {
+        let r = Registry::new();
+        r.counter("cats.demo.fetch.pages").add(2);
+        r.gauge("cats.demo.loss").set(0.25);
+        r.histogram("cats.demo.latency").record(10.0);
+        for line in r.to_prometheus().lines() {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(parts.len(), 2, "line {line:?}");
+            let name = parts[0];
+            let metric = name.split('{').next().unwrap();
+            assert!(!metric.is_empty());
+            for (i, c) in metric.chars().enumerate() {
+                let ok = c.is_ascii_alphabetic()
+                    || c == '_'
+                    || c == ':'
+                    || (i > 0 && c.is_ascii_digit());
+                assert!(ok, "bad char {c:?} in {name:?}");
+            }
+            if let Some(rest) = name.strip_prefix(metric) {
+                if !rest.is_empty() {
+                    assert!(rest.starts_with('{') && rest.ends_with('}'), "labels {rest:?}");
+                }
+            }
+            parts[1].parse::<f64>().expect("value parses");
+        }
+    }
+
+    #[test]
+    fn json_export_is_well_formed_enough() {
+        let r = Registry::new();
+        r.counter("a\"b").inc();
+        let json = r.to_json();
+        assert!(json.contains("a\\\"b"), "escaped: {json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,318 @@
+//! Spans: scoped timers with parent–child nesting and self-time.
+//!
+//! `let _g = span!("cats.core.detect");` opens a span that closes when
+//! the guard drops. Each completed span records into the process-global
+//! registry's per-name [`StageStats`] (count, total/self time, a
+//! duration histogram, an items tally) and appends a [`SpanEvent`] to a
+//! per-thread buffer that is flushed in batches into a bounded global
+//! event stream.
+//!
+//! Nesting is tracked per thread: a child's wall time is subtracted
+//! from its parent's *self* time, so `self_micros` across all stages
+//! partitions the instrumented wall clock without double counting.
+//! Worker threads (`cats-par`) each carry their own stack and handle
+//! cache, so recording never takes a lock on the hot path.
+
+use crate::clock;
+use crate::metrics::{global, Histogram, StageSnapshot};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Flush the thread-local event buffer at this size.
+const THREAD_BUF: usize = 64;
+/// Bound on the global event stream; past this, events are counted as
+/// dropped instead of buffered (aggregates in [`StageStats`] still
+/// record everything).
+const MAX_EVENTS: usize = 1 << 16;
+
+/// Aggregate statistics for one span name. All-atomic: recording from
+/// worker threads is lock-free.
+#[derive(Debug)]
+pub struct StageStats {
+    count: AtomicU64,
+    items: AtomicU64,
+    total_micros: AtomicU64,
+    self_micros: AtomicU64,
+    hist: Histogram,
+}
+
+impl StageStats {
+    pub(crate) fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            items: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+            self_micros: AtomicU64::new(0),
+            hist: Histogram::exponential_micros(),
+        }
+    }
+
+    fn record(&self, wall: u64, self_micros: u64, items: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.items.fetch_add(items, Ordering::Relaxed);
+        self.total_micros.fetch_add(wall, Ordering::Relaxed);
+        self.self_micros.fetch_add(self_micros, Ordering::Relaxed);
+        self.hist.record(wall as f64);
+    }
+
+    pub(crate) fn snapshot(&self) -> StageSnapshot {
+        StageSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            items: self.items.load(Ordering::Relaxed),
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+            self_micros: self.self_micros.load(Ordering::Relaxed),
+            hist: self.hist.snapshot(),
+        }
+    }
+}
+
+/// One completed span occurrence in the structured event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (`cats.<crate>.<stage>` — a `'static` literal at every
+    /// call site).
+    pub name: &'static str,
+    /// Observability thread ordinal (order of first span per thread).
+    pub thread: usize,
+    /// Nesting depth on the recording thread (0 = root).
+    pub depth: usize,
+    /// Observer time at span open.
+    pub start_micros: u64,
+    /// Wall duration (observer time).
+    pub wall_micros: u64,
+    /// Wall minus directly nested child spans.
+    pub self_micros: u64,
+    /// Optional items-processed payload (`span!(name, { n })`).
+    pub items: u64,
+}
+
+struct EventSink {
+    events: Mutex<Vec<SpanEvent>>,
+    dropped: AtomicU64,
+}
+
+fn sink() -> &'static EventSink {
+    static SINK: OnceLock<EventSink> = OnceLock::new();
+    SINK.get_or_init(|| EventSink { events: Mutex::new(Vec::new()), dropped: AtomicU64::new(0) })
+}
+
+/// Drains and returns all flushed events (order: flush order, i.e.
+/// batched per thread).
+pub fn take_events() -> Vec<SpanEvent> {
+    std::mem::take(&mut *sink().events.lock().unwrap())
+}
+
+/// How many events were discarded because the global stream was full.
+pub fn dropped_events() -> u64 {
+    sink().dropped.load(Ordering::Relaxed)
+}
+
+/// Flushes the calling thread's event buffer into the global stream.
+/// Called automatically at buffer capacity and on thread exit;
+/// [`crate::StageTimer::finish`] calls it for the finishing thread.
+pub fn flush_thread() {
+    CTX.with(|c| flush_buf(&mut c.borrow_mut().buf));
+}
+
+fn flush_buf(buf: &mut Vec<SpanEvent>) {
+    if buf.is_empty() {
+        return;
+    }
+    let mut events = sink().events.lock().unwrap();
+    let room = MAX_EVENTS.saturating_sub(events.len());
+    if buf.len() > room {
+        sink().dropped.fetch_add((buf.len() - room) as u64, Ordering::Relaxed);
+        buf.truncate(room);
+    }
+    events.append(buf);
+}
+
+struct ThreadCtx {
+    /// Per-open-span accumulator of direct children's wall time.
+    stack: Vec<u64>,
+    buf: Vec<SpanEvent>,
+    ordinal: usize,
+    /// Per-thread cache of registry handles so span exit stays lock-free.
+    stats: HashMap<&'static str, Arc<StageStats>>,
+}
+
+impl ThreadCtx {
+    fn new() -> Self {
+        static NEXT_ORDINAL: AtomicUsize = AtomicUsize::new(0);
+        Self {
+            stack: Vec::new(),
+            buf: Vec::with_capacity(THREAD_BUF),
+            ordinal: NEXT_ORDINAL.fetch_add(1, Ordering::Relaxed),
+            stats: HashMap::new(),
+        }
+    }
+}
+
+impl Drop for ThreadCtx {
+    fn drop(&mut self) {
+        flush_buf(&mut self.buf);
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<ThreadCtx> = RefCell::new(ThreadCtx::new());
+}
+
+/// RAII span guard: the span closes (and records) when this drops.
+/// Hold it in a named binding — `let _span = span!(...)` — because
+/// `let _ =` drops immediately.
+#[must_use = "a span measures the scope of its guard; bind it with `let _span = ...`"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: u64,
+    items: u64,
+    obs: Option<Arc<dyn clock::Observer>>,
+}
+
+/// Opens a span. Prefer the [`crate::span!`] macro.
+pub fn enter(name: &'static str) -> SpanGuard {
+    enter_with(name, 0)
+}
+
+/// Opens a span carrying an items-processed payload.
+pub fn enter_with(name: &'static str, items: u64) -> SpanGuard {
+    let obs = clock::observer();
+    if !obs.enabled() {
+        return SpanGuard { name, start: 0, items: 0, obs: None };
+    }
+    let start = obs.now_micros();
+    CTX.with(|c| c.borrow_mut().stack.push(0));
+    SpanGuard { name, start, items, obs: Some(obs) }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(obs) = self.obs.take() else {
+            return;
+        };
+        let wall = obs.now_micros().saturating_sub(self.start);
+        let (event, stats) = CTX.with(|c| {
+            let mut c = c.borrow_mut();
+            let child = c.stack.pop().unwrap_or(0);
+            let depth = c.stack.len();
+            if let Some(parent) = c.stack.last_mut() {
+                *parent += wall;
+            }
+            let self_micros = wall.saturating_sub(child);
+            let event = SpanEvent {
+                name: self.name,
+                thread: c.ordinal,
+                depth,
+                start_micros: self.start,
+                wall_micros: wall,
+                self_micros,
+                items: self.items,
+            };
+            c.buf.push(event.clone());
+            if c.buf.len() >= THREAD_BUF {
+                flush_buf(&mut c.buf);
+            }
+            let stats =
+                c.stats.entry(self.name).or_insert_with(|| global().stage(self.name)).clone();
+            (event, stats)
+        });
+        stats.record(event.wall_micros, event.self_micros, event.items);
+    }
+}
+
+/// Opens a span recording into the global registry.
+///
+/// ```
+/// let _span = cats_obs::span!("cats.doc.example");
+/// let _span2 = cats_obs::span!("cats.doc.example.items", { 3usize });
+/// let _span3 = cats_obs::span!("cats.doc.example.kv", items = 3u64);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::span::enter($name)
+    };
+    ($name:literal, { $items:expr }) => {
+        $crate::span::enter_with($name, $items as u64)
+    };
+    ($name:literal, items = $items:expr) => {
+        $crate::span::enter_with($name, $items as u64)
+    };
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::clock::{set_observer, SimObserver, WallObserver};
+
+    /// Span tests mutate the process-global observer/registry, so they
+    /// serialize on one lock and measure via snapshot diffs.
+    pub(crate) static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn nesting_attributes_self_time_to_the_right_span() {
+        let _g = OBS_LOCK.lock().unwrap();
+        let sim = Arc::new(SimObserver::new());
+        set_observer(sim.clone());
+        let before = global().snapshot();
+
+        {
+            let _outer = crate::span!("cats.obs.test.outer");
+            sim.advance_micros(10);
+            {
+                let _inner = crate::span!("cats.obs.test.inner", { 7usize });
+                sim.advance_micros(5);
+            }
+            sim.advance_micros(3);
+        }
+        flush_thread();
+
+        let d = global().snapshot().diff(&before);
+        let outer = &d.stages["cats.obs.test.outer"];
+        let inner = &d.stages["cats.obs.test.inner"];
+        assert_eq!(inner.count, 1);
+        assert_eq!(inner.total_micros, 5);
+        assert_eq!(inner.self_micros, 5);
+        assert_eq!(inner.items, 7);
+        assert_eq!(outer.total_micros, 18);
+        assert_eq!(outer.self_micros, 13, "child time subtracted");
+
+        set_observer(Arc::new(WallObserver::new()));
+    }
+
+    #[test]
+    fn disabled_observer_records_nothing() {
+        let _g = OBS_LOCK.lock().unwrap();
+        set_observer(Arc::new(crate::clock::NoopObserver));
+        let before = global().snapshot();
+        {
+            let _span = crate::span!("cats.obs.test.noop");
+        }
+        flush_thread();
+        let d = global().snapshot().diff(&before);
+        assert!(
+            d.stages.get("cats.obs.test.noop").is_none_or(|s| s.count == 0),
+            "noop observer must suppress spans"
+        );
+        set_observer(Arc::new(WallObserver::new()));
+    }
+
+    #[test]
+    fn events_flow_through_the_stream() {
+        let _g = OBS_LOCK.lock().unwrap();
+        set_observer(Arc::new(SimObserver::new()));
+        take_events();
+        {
+            let _span = crate::span!("cats.obs.test.event");
+        }
+        flush_thread();
+        let events = take_events();
+        assert!(
+            events.iter().any(|e| e.name == "cats.obs.test.event"),
+            "event recorded: {events:?}"
+        );
+        set_observer(Arc::new(WallObserver::new()));
+    }
+}

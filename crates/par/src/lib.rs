@@ -135,7 +135,10 @@ impl RangeQueue {
             if s >= e {
                 return None;
             }
-            let take = (e - s).div_ceil(2);
+            // Take the *smaller* half (at least one grain): the victim
+            // keeps the majority of its own range, which preserves
+            // locality and matches the documented partitioning.
+            let take = ((e - s) / 2).max(1);
             match self.0.compare_exchange_weak(
                 cur,
                 pack(s, e - take),
@@ -161,26 +164,44 @@ impl RangeQueue {
 /// sweep of the other queues comes back empty. (Another worker may still be
 /// *executing* its last grain at that point, but every unclaimed index is
 /// in some queue, so nothing is lost by leaving early.)
-fn worker<F: Fn(usize) + Sync>(me: usize, queues: &[RangeQueue], grain: u32, f: &F) {
+fn worker<F: Fn(usize) + Sync>(
+    me: usize,
+    queues: &[RangeQueue],
+    grain: u32,
+    f: &F,
+    popped: &cats_obs::Counter,
+    stolen: &cats_obs::Counter,
+) {
+    // Pool-utilization tallies are kept in locals and flushed to the
+    // registry once per worker, so the hot loop stays free of shared
+    // atomics beyond the queues themselves.
+    let mut n_popped = 0u64;
+    let mut n_stolen = 0u64;
     loop {
         while let Some((s, e)) = queues[me].pop(grain) {
+            n_popped += 1;
             for i in s..e {
                 f(i as usize);
             }
         }
-        let mut stolen = None;
+        let mut grabbed = None;
         for k in 1..queues.len() {
             let victim = (me + k) % queues.len();
             if let Some(range) = queues[victim].steal_half() {
-                stolen = Some(range);
+                grabbed = Some(range);
                 break;
             }
         }
-        match stolen {
-            Some((s, e)) => queues[me].put(s, e),
-            None => return,
+        match grabbed {
+            Some((s, e)) => {
+                n_stolen += 1;
+                queues[me].put(s, e);
+            }
+            None => break,
         }
     }
+    popped.add(n_popped);
+    stolen.add(n_stolen);
 }
 
 fn run_indexed<F: Fn(usize) + Sync>(par: Parallelism, n: usize, f: &F) {
@@ -191,18 +212,19 @@ fn run_indexed<F: Fn(usize) + Sync>(par: Parallelism, n: usize, f: &F) {
         }
         return;
     }
-    assert!(
-        u32::try_from(n).is_ok(),
-        "parallel index range exceeds u32 ({n} items)"
-    );
+    assert!(u32::try_from(n).is_ok(), "parallel index range exceeds u32 ({n} items)");
     let grain = u32::try_from((n / (threads * 8)).clamp(1, 1024)).expect("grain fits u32");
     let queues: Vec<RangeQueue> = (0..threads)
         .map(|w| RangeQueue::new((w * n / threads) as u32, ((w + 1) * n / threads) as u32))
         .collect();
     let queues = &queues;
+    let popped = cats_obs::counter("cats.par.pool.tasks_popped");
+    let stolen = cats_obs::counter("cats.par.pool.tasks_stolen");
+    cats_obs::counter("cats.par.pool.runs").inc();
+    let (popped, stolen) = (&*popped, &*stolen);
     std::thread::scope(|scope| {
         for w in 0..threads {
-            scope.spawn(move || worker(w, queues, grain, f));
+            scope.spawn(move || worker(w, queues, grain, f, popped, stolen));
         }
     });
 }
@@ -233,10 +255,7 @@ where
             let _ = slots[i].set(f(i));
         });
     }
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("index ran exactly once"))
-        .collect()
+    slots.into_iter().map(|slot| slot.into_inner().expect("index ran exactly once")).collect()
 }
 
 /// `items.iter().map(f).collect()`, computed in parallel with the output in
@@ -376,14 +395,8 @@ mod tests {
         let sum = |xs: &[f64]| xs.iter().sum::<f64>();
         let serial = reduce(Parallelism::serial(), &items, 256, sum, |a, b| a + b).unwrap();
         for &threads in &[2usize, 4, 8] {
-            let par = reduce(
-                Parallelism::with_threads(threads),
-                &items,
-                256,
-                sum,
-                |a, b| a + b,
-            )
-            .unwrap();
+            let par =
+                reduce(Parallelism::with_threads(threads), &items, 256, sum, |a, b| a + b).unwrap();
             assert_eq!(
                 serial.to_bits(),
                 par.to_bits(),

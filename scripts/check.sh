@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Fast gate: style, lints, and the test suite — no release build, no
+# benches. CI's quick job runs exactly this; see scripts/verify.sh for
+# the full gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_TERM_COLOR=always
+# --locked once a lockfile exists; without one (fresh checkout, offline
+# image) cargo would hard-fail instead of resolving.
+LOCKED=()
+[ -f Cargo.lock ] && LOCKED=(--locked)
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets "${LOCKED[@]}" -- -D warnings
+cargo test -q "${LOCKED[@]}"

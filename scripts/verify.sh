@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Full local verification, in order of increasing cost. CI runs exactly
-# this; a clean exit here means the tree is mergeable.
+# Full local verification, in order of increasing cost. CI's verify job
+# runs exactly this; a clean exit here means the tree is mergeable.
+# scripts/check.sh is the fast subset (fmt + clippy + tests).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
-cargo fmt --check
-cargo clippy --workspace -- -D warnings
+export CARGO_TERM_COLOR=always
+LOCKED=()
+[ -f Cargo.lock ] && LOCKED=(--locked)
+
+scripts/check.sh
+cargo build --release "${LOCKED[@]}"
 # Smoke-run the full-pipeline scaling sweep at a tiny scale; exercises
-# every parallel stage end-to-end and regenerates BENCH_scaling.json.
-cargo run --release -p cats-bench --bin exp_scaling -- --scale 0.002
+# every parallel stage end-to-end and regenerates BENCH_scaling.json
+# plus the per-run profile artifact PROFILE_scaling.json.
+cargo run --release "${LOCKED[@]}" -p cats-bench --bin exp_scaling -- --scale 0.002

@@ -1,0 +1,136 @@
+//! Observability determinism (PR 3 acceptance).
+//!
+//! The metrics registry and span machinery must never make pipeline
+//! runs less reproducible than they already are. With `deterministic:
+//! true` parallelism and the simulated observer clock, two identical
+//! runs must produce **byte-identical** `RunProfile` JSON once the one
+//! wall-clock field is stripped. A second test proves the crawler's
+//! registry migration: `cats.collector.crawl.*` deltas equal the public
+//! `CrawlStats` field-for-field on a fault-injected crawl.
+//!
+//! The registry and observer slot are process-global, so the tests in
+//! this file serialize on a mutex (other integration-test files run as
+//! separate processes and are unaffected).
+
+use cats::collector::{Collector, CollectorConfig, FaultPlan, PublicSite, SiteConfig};
+use cats::core::features::extract_batch;
+use cats::core::{ItemComments, SemanticAnalyzer, SemanticConfig, N_FEATURES};
+use cats::embedding::{ExpansionConfig, Word2VecConfig};
+use cats::ml::gbt::{GbtConfig, GradientBoostedTrees};
+use cats::ml::{Classifier, Dataset};
+use cats::obs;
+use cats::par::Parallelism;
+use std::sync::{Arc, Mutex};
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// One small but representative pipeline run — semantic training (with
+/// word2vec epochs), batch feature extraction, and a GBT fit — under a
+/// [`obs::StageTimer`], fully serial and deterministic.
+fn run_pipeline() -> obs::RunProfile {
+    let timer = obs::StageTimer::start("determinism-check");
+    let par = Parallelism { threads: 1, deterministic: true };
+
+    let texts: Vec<String> = (0..300)
+        .map(|i| {
+            let v = i % 5;
+            format!("hao{v} zan{v} item fast ship hao{v} cha{} man", i % 3)
+        })
+        .collect();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let analyzer = SemanticAnalyzer::train(
+        &refs,
+        &["hao0".to_string()],
+        &["cha0".to_string()],
+        &["hao0 zan0 hao1", "zan1 hao2"],
+        &["cha0 man cha1", "man cha2"],
+        SemanticConfig {
+            word2vec: Word2VecConfig {
+                dim: 8,
+                epochs: 2,
+                min_count: 1,
+                parallelism: par,
+                ..Word2VecConfig::default()
+            },
+            expansion: ExpansionConfig::default(),
+            parallelism: par,
+        },
+    );
+
+    let items: Vec<ItemComments> = (0..40)
+        .map(|i| ItemComments::from_texts([format!("hao{} zan0 item", i % 5).as_str()]))
+        .collect();
+    let rows = extract_batch(&items, &analyzer, 1);
+    assert_eq!(rows.len(), items.len());
+
+    let mut data = Dataset::new(N_FEATURES);
+    for (i, r) in rows.iter().enumerate() {
+        data.push(r.as_slice(), (i % 2) as u8);
+    }
+    let mut gbt = GradientBoostedTrees::new(GbtConfig { parallelism: par, ..GbtConfig::default() });
+    gbt.fit(&data);
+
+    timer.finish()
+}
+
+#[test]
+fn deterministic_runs_produce_byte_identical_profiles() {
+    let _g = OBS_LOCK.lock().unwrap();
+    obs::set_observer(Arc::new(obs::SimObserver::new()));
+    let a = run_pipeline();
+    let b = run_pipeline();
+    obs::set_observer(Arc::new(obs::WallObserver::new()));
+
+    for stage in ["cats.core.train", "cats.embedding.w2v.epoch", "cats.ml.gbt.round"] {
+        assert!(a.stage(stage).is_some(), "missing stage {stage}");
+    }
+    assert!(a.counter("cats.embedding.w2v.pairs") > 0, "w2v pair counter recorded");
+    assert_eq!(
+        a.to_json_stripped(),
+        b.to_json_stripped(),
+        "identical runs must serialize identically modulo wall clock"
+    );
+}
+
+#[test]
+fn crawler_stats_match_registry_counters() {
+    let _g = OBS_LOCK.lock().unwrap();
+    let platform = cats::platform::datasets::e_platform(0.002, 77);
+    let site = PublicSite::new(
+        &platform,
+        SiteConfig { faults: FaultPlan::at_intensity(0.6), ..SiteConfig::default() },
+    );
+    let base = obs::global().snapshot();
+    let mut collector = Collector::new(CollectorConfig::default());
+    let _data = collector.crawl(&site);
+    let stats = collector.stats();
+    let reg = obs::global().snapshot().diff(&base);
+
+    assert!(stats.pages_fetched > 0);
+    assert!(
+        stats.transient_errors + stats.rate_limited + stats.outage_errors > 0,
+        "faulted site should leave fault footprints: {stats:?}"
+    );
+    for (name, want) in [
+        ("pages_fetched", stats.pages_fetched),
+        ("transient_errors", stats.transient_errors),
+        ("rate_limited", stats.rate_limited),
+        ("outage_errors", stats.outage_errors),
+        ("pages_abandoned", stats.pages_abandoned),
+        ("malformed_records", stats.malformed_records),
+        ("duplicate_records", stats.duplicate_records),
+        ("poisoned_records", stats.poisoned_records),
+        ("backoff_waits", stats.backoff_waits),
+        ("backoff_wait_secs", stats.backoff_wait_secs),
+        ("breaker_opens", stats.breaker_opens),
+        ("breaker_wait_secs", stats.breaker_wait_secs),
+        ("breaker_give_ups", stats.breaker_give_ups),
+        ("truncated_resources", stats.truncated_resources),
+        ("stalled_pages", stats.stalled_pages),
+        ("stall_secs", stats.stall_secs),
+        ("sim_clock_secs", stats.sim_clock_secs),
+    ] {
+        let got = reg.counter(&format!("cats.collector.crawl.{name}"));
+        assert_eq!(got, want, "registry mirror diverged for {name}");
+    }
+}

@@ -194,8 +194,5 @@ fn hogwild_word2vec_preserves_cluster_structure() {
     // bits: words that co-occur must stay closer than words that never do.
     let within = emb.similarity("hao0", "hao1").unwrap();
     let across = emb.similarity("hao0", "cha1").unwrap();
-    assert!(
-        within > across,
-        "within-cluster sim {within} should beat across-cluster sim {across}"
-    );
+    assert!(within > across, "within-cluster sim {within} should beat across-cluster sim {across}");
 }
