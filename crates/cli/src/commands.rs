@@ -11,14 +11,16 @@
 //!   (precision/recall/F1) for closed-loop runs;
 //! * [`crawl`] — run the resilient collector against the simulated public
 //!   site (optionally fault-injected) and emit the collected items as
-//!   unlabeled JSONL, the public-data scenario end to end.
+//!   unlabeled JSONL, the public-data scenario end to end;
+//! * [`start_server`] / [`score`] — the online half: stand up the
+//!   `cats-serve` HTTP service over a model snapshot (hot-swapping it on
+//!   rewrite with `--watch`) and score JSONL through it from a client.
 
 use crate::io::{read_items, write_items, write_reports, ItemLine, ReportLine};
 use cats_collector::{Collector, CollectorConfig, CrawlStats, FaultPlan, PublicSite, SiteConfig};
 use cats_core::pipeline::PipelineSnapshot;
 use cats_core::{
-    CatsPipeline, DetectionSummary, DetectorConfig, FilterDecision, ItemComments, SemanticAnalyzer,
-    N_FEATURES,
+    CatsPipeline, DetectionSummary, DetectorConfig, ItemComments, SemanticAnalyzer, N_FEATURES,
 };
 use cats_embedding::{ExpansionConfig, Word2VecConfig};
 use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
@@ -130,8 +132,9 @@ pub fn detect(
     out: &mut dyn std::io::Write,
 ) -> Result<DetectionSummary, String> {
     let load_span = cats_obs::span!("cats.cli.detect.load_model");
-    let snapshot: PipelineSnapshot =
-        serde_json::from_str(model_json).map_err(|e| format!("model: {e}"))?;
+    // from_json also validates the snapshot format version, so a model
+    // written by a newer build fails loudly instead of misbehaving.
+    let snapshot = PipelineSnapshot::from_json(model_json)?;
     let pipeline = CatsPipeline::restore(snapshot);
     drop(load_span);
     let read_span = cats_obs::span!("cats.cli.detect.read_input");
@@ -146,13 +149,7 @@ pub fn detect(
         .zip(&items)
         .map(|(r, i)| ReportLine {
             item_id: i.item_id,
-            filter: match r.filter {
-                FilterDecision::Classified => "classified",
-                FilterDecision::FilteredLowSales => "filtered_low_sales",
-                FilterDecision::FilteredNoPositiveEvidence => "filtered_no_evidence",
-                FilterDecision::Quarantined => "quarantined",
-            }
-            .to_string(),
+            filter: cats_serve::wire::filter_str(r.filter).to_string(),
             score: r.score,
             is_fraud: r.is_fraud,
         })
@@ -199,6 +196,118 @@ pub fn crawl(
         .collect();
     write_items(out, &items).map_err(|e| e.to_string())?;
     Ok((items.len(), collector.stats()))
+}
+
+/// Options for the `serve` subcommand.
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Bind address (`host:port`; port 0 lets the OS pick).
+    pub addr: String,
+    /// Path to the model snapshot written by `train`.
+    pub model_path: String,
+    /// Hot-swap the model when the snapshot file is rewritten.
+    pub watch: bool,
+    /// Micro-batcher: dispatch once a batch holds this many items.
+    pub max_batch_items: usize,
+    /// Micro-batcher: coalescing window in milliseconds.
+    pub max_delay_ms: u64,
+    /// Bounded request queue capacity (overflow answers 429).
+    pub queue_capacity: usize,
+    /// Batch worker threads.
+    pub workers: usize,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        let b = cats_serve::BatchConfig::default();
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            model_path: String::new(),
+            watch: false,
+            max_batch_items: b.max_batch_items,
+            max_delay_ms: b.max_delay.as_millis() as u64,
+            queue_capacity: b.queue_capacity,
+            workers: b.workers,
+        }
+    }
+}
+
+/// Loads the snapshot at `opts.model_path` and starts the scoring
+/// service. Returns the running server (bound address via
+/// [`cats_serve::Server::addr`]) and, with `watch`, the file watcher
+/// that hot-swaps rewrites of the snapshot into the live server.
+pub fn start_server(
+    opts: &ServeOpts,
+) -> Result<(cats_serve::Server, Option<cats_serve::ModelWatcher>), String> {
+    let path = std::path::Path::new(&opts.model_path);
+    let pipeline = cats_serve::load_pipeline_file(path)?;
+    let slot = std::sync::Arc::new(cats_serve::ModelSlot::new(pipeline));
+    let config = cats_serve::ServeConfig {
+        addr: opts.addr.clone(),
+        batch: cats_serve::BatchConfig {
+            max_batch_items: opts.max_batch_items,
+            max_delay: std::time::Duration::from_millis(opts.max_delay_ms),
+            queue_capacity: opts.queue_capacity,
+            workers: opts.workers,
+        },
+        ..cats_serve::ServeConfig::default()
+    };
+    let server = cats_serve::Server::start(slot.clone(), config)
+        .map_err(|e| format!("bind {}: {e}", opts.addr))?;
+    let watcher = opts.watch.then(|| {
+        cats_serve::ModelWatcher::spawn(
+            slot,
+            path.to_path_buf(),
+            std::time::Duration::from_millis(500),
+        )
+    });
+    Ok((server, watcher))
+}
+
+/// Items per `POST /v1/score` request sent by [`score`]; server-side
+/// micro-batching recombines them, so this only bounds request size.
+const SCORE_CHUNK: usize = 256;
+
+/// Scores unlabeled JSONL through a running `cats-serve` endpoint and
+/// writes JSONL reports. Returns (items scored, model versions seen) —
+/// more than one version means a hot-swap landed mid-run, which is
+/// fine: each individual response is still single-version.
+pub fn score(
+    addr: &str,
+    input: &mut dyn BufRead,
+    out: &mut dyn std::io::Write,
+) -> Result<(usize, Vec<u64>), String> {
+    let items = read_items(input)?;
+    let client = cats_serve::ScoreClient::new(addr);
+    let mut versions: Vec<u64> = Vec::new();
+    let mut scored = 0usize;
+    for chunk in items.chunks(SCORE_CHUNK.max(1)) {
+        let request: Vec<cats_serve::ScoreItem> = chunk
+            .iter()
+            .map(|i| cats_serve::ScoreItem {
+                item_id: i.item_id,
+                sales_volume: i.sales_volume,
+                comments: i.comments.clone(),
+            })
+            .collect();
+        let resp = client.score(&request).map_err(|e| format!("score {addr}: {e}"))?;
+        if !versions.contains(&resp.model_version) {
+            versions.push(resp.model_version);
+        }
+        let lines: Vec<ReportLine> = resp
+            .verdicts
+            .iter()
+            .map(|v| ReportLine {
+                item_id: v.item_id,
+                filter: v.filter.clone(),
+                score: v.score,
+                is_fraud: v.is_fraud,
+            })
+            .collect();
+        write_reports(&mut *out, &lines).map_err(|e| e.to_string())?;
+        scored += lines.len();
+    }
+    Ok((scored, versions))
 }
 
 /// Parses a saved [`cats_obs::RunProfile`] JSON document (written by
@@ -365,6 +474,51 @@ mod tests {
 
         let err = train(&mut BufReader::new("".as_bytes()), 0.5, 1).unwrap_err();
         assert!(err.contains("no items"), "{err}");
+    }
+
+    #[test]
+    fn serve_then_score_matches_offline_detect() {
+        let mut data = Vec::new();
+        generate(0.004, 9, &mut data).unwrap();
+        let (model, _) = train(&mut BufReader::new(data.as_slice()), 0.5, 9).unwrap();
+        let model_path =
+            std::env::temp_dir().join(format!("cats_cli_serve_{}.json", std::process::id()));
+        std::fs::write(&model_path, &model).unwrap();
+
+        let opts = ServeOpts {
+            addr: "127.0.0.1:0".into(),
+            model_path: model_path.display().to_string(),
+            ..ServeOpts::default()
+        };
+        let (server, watcher) = start_server(&opts).unwrap();
+        assert!(watcher.is_none(), "watch not requested");
+
+        let mut offline = Vec::new();
+        detect(&model, &mut BufReader::new(data.as_slice()), &mut offline).unwrap();
+        let mut online = Vec::new();
+        let (n, versions) =
+            score(&server.addr().to_string(), &mut BufReader::new(data.as_slice()), &mut online)
+                .unwrap();
+        assert!(n > 0);
+        assert_eq!(versions, vec![1], "no swap happened, so one model version");
+        assert_eq!(
+            String::from_utf8(online).unwrap(),
+            String::from_utf8(offline).unwrap(),
+            "online scoring must agree with offline detect byte-for-byte"
+        );
+        server.shutdown();
+        let _ = std::fs::remove_file(&model_path);
+    }
+
+    #[test]
+    fn start_server_rejects_missing_model() {
+        let opts = ServeOpts {
+            addr: "127.0.0.1:0".into(),
+            model_path: "/definitely/not/a/model.json".into(),
+            ..ServeOpts::default()
+        };
+        let err = start_server(&opts).unwrap_err();
+        assert!(err.contains("model.json"), "{err}");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cats-cli generate --scale <f64> --seed <u64>            (JSONL to stdout)\n  cats-cli crawl    --scale <f64> --seed <u64> [--faults <0..1>]  (JSONL to stdout)\n  cats-cli train    --input <jsonl> --model <out.json> [--threshold <f64>] [--seed <u64>] [--metrics-out <json>]\n  cats-cli detect   --model <json> --input <jsonl> [--metrics-out <json>]  (reports to stdout)\n  cats-cli analyze  --reports <jsonl> --labeled <jsonl>\n  cats-cli metrics  --profile <json>                      (pretty-print a RunProfile)"
+        "usage:\n  cats-cli generate --scale <f64> --seed <u64>            (JSONL to stdout)\n  cats-cli crawl    --scale <f64> --seed <u64> [--faults <0..1>]  (JSONL to stdout)\n  cats-cli train    --input <jsonl> --model <out.json> [--threshold <f64>] [--seed <u64>] [--metrics-out <json>]\n  cats-cli detect   --model <json> --input <jsonl> [--metrics-out <json>]  (reports to stdout)\n  cats-cli serve    --model <json> [--addr <host:port>] [--watch] [--max-batch <n>] [--max-delay-ms <n>] [--queue <n>] [--workers <n>]\n  cats-cli score    --input <jsonl> [--addr <host:port>]  (reports to stdout)\n  cats-cli analyze  --reports <jsonl> --labeled <jsonl>\n  cats-cli metrics  --profile <json>                      (pretty-print a RunProfile)"
     );
     ExitCode::from(2)
 }
@@ -20,14 +20,24 @@ fn write_metrics(path: Option<String>, profile: &cats_obs::RunProfile) -> Result
     Ok(())
 }
 
-/// Pulls `--flag value` pairs out of args; returns None on unknown flags.
+/// Pulls `--flag value` pairs and valueless `--flag` booleans out of
+/// args; returns None on tokens that are not flags. A flag followed by
+/// another `--flag` (or by nothing) is boolean and maps to `"true"`, so
+/// `serve --model m.json --watch` does not swallow the next flag as a
+/// value — the bug this replaces.
 fn parse_flags(args: &[String]) -> Option<std::collections::HashMap<String, String>> {
     let mut map = std::collections::HashMap::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
         let key = flag.strip_prefix("--")?;
-        let value = it.next()?;
-        map.insert(key.to_string(), value.clone());
+        if key.is_empty() {
+            return None;
+        }
+        let value = match it.peek() {
+            Some(next) if !next.starts_with("--") => it.next().expect("peeked").clone(),
+            _ => "true".to_string(),
+        };
+        map.insert(key.to_string(), value);
     }
     Some(map)
 }
@@ -106,6 +116,40 @@ fn run() -> Result<(), String> {
             eprintln!("{summary}");
             Ok(())
         }
+        "serve" => {
+            let opts = cats_cli::commands::ServeOpts {
+                addr: get("addr").unwrap_or_else(|| "127.0.0.1:7878".into()),
+                model_path: get("model").ok_or("--model is required")?,
+                watch: flags.contains_key("watch"),
+                max_batch_items: parse_u64("max-batch", 64)? as usize,
+                max_delay_ms: parse_u64("max-delay-ms", 10)?,
+                queue_capacity: parse_u64("queue", 256)? as usize,
+                workers: parse_u64("workers", 2)? as usize,
+            };
+            let (server, _watcher) = cats_cli::commands::start_server(&opts)?;
+            eprintln!(
+                "cats-serve listening on http://{} (model {}{}); Ctrl-C to stop",
+                server.addr(),
+                opts.model_path,
+                if opts.watch { ", hot-swap on rewrite" } else { "" },
+            );
+            // Serve until killed; the accept loop and watcher live on
+            // their own threads.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        "score" => {
+            let addr = get("addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+            let mut input = open("input")?;
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            let (n, versions) = cats_cli::commands::score(&addr, &mut input, &mut lock)?;
+            lock.flush().ok();
+            let vs: Vec<String> = versions.iter().map(u64::to_string).collect();
+            eprintln!("scored {n} items via {addr} (model version {})", vs.join(", "));
+            Ok(())
+        }
         "metrics" => {
             let mut profile = open("profile")?;
             let text = cats_cli::commands::metrics(&mut profile)?;
@@ -130,5 +174,49 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             usage()
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_flags;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn value_flags_parse_as_pairs() {
+        let map = parse_flags(&args(&["--scale", "0.5", "--seed", "7"])).unwrap();
+        assert_eq!(map.get("scale").map(String::as_str), Some("0.5"));
+        assert_eq!(map.get("seed").map(String::as_str), Some("7"));
+    }
+
+    #[test]
+    fn boolean_flags_do_not_swallow_the_next_flag() {
+        // The old parser consumed "--addr" as the VALUE of --watch.
+        let map = parse_flags(&args(&["--watch", "--addr", "127.0.0.1:0"])).unwrap();
+        assert_eq!(map.get("watch").map(String::as_str), Some("true"));
+        assert_eq!(map.get("addr").map(String::as_str), Some("127.0.0.1:0"));
+    }
+
+    #[test]
+    fn trailing_boolean_flag_parses() {
+        let map = parse_flags(&args(&["--model", "m.json", "--watch"])).unwrap();
+        assert_eq!(map.get("model").map(String::as_str), Some("m.json"));
+        assert_eq!(map.get("watch").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        let map = parse_flags(&args(&["--shift", "-0.25"])).unwrap();
+        assert_eq!(map.get("shift").map(String::as_str), Some("-0.25"));
+    }
+
+    #[test]
+    fn non_flag_tokens_are_rejected() {
+        assert!(parse_flags(&args(&["scale", "0.5"])).is_none());
+        assert!(parse_flags(&args(&["--", "x"])).is_none(), "bare -- is not a flag");
+        assert!(parse_flags(&args(&[])).unwrap().is_empty());
     }
 }

@@ -180,15 +180,23 @@ impl Detector {
 
     /// Runs both stages over a batch, producing one report per item.
     ///
+    /// Accepts owned items or references (`&[ItemComments]` and
+    /// `&[&ItemComments]` both work), mirroring [`Detector::fit`]: the
+    /// serving layer coalesces borrowed per-request item lists into one
+    /// batch without cloning comment vectors.
+    ///
     /// # Panics
     /// Panics if the detector has not been fit, or if
     /// `sales_volumes.len() != items.len()`.
-    pub fn detect(
+    pub fn detect<T>(
         &self,
-        items: &[ItemComments],
+        items: &[T],
         sales_volumes: &[u64],
         analyzer: &SemanticAnalyzer,
-    ) -> Vec<DetectionReport> {
+    ) -> Vec<DetectionReport>
+    where
+        T: std::borrow::Borrow<ItemComments> + Sync,
+    {
         assert!(self.fitted, "detect before fit");
         assert_eq!(items.len(), sales_volumes.len(), "items/sales mismatch");
         let _span = cats_obs::span!("cats.core.detect", { items.len() });
@@ -202,6 +210,7 @@ impl Detector {
             .iter()
             .zip(sales_volumes)
             .map(|(it, &sv)| {
+                let it = it.borrow();
                 if it.is_empty() {
                     FilterDecision::Quarantined
                 } else {
@@ -214,7 +223,8 @@ impl Detector {
         // Stage 2: features only for survivors.
         let survivors: Vec<usize> =
             (0..items.len()).filter(|&i| decisions[i] == FilterDecision::Classified).collect();
-        let survivor_items: Vec<&ItemComments> = survivors.iter().map(|&i| &items[i]).collect();
+        let survivor_items: Vec<&ItemComments> =
+            survivors.iter().map(|&i| items[i].borrow()).collect();
         let rows = extract_batch(&survivor_items, analyzer, self.config.parallelism.threads);
 
         let classify_span = cats_obs::span!("cats.core.detect.classify", { survivors.len() });

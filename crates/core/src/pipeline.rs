@@ -104,7 +104,15 @@ impl CatsPipeline {
 
     /// Detects frauds in a batch of items (with their public sales
     /// volumes).
-    pub fn detect(&self, items: &[ItemComments], sales: &[u64]) -> Vec<DetectionReport> {
+    ///
+    /// Accepts owned items or references (`&[ItemComments]` and
+    /// `&[&ItemComments]` both work), so callers assembling batches out
+    /// of borrowed per-request item lists — the serving micro-batcher —
+    /// never clone comment vectors onto the hot path.
+    pub fn detect<T>(&self, items: &[T], sales: &[u64]) -> Vec<DetectionReport>
+    where
+        T: std::borrow::Borrow<ItemComments> + Sync,
+    {
         let _span = cats_obs::span!("cats.core.pipeline.detect", { items.len() });
         self.detector.detect(items, sales, &self.analyzer)
     }
@@ -243,18 +251,58 @@ pub fn calibrate_precision_threshold(
     best_fallback.1
 }
 
+/// Newest snapshot format this build writes (and the highest it reads).
+///
+/// History:
+/// * **1** — implicit version: `{analyzer, detector_config, gbt}` with no
+///   `format_version` field. Still readable: the field defaults to 1.
+/// * **2** — adds `format_version`, written explicitly. The payload is
+///   unchanged, so 1 and 2 only differ in self-description.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+
+fn snapshot_format_default() -> u32 {
+    1
+}
+
 /// Serializable snapshot of a trained pipeline.
 ///
 /// The detector's classifier is stored as the default GBT model; custom
 /// classifiers need their own persistence.
 #[derive(Serialize, Deserialize)]
 pub struct PipelineSnapshot {
+    /// Snapshot format version (see [`SNAPSHOT_FORMAT_VERSION`]).
+    /// Absent in pre-versioning snapshots, which deserialize as 1.
+    #[serde(default = "snapshot_format_default")]
+    pub format_version: u32,
     /// The trained analyzer (lexicon + sentiment model).
     pub analyzer: SemanticAnalyzer,
     /// Detector configuration.
     pub detector_config: DetectorConfig,
     /// The trained GBT classifier.
     pub gbt: cats_ml::gbt::GradientBoostedTrees,
+}
+
+impl PipelineSnapshot {
+    /// Serializes the snapshot to JSON.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| e.to_string())
+    }
+
+    /// Parses a snapshot from JSON, rejecting versions newer than this
+    /// build understands (a model hot-swap watcher must never load half
+    /// a format it cannot interpret, so the check happens before any
+    /// field is trusted).
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let snap: PipelineSnapshot =
+            serde_json::from_str(json).map_err(|e| format!("model: {e}"))?;
+        if snap.format_version > SNAPSHOT_FORMAT_VERSION {
+            return Err(format!(
+                "model: snapshot format {} is newer than supported {}",
+                snap.format_version, SNAPSHOT_FORMAT_VERSION
+            ));
+        }
+        Ok(snap)
+    }
 }
 
 impl CatsPipeline {
@@ -266,7 +314,7 @@ impl CatsPipeline {
         detector_config: DetectorConfig,
         gbt: cats_ml::gbt::GradientBoostedTrees,
     ) -> PipelineSnapshot {
-        PipelineSnapshot { analyzer, detector_config, gbt }
+        PipelineSnapshot { format_version: SNAPSHOT_FORMAT_VERSION, analyzer, detector_config, gbt }
     }
 
     /// Restores a pipeline from a snapshot.
@@ -384,6 +432,57 @@ mod tests {
         let reports = p2.detect(&test_items, &[50, 50]);
         assert!(reports[0].is_fraud);
         assert!(!reports[1].is_fraud);
+    }
+
+    #[test]
+    fn snapshot_version_is_written_and_validated() {
+        use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
+        let snap = CatsPipeline::snapshot(
+            trained().analyzer().clone(),
+            DetectorConfig::default(),
+            GradientBoostedTrees::new(GbtConfig::default()),
+        );
+        assert_eq!(snap.format_version, SNAPSHOT_FORMAT_VERSION);
+        let json = snap.to_json().unwrap();
+        assert!(json.contains("\"format_version\""), "version field serialized");
+
+        // Round-trip keeps the version.
+        let back = PipelineSnapshot::from_json(&json).unwrap();
+        assert_eq!(back.format_version, SNAPSHOT_FORMAT_VERSION);
+
+        // Pre-versioning snapshots (no field) read back as format 1.
+        let legacy =
+            json.replacen(&format!("\"format_version\":{SNAPSHOT_FORMAT_VERSION},"), "", 1);
+        assert_ne!(legacy, json, "field was present to strip");
+        let old = PipelineSnapshot::from_json(&legacy).unwrap();
+        assert_eq!(old.format_version, 1);
+
+        // Future formats are rejected up front.
+        let future = json.replacen(
+            &format!("\"format_version\":{SNAPSHOT_FORMAT_VERSION},"),
+            &format!("\"format_version\":{},", SNAPSHOT_FORMAT_VERSION + 1),
+            1,
+        );
+        let err = PipelineSnapshot::from_json(&future).unwrap_err();
+        assert!(err.contains("newer than supported"), "{err}");
+    }
+
+    #[test]
+    fn detect_accepts_borrowed_item_slices() {
+        let p = trained();
+        let owned = vec![fraud_item(12), normal_item(12)];
+        let borrowed: Vec<&ItemComments> = owned.iter().collect();
+        let a = p.detect(&owned, &[50, 50]);
+        let b = p.detect(&borrowed, &[50, 50]);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "borrowed batch must score identically"
+            );
+            assert_eq!(x.is_fraud, y.is_fraud);
+        }
     }
 
     #[test]

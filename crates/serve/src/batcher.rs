@@ -1,0 +1,408 @@
+//! Micro-batching request queue.
+//!
+//! Concurrent `POST /v1/score` requests land in one bounded queue;
+//! batch workers drain it, coalescing whatever is in flight into a
+//! batch bounded by [`BatchConfig::max_batch_items`] items and a
+//! [`BatchConfig::max_delay`] deadline anchored at the *oldest* pending
+//! request, then score the whole batch through a single
+//! [`cats_core::CatsPipeline::detect`] call (which fans out across the
+//! `cats-par` pool). Requests are never split: every item of a request
+//! is scored by the same model version, in the same batch.
+//!
+//! Backpressure is typed, not implicit: a full queue rejects with
+//! [`RejectReason::QueueFull`] (HTTP 429 upstream) and a draining
+//! batcher rejects with [`RejectReason::Draining`] (HTTP 503), so an
+//! overloaded server answers fast instead of stalling the socket.
+//! [`Batcher::shutdown`] flips the drain flag, lets workers finish
+//! everything already queued, and joins them — accepted requests are
+//! never dropped.
+
+use crate::model::ModelSlot;
+use crate::wire::{filter_str, ScoreItem, ScoreVerdict};
+use cats_core::ItemComments;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the micro-batcher.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Dispatch a batch once it holds at least this many items. A
+    /// single oversized request still dispatches alone (never split).
+    pub max_batch_items: usize,
+    /// How long the oldest pending request may wait for co-riders
+    /// before its batch dispatches anyway.
+    pub max_delay: Duration,
+    /// Maximum requests waiting in the queue; beyond this, submit
+    /// rejects with [`RejectReason::QueueFull`].
+    pub queue_capacity: usize,
+    /// Batch worker threads draining the queue.
+    pub workers: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_items: 64,
+            max_delay: Duration::from_millis(10),
+            queue_capacity: 256,
+            workers: 2,
+        }
+    }
+}
+
+/// Why a submission was rejected instead of queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded queue is at capacity — retry later (HTTP 429).
+    QueueFull,
+    /// The server is shutting down and no longer accepts work (503).
+    Draining,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QueueFull => write!(f, "queue full, retry later"),
+            Self::Draining => write!(f, "server is draining"),
+        }
+    }
+}
+
+/// The scored result of one submitted request.
+#[derive(Debug, Clone)]
+pub struct ScoredBatch {
+    /// Version of the model that scored every verdict below.
+    pub model_version: u64,
+    /// One verdict per submitted item, in submission order.
+    pub verdicts: Vec<ScoreVerdict>,
+}
+
+/// One queued request: its items plus the channel the worker answers on.
+struct Request {
+    items: Vec<ScoreItem>,
+    enqueued: Instant,
+    reply: mpsc::Sender<ScoredBatch>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Request>>,
+    /// Signalled on enqueue and on drain, so sleeping workers wake.
+    notify: Condvar,
+    draining: AtomicBool,
+    slot: Arc<ModelSlot>,
+    config: BatchConfig,
+}
+
+/// The micro-batching scorer: submit requests, get per-request results.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Spawns `config.workers` batch workers over the given model slot.
+    pub fn new(slot: Arc<ModelSlot>, config: BatchConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            notify: Condvar::new(),
+            draining: AtomicBool::new(false),
+            slot,
+            config: config.clone(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("cats-serve-batch-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn batch worker")
+            })
+            .collect();
+        Self { shared, workers: Mutex::new(workers) }
+    }
+
+    /// Enqueues a request. On `Ok`, the receiver yields exactly one
+    /// [`ScoredBatch`] once a worker has scored the items; on `Err`,
+    /// nothing was enqueued and the caller should answer 429/503.
+    pub fn submit(
+        &self,
+        items: Vec<ScoreItem>,
+    ) -> Result<mpsc::Receiver<ScoredBatch>, RejectReason> {
+        if self.shared.draining.load(Ordering::Acquire) {
+            cats_obs::counter("cats.serve.reject.draining").inc();
+            return Err(RejectReason::Draining);
+        }
+        let (reply, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().expect("batch queue lock");
+            // Re-check under the lock: shutdown() flips the flag before
+            // draining the queue, so nothing slips in behind it.
+            if self.shared.draining.load(Ordering::Acquire) {
+                cats_obs::counter("cats.serve.reject.draining").inc();
+                return Err(RejectReason::Draining);
+            }
+            if q.len() >= self.shared.config.queue_capacity {
+                cats_obs::counter("cats.serve.reject.queue_full").inc();
+                return Err(RejectReason::QueueFull);
+            }
+            q.push_back(Request { items, enqueued: Instant::now(), reply });
+            cats_obs::gauge("cats.serve.queue.depth").set(q.len() as f64);
+        }
+        cats_obs::counter("cats.serve.requests").inc();
+        self.shared.notify.notify_one();
+        Ok(rx)
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("batch queue lock").len()
+    }
+
+    /// True once [`Batcher::shutdown`] has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Graceful drain: stop accepting, score everything already queued,
+    /// join the workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.notify.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("worker list lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let batch_size = cats_obs::histogram("cats.serve.batch.items");
+    let batch_wait = cats_obs::histogram("cats.serve.batch.wait_ms");
+    let depth_gauge = cats_obs::gauge("cats.serve.queue.depth");
+    loop {
+        // Phase 1: wait for work (or drain + empty queue = exit).
+        let mut q = shared.queue.lock().expect("batch queue lock");
+        loop {
+            if !q.is_empty() {
+                break;
+            }
+            if shared.draining.load(Ordering::Acquire) {
+                return;
+            }
+            let (guard, _timeout) =
+                shared.notify.wait_timeout(q, Duration::from_millis(50)).expect("batch queue wait");
+            q = guard;
+        }
+
+        // Phase 2: coalesce. The deadline is anchored at the OLDEST
+        // pending request so no request waits longer than max_delay in
+        // the window, however many co-riders trickle in after it.
+        let deadline = q.front().expect("non-empty queue").enqueued + shared.config.max_delay;
+        loop {
+            let queued: usize = q.iter().map(|r| r.items.len()).sum();
+            if queued >= shared.config.max_batch_items || shared.draining.load(Ordering::Acquire) {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _timeout) =
+                shared.notify.wait_timeout(q, deadline - now).expect("batch queue wait");
+            q = guard;
+            if q.is_empty() {
+                // Another worker took everything while we slept.
+                break;
+            }
+        }
+        if q.is_empty() {
+            continue;
+        }
+
+        // Pop whole requests until the item budget is spent. The first
+        // request always ships, even if alone it exceeds the budget.
+        let mut batch: Vec<Request> = Vec::new();
+        let mut items_in_batch = 0usize;
+        while let Some(front) = q.front() {
+            if !batch.is_empty()
+                && items_in_batch + front.items.len() > shared.config.max_batch_items
+            {
+                break;
+            }
+            let req = q.pop_front().expect("front exists");
+            items_in_batch += req.items.len();
+            batch.push(req);
+        }
+        depth_gauge.set(q.len() as f64);
+        let more_waiting = !q.is_empty();
+        drop(q);
+        if more_waiting {
+            // Leftovers (e.g. an oversized tail) belong to the next
+            // worker — wake one now rather than after scoring.
+            shared.notify.notify_one();
+        }
+
+        // Phase 3: score outside the lock, one model load per batch so
+        // no request can straddle a hot-swap.
+        batch_size.record(items_in_batch as f64);
+        if let Some(oldest) = batch.iter().map(|r| r.enqueued).min() {
+            batch_wait.record(oldest.elapsed().as_secs_f64() * 1e3);
+        }
+        let model = shared.slot.load();
+        let comments: Vec<ItemComments> = batch
+            .iter()
+            .flat_map(|r| r.items.iter())
+            .map(|it| ItemComments::from_texts(it.comments.iter().map(String::as_str)))
+            .collect();
+        let sales: Vec<u64> =
+            batch.iter().flat_map(|r| r.items.iter()).map(|it| it.sales_volume).collect();
+        let reports = {
+            let _span = cats_obs::span!("cats.serve.batch.detect", { items_in_batch });
+            model.pipeline.detect(&comments, &sales)
+        };
+        cats_obs::counter("cats.serve.items_scored").add(items_in_batch as u64);
+
+        // Slice the flat report vector back into per-request replies.
+        let mut cursor = 0usize;
+        for req in batch {
+            let n = req.items.len();
+            let verdicts = reports[cursor..cursor + n]
+                .iter()
+                .zip(&req.items)
+                .map(|(rep, item)| ScoreVerdict {
+                    item_id: item.item_id,
+                    filter: filter_str(rep.filter).to_string(),
+                    score: rep.score,
+                    is_fraud: rep.is_fraud,
+                })
+                .collect();
+            cursor += n;
+            // A hung-up client (timed-out request) is not an error.
+            let _ = req.reply.send(ScoredBatch { model_version: model.version, verdicts });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    fn slot() -> Arc<ModelSlot> {
+        Arc::new(ModelSlot::new(testutil::trained(0.0)))
+    }
+
+    fn req(id: u64, fraud: bool) -> ScoreItem {
+        let item = if fraud {
+            testutil::fraud_item(id as usize)
+        } else {
+            testutil::normal_item(id as usize)
+        };
+        ScoreItem { item_id: id, sales_volume: 50, comments: item.texts }
+    }
+
+    #[test]
+    fn single_request_roundtrips_in_order() {
+        let batcher = Batcher::new(slot(), BatchConfig::default());
+        let rx = batcher.submit(vec![req(1, true), req(2, false), req(3, true)]).unwrap();
+        let scored = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(scored.model_version, 1);
+        let ids: Vec<u64> = scored.verdicts.iter().map(|v| v.item_id).collect();
+        assert_eq!(ids, vec![1, 2, 3], "verdicts keep request order");
+        for v in &scored.verdicts {
+            assert!((0.0..=1.0).contains(&v.score));
+        }
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_but_answer_separately() {
+        let batcher = Arc::new(Batcher::new(
+            slot(),
+            BatchConfig { max_delay: Duration::from_millis(40), ..BatchConfig::default() },
+        ));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let b = batcher.clone();
+                std::thread::spawn(move || {
+                    let rx = b.submit(vec![req(i, i % 2 == 0)]).unwrap();
+                    rx.recv_timeout(Duration::from_secs(30)).unwrap()
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let scored = h.join().unwrap();
+            assert_eq!(scored.verdicts.len(), 1);
+            assert_eq!(scored.verdicts[0].item_id, i as u64, "each caller gets its own item back");
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_stalling() {
+        // One slow worker + a long coalescing delay keeps the queue
+        // occupied; capacity 1 means the second un-drained submit in
+        // the window must bounce.
+        let batcher = Batcher::new(
+            slot(),
+            BatchConfig {
+                max_batch_items: 1000,
+                max_delay: Duration::from_secs(2),
+                queue_capacity: 1,
+                workers: 1,
+            },
+        );
+        let _rx1 = batcher.submit(vec![req(1, true)]).unwrap();
+        // The worker may pop rx1's request into its coalescing window
+        // at any moment, so allow a few attempts: at least one of the
+        // next submissions must hit the bounded-queue limit.
+        let mut saw_reject = false;
+        let mut receivers = Vec::new();
+        for i in 0..3 {
+            match batcher.submit(vec![req(10 + i, false)]) {
+                Err(RejectReason::QueueFull) => {
+                    saw_reject = true;
+                    break;
+                }
+                Ok(rx) => receivers.push(rx),
+                Err(other) => panic!("unexpected reject: {other:?}"),
+            }
+        }
+        assert!(saw_reject, "bounded queue must reject when full");
+        drop(batcher); // drain scores the accepted requests
+        for rx in receivers {
+            assert!(rx.try_recv().is_ok(), "accepted requests still get scored on drain");
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work_then_rejects() {
+        let batcher = Batcher::new(
+            slot(),
+            BatchConfig { max_delay: Duration::from_millis(200), ..BatchConfig::default() },
+        );
+        let rx = batcher.submit(vec![req(5, true)]).unwrap();
+        batcher.shutdown();
+        let scored = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(scored.verdicts.len(), 1, "queued request scored during drain");
+        assert_eq!(batcher.submit(vec![req(6, true)]).unwrap_err(), RejectReason::Draining);
+        assert!(batcher.is_draining());
+        batcher.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn empty_request_gets_an_empty_scored_batch() {
+        let batcher = Batcher::new(slot(), BatchConfig::default());
+        let rx = batcher.submit(Vec::new()).unwrap();
+        let scored = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(scored.verdicts.is_empty());
+        assert_eq!(scored.model_version, 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Tiny blocking HTTP client for the scoring service.
+//!
+//! This is the counterpart of [`crate::http`]: one request per
+//! connection, `Connection: close`, read-to-EOF. It exists so
+//! `cats-cli score`, the `exp_serve` load generator and the
+//! integration tests all speak the wire format through one typed
+//! implementation instead of three hand-rolled socket loops.
+
+use crate::wire::{HealthResponse, ScoreItem, ScoreResponse};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// What went wrong with a client call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Connection or socket failure.
+    Io(String),
+    /// The server answered, but not with a 2xx.
+    Http {
+        /// Response status code (429 and 503 are the backpressure ones).
+        status: u16,
+        /// Raw response body (usually a JSON `{"error": ...}`).
+        body: String,
+    },
+    /// The server answered 2xx but the body did not parse.
+    Parse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io: {e}"),
+            Self::Http { status, body } => write!(f, "http {status}: {body}"),
+            Self::Parse(e) => write!(f, "parse: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Blocking client for one `cats-serve` endpoint.
+#[derive(Debug, Clone)]
+pub struct ScoreClient {
+    addr: String,
+    timeout: Duration,
+}
+
+impl ScoreClient {
+    /// A client for `addr` (`host:port`) with a 60 s I/O timeout.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into(), timeout: Duration::from_secs(60) }
+    }
+
+    /// Overrides the per-call connect/read/write timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// `POST /v1/score`: returns the verdicts or a typed error (429 and
+    /// 503 surface as [`ClientError::Http`] with that status).
+    pub fn score(&self, items: &[ScoreItem]) -> Result<ScoreResponse, ClientError> {
+        let body = serde_json::to_string(items).map_err(|e| ClientError::Parse(e.to_string()))?;
+        let (status, resp_body) = self.request("POST", "/v1/score", Some(&body))?;
+        if status != 200 {
+            return Err(ClientError::Http { status, body: resp_body });
+        }
+        serde_json::from_str(&resp_body).map_err(|e| ClientError::Parse(e.to_string()))
+    }
+
+    /// `GET /healthz`.
+    pub fn health(&self) -> Result<HealthResponse, ClientError> {
+        let (status, body) = self.request("GET", "/healthz", None)?;
+        if status != 200 {
+            return Err(ClientError::Http { status, body });
+        }
+        serde_json::from_str(&body).map_err(|e| ClientError::Parse(e.to_string()))
+    }
+
+    /// `GET /metrics`: the raw Prometheus exposition text.
+    pub fn metrics(&self) -> Result<String, ClientError> {
+        let (status, body) = self.request("GET", "/metrics", None)?;
+        if status != 200 {
+            return Err(ClientError::Http { status, body });
+        }
+        Ok(body)
+    }
+
+    /// One request/response exchange; returns (status, body).
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), ClientError> {
+        let mut stream = TcpStream::connect(&self.addr)
+            .map_err(|e| ClientError::Io(format!("connect {}: {e}", self.addr)))?;
+        stream.set_read_timeout(Some(self.timeout)).map_err(|e| ClientError::Io(e.to_string()))?;
+        stream.set_write_timeout(Some(self.timeout)).map_err(|e| ClientError::Io(e.to_string()))?;
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            self.addr,
+            body.len(),
+        );
+        stream.write_all(request.as_bytes()).map_err(|e| ClientError::Io(e.to_string()))?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).map_err(|e| ClientError::Io(e.to_string()))?;
+        parse_response(&raw)
+    }
+}
+
+/// Splits a raw HTTP/1.1 response into (status, body).
+fn parse_response(raw: &[u8]) -> Result<(u16, String), ClientError> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| ClientError::Parse("no header terminator in response".into()))?;
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    let status_line = head.lines().next().unwrap_or_default();
+    // "HTTP/1.1 200 OK" — the status code is the second token.
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Parse(format!("bad status line: {status_line}")))?;
+    let body = String::from_utf8_lossy(&raw[head_end + 4..]).into_owned();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_parsing_handles_status_and_body() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nContent-Length: 2\r\n\r\nhi";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 429);
+        assert_eq!(body, "hi");
+        assert!(parse_response(b"garbage with no terminator").is_err());
+        assert!(parse_response(b"NOT-HTTP\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn connect_failure_is_a_typed_io_error() {
+        // Port 1 on localhost is essentially never listening.
+        let client = ScoreClient::new("127.0.0.1:1").with_timeout(Duration::from_millis(200));
+        match client.health() {
+            Err(ClientError::Io(msg)) => assert!(msg.contains("connect")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Minimal HTTP/1.1 front end for the scoring service.
+//!
+//! Deliberately small: blocking `std::net`, one thread per connection,
+//! one request per connection (`Connection: close` on every response).
+//! That is plenty for a scoring sidecar whose concurrency ceiling is
+//! the batcher queue, and it keeps the crate free of any async runtime
+//! or HTTP framework. Routes:
+//!
+//! | route            | behaviour                                           |
+//! |------------------|-----------------------------------------------------|
+//! | `POST /v1/score` | parse → [`crate::Batcher::submit`] → wait → 200     |
+//! | `GET /healthz`   | `ok`/`draining`, model version, queue depth         |
+//! | `GET /metrics`   | `cats-obs` Prometheus exporter (text format 0.0.4)  |
+//!
+//! Backpressure maps to status codes, never to stalled sockets: a full
+//! queue answers 429 with `Retry-After`, a draining server answers 503,
+//! an oversized body answers 413 — all in microseconds.
+
+use crate::batcher::{BatchConfig, Batcher, RejectReason};
+use crate::model::ModelSlot;
+use crate::wire::{ErrorResponse, HealthResponse, ScoreResponse};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Maximum bytes of request head (request line + headers) we accept.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Micro-batcher tuning.
+    pub batch: BatchConfig,
+    /// Largest accepted `POST /v1/score` body; beyond this, 413.
+    pub max_body_bytes: usize,
+    /// How long a request may wait for its scored batch before 504.
+    pub request_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            batch: BatchConfig::default(),
+            max_body_bytes: 8 * 1024 * 1024,
+            request_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+struct ServerShared {
+    batcher: Batcher,
+    slot: Arc<ModelSlot>,
+    stop: AtomicBool,
+    config: ServeConfig,
+}
+
+/// The running HTTP server: an accept loop plus per-connection threads.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts serving `slot` immediately.
+    pub fn start(slot: Arc<ModelSlot>, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            batcher: Batcher::new(slot.clone(), config.batch.clone()),
+            slot,
+            stop: AtomicBool::new(false),
+            config,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shared = shared.clone();
+            let conns = conns.clone();
+            std::thread::Builder::new()
+                .name("cats-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &conns))
+                .expect("spawn accept loop")
+        };
+        Ok(Self { shared, accept_thread: Some(accept_thread), conns, local_addr })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current batcher queue depth (exposed for health checks/tests).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.batcher.queue_depth()
+    }
+
+    /// Graceful shutdown: stop accepting, answer everything already
+    /// accepted (draining the batch queue), then join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        // Drain the batcher first: handler threads blocked on a scored
+        // batch get their reply and finish fast.
+        self.shared.batcher.shutdown();
+        let handles = std::mem::take(&mut *self.conns.lock().expect("conn list lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ServerShared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let accepted = cats_obs::counter("cats.serve.http.accepted");
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                accepted.inc();
+                let shared = shared.clone();
+                let handle = std::thread::Builder::new()
+                    .name("cats-serve-conn".into())
+                    .spawn(move || handle_connection(stream, &shared))
+                    .expect("spawn connection handler");
+                let mut hs = conns.lock().expect("conn list lock");
+                hs.push(handle);
+                // Reap finished handlers so the list stays bounded
+                // under sustained load.
+                let mut i = 0;
+                while i < hs.len() {
+                    if hs[i].is_finished() {
+                        let _ = hs.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Parsed request head: method, path and declared body length.
+struct RequestHead {
+    method: String,
+    path: String,
+    content_length: usize,
+}
+
+/// Parses an HTTP/1.1 request head (everything before the blank line).
+fn parse_head(head: &str) -> Result<RequestHead, String> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let path = parts.next().ok_or("missing request path")?.to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length =
+                    value.trim().parse().map_err(|_| "bad content-length".to_string())?;
+            }
+        }
+    }
+    Ok(RequestHead { method, path, content_length })
+}
+
+/// Reads one request (head + body) off the stream.
+fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+) -> Result<(RequestHead, String), (u16, String)> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err((431, "request head too large".into()));
+        }
+        let n = stream.read(&mut chunk).map_err(|e| (400, format!("read: {e}")))?;
+        if n == 0 {
+            return Err((400, "connection closed mid-request".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head_str = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let head = parse_head(&head_str).map_err(|e| (400, e))?;
+    if head.content_length > max_body {
+        return Err((413, format!("body exceeds {max_body} bytes")));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < head.content_length {
+        let n = stream.read(&mut chunk).map_err(|e| (400, format!("read body: {e}")))?;
+        if n == 0 {
+            return Err((400, "connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(head.content_length);
+    let body = String::from_utf8(body).map_err(|_| (400, "body is not UTF-8".to_string()))?;
+    Ok((head, body))
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &str,
+    body: &str,
+) {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{extra_headers}Connection: close\r\n\r\n",
+        status_text(status),
+        body.len(),
+    );
+    // The client may already be gone; that is its problem, not ours.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn write_json_error(stream: &mut TcpStream, status: u16, extra_headers: &str, msg: &str) {
+    let body = serde_json::to_string(&ErrorResponse { error: msg.to_string() })
+        .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string());
+    write_response(stream, status, "application/json", extra_headers, &body);
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let (head, body) = match read_request(&mut stream, shared.config.max_body_bytes) {
+        Ok(ok) => ok,
+        Err((status, msg)) => {
+            cats_obs::counter("cats.serve.http.bad_request").inc();
+            write_json_error(&mut stream, status, "", &msg);
+            return;
+        }
+    };
+    let status = route(&mut stream, shared, &head, &body);
+    cats_obs::histogram("cats.serve.http.latency_ms").record(started.elapsed().as_secs_f64() * 1e3);
+    cats_obs::counter(match status {
+        200 => "cats.serve.http.status.200",
+        429 => "cats.serve.http.status.429",
+        503 => "cats.serve.http.status.503",
+        _ => "cats.serve.http.status.other",
+    })
+    .inc();
+}
+
+/// Dispatches one parsed request and returns the response status.
+fn route(stream: &mut TcpStream, shared: &ServerShared, head: &RequestHead, body: &str) -> u16 {
+    match (head.method.as_str(), head.path.as_str()) {
+        ("POST", "/v1/score") => score(stream, shared, body),
+        ("GET", "/healthz") => {
+            let resp = HealthResponse {
+                status: if shared.batcher.is_draining() { "draining" } else { "ok" }.to_string(),
+                model_version: shared.slot.version(),
+                queue_depth: shared.batcher.queue_depth() as u64,
+            };
+            let body = serde_json::to_string(&resp).expect("health serializes");
+            write_response(stream, 200, "application/json", "", &body);
+            200
+        }
+        ("GET", "/metrics") => {
+            let text = cats_obs::global().to_prometheus();
+            write_response(stream, 200, "text/plain; version=0.0.4", "", &text);
+            200
+        }
+        ("POST" | "GET", _) => {
+            write_json_error(stream, 404, "", &format!("no such route: {}", head.path));
+            404
+        }
+        _ => {
+            write_json_error(stream, 405, "", &format!("method {} not allowed", head.method));
+            405
+        }
+    }
+}
+
+fn score(stream: &mut TcpStream, shared: &ServerShared, body: &str) -> u16 {
+    let items = match crate::wire::parse_score_request(body) {
+        Ok(items) => items,
+        Err(e) => {
+            write_json_error(stream, 400, "", &e);
+            return 400;
+        }
+    };
+    let rx = match shared.batcher.submit(items) {
+        Ok(rx) => rx,
+        Err(RejectReason::QueueFull) => {
+            write_json_error(stream, 429, "Retry-After: 1\r\n", "queue full, retry later");
+            return 429;
+        }
+        Err(RejectReason::Draining) => {
+            write_json_error(stream, 503, "", "server is draining");
+            return 503;
+        }
+    };
+    match rx.recv_timeout(shared.config.request_timeout) {
+        Ok(scored) => {
+            let resp =
+                ScoreResponse { model_version: scored.model_version, verdicts: scored.verdicts };
+            let body = serde_json::to_string(&resp).expect("score response serializes");
+            write_response(stream, 200, "application/json", "", &body);
+            200
+        }
+        Err(_) => {
+            write_json_error(stream, 504, "", "scoring timed out");
+            504
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_parsing_extracts_method_path_and_length() {
+        let head =
+            parse_head("POST /v1/score HTTP/1.1\r\nHost: x\r\ncontent-LENGTH: 42\r\nAccept: */*")
+                .unwrap();
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.path, "/v1/score");
+        assert_eq!(head.content_length, 42);
+        let bare = parse_head("GET /healthz HTTP/1.1").unwrap();
+        assert_eq!(bare.content_length, 0, "missing content-length means empty body");
+        assert!(parse_head("").is_err());
+        assert!(parse_head("GET").is_err(), "path is required");
+        assert!(
+            parse_head("POST / HTTP/1.1\r\nContent-Length: nope").is_err(),
+            "unparseable length is a 400, not a silent zero"
+        );
+    }
+
+    #[test]
+    fn head_terminator_is_found_across_chunk_boundaries() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+        assert_eq!(find_head_end(b""), None);
+    }
+
+    #[test]
+    fn status_lines_cover_the_codes_we_emit() {
+        for code in [200, 400, 404, 405, 413, 429, 431, 503, 504] {
+            assert!(!status_text(code).is_empty());
+        }
+        assert_eq!(status_text(500), "Internal Server Error");
+        assert_eq!(status_text(599), "Internal Server Error");
+    }
+}

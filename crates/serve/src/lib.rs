@@ -1,0 +1,132 @@
+//! # cats-serve — the online detection service
+//!
+//! The paper pitches CATS as a third-party service that platforms query
+//! for fraud verdicts (§I); this crate is that serving layer, built on
+//! `std` only — no async runtime, no HTTP framework, no new third-party
+//! dependencies (DESIGN.md §9). Four pieces, layered bottom-up:
+//!
+//! 1. **Wire format** ([`wire`]): the JSON request/response types for
+//!    `POST /v1/score` and `GET /healthz`.
+//! 2. **Model slot** ([`model`]): a hand-rolled `ArcSwap` — an
+//!    atomically swappable `Arc<VersionedModel>` — plus a file watcher
+//!    that hot-swaps `cats-cli train` output into a live server without
+//!    dropping a single in-flight request.
+//! 3. **Micro-batcher** ([`batcher`]): a bounded request queue drained
+//!    by batch workers that coalesce concurrent requests into
+//!    size/deadline-bounded batches and score them through one
+//!    [`cats_core::CatsPipeline::detect`] call (which fans out onto the
+//!    `cats-par` pool). Queue overflow and drain are surfaced as typed
+//!    rejections, not stalls.
+//! 4. **HTTP server** ([`http`]): a minimal HTTP/1.1 listener exposing
+//!    `POST /v1/score`, `GET /healthz` and `GET /metrics` (the
+//!    `cats-obs` Prometheus exporter), mapping [`RejectReason`] to
+//!    429/503 and draining gracefully on shutdown.
+//!
+//! A small blocking [`client`] rounds it out: it is what `cats-cli
+//! score`, the `exp_serve` load generator and the integration tests
+//! speak through.
+//!
+//! Everything is instrumented into the global `cats-obs` registry under
+//! `cats.serve.*`: queue depth, batch size, request latency
+//! (p50/p95/p99 via `/metrics`), rejection and swap counters.
+
+pub mod batcher;
+pub mod client;
+pub mod http;
+pub mod model;
+pub mod wire;
+
+pub use batcher::{BatchConfig, Batcher, RejectReason, ScoredBatch};
+pub use client::{ClientError, ScoreClient};
+pub use http::{ServeConfig, Server};
+pub use model::{load_pipeline_file, ModelSlot, ModelWatcher, VersionedModel};
+pub use wire::{HealthResponse, ScoreItem, ScoreResponse, ScoreVerdict};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! A tiny trained pipeline (mirrors the `cats-core` pipeline tests)
+    //! so serving tests exercise real scoring, not a stub. Training is
+    //! the slow part, so tests that need many models train once, call
+    //! [`snapshot_json`], and [`restore`] as many cheap copies as they
+    //! want.
+
+    use cats_core::{CatsPipeline, ItemComments, PipelineConfig, PipelineSnapshot};
+    use cats_ml::Classifier as _;
+
+    pub fn fraud_item(i: usize) -> ItemComments {
+        ItemComments::from_texts([
+            format!("hao0 hao0 zan1 ! hao0 bang2 w{i} ， hao0 hao0 zan0 hao1 hao1").as_str(),
+            "hen hao0 zan2 ！ hao2 hao0 hao0 bang0 hao0",
+        ])
+    }
+
+    pub fn normal_item(i: usize) -> ItemComments {
+        ItemComments::from_texts([format!("shu hao0 kan w{i}").as_str(), "dongxi cha0 le dian"])
+    }
+
+    pub fn trained(threshold_shift: f64) -> CatsPipeline {
+        let mut texts = Vec::new();
+        for i in 0..250 {
+            let v = i % 3;
+            texts.push(format!("hao{v} zan{v} hao{v} bang{v} kuai du"));
+            texts.push(format!("cha{v} lan{v} cha{v} huai{v} man du"));
+            texts.push("he zi kuai di shou dao".to_string());
+        }
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let mut training = Vec::new();
+        for i in 0..30 {
+            training.push(cats_core::pipeline::LabeledItem { comments: fraud_item(i), label: 1 });
+            training.push(cats_core::pipeline::LabeledItem { comments: normal_item(i), label: 0 });
+        }
+        let mut pipeline = CatsPipeline::train(
+            &refs,
+            &["hao0".to_string()],
+            &["cha0".to_string()],
+            &["hao0 zan0 bang0 hao1", "zan1 hao2 bang1"],
+            &["cha0 lan0 huai0", "lan1 cha2 huai2"],
+            &training,
+            None,
+            PipelineConfig::default(),
+        );
+        if threshold_shift != 0.0 {
+            let t = (0.5 + threshold_shift).clamp(0.0, 1.0);
+            pipeline.detector_mut().set_threshold(t);
+        }
+        pipeline
+    }
+
+    /// Serializes a pipeline-equivalent snapshot: a concrete GBT
+    /// retrained on the standard training set (deterministic, so it
+    /// scores identically to `pipeline`'s own classifier).
+    pub fn snapshot_json(pipeline: &CatsPipeline) -> String {
+        let mut items = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            items.push(fraud_item(i));
+            labels.push(1u8);
+            items.push(normal_item(i));
+            labels.push(0u8);
+        }
+        let rows = cats_core::features::extract_batch(&items, pipeline.analyzer(), 0);
+        let mut data = cats_ml::Dataset::new(cats_core::N_FEATURES);
+        for (r, &l) in rows.iter().zip(&labels) {
+            data.push(r.as_slice(), l);
+        }
+        let mut gbt = cats_ml::gbt::GradientBoostedTrees::new(cats_ml::gbt::GbtConfig::default());
+        gbt.fit(&data);
+        CatsPipeline::snapshot(pipeline.analyzer().clone(), pipeline.detector().config(), gbt)
+            .to_json()
+            .expect("snapshot serializes")
+    }
+
+    /// Cheap model copy: restore a snapshot and shift its threshold.
+    pub fn restore(json: &str, threshold_shift: f64) -> CatsPipeline {
+        let snap = PipelineSnapshot::from_json(json).expect("snapshot parses");
+        let mut pipeline = CatsPipeline::restore(snap);
+        if threshold_shift != 0.0 {
+            let t = (0.5 + threshold_shift).clamp(0.0, 1.0);
+            pipeline.detector_mut().set_threshold(t);
+        }
+        pipeline
+    }
+}

@@ -1,0 +1,126 @@
+//! JSON wire format for the scoring API.
+//!
+//! `POST /v1/score` accepts either a bare array of [`ScoreItem`]s or a
+//! `{"items": [...]}` wrapper (the wrapper leaves room for per-request
+//! options later without breaking clients). Responses carry the model
+//! version that scored the batch, so clients — and the hot-swap tests —
+//! can verify that every verdict in a response came from one coherent
+//! model.
+
+use cats_core::FilterDecision;
+use serde::{Deserialize, Serialize};
+
+/// One item to score: the public data CATS consumes (§II-A).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ScoreItem {
+    /// Platform item id, echoed back in the verdict.
+    pub item_id: u64,
+    /// Public sales volume (stage-1 filter input).
+    pub sales_volume: u64,
+    /// Raw comment texts; segmented server-side.
+    pub comments: Vec<String>,
+}
+
+/// One verdict on the wire (mirrors the CLI's JSONL report line).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoreVerdict {
+    /// Platform item id from the request.
+    pub item_id: u64,
+    /// Stage-1 outcome (`classified`, `filtered_low_sales`,
+    /// `filtered_no_evidence`, `quarantined`).
+    pub filter: String,
+    /// Fraud score in \[0,1\]; 0 for filtered items.
+    pub score: f64,
+    /// Final verdict.
+    pub is_fraud: bool,
+}
+
+/// `POST /v1/score` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoreResponse {
+    /// Version of the model slot that scored this whole batch — one
+    /// number because the batcher loads the model exactly once per
+    /// batch (no request can straddle a swap).
+    pub model_version: u64,
+    /// One verdict per requested item, in request order.
+    pub verdicts: Vec<ScoreVerdict>,
+}
+
+/// `GET /healthz` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// `"ok"` while accepting, `"draining"` once shutdown has begun.
+    pub status: String,
+    /// Current model slot version.
+    pub model_version: u64,
+    /// Requests waiting in the batch queue right now.
+    pub queue_depth: u64,
+}
+
+/// Error body for non-2xx responses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Human-readable reason.
+    pub error: String,
+}
+
+/// Stable wire spelling of a stage-1 decision.
+pub fn filter_str(filter: FilterDecision) -> &'static str {
+    match filter {
+        FilterDecision::Classified => "classified",
+        FilterDecision::FilteredLowSales => "filtered_low_sales",
+        FilterDecision::FilteredNoPositiveEvidence => "filtered_no_evidence",
+        FilterDecision::Quarantined => "quarantined",
+    }
+}
+
+/// Parses a score request body: bare array or `{"items": [...]}`.
+pub fn parse_score_request(body: &str) -> Result<Vec<ScoreItem>, String> {
+    #[derive(Deserialize)]
+    struct Wrapped {
+        items: Vec<ScoreItem>,
+    }
+    serde_json::from_str::<Vec<ScoreItem>>(body)
+        .or_else(|_| serde_json::from_str::<Wrapped>(body).map(|w| w.items))
+        .map_err(|e| format!("body: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_request_shapes_parse() {
+        let bare = r#"[{"item_id":1,"sales_volume":9,"comments":["hao"]}]"#;
+        let wrapped = r#"{"items":[{"item_id":1,"sales_volume":9,"comments":["hao"]}]}"#;
+        assert_eq!(parse_score_request(bare).unwrap(), parse_score_request(wrapped).unwrap());
+        assert_eq!(parse_score_request(bare).unwrap()[0].item_id, 1);
+        assert!(parse_score_request("{oops").unwrap_err().starts_with("body:"));
+        assert!(parse_score_request("[]").unwrap().is_empty(), "empty batch is legal");
+    }
+
+    #[test]
+    fn filter_spelling_matches_the_cli_report_lines() {
+        assert_eq!(filter_str(FilterDecision::Classified), "classified");
+        assert_eq!(filter_str(FilterDecision::FilteredLowSales), "filtered_low_sales");
+        assert_eq!(filter_str(FilterDecision::FilteredNoPositiveEvidence), "filtered_no_evidence");
+        assert_eq!(filter_str(FilterDecision::Quarantined), "quarantined");
+    }
+
+    #[test]
+    fn score_response_roundtrips() {
+        let resp = ScoreResponse {
+            model_version: 3,
+            verdicts: vec![ScoreVerdict {
+                item_id: 7,
+                filter: "classified".into(),
+                score: 0.875,
+                is_fraud: true,
+            }],
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: ScoreResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.model_version, 3);
+        assert_eq!(back.verdicts[0].score, 0.875);
+    }
+}

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Bench regression gate: compares freshly generated BENCH_*.json results
+# against the committed baselines in results/baselines/ and exits
+# nonzero on a throughput regression beyond the tolerance.
+#
+#   scripts/bench_gate.sh            compare; exit 1 on regression
+#   scripts/bench_gate.sh --update   refresh the baselines from the
+#                                    fresh results (commit the diff)
+#
+# Policy (see EXPERIMENTS.md "Bench gate"):
+#   * throughput (serve sustained_rps, scaling items/s) is a HARD gate:
+#     measured must stay >= TOLERANCE x baseline. The committed
+#     baselines are conservative floors, far below what any developer
+#     machine produces, so the gate trips on real regressions (or
+#     doctored results), never on runner noise.
+#   * latency percentiles WARN only — absolute latency varies with
+#     hardware too much for a portable hard gate.
+#   * serving-correctness invariants (zero dropped requests under
+#     hot-swap, 429s observed under overload, zero socket failures) are
+#     hard-gated: they are hardware-independent.
+#   * a missing baseline bootstraps: the fresh result is copied into
+#     place and the gate passes (commit the new baseline).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE=0.8 # measured must stay >= TOLERANCE x baseline
+BASELINES=results/baselines
+FAILURES=0
+
+# First numeric value of `"key": N` in a JSON file (empty if absent —
+# callers supply defaults, so a malformed file fails the gate loudly
+# instead of aborting the script mid-parse).
+num() {
+  { grep -o "\"$2\": *-*[0-9.][0-9.]*" "$1" | head -n1 | sed 's/.*: *//'; } || true
+}
+
+# Smallest "total_s" across a scaling sweep's rows.
+min_total() {
+  { grep -o '"total_s": *[0-9.][0-9.]*' "$1" | sed 's/.*: *//' \
+    | awk 'NR==1 || $1 < m { m = $1 } END { print m }'; } || true
+}
+
+# gte <a> <b>: succeeds when a >= b (floats).
+gte() {
+  awk -v a="$1" -v b="$2" 'BEGIN { exit !(a + 0 >= b + 0) }'
+}
+
+fail() {
+  echo "bench-gate: FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# hard_floor <label> <measured> <baseline>: hard-gates measured against
+# TOLERANCE x baseline.
+hard_floor() {
+  local label="$1" measured="$2" baseline="$3"
+  local floor
+  floor=$(awk -v b="$baseline" -v t="$TOLERANCE" 'BEGIN { printf "%.4f", b * t }')
+  if gte "$measured" "$floor"; then
+    echo "bench-gate: ok: $label $measured >= $floor (${TOLERANCE}x baseline $baseline)"
+  else
+    fail "$label regressed: $measured < $floor (${TOLERANCE}x baseline $baseline)"
+  fi
+}
+
+# ensure_baseline <fresh> <baseline>: bootstraps a missing baseline.
+# Returns 1 when the caller should skip comparison this run.
+ensure_baseline() {
+  local fresh="$1" baseline="$2"
+  if [ ! -f "$baseline" ]; then
+    mkdir -p "$(dirname "$baseline")"
+    cp "$fresh" "$baseline"
+    echo "bench-gate: bootstrapped $baseline from $fresh (commit it)"
+    return 1
+  fi
+}
+
+if [ "${1:-}" = "--update" ]; then
+  mkdir -p "$BASELINES"
+  for f in BENCH_serve.json BENCH_scaling.json; do
+    [ -f "$f" ] && cp "$f" "$BASELINES/$f" && echo "bench-gate: updated $BASELINES/$f"
+  done
+  exit 0
+fi
+
+# --- serving benchmark -------------------------------------------------
+if [ -f BENCH_serve.json ]; then
+  # Hardware-independent correctness invariants, straight off the fresh
+  # run: hot-swap may drop nothing, overload must surface as 429s.
+  dropped=$(num BENCH_serve.json dropped)
+  rejected=$(num BENCH_serve.json rejected_429)
+  failed=$(num BENCH_serve.json failed)
+  [ "${dropped:-1}" = "0" ] || fail "hot-swap dropped $dropped requests (want 0)"
+  gte "${rejected:-0}" 1 || fail "overload produced no 429 rejections"
+  [ "${failed:-1}" = "0" ] || fail "overload broke $failed sockets (want 0)"
+
+  if ensure_baseline BENCH_serve.json "$BASELINES/BENCH_serve.json"; then
+    hard_floor "serve sustained_rps" \
+      "$(num BENCH_serve.json sustained_rps)" \
+      "$(num "$BASELINES/BENCH_serve.json" sustained_rps)"
+    # Latency: warn-only.
+    p95=$(num BENCH_serve.json p95_ms)
+    base_p95=$(num "$BASELINES/BENCH_serve.json" p95_ms)
+    if ! gte "$(awk -v b="$base_p95" 'BEGIN { print b * 4 }')" "$p95"; then
+      echo "bench-gate: warn: serve p95 ${p95}ms > 4x baseline ${base_p95}ms (not gated)"
+    fi
+  fi
+else
+  fail "BENCH_serve.json missing (run: cargo run --release -p cats-bench --bin exp_serve)"
+fi
+
+# --- scaling benchmark -------------------------------------------------
+if [ -f BENCH_scaling.json ]; then
+  if ensure_baseline BENCH_scaling.json "$BASELINES/BENCH_scaling.json"; then
+    items=$(num BENCH_scaling.json items)
+    best=$(min_total BENCH_scaling.json)
+    base_items=$(num "$BASELINES/BENCH_scaling.json" items)
+    base_best=$(min_total "$BASELINES/BENCH_scaling.json")
+    measured=$(awk -v i="$items" -v t="$best" 'BEGIN { printf "%.4f", i / t }')
+    baseline=$(awk -v i="$base_items" -v t="$base_best" 'BEGIN { printf "%.4f", i / t }')
+    hard_floor "scaling items/s" "$measured" "$baseline"
+  fi
+else
+  echo "bench-gate: skip: BENCH_scaling.json missing (exp_scaling not run)"
+fi
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "bench-gate: $FAILURES failure(s)" >&2
+  exit 1
+fi
+echo "bench-gate: all gates passed"

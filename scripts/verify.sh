@@ -15,3 +15,9 @@ cargo build --release "${LOCKED[@]}"
 # every parallel stage end-to-end and regenerates BENCH_scaling.json
 # plus the per-run profile artifact PROFILE_scaling.json.
 cargo run --release "${LOCKED[@]}" -p cats-bench --bin exp_scaling -- --scale 0.002
+# Serving benchmark: sustained load, hot-swap under load, overload
+# probe. Regenerates BENCH_serve.json and asserts the serving
+# invariants (zero drops, 429s under overload) internally.
+cargo run --release "${LOCKED[@]}" -p cats-bench --bin exp_serve -- --scale 0.01
+# Regression gate: fresh BENCH_*.json vs results/baselines/.
+scripts/bench_gate.sh

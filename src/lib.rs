@@ -17,6 +17,7 @@ pub use cats_obs as obs;
 pub use cats_par as par;
 pub use cats_platform as platform;
 pub use cats_sentiment as sentiment;
+pub use cats_serve as serve;
 pub use cats_text as text;
 
 /// Common imports for examples and downstream users.

@@ -10,14 +10,15 @@ use cats::ml::gbt::{GbtConfig, GradientBoostedTrees};
 use cats::ml::{Classifier, Dataset};
 use cats::platform::comment_model::{generate_comment, CommentStyle};
 use cats::platform::datasets;
+use cats::platform::Platform;
 use rand::{rngs::StdRng, SeedableRng};
 
-#[test]
-fn snapshot_roundtrip_preserves_verdicts() {
-    let train = datasets::d0(0.004, 61);
+/// Trains a small analyzer + concrete GBT on a platform's own data —
+/// the shared setup for the persistence tests.
+fn train_parts(train: &Platform, seed: u64) -> (SemanticAnalyzer, GradientBoostedTrees) {
     let corpus: Vec<&str> =
         train.items().iter().flat_map(|i| i.comments.iter().map(|c| c.content.as_str())).collect();
-    let mut rng = StdRng::seed_from_u64(61);
+    let mut rng = StdRng::seed_from_u64(seed);
     let pos: Vec<String> = (0..300)
         .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicPositive, &mut rng))
         .collect();
@@ -36,8 +37,6 @@ fn snapshot_roundtrip_preserves_verdicts() {
             ..SemanticConfig::default()
         },
     );
-
-    // Train a concrete GBT on the extracted features.
     let items: Vec<ItemComments> = train
         .items()
         .iter()
@@ -51,6 +50,13 @@ fn snapshot_roundtrip_preserves_verdicts() {
     }
     let mut gbt = GradientBoostedTrees::new(GbtConfig::default());
     gbt.fit(&data);
+    (analyzer, gbt)
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_verdicts() {
+    let train = datasets::d0(0.004, 61);
+    let (analyzer, gbt) = train_parts(&train, 61);
 
     // Snapshot → JSON → restore.
     let snap = CatsPipeline::snapshot(analyzer.clone(), DetectorConfig::default(), gbt.clone());
@@ -82,4 +88,47 @@ fn snapshot_roundtrip_preserves_verdicts() {
             );
         }
     }
+}
+
+#[test]
+fn snapshot_json_roundtrip_reports_are_byte_identical() {
+    let train = datasets::d0(0.003, 71);
+    let (analyzer, gbt) = train_parts(&train, 71);
+    let snap = CatsPipeline::snapshot(analyzer, DetectorConfig::default(), gbt);
+    assert_eq!(snap.format_version, cats::core::SNAPSHOT_FORMAT_VERSION);
+
+    // Serialization is stable: parse → re-serialize is byte-identical,
+    // so a snapshot survives any number of save/load generations.
+    let json = snap.to_json().expect("serialize");
+    let parsed = PipelineSnapshot::from_json(&json).expect("parse");
+    assert_eq!(parsed.format_version, cats::core::SNAPSHOT_FORMAT_VERSION);
+    let rejson = parsed.to_json().expect("re-serialize");
+    assert_eq!(json, rejson, "snapshot JSON must be stable across generations");
+
+    // And the models behind both generations score byte-identically:
+    // serialize the full report streams and compare as strings, the
+    // same shape `cats-cli detect` emits.
+    let target = datasets::d0(0.003, 72);
+    let t_items: Vec<ItemComments> = target
+        .items()
+        .iter()
+        .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
+        .collect();
+    let t_sales: Vec<u64> = target.items().iter().map(|i| i.sales_volume).collect();
+    let gen1 = CatsPipeline::restore(PipelineSnapshot::from_json(&json).expect("gen1"));
+    let gen2 = CatsPipeline::restore(PipelineSnapshot::from_json(&rejson).expect("gen2"));
+    let reports1 = serde_json::to_string(&gen1.detect(&t_items, &t_sales)).expect("reports1");
+    let reports2 = serde_json::to_string(&gen2.detect(&t_items, &t_sales)).expect("reports2");
+    assert!(reports1.contains("\"score\""), "reports are non-trivial");
+    assert_eq!(reports1, reports2, "restored models must score byte-identically");
+
+    // The same document stamped with a future format version must be
+    // rejected — a deployed server never loads a model it can't read.
+    let future = json.replacen(
+        &format!("\"format_version\":{}", cats::core::SNAPSHOT_FORMAT_VERSION),
+        &format!("\"format_version\":{}", cats::core::SNAPSHOT_FORMAT_VERSION + 1),
+        1,
+    );
+    let err = PipelineSnapshot::from_json(&future).expect_err("future version rejected");
+    assert!(err.contains("newer than supported"), "{err}");
 }

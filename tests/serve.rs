@@ -1,0 +1,329 @@
+//! Integration: the online detection service end to end — concurrent
+//! clients over real sockets, model hot-swap under load, and typed
+//! backpressure. The serving path must agree bit-for-bit with offline
+//! [`CatsPipeline::detect`]: the server is a deployment surface, not a
+//! second implementation of the model.
+
+use cats::core::pipeline::PipelineSnapshot;
+use cats::core::semantic::SemanticConfig;
+use cats::core::{CatsPipeline, DetectorConfig, ItemComments, SemanticAnalyzer};
+use cats::embedding::{ExpansionConfig, Word2VecConfig};
+use cats::ml::gbt::{GbtConfig, GradientBoostedTrees};
+use cats::ml::{Classifier, Dataset};
+use cats::platform::comment_model::{generate_comment, CommentStyle};
+use cats::platform::datasets;
+use cats::serve::{
+    BatchConfig, ClientError, ModelSlot, ScoreClient, ScoreItem, ServeConfig, Server,
+};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Expensive one-time setup shared by every test in this binary: a
+/// trained snapshot (restored per-test — restores are cheap) plus the
+/// scoring items and their expected offline verdicts.
+struct Setup {
+    snapshot_json: String,
+    items: Vec<ScoreItem>,
+    expected: Vec<cats::core::DetectionReport>,
+}
+
+fn setup() -> &'static Setup {
+    static S: OnceLock<Setup> = OnceLock::new();
+    S.get_or_init(|| {
+        let train = datasets::d0(0.003, 81);
+        let corpus: Vec<&str> = train
+            .items()
+            .iter()
+            .flat_map(|i| i.comments.iter().map(|c| c.content.as_str()))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(81);
+        let pos: Vec<String> = (0..300)
+            .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicPositive, &mut rng))
+            .collect();
+        let neg: Vec<String> = (0..300)
+            .map(|_| generate_comment(train.lexicon(), CommentStyle::OrganicNegative, &mut rng))
+            .collect();
+        let analyzer = SemanticAnalyzer::train(
+            &corpus,
+            &train.lexicon().positive_seeds(),
+            &train.lexicon().negative_seeds(),
+            &pos.iter().map(String::as_str).collect::<Vec<_>>(),
+            &neg.iter().map(String::as_str).collect::<Vec<_>>(),
+            SemanticConfig {
+                word2vec: Word2VecConfig { dim: 24, epochs: 2, ..Word2VecConfig::default() },
+                expansion: ExpansionConfig::default(),
+                ..SemanticConfig::default()
+            },
+        );
+        let train_items: Vec<ItemComments> = train
+            .items()
+            .iter()
+            .map(|i| ItemComments::from_texts(i.comments.iter().map(|c| c.content.as_str())))
+            .collect();
+        let labels: Vec<u8> = train.items().iter().map(|i| u8::from(i.label.is_fraud())).collect();
+        let rows = cats::core::features::extract_batch(&train_items, &analyzer, 0);
+        let mut data = Dataset::new(cats::core::N_FEATURES);
+        for (r, &l) in rows.iter().zip(&labels) {
+            data.push(r.as_slice(), l);
+        }
+        let mut gbt = GradientBoostedTrees::new(GbtConfig::default());
+        gbt.fit(&data);
+        let snapshot_json = CatsPipeline::snapshot(analyzer, DetectorConfig::default(), gbt)
+            .to_json()
+            .expect("snapshot serializes");
+
+        // Score a different platform, like a real deployment would.
+        let target = datasets::d0(0.003, 82);
+        let items: Vec<ScoreItem> = target
+            .items()
+            .iter()
+            .map(|it| ScoreItem {
+                item_id: it.id,
+                sales_volume: it.sales_volume,
+                comments: it.comments.iter().map(|c| c.content.clone()).collect(),
+            })
+            .collect();
+        let ics: Vec<ItemComments> = items
+            .iter()
+            .map(|i| ItemComments::from_texts(i.comments.iter().map(String::as_str)))
+            .collect();
+        let sales: Vec<u64> = items.iter().map(|i| i.sales_volume).collect();
+        let expected = restore(&snapshot_json).detect(&ics, &sales);
+        assert_eq!(expected.len(), items.len());
+        Setup { snapshot_json, items, expected }
+    })
+}
+
+fn restore(json: &str) -> CatsPipeline {
+    CatsPipeline::restore(PipelineSnapshot::from_json(json).expect("snapshot parses"))
+}
+
+fn start(batch: BatchConfig) -> (Server, Arc<ModelSlot>) {
+    let slot = Arc::new(ModelSlot::new(restore(&setup().snapshot_json)));
+    let server = Server::start(
+        slot.clone(),
+        ServeConfig { addr: "127.0.0.1:0".into(), batch, ..ServeConfig::default() },
+    )
+    .expect("bind test server");
+    (server, slot)
+}
+
+/// Asserts a server response against the offline expectation for the
+/// item slice starting at `offset`.
+fn assert_matches_expected(verdicts: &[cats::serve::ScoreVerdict], offset: usize) {
+    let s = setup();
+    for (k, v) in verdicts.iter().enumerate() {
+        let exp = &s.expected[offset + k];
+        assert_eq!(v.item_id, s.items[offset + k].item_id);
+        assert_eq!(
+            v.score.to_bits(),
+            exp.score.to_bits(),
+            "item {} must score bit-identically to offline detect",
+            v.item_id
+        );
+        assert_eq!(v.is_fraud, exp.is_fraud);
+        assert_eq!(v.filter, cats::serve::wire::filter_str(exp.filter));
+    }
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_scores() {
+    let (server, _slot) = start(BatchConfig::default());
+    let addr = server.addr().to_string();
+    let n = setup().items.len();
+    let chunk = n.div_ceil(4).max(1);
+    let handles: Vec<_> = (0..4)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let s = setup();
+                let lo = (c * chunk).min(n);
+                let hi = ((c + 1) * chunk).min(n);
+                let client = ScoreClient::new(addr);
+                let resp = client.score(&s.items[lo..hi]).expect("score succeeds");
+                assert_eq!(resp.verdicts.len(), hi - lo);
+                assert_matches_expected(&resp.verdicts, lo);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_under_load_drops_nothing_and_scores_stay_coherent() {
+    // Aggressive batching so swaps land between and inside coalescing
+    // windows while requests are continuously in flight.
+    let (server, slot) =
+        start(BatchConfig { max_delay: Duration::from_millis(5), ..BatchConfig::default() });
+    let addr = server.addr().to_string();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let swapper = {
+        let (slot, stop) = (slot.clone(), stop.clone());
+        std::thread::spawn(move || {
+            let mut swaps = 0;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                slot.swap(restore(&setup().snapshot_json));
+                swaps += 1;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            swaps
+        })
+    };
+
+    let clients: Vec<_> = (0..3)
+        .map(|c| {
+            let addr = addr.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let s = setup();
+                let client = ScoreClient::new(addr);
+                let mut versions: Vec<u64> = Vec::new();
+                let mut requests = 0u64;
+                let width = 4usize;
+                let mut offset = (c * 7) % s.items.len().saturating_sub(width).max(1);
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let hi = (offset + width).min(s.items.len());
+                    let resp = client
+                        .score(&s.items[offset..hi])
+                        .expect("no request may be dropped during hot-swap");
+                    // The snapshot restores to an identical model, so a
+                    // response scored by ANY single coherent model matches
+                    // the offline expectation; a half-swapped model would
+                    // not.
+                    assert_matches_expected(&resp.verdicts, offset);
+                    if !versions.contains(&resp.model_version) {
+                        versions.push(resp.model_version);
+                    }
+                    requests += 1;
+                    offset = (offset + 3) % s.items.len().saturating_sub(width).max(1);
+                }
+                (requests, versions)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(800));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let mut all_versions: Vec<u64> = Vec::new();
+    let mut total_requests = 0;
+    for h in clients {
+        let (requests, versions) = h.join().expect("client thread");
+        total_requests += requests;
+        for v in versions {
+            if !all_versions.contains(&v) {
+                all_versions.push(v);
+            }
+        }
+    }
+    let swaps = swapper.join().expect("swapper thread");
+    assert!(total_requests > 0, "load ran");
+    assert!(swaps > 1, "swapper swapped");
+    assert!(
+        all_versions.len() > 1,
+        "clients must observe multiple model versions across {swaps} swaps, saw {all_versions:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn queue_overflow_answers_429_quickly_instead_of_stalling() {
+    // queue_capacity 1 + a long coalescing window + one worker: most of
+    // the concurrent submissions below must bounce with 429.
+    let (server, _slot) = start(BatchConfig {
+        max_batch_items: 10_000,
+        max_delay: Duration::from_millis(500),
+        queue_capacity: 1,
+        workers: 1,
+    });
+    let addr = server.addr().to_string();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let s = setup();
+                let client = ScoreClient::new(addr).with_timeout(Duration::from_secs(30));
+                match client.score(&s.items[i..=i]) {
+                    Ok(resp) => {
+                        assert_matches_expected(&resp.verdicts, i);
+                        Ok(())
+                    }
+                    Err(ClientError::Http { status, body }) => Err((status, body)),
+                    Err(other) => panic!("overload must not break sockets: {other}"),
+                }
+            })
+        })
+        .collect();
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for h in handles {
+        match h.join().expect("probe thread") {
+            Ok(()) => accepted += 1,
+            Err((status, body)) => {
+                assert_eq!(status, 429, "overflow maps to 429, got {status}: {body}");
+                assert!(body.contains("retry"), "429 body explains itself: {body}");
+                rejected += 1;
+            }
+        }
+    }
+    assert!(accepted >= 1, "the queued request is still served");
+    assert!(rejected >= 1, "a 1-slot queue cannot absorb 8 concurrent requests");
+    assert!(t0.elapsed() < Duration::from_secs(20), "overload must resolve fast, not stall");
+    server.shutdown();
+}
+
+#[test]
+fn healthz_and_metrics_report_serving_state() {
+    let (server, slot) = start(BatchConfig::default());
+    let addr = server.addr().to_string();
+    let client = ScoreClient::new(addr);
+
+    let health = client.health().expect("healthz");
+    assert_eq!(health.status, "ok");
+    assert_eq!(health.model_version, 1);
+
+    // Score once, swap once; both must show up in health + metrics.
+    let resp = client.score(&setup().items[..4.min(setup().items.len())]).expect("score");
+    assert_eq!(resp.model_version, 1);
+    slot.swap(restore(&setup().snapshot_json));
+    let health = client.health().expect("healthz after swap");
+    assert_eq!(health.model_version, 2);
+
+    let metrics = client.metrics().expect("metrics");
+    for series in ["cats_serve_requests", "cats_serve_model_version", "cats_serve_batch_items"] {
+        assert!(metrics.contains(series), "missing {series} in /metrics:\n{metrics}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_4xx() {
+    let (server, _slot) = start(BatchConfig::default());
+    let addr = server.addr().to_string();
+
+    // Hand-rolled bad request: invalid JSON body.
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let body = "{definitely not json";
+    write!(
+        stream,
+        "POST /v1/score HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    write!(stream, "GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    assert!(raw.starts_with("HTTP/1.1 404"), "{raw}");
+    server.shutdown();
+}
