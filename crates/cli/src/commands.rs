@@ -65,6 +65,23 @@ pub fn train(
     threshold: f64,
     seed: u64,
 ) -> Result<(String, usize), String> {
+    train_checkpointed(input, threshold, seed, None)
+}
+
+/// [`train`] with crash recovery: the two expensive stages — word2vec
+/// epochs and GBT boosting rounds — checkpoint into `store` (slots
+/// `"w2v"` and `"gbt"`), so a rerun after a kill resumes mid-stage
+/// instead of starting over; stage fingerprints reject checkpoints from
+/// different inputs or hyperparameters. Checkpointed word2vec always
+/// uses the deterministic sharded schedule, so an interrupted-and-
+/// resumed run is bit-identical to an uninterrupted checkpointed one.
+/// All slots are cleared on success.
+pub fn train_checkpointed(
+    input: &mut dyn BufRead,
+    threshold: f64,
+    seed: u64,
+    store: Option<&cats_io::CheckpointStore>,
+) -> Result<(String, usize), String> {
     let read_span = cats_obs::span!("cats.cli.train.read_input");
     let items = read_items(input)?;
     drop(read_span);
@@ -92,18 +109,32 @@ pub fn train(
     let neg: Vec<String> = (0..2_000)
         .map(|_| generate_comment(&lang, CommentStyle::OrganicNegative, &mut rng))
         .collect();
-    let analyzer = SemanticAnalyzer::train(
-        &corpus,
-        &lang.positive_seeds(),
-        &lang.negative_seeds(),
-        &pos.iter().map(String::as_str).collect::<Vec<_>>(),
-        &neg.iter().map(String::as_str).collect::<Vec<_>>(),
-        cats_core::SemanticConfig {
-            word2vec: Word2VecConfig { dim: 48, epochs: 3, ..Word2VecConfig::default() },
-            expansion: ExpansionConfig::default(),
-            ..cats_core::SemanticConfig::default()
-        },
-    );
+    let semantic_cfg = cats_core::SemanticConfig {
+        word2vec: Word2VecConfig { dim: 48, epochs: 3, ..Word2VecConfig::default() },
+        expansion: ExpansionConfig::default(),
+        ..cats_core::SemanticConfig::default()
+    };
+    let pos_refs: Vec<&str> = pos.iter().map(String::as_str).collect();
+    let neg_refs: Vec<&str> = neg.iter().map(String::as_str).collect();
+    let analyzer = match store {
+        Some(store) => SemanticAnalyzer::train_checkpointed(
+            &corpus,
+            &lang.positive_seeds(),
+            &lang.negative_seeds(),
+            &pos_refs,
+            &neg_refs,
+            semantic_cfg,
+            store,
+        ),
+        None => SemanticAnalyzer::train(
+            &corpus,
+            &lang.positive_seeds(),
+            &lang.negative_seeds(),
+            &pos_refs,
+            &neg_refs,
+            semantic_cfg,
+        ),
+    };
 
     let ics: Vec<ItemComments> = items.iter().map(ItemLine::to_item_comments).collect();
     let rows = cats_core::features::extract_batch(&ics, &analyzer, 0);
@@ -112,7 +143,10 @@ pub fn train(
         data.push(r.as_slice(), l);
     }
     let mut gbt = GradientBoostedTrees::new(GbtConfig::default());
-    gbt.fit(&data);
+    match store {
+        Some(store) => gbt.fit_checkpointed(&data, store, "gbt", 10),
+        None => gbt.fit(&data),
+    }
 
     let _snap_span = cats_obs::span!("cats.cli.train.snapshot");
     let snapshot = CatsPipeline::snapshot(
@@ -121,6 +155,9 @@ pub fn train(
         gbt,
     );
     let json = serde_json::to_string(&snapshot).map_err(|e| e.to_string())?;
+    if let Some(store) = store {
+        store.clear_all();
+    }
     Ok((json, items.len()))
 }
 
@@ -215,6 +252,11 @@ pub struct ServeOpts {
     pub queue_capacity: usize,
     /// Batch worker threads.
     pub workers: usize,
+    /// Directory for the *last-good* model mirror. At startup, a
+    /// corrupt/torn primary snapshot falls back to the mirror instead of
+    /// refusing to serve; with `watch`, every successfully swapped
+    /// snapshot refreshes it.
+    pub checkpoint_dir: Option<String>,
 }
 
 impl Default for ServeOpts {
@@ -228,6 +270,7 @@ impl Default for ServeOpts {
             max_delay_ms: b.max_delay.as_millis() as u64,
             queue_capacity: b.queue_capacity,
             workers: b.workers,
+            checkpoint_dir: None,
         }
     }
 }
@@ -240,7 +283,32 @@ pub fn start_server(
     opts: &ServeOpts,
 ) -> Result<(cats_serve::Server, Option<cats_serve::ModelWatcher>), String> {
     let path = std::path::Path::new(&opts.model_path);
-    let pipeline = cats_serve::load_pipeline_file(path)?;
+    let last_good: Option<std::path::PathBuf> = match &opts.checkpoint_dir {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            Some(dir.join("last_good.snapshot"))
+        }
+        None => None,
+    };
+    let pipeline = match cats_serve::load_pipeline_file(path) {
+        Ok(p) => p,
+        Err(primary_err) => {
+            // A torn or corrupt primary snapshot is exactly what the
+            // last-good mirror exists for: serve the mirror rather than
+            // refuse to start (DESIGN.md §10).
+            let Some(lg) = &last_good else { return Err(primary_err) };
+            let p = cats_serve::load_pipeline_file(lg).map_err(|e| {
+                format!("{primary_err}; last-good fallback {} also failed: {e}", lg.display())
+            })?;
+            cats_obs::counter("cats.cli.serve.last_good_fallbacks").inc();
+            eprintln!(
+                "cats-cli: primary model rejected ({primary_err}); serving last-good mirror {}",
+                lg.display()
+            );
+            p
+        }
+    };
     let slot = std::sync::Arc::new(cats_serve::ModelSlot::new(pipeline));
     let config = cats_serve::ServeConfig {
         addr: opts.addr.clone(),
@@ -255,10 +323,11 @@ pub fn start_server(
     let server = cats_serve::Server::start(slot.clone(), config)
         .map_err(|e| format!("bind {}: {e}", opts.addr))?;
     let watcher = opts.watch.then(|| {
-        cats_serve::ModelWatcher::spawn(
+        cats_serve::ModelWatcher::spawn_with_checkpoint(
             slot,
             path.to_path_buf(),
             std::time::Duration::from_millis(500),
+            last_good,
         )
     });
     Ok((server, watcher))
@@ -508,6 +577,54 @@ mod tests {
         );
         server.shutdown();
         let _ = std::fs::remove_file(&model_path);
+    }
+
+    #[test]
+    fn checkpointed_train_is_deterministic_and_clears_its_slots() {
+        let mut data = Vec::new();
+        generate(0.004, 9, &mut data).unwrap();
+        let dir = std::env::temp_dir().join(format!("cats_cli_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = cats_io::CheckpointStore::open(&dir).unwrap();
+        let (a, _) =
+            train_checkpointed(&mut BufReader::new(data.as_slice()), 0.5, 9, Some(&store))
+                .unwrap();
+        assert!(store.load("w2v").is_none(), "w2v slot cleared on success");
+        assert!(store.load("gbt").is_none(), "gbt slot cleared on success");
+        let (b, _) =
+            train_checkpointed(&mut BufReader::new(data.as_slice()), 0.5, 9, Some(&store))
+                .unwrap();
+        assert_eq!(a, b, "checkpointed training is deterministic");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_falls_back_to_last_good_when_primary_is_corrupt() {
+        let mut data = Vec::new();
+        generate(0.004, 9, &mut data).unwrap();
+        let (model, _) = train(&mut BufReader::new(data.as_slice()), 0.5, 9).unwrap();
+        let dir = std::env::temp_dir().join(format!("cats_cli_lg_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.json");
+        // A seeded mirror plus a torn primary: exactly the post-crash
+        // state the fallback exists for.
+        std::fs::write(dir.join("last_good.snapshot"), &model).unwrap();
+        std::fs::write(&model_path, &model[..model.len() / 3]).unwrap();
+
+        let opts = ServeOpts {
+            addr: "127.0.0.1:0".into(),
+            model_path: model_path.display().to_string(),
+            checkpoint_dir: Some(dir.display().to_string()),
+            ..ServeOpts::default()
+        };
+        let (server, watcher) = start_server(&opts).expect("must serve the last-good mirror");
+        assert!(watcher.is_none());
+        server.shutdown();
+
+        // Without a checkpoint dir the same torn primary refuses to start.
+        let opts = ServeOpts { checkpoint_dir: None, ..opts };
+        assert!(start_server(&opts).is_err(), "no mirror, no fallback");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

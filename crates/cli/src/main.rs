@@ -6,7 +6,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cats-cli generate --scale <f64> --seed <u64>            (JSONL to stdout)\n  cats-cli crawl    --scale <f64> --seed <u64> [--faults <0..1>]  (JSONL to stdout)\n  cats-cli train    --input <jsonl> --model <out.json> [--threshold <f64>] [--seed <u64>] [--metrics-out <json>]\n  cats-cli detect   --model <json> --input <jsonl> [--metrics-out <json>]  (reports to stdout)\n  cats-cli serve    --model <json> [--addr <host:port>] [--watch] [--max-batch <n>] [--max-delay-ms <n>] [--queue <n>] [--workers <n>]\n  cats-cli score    --input <jsonl> [--addr <host:port>]  (reports to stdout)\n  cats-cli analyze  --reports <jsonl> --labeled <jsonl>\n  cats-cli metrics  --profile <json>                      (pretty-print a RunProfile)"
+        "usage:\n  cats-cli generate --scale <f64> --seed <u64>            (JSONL to stdout)\n  cats-cli crawl    --scale <f64> --seed <u64> [--faults <0..1>]  (JSONL to stdout)\n  cats-cli train    --input <jsonl> --model <out.json> [--threshold <f64>] [--seed <u64>] [--metrics-out <json>] [--checkpoint-dir <dir>] [--resume]\n  cats-cli detect   --model <json> --input <jsonl> [--metrics-out <json>]  (reports to stdout)\n  cats-cli serve    --model <json> [--addr <host:port>] [--watch] [--max-batch <n>] [--max-delay-ms <n>] [--queue <n>] [--workers <n>] [--checkpoint-dir <dir>]\n  cats-cli score    --input <jsonl> [--addr <host:port>]  (reports to stdout)\n  cats-cli analyze  --reports <jsonl> --labeled <jsonl>\n  cats-cli metrics  --profile <json>                      (pretty-print a RunProfile)"
     );
     ExitCode::from(2)
 }
@@ -88,11 +88,29 @@ fn run() -> Result<(), String> {
             let model_path = get("model").ok_or("--model is required")?;
             let threshold = parse_f64("threshold", 0.5)?;
             let seed = parse_u64("seed", 0xCA75)?;
+            let resume = flags.contains_key("resume");
+            let ckpt_dir = get("checkpoint-dir");
+            if resume && ckpt_dir.is_none() {
+                return Err("--resume requires --checkpoint-dir".into());
+            }
+            let store = ckpt_dir
+                .map(cats_io::CheckpointStore::open)
+                .transpose()
+                .map_err(|e| e.to_string())?;
+            if let (Some(store), false) = (&store, resume) {
+                // A fresh (non-resume) run must not silently pick up
+                // checkpoints left by an earlier, possibly killed run.
+                store.clear_all();
+            }
             let (result, profile) = cats_cli::commands::profiled("cats-cli train", || {
-                cats_cli::commands::train(&mut input, threshold, seed)
+                cats_cli::commands::train_checkpointed(&mut input, threshold, seed, store.as_ref())
             });
             let (json, n) = result?;
-            std::fs::write(&model_path, &json).map_err(|e| format!("{model_path}: {e}"))?;
+            // Checksummed + atomic: a kill mid-write leaves either the
+            // old model or none, never a torn file, and serve/detect
+            // verify the checksum before trusting the bytes.
+            cats_io::write_checksummed(std::path::Path::new(&model_path), json.as_bytes())
+                .map_err(|e| e.to_string())?;
             write_metrics(get("metrics-out"), &profile)?;
             eprintln!(
                 "trained on {n} items; model written to {model_path} ({} KiB)",
@@ -102,8 +120,12 @@ fn run() -> Result<(), String> {
         }
         "detect" => {
             let model_path = get("model").ok_or("--model is required")?;
+            // Verifies the checksum on `train` output; legacy raw-JSON
+            // snapshots pass through unchanged.
+            let model_bytes = cats_io::read_checksummed(std::path::Path::new(&model_path))
+                .map_err(|e| e.to_string())?;
             let model =
-                std::fs::read_to_string(&model_path).map_err(|e| format!("{model_path}: {e}"))?;
+                String::from_utf8(model_bytes).map_err(|e| format!("{model_path}: {e}"))?;
             let mut input = open("input")?;
             let stdout = std::io::stdout();
             let mut lock = stdout.lock();
@@ -125,6 +147,7 @@ fn run() -> Result<(), String> {
                 max_delay_ms: parse_u64("max-delay-ms", 10)?,
                 queue_capacity: parse_u64("queue", 256)? as usize,
                 workers: parse_u64("workers", 2)? as usize,
+                checkpoint_dir: get("checkpoint-dir"),
             };
             let (server, _watcher) = cats_cli::commands::start_server(&opts)?;
             eprintln!(
@@ -211,6 +234,38 @@ mod tests {
     fn negative_numbers_are_values_not_flags() {
         let map = parse_flags(&args(&["--shift", "-0.25"])).unwrap();
         assert_eq!(map.get("shift").map(String::as_str), Some("-0.25"));
+    }
+
+    #[test]
+    fn train_resume_and_checkpoint_dir_flags_parse() {
+        let map = parse_flags(&args(&[
+            "--input",
+            "d.jsonl",
+            "--model",
+            "m.json",
+            "--checkpoint-dir",
+            "ckpt",
+            "--resume",
+        ]))
+        .unwrap();
+        assert_eq!(map.get("checkpoint-dir").map(String::as_str), Some("ckpt"));
+        assert_eq!(map.get("resume").map(String::as_str), Some("true"), "--resume is boolean");
+        assert_eq!(map.get("model").map(String::as_str), Some("m.json"));
+    }
+
+    #[test]
+    fn serve_checkpoint_dir_flag_parses_next_to_watch() {
+        // --watch is boolean; it must not swallow --checkpoint-dir.
+        let map = parse_flags(&args(&[
+            "--model",
+            "m.json",
+            "--watch",
+            "--checkpoint-dir",
+            "/tmp/cats-ckpt",
+        ]))
+        .unwrap();
+        assert_eq!(map.get("watch").map(String::as_str), Some("true"));
+        assert_eq!(map.get("checkpoint-dir").map(String::as_str), Some("/tmp/cats-ckpt"));
     }
 
     #[test]

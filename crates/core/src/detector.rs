@@ -74,6 +74,23 @@ pub struct DetectionReport {
     pub features: Option<FeatureVector>,
 }
 
+/// Builds the training [`Dataset`] the stage-2 classifier fits on: the
+/// finite feature rows of `rows`, with non-finite rows (degraded input
+/// that slipped past upstream cleaning) dropped. This is exactly the
+/// cleaning [`Detector::fit_features`] applies — exposed so callers that
+/// fit a concrete classifier out-of-band (the resumable training path)
+/// see the same data the detector would.
+pub fn training_dataset(rows: &[FeatureVector], labels: &[u8]) -> Dataset {
+    assert_eq!(rows.len(), labels.len(), "rows/labels mismatch");
+    let mut data = Dataset::new(N_FEATURES);
+    for (r, &l) in rows.iter().zip(labels) {
+        if r.is_finite() {
+            data.push(r.as_slice(), l);
+        }
+    }
+    data
+}
+
 /// The CATS detector: rule filter + trained classifier.
 pub struct Detector {
     config: DetectorConfig,
@@ -151,13 +168,7 @@ impl Detector {
     /// # Panics
     /// Panics if no finite rows remain.
     pub fn fit_features(&mut self, rows: &[FeatureVector], labels: &[u8]) {
-        assert_eq!(rows.len(), labels.len(), "rows/labels mismatch");
-        let mut data = Dataset::new(N_FEATURES);
-        for (r, &l) in rows.iter().zip(labels) {
-            if r.is_finite() {
-                data.push(r.as_slice(), l);
-            }
-        }
+        let data = training_dataset(rows, labels);
         assert!(!data.is_empty(), "no finite training rows");
         self.classifier.fit(&data);
         self.fitted = true;

@@ -31,7 +31,8 @@ pub mod semantic;
 pub use detector::{DetectionReport, Detector, DetectorConfig, FilterDecision};
 pub use features::{FeatureVector, ItemComments, FEATURE_NAMES, N_FEATURES};
 pub use pipeline::{
-    CatsPipeline, EvaluationSlices, PipelineConfig, PipelineSnapshot, SNAPSHOT_FORMAT_VERSION,
+    CatsPipeline, EvaluationSlices, PersistError, PipelineConfig, PipelineSnapshot,
+    SNAPSHOT_FORMAT_VERSION,
 };
 pub use report::{DataHealth, DetectionSummary};
 pub use semantic::{SemanticAnalyzer, SemanticConfig};

@@ -14,6 +14,7 @@ use cats_ml::metrics::BinaryMetrics;
 use cats_ml::Classifier;
 use cats_par::Parallelism;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Pipeline construction knobs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -79,6 +80,113 @@ impl CatsPipeline {
         let items: Vec<&ItemComments> = training_items.iter().map(|l| &l.comments).collect();
         let labels: Vec<u8> = training_items.iter().map(|l| l.label).collect();
         detector.fit(&items, &labels, &analyzer);
+        Self { analyzer, detector }
+    }
+
+    /// [`CatsPipeline::train`] with crash recovery. Long-running stages
+    /// checkpoint into `store` as they complete — word2vec epochs under
+    /// `"w2v"`, the finished analyzer under `"analyzer"`, GBT boosting
+    /// rounds under `"gbt"` — so a rerun with the same inputs, config and
+    /// store resumes after the last checkpoint instead of starting over.
+    /// Every stage is deterministic, so the resumed model is
+    /// bit-identical to one trained without interruption. Checkpoints
+    /// from different inputs or configs are detected by fingerprint and
+    /// ignored; all slots are cleared once training completes.
+    ///
+    /// A custom `classifier` trains without round-level checkpoints (the
+    /// `Classifier` trait has no checkpoint hook); the analyzer stages
+    /// still resume.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_resumable(
+        corpus_texts: &[&str],
+        positive_seeds: &[String],
+        negative_seeds: &[String],
+        sentiment_positive: &[&str],
+        sentiment_negative: &[&str],
+        training_items: &[LabeledItem],
+        classifier: Option<Box<dyn Classifier>>,
+        config: PipelineConfig,
+        store: &cats_io::CheckpointStore,
+    ) -> Self {
+        let _span = cats_obs::span!("cats.core.pipeline.train", { training_items.len() });
+        let semantic = SemanticConfig { parallelism: config.parallelism, ..config.semantic };
+        let detector_cfg = DetectorConfig { parallelism: config.parallelism, ..config.detector };
+        let fp = train_fingerprint(
+            corpus_texts,
+            positive_seeds,
+            negative_seeds,
+            sentiment_positive,
+            sentiment_negative,
+            training_items,
+            &config,
+        );
+
+        let analyzer = 'analyzer: {
+            if let Some(bytes) = store.load("analyzer") {
+                match serde_json::from_slice::<AnalyzerCheckpoint>(&bytes) {
+                    Ok(c) if c.fingerprint == fp => {
+                        cats_obs::counter("cats.core.train.resumed_stages").inc();
+                        // The finished analyzer supersedes any epoch-level
+                        // word2vec state.
+                        store.clear("w2v");
+                        break 'analyzer c.analyzer;
+                    }
+                    _ => {
+                        cats_obs::counter("cats.core.train.ckpt_rejected").inc();
+                        eprintln!("cats-core: ignoring mismatched analyzer checkpoint");
+                    }
+                }
+            }
+            let analyzer = SemanticAnalyzer::train_checkpointed(
+                corpus_texts,
+                positive_seeds,
+                negative_seeds,
+                sentiment_positive,
+                sentiment_negative,
+                semantic,
+                store,
+            );
+            let state = AnalyzerCheckpoint { fingerprint: fp, analyzer };
+            match serde_json::to_vec(&state) {
+                Ok(bytes) => {
+                    if let Err(e) = store.save("analyzer", &bytes) {
+                        eprintln!("cats-core: analyzer checkpoint save failed: {e}");
+                    }
+                }
+                Err(e) => eprintln!("cats-core: analyzer checkpoint encode failed: {e}"),
+            }
+            state.analyzer
+        };
+
+        let items: Vec<&ItemComments> = training_items.iter().map(|l| &l.comments).collect();
+        let labels: Vec<u8> = training_items.iter().map(|l| l.label).collect();
+        let detector = match classifier {
+            Some(c) => {
+                let mut d = Detector::new(detector_cfg, c);
+                d.fit(&items, &labels, &analyzer);
+                d
+            }
+            None => {
+                // The default-GBT path fits the concrete model directly so
+                // boosting rounds can checkpoint; the dataset cleaning is
+                // shared with Detector::fit_features via training_dataset.
+                let rows = crate::features::extract_batch(
+                    &items,
+                    &analyzer,
+                    detector_cfg.parallelism.threads,
+                );
+                let data = crate::detector::training_dataset(&rows, &labels);
+                assert!(!data.is_empty(), "no finite training rows");
+                let mut gbt = cats_ml::gbt::GradientBoostedTrees::new(
+                    cats_ml::gbt::GbtConfig::default(),
+                );
+                gbt.fit_checkpointed(&data, store, "gbt", GBT_CKPT_EVERY);
+                let mut d = Detector::new(detector_cfg, Box::new(gbt));
+                d.mark_fitted();
+                d
+            }
+        };
+        store.clear_all();
         Self { analyzer, detector }
     }
 
@@ -251,6 +359,95 @@ pub fn calibrate_precision_threshold(
     best_fallback.1
 }
 
+/// Boosting rounds between GBT checkpoints in
+/// [`CatsPipeline::train_resumable`].
+const GBT_CKPT_EVERY: usize = 10;
+
+/// Persisted completed-analyzer stage of a resumable training run.
+#[derive(Serialize, Deserialize)]
+struct AnalyzerCheckpoint {
+    /// [`train_fingerprint`] of the run that produced it.
+    fingerprint: u32,
+    analyzer: SemanticAnalyzer,
+}
+
+fn digest_texts(acc: &mut String, label: &str, texts: &[&str]) {
+    use std::fmt::Write as _;
+    let _ = write!(acc, "{label}:{}:", texts.len());
+    for t in texts {
+        let _ = write!(acc, "{:08x},", cats_io::crc32(t.as_bytes()));
+    }
+}
+
+/// Fingerprint tying resumable-training checkpoints to one (inputs,
+/// config) pair: CRCs of every input text, the training labels and
+/// tokens, and the full config (`Debug` form — conservative: any config
+/// change, including parallelism, restarts stage training; the w2v and
+/// gbt stage checkpoints carry their own thread-count-independent
+/// fingerprints).
+fn train_fingerprint(
+    corpus_texts: &[&str],
+    positive_seeds: &[String],
+    negative_seeds: &[String],
+    sentiment_positive: &[&str],
+    sentiment_negative: &[&str],
+    training_items: &[LabeledItem],
+    config: &PipelineConfig,
+) -> u32 {
+    use std::fmt::Write as _;
+    let mut acc = String::new();
+    digest_texts(&mut acc, "corpus", corpus_texts);
+    let pos: Vec<&str> = positive_seeds.iter().map(String::as_str).collect();
+    let neg: Vec<&str> = negative_seeds.iter().map(String::as_str).collect();
+    digest_texts(&mut acc, "pos_seeds", &pos);
+    digest_texts(&mut acc, "neg_seeds", &neg);
+    digest_texts(&mut acc, "sent_pos", sentiment_positive);
+    digest_texts(&mut acc, "sent_neg", sentiment_negative);
+    let _ = write!(acc, "items:{}:", training_items.len());
+    for it in training_items {
+        let mut item_acc = String::new();
+        for toks in &it.comments.tokens {
+            for t in toks {
+                item_acc.push_str(t);
+                item_acc.push('\x1f');
+            }
+            item_acc.push('\x1e');
+        }
+        let _ = write!(acc, "{}@{:08x},", it.label, cats_io::crc32(item_acc.as_bytes()));
+    }
+    let _ = write!(acc, "config:{config:?}");
+    cats_io::crc32(acc.as_bytes())
+}
+
+/// Why loading or saving a persisted pipeline snapshot failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The file could not be read or written, was empty, truncated, or
+    /// failed its checksum — see [`cats_io::IoError`] for the exact
+    /// corruption class.
+    Io(cats_io::IoError),
+    /// The payload was intact on disk but is not a valid snapshot (bad
+    /// JSON, non-UTF-8 bytes, or an unsupported format version).
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "{e}"),
+            Self::Format(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<cats_io::IoError> for PersistError {
+    fn from(e: cats_io::IoError) -> Self {
+        Self::Io(e)
+    }
+}
+
 /// Newest snapshot format this build writes (and the highest it reads).
 ///
 /// History:
@@ -302,6 +499,30 @@ impl PipelineSnapshot {
             ));
         }
         Ok(snap)
+    }
+
+    /// Writes the snapshot to `path` atomically (temp file + fsync +
+    /// rename) with a CRC32 header, so a crash mid-write leaves the
+    /// previous file intact and any later corruption — truncation, torn
+    /// rewrite, bit flips — is detected at load instead of producing a
+    /// silently wrong model.
+    pub fn save(&self, path: &Path) -> Result<(), PersistError> {
+        let json = self.to_json().map_err(PersistError::Format)?;
+        cats_io::write_checksummed(path, json.as_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a snapshot written by [`PipelineSnapshot::save`], verifying
+    /// its checksum; files without the checksum header (pre-cats-io
+    /// snapshots, or hand-written JSON) are accepted verbatim for
+    /// backward compatibility. Never panics and never yields a
+    /// half-loaded model: every corruption class surfaces as a typed
+    /// [`PersistError`].
+    pub fn load(path: &Path) -> Result<Self, PersistError> {
+        let bytes = cats_io::read_checksummed(path)?;
+        let json = String::from_utf8(bytes)
+            .map_err(|e| PersistError::Format(format!("model: snapshot is not UTF-8: {e}")))?;
+        Self::from_json(&json).map_err(PersistError::Format)
     }
 }
 
@@ -513,5 +734,58 @@ mod tests {
         let reports = p.detect(&items, &[1]);
         assert_eq!(reports[0].filter, FilterDecision::FilteredLowSales);
         assert!(!reports[0].is_fraud);
+    }
+
+    #[test]
+    fn train_resumable_survives_kill_and_matches_uninterrupted() {
+        let texts = corpus();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let mut training = Vec::new();
+        for i in 0..30 {
+            training.push(LabeledItem { comments: fraud_item(i), label: 1 });
+            training.push(LabeledItem { comments: normal_item(i), label: 0 });
+        }
+        let dir = std::env::temp_dir().join(format!("cats_pipeline_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = cats_io::CheckpointStore::open(&dir).expect("open checkpoint store");
+        let run = |store: &cats_io::CheckpointStore| {
+            CatsPipeline::train_resumable(
+                &refs,
+                &["hao0".to_string()],
+                &["cha0".to_string()],
+                &["hao0 zan0 bang0 hao1", "zan1 hao2 bang1"],
+                &["cha0 lan0 huai0", "lan1 cha2 huai2"],
+                &training,
+                None,
+                PipelineConfig::default(),
+                store,
+            )
+        };
+
+        let uninterrupted = run(&store);
+
+        // Kill the second run mid-word2vec (after its 2nd epoch save),
+        // then resume; the result must match bit for bit.
+        store.kill_after_saves(2);
+        let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&store)));
+        assert!(killed.is_err(), "simulated kill fires");
+        let resumed = run(&store);
+
+        assert_eq!(
+            serde_json::to_string(uninterrupted.analyzer()).unwrap(),
+            serde_json::to_string(resumed.analyzer()).unwrap(),
+            "resumed analyzer must be byte-identical"
+        );
+        let items = vec![fraud_item(77), normal_item(77), fraud_item(5)];
+        let a = uninterrupted.detect(&items, &[50, 50, 50]);
+        let b = resumed.detect(&items, &[50, 50, 50]);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "scores must be bit-identical");
+            assert_eq!(x.is_fraud, y.is_fraud);
+        }
+        // The store is fully drained after a successful run.
+        assert!(store.load("w2v").is_none());
+        assert!(store.load("analyzer").is_none());
+        assert!(store.load("gbt").is_none());
     }
 }

@@ -53,6 +53,54 @@ impl SemanticAnalyzer {
         sentiment_negative: &[&str],
         config: SemanticConfig,
     ) -> Self {
+        Self::train_impl(
+            comment_texts,
+            positive_seeds,
+            negative_seeds,
+            sentiment_positive,
+            sentiment_negative,
+            config,
+            None,
+        )
+    }
+
+    /// [`SemanticAnalyzer::train`] with crash recovery: the word2vec
+    /// epochs — by far the dominant training cost — checkpoint into
+    /// `store` under the `"w2v"` stage, so a rerun after a crash resumes
+    /// from the last completed epoch. Checkpointed word2vec always runs
+    /// the deterministic sharded schedule (see
+    /// [`Word2VecTrainer::train_checkpointed`]); everything downstream of
+    /// the embedding is deterministic, so an interrupted-and-resumed
+    /// analyzer is bit-identical to an uninterrupted checkpointed one.
+    pub fn train_checkpointed(
+        comment_texts: &[&str],
+        positive_seeds: &[String],
+        negative_seeds: &[String],
+        sentiment_positive: &[&str],
+        sentiment_negative: &[&str],
+        config: SemanticConfig,
+        store: &cats_io::CheckpointStore,
+    ) -> Self {
+        Self::train_impl(
+            comment_texts,
+            positive_seeds,
+            negative_seeds,
+            sentiment_positive,
+            sentiment_negative,
+            config,
+            Some(store),
+        )
+    }
+
+    fn train_impl(
+        comment_texts: &[&str],
+        positive_seeds: &[String],
+        negative_seeds: &[String],
+        sentiment_positive: &[&str],
+        sentiment_negative: &[&str],
+        config: SemanticConfig,
+        ckpt: Option<&cats_io::CheckpointStore>,
+    ) -> Self {
         let _span = cats_obs::span!("cats.core.train");
         let seg = WhitespaceSegmenter;
         let par = config.parallelism;
@@ -64,7 +112,11 @@ impl SemanticAnalyzer {
         let embedding = {
             let _embed_span = cats_obs::span!("cats.core.train.embed", { comment_texts.len() });
             let w2v = Word2VecConfig { parallelism: par, ..config.word2vec };
-            Word2VecTrainer::new(w2v).train(&corpus)
+            let trainer = Word2VecTrainer::new(w2v);
+            match ckpt {
+                Some(store) => trainer.train_checkpointed(&corpus, store, "w2v"),
+                None => trainer.train(&corpus),
+            }
         };
         let lexicon = {
             let _expand_span = cats_obs::span!("cats.core.train.expand");

@@ -217,6 +217,31 @@ impl Word2VecTrainer {
 
     /// Trains on `corpus` and returns the embedding.
     pub fn train(&self, corpus: &Corpus) -> Embedding {
+        self.train_impl(corpus, None)
+    }
+
+    /// Trains on `corpus` with crash recovery: after every epoch the
+    /// weights are checkpointed into `store` under `stage`, and a rerun
+    /// after a crash resumes from the last completed epoch instead of
+    /// epoch zero. Because per-epoch state is only well defined under the
+    /// deterministic sharded schedule (per-`(epoch, shard)` RNG streams —
+    /// the serial schedule threads one RNG across all epochs, and Hogwild
+    /// is racy), this entry point always runs that schedule, regardless
+    /// of corpus size or the `deterministic` flag. The result is
+    /// therefore bit-identical whether training ran straight through or
+    /// was killed and resumed any number of times. The checkpoint is
+    /// cleared on successful completion; a checkpoint whose config or
+    /// corpus fingerprint does not match is ignored.
+    pub fn train_checkpointed(
+        &self,
+        corpus: &Corpus,
+        store: &cats_io::CheckpointStore,
+        stage: &str,
+    ) -> Embedding {
+        self.train_impl(corpus, Some((store, stage)))
+    }
+
+    fn train_impl(&self, corpus: &Corpus, ckpt: Option<(&cats_io::CheckpointStore, &str)>) -> Embedding {
         let _span = cats_obs::span!("cats.embedding.w2v.train", { corpus.len() });
         let cfg = self.config;
         let vocab = corpus.vocab();
@@ -254,8 +279,12 @@ impl Word2VecTrainer {
             total_tokens: (corpus.token_count() * cfg.epochs).max(1) as f64,
         };
         let threads = cfg.parallelism.resolved_threads();
-        if cfg.parallelism.deterministic && corpus.len() >= DET_MIN_SENTENCES {
-            train_sharded(&ctx, corpus, &mut syn0, &mut syn1);
+        if ckpt.is_some() {
+            // Checkpointed training is pinned to the sharded schedule (see
+            // `train_checkpointed`), whatever the corpus size.
+            train_sharded(&ctx, corpus, &mut syn0, &mut syn1, ckpt);
+        } else if cfg.parallelism.deterministic && corpus.len() >= DET_MIN_SENTENCES {
+            train_sharded(&ctx, corpus, &mut syn0, &mut syn1, None);
         } else if !cfg.parallelism.deterministic && threads > 1 && corpus.len() >= threads {
             train_hogwild(&ctx, corpus, &mut syn0, &mut syn1, threads);
         } else {
@@ -470,12 +499,59 @@ fn record_epoch(residual: f64, pairs: u64) {
     }
 }
 
+/// Persisted end-of-epoch state of a checkpointed sharded run. The
+/// weights after epoch `e` are a pure function of (corpus, config), so
+/// restoring them and continuing from epoch `e + 1` reproduces an
+/// uninterrupted run bit for bit (serde_json round-trips `f32` exactly).
+#[derive(Serialize, Deserialize)]
+struct EpochCheckpoint {
+    /// CRC over the training config and corpus shape; a mismatch means
+    /// the checkpoint belongs to some other run and must be ignored.
+    fingerprint: u32,
+    /// Epochs fully completed (resume starts at this epoch index).
+    epochs_done: usize,
+    syn0: Vec<f32>,
+    syn1: Vec<f32>,
+}
+
+/// Fingerprint tying a checkpoint to one (config, corpus) pair. The
+/// parallelism knob is deliberately excluded: the sharded schedule's
+/// result does not depend on the thread count, so a resume may legally
+/// use a different one.
+fn ckpt_fingerprint(cfg: &Word2VecConfig, corpus: &Corpus) -> u32 {
+    let desc = format!(
+        "w2v dim={} window={} negative={} epochs={} lr={} subsample={} min_count={} seed={} \
+         sentences={} tokens={}",
+        cfg.dim,
+        cfg.window,
+        cfg.negative,
+        cfg.epochs,
+        cfg.initial_lr,
+        cfg.subsample,
+        cfg.min_count,
+        cfg.seed,
+        corpus.len(),
+        corpus.token_count()
+    );
+    cats_io::crc32(desc.as_bytes())
+}
+
 /// Deterministic sharded schedule: per epoch, every shard trains a private
 /// copy of the epoch snapshot over its contiguous sentence range, then the
 /// shard deltas (`trained − snapshot`) merge back in fixed shard order
 /// behind the barrier. A pure function of (corpus, config) — the thread
 /// count only changes wall-clock time, never the vectors.
-fn train_sharded(ctx: &TrainCtx<'_>, corpus: &Corpus, syn0: &mut [f32], syn1: &mut [f32]) {
+///
+/// With `ckpt` set, the end-of-epoch weights are persisted after every
+/// epoch and a valid checkpoint found at entry skips its completed
+/// epochs; the slot is cleared once the final epoch lands.
+fn train_sharded(
+    ctx: &TrainCtx<'_>,
+    corpus: &Corpus,
+    syn0: &mut [f32],
+    syn1: &mut [f32],
+    ckpt: Option<(&cats_io::CheckpointStore, &str)>,
+) {
     let cfg = ctx.cfg;
     let sents = corpus.sentences();
     let n_sent = sents.len();
@@ -491,7 +567,31 @@ fn train_sharded(ctx: &TrainCtx<'_>, corpus: &Corpus, syn0: &mut [f32], syn1: &m
         acc += sents[lo..hi].iter().map(|t| t.len() as u64).sum::<u64>();
     }
 
-    for epoch in 0..cfg.epochs {
+    let fingerprint = ckpt.map(|_| ckpt_fingerprint(&cfg, corpus));
+    let mut start_epoch = 0usize;
+    if let (Some((store, stage)), Some(fp)) = (ckpt, fingerprint) {
+        if let Some(bytes) = store.load(stage) {
+            match serde_json::from_slice::<EpochCheckpoint>(&bytes) {
+                Ok(c)
+                    if c.fingerprint == fp
+                        && c.epochs_done <= cfg.epochs
+                        && c.syn0.len() == syn0.len()
+                        && c.syn1.len() == syn1.len() =>
+                {
+                    syn0.copy_from_slice(&c.syn0);
+                    syn1.copy_from_slice(&c.syn1);
+                    start_epoch = c.epochs_done;
+                    cats_obs::counter("cats.embedding.w2v.resumed_epochs").add(start_epoch as u64);
+                }
+                _ => {
+                    cats_obs::counter("cats.embedding.w2v.ckpt_rejected").inc();
+                    eprintln!("cats-embedding: ignoring mismatched w2v checkpoint ({stage})");
+                }
+            }
+        }
+    }
+
+    for epoch in start_epoch..cfg.epochs {
         let epoch_span = cats_obs::span!("cats.embedding.w2v.epoch");
         let snap0 = syn0.to_vec();
         let snap1 = syn1.to_vec();
@@ -532,7 +632,28 @@ fn train_sharded(ctx: &TrainCtx<'_>, corpus: &Corpus, syn0: &mut [f32], syn1: &m
             epoch_pairs += pairs;
         }
         record_epoch(epoch_residual, epoch_pairs);
+        if let (Some((store, stage)), Some(fp)) = (ckpt, fingerprint) {
+            let state = EpochCheckpoint {
+                fingerprint: fp,
+                epochs_done: epoch + 1,
+                syn0: syn0.to_vec(),
+                syn1: syn1.to_vec(),
+            };
+            match serde_json::to_vec(&state) {
+                // A failed save costs the resume point, not the training
+                // run; the next epoch's save retries from scratch.
+                Ok(bytes) => {
+                    if let Err(e) = store.save(stage, &bytes) {
+                        eprintln!("cats-embedding: w2v checkpoint save failed ({stage}): {e}");
+                    }
+                }
+                Err(e) => eprintln!("cats-embedding: w2v checkpoint encode failed ({stage}): {e}"),
+            }
+        }
         drop(epoch_span);
+    }
+    if let Some((store, stage)) = ckpt {
+        store.clear(stage);
     }
 }
 
@@ -855,5 +976,84 @@ mod tests {
     #[should_panic(expected = "dim must be positive")]
     fn zero_dim_rejected() {
         Word2VecTrainer::new(Word2VecConfig { dim: 0, ..Word2VecConfig::default() });
+    }
+
+    fn ckpt_store(name: &str) -> cats_io::CheckpointStore {
+        let dir =
+            std::env::temp_dir().join(format!("cats_w2v_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        cats_io::CheckpointStore::open(&dir).expect("open checkpoint store")
+    }
+
+    #[test]
+    fn checkpointed_is_deterministic_and_clears_its_slot() {
+        let corpus = clustered_corpus(60);
+        let cfg = Word2VecConfig { parallelism: Parallelism::serial(), ..small_cfg() };
+        let store = ckpt_store("clean");
+        let baseline = Word2VecTrainer::new(cfg).train_checkpointed(&corpus, &store, "w2v");
+        // Slot must be gone after a completed run.
+        assert!(store.load("w2v").is_none(), "checkpoint cleared on completion");
+        let again = Word2VecTrainer::new(cfg).train_checkpointed(&corpus, &store, "w2v");
+        assert_eq!(baseline.vector("apple"), again.vector("apple"));
+        assert_eq!(baseline.vector("bolt"), again.vector("bolt"));
+        assert!(baseline.vector("apple").is_some());
+    }
+
+    #[test]
+    fn killed_run_resumes_bit_identical() {
+        let corpus = clustered_corpus(60);
+        let cfg = Word2VecConfig { parallelism: Parallelism::serial(), ..small_cfg() };
+        let trainer = Word2VecTrainer::new(cfg);
+        let store = ckpt_store("kill");
+
+        let uninterrupted = trainer.train_checkpointed(&corpus, &store, "w2v");
+        assert!(store.load("w2v").is_none());
+
+        // Kill the run right after the third epoch checkpoint lands.
+        store.kill_after_saves(3);
+        let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            trainer.train_checkpointed(&corpus, &store, "w2v")
+        }));
+        assert!(killed.is_err(), "simulated kill fires");
+        assert!(store.load("w2v").is_some(), "a valid checkpoint survives the kill");
+
+        let before = cats_obs::counter("cats.embedding.w2v.resumed_epochs").get();
+        let resumed = trainer.train_checkpointed(&corpus, &store, "w2v");
+        assert!(
+            cats_obs::counter("cats.embedding.w2v.resumed_epochs").get() > before,
+            "resume actually skipped completed epochs"
+        );
+        for word in ["apple", "pear", "bolt", "nut"] {
+            assert_eq!(
+                uninterrupted.vector(word),
+                resumed.vector(word),
+                "resumed weights must be bit-identical for {word}"
+            );
+        }
+        assert!(store.load("w2v").is_none(), "checkpoint cleared after resume completes");
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_ignored() {
+        let corpus = clustered_corpus(60);
+        let cfg = Word2VecConfig { parallelism: Parallelism::serial(), ..small_cfg() };
+        let store = ckpt_store("mismatch");
+
+        // Leave a checkpoint behind from a run with a different seed.
+        let other = Word2VecConfig { seed: 999, ..cfg };
+        store.kill_after_saves(2);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Word2VecTrainer::new(other).train_checkpointed(&corpus, &store, "w2v")
+        }));
+        assert!(store.load("w2v").is_some());
+
+        let clean = Word2VecTrainer::new(cfg).train_checkpointed(&corpus, &store, "w2v");
+        let store2 = ckpt_store("mismatch_fresh");
+        let fresh = Word2VecTrainer::new(cfg).train_checkpointed(&corpus, &store2, "w2v");
+        assert_eq!(
+            clean.vector("apple"),
+            fresh.vector("apple"),
+            "a foreign checkpoint must not leak into the run"
+        );
     }
 }

@@ -1,0 +1,456 @@
+//! # cats-io — crash-safe persistence primitives
+//!
+//! Everything downstream of the crawler writes model state to disk at
+//! some point: `cats-cli train` emits pipeline snapshots, the serving
+//! watcher copies last-good models aside, and resumable training drops
+//! epoch/round checkpoints. A host crash in the middle of any of those
+//! writes must never leave a file that *parses but lies* — a torn JSON
+//! snapshot that deserializes into half a model is strictly worse than a
+//! missing file. This crate is the single choke point those writes go
+//! through (DESIGN.md §10):
+//!
+//! 1. [`atomic_write`] — write to a same-directory temp file, `fsync`,
+//!    then `rename` over the destination. Readers observe either the old
+//!    bytes or the new bytes, never a prefix.
+//! 2. [`write_checksummed`] / [`read_checksummed`] — a one-line header
+//!    (`CATS-IO1 <crc32> <len>`) in front of the payload so truncation,
+//!    bit flips and zero-length files are *detected* at load with a typed
+//!    [`IoError`], not discovered later as a half-loaded model. Files
+//!    without the magic are returned verbatim (legacy raw-JSON snapshots
+//!    keep loading).
+//! 3. [`CheckpointStore`] — named checkpoint slots for resumable
+//!    training ("latest valid checkpoint" semantics: a corrupt slot
+//!    reads as absent, because rename atomicity guarantees the previous
+//!    good generation was replaced wholesale or not at all).
+//!
+//! Zero third-party dependencies; the CRC32 (IEEE/zlib polynomial) is
+//! hand-rolled with a compile-time table.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// File-format magic of checksummed payloads, ending the header fields.
+const MAGIC: &[u8] = b"CATS-IO1 ";
+
+/// What went wrong reading or writing a persisted file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// Underlying filesystem error (open/write/fsync/rename).
+    Io(String),
+    /// The file exists but holds zero bytes — a classic torn
+    /// `create`-then-crash artifact.
+    Empty {
+        /// Offending file.
+        path: String,
+    },
+    /// The checksummed header is present but malformed.
+    BadHeader {
+        /// Offending file.
+        path: String,
+        /// Why the header did not parse.
+        reason: String,
+    },
+    /// The payload is shorter or longer than the header declared —
+    /// truncation (or concatenation) in flight.
+    LengthMismatch {
+        /// Offending file.
+        path: String,
+        /// Length the header declared.
+        expected: u64,
+        /// Length actually present.
+        actual: u64,
+    },
+    /// The payload length matches but its CRC32 does not — bit rot or a
+    /// corrupting writer.
+    ChecksumMismatch {
+        /// Offending file.
+        path: String,
+        /// Checksum the header declared.
+        expected: u32,
+        /// Checksum of the bytes actually present.
+        actual: u32,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io: {e}"),
+            Self::Empty { path } => write!(f, "{path}: empty file"),
+            Self::BadHeader { path, reason } => write!(f, "{path}: bad header: {reason}"),
+            Self::LengthMismatch { path, expected, actual } => {
+                write!(f, "{path}: truncated payload: expected {expected} bytes, found {actual}")
+            }
+            Self::ChecksumMismatch { path, expected, actual } => {
+                write!(f, "{path}: checksum mismatch: expected {expected:08x}, found {actual:08x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// CRC32 lookup table for the reflected IEEE polynomial 0xEDB88320
+/// (the zlib/PNG/gzip CRC), built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes`. Matches zlib's `crc32(0, ...)`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Atomically replaces `path` with `bytes`: writes a same-directory temp
+/// file, fsyncs it, then renames it over the destination (and fsyncs the
+/// directory on Unix so the rename itself is durable). A crash at any
+/// point leaves either the previous contents or the new contents — never
+/// a prefix, never a mix.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), IoError> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let mut tmp_name = path.file_name().map(|n| n.to_os_string()).ok_or_else(|| {
+        IoError::Io(format!("{}: not a file path", path.display()))
+    })?;
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = dir.join(tmp_name);
+    let write = |tmp: &Path| -> std::io::Result<()> {
+        let mut f = File::create(tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        Ok(())
+    };
+    if let Err(e) = write(&tmp) {
+        let _ = fs::remove_file(&tmp);
+        return Err(IoError::Io(format!("{}: {e}", tmp.display())));
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(IoError::Io(format!("rename {} -> {}: {e}", tmp.display(), path.display())));
+    }
+    // Durability of the rename itself: fsync the containing directory.
+    #[cfg(unix)]
+    if let Ok(d) = File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    cats_obs::counter("cats.io.atomic_writes").inc();
+    Ok(())
+}
+
+/// Frames `payload` with a `CATS-IO1 <crc32-hex> <len>\n` header and
+/// writes the result atomically to `path`.
+pub fn write_checksummed(path: &Path, payload: &[u8]) -> Result<(), IoError> {
+    let mut framed = Vec::with_capacity(MAGIC.len() + 32 + payload.len());
+    framed.extend_from_slice(
+        format!("CATS-IO1 {:08x} {}\n", crc32(payload), payload.len()).as_bytes(),
+    );
+    framed.extend_from_slice(payload);
+    atomic_write(path, &framed)
+}
+
+/// Whether `bytes` begin with the checksummed-file magic.
+pub fn is_checksummed(bytes: &[u8]) -> bool {
+    bytes.starts_with(MAGIC)
+}
+
+/// Reads `path` and returns its payload, verifying the checksummed
+/// header when present. Files without the `CATS-IO1` magic are returned
+/// verbatim (legacy format written before checksumming existed) — except
+/// zero-length files, which are always an error: no legacy writer ever
+/// produced one on purpose.
+pub fn read_checksummed(path: &Path) -> Result<Vec<u8>, IoError> {
+    let bytes =
+        fs::read(path).map_err(|e| IoError::Io(format!("{}: {e}", path.display())))?;
+    verify_checksummed(&bytes, &path.display().to_string())
+}
+
+/// [`read_checksummed`] over in-memory bytes (the file already read, e.g.
+/// by a watcher that fingerprinted it first).
+pub fn verify_checksummed(bytes: &[u8], path: &str) -> Result<Vec<u8>, IoError> {
+    if bytes.is_empty() {
+        return Err(IoError::Empty { path: path.to_owned() });
+    }
+    if !is_checksummed(bytes) {
+        return Ok(bytes.to_vec());
+    }
+    let rest = &bytes[MAGIC.len()..];
+    let nl = rest.iter().position(|&b| b == b'\n').ok_or_else(|| IoError::BadHeader {
+        path: path.to_owned(),
+        reason: "unterminated header line".into(),
+    })?;
+    let header = std::str::from_utf8(&rest[..nl]).map_err(|_| IoError::BadHeader {
+        path: path.to_owned(),
+        reason: "non-UTF-8 header".into(),
+    })?;
+    let mut fields = header.split_ascii_whitespace();
+    let expected_crc = fields
+        .next()
+        .and_then(|s| u32::from_str_radix(s, 16).ok())
+        .ok_or_else(|| IoError::BadHeader {
+            path: path.to_owned(),
+            reason: format!("bad crc field in {header:?}"),
+        })?;
+    let expected_len: u64 =
+        fields.next().and_then(|s| s.parse().ok()).ok_or_else(|| IoError::BadHeader {
+            path: path.to_owned(),
+            reason: format!("bad length field in {header:?}"),
+        })?;
+    let payload = &rest[nl + 1..];
+    if payload.len() as u64 != expected_len {
+        return Err(IoError::LengthMismatch {
+            path: path.to_owned(),
+            expected: expected_len,
+            actual: payload.len() as u64,
+        });
+    }
+    let actual_crc = crc32(payload);
+    if actual_crc != expected_crc {
+        return Err(IoError::ChecksumMismatch {
+            path: path.to_owned(),
+            expected: expected_crc,
+            actual: actual_crc,
+        });
+    }
+    Ok(payload.to_vec())
+}
+
+/// Named checkpoint slots backed by checksummed atomic files — one file
+/// per stage under one directory. Because every [`CheckpointStore::save`]
+/// replaces the slot file atomically, the slot always holds the *latest
+/// complete* checkpoint: a kill mid-save leaves the previous good
+/// generation in place. A slot that fails verification (crashed host,
+/// flipped bits) reads as absent, so resumable training falls back to
+/// recomputing the stage rather than trusting damaged state.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    /// Chaos hook: when ≥ 0, each save decrements it and panics once it
+    /// hits zero — simulating a process killed immediately after a
+    /// checkpoint write completes. Used by `exp_soak` and the
+    /// crash-safety tests to interrupt training deterministically.
+    kill_after: AtomicI64,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) the checkpoint directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, IoError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| IoError::Io(format!("{}: {e}", dir.display())))?;
+        Ok(Self { dir, kill_after: AtomicI64::new(-1) })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a stage's slot file.
+    pub fn path(&self, stage: &str) -> PathBuf {
+        self.dir.join(format!("{stage}.ckpt"))
+    }
+
+    /// Arms the chaos kill switch: the `n`-th subsequent save panics
+    /// right after its write completes, simulating a `kill -9` between a
+    /// checkpoint and the next unit of training work.
+    pub fn kill_after_saves(&self, n: u64) {
+        self.kill_after.store(n as i64, Ordering::SeqCst);
+    }
+
+    /// Atomically writes a stage checkpoint.
+    pub fn save(&self, stage: &str, payload: &[u8]) -> Result<(), IoError> {
+        write_checksummed(&self.path(stage), payload)?;
+        cats_obs::counter("cats.io.checkpoint.saves").inc();
+        if self.kill_after.load(Ordering::SeqCst) >= 0
+            && self.kill_after.fetch_sub(1, Ordering::SeqCst) == 1
+        {
+            panic!("cats-io chaos: simulated kill after checkpoint save ({stage})");
+        }
+        Ok(())
+    }
+
+    /// Loads the latest valid checkpoint of a stage. Returns `None` for
+    /// a missing slot *and* for a corrupt one (counted under
+    /// `cats.io.checkpoint.corrupt`): resume must recompute, not trust.
+    pub fn load(&self, stage: &str) -> Option<Vec<u8>> {
+        let path = self.path(stage);
+        if !path.exists() {
+            return None;
+        }
+        match read_checksummed(&path) {
+            Ok(payload) => Some(payload),
+            Err(e) => {
+                cats_obs::counter("cats.io.checkpoint.corrupt").inc();
+                eprintln!("cats-io: discarding corrupt checkpoint {stage}: {e}");
+                None
+            }
+        }
+    }
+
+    /// Removes a stage's slot (training finished; the checkpoint must
+    /// not resurrect into a later, different run).
+    pub fn clear(&self, stage: &str) {
+        let _ = fs::remove_file(self.path(stage));
+    }
+
+    /// Removes every slot in the store.
+    pub fn clear_all(&self) {
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                if entry.path().extension().is_some_and(|e| e == "ckpt") {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("cats_io_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check values (zlib-compatible).
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn checksummed_roundtrip_preserves_payload() {
+        let path = tmp("roundtrip");
+        let payload = b"{\"model\": [1.5, -2.25, 3e-9]}";
+        write_checksummed(&path, payload).unwrap();
+        assert_eq!(read_checksummed(&path).unwrap(), payload);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn legacy_files_pass_through_verbatim() {
+        let path = tmp("legacy");
+        fs::write(&path, b"{\"plain\": \"json\"}").unwrap();
+        assert_eq!(read_checksummed(&path).unwrap(), b"{\"plain\": \"json\"}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_is_detected_with_typed_errors() {
+        let path = tmp("corrupt");
+        let payload = b"0123456789abcdef0123456789abcdef";
+        write_checksummed(&path, payload).unwrap();
+        let good = fs::read(&path).unwrap();
+
+        // Zero-length file.
+        fs::write(&path, b"").unwrap();
+        assert!(matches!(read_checksummed(&path), Err(IoError::Empty { .. })));
+
+        // Truncated payload.
+        fs::write(&path, &good[..good.len() - 5]).unwrap();
+        assert!(matches!(
+            read_checksummed(&path),
+            Err(IoError::LengthMismatch { expected: 32, actual: 27, .. })
+        ));
+
+        // Single flipped bit in the payload.
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        fs::write(&path, &flipped).unwrap();
+        assert!(matches!(read_checksummed(&path), Err(IoError::ChecksumMismatch { .. })));
+
+        // Mangled header.
+        fs::write(&path, b"CATS-IO1 nothex 32\nxxxx").unwrap();
+        assert!(matches!(read_checksummed(&path), Err(IoError::BadHeader { .. })));
+
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_contents() {
+        let path = tmp("replace");
+        atomic_write(&path, b"first generation").unwrap();
+        atomic_write(&path, b"second generation").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second generation");
+        // No temp droppings left behind.
+        let dir = path.parent().unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let leftovers = fs::read_dir(dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| {
+                let n = e.file_name().to_string_lossy().into_owned();
+                n.starts_with(&name) && n != name
+            })
+            .count();
+        assert_eq!(leftovers, 0, "temp file leaked");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_store_saves_loads_and_clears() {
+        let dir = tmp("store");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.load("w2v").is_none(), "missing slot reads as absent");
+        store.save("w2v", b"epoch 3 state").unwrap();
+        assert_eq!(store.load("w2v").unwrap(), b"epoch 3 state");
+        store.save("w2v", b"epoch 4 state").unwrap();
+        assert_eq!(store.load("w2v").unwrap(), b"epoch 4 state", "latest generation wins");
+
+        // Corrupt slot reads as absent, not as an error or stale data.
+        let slot = store.path("w2v");
+        let mut bytes = fs::read(&slot).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&slot, &bytes).unwrap();
+        assert!(store.load("w2v").is_none(), "corrupt checkpoint must be discarded");
+
+        store.save("gbt", b"round 10").unwrap();
+        store.clear("gbt");
+        assert!(store.load("gbt").is_none());
+        store.save("a", b"1").unwrap();
+        store.save("b", b"2").unwrap();
+        store.clear_all();
+        assert!(store.load("a").is_none() && store.load("b").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_switch_panics_after_nth_save() {
+        let dir = tmp("kill");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.kill_after_saves(2);
+        store.save("s", b"one").unwrap();
+        let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.save("s", b"two").unwrap();
+        }));
+        assert!(killed.is_err(), "second save must simulate the kill");
+        // The write itself completed before the simulated kill — exactly
+        // like a real crash after fsync+rename.
+        assert_eq!(store.load("s").unwrap(), b"two");
+        store.save("s", b"three").unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -204,8 +204,29 @@ impl GradientBoostedTrees {
     ) -> usize {
         assert!(patience > 0, "patience must be positive");
         assert!(!valid.is_empty(), "validation set must be non-empty");
-        self.fit_impl(train, Some((valid, patience)));
+        self.fit_impl(train, Some((valid, patience)), None);
         self.trees.len()
+    }
+
+    /// Fits with crash recovery: every `every` completed boosting rounds
+    /// the ensemble state is checkpointed into `store` under `stage`, and
+    /// a rerun after a crash resumes from the last checkpoint instead of
+    /// round zero. Boosting is deterministic given (data, config) — the
+    /// per-round RNG draws depend only on the dataset shape, so a resume
+    /// replays the completed rounds' draws and continues with the RNG
+    /// exactly where an uninterrupted run would have it. The resumed
+    /// model is therefore bit-identical to an uninterrupted fit. The
+    /// checkpoint is cleared on successful completion; one whose config
+    /// or data fingerprint does not match is ignored.
+    pub fn fit_checkpointed(
+        &mut self,
+        data: &Dataset,
+        store: &cats_io::CheckpointStore,
+        stage: &str,
+        every: usize,
+    ) {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        self.fit_impl(data, None, Some((store, stage, every)));
     }
 
     /// Mean log-loss of the current model on `data`.
@@ -219,7 +240,12 @@ impl GradientBoostedTrees {
         sum / data.len() as f64
     }
 
-    fn fit_impl(&mut self, data: &Dataset, early: Option<(&Dataset, usize)>) {
+    fn fit_impl(
+        &mut self,
+        data: &Dataset,
+        early: Option<(&Dataset, usize)>,
+        ckpt: Option<(&cats_io::CheckpointStore, &str, usize)>,
+    ) {
         assert!(!data.is_empty(), "cannot fit GBT on an empty dataset");
         let _span = cats_obs::span!("cats.ml.gbt.fit", { data.len() });
         let cfg = self.config;
@@ -269,11 +295,63 @@ impl GradientBoostedTrees {
         let mut best_round = 0usize;
         let mut rounds_since_best = 0usize;
 
+        // Crash recovery: restore the last valid checkpoint, rebuild the
+        // margins tree by tree (same f64 addition order as the original
+        // rounds), and replay the completed rounds' RNG draws so the
+        // stream continues exactly where an uninterrupted run would be.
+        // `rounds_done` counts loop iterations, not trees: a round whose
+        // subsample comes up empty contributes draws but no tree.
+        let fingerprint = ckpt.map(|_| ckpt_fingerprint(&cfg, data));
+        let mut start_round = 0usize;
+        if let (Some((store, stage, _)), Some(fp)) = (ckpt, fingerprint) {
+            if let Some(bytes) = store.load(stage) {
+                match serde_json::from_slice::<GbtCheckpoint>(&bytes) {
+                    Ok(c)
+                        if c.fingerprint == fp
+                            && c.rounds_done <= cfg.n_trees
+                            && c.trees.len() <= c.rounds_done
+                            && c.split_counts.len() == data.n_features()
+                            && c.gain_sums.len() == data.n_features() =>
+                    {
+                        self.trees = c.trees;
+                        self.base_score = c.base_score;
+                        self.split_counts = c.split_counts;
+                        self.gain_sums = c.gain_sums;
+                        for tree in &self.trees {
+                            let deltas =
+                                cats_par::map_indexed(row_par, n, |i| tree.predict(data.row(i)));
+                            for (m, d) in margins.iter_mut().zip(&deltas) {
+                                *m += d;
+                            }
+                        }
+                        for _ in 0..c.rounds_done {
+                            if cfg.subsample < 1.0 {
+                                for _ in 0..n {
+                                    let _ = rng.random::<f64>();
+                                }
+                            }
+                            if cfg.colsample < 1.0 {
+                                for i in (1..data.n_features()).rev() {
+                                    let _ = rng.random_range(0..=i);
+                                }
+                            }
+                        }
+                        start_round = c.rounds_done;
+                        cats_obs::counter("cats.ml.gbt.resumed_rounds").add(start_round as u64);
+                    }
+                    _ => {
+                        cats_obs::counter("cats.ml.gbt.ckpt_rejected").inc();
+                        eprintln!("cats-ml: ignoring mismatched gbt checkpoint ({stage})");
+                    }
+                }
+            }
+        }
+
         // Per-round training-progress gauge: mean |p − y| is already on
         // hand in the gradient pass, so publishing it costs one add per
         // row and no extra log/exp work.
         let round_err = cats_obs::gauge("cats.ml.gbt.round_mean_abs_grad");
-        for _round in 0..cfg.n_trees {
+        for round in start_round..cfg.n_trees {
             let _round_span = cats_obs::span!("cats.ml.gbt.round");
             let gh = cats_par::map_indexed(row_par, n, |i| {
                 let p = sigmoid(margins[i]);
@@ -347,16 +425,86 @@ impl GradientBoostedTrees {
                     }
                 }
             }
+
+            if let (Some((store, stage, every)), Some(fp)) = (ckpt, fingerprint) {
+                let done = round + 1;
+                if done % every == 0 && done < cfg.n_trees {
+                    let state = GbtCheckpoint {
+                        fingerprint: fp,
+                        rounds_done: done,
+                        base_score: self.base_score,
+                        trees: self.trees.clone(),
+                        split_counts: self.split_counts.clone(),
+                        gain_sums: self.gain_sums.clone(),
+                    };
+                    match serde_json::to_vec(&state) {
+                        // A failed save costs the resume point, never the
+                        // fit; the next cadence point retries.
+                        Ok(bytes) => {
+                            if let Err(e) = store.save(stage, &bytes) {
+                                eprintln!("cats-ml: gbt checkpoint save failed ({stage}): {e}");
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("cats-ml: gbt checkpoint encode failed ({stage}): {e}")
+                        }
+                    }
+                }
+            }
         }
         if early.is_some() {
             self.trees.truncate(best_round.max(1));
         }
+        if let Some((store, stage, _)) = ckpt {
+            store.clear(stage);
+        }
     }
+}
+
+/// Persisted mid-fit state of a checkpointed boosting run.
+#[derive(Serialize, Deserialize)]
+struct GbtCheckpoint {
+    /// CRC over the config, dataset shape and labels; a mismatch means
+    /// the checkpoint belongs to some other run and must be ignored.
+    fingerprint: u32,
+    /// Boosting rounds fully completed — loop iterations, which can
+    /// exceed `trees.len()` when a subsampled round came up empty.
+    rounds_done: usize,
+    base_score: f64,
+    trees: Vec<RegTree>,
+    split_counts: Vec<u64>,
+    gain_sums: Vec<f64>,
+}
+
+/// Fingerprint tying a checkpoint to one (config, dataset) pair. Covers
+/// every hyperparameter that shapes the RNG stream or the trees, the
+/// dataset shape, and a CRC of the labels (a cheap stand-in for the full
+/// feature matrix). Parallelism is excluded: fits are bit-identical at
+/// every thread count, so a resume may legally change it.
+fn ckpt_fingerprint(cfg: &GbtConfig, data: &Dataset) -> u32 {
+    let desc = format!(
+        "gbt n_trees={} max_depth={} eta={} lambda={} gamma={} min_child_weight={} subsample={} \
+         seed={} split_mode={:?} colsample={} rows={} features={} labels={:08x}",
+        cfg.n_trees,
+        cfg.max_depth,
+        cfg.eta,
+        cfg.lambda,
+        cfg.gamma,
+        cfg.min_child_weight,
+        cfg.subsample,
+        cfg.seed,
+        cfg.split_mode,
+        cfg.colsample,
+        data.len(),
+        data.n_features(),
+        cats_io::crc32(data.labels()),
+    );
+    cats_io::crc32(desc.as_bytes())
 }
 
 impl Classifier for GradientBoostedTrees {
     fn fit(&mut self, data: &Dataset) {
-        self.fit_impl(data, None);
+        self.fit_impl(data, None, None);
     }
 
     fn predict_proba(&self, row: &[f64]) -> f64 {
@@ -915,6 +1063,81 @@ mod tests {
         let m2: GradientBoostedTrees = serde_json::from_str(&json).unwrap();
         for i in 0..d.len() {
             assert_eq!(m.predict_proba(d.row(i)), m2.predict_proba(d.row(i)));
+        }
+    }
+
+    fn ckpt_store(name: &str) -> cats_io::CheckpointStore {
+        let dir = std::env::temp_dir().join(format!("cats_gbt_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        cats_io::CheckpointStore::open(&dir).expect("open checkpoint store")
+    }
+
+    /// Subsampled + column-sampled config: exercises both RNG replay
+    /// paths on resume.
+    fn cfg_ckpt() -> GbtConfig {
+        GbtConfig { n_trees: 30, subsample: 0.7, colsample: 0.67, ..cfg_small() }
+    }
+
+    #[test]
+    fn killed_fit_resumes_bit_identical() {
+        let d = separable(100);
+        let store = ckpt_store("kill");
+
+        let mut uninterrupted = GradientBoostedTrees::new(cfg_ckpt());
+        uninterrupted.fit_checkpointed(&d, &store, "gbt", 5);
+        assert!(store.load("gbt").is_none(), "checkpoint cleared on completion");
+
+        // Kill the run right after the second checkpoint (round 10) lands.
+        store.kill_after_saves(2);
+        let mut doomed = GradientBoostedTrees::new(cfg_ckpt());
+        let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            doomed.fit_checkpointed(&d, &store, "gbt", 5)
+        }));
+        assert!(killed.is_err(), "simulated kill fires");
+        assert!(store.load("gbt").is_some(), "a valid checkpoint survives the kill");
+
+        let before = cats_obs::counter("cats.ml.gbt.resumed_rounds").get();
+        let mut resumed = GradientBoostedTrees::new(cfg_ckpt());
+        resumed.fit_checkpointed(&d, &store, "gbt", 5);
+        assert!(
+            cats_obs::counter("cats.ml.gbt.resumed_rounds").get() > before,
+            "resume actually skipped completed rounds"
+        );
+        assert_eq!(uninterrupted.n_trees(), resumed.n_trees());
+        assert_eq!(uninterrupted.feature_importance(), resumed.feature_importance());
+        for i in 0..d.len() {
+            assert_eq!(
+                uninterrupted.predict_proba(d.row(i)).to_bits(),
+                resumed.predict_proba(d.row(i)).to_bits(),
+                "row {i} diverged after resume"
+            );
+        }
+        assert!(store.load("gbt").is_none(), "checkpoint cleared after resume completes");
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_ignored() {
+        let d = separable(100);
+        let store = ckpt_store("mismatch");
+
+        // Leave a checkpoint from a fit with a different seed behind.
+        store.kill_after_saves(1);
+        let mut doomed = GradientBoostedTrees::new(GbtConfig { seed: 999, ..cfg_ckpt() });
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            doomed.fit_checkpointed(&d, &store, "gbt", 5)
+        }));
+        assert!(store.load("gbt").is_some());
+
+        let mut from_dirty = GradientBoostedTrees::new(cfg_ckpt());
+        from_dirty.fit_checkpointed(&d, &store, "gbt", 5);
+        let mut clean = GradientBoostedTrees::new(cfg_ckpt());
+        clean.fit(&d);
+        for i in 0..d.len() {
+            assert_eq!(
+                from_dirty.predict_proba(d.row(i)).to_bits(),
+                clean.predict_proba(d.row(i)).to_bits(),
+                "a foreign checkpoint must not leak into the fit"
+            );
         }
     }
 }

@@ -30,6 +30,7 @@ pub mod clock;
 pub mod metrics;
 pub mod profile;
 pub mod span;
+pub mod sync;
 
 pub use clock::{
     enabled, now_micros, observer, set_observer, NoopObserver, Observer, SimObserver, WallObserver,
@@ -40,3 +41,4 @@ pub use metrics::{
 };
 pub use profile::{RunProfile, StageProfile, StageTimer};
 pub use span::{dropped_events, flush_thread, take_events, SpanEvent, StageStats};
+pub use sync::lock_recover;

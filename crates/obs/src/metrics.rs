@@ -247,20 +247,20 @@ impl Registry {
 
     /// Returns (registering on first use) the counter named `name`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         g.counters.entry(name.to_string()).or_default().clone()
     }
 
     /// Returns (registering on first use) the gauge named `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         g.gauges.entry(name.to_string()).or_default().clone()
     }
 
     /// Returns (registering on first use) a histogram with the default
     /// duration buckets.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         g.hists
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(Histogram::exponential_micros()))
@@ -270,18 +270,18 @@ impl Registry {
     /// Returns (registering on first use) a histogram with caller-chosen
     /// bucket bounds. Bounds are fixed by whichever call registers first.
     pub fn histogram_with(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         g.hists.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new(bounds))).clone()
     }
 
     pub(crate) fn stage(&self, name: &str) -> Arc<StageStats> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         g.stages.entry(name.to_string()).or_insert_with(|| Arc::new(StageStats::new())).clone()
     }
 
     /// Point-in-time copy of every metric, keyed and ordered by name.
     pub fn snapshot(&self) -> Snapshot {
-        let g = self.inner.lock().unwrap();
+        let g = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         Snapshot {
             counters: g.counters.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
             gauges: g.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),

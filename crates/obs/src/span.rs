@@ -101,7 +101,7 @@ fn sink() -> &'static EventSink {
 /// Drains and returns all flushed events (order: flush order, i.e.
 /// batched per thread).
 pub fn take_events() -> Vec<SpanEvent> {
-    std::mem::take(&mut *sink().events.lock().unwrap())
+    std::mem::take(&mut *sink().events.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
 }
 
 /// How many events were discarded because the global stream was full.
@@ -120,7 +120,7 @@ fn flush_buf(buf: &mut Vec<SpanEvent>) {
     if buf.is_empty() {
         return;
     }
-    let mut events = sink().events.lock().unwrap();
+    let mut events = sink().events.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let room = MAX_EVENTS.saturating_sub(events.len());
     if buf.len() > room {
         sink().dropped.fetch_add((buf.len() - room) as u64, Ordering::Relaxed);

@@ -34,9 +34,26 @@
 //! bit-compatibility with a historical serial order must pick chunk
 //! boundaries matching that order (or keep the accumulation inside
 //! `map_chunk`).
+//!
+//! # Supervision
+//!
+//! A panic inside `f` must not take the pool down with it: each job runs
+//! under `catch_unwind`, the worker keeps draining its queue, and the
+//! *first* captured payload is rethrown on the calling thread after the
+//! scope joins. Callers therefore still observe the panic (the contract
+//! of `parallel_for` and friends is unchanged), but every other index
+//! still runs exactly once, and the pool never leaks a wedged worker.
+//! Each captured panic is tallied under `cats.par.pool.job_panics`
+//! (DESIGN.md §10).
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// First panic payload captured by any worker during one `run_indexed`
+/// scope; rethrown on the caller's thread once all workers have joined.
+type PanicSlot = Mutex<Option<Box<dyn Any + Send>>>;
 
 /// How much parallelism a pipeline stage may use.
 ///
@@ -171,17 +188,30 @@ fn worker<F: Fn(usize) + Sync>(
     f: &F,
     popped: &cats_obs::Counter,
     stolen: &cats_obs::Counter,
+    panics: &cats_obs::Counter,
+    panic_slot: &PanicSlot,
 ) {
     // Pool-utilization tallies are kept in locals and flushed to the
     // registry once per worker, so the hot loop stays free of shared
     // atomics beyond the queues themselves.
     let mut n_popped = 0u64;
     let mut n_stolen = 0u64;
+    let mut n_panics = 0u64;
     loop {
         while let Some((s, e)) = queues[me].pop(grain) {
             n_popped += 1;
             for i in s..e {
-                f(i as usize);
+                // Supervise each job: a panic is captured (first payload
+                // kept for the caller), counted, and the worker moves on
+                // to the next index rather than unwinding the pool.
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i as usize))) {
+                    n_panics += 1;
+                    let mut slot =
+                        panic_slot.lock().unwrap_or_else(PoisonError::into_inner);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
             }
         }
         let mut grabbed = None;
@@ -202,6 +232,9 @@ fn worker<F: Fn(usize) + Sync>(
     }
     popped.add(n_popped);
     stolen.add(n_stolen);
+    if n_panics > 0 {
+        panics.add(n_panics);
+    }
 }
 
 fn run_indexed<F: Fn(usize) + Sync>(par: Parallelism, n: usize, f: &F) {
@@ -220,18 +253,29 @@ fn run_indexed<F: Fn(usize) + Sync>(par: Parallelism, n: usize, f: &F) {
     let queues = &queues;
     let popped = cats_obs::counter("cats.par.pool.tasks_popped");
     let stolen = cats_obs::counter("cats.par.pool.tasks_stolen");
+    let panics = cats_obs::counter("cats.par.pool.job_panics");
     cats_obs::counter("cats.par.pool.runs").inc();
-    let (popped, stolen) = (&*popped, &*stolen);
-    std::thread::scope(|scope| {
-        for w in 0..threads {
-            scope.spawn(move || worker(w, queues, grain, f, popped, stolen));
-        }
-    });
+    let (popped, stolen, panics) = (&*popped, &*stolen, &*panics);
+    let panic_slot: PanicSlot = Mutex::new(None);
+    {
+        let panic_slot = &panic_slot;
+        std::thread::scope(|scope| {
+            for w in 0..threads {
+                scope.spawn(move || worker(w, queues, grain, f, popped, stolen, panics, panic_slot));
+            }
+        });
+    }
+    // Every worker has joined; rethrow the first captured panic so callers
+    // keep the pre-supervision contract (a panicking job panics the call).
+    if let Some(payload) = panic_slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+        resume_unwind(payload);
+    }
 }
 
 /// Runs `f(i)` for every `i in 0..n`, each index exactly once, on up to
-/// `par.resolved_threads()` workers. Panics in `f` propagate (the scope
-/// joins all workers first).
+/// `par.resolved_threads()` workers. A panic in `f` is captured by the
+/// supervising worker (the rest of the range still runs) and rethrown
+/// here after all workers join.
 pub fn parallel_for<F: Fn(usize) + Sync>(par: Parallelism, n: usize, f: F) {
     run_indexed(par, n, &f);
 }
@@ -412,5 +456,27 @@ mod tests {
         parallel_for(Parallelism::with_threads(4), 100, |i| {
             assert!(i != 57, "boom");
         });
+    }
+
+    #[test]
+    fn supervision_runs_remaining_indices_and_counts_the_panic() {
+        let n = 500;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let before = cats_obs::counter("cats.par.pool.job_panics").get();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_for(Parallelism::with_threads(4), n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                assert!(i != 57, "boom");
+            });
+        }));
+        assert!(result.is_err(), "the first panic payload is rethrown to the caller");
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "every index still runs exactly once under supervision"
+        );
+        assert!(
+            cats_obs::counter("cats.par.pool.job_panics").get() > before,
+            "captured panics are tallied"
+        );
     }
 }

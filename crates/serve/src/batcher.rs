@@ -16,13 +16,21 @@
 //! [`Batcher::shutdown`] flips the drain flag, lets workers finish
 //! everything already queued, and joins them — accepted requests are
 //! never dropped.
+//!
+//! Workers are *supervised* (DESIGN.md §10): each runs its loop under
+//! `catch_unwind`, and a panic — a scoring bug, a poisoned lock, an
+//! injected chaos fault — respawns the loop in place instead of
+//! silently shrinking batch capacity. Requests popped by the panicking
+//! iteration have their reply senders dropped, which the HTTP layer
+//! answers as a 500: accepted work is always *answered*, never lost.
 
 use crate::model::ModelSlot;
 use crate::wire::{filter_str, ScoreItem, ScoreVerdict};
 use cats_core::ItemComments;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -92,8 +100,30 @@ struct Shared {
     /// Signalled on enqueue and on drain, so sleeping workers wake.
     notify: Condvar,
     draining: AtomicBool,
+    /// Chaos hook: each pending count makes one worker iteration panic
+    /// right after it pops its batch (see [`Batcher::inject_worker_panic`]).
+    inject_panics: AtomicU32,
     slot: Arc<ModelSlot>,
     config: BatchConfig,
+}
+
+/// Waits on `cv`, recovering from poison like [`cats_obs::lock_recover`]
+/// (a worker that panicked while holding the queue lock must not take
+/// down its siblings with it).
+fn wait_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+    name: &str,
+) -> MutexGuard<'a, T> {
+    match cv.wait_timeout(guard, dur) {
+        Ok((g, _timeout)) => g,
+        Err(poisoned) => {
+            cats_obs::counter("cats.obs.lock.poison_recovered").inc();
+            eprintln!("cats-obs: recovered poisoned lock {name}");
+            poisoned.into_inner().0
+        }
+    }
 }
 
 /// The micro-batching scorer: submit requests, get per-request results.
@@ -109,6 +139,7 @@ impl Batcher {
             queue: Mutex::new(VecDeque::new()),
             notify: Condvar::new(),
             draining: AtomicBool::new(false),
+            inject_panics: AtomicU32::new(0),
             slot,
             config: config.clone(),
         });
@@ -117,11 +148,18 @@ impl Batcher {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("cats-serve-batch-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || supervise(&shared))
                     .expect("spawn batch worker")
             })
             .collect();
         Self { shared, workers: Mutex::new(workers) }
+    }
+
+    /// Chaos hook: makes the next `n` worker batch iterations panic
+    /// after popping their requests, exercising the supervision +
+    /// dropped-reply (HTTP 500) recovery path end to end.
+    pub fn inject_worker_panic(&self, n: u32) {
+        self.shared.inject_panics.fetch_add(n, Ordering::AcqRel);
     }
 
     /// Enqueues a request. On `Ok`, the receiver yields exactly one
@@ -137,7 +175,7 @@ impl Batcher {
         }
         let (reply, rx) = mpsc::channel();
         {
-            let mut q = self.shared.queue.lock().expect("batch queue lock");
+            let mut q = cats_obs::lock_recover(&self.shared.queue, "cats.serve.batch.queue");
             // Re-check under the lock: shutdown() flips the flag before
             // draining the queue, so nothing slips in behind it.
             if self.shared.draining.load(Ordering::Acquire) {
@@ -158,7 +196,7 @@ impl Batcher {
 
     /// Requests currently waiting in the queue.
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.lock().expect("batch queue lock").len()
+        cats_obs::lock_recover(&self.shared.queue, "cats.serve.batch.queue").len()
     }
 
     /// True once [`Batcher::shutdown`] has begun.
@@ -171,7 +209,8 @@ impl Batcher {
     pub fn shutdown(&self) {
         self.shared.draining.store(true, Ordering::Release);
         self.shared.notify.notify_all();
-        let handles = std::mem::take(&mut *self.workers.lock().expect("worker list lock"));
+        let handles =
+            std::mem::take(&mut *cats_obs::lock_recover(&self.workers, "cats.serve.batch.workers"));
         for h in handles {
             let _ = h.join();
         }
@@ -184,13 +223,30 @@ impl Drop for Batcher {
     }
 }
 
+/// Runs [`worker_loop`] under supervision: a panic anywhere in the loop
+/// is caught, counted, and the loop re-entered in place, so one bad
+/// batch (or an injected chaos fault) never shrinks scoring capacity.
+fn supervise(shared: &Shared) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(shared))) {
+            // Normal exit: drain finished.
+            Ok(()) => return,
+            Err(_) => {
+                cats_obs::counter("cats.serve.batch.worker_panics").inc();
+                cats_obs::counter("cats.serve.batch.worker_respawns").inc();
+                eprintln!("cats-serve: batch worker panicked; respawning in place");
+            }
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     let batch_size = cats_obs::histogram("cats.serve.batch.items");
     let batch_wait = cats_obs::histogram("cats.serve.batch.wait_ms");
     let depth_gauge = cats_obs::gauge("cats.serve.queue.depth");
     loop {
         // Phase 1: wait for work (or drain + empty queue = exit).
-        let mut q = shared.queue.lock().expect("batch queue lock");
+        let mut q = cats_obs::lock_recover(&shared.queue, "cats.serve.batch.queue");
         loop {
             if !q.is_empty() {
                 break;
@@ -198,9 +254,12 @@ fn worker_loop(shared: &Shared) {
             if shared.draining.load(Ordering::Acquire) {
                 return;
             }
-            let (guard, _timeout) =
-                shared.notify.wait_timeout(q, Duration::from_millis(50)).expect("batch queue wait");
-            q = guard;
+            q = wait_recover(
+                &shared.notify,
+                q,
+                Duration::from_millis(50),
+                "cats.serve.batch.queue",
+            );
         }
 
         // Phase 2: coalesce. The deadline is anchored at the OLDEST
@@ -216,9 +275,7 @@ fn worker_loop(shared: &Shared) {
             if now >= deadline {
                 break;
             }
-            let (guard, _timeout) =
-                shared.notify.wait_timeout(q, deadline - now).expect("batch queue wait");
-            q = guard;
+            q = wait_recover(&shared.notify, q, deadline - now, "cats.serve.batch.queue");
             if q.is_empty() {
                 // Another worker took everything while we slept.
                 break;
@@ -249,6 +306,17 @@ fn worker_loop(shared: &Shared) {
             // Leftovers (e.g. an oversized tail) belong to the next
             // worker — wake one now rather than after scoring.
             shared.notify.notify_one();
+        }
+
+        // Chaos hook: fire an injected panic now that the batch is
+        // popped — its reply senders drop, clients get 500s, and the
+        // supervisor respawns this loop.
+        if shared
+            .inject_panics
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+            .is_ok()
+        {
+            panic!("injected batch-worker panic (chaos)");
         }
 
         // Phase 3: score outside the lock, one model load per batch so
@@ -404,5 +472,35 @@ mod tests {
         let scored = rx.recv_timeout(Duration::from_secs(30)).unwrap();
         assert!(scored.verdicts.is_empty());
         assert_eq!(scored.model_version, 1);
+    }
+
+    #[test]
+    fn injected_panic_drops_the_reply_and_the_worker_respawns() {
+        let panics = cats_obs::counter("cats.serve.batch.worker_panics");
+        let respawns = cats_obs::counter("cats.serve.batch.worker_respawns");
+        let (panics_before, respawns_before) = (panics.get(), respawns.get());
+        let batcher = Batcher::new(
+            slot(),
+            BatchConfig {
+                workers: 1,
+                max_delay: Duration::from_millis(1),
+                ..BatchConfig::default()
+            },
+        );
+        batcher.inject_worker_panic(1);
+        let rx = batcher.submit(vec![req(1, true)]).unwrap();
+        // The panicking iteration drops the reply sender: the caller
+        // observes a disconnect (HTTP maps it to 500), never a hang.
+        match rx.recv_timeout(Duration::from_secs(30)) {
+            Err(mpsc::RecvTimeoutError::Disconnected) => {}
+            other => panic!("expected dropped reply after injected panic, got {other:?}"),
+        }
+        assert!(panics.get() > panics_before, "supervisor counted the panic");
+        assert!(respawns.get() > respawns_before, "supervisor counted the respawn");
+        // The respawned worker (same thread, re-entered loop) keeps scoring.
+        let rx = batcher.submit(vec![req(2, false)]).unwrap();
+        let scored = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(scored.verdicts.len(), 1, "scoring capacity survives the panic");
+        assert_eq!(scored.verdicts[0].item_id, 2);
     }
 }

@@ -22,7 +22,7 @@ use crate::wire::{ErrorResponse, HealthResponse, ScoreResponse};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -102,6 +102,14 @@ impl Server {
         self.shared.batcher.queue_depth()
     }
 
+    /// Chaos hook: makes the next `n` batch-worker iterations panic
+    /// (see [`Batcher::inject_worker_panic`]); the soak bench uses this
+    /// to drive the supervision + 500-recovery path through real
+    /// sockets.
+    pub fn inject_worker_panic(&self, n: u32) {
+        self.shared.batcher.inject_worker_panic(n);
+    }
+
     /// Graceful shutdown: stop accepting, answer everything already
     /// accepted (draining the batch queue), then join every thread.
     pub fn shutdown(mut self) {
@@ -116,7 +124,8 @@ impl Server {
         // Drain the batcher first: handler threads blocked on a scored
         // batch get their reply and finish fast.
         self.shared.batcher.shutdown();
-        let handles = std::mem::take(&mut *self.conns.lock().expect("conn list lock"));
+        let handles =
+            std::mem::take(&mut *cats_obs::lock_recover(&self.conns, "cats.serve.http.conns"));
         for h in handles {
             let _ = h.join();
         }
@@ -144,7 +153,7 @@ fn accept_loop(
                     .name("cats-serve-conn".into())
                     .spawn(move || handle_connection(stream, &shared))
                     .expect("spawn connection handler");
-                let mut hs = conns.lock().expect("conn list lock");
+                let mut hs = cats_obs::lock_recover(conns, "cats.serve.http.conns");
                 hs.push(handle);
                 // Reap finished handlers so the list stays bounded
                 // under sustained load.
@@ -289,6 +298,7 @@ fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
     cats_obs::counter(match status {
         200 => "cats.serve.http.status.200",
         429 => "cats.serve.http.status.429",
+        500 => "cats.serve.http.status.500",
         503 => "cats.serve.http.status.503",
         _ => "cats.serve.http.status.other",
     })
@@ -352,9 +362,18 @@ fn score(stream: &mut TcpStream, shared: &ServerShared, body: &str) -> u16 {
             write_response(stream, 200, "application/json", "", &body);
             200
         }
-        Err(_) => {
+        Err(mpsc::RecvTimeoutError::Timeout) => {
             write_json_error(stream, 504, "", "scoring timed out");
             504
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The batch worker panicked after popping this request and
+            // dropped the reply sender. The supervisor respawns the
+            // worker; this client gets an immediate, explicit 500 — an
+            // *answered* failure, never a dropped or stalled socket.
+            cats_obs::counter("cats.serve.http.internal_errors").inc();
+            write_json_error(stream, 500, "", "internal scoring error");
+            500
         }
     }
 }

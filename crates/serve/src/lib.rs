@@ -24,19 +24,24 @@
 //!
 //! A small blocking [`client`] rounds it out: it is what `cats-cli
 //! score`, the `exp_serve` load generator and the integration tests
-//! speak through.
+//! speak through. The [`chaos`] module supplies deterministic, seeded
+//! fault injection (slow-loris clients, mid-body disconnects, torn
+//! snapshot rewrites, worker panics) for the `exp_soak` bench and the
+//! failure-model tests (DESIGN.md §10).
 //!
 //! Everything is instrumented into the global `cats-obs` registry under
 //! `cats.serve.*`: queue depth, batch size, request latency
 //! (p50/p95/p99 via `/metrics`), rejection and swap counters.
 
 pub mod batcher;
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod model;
 pub mod wire;
 
 pub use batcher::{BatchConfig, Batcher, RejectReason, ScoredBatch};
+pub use chaos::{ChaosPlan, ChaosRng, Fault};
 pub use client::{ClientError, ScoreClient};
 pub use http::{ServeConfig, Server};
 pub use model::{load_pipeline_file, ModelSlot, ModelWatcher, VersionedModel};

@@ -10,17 +10,21 @@
 //! new one, version stamp and weights together, never a mix.
 //!
 //! [`ModelWatcher`] closes the deployment loop from the paper's §VI:
-//! `cats-cli train` writes a snapshot JSON, the watcher notices the
-//! mtime/len change, parses it off the serving path, and swaps it in.
-//! A snapshot that fails to parse (half-written file, newer format) is
-//! counted and skipped — the server keeps answering from the old model.
+//! `cats-cli train` writes a snapshot, the watcher notices the content
+//! change (length + CRC32 — same-size rewrites and coarse-mtime
+//! filesystems can fool a metadata fingerprint), parses it off the
+//! serving path, and swaps it in. A snapshot that fails its checksum or
+//! parse (torn rewrite, truncation, newer format) is counted and
+//! skipped — the server keeps answering from the old model — and each
+//! successfully swapped snapshot can be mirrored to a *last-good* copy
+//! so a restart survives a corrupt primary file (DESIGN.md §10).
 
 use cats_core::{CatsPipeline, PipelineSnapshot};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, SystemTime};
+use std::time::Duration;
 
 /// A pipeline plus the slot version that published it.
 pub struct VersionedModel {
@@ -49,7 +53,7 @@ impl ModelSlot {
     /// The current model. The returned Arc stays valid (and immutable)
     /// across any number of concurrent swaps.
     pub fn load(&self) -> Arc<VersionedModel> {
-        self.current.lock().expect("model slot lock").clone()
+        cats_obs::lock_recover(&self.current, "cats.serve.model.slot").clone()
     }
 
     /// Atomically replaces the model, returning the new version.
@@ -57,7 +61,7 @@ impl ModelSlot {
     pub fn swap(&self, pipeline: CatsPipeline) -> u64 {
         let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
         let next = Arc::new(VersionedModel { version, pipeline });
-        *self.current.lock().expect("model slot lock") = next;
+        *cats_obs::lock_recover(&self.current, "cats.serve.model.slot") = next;
         cats_obs::counter("cats.serve.model.swaps").inc();
         cats_obs::gauge("cats.serve.model.version").set(version as f64);
         version
@@ -70,17 +74,34 @@ impl ModelSlot {
 }
 
 /// Restores a pipeline from a snapshot file (the `cats-cli train`
-/// output format), validating the snapshot format version first.
-pub fn load_pipeline_file(path: &std::path::Path) -> Result<CatsPipeline, String> {
-    let json = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+/// output format). Checksummed snapshots (the `CATS-IO1` framing from
+/// `cats-io`) are verified before parsing; legacy raw-JSON snapshots
+/// pass through unchanged. Either way the snapshot format version is
+/// validated before the pipeline is rebuilt.
+pub fn load_pipeline_file(path: &Path) -> Result<CatsPipeline, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_pipeline_bytes(&bytes, path)
+}
+
+fn parse_pipeline_bytes(bytes: &[u8], path: &Path) -> Result<CatsPipeline, String> {
+    let payload = cats_io::verify_checksummed(bytes, &path.display().to_string())
+        .map_err(|e| e.to_string())?;
+    let json =
+        String::from_utf8(payload).map_err(|e| format!("{}: not UTF-8: {e}", path.display()))?;
     let snapshot = PipelineSnapshot::from_json(&json)?;
     Ok(CatsPipeline::restore(snapshot))
 }
 
-/// (mtime, length) fingerprint used to detect snapshot rewrites.
-fn fingerprint(path: &std::path::Path) -> Option<(SystemTime, u64)> {
-    let meta = std::fs::metadata(path).ok()?;
-    Some((meta.modified().ok()?, meta.len()))
+/// Content fingerprint (length, CRC32) used to detect snapshot
+/// rewrites. Unlike the `(mtime, len)` metadata fingerprint this
+/// replaced, it cannot be fooled by a same-size rewrite landing within
+/// the filesystem's mtime granularity.
+fn fingerprint(bytes: &[u8]) -> (u64, u32) {
+    (bytes.len() as u64, cats_io::crc32(bytes))
+}
+
+fn read_fingerprint(path: &Path) -> Option<(u64, u32)> {
+    std::fs::read(path).ok().map(|b| fingerprint(&b))
 }
 
 /// Polls a snapshot file and hot-swaps it into a [`ModelSlot`].
@@ -94,11 +115,27 @@ impl ModelWatcher {
     /// *current* contents are assumed to be what the slot already holds;
     /// only subsequent rewrites trigger a reload.
     pub fn spawn(slot: Arc<ModelSlot>, path: PathBuf, interval: Duration) -> Self {
+        Self::spawn_with_checkpoint(slot, path, interval, None)
+    }
+
+    /// [`ModelWatcher::spawn`] plus a *last-good* mirror: whenever a
+    /// rewrite of `path` passes checksum + parse validation and is
+    /// swapped in, its exact bytes are atomically copied to
+    /// `last_good`. A later restart that finds `path` torn or corrupt
+    /// can fall back to the mirror (see `cats-cli serve
+    /// --checkpoint-dir`), so a crash mid-rewrite never strands the
+    /// service without a loadable model.
+    pub fn spawn_with_checkpoint(
+        slot: Arc<ModelSlot>,
+        path: PathBuf,
+        interval: Duration,
+        last_good: Option<PathBuf>,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = stop.clone();
         let handle = std::thread::Builder::new()
             .name("cats-serve-watch".into())
-            .spawn(move || watch_loop(&slot, &path, interval, &stop_flag))
+            .spawn(move || watch_loop(&slot, &path, interval, &stop_flag, last_good.as_deref()))
             .expect("spawn model watcher");
         Self { stop, handle: Some(handle) }
     }
@@ -121,10 +158,25 @@ impl Drop for ModelWatcher {
     }
 }
 
-fn watch_loop(slot: &ModelSlot, path: &std::path::Path, interval: Duration, stop: &AtomicBool) {
+fn watch_loop(
+    slot: &ModelSlot,
+    path: &Path,
+    interval: Duration,
+    stop: &AtomicBool,
+    last_good: Option<&Path>,
+) {
     let reloads = cats_obs::counter("cats.serve.model.reloads");
     let errors = cats_obs::counter("cats.serve.model.reload_errors");
-    let mut last = fingerprint(path);
+    let mut last = read_fingerprint(path);
+    // Seed the last-good mirror from the startup snapshot so a restart
+    // has a fallback even if the primary is never rewritten again.
+    if let (Some(lg), Ok(bytes)) = (last_good, std::fs::read(path)) {
+        if parse_pipeline_bytes(&bytes, path).is_ok() {
+            if let Err(e) = cats_io::atomic_write(lg, &bytes) {
+                eprintln!("cats-serve: last-good mirror write failed: {e}");
+            }
+        }
+    }
     // Sleep in small slices so stop() returns promptly even with a
     // coarse polling interval.
     let slice =
@@ -137,23 +189,37 @@ fn watch_loop(slot: &ModelSlot, path: &std::path::Path, interval: Duration, stop
             continue;
         }
         slept = Duration::ZERO;
-        let now = fingerprint(path);
+        let Ok(bytes) = std::fs::read(path) else {
+            // File momentarily missing (e.g. non-atomic replace in
+            // flight): keep the current model and retry next tick.
+            continue;
+        };
+        let now = Some(fingerprint(&bytes));
         if now == last {
             continue;
         }
-        match load_pipeline_file(path) {
+        match parse_pipeline_bytes(&bytes, path) {
             Ok(pipeline) => {
                 let v = slot.swap(pipeline);
                 reloads.inc();
                 eprintln!("cats-serve: hot-swapped model from {} (v{v})", path.display());
                 last = now;
+                if let Some(lg) = last_good {
+                    if let Err(e) = cats_io::atomic_write(lg, &bytes) {
+                        eprintln!("cats-serve: last-good mirror write failed: {e}");
+                    }
+                }
             }
             Err(e) => {
-                // Possibly a half-written file: keep the old model, try
-                // again next tick (`last` stays stale so the retry
-                // happens as soon as the write completes).
+                // Possibly a half-written file: keep the old model and
+                // remember the *bad* content's fingerprint — a write
+                // completing cannot keep the same (len, crc32), so the
+                // retry fires on the very next content change, while
+                // unchanged garbage is not re-parsed (and re-counted)
+                // every tick.
                 errors.inc();
                 eprintln!("cats-serve: model reload failed, keeping current model: {e}");
+                last = now;
             }
         }
     }
@@ -249,5 +315,66 @@ mod tests {
 
         watcher.stop();
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn content_fingerprint_catches_same_size_rewrites() {
+        // An (mtime, len) fingerprint misses a same-length rewrite that
+        // lands within the filesystem's mtime granularity; the content
+        // fingerprint cannot.
+        let a = fingerprint(b"model-bytes-A");
+        let b = fingerprint(b"model-bytes-B");
+        assert_eq!(a.0, b.0, "same length");
+        assert_ne!(a.1, b.1, "different checksum");
+    }
+
+    #[test]
+    fn watcher_mirrors_last_good_and_rejects_torn_checksummed_rewrites() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let path = dir.join(format!("cats_serve_lg_{pid}.snap"));
+        let mirror = dir.join(format!("cats_serve_lg_{pid}.last_good"));
+        let _ = std::fs::remove_file(&mirror);
+        let pipeline = testutil::trained(0.0);
+        let json = testutil::snapshot_json(&pipeline);
+        cats_io::write_checksummed(&path, json.as_bytes()).unwrap();
+
+        let slot = Arc::new(ModelSlot::new(pipeline));
+        let watcher = ModelWatcher::spawn_with_checkpoint(
+            slot.clone(),
+            path.clone(),
+            Duration::from_millis(10),
+            Some(mirror.clone()),
+        );
+
+        // The startup snapshot is mirrored even before any rewrite.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while std::time::Instant::now() < deadline && !mirror.exists() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            load_pipeline_file(&mirror).is_ok(),
+            "mirror must hold a loadable copy of the startup snapshot"
+        );
+
+        // A torn rewrite (checksummed file cut mid-payload) must fail
+        // verification and must NOT be swapped in.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(slot.version(), 1, "torn rewrite must not be swapped in");
+        assert!(load_pipeline_file(&mirror).is_ok(), "mirror untouched by the torn rewrite");
+
+        // Completing the rewrite with valid checksummed bytes swaps.
+        cats_io::write_checksummed(&path, json.as_bytes()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while std::time::Instant::now() < deadline && slot.version() < 2 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(slot.version() >= 2, "valid checksummed rewrite must hot-swap");
+
+        watcher.stop();
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&mirror);
     }
 }

@@ -109,6 +109,27 @@ else
   fail "BENCH_serve.json missing (run: cargo run --release -p cats-bench --bin exp_serve)"
 fi
 
+# --- robustness soak ---------------------------------------------------
+# Pure hardware-independent invariants (DESIGN.md §10); no baseline —
+# the fresh run must satisfy them outright.
+if [ -f BENCH_soak.json ]; then
+  lost=$(num BENCH_soak.json lost)
+  torn=$(num BENCH_soak.json torn)
+  resume=$(num BENCH_soak.json bit_identical)
+  respawn=$(num BENCH_soak.json respawn_bound_ok)
+  restart=$(num BENCH_soak.json restart_ok)
+  [ "${lost:-1}" = "0" ] || fail "chaos soak lost ${lost:-?} responses (want 0)"
+  [ "${torn:-1}" = "0" ] || fail "chaos soak returned ${torn:-?} torn responses (want 0)"
+  [ "${resume:-0}" = "1" ] || fail "kill-resumed training not bit-identical to uninterrupted"
+  [ "${respawn:-0}" = "1" ] || fail "worker respawns unmatched or beyond the injected panic budget"
+  [ "${restart:-0}" = "1" ] || fail "restart from the last-good mirror failed"
+  if [ "${lost:-1}${torn:-1}${resume:-0}${respawn:-0}${restart:-0}" = "00111" ]; then
+    echo "bench-gate: ok: soak invariants (0 lost, 0 torn, resume bit-identical, respawns bounded, restart ok)"
+  fi
+else
+  fail "BENCH_soak.json missing (run: cargo run --release -p cats-bench --bin exp_soak)"
+fi
+
 # --- scaling benchmark -------------------------------------------------
 if [ -f BENCH_scaling.json ]; then
   if ensure_baseline BENCH_scaling.json "$BASELINES/BENCH_scaling.json"; then

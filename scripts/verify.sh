@@ -19,5 +19,12 @@ cargo run --release "${LOCKED[@]}" -p cats-bench --bin exp_scaling -- --scale 0.
 # probe. Regenerates BENCH_serve.json and asserts the serving
 # invariants (zero drops, 429s under overload) internally.
 cargo run --release "${LOCKED[@]}" -p cats-bench --bin exp_serve -- --scale 0.01
+# Robustness soak: deterministic chaos injection (slow-loris clients,
+# torn snapshot rewrites under the hot-swap watcher, worker panics,
+# kill/resume training, kill-and-restart from the last-good mirror).
+# Regenerates BENCH_soak.json and asserts the DESIGN.md §10 invariants
+# (zero lost/torn responses, bounded respawns, bit-identical resume)
+# internally; bench_gate.sh re-checks them off the JSON.
+cargo run --release "${LOCKED[@]}" -p cats-bench --bin exp_soak -- --scale 0.004
 # Regression gate: fresh BENCH_*.json vs results/baselines/.
 scripts/bench_gate.sh

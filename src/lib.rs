@@ -12,6 +12,7 @@ pub use cats_analysis as analysis;
 pub use cats_collector as collector;
 pub use cats_core as core;
 pub use cats_embedding as embedding;
+pub use cats_io as io;
 pub use cats_ml as ml;
 pub use cats_obs as obs;
 pub use cats_par as par;

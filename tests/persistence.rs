@@ -1,8 +1,11 @@
 //! Integration: detector persistence — train, snapshot to JSON, restore,
 //! and verify identical verdicts (the workflow for shipping a pre-trained
-//! CATS to a new platform).
+//! CATS to a new platform) — plus the corruption classes of DESIGN.md
+//! §10: a truncated, bit-flipped or zero-length snapshot file must
+//! surface a typed [`PersistError`], never a panic or a half-loaded
+//! model.
 
-use cats::core::pipeline::PipelineSnapshot;
+use cats::core::pipeline::{PersistError, PipelineSnapshot};
 use cats::core::semantic::SemanticConfig;
 use cats::core::{CatsPipeline, DetectorConfig, ItemComments, SemanticAnalyzer};
 use cats::embedding::{ExpansionConfig, Word2VecConfig};
@@ -131,4 +134,56 @@ fn snapshot_json_roundtrip_reports_are_byte_identical() {
     );
     let err = PipelineSnapshot::from_json(&future).expect_err("future version rejected");
     assert!(err.contains("newer than supported"), "{err}");
+}
+
+#[test]
+fn corrupt_snapshot_files_fail_typed_and_never_panic() {
+    let train = datasets::d0(0.003, 81);
+    let (analyzer, gbt) = train_parts(&train, 81);
+    let snap = CatsPipeline::snapshot(analyzer, DetectorConfig::default(), gbt);
+
+    let dir = std::env::temp_dir().join(format!("cats_persist_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("model.snapshot");
+
+    // The happy path: save is atomic + checksummed, load verifies.
+    snap.save(&path).expect("checksummed save");
+    let restored = PipelineSnapshot::load(&path).expect("intact snapshot loads");
+    assert_eq!(restored.format_version, cats::core::SNAPSHOT_FORMAT_VERSION);
+    let good = std::fs::read(&path).expect("read snapshot bytes");
+    assert!(good.len() > 1_000, "checksummed snapshot suspiciously small");
+
+    // Truncated mid-payload (torn non-atomic rewrite): the header
+    // declares more bytes than are present.
+    std::fs::write(&path, &good[..good.len() / 2]).expect("truncate");
+    let err = PipelineSnapshot::load(&path).map(|_| ()).expect_err("truncated must fail");
+    assert!(matches!(err, PersistError::Io(_)), "want a typed IO error, got: {err}");
+
+    // A single flipped bit deep in the payload: the JSON may still
+    // parse, so only the checksum catches it.
+    let mut flipped = good.clone();
+    let n = flipped.len();
+    flipped[n - 2] ^= 0x40;
+    std::fs::write(&path, &flipped).expect("bit-flip");
+    let err = PipelineSnapshot::load(&path).map(|_| ()).expect_err("bit-flip must fail");
+    assert!(
+        matches!(err, PersistError::Io(cats::io::IoError::ChecksumMismatch { .. })),
+        "want a checksum mismatch, got: {err}"
+    );
+
+    // Zero-length file (classic create-then-crash artifact).
+    std::fs::write(&path, b"").expect("empty");
+    let err = PipelineSnapshot::load(&path).map(|_| ()).expect_err("empty must fail");
+    assert!(
+        matches!(err, PersistError::Io(cats::io::IoError::Empty { .. })),
+        "want the empty-file error, got: {err}"
+    );
+
+    // Backward compatibility: a legacy raw-JSON snapshot (no checksum
+    // header) still loads verbatim.
+    std::fs::write(&path, snap.to_json().expect("serialize").as_bytes()).expect("legacy write");
+    let legacy = PipelineSnapshot::load(&path).expect("legacy raw-JSON snapshot loads");
+    assert_eq!(legacy.format_version, cats::core::SNAPSHOT_FORMAT_VERSION);
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
