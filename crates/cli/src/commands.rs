@@ -333,6 +333,135 @@ pub fn start_server(
     Ok((server, watcher))
 }
 
+/// Options for the multi-process cluster (`cats-cli serve --shards N`).
+#[derive(Debug, Clone)]
+pub struct ClusterOpts {
+    /// Router bind address.
+    pub addr: String,
+    /// Model snapshot every shard starts from (cluster version 1).
+    pub model_path: String,
+    /// Shard child processes to spawn.
+    pub shards: usize,
+    /// Batch workers per shard.
+    pub workers: usize,
+    /// Feature-extraction threads per shard; 0 = an equal slice of the
+    /// machine (`default_threads / shards`), so N shards don't each try
+    /// to use every core.
+    pub score_threads: usize,
+}
+
+/// Handle on the cluster's shard children: watches them and respawns
+/// any that die onto their original address, so the router's prober can
+/// re-admit them. Dropping the supervisor kills the children.
+pub struct ClusterSupervisor {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ClusterSupervisor {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Shard-mode argv for re-invoking this binary as shard `id` on `addr`.
+fn shard_args(id: usize, addr: &str, opts: &ClusterOpts, score_threads: usize) -> Vec<String> {
+    [
+        "serve",
+        "--shard-of",
+        &id.to_string(),
+        "--model",
+        &opts.model_path,
+        "--addr",
+        addr,
+        "--workers",
+        &opts.workers.max(1).to_string(),
+        "--score-threads",
+        &score_threads.to_string(),
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect()
+}
+
+/// Spawns `opts.shards` shard child processes (this same binary in
+/// `--shard-of` mode) and a [`cats_serve::Router`] over them, plus a
+/// supervisor that respawns dead shards onto their original address —
+/// the router ejects a dead shard, the supervisor brings it back, the
+/// router's prober syncs its model version and re-admits it.
+pub fn start_cluster(
+    opts: &ClusterOpts,
+) -> Result<(cats_serve::Router, ClusterSupervisor), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let shards = opts.shards.max(1);
+    let score_threads = if opts.score_threads == 0 {
+        (cats_par::default_threads() / shards).max(1)
+    } else {
+        opts.score_threads
+    };
+    let ready_timeout = std::time::Duration::from_secs(60);
+    let mut children = Vec::with_capacity(shards);
+    for id in 0..shards {
+        // Port 0 on first spawn: the child announces the real address,
+        // which then becomes the shard's fixed slot for respawns.
+        let args = shard_args(id, "127.0.0.1:0", opts, score_threads);
+        children.push(cats_serve::ShardProcess::spawn(id, &exe, &args, ready_timeout)?);
+    }
+    let shard_addrs: Vec<String> = children.iter().map(|c| c.addr.clone()).collect();
+    let router = cats_serve::Router::start(
+        shard_addrs,
+        cats_serve::RouterConfig {
+            addr: opts.addr.clone(),
+            initial_artifact: Some(opts.model_path.clone()),
+            ..cats_serve::RouterConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind router {}: {e}", opts.addr))?;
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let thread = {
+        let stop = stop.clone();
+        let opts = opts.clone();
+        std::thread::Builder::new()
+            .name("cats-cluster-supervisor".into())
+            .spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    for child in &mut children {
+                        if child.is_alive() {
+                            continue;
+                        }
+                        eprintln!(
+                            "cats-cli: shard {} died; respawning on {}",
+                            child.id, child.addr
+                        );
+                        cats_obs::counter("cats.cli.cluster.respawns").inc();
+                        let args = shard_args(child.id, &child.addr, &opts, score_threads);
+                        match cats_serve::ShardProcess::spawn(child.id, &exe, &args, ready_timeout)
+                        {
+                            Ok(fresh) => *child = fresh,
+                            Err(e) => {
+                                eprintln!("cats-cli: respawn shard {} failed: {e}", child.id);
+                            }
+                        }
+                    }
+                    // Slice the wait so shutdown stays prompt.
+                    for _ in 0..10 {
+                        if stop.load(std::sync::atomic::Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                    }
+                }
+                // `children` drops here: each ShardProcess kills its child.
+            })
+            .map_err(|e| format!("spawn cluster supervisor: {e}"))?
+    };
+    Ok((router, ClusterSupervisor { stop, thread: Some(thread) }))
+}
+
 /// Items per `POST /v1/score` request sent by [`score`]; server-side
 /// micro-batching recombines them, so this only bounds request size.
 const SCORE_CHUNK: usize = 256;
@@ -587,13 +716,11 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let store = cats_io::CheckpointStore::open(&dir).unwrap();
         let (a, _) =
-            train_checkpointed(&mut BufReader::new(data.as_slice()), 0.5, 9, Some(&store))
-                .unwrap();
+            train_checkpointed(&mut BufReader::new(data.as_slice()), 0.5, 9, Some(&store)).unwrap();
         assert!(store.load("w2v").is_none(), "w2v slot cleared on success");
         assert!(store.load("gbt").is_none(), "gbt slot cleared on success");
         let (b, _) =
-            train_checkpointed(&mut BufReader::new(data.as_slice()), 0.5, 9, Some(&store))
-                .unwrap();
+            train_checkpointed(&mut BufReader::new(data.as_slice()), 0.5, 9, Some(&store)).unwrap();
         assert_eq!(a, b, "checkpointed training is deterministic");
         let _ = std::fs::remove_dir_all(&dir);
     }

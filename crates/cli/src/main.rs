@@ -6,7 +6,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cats-cli generate --scale <f64> --seed <u64>            (JSONL to stdout)\n  cats-cli crawl    --scale <f64> --seed <u64> [--faults <0..1>]  (JSONL to stdout)\n  cats-cli train    --input <jsonl> --model <out.json> [--threshold <f64>] [--seed <u64>] [--metrics-out <json>] [--checkpoint-dir <dir>] [--resume]\n  cats-cli detect   --model <json> --input <jsonl> [--metrics-out <json>]  (reports to stdout)\n  cats-cli serve    --model <json> [--addr <host:port>] [--watch] [--max-batch <n>] [--max-delay-ms <n>] [--queue <n>] [--workers <n>] [--checkpoint-dir <dir>]\n  cats-cli score    --input <jsonl> [--addr <host:port>]  (reports to stdout)\n  cats-cli analyze  --reports <jsonl> --labeled <jsonl>\n  cats-cli metrics  --profile <json>                      (pretty-print a RunProfile)"
+        "usage:\n  cats-cli generate --scale <f64> --seed <u64>            (JSONL to stdout)\n  cats-cli crawl    --scale <f64> --seed <u64> [--faults <0..1>]  (JSONL to stdout)\n  cats-cli train    --input <jsonl> --model <out.json> [--threshold <f64>] [--seed <u64>] [--metrics-out <json>] [--checkpoint-dir <dir>] [--resume]\n  cats-cli detect   --model <json> --input <jsonl> [--metrics-out <json>]  (reports to stdout)\n  cats-cli serve    --model <json> [--addr <host:port>] [--watch] [--max-batch <n>] [--max-delay-ms <n>] [--queue <n>] [--workers <n>] [--checkpoint-dir <dir>]\n  cats-cli serve    --model <json> --shards <n> [--addr <host:port>] [--workers <n>] [--score-threads <n>]   (multi-process cluster)\n  cats-cli serve    --model <json> --shard-of <id> [--addr <host:port>] [--workers <n>] [--score-threads <n>] (one cluster shard)\n  cats-cli score    --input <jsonl> [--addr <host:port>]  (reports to stdout)\n  cats-cli analyze  --reports <jsonl> --labeled <jsonl>\n  cats-cli metrics  --profile <json>                      (pretty-print a RunProfile)"
     );
     ExitCode::from(2)
 }
@@ -124,8 +124,7 @@ fn run() -> Result<(), String> {
             // snapshots pass through unchanged.
             let model_bytes = cats_io::read_checksummed(std::path::Path::new(&model_path))
                 .map_err(|e| e.to_string())?;
-            let model =
-                String::from_utf8(model_bytes).map_err(|e| format!("{model_path}: {e}"))?;
+            let model = String::from_utf8(model_bytes).map_err(|e| format!("{model_path}: {e}"))?;
             let mut input = open("input")?;
             let stdout = std::io::stdout();
             let mut lock = stdout.lock();
@@ -139,6 +138,44 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "serve" => {
+            // Shard mode: this process IS one cluster shard (spawned by
+            // `--shards N` or by the bench harness). It binds, announces
+            // the address on stdout, and serves until killed.
+            if let Some(shard_id) = get("shard-of") {
+                let id: usize = shard_id.parse().map_err(|e| format!("--shard-of: {e}"))?;
+                let opts = cats_serve::ShardOpts {
+                    addr: get("addr").unwrap_or_else(|| "127.0.0.1:0".into()),
+                    model_path: get("model").ok_or("--model is required")?.into(),
+                    workers: parse_u64("workers", 1)? as usize,
+                    score_threads: parse_u64("score-threads", 0)? as usize,
+                };
+                let server = cats_serve::start_shard(&opts)?;
+                cats_serve::announce_ready(&server);
+                eprintln!("cats-serve shard {id} listening on http://{}", server.addr());
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
+            // Cluster mode: spawn N shard children and route over them.
+            let shards = parse_u64("shards", 0)? as usize;
+            if shards > 0 {
+                let opts = cats_cli::commands::ClusterOpts {
+                    addr: get("addr").unwrap_or_else(|| "127.0.0.1:7878".into()),
+                    model_path: get("model").ok_or("--model is required")?,
+                    shards,
+                    workers: parse_u64("workers", 1)? as usize,
+                    score_threads: parse_u64("score-threads", 0)? as usize,
+                };
+                let (router, _supervisor) = cats_cli::commands::start_cluster(&opts)?;
+                eprintln!(
+                    "cats-serve cluster: router on http://{} over {shards} shards (model {}); Ctrl-C to stop",
+                    router.addr(),
+                    opts.model_path,
+                );
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
             let opts = cats_cli::commands::ServeOpts {
                 addr: get("addr").unwrap_or_else(|| "127.0.0.1:7878".into()),
                 model_path: get("model").ok_or("--model is required")?,
@@ -266,6 +303,17 @@ mod tests {
         .unwrap();
         assert_eq!(map.get("watch").map(String::as_str), Some("true"));
         assert_eq!(map.get("checkpoint-dir").map(String::as_str), Some("/tmp/cats-ckpt"));
+    }
+
+    #[test]
+    fn cluster_flags_parse() {
+        let map =
+            parse_flags(&args(&["--model", "m.json", "--shards", "4", "--score-threads", "2"]))
+                .unwrap();
+        assert_eq!(map.get("shards").map(String::as_str), Some("4"));
+        assert_eq!(map.get("score-threads").map(String::as_str), Some("2"));
+        let map = parse_flags(&args(&["--shard-of", "1", "--addr", "127.0.0.1:0"])).unwrap();
+        assert_eq!(map.get("shard-of").map(String::as_str), Some("1"));
     }
 
     #[test]

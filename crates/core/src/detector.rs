@@ -138,6 +138,13 @@ impl Detector {
         self.config.threshold = threshold;
     }
 
+    /// Pins the feature-extraction thread count — used by sharded
+    /// serving, where each shard process owns a slice of the machine and
+    /// must not oversubscribe it with the auto-resolved pool width.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.config.parallelism = parallelism;
+    }
+
     /// Applies the stage-1 rules to one item.
     pub fn filter_item(
         &self,

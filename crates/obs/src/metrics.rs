@@ -202,6 +202,51 @@ impl HistSnapshot {
             sum: (self.sum - earlier.sum).max(0.0),
         }
     }
+
+    /// Bucket-wise `self + other` when the bucket layouts match.
+    /// Mismatched layouts cannot be added meaningfully, so the merge
+    /// deterministically keeps the "bigger" histogram (by count, then
+    /// sum, then layout) — the same winner regardless of argument
+    /// order, which keeps [`Snapshot::merge`] commutative.
+    pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
+        if self.bounds == other.bounds && self.buckets.len() == other.buckets.len() {
+            return HistSnapshot {
+                bounds: self.bounds.clone(),
+                buckets: self
+                    .buckets
+                    .iter()
+                    .zip(&other.buckets)
+                    .map(|(a, b)| a.saturating_add(*b))
+                    .collect(),
+                count: self.count.saturating_add(other.count),
+                sum: self.sum + other.sum,
+            };
+        }
+        if hist_rank(self, other) == std::cmp::Ordering::Less {
+            other.clone()
+        } else {
+            self.clone()
+        }
+    }
+}
+
+/// Deterministic total order on histogram snapshots used to break ties
+/// when layouts are incompatible: count, then sum, then the layout
+/// itself so equal-count/sum snapshots still order consistently.
+fn hist_rank(a: &HistSnapshot, b: &HistSnapshot) -> std::cmp::Ordering {
+    a.count
+        .cmp(&b.count)
+        .then(a.sum.total_cmp(&b.sum))
+        .then(a.bounds.len().cmp(&b.bounds.len()))
+        .then_with(|| {
+            for (x, y) in a.bounds.iter().zip(&b.bounds) {
+                let o = x.total_cmp(y);
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            a.buckets.cmp(&b.buckets)
+        })
 }
 
 /// Plain-data copy of one span name's aggregate stats.
@@ -222,6 +267,18 @@ impl StageSnapshot {
             total_micros: self.total_micros.saturating_sub(earlier.total_micros),
             self_micros: self.self_micros.saturating_sub(earlier.self_micros),
             hist: self.hist.diff(&earlier.hist),
+        }
+    }
+
+    /// `self + other`: spans observed by two processes are disjoint
+    /// events, so every aggregate simply adds.
+    fn merge(&self, other: &StageSnapshot) -> StageSnapshot {
+        StageSnapshot {
+            count: self.count.saturating_add(other.count),
+            items: self.items.saturating_add(other.items),
+            total_micros: self.total_micros.saturating_add(other.total_micros),
+            self_micros: self.self_micros.saturating_add(other.self_micros),
+            hist: self.hist.merge(&other.hist),
         }
     }
 }
@@ -282,11 +339,14 @@ impl Registry {
     /// Point-in-time copy of every metric, keyed and ordered by name.
     pub fn snapshot(&self) -> Snapshot {
         let g = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let now = crate::clock::now_micros();
         Snapshot {
             counters: g.counters.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
             gauges: g.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
             hists: g.hists.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect(),
             stages: g.stages.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect(),
+            taken_at_micros: now,
+            gauges_at: g.gauges.keys().map(|k| (k.clone(), now)).collect(),
         }
     }
 
@@ -329,6 +389,14 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     pub hists: BTreeMap<String, HistSnapshot>,
     pub stages: BTreeMap<String, StageSnapshot>,
+    /// Clock reading (µs) when this snapshot was captured; 0 for
+    /// hand-built snapshots.
+    pub taken_at_micros: u64,
+    /// Per-gauge capture timestamps (µs). [`Registry::snapshot`] stamps
+    /// every gauge with the snapshot time; [`Snapshot::merge`] keeps
+    /// the later writer per gauge, which is what makes gauge merging
+    /// latest-by-timestamp rather than order-of-arguments.
+    pub gauges_at: BTreeMap<String, u64>,
 }
 
 impl Snapshot {
@@ -364,7 +432,96 @@ impl Snapshot {
                     None => (k.clone(), v.clone()),
                 })
                 .collect(),
+            taken_at_micros: self.taken_at_micros,
+            gauges_at: self.gauges_at.clone(),
         }
+    }
+
+    /// Union of two registries, for aggregating shard processes at the
+    /// router:
+    ///
+    /// * counters sum (saturating) — events happened in both places;
+    /// * gauges are latest-by-timestamp per key ([`Snapshot::gauges_at`],
+    ///   falling back to the snapshot-level [`Snapshot::taken_at_micros`]),
+    ///   tie-broken on the value bits so the result never depends on
+    ///   argument order;
+    /// * histograms add bucket-wise when layouts match
+    ///   ([`HistSnapshot::merge`]);
+    /// * stages add all aggregates.
+    ///
+    /// Merge is commutative and associative, so a router can fold any
+    /// number of shard snapshots in any order and land on one result.
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut counters = self.counters.clone();
+        for (k, v) in &other.counters {
+            let e = counters.entry(k.clone()).or_insert(0);
+            *e = e.saturating_add(*v);
+        }
+
+        let mut gauges = BTreeMap::new();
+        let mut gauges_at = BTreeMap::new();
+        let keys: std::collections::BTreeSet<&String> =
+            self.gauges.keys().chain(other.gauges.keys()).collect();
+        for k in keys {
+            let a = self.gauges.get(k).map(|v| (self.gauge_stamp(k), *v));
+            let b = other.gauges.get(k).map(|v| (other.gauge_stamp(k), *v));
+            let (ts, v) = match (a, b) {
+                (Some((ta, va)), Some((tb, vb))) => {
+                    // Later timestamp wins; equal stamps fall back to
+                    // the larger value bits — arbitrary but symmetric.
+                    if (tb, vb.to_bits()) > (ta, va.to_bits()) {
+                        (tb, vb)
+                    } else {
+                        (ta, va)
+                    }
+                }
+                (Some(x), None) | (None, Some(x)) => x,
+                (None, None) => unreachable!("key came from one of the maps"),
+            };
+            gauges.insert(k.clone(), v);
+            gauges_at.insert(k.clone(), ts);
+        }
+
+        let mut hists = self.hists.clone();
+        for (k, v) in &other.hists {
+            match hists.entry(k.clone()) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let merged = e.get().merge(v);
+                    e.insert(merged);
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v.clone());
+                }
+            }
+        }
+
+        let mut stages = self.stages.clone();
+        for (k, v) in &other.stages {
+            match stages.entry(k.clone()) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let merged = e.get().merge(v);
+                    e.insert(merged);
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v.clone());
+                }
+            }
+        }
+
+        Snapshot {
+            counters,
+            gauges,
+            hists,
+            stages,
+            taken_at_micros: self.taken_at_micros.max(other.taken_at_micros),
+            gauges_at,
+        }
+    }
+
+    /// Capture time of one gauge: its per-key stamp when present, else
+    /// the snapshot-level stamp (hand-built snapshots).
+    fn gauge_stamp(&self, name: &str) -> u64 {
+        self.gauges_at.get(name).copied().unwrap_or(self.taken_at_micros)
     }
 
     /// Hand-rolled JSON object (the obs crate is dependency-free):
@@ -422,41 +579,76 @@ impl Snapshot {
     /// stages export `_count`/`_sum`-style series plus
     /// `{quantile="..."}` summary lines.
     pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_labeled(&[])
+    }
+
+    /// [`Snapshot::to_prometheus`] with a fixed label set attached to
+    /// every series — e.g. `&[("shard", "2")]` so a router can expose
+    /// each shard's registry next to the merged cluster view without
+    /// name collisions.
+    pub fn to_prometheus_labeled(&self, labels: &[(&str, &str)]) -> String {
+        let base = prom_labels(labels);
+        let plain = if base.is_empty() { String::new() } else { format!("{{{}}}", base) };
         let mut out = String::new();
         for (k, v) in &self.counters {
-            let name = prom_name(k);
-            out.push_str(&format!("{name} {v}\n"));
+            out.push_str(&format!("{}{plain} {v}\n", prom_name(k)));
         }
         for (k, v) in &self.gauges {
-            out.push_str(&format!("{} {}\n", prom_name(k), fmt_f64(*v)));
+            out.push_str(&format!("{}{plain} {}\n", prom_name(k), fmt_f64(*v)));
         }
         for (k, h) in &self.hists {
-            prom_summary(&mut out, &prom_name(k), h);
+            prom_summary(&mut out, &prom_name(k), &base, h);
         }
         for (k, s) in &self.stages {
             let name = prom_name(&format!("{k}.micros"));
-            prom_summary(&mut out, &name, &s.hist);
+            prom_summary(&mut out, &name, &base, &s.hist);
             out.push_str(&format!(
-                "{} {}\n",
+                "{}{plain} {}\n",
                 prom_name(&format!("{k}.self_micros")),
                 s.self_micros
             ));
             if s.items > 0 {
-                out.push_str(&format!("{} {}\n", prom_name(&format!("{k}.items")), s.items));
+                out.push_str(&format!("{}{plain} {}\n", prom_name(&format!("{k}.items")), s.items));
             }
         }
         out
     }
 }
 
-fn prom_summary(out: &mut String, name: &str, h: &HistSnapshot) {
-    out.push_str(&format!("{name}_count {}\n", h.count));
-    out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum)));
+/// Renders a label set as the inside of a `{...}` block (no braces),
+/// values escaped per the Prometheus exposition rules.
+fn prom_labels(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&prom_name(k));
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
+fn prom_summary(out: &mut String, name: &str, base_labels: &str, h: &HistSnapshot) {
+    let plain = if base_labels.is_empty() { String::new() } else { format!("{{{base_labels}}}") };
+    out.push_str(&format!("{name}_count{plain} {}\n", h.count));
+    out.push_str(&format!("{name}_sum{plain} {}\n", fmt_f64(h.sum)));
     for (label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
-        out.push_str(&format!(
-            "{name}{{quantile=\"{label}\"}} {}\n",
-            fmt_f64(h.quantile(q).unwrap_or(0.0))
-        ));
+        let qlabel = if base_labels.is_empty() {
+            format!("quantile=\"{label}\"")
+        } else {
+            format!("{base_labels},quantile=\"{label}\"")
+        };
+        out.push_str(&format!("{name}{{{qlabel}}} {}\n", fmt_f64(h.quantile(q).unwrap_or(0.0))));
     }
 }
 
@@ -623,5 +815,138 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("a\\\"b"), "escaped: {json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn merge_sums_overlapping_counters() {
+        let a = Registry::new();
+        a.counter("shared").add(3);
+        a.counter("only_a").add(1);
+        let b = Registry::new();
+        b.counter("shared").add(4);
+        b.counter("only_b").add(9);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.counter("shared"), 7, "overlapping names sum");
+        assert_eq!(m.counter("only_a"), 1, "disjoint names pass through");
+        assert_eq!(m.counter("only_b"), 9);
+    }
+
+    #[test]
+    fn merge_gauges_take_latest_by_timestamp() {
+        let mut a = Snapshot::default();
+        a.gauges.insert("depth".into(), 5.0);
+        a.gauges_at.insert("depth".into(), 100);
+        let mut b = Snapshot::default();
+        b.gauges.insert("depth".into(), 2.0);
+        b.gauges_at.insert("depth".into(), 200);
+        // b wrote later, so its (smaller) value wins — in both orders.
+        assert_eq!(a.merge(&b).gauges["depth"], 2.0);
+        assert_eq!(b.merge(&a).gauges["depth"], 2.0);
+        assert_eq!(a.merge(&b).gauges_at["depth"], 200, "winning stamp kept");
+        // Registry snapshots stamp gauges, so real merges get this too.
+        let r = Registry::new();
+        r.gauge("g").set(1.0);
+        let s = r.snapshot();
+        assert_eq!(s.gauges_at["g"], s.taken_at_micros);
+    }
+
+    #[test]
+    fn merge_hists_add_bucket_wise() {
+        let a = Registry::new();
+        for v in [1.0, 3.0, 700.0] {
+            a.histogram("lat").record(v);
+        }
+        let b = Registry::new();
+        for v in [2.0, 900.0] {
+            b.histogram("lat").record(v);
+        }
+        let m = a.snapshot().merge(&b.snapshot());
+        let h = &m.hists["lat"];
+        assert_eq!(h.count, 5);
+        assert!((h.sum - 1606.0).abs() < 1e-9);
+        let ha = a.snapshot().hists["lat"].clone();
+        let hb = b.snapshot().hists["lat"].clone();
+        for (i, &c) in h.buckets.iter().enumerate() {
+            assert_eq!(c, ha.buckets[i] + hb.buckets[i], "bucket {i} adds");
+        }
+    }
+
+    #[test]
+    fn merge_mismatched_hist_layouts_pick_one_side_deterministically() {
+        let a = Histogram::new(&[1.0, 2.0]);
+        a.record(1.5);
+        let b = Histogram::new(&[10.0, 20.0]);
+        b.record(15.0);
+        b.record(16.0);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let ab = sa.merge(&sb);
+        let ba = sb.merge(&sa);
+        assert_eq!(ab, ba, "winner independent of argument order");
+        assert_eq!(ab.count, 2, "bigger histogram kept whole");
+    }
+
+    /// Seeded SplitMix64 — enough randomness for property-style tests
+    /// without a dependency.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Random snapshot: overlapping key space ("m0".."m5"), integer
+    /// gauge values (exact under f64 addition is irrelevant for gauges,
+    /// but integer histogram samples keep `sum` exactly associative),
+    /// explicit per-gauge stamps.
+    fn random_snapshot(seed: u64) -> Snapshot {
+        let mut s = seed;
+        let mut snap =
+            Snapshot { taken_at_micros: splitmix(&mut s) % 1_000, ..Snapshot::default() };
+        for i in 0..6 {
+            let key = format!("m{i}");
+            if splitmix(&mut s) % 4 != 0 {
+                snap.counters.insert(key.clone(), splitmix(&mut s) % 1_000);
+            }
+            if splitmix(&mut s) % 4 != 0 {
+                snap.gauges.insert(key.clone(), (splitmix(&mut s) % 100) as f64);
+                snap.gauges_at.insert(key.clone(), splitmix(&mut s) % 1_000);
+            }
+            if splitmix(&mut s) % 4 != 0 {
+                let h = Histogram::exponential_micros();
+                for _ in 0..(splitmix(&mut s) % 20) {
+                    h.record((splitmix(&mut s) % 100_000) as f64);
+                }
+                snap.hists.insert(key.clone(), h.snapshot());
+            }
+            if splitmix(&mut s) % 4 != 0 {
+                let h = Histogram::exponential_micros();
+                for _ in 0..(splitmix(&mut s) % 10) {
+                    h.record((splitmix(&mut s) % 10_000) as f64);
+                }
+                snap.stages.insert(
+                    key,
+                    StageSnapshot {
+                        count: splitmix(&mut s) % 50,
+                        items: splitmix(&mut s) % 500,
+                        total_micros: splitmix(&mut s) % 10_000,
+                        self_micros: splitmix(&mut s) % 10_000,
+                        hist: h.snapshot(),
+                    },
+                );
+            }
+        }
+        snap
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative_on_seeded_registries() {
+        for seed in 0..32u64 {
+            let a = random_snapshot(seed.wrapping_mul(3).wrapping_add(1));
+            let b = random_snapshot(seed.wrapping_mul(5).wrapping_add(2));
+            let c = random_snapshot(seed.wrapping_mul(7).wrapping_add(3));
+            assert_eq!(a.merge(&b), b.merge(&a), "commutative (seed {seed})");
+            assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)), "associative (seed {seed})");
+        }
     }
 }

@@ -29,7 +29,7 @@ use crate::wire::{filter_str, ScoreItem, ScoreVerdict};
 use cats_core::ItemComments;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -88,11 +88,29 @@ pub struct ScoredBatch {
     pub verdicts: Vec<ScoreVerdict>,
 }
 
+/// What a worker sends back for one submitted request.
+#[derive(Debug, Clone)]
+pub enum BatchReply {
+    /// The request was scored (by the pinned version when one was given).
+    Scored(ScoredBatch),
+    /// The request pinned a model version this process no longer holds
+    /// (it fell out of the two-generation slot). HTTP answers 409 and
+    /// the router re-runs the whole request at the current version.
+    PinUnavailable {
+        /// The version the request demanded.
+        pinned: u64,
+        /// The version this process currently serves.
+        current: u64,
+    },
+}
+
 /// One queued request: its items plus the channel the worker answers on.
 struct Request {
     items: Vec<ScoreItem>,
+    /// Model version this request must be scored by, if pinned.
+    pin: Option<u64>,
     enqueued: Instant,
-    reply: mpsc::Sender<ScoredBatch>,
+    reply: mpsc::Sender<BatchReply>,
 }
 
 struct Shared {
@@ -103,8 +121,42 @@ struct Shared {
     /// Chaos hook: each pending count makes one worker iteration panic
     /// right after it pops its batch (see [`Batcher::inject_worker_panic`]).
     inject_panics: AtomicU32,
+    /// Items (not requests) currently queued — the numerator of the
+    /// 429 Retry-After estimate.
+    queued_items: AtomicU64,
+    /// EWMA of the drain rate in items/second, stored as f64 bits; 0
+    /// until the first batch completes.
+    drain_rate_bits: AtomicU64,
+    /// Clock reading (µs) when the last batch finished scoring.
+    last_drain_micros: AtomicU64,
     slot: Arc<ModelSlot>,
     config: BatchConfig,
+}
+
+impl Shared {
+    /// Records a completed drain of `items` items, updating the EWMA
+    /// drain rate (70% history / 30% newest sample).
+    fn note_drain(&self, items: u64) {
+        let now = cats_obs::now_micros();
+        let last = self.last_drain_micros.swap(now, Ordering::Relaxed);
+        let dt = now.saturating_sub(last).max(1);
+        let sample = items as f64 * 1e6 / dt as f64;
+        let old = f64::from_bits(self.drain_rate_bits.load(Ordering::Relaxed));
+        let blended = if old > 0.0 { 0.7 * old + 0.3 * sample } else { sample };
+        self.drain_rate_bits.store(blended.to_bits(), Ordering::Relaxed);
+        cats_obs::gauge("cats.serve.drain.items_per_s").set(blended);
+    }
+}
+
+/// Seconds an overloaded client should wait before retrying: queued
+/// items over the recent drain rate, clamped to `[1, 30]`. With no
+/// drain observed yet (rate 0) the answer is the pessimistic cap — an
+/// idle-then-slammed server should not promise a 1-second recovery.
+pub fn compute_retry_after(queued_items: u64, drain_rate_items_per_sec: f64) -> u64 {
+    if drain_rate_items_per_sec <= 1e-9 || !drain_rate_items_per_sec.is_finite() {
+        return 30;
+    }
+    ((queued_items as f64 / drain_rate_items_per_sec).ceil() as u64).clamp(1, 30)
 }
 
 /// Waits on `cv`, recovering from poison like [`cats_obs::lock_recover`]
@@ -140,6 +192,9 @@ impl Batcher {
             notify: Condvar::new(),
             draining: AtomicBool::new(false),
             inject_panics: AtomicU32::new(0),
+            queued_items: AtomicU64::new(0),
+            drain_rate_bits: AtomicU64::new(0f64.to_bits()),
+            last_drain_micros: AtomicU64::new(cats_obs::now_micros()),
             slot,
             config: config.clone(),
         });
@@ -163,12 +218,24 @@ impl Batcher {
     }
 
     /// Enqueues a request. On `Ok`, the receiver yields exactly one
-    /// [`ScoredBatch`] once a worker has scored the items; on `Err`,
+    /// [`BatchReply`] once a worker has handled the items; on `Err`,
     /// nothing was enqueued and the caller should answer 429/503.
     pub fn submit(
         &self,
         items: Vec<ScoreItem>,
-    ) -> Result<mpsc::Receiver<ScoredBatch>, RejectReason> {
+    ) -> Result<mpsc::Receiver<BatchReply>, RejectReason> {
+        self.submit_pinned(items, None)
+    }
+
+    /// [`Batcher::submit`] with an optional model-version pin: the
+    /// request is scored by exactly that generation, or answered with
+    /// [`BatchReply::PinUnavailable`] when the process no longer holds
+    /// it.
+    pub fn submit_pinned(
+        &self,
+        items: Vec<ScoreItem>,
+        pin: Option<u64>,
+    ) -> Result<mpsc::Receiver<BatchReply>, RejectReason> {
         if self.shared.draining.load(Ordering::Acquire) {
             cats_obs::counter("cats.serve.reject.draining").inc();
             return Err(RejectReason::Draining);
@@ -186,7 +253,8 @@ impl Batcher {
                 cats_obs::counter("cats.serve.reject.queue_full").inc();
                 return Err(RejectReason::QueueFull);
             }
-            q.push_back(Request { items, enqueued: Instant::now(), reply });
+            self.shared.queued_items.fetch_add(items.len() as u64, Ordering::Relaxed);
+            q.push_back(Request { items, pin, enqueued: Instant::now(), reply });
             cats_obs::gauge("cats.serve.queue.depth").set(q.len() as f64);
         }
         cats_obs::counter("cats.serve.requests").inc();
@@ -197,6 +265,15 @@ impl Batcher {
     /// Requests currently waiting in the queue.
     pub fn queue_depth(&self) -> usize {
         cats_obs::lock_recover(&self.shared.queue, "cats.serve.batch.queue").len()
+    }
+
+    /// `Retry-After` seconds for a 429: current queued items over the
+    /// EWMA drain rate (see [`compute_retry_after`]).
+    pub fn retry_after_secs(&self) -> u64 {
+        compute_retry_after(
+            self.shared.queued_items.load(Ordering::Relaxed),
+            f64::from_bits(self.shared.drain_rate_bits.load(Ordering::Relaxed)),
+        )
     }
 
     /// True once [`Batcher::shutdown`] has begun.
@@ -300,6 +377,7 @@ fn worker_loop(shared: &Shared) {
             batch.push(req);
         }
         depth_gauge.set(q.len() as f64);
+        shared.queued_items.fetch_sub(items_in_batch as u64, Ordering::Relaxed);
         let more_waiting = !q.is_empty();
         drop(q);
         if more_waiting {
@@ -319,44 +397,78 @@ fn worker_loop(shared: &Shared) {
             panic!("injected batch-worker panic (chaos)");
         }
 
-        // Phase 3: score outside the lock, one model load per batch so
-        // no request can straddle a hot-swap.
+        // Phase 3: score outside the lock. Requests are grouped by
+        // their version pin — one model load per group — so every
+        // *request* is still scored by exactly one coherent model even
+        // when a coalesced batch mixes pins mid-rolling-swap.
         batch_size.record(items_in_batch as f64);
         if let Some(oldest) = batch.iter().map(|r| r.enqueued).min() {
             batch_wait.record(oldest.elapsed().as_secs_f64() * 1e3);
         }
-        let model = shared.slot.load();
-        let comments: Vec<ItemComments> = batch
-            .iter()
-            .flat_map(|r| r.items.iter())
-            .map(|it| ItemComments::from_texts(it.comments.iter().map(String::as_str)))
-            .collect();
-        let sales: Vec<u64> =
-            batch.iter().flat_map(|r| r.items.iter()).map(|it| it.sales_volume).collect();
-        let reports = {
-            let _span = cats_obs::span!("cats.serve.batch.detect", { items_in_batch });
-            model.pipeline.detect(&comments, &sales)
-        };
-        cats_obs::counter("cats.serve.items_scored").add(items_in_batch as u64);
-
-        // Slice the flat report vector back into per-request replies.
-        let mut cursor = 0usize;
+        let mut groups: Vec<(Option<u64>, Vec<Request>)> = Vec::new();
         for req in batch {
-            let n = req.items.len();
-            let verdicts = reports[cursor..cursor + n]
-                .iter()
-                .zip(&req.items)
-                .map(|(rep, item)| ScoreVerdict {
-                    item_id: item.item_id,
-                    filter: filter_str(rep.filter).to_string(),
-                    score: rep.score,
-                    is_fraud: rep.is_fraud,
-                })
-                .collect();
-            cursor += n;
-            // A hung-up client (timed-out request) is not an error.
-            let _ = req.reply.send(ScoredBatch { model_version: model.version, verdicts });
+            match groups.iter_mut().find(|(p, _)| *p == req.pin) {
+                Some((_, g)) => g.push(req),
+                None => groups.push((req.pin, vec![req])),
+            }
         }
+        for (pin, group) in groups {
+            let model = match pin {
+                None => shared.slot.load(),
+                Some(v) => match shared.slot.load_version(v) {
+                    Some(m) => m,
+                    None => {
+                        // The pinned generation is gone: answer 409 so
+                        // the router re-runs at the current version
+                        // rather than silently mixing versions.
+                        let current = shared.slot.version();
+                        cats_obs::counter("cats.serve.batch.pin_unavailable")
+                            .add(group.len() as u64);
+                        for req in group {
+                            let _ =
+                                req.reply.send(BatchReply::PinUnavailable { pinned: v, current });
+                        }
+                        continue;
+                    }
+                },
+            };
+            let group_items: usize = group.iter().map(|r| r.items.len()).sum();
+            let comments: Vec<ItemComments> = group
+                .iter()
+                .flat_map(|r| r.items.iter())
+                .map(|it| ItemComments::from_texts(it.comments.iter().map(String::as_str)))
+                .collect();
+            let sales: Vec<u64> =
+                group.iter().flat_map(|r| r.items.iter()).map(|it| it.sales_volume).collect();
+            let reports = {
+                let _span = cats_obs::span!("cats.serve.batch.detect", { group_items });
+                model.pipeline.detect(&comments, &sales)
+            };
+            cats_obs::counter("cats.serve.items_scored").add(group_items as u64);
+
+            // Slice the flat report vector back into per-request replies.
+            let mut cursor = 0usize;
+            for req in group {
+                let n = req.items.len();
+                let verdicts = reports[cursor..cursor + n]
+                    .iter()
+                    .zip(&req.items)
+                    .map(|(rep, item)| ScoreVerdict {
+                        item_id: item.item_id,
+                        filter: filter_str(rep.filter).to_string(),
+                        score: rep.score,
+                        is_fraud: rep.is_fraud,
+                    })
+                    .collect();
+                cursor += n;
+                // A hung-up client (timed-out request) is not an error.
+                let _ = req.reply.send(BatchReply::Scored(ScoredBatch {
+                    model_version: model.version,
+                    verdicts,
+                }));
+            }
+        }
+        shared.note_drain(items_in_batch as u64);
     }
 }
 
@@ -367,6 +479,14 @@ mod tests {
 
     fn slot() -> Arc<ModelSlot> {
         Arc::new(ModelSlot::new(testutil::trained(0.0)))
+    }
+
+    /// Unwraps the scored arm (panics on a 409 reply).
+    fn scored(reply: BatchReply) -> ScoredBatch {
+        match reply {
+            BatchReply::Scored(s) => s,
+            other => panic!("expected a scored reply, got {other:?}"),
+        }
     }
 
     fn req(id: u64, fraud: bool) -> ScoreItem {
@@ -382,7 +502,7 @@ mod tests {
     fn single_request_roundtrips_in_order() {
         let batcher = Batcher::new(slot(), BatchConfig::default());
         let rx = batcher.submit(vec![req(1, true), req(2, false), req(3, true)]).unwrap();
-        let scored = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let scored = scored(rx.recv_timeout(Duration::from_secs(30)).unwrap());
         assert_eq!(scored.model_version, 1);
         let ids: Vec<u64> = scored.verdicts.iter().map(|v| v.item_id).collect();
         assert_eq!(ids, vec![1, 2, 3], "verdicts keep request order");
@@ -407,7 +527,7 @@ mod tests {
             })
             .collect();
         for (i, h) in handles.into_iter().enumerate() {
-            let scored = h.join().unwrap();
+            let scored = scored(h.join().unwrap());
             assert_eq!(scored.verdicts.len(), 1);
             assert_eq!(scored.verdicts[0].item_id, i as u64, "each caller gets its own item back");
         }
@@ -458,7 +578,7 @@ mod tests {
         );
         let rx = batcher.submit(vec![req(5, true)]).unwrap();
         batcher.shutdown();
-        let scored = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let scored = scored(rx.recv_timeout(Duration::from_secs(30)).unwrap());
         assert_eq!(scored.verdicts.len(), 1, "queued request scored during drain");
         assert_eq!(batcher.submit(vec![req(6, true)]).unwrap_err(), RejectReason::Draining);
         assert!(batcher.is_draining());
@@ -469,7 +589,7 @@ mod tests {
     fn empty_request_gets_an_empty_scored_batch() {
         let batcher = Batcher::new(slot(), BatchConfig::default());
         let rx = batcher.submit(Vec::new()).unwrap();
-        let scored = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let scored = scored(rx.recv_timeout(Duration::from_secs(30)).unwrap());
         assert!(scored.verdicts.is_empty());
         assert_eq!(scored.model_version, 1);
     }
@@ -499,8 +619,66 @@ mod tests {
         assert!(respawns.get() > respawns_before, "supervisor counted the respawn");
         // The respawned worker (same thread, re-entered loop) keeps scoring.
         let rx = batcher.submit(vec![req(2, false)]).unwrap();
-        let scored = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let scored = scored(rx.recv_timeout(Duration::from_secs(30)).unwrap());
         assert_eq!(scored.verdicts.len(), 1, "scoring capacity survives the panic");
         assert_eq!(scored.verdicts[0].item_id, 2);
+    }
+
+    #[test]
+    fn pinned_requests_score_on_their_generation_even_mid_batch() {
+        // Hold a long coalescing window so pinned-v1 and pinned-v2
+        // requests land in the SAME popped batch, then verify each was
+        // answered by its own version — the zero-skew invariant the
+        // rolling swap depends on.
+        let slot = slot();
+        let json = testutil::snapshot_json(&slot.load().pipeline);
+        slot.swap_tagged(testutil::restore(&json, 0.0), 2);
+        let batcher = Arc::new(Batcher::new(
+            slot,
+            BatchConfig {
+                max_batch_items: 1000,
+                max_delay: Duration::from_millis(150),
+                workers: 1,
+                ..BatchConfig::default()
+            },
+        ));
+        let rx1 = batcher.submit_pinned(vec![req(1, true)], Some(1)).unwrap();
+        let rx2 = batcher.submit_pinned(vec![req(2, true)], Some(2)).unwrap();
+        let s1 = scored(rx1.recv_timeout(Duration::from_secs(30)).unwrap());
+        let s2 = scored(rx2.recv_timeout(Duration::from_secs(30)).unwrap());
+        assert_eq!(s1.model_version, 1, "pinned to the previous generation");
+        assert_eq!(s2.model_version, 2, "pinned to the current generation");
+    }
+
+    #[test]
+    fn unavailable_pin_answers_conflict_not_wrong_version() {
+        let batcher = Batcher::new(slot(), BatchConfig::default());
+        let rx = batcher.submit_pinned(vec![req(1, true)], Some(99)).unwrap();
+        match rx.recv_timeout(Duration::from_secs(30)).unwrap() {
+            BatchReply::PinUnavailable { pinned: 99, current: 1 } => {}
+            other => panic!("expected PinUnavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_after_tracks_queue_depth_and_drain_rate() {
+        // No drain observed yet: pessimistic cap.
+        assert_eq!(compute_retry_after(10, 0.0), 30);
+        assert_eq!(compute_retry_after(0, 0.0), 30);
+        assert_eq!(compute_retry_after(5, f64::NAN), 30);
+        // Fast drain: clamped to the 1s floor, even with nothing queued.
+        assert_eq!(compute_retry_after(0, 100.0), 1);
+        assert_eq!(compute_retry_after(50, 100.0), 1);
+        // Backlog over rate, rounded up.
+        assert_eq!(compute_retry_after(250, 100.0), 3);
+        assert_eq!(compute_retry_after(1000, 100.0), 10);
+        // Deep backlog: clamped to the 30s cap.
+        assert_eq!(compute_retry_after(1_000_000, 100.0), 30);
+        // A served batcher converges to a sane dynamic value.
+        let batcher = Batcher::new(slot(), BatchConfig::default());
+        let rx = batcher.submit(vec![req(1, true)]).unwrap();
+        let _ = scored(rx.recv_timeout(Duration::from_secs(30)).unwrap());
+        let secs = batcher.retry_after_secs();
+        assert!((1..=30).contains(&secs), "retry-after {secs} outside [1,30]");
     }
 }

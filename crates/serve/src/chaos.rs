@@ -144,7 +144,8 @@ impl ChaosPlan {
 /// never hand the connection to a batch worker.
 pub fn send_slow_loris(addr: SocketAddr, dribble_bytes: usize) -> std::io::Result<()> {
     let mut stream = TcpStream::connect(addr)?;
-    let head = b"POST /v1/score HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 1000000\r\n";
+    let head =
+        b"POST /v1/score HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 1000000\r\n";
     for b in head.iter().take(dribble_bytes) {
         stream.write_all(std::slice::from_ref(b))?;
         stream.flush()?;
@@ -180,6 +181,75 @@ pub fn torn_rewrite(path: &Path, bytes: &[u8], rng: &mut ChaosRng) -> std::io::R
     assert!(bytes.len() >= 2, "nothing to tear");
     let cut = 1 + rng.below(bytes.len() as u64 - 1) as usize;
     std::fs::write(path, &bytes[..cut])
+}
+
+/// Deterministic heavy-tail traffic shape for cluster benches.
+///
+/// Real marketplace traffic is nothing like uniform: a few hot items
+/// absorb most of the scoring load (so one shard runs hot while others
+/// idle — exactly the regime where naive round-robin looks fine and
+/// consistent hashing has to prove itself), and volume swings on a
+/// diurnal cycle. `TrafficTrace` reproduces both from a seed: item
+/// draws follow a power-law over the pool (index `⌊n·u^skew⌋`, so
+/// `skew=3` sends ~22 % of draws to the first 1 % of items) and
+/// [`TrafficTrace::burst_factor`] modulates offered load sinusoidally
+/// over a fixed tick period. Same seed, same trace — the chaos bench's
+/// throughput floors stay comparable run to run.
+#[derive(Debug, Clone)]
+pub struct TrafficTrace {
+    rng: ChaosRng,
+    pool_size: usize,
+    /// Power-law exponent; 1.0 = uniform, larger = hotter head.
+    skew: f64,
+    /// Ticks per diurnal cycle.
+    burst_period: u64,
+    /// Peak-to-mean swing in `[0, 1)`.
+    burst_amplitude: f64,
+    tick: u64,
+}
+
+impl TrafficTrace {
+    /// A trace over `pool_size` items with the default shape (skew 3.0,
+    /// 400-tick cycle, ±60 % swing).
+    pub fn new(seed: u64, pool_size: usize) -> Self {
+        Self {
+            rng: ChaosRng::new(seed),
+            pool_size: pool_size.max(1),
+            skew: 3.0,
+            burst_period: 400,
+            burst_amplitude: 0.6,
+            tick: 0,
+        }
+    }
+
+    /// Overrides the power-law exponent (clamped to ≥ 1).
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        self.skew = skew.max(1.0);
+        self
+    }
+
+    /// Overrides the diurnal cycle shape.
+    pub fn with_burst(mut self, period: u64, amplitude: f64) -> Self {
+        self.burst_period = period.max(1);
+        self.burst_amplitude = amplitude.clamp(0.0, 0.95);
+        self
+    }
+
+    /// Draws the next item index in `0..pool_size`, heavy-tailed toward
+    /// low indexes, and advances the trace one tick.
+    pub fn draw_item(&mut self) -> usize {
+        self.tick = self.tick.wrapping_add(1);
+        let u = self.rng.next_f64();
+        ((self.pool_size as f64 * u.powf(self.skew)) as usize).min(self.pool_size - 1)
+    }
+
+    /// Load multiplier for the current tick: `1 ± amplitude`, swinging
+    /// over one `burst_period`. Callers scale their pacing (or batch
+    /// size) by it to reproduce diurnal bursts.
+    pub fn burst_factor(&self) -> f64 {
+        let phase = (self.tick % self.burst_period) as f64 / self.burst_period as f64;
+        1.0 + self.burst_amplitude * (phase * std::f64::consts::TAU).sin()
+    }
 }
 
 #[cfg(test)]
@@ -230,8 +300,7 @@ mod tests {
 
     #[test]
     fn torn_rewrite_writes_a_strict_prefix() {
-        let path =
-            std::env::temp_dir().join(format!("cats_chaos_tear_{}", std::process::id()));
+        let path = std::env::temp_dir().join(format!("cats_chaos_tear_{}", std::process::id()));
         let bytes = b"CATS-IO1 deadbeef 64\nsome payload that will be cut";
         let mut rng = ChaosRng::new(3);
         for _ in 0..20 {
@@ -241,6 +310,44 @@ mod tests {
             assert_eq!(&bytes[..torn.len()], &torn[..], "a tear is a prefix, not noise");
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn traffic_trace_is_deterministic_and_in_range() {
+        let mut a = TrafficTrace::new(11, 500);
+        let mut b = TrafficTrace::new(11, 500);
+        let da: Vec<usize> = (0..256).map(|_| a.draw_item()).collect();
+        let db: Vec<usize> = (0..256).map(|_| b.draw_item()).collect();
+        assert_eq!(da, db, "trace is a pure function of the seed");
+        assert!(da.iter().all(|&i| i < 500));
+    }
+
+    #[test]
+    fn traffic_trace_has_a_hot_head() {
+        let mut trace = TrafficTrace::new(5, 1000);
+        let draws = 20_000;
+        let hot = (0..draws).filter(|_| trace.draw_item() < 100).count();
+        // Uniform traffic would put ~10% of draws in the first 10% of
+        // the pool; the default skew concentrates far more.
+        assert!(
+            hot as f64 / draws as f64 > 0.35,
+            "only {hot}/{draws} draws hit the hot head — trace is not heavy-tailed"
+        );
+    }
+
+    #[test]
+    fn burst_factor_swings_and_stays_positive() {
+        let mut trace = TrafficTrace::new(1, 10).with_burst(100, 0.6);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..300 {
+            trace.draw_item();
+            let f = trace.burst_factor();
+            assert!(f > 0.0, "{f}");
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        assert!(hi > 1.3 && lo < 0.7, "cycle should swing around 1.0: lo={lo} hi={hi}");
     }
 
     #[test]
@@ -261,8 +368,8 @@ mod tests {
                 let _ = send_mid_body_disconnect(addr);
             }
         }
-        let client = crate::ScoreClient::new(addr.to_string())
-            .with_timeout(Duration::from_secs(30));
+        let client =
+            crate::ScoreClient::new(addr.to_string()).with_timeout(Duration::from_secs(30));
         let items = vec![crate::ScoreItem {
             item_id: 9,
             sales_volume: 50,

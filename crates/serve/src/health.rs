@@ -1,0 +1,199 @@
+//! Shard health tracking: the state machine behind the router's
+//! ejection / re-admission decisions.
+//!
+//! The policy is deliberately classical (consecutive-failure ejection,
+//! consecutive-success re-admission — the same shape as envoy-style
+//! outlier detection): a shard is [`ShardState::Live`] until
+//! [`HealthConfig::eject_after`] *consecutive* probe or request
+//! failures, at which point it is ejected and receives no routed
+//! traffic; while ejected, the prober keeps probing, and
+//! [`HealthConfig::readmit_after`] consecutive successes make it
+//! eligible for re-admission. Re-admission is completed by the router
+//! (not here) because the shard must first be synced to the cluster's
+//! current model version — a restarted shard comes back at v1 and must
+//! not serve pinned-v5 traffic.
+//!
+//! The state machine itself is pure (no clock, no sockets): the router
+//! feeds it probe results and request outcomes, and unit tests drive
+//! every transition deterministically.
+
+/// Health-policy knobs.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Consecutive failures that eject a live shard.
+    pub eject_after: u32,
+    /// Consecutive probe successes an ejected shard needs before the
+    /// router re-admits it.
+    pub readmit_after: u32,
+    /// Wall-clock pause between probe rounds.
+    pub probe_interval: std::time::Duration,
+    /// Per-probe connect/read budget.
+    pub probe_timeout: std::time::Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            eject_after: 3,
+            readmit_after: 2,
+            probe_interval: std::time::Duration::from_millis(100),
+            probe_timeout: std::time::Duration::from_millis(500),
+        }
+    }
+}
+
+/// Routing-visible state of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Receiving routed traffic.
+    Live,
+    /// Out of the rotation; probed but not routed to.
+    Ejected,
+}
+
+impl ShardState {
+    /// Wire spelling used in the router's `/healthz`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Live => "live",
+            Self::Ejected => "ejected",
+        }
+    }
+}
+
+/// A state transition the caller must act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// The shard just crossed the failure threshold: pull it from the
+    /// ring now.
+    Ejected,
+    /// The shard has proven itself again: sync its model version, then
+    /// call [`ShardHealth::mark_readmitted`].
+    ReadyToReadmit,
+}
+
+/// Per-shard health accounting. Pure: callers supply the observations.
+#[derive(Debug)]
+pub struct ShardHealth {
+    state: ShardState,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    config_eject_after: u32,
+    config_readmit_after: u32,
+}
+
+impl ShardHealth {
+    /// A live shard with zeroed streaks.
+    pub fn new(config: &HealthConfig) -> Self {
+        Self {
+            state: ShardState::Live,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+            config_eject_after: config.eject_after.max(1),
+            config_readmit_after: config.readmit_after.max(1),
+        }
+    }
+
+    pub fn state(&self) -> ShardState {
+        self.state
+    }
+
+    /// Records a failed probe or routed request. Returns
+    /// [`HealthEvent::Ejected`] exactly once, on the transition.
+    pub fn record_failure(&mut self) -> Option<HealthEvent> {
+        self.consecutive_successes = 0;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.state == ShardState::Live && self.consecutive_failures >= self.config_eject_after {
+            self.state = ShardState::Ejected;
+            return Some(HealthEvent::Ejected);
+        }
+        None
+    }
+
+    /// Records a successful probe or routed request. For an ejected
+    /// shard, returns [`HealthEvent::ReadyToReadmit`] on every success
+    /// past the threshold until the router completes re-admission via
+    /// [`ShardHealth::mark_readmitted`] (version sync can fail, so the
+    /// offer must repeat).
+    pub fn record_success(&mut self) -> Option<HealthEvent> {
+        self.consecutive_failures = 0;
+        self.consecutive_successes = self.consecutive_successes.saturating_add(1);
+        if self.state == ShardState::Ejected
+            && self.consecutive_successes >= self.config_readmit_after
+        {
+            return Some(HealthEvent::ReadyToReadmit);
+        }
+        None
+    }
+
+    /// Completes re-admission after the router has synced the shard to
+    /// the cluster model version.
+    pub fn mark_readmitted(&mut self) {
+        self.state = ShardState::Live;
+        self.consecutive_failures = 0;
+        self.consecutive_successes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(eject: u32, readmit: u32) -> HealthConfig {
+        HealthConfig { eject_after: eject, readmit_after: readmit, ..HealthConfig::default() }
+    }
+
+    #[test]
+    fn ejects_only_after_consecutive_failures() {
+        let mut h = ShardHealth::new(&config(3, 2));
+        assert_eq!(h.record_failure(), None);
+        assert_eq!(h.record_failure(), None);
+        // An intervening success resets the streak.
+        assert_eq!(h.record_success(), None);
+        assert_eq!(h.record_failure(), None);
+        assert_eq!(h.record_failure(), None);
+        assert_eq!(h.record_failure(), Some(HealthEvent::Ejected), "third consecutive");
+        assert_eq!(h.state(), ShardState::Ejected);
+        // Already ejected: further failures are not a new event.
+        assert_eq!(h.record_failure(), None);
+    }
+
+    #[test]
+    fn readmission_offer_repeats_until_marked() {
+        let mut h = ShardHealth::new(&config(1, 2));
+        assert_eq!(h.record_failure(), Some(HealthEvent::Ejected));
+        assert_eq!(h.record_success(), None, "one success is not enough");
+        assert_eq!(h.record_success(), Some(HealthEvent::ReadyToReadmit));
+        // Version sync failed, say — the offer must come again.
+        assert_eq!(h.record_success(), Some(HealthEvent::ReadyToReadmit));
+        h.mark_readmitted();
+        assert_eq!(h.state(), ShardState::Live);
+        assert_eq!(h.record_success(), None, "live shards emit no readmit offers");
+    }
+
+    #[test]
+    fn failure_mid_probation_restarts_the_probation() {
+        let mut h = ShardHealth::new(&config(1, 3));
+        h.record_failure();
+        assert_eq!(h.state(), ShardState::Ejected);
+        h.record_success();
+        h.record_success();
+        assert_eq!(h.record_failure(), None, "already ejected");
+        assert_eq!(h.record_success(), None);
+        assert_eq!(h.record_success(), None);
+        assert_eq!(h.record_success(), Some(HealthEvent::ReadyToReadmit), "streak restarted");
+    }
+
+    #[test]
+    fn zero_thresholds_are_clamped_sane() {
+        let mut h = ShardHealth::new(&config(0, 0));
+        assert_eq!(h.record_failure(), Some(HealthEvent::Ejected), "0 clamps to 1");
+        assert_eq!(h.record_success(), Some(HealthEvent::ReadyToReadmit));
+    }
+
+    #[test]
+    fn state_spellings_match_the_wire() {
+        assert_eq!(ShardState::Live.as_str(), "live");
+        assert_eq!(ShardState::Ejected.as_str(), "ejected");
+    }
+}

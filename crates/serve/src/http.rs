@@ -6,19 +6,26 @@
 //! the batcher queue, and it keeps the crate free of any async runtime
 //! or HTTP framework. Routes:
 //!
-//! | route            | behaviour                                           |
-//! |------------------|-----------------------------------------------------|
-//! | `POST /v1/score` | parse → [`crate::Batcher::submit`] → wait → 200     |
-//! | `GET /healthz`   | `ok`/`draining`, model version, queue depth         |
-//! | `GET /metrics`   | `cats-obs` Prometheus exporter (text format 0.0.4)  |
+//! | route               | behaviour                                          |
+//! |---------------------|----------------------------------------------------|
+//! | `POST /v1/score`    | parse → [`crate::Batcher::submit_pinned`] → 200    |
+//! | `GET /healthz`      | `ok`/`draining`, model version, queue depth        |
+//! | `GET /metrics`      | `cats-obs` Prometheus exporter (text format 0.0.4) |
+//! | `GET /metrics.json` | serde snapshot of the registry (router merges it)  |
+//! | `POST /admin/load`  | install a snapshot file as a tagged model version  |
 //!
 //! Backpressure maps to status codes, never to stalled sockets: a full
-//! queue answers 429 with `Retry-After`, a draining server answers 503,
-//! an oversized body answers 413 — all in microseconds.
+//! queue answers 429 with a `Retry-After` computed from queue depth and
+//! the recent drain rate, a draining server answers 503, an oversized
+//! body answers 413 — all in microseconds. A request pinned to a model
+//! version this process no longer holds answers 409 (the cluster router
+//! re-runs it at the current version).
 
-use crate::batcher::{BatchConfig, Batcher, RejectReason};
+use crate::batcher::{BatchConfig, BatchReply, Batcher, RejectReason};
 use crate::model::ModelSlot;
-use crate::wire::{ErrorResponse, HealthResponse, ScoreResponse};
+use crate::wire::{
+    AdminLoadRequest, AdminLoadResponse, ErrorResponse, HealthResponse, ScoreResponse, WireSnapshot,
+};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -175,10 +182,10 @@ fn accept_loop(
 }
 
 /// Parsed request head: method, path and declared body length.
-struct RequestHead {
-    method: String,
-    path: String,
-    content_length: usize,
+pub(crate) struct RequestHead {
+    pub(crate) method: String,
+    pub(crate) path: String,
+    pub(crate) content_length: usize,
 }
 
 /// Parses an HTTP/1.1 request head (everything before the blank line).
@@ -201,7 +208,7 @@ fn parse_head(head: &str) -> Result<RequestHead, String> {
 }
 
 /// Reads one request (head + body) off the stream.
-fn read_request(
+pub(crate) fn read_request(
     stream: &mut TcpStream,
     max_body: usize,
 ) -> Result<(RequestHead, String), (u16, String)> {
@@ -243,22 +250,24 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn status_text(status: u16) -> &'static str {
+pub(crate) fn status_text(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Internal Server Error",
     }
 }
 
-fn write_response(
+pub(crate) fn write_response(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
@@ -276,7 +285,12 @@ fn write_response(
     let _ = stream.flush();
 }
 
-fn write_json_error(stream: &mut TcpStream, status: u16, extra_headers: &str, msg: &str) {
+pub(crate) fn write_json_error(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &str,
+    msg: &str,
+) {
     let body = serde_json::to_string(&ErrorResponse { error: msg.to_string() })
         .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string());
     write_response(stream, status, "application/json", extra_headers, &body);
@@ -324,6 +338,13 @@ fn route(stream: &mut TcpStream, shared: &ServerShared, head: &RequestHead, body
             write_response(stream, 200, "text/plain; version=0.0.4", "", &text);
             200
         }
+        ("GET", "/metrics.json") => {
+            let wire: WireSnapshot = (&cats_obs::global().snapshot()).into();
+            let body = serde_json::to_string(&wire).expect("snapshot serializes");
+            write_response(stream, 200, "application/json", "", &body);
+            200
+        }
+        ("POST", "/admin/load") => admin_load(stream, shared, body),
         ("POST" | "GET", _) => {
             write_json_error(stream, 404, "", &format!("no such route: {}", head.path));
             404
@@ -336,17 +357,21 @@ fn route(stream: &mut TcpStream, shared: &ServerShared, head: &RequestHead, body
 }
 
 fn score(stream: &mut TcpStream, shared: &ServerShared, body: &str) -> u16 {
-    let items = match crate::wire::parse_score_request(body) {
-        Ok(items) => items,
+    let (items, pin) = match crate::wire::parse_score_request(body) {
+        Ok(parsed) => parsed,
         Err(e) => {
             write_json_error(stream, 400, "", &e);
             return 400;
         }
     };
-    let rx = match shared.batcher.submit(items) {
+    let rx = match shared.batcher.submit_pinned(items, pin) {
         Ok(rx) => rx,
         Err(RejectReason::QueueFull) => {
-            write_json_error(stream, 429, "Retry-After: 1\r\n", "queue full, retry later");
+            // Honest backpressure: promise a retry window derived from
+            // how deep the queue is and how fast it has been draining,
+            // not a hardcoded guess.
+            let retry_after = format!("Retry-After: {}\r\n", shared.batcher.retry_after_secs());
+            write_json_error(stream, 429, &retry_after, "queue full, retry later");
             return 429;
         }
         Err(RejectReason::Draining) => {
@@ -355,12 +380,21 @@ fn score(stream: &mut TcpStream, shared: &ServerShared, body: &str) -> u16 {
         }
     };
     match rx.recv_timeout(shared.config.request_timeout) {
-        Ok(scored) => {
+        Ok(BatchReply::Scored(scored)) => {
             let resp =
                 ScoreResponse { model_version: scored.model_version, verdicts: scored.verdicts };
             let body = serde_json::to_string(&resp).expect("score response serializes");
             write_response(stream, 200, "application/json", "", &body);
             200
+        }
+        Ok(BatchReply::PinUnavailable { pinned, current }) => {
+            write_json_error(
+                stream,
+                409,
+                "",
+                &format!("model version {pinned} is gone (serving v{current})"),
+            );
+            409
         }
         Err(mpsc::RecvTimeoutError::Timeout) => {
             write_json_error(stream, 504, "", "scoring timed out");
@@ -374,6 +408,35 @@ fn score(stream: &mut TcpStream, shared: &ServerShared, body: &str) -> u16 {
             cats_obs::counter("cats.serve.http.internal_errors").inc();
             write_json_error(stream, 500, "", "internal scoring error");
             500
+        }
+    }
+}
+
+/// `POST /admin/load`: parse, validate and install a snapshot file as a
+/// router-assigned model version. Invalid files answer 400 and leave
+/// the serving model untouched — the same keep-the-old-model contract
+/// as the file watcher.
+fn admin_load(stream: &mut TcpStream, shared: &ServerShared, body: &str) -> u16 {
+    let req: AdminLoadRequest = match serde_json::from_str(body) {
+        Ok(r) => r,
+        Err(e) => {
+            write_json_error(stream, 400, "", &format!("body: {e}"));
+            return 400;
+        }
+    };
+    match crate::model::load_pipeline_file(std::path::Path::new(&req.path)) {
+        Ok(pipeline) => {
+            let version = shared.slot.swap_tagged(pipeline, req.version);
+            cats_obs::counter("cats.serve.admin.loads").inc();
+            let body = serde_json::to_string(&AdminLoadResponse { version })
+                .expect("admin response serializes");
+            write_response(stream, 200, "application/json", "", &body);
+            200
+        }
+        Err(e) => {
+            cats_obs::counter("cats.serve.admin.load_errors").inc();
+            write_json_error(stream, 400, "", &format!("load: {e}"));
+            400
         }
     }
 }
@@ -409,9 +472,10 @@ mod tests {
 
     #[test]
     fn status_lines_cover_the_codes_we_emit() {
-        for code in [200, 400, 404, 405, 413, 429, 431, 503, 504] {
+        for code in [200, 400, 404, 405, 409, 413, 429, 431, 502, 503, 504] {
             assert!(!status_text(code).is_empty());
         }
+        assert_eq!(status_text(409), "Conflict");
         assert_eq!(status_text(500), "Internal Server Error");
         assert_eq!(status_text(599), "Internal Server Error");
     }

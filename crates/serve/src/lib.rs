@@ -27,25 +27,46 @@
 //! speak through. The [`chaos`] module supplies deterministic, seeded
 //! fault injection (slow-loris clients, mid-body disconnects, torn
 //! snapshot rewrites, worker panics) for the `exp_soak` bench and the
-//! failure-model tests (DESIGN.md §10).
+//! failure-model tests (DESIGN.md §10), plus the heavy-tail
+//! [`TrafficTrace`] the cluster bench drives load with.
+//!
+//! On top of the single-process server sits the **cluster layer**
+//! (DESIGN.md §11): [`shard`] wraps the server into spawnable shard
+//! child processes, [`health`] is the pure ejection/re-admission state
+//! machine, and [`router`] consistent-hashes items across the shards,
+//! replays sub-requests past dead shards, aggregates `/metrics`, and
+//! coordinates rolling model swaps so no request ever observes two
+//! model versions.
 //!
 //! Everything is instrumented into the global `cats-obs` registry under
 //! `cats.serve.*`: queue depth, batch size, request latency
-//! (p50/p95/p99 via `/metrics`), rejection and swap counters.
+//! (p50/p95/p99 via `/metrics`), rejection, swap and router
+//! retry/ejection counters.
 
 pub mod batcher;
 pub mod chaos;
 pub mod client;
+pub mod health;
 pub mod http;
 pub mod model;
+pub mod router;
+pub mod shard;
 pub mod wire;
 
-pub use batcher::{BatchConfig, Batcher, RejectReason, ScoredBatch};
-pub use chaos::{ChaosPlan, ChaosRng, Fault};
+pub use batcher::{
+    compute_retry_after, BatchConfig, BatchReply, Batcher, RejectReason, ScoredBatch,
+};
+pub use chaos::{ChaosPlan, ChaosRng, Fault, TrafficTrace};
 pub use client::{ClientError, ScoreClient};
+pub use health::{HealthConfig, HealthEvent, ShardHealth, ShardState};
 pub use http::{ServeConfig, Server};
 pub use model::{load_pipeline_file, ModelSlot, ModelWatcher, VersionedModel};
-pub use wire::{HealthResponse, ScoreItem, ScoreResponse, ScoreVerdict};
+pub use router::{HashRing, Router, RouterConfig};
+pub use shard::{announce_ready, start_shard, ShardOpts, ShardProcess, READY_PREFIX};
+pub use wire::{
+    AdminLoadRequest, AdminLoadResponse, HealthResponse, RouterHealthResponse, ScoreItem,
+    ScoreRequest, ScoreResponse, ScoreVerdict, ShardHealthInfo, WireSnapshot,
+};
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -35,8 +35,15 @@ pub struct VersionedModel {
 }
 
 /// Atomically swappable model reference shared by every serving thread.
+///
+/// The slot keeps **two** generations: the current model and the one it
+/// displaced. During a cluster rolling swap a router pins every request
+/// to one version; a shard that has already advanced can still serve
+/// requests pinned to the old version from the `previous` slot, so the
+/// swap never forces a mixed-version response (see `router.rs`).
 pub struct ModelSlot {
     current: Mutex<Arc<VersionedModel>>,
+    previous: Mutex<Option<Arc<VersionedModel>>>,
     version: AtomicU64,
 }
 
@@ -46,6 +53,7 @@ impl ModelSlot {
         cats_obs::gauge("cats.serve.model.version").set(1.0);
         Self {
             current: Mutex::new(Arc::new(VersionedModel { version: 1, pipeline })),
+            previous: Mutex::new(None),
             version: AtomicU64::new(1),
         }
     }
@@ -56,12 +64,41 @@ impl ModelSlot {
         cats_obs::lock_recover(&self.current, "cats.serve.model.slot").clone()
     }
 
+    /// The model published as `version`, if it is still one of the two
+    /// retained generations (current or the one before it).
+    pub fn load_version(&self, version: u64) -> Option<Arc<VersionedModel>> {
+        let cur = self.load();
+        if cur.version == version {
+            return Some(cur);
+        }
+        cats_obs::lock_recover(&self.previous, "cats.serve.model.slot.prev")
+            .clone()
+            .filter(|p| p.version == version)
+    }
+
     /// Atomically replaces the model, returning the new version.
-    /// In-flight readers keep the Arc they already loaded.
+    /// In-flight readers keep the Arc they already loaded; the displaced
+    /// model stays resolvable through [`ModelSlot::load_version`].
     pub fn swap(&self, pipeline: CatsPipeline) -> u64 {
         let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
+        self.publish(pipeline, version)
+    }
+
+    /// [`ModelSlot::swap`] with a caller-chosen version tag. Cluster
+    /// rolling swaps use this so every shard lands on the *same* number
+    /// for the same artifact; tags must be monotonically increasing
+    /// (the router's coordinator guarantees it).
+    pub fn swap_tagged(&self, pipeline: CatsPipeline, version: u64) -> u64 {
+        self.publish(pipeline, version)
+    }
+
+    fn publish(&self, pipeline: CatsPipeline, version: u64) -> u64 {
         let next = Arc::new(VersionedModel { version, pipeline });
-        *cats_obs::lock_recover(&self.current, "cats.serve.model.slot") = next;
+        let mut cur = cats_obs::lock_recover(&self.current, "cats.serve.model.slot");
+        let old = std::mem::replace(&mut *cur, next);
+        *cats_obs::lock_recover(&self.previous, "cats.serve.model.slot.prev") = Some(old);
+        drop(cur);
+        self.version.fetch_max(version, Ordering::Relaxed);
         cats_obs::counter("cats.serve.model.swaps").inc();
         cats_obs::gauge("cats.serve.model.version").set(version as f64);
         version
@@ -315,6 +352,24 @@ mod tests {
 
         watcher.stop();
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn two_generations_stay_resolvable_across_a_tagged_swap() {
+        let pipeline = testutil::trained(0.0);
+        let json = testutil::snapshot_json(&pipeline);
+        let slot = ModelSlot::new(pipeline);
+        assert!(slot.load_version(1).is_some(), "v1 current");
+        assert!(slot.load_version(2).is_none(), "v2 not published yet");
+        assert_eq!(slot.swap_tagged(testutil::restore(&json, 0.1), 7), 7);
+        assert_eq!(slot.version(), 7, "tagged swap advances the version");
+        assert_eq!(slot.load().version, 7);
+        assert_eq!(slot.load_version(1).unwrap().version, 1, "previous retained");
+        // A second swap evicts v1: only the last two generations live.
+        slot.swap_tagged(testutil::restore(&json, 0.2), 9);
+        assert!(slot.load_version(1).is_none(), "two-deep history only");
+        assert!(slot.load_version(7).is_some());
+        assert!(slot.load_version(9).is_some());
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Shard-process plumbing: the in-process shard server (child side) and
+//! the [`ShardProcess`] handle the router uses to spawn, watch, kill
+//! and restart shard child processes over loopback TCP.
+//!
+//! A shard is an ordinary [`crate::Server`] wrapped in two cluster
+//! affordances:
+//!
+//! * **Readiness announcement** — the child prints
+//!   `CATS-SHARD-READY <addr>` on stdout once its socket is bound, so
+//!   the parent learns the real address (port 0 binds) without racing
+//!   the bind.
+//! * **Bind retry** — a shard restarted onto its old address tolerates
+//!   `EADDRINUSE` for a grace window, because the killed predecessor's
+//!   socket may linger briefly; same-port restart is what lets the hash
+//!   ring keep its slot stable across a crash.
+//!
+//! The parent side spawns the child with `std::process::Command`, reads
+//! the ready line off piped stdout (with a timeout), and can SIGKILL it
+//! mid-request — that is exactly the chaos `exp_cluster` injects.
+
+use crate::http::{ServeConfig, Server};
+use crate::model::{load_pipeline_file, ModelSlot};
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Stdout prefix announcing a bound shard: `CATS-SHARD-READY <addr>`.
+pub const READY_PREFIX: &str = "CATS-SHARD-READY ";
+
+/// Child-side shard configuration.
+#[derive(Debug, Clone)]
+pub struct ShardOpts {
+    /// Bind address (port 0 lets the OS pick; the ready line reports it).
+    pub addr: String,
+    /// Model snapshot file to serve at startup (as version 1).
+    pub model_path: PathBuf,
+    /// Batch workers per shard.
+    pub workers: usize,
+    /// Feature-extraction threads per shard; 0 = auto. Cluster runs pin
+    /// this to a slice of the machine so N shards don't oversubscribe
+    /// N× the cores.
+    pub score_threads: usize,
+}
+
+/// Starts an in-process shard server: loads the model, pins its
+/// parallelism, binds (retrying `EADDRINUSE` for ~10 s to absorb
+/// same-port restarts) and returns the running server.
+pub fn start_shard(opts: &ShardOpts) -> Result<Server, String> {
+    let mut pipeline = load_pipeline_file(&opts.model_path)?;
+    if opts.score_threads > 0 {
+        pipeline
+            .detector_mut()
+            .set_parallelism(cats_par::Parallelism::with_threads(opts.score_threads));
+    }
+    let slot = Arc::new(ModelSlot::new(pipeline));
+    let config = ServeConfig {
+        addr: opts.addr.clone(),
+        batch: crate::batcher::BatchConfig {
+            workers: opts.workers.max(1),
+            ..crate::batcher::BatchConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Server::start(slot.clone(), config.clone()) {
+            Ok(server) => return Ok(server),
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse && Instant::now() < deadline => {
+                // The killed predecessor's socket is still lingering;
+                // its FIN/cleanup completes shortly.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(format!("bind {}: {e}", opts.addr)),
+        }
+    }
+}
+
+/// Prints the readiness line the parent waits for. Separated from
+/// [`start_shard`] so in-process tests can skip it.
+pub fn announce_ready(server: &Server) {
+    println!("{READY_PREFIX}{}", server.addr());
+    // The parent reads stdout through a pipe; make sure the line moves.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+}
+
+/// Parent-side handle on one spawned shard child process.
+pub struct ShardProcess {
+    /// Shard id — its slot on the hash ring.
+    pub id: usize,
+    /// Address the child announced.
+    pub addr: String,
+    child: Child,
+}
+
+impl ShardProcess {
+    /// Spawns `exe` with `args` (which must put the child into shard
+    /// mode), waits up to `ready_timeout` for the `CATS-SHARD-READY`
+    /// line on its stdout, and returns the handle. The child's stdout
+    /// keeps streaming to a drain thread afterwards so the pipe never
+    /// fills and blocks it.
+    pub fn spawn(
+        id: usize,
+        exe: &std::path::Path,
+        args: &[String],
+        ready_timeout: Duration,
+    ) -> Result<ShardProcess, String> {
+        let mut child = Command::new(exe)
+            .args(args)
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn shard {id}: {e}"))?;
+        let stdout = child.stdout.take().ok_or_else(|| format!("shard {id}: no stdout pipe"))?;
+        let (tx, rx) = mpsc::channel();
+        std::thread::Builder::new()
+            .name(format!("cats-shard-{id}-stdout"))
+            .spawn(move || {
+                let reader = std::io::BufReader::new(stdout);
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    if let Some(addr) = line.strip_prefix(READY_PREFIX) {
+                        let _ = tx.send(addr.trim().to_string());
+                    }
+                    // Other shard output is dropped; shards log to
+                    // stderr, which stays inherited.
+                }
+            })
+            .map_err(|e| format!("spawn shard {id} stdout drain: {e}"))?;
+        match rx.recv_timeout(ready_timeout) {
+            Ok(addr) => Ok(ShardProcess { id, addr, child }),
+            Err(_) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                Err(format!("shard {id}: no ready line within {ready_timeout:?}"))
+            }
+        }
+    }
+
+    /// SIGKILLs the child (no graceful drain — that is the point: the
+    /// cluster must survive exactly this) and reaps it.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// True while the child has not exited.
+    pub fn is_alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+}
+
+impl Drop for ShardProcess {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_line_roundtrips_an_addr() {
+        let line = format!("{READY_PREFIX}127.0.0.1:4321");
+        assert_eq!(line.strip_prefix(READY_PREFIX), Some("127.0.0.1:4321"));
+    }
+
+    #[test]
+    fn spawn_failure_is_a_typed_error() {
+        let err = ShardProcess::spawn(
+            0,
+            std::path::Path::new("/nonexistent/cats-shard-binary"),
+            &[],
+            Duration::from_millis(100),
+        )
+        .unwrap_err();
+        assert!(err.contains("spawn shard 0"), "{err}");
+    }
+
+    #[test]
+    fn silent_child_times_out_and_is_reaped() {
+        // `sleep` never prints a ready line; spawn must time out and
+        // kill it rather than hang.
+        let started = Instant::now();
+        let err = ShardProcess::spawn(
+            1,
+            std::path::Path::new("/bin/sleep"),
+            &["5".to_string()],
+            Duration::from_millis(200),
+        )
+        .unwrap_err();
+        assert!(err.contains("no ready line"), "{err}");
+        assert!(started.elapsed() < Duration::from_secs(4), "child was not awaited to term");
+    }
+}

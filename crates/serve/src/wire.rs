@@ -64,6 +64,122 @@ pub struct ErrorResponse {
     pub error: String,
 }
 
+/// Serde mirror of [`cats_obs::Snapshot`] for `GET /metrics.json`.
+///
+/// `cats-obs` is deliberately dependency-free, so it cannot derive
+/// serde itself; shards export this mirror and the router converts back
+/// to a real [`cats_obs::Snapshot`] to drive [`cats_obs::Snapshot::merge`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireSnapshot {
+    pub counters: std::collections::BTreeMap<String, u64>,
+    pub gauges: std::collections::BTreeMap<String, f64>,
+    #[serde(default)]
+    pub gauges_at: std::collections::BTreeMap<String, u64>,
+    #[serde(default)]
+    pub taken_at_micros: u64,
+    pub hists: std::collections::BTreeMap<String, WireHist>,
+    pub stages: std::collections::BTreeMap<String, WireStage>,
+}
+
+/// Serde mirror of [`cats_obs::HistSnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireHist {
+    pub bounds: Vec<f64>,
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+}
+
+/// Serde mirror of [`cats_obs::StageSnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireStage {
+    pub count: u64,
+    pub items: u64,
+    pub total_micros: u64,
+    pub self_micros: u64,
+    pub hist: WireHist,
+}
+
+impl From<&cats_obs::HistSnapshot> for WireHist {
+    fn from(h: &cats_obs::HistSnapshot) -> Self {
+        WireHist {
+            bounds: h.bounds.clone(),
+            buckets: h.buckets.clone(),
+            count: h.count,
+            sum: h.sum,
+        }
+    }
+}
+
+impl WireHist {
+    fn into_hist(self) -> cats_obs::HistSnapshot {
+        cats_obs::HistSnapshot {
+            bounds: self.bounds,
+            buckets: self.buckets,
+            count: self.count,
+            sum: self.sum,
+        }
+    }
+}
+
+impl From<&cats_obs::Snapshot> for WireSnapshot {
+    fn from(s: &cats_obs::Snapshot) -> Self {
+        WireSnapshot {
+            counters: s.counters.clone(),
+            gauges: s.gauges.clone(),
+            gauges_at: s.gauges_at.clone(),
+            taken_at_micros: s.taken_at_micros,
+            hists: s.hists.iter().map(|(k, h)| (k.clone(), h.into())).collect(),
+            stages: s
+                .stages
+                .iter()
+                .map(|(k, st)| {
+                    (
+                        k.clone(),
+                        WireStage {
+                            count: st.count,
+                            items: st.items,
+                            total_micros: st.total_micros,
+                            self_micros: st.self_micros,
+                            hist: (&st.hist).into(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl WireSnapshot {
+    /// Rebuilds the real [`cats_obs::Snapshot`] this mirror was made
+    /// from, so the router can [`cats_obs::Snapshot::merge`] it.
+    pub fn into_snapshot(self) -> cats_obs::Snapshot {
+        cats_obs::Snapshot {
+            counters: self.counters,
+            gauges: self.gauges,
+            gauges_at: self.gauges_at,
+            taken_at_micros: self.taken_at_micros,
+            hists: self.hists.into_iter().map(|(k, h)| (k, h.into_hist())).collect(),
+            stages: self
+                .stages
+                .into_iter()
+                .map(|(k, st)| {
+                    (
+                        k,
+                        cats_obs::StageSnapshot {
+                            count: st.count,
+                            items: st.items,
+                            total_micros: st.total_micros,
+                            self_micros: st.self_micros,
+                            hist: st.hist.into_hist(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Stable wire spelling of a stage-1 decision.
 pub fn filter_str(filter: FilterDecision) -> &'static str {
     match filter {
@@ -74,15 +190,74 @@ pub fn filter_str(filter: FilterDecision) -> &'static str {
     }
 }
 
-/// Parses a score request body: bare array or `{"items": [...]}`.
-pub fn parse_score_request(body: &str) -> Result<Vec<ScoreItem>, String> {
-    #[derive(Deserialize)]
-    struct Wrapped {
-        items: Vec<ScoreItem>,
-    }
+/// `POST /v1/score` wrapped request body. `pin_version` is how the
+/// cluster router keeps one logical request on one model version across
+/// shards and retries: a pinned request must be scored by exactly that
+/// version (the shard answers 409 when it no longer holds it).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoreRequest {
+    pub items: Vec<ScoreItem>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub pin_version: Option<u64>,
+}
+
+/// Parses a score request body — bare array or `{"items": [...]}` —
+/// returning the items plus the optional model-version pin.
+pub fn parse_score_request(body: &str) -> Result<(Vec<ScoreItem>, Option<u64>), String> {
     serde_json::from_str::<Vec<ScoreItem>>(body)
-        .or_else(|_| serde_json::from_str::<Wrapped>(body).map(|w| w.items))
+        .map(|items| (items, None))
+        .or_else(|_| serde_json::from_str::<ScoreRequest>(body).map(|w| (w.items, w.pin_version)))
         .map_err(|e| format!("body: {e}"))
+}
+
+/// `POST /admin/load` request body: install the snapshot file at `path`
+/// as model version `version`. Used by the router's rolling-swap
+/// coordinator and by operators doing a manual staged deploy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdminLoadRequest {
+    /// Snapshot file path, readable by the serving process.
+    pub path: String,
+    /// Version tag to publish it as (router-assigned, monotonic).
+    pub version: u64,
+}
+
+/// `POST /admin/load` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdminLoadResponse {
+    /// The version now being served.
+    pub version: u64,
+}
+
+/// One shard's row in the router's `/healthz` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardHealthInfo {
+    /// Shard id (position on the hash ring).
+    pub id: usize,
+    /// Loopback address the shard listens on.
+    pub addr: String,
+    /// `"live"` or `"ejected"`.
+    pub state: String,
+    /// Model version last observed by the health prober.
+    pub model_version: u64,
+}
+
+/// Router `GET /healthz` response: a superset of the single-process
+/// [`HealthResponse`] (same leading fields, so [`crate::ScoreClient`]
+/// parses either) plus the cluster view.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouterHealthResponse {
+    /// `"ok"` while ≥1 shard is live, else `"degraded"`.
+    pub status: String,
+    /// Cluster-coordinated model version.
+    pub model_version: u64,
+    /// Queue depth summed over live shards at the last probe.
+    pub queue_depth: u64,
+    /// Same as `model_version` (explicit name for cluster tooling).
+    pub cluster_version: u64,
+    /// Number of shards currently in the `live` state.
+    pub live_shards: usize,
+    /// Per-shard detail.
+    pub shards: Vec<ShardHealthInfo>,
 }
 
 #[cfg(test)]
@@ -93,10 +268,40 @@ mod tests {
     fn both_request_shapes_parse() {
         let bare = r#"[{"item_id":1,"sales_volume":9,"comments":["hao"]}]"#;
         let wrapped = r#"{"items":[{"item_id":1,"sales_volume":9,"comments":["hao"]}]}"#;
-        assert_eq!(parse_score_request(bare).unwrap(), parse_score_request(wrapped).unwrap());
-        assert_eq!(parse_score_request(bare).unwrap()[0].item_id, 1);
+        let (bare_items, bare_pin) = parse_score_request(bare).unwrap();
+        let (wrapped_items, wrapped_pin) = parse_score_request(wrapped).unwrap();
+        assert_eq!(bare_items, wrapped_items);
+        assert_eq!(bare_items[0].item_id, 1);
+        assert_eq!((bare_pin, wrapped_pin), (None, None), "no pin unless asked");
         assert!(parse_score_request("{oops").unwrap_err().starts_with("body:"));
-        assert!(parse_score_request("[]").unwrap().is_empty(), "empty batch is legal");
+        assert!(parse_score_request("[]").unwrap().0.is_empty(), "empty batch is legal");
+    }
+
+    #[test]
+    fn pinned_requests_carry_their_version() {
+        let pinned = r#"{"items":[{"item_id":1,"sales_volume":9,"comments":[]}],"pin_version":4}"#;
+        let (items, pin) = parse_score_request(pinned).unwrap();
+        assert_eq!(items.len(), 1);
+        assert_eq!(pin, Some(4));
+        // The client-side serializer omits the pin when unset, so plain
+        // clients keep producing the PR-5 wire shape byte-for-byte.
+        let req = ScoreRequest { items, pin_version: None };
+        assert!(!serde_json::to_string(&req).unwrap().contains("pin_version"));
+        let req = ScoreRequest { pin_version: Some(9), ..req };
+        assert!(serde_json::to_string(&req).unwrap().contains("\"pin_version\":9"));
+    }
+
+    #[test]
+    fn wire_snapshot_roundtrips_through_json() {
+        let r = cats_obs::Registry::new();
+        r.counter("c").add(3);
+        r.gauge("g").set(1.5);
+        r.histogram("h").record(42.0);
+        let snap = r.snapshot();
+        let wire: WireSnapshot = (&snap).into();
+        let json = serde_json::to_string(&wire).unwrap();
+        let back: WireSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.into_snapshot(), snap, "lossless mirror");
     }
 
     #[test]

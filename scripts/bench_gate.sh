@@ -77,7 +77,7 @@ ensure_baseline() {
 
 if [ "${1:-}" = "--update" ]; then
   mkdir -p "$BASELINES"
-  for f in BENCH_serve.json BENCH_scaling.json; do
+  for f in BENCH_serve.json BENCH_scaling.json BENCH_cluster.json; do
     [ -f "$f" ] && cp "$f" "$BASELINES/$f" && echo "bench-gate: updated $BASELINES/$f"
   done
   exit 0
@@ -128,6 +128,33 @@ if [ -f BENCH_soak.json ]; then
   fi
 else
   fail "BENCH_soak.json missing (run: cargo run --release -p cats-bench --bin exp_soak)"
+fi
+
+# --- sharded cluster ---------------------------------------------------
+# Hardware-independent chaos invariants are hard gates; the 1->N shard
+# scaling check is computed in-bench against a machine-aware floor
+# (0.7 x threads, capped at 2.5x) and surfaced here as scaling_ok.
+if [ -f BENCH_cluster.json ]; then
+  lost=$(num BENCH_cluster.json lost)
+  skew=$(num BENCH_cluster.json skew_merges)
+  ejections=$(num BENCH_cluster.json ejections)
+  readmissions=$(num BENCH_cluster.json readmissions)
+  scaling_ok=$(num BENCH_cluster.json scaling_ok)
+  [ "${lost:-1}" = "0" ] || fail "cluster chaos lost ${lost:-?} responses (want 0)"
+  [ "${skew:-1}" = "0" ] || fail "cluster produced ${skew:-?} version-skewed merges (want 0)"
+  gte "${ejections:-0}" 1 || fail "killed shard was never ejected"
+  gte "${readmissions:-0}" 1 || fail "respawned shard was never re-admitted"
+  [ "${scaling_ok:-0}" = "1" ] || fail "1->N shard scaling below the machine-aware floor"
+  if [ "${lost:-1}${skew:-1}${scaling_ok:-0}" = "001" ]; then
+    echo "bench-gate: ok: cluster invariants (0 lost, 0 skew, ejected+readmitted, scaling floor met)"
+  fi
+  if ensure_baseline BENCH_cluster.json "$BASELINES/BENCH_cluster.json"; then
+    hard_floor "cluster rps_1shard" \
+      "$(num BENCH_cluster.json rps_1shard)" \
+      "$(num "$BASELINES/BENCH_cluster.json" rps_1shard)"
+  fi
+else
+  fail "BENCH_cluster.json missing (run: cargo run --release -p cats-bench --bin exp_cluster)"
 fi
 
 # --- scaling benchmark -------------------------------------------------

@@ -26,5 +26,11 @@ cargo run --release "${LOCKED[@]}" -p cats-bench --bin exp_serve -- --scale 0.01
 # (zero lost/torn responses, bounded respawns, bit-identical resume)
 # internally; bench_gate.sh re-checks them off the JSON.
 cargo run --release "${LOCKED[@]}" -p cats-bench --bin exp_soak -- --scale 0.004
+# Sharded cluster: 4 shard child processes behind the consistent-hash
+# router; measures 1->4 shard scaling against a machine-aware floor,
+# then SIGKILLs a shard mid-load, requires ejection -> respawn ->
+# re-admission and a rolling swap with zero lost responses and zero
+# version-skewed merges. Regenerates BENCH_cluster.json.
+cargo run --release "${LOCKED[@]}" -p cats-bench --bin exp_cluster -- --scale 0.004
 # Regression gate: fresh BENCH_*.json vs results/baselines/.
 scripts/bench_gate.sh
