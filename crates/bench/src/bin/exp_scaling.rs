@@ -17,9 +17,13 @@
 //! measured (see EXPERIMENTS.md).
 
 use cats_bench::{render, setup, Args};
-use cats_core::{Detector, DetectorConfig, ItemComments, SemanticAnalyzer};
+use cats_core::pipeline::PipelineSnapshot;
+use cats_core::{
+    CatsPipeline, Detector, DetectorConfig, ItemComments, SemanticAnalyzer, N_FEATURES,
+};
 use cats_embedding::{expand_lexicon, ExpansionConfig, Word2VecConfig, Word2VecTrainer};
 use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
+use cats_ml::{ColMatrix, Dataset};
 use cats_par::Parallelism;
 use cats_sentiment::SentimentModel;
 use cats_text::{Corpus, Segmenter, WhitespaceSegmenter};
@@ -114,6 +118,125 @@ fn run_once(
     Row { threads, segment_s, embed_s, fit_s, detect_s, profile: timer.finish() }
 }
 
+/// Results of the model-format phase: snapshot persistence and batch
+/// scoring, CATS-IO2 + branch-lite flat forest vs JSON + recursive walk.
+struct FormatPhase {
+    json_bytes: usize,
+    io2_bytes: usize,
+    size_ratio: f64,
+    json_load_s: f64,
+    io2_load_s: f64,
+    load_speedup: f64,
+    score_recursive_items_s: f64,
+    score_flat_items_s: f64,
+    score_speedup: f64,
+    score_bit_identical: bool,
+}
+
+/// Trains the pipeline once, then measures (a) snapshot decode time
+/// under the legacy JSON format vs the CATS-IO2 binary container and
+/// (b) batch margin scoring through the recursive enum walk vs the
+/// branch-lite flat node pool over a column-major feature matrix.
+fn format_phase(
+    platform: &cats_platform::Platform,
+    items: &[ItemComments],
+    labels: &[u8],
+    seed: u64,
+) -> FormatPhase {
+    let par = Parallelism { threads: cats_par::default_threads().min(8), deterministic: true };
+    let seg = WhitespaceSegmenter;
+    let corpus_texts: Vec<&str> = platform
+        .items()
+        .iter()
+        .flat_map(|i| i.comments.iter().map(|c| c.content.as_str()))
+        .take(setup::MAX_W2V_COMMENTS)
+        .collect();
+    let mut corpus = Corpus::new();
+    corpus.push_texts(&corpus_texts, &seg, par);
+    let (sent_pos, sent_neg) =
+        setup::sentiment_corpus(platform.lexicon(), setup::SENTIMENT_REVIEWS, seed);
+    let w2v = Word2VecConfig { parallelism: par, ..setup::experiment_w2v() };
+    let embedding = Word2VecTrainer::new(w2v).train(&corpus);
+    let lexicon = expand_lexicon(
+        &embedding,
+        &platform.lexicon().positive_seeds(),
+        &platform.lexicon().negative_seeds(),
+        ExpansionConfig::default(),
+    );
+    let seg_docs = |texts: &[String]| -> Vec<Vec<String>> {
+        cats_par::map_chunked(par, texts, |t| seg.segment(t))
+    };
+    let sentiment = SentimentModel::train_par(&seg_docs(&sent_pos), &seg_docs(&sent_neg), par);
+    let analyzer = SemanticAnalyzer::from_parts(lexicon, sentiment);
+
+    let rows = cats_core::features::extract_batch(items, &analyzer, par.threads);
+    let mut data = Dataset::new(N_FEATURES);
+    for (r, &l) in rows.iter().zip(labels) {
+        data.push(r.as_slice(), l);
+    }
+    let mut gbt = GradientBoostedTrees::new(GbtConfig { parallelism: par, ..GbtConfig::default() });
+    gbt.fit(&data);
+
+    // Batch scoring: the recursive enum-arena walk row-by-row vs the
+    // flat pool's 8-row-chunked, tree-major batch over column-major
+    // features. Both must agree bit-for-bit before the timing counts.
+    let n_rows = rows.len();
+    let mut x = Vec::with_capacity(n_rows * N_FEATURES);
+    for r in &rows {
+        x.extend_from_slice(r.as_slice());
+    }
+    let cols = ColMatrix::from_row_major(&x, N_FEATURES);
+    let flat_out = gbt.predict_margin_batch(&cols);
+    let rec_out: Vec<f64> =
+        rows.iter().map(|r| gbt.predict_margin_recursive(r.as_slice())).collect();
+    let score_bit_identical = flat_out.len() == rec_out.len()
+        && flat_out.iter().zip(&rec_out).all(|(a, b)| a.to_bits() == b.to_bits());
+
+    let reps = (200_000 / n_rows.max(1)).clamp(3, 500);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for r in &rows {
+            std::hint::black_box(gbt.predict_margin_recursive(r.as_slice()));
+        }
+    }
+    let recursive_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(gbt.predict_margin_batch(&cols));
+    }
+    let flat_s = t0.elapsed().as_secs_f64();
+    let scored = (n_rows * reps) as f64;
+
+    // Snapshot persistence: same model, both encodings, repeated decodes.
+    let snapshot = CatsPipeline::snapshot(analyzer, DetectorConfig::default(), gbt);
+    let json = snapshot.to_json().expect("snapshot to JSON");
+    let io2 = snapshot.to_io2_bytes().expect("snapshot to IO2");
+    let loads = 30usize;
+    let t0 = Instant::now();
+    for _ in 0..loads {
+        std::hint::black_box(PipelineSnapshot::from_json(&json).expect("JSON load"));
+    }
+    let json_load_s = t0.elapsed().as_secs_f64() / loads as f64;
+    let t0 = Instant::now();
+    for _ in 0..loads {
+        std::hint::black_box(PipelineSnapshot::from_io2_bytes(&io2).expect("IO2 load"));
+    }
+    let io2_load_s = t0.elapsed().as_secs_f64() / loads as f64;
+
+    FormatPhase {
+        json_bytes: json.len(),
+        io2_bytes: io2.len(),
+        size_ratio: json.len() as f64 / io2.len() as f64,
+        json_load_s,
+        io2_load_s,
+        load_speedup: json_load_s / io2_load_s,
+        score_recursive_items_s: scored / recursive_s,
+        score_flat_items_s: scored / flat_s,
+        score_speedup: recursive_s / flat_s,
+        score_bit_identical,
+    }
+}
+
 fn main() {
     let args = Args::parse(0.02, 0x5CA1);
     let platform = cats_platform::datasets::d0(args.scale, args.seed);
@@ -172,6 +295,27 @@ fn main() {
     );
     println!("machine parallelism: {cores} threads");
 
+    // Model format phase: JSON vs CATS-IO2 snapshot loads and recursive
+    // vs flat batch scoring (EXPERIMENTS.md "Model format").
+    let fp = format_phase(&platform, &items, &labels, args.seed);
+    println!();
+    println!(
+        "model format: JSON {} KiB vs CATS-IO2 {} KiB ({:.2}x smaller)",
+        fp.json_bytes / 1024,
+        fp.io2_bytes / 1024,
+        fp.size_ratio
+    );
+    println!(
+        "snapshot load: JSON {:.2} ms vs CATS-IO2 {:.2} ms ({:.1}x faster)",
+        fp.json_load_s * 1e3,
+        fp.io2_load_s * 1e3,
+        fp.load_speedup
+    );
+    println!(
+        "batch scoring: recursive {:.0} items/s vs flat {:.0} items/s ({:.1}x, bit-identical: {})",
+        fp.score_recursive_items_s, fp.score_flat_items_s, fp.score_speedup, fp.score_bit_identical
+    );
+
     // Machine-readable output for the acceptance gate. Hand-rolled JSON:
     // the bench crate deliberately has no serde dependency. Each row
     // embeds its RunProfile document verbatim.
@@ -193,16 +337,35 @@ fn main() {
             )
         })
         .collect();
+    let model_format = format!(
+        "{{\"json_bytes\": {}, \"io2_bytes\": {}, \"size_ratio\": {:.4}, \
+         \"json_load_ms\": {:.4}, \"io2_load_ms\": {:.4}, \"io2_loads_per_s\": {:.2}, \
+         \"load_speedup\": {:.4}, \"score_recursive_items_s\": {:.2}, \
+         \"score_flat_items_s\": {:.2}, \"score_speedup\": {:.4}, \
+         \"score_bit_identical\": {}}}",
+        fp.json_bytes,
+        fp.io2_bytes,
+        fp.size_ratio,
+        fp.json_load_s * 1e3,
+        fp.io2_load_s * 1e3,
+        fp.io2_load_s.recip(),
+        fp.load_speedup,
+        fp.score_recursive_items_s,
+        fp.score_flat_items_s,
+        fp.score_speedup,
+        u8::from(fp.score_bit_identical),
+    );
     let json = format!(
         "{{\n  \"experiment\": \"exp_scaling\",\n  \"scale\": {},\n  \"seed\": {},\n  \
          \"machine_threads\": {},\n  \"items\": {},\n  \"comments\": {},\n  \
-         \"obs_enabled\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"obs_enabled\": {},\n  \"model_format\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
         args.scale,
         args.seed,
         cores,
         items.len(),
         comments,
         cats_obs::enabled(),
+        model_format,
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_scaling.json", json).expect("write BENCH_scaling.json");

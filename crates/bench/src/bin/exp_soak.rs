@@ -256,8 +256,7 @@ fn main() {
     // platform keeps the doubled cost in check).
     println!("== Robustness soak ==");
     println!("phase 1: kill/resume training bit-identity...");
-    let resume_bit_identical =
-        resume_phase((args.scale * 0.4).max(0.002), args.seed, &ckpt_root);
+    let resume_bit_identical = resume_phase((args.scale * 0.4).max(0.002), args.seed, &ckpt_root);
     assert!(resume_bit_identical, "kill-resumed training must be bit-identical to uninterrupted");
     println!("phase 1: resumed run bit-identical to uninterrupted run");
 
@@ -437,14 +436,8 @@ fn main() {
                         injected.worker_panic
                     ),
                 ],
-                vec![
-                    "panics/respawns".into(),
-                    format!("{worker_panics}/{worker_respawns}"),
-                ],
-                vec![
-                    "reloads/reload errors".into(),
-                    format!("{reloads}/{reload_errors}"),
-                ],
+                vec!["panics/respawns".into(), format!("{worker_panics}/{worker_respawns}"),],
+                vec!["reloads/reload errors".into(), format!("{reloads}/{reload_errors}"),],
             ],
         )
     );

@@ -154,7 +154,7 @@ pub fn train_checkpointed(
         DetectorConfig { threshold, ..DetectorConfig::default() },
         gbt,
     );
-    let json = serde_json::to_string(&snapshot).map_err(|e| e.to_string())?;
+    let json = snapshot.to_json().map_err(|e| e.to_string())?;
     if let Some(store) = store {
         store.clear_all();
     }
@@ -162,16 +162,17 @@ pub fn train_checkpointed(
 }
 
 /// Loads a snapshot and scores unlabeled JSONL items; writes JSONL
-/// reports and returns the batch summary.
+/// reports and returns the batch summary. `model_bytes` is sniffed:
+/// both the CATS-IO2 binary container and JSON snapshots are accepted.
 pub fn detect(
-    model_json: &str,
+    model_bytes: &[u8],
     input: &mut dyn BufRead,
     out: &mut dyn std::io::Write,
 ) -> Result<DetectionSummary, String> {
     let load_span = cats_obs::span!("cats.cli.detect.load_model");
-    // from_json also validates the snapshot format version, so a model
+    // from_bytes also validates the snapshot format version, so a model
     // written by a newer build fails loudly instead of misbehaving.
-    let snapshot = PipelineSnapshot::from_json(model_json)?;
+    let snapshot = PipelineSnapshot::from_bytes(model_bytes).map_err(|e| e.to_string())?;
     let pipeline = CatsPipeline::restore(snapshot);
     drop(load_span);
     let read_span = cats_obs::span!("cats.cli.detect.read_input");
@@ -195,6 +196,109 @@ pub fn detect(
     write_reports(out, &lines).map_err(|e| e.to_string())?;
     drop(write_span);
     Ok(DetectionSummary::from_reports(&reports))
+}
+
+/// What [`convert`] did, for the CLI's closing summary line.
+#[derive(Debug)]
+pub struct ConvertSummary {
+    /// Format sniffed from the input file (`"json"` or `"cats-io2"`).
+    pub in_format: &'static str,
+    /// Format chosen by the output extension (`.cats` selects IO2).
+    pub out_format: &'static str,
+    /// Size of the written output file in bytes.
+    pub out_bytes: u64,
+    /// Items scored under both formats when `verify` was set (0 otherwise).
+    pub verified_items: usize,
+}
+
+/// Converts a model snapshot between the legacy checksummed-JSON format
+/// and the CATS-IO2 binary container, in either direction. The output
+/// format follows the `--out` extension: `.cats` writes IO2, anything
+/// else writes checksummed JSON. Both encoders are canonical, so after
+/// writing, the output is read back, decoded, and re-encoded — the
+/// re-encoding must be byte-identical to the written file, or the
+/// conversion fails instead of leaving a snapshot that drifts on the
+/// next rewrite. With `verify`, the input and the freshly written
+/// output are additionally restored into full pipelines and scored over
+/// a fixed deterministic batch; every score must be bit-identical
+/// across the two formats.
+pub fn convert(
+    in_path: &std::path::Path,
+    out_path: &std::path::Path,
+    verify: bool,
+) -> Result<ConvertSummary, String> {
+    let payload =
+        cats_io::read_checksummed(in_path).map_err(|e| format!("{}: {e}", in_path.display()))?;
+    let in_format = if cats_io::io2::is_io2(&payload) { "cats-io2" } else { "json" };
+    let snapshot = PipelineSnapshot::from_bytes(&payload)
+        .map_err(|e| format!("{}: {e}", in_path.display()))?;
+
+    let to_cats = out_path.extension().is_some_and(|e| e == "cats");
+    let out_format = if to_cats { "cats-io2" } else { "json" };
+    if to_cats {
+        snapshot.save(out_path).map_err(|e| format!("{}: {e}", out_path.display()))?;
+    } else {
+        snapshot.save_json(out_path).map_err(|e| format!("{}: {e}", out_path.display()))?;
+    }
+
+    // Round-trip check: the written payload must decode to a snapshot
+    // that re-encodes to the exact same bytes.
+    let written =
+        cats_io::read_checksummed(out_path).map_err(|e| format!("{}: {e}", out_path.display()))?;
+    let round = PipelineSnapshot::from_bytes(&written)
+        .map_err(|e| format!("{}: round-trip: {e}", out_path.display()))?;
+    let reencoded = if to_cats {
+        round.to_io2_bytes().map_err(|e| e.to_string())?
+    } else {
+        round.to_json().map_err(|e| e.to_string())?.into_bytes()
+    };
+    if reencoded != written {
+        return Err(format!(
+            "{}: round-trip is not byte-identical ({} vs {} bytes)",
+            out_path.display(),
+            reencoded.len(),
+            written.len(),
+        ));
+    }
+
+    let verified_items = if verify { verify_scores_match(&payload, &written)? } else { 0 };
+    let out_bytes = std::fs::metadata(out_path).map(|m| m.len()).unwrap_or(written.len() as u64);
+    Ok(ConvertSummary { in_format, out_format, out_bytes, verified_items })
+}
+
+/// Scores a fixed deterministic batch under two snapshot encodings and
+/// requires bit-identical scores. Returns the number of items compared.
+fn verify_scores_match(a: &[u8], b: &[u8]) -> Result<usize, String> {
+    let restore = |bytes: &[u8]| -> Result<CatsPipeline, String> {
+        let snap = PipelineSnapshot::from_bytes(bytes).map_err(|e| e.to_string())?;
+        Ok(CatsPipeline::restore(snap))
+    };
+    let pa = restore(a)?;
+    let pb = restore(b)?;
+    let platform = datasets::d0(0.002, 0xC0117E57);
+    let items: Vec<ItemLine> = platform
+        .items()
+        .iter()
+        .map(|it| ItemLine {
+            item_id: it.id,
+            sales_volume: it.sales_volume,
+            label: None,
+            comments: it.comments.iter().map(|c| c.content.clone()).collect(),
+        })
+        .collect();
+    let ics: Vec<ItemComments> = items.iter().map(ItemLine::to_item_comments).collect();
+    let sales: Vec<u64> = items.iter().map(|i| i.sales_volume).collect();
+    let ra = pa.detect(&ics, &sales);
+    let rb = pb.detect(&ics, &sales);
+    for (x, y) in ra.iter().zip(&rb) {
+        if x.score.to_bits() != y.score.to_bits() || x.is_fraud != y.is_fraud {
+            return Err(format!(
+                "verification failed: scores diverge across formats ({} vs {})",
+                x.score, y.score
+            ));
+        }
+    }
+    Ok(ra.len())
 }
 
 /// Crawls the simulated public site of an E-platform-shaped world and
@@ -607,7 +711,8 @@ mod tests {
         generate(0.004, 10, &mut eval_data).unwrap();
         let mut reports = Vec::new();
         let summary =
-            detect(&model, &mut BufReader::new(eval_data.as_slice()), &mut reports).unwrap();
+            detect(model.as_bytes(), &mut BufReader::new(eval_data.as_slice()), &mut reports)
+                .unwrap();
         assert!(summary.reported > 0, "{summary}");
 
         // analyze against ground truth
@@ -653,7 +758,8 @@ mod tests {
         crawl(0.02, 11, 0.5, &mut crawled).unwrap();
         let mut reports = Vec::new();
         let summary =
-            detect(&model, &mut BufReader::new(crawled.as_slice()), &mut reports).unwrap();
+            detect(model.as_bytes(), &mut BufReader::new(crawled.as_slice()), &mut reports)
+                .unwrap();
         assert!(summary.total > 0);
         // degraded input must not leak NaN into the report stream
         let text = String::from_utf8(reports).unwrap();
@@ -692,7 +798,7 @@ mod tests {
         assert!(watcher.is_none(), "watch not requested");
 
         let mut offline = Vec::new();
-        detect(&model, &mut BufReader::new(data.as_slice()), &mut offline).unwrap();
+        detect(model.as_bytes(), &mut BufReader::new(data.as_slice()), &mut offline).unwrap();
         let mut online = Vec::new();
         let (n, versions) =
             score(&server.addr().to_string(), &mut BufReader::new(data.as_slice()), &mut online)
@@ -722,6 +828,38 @@ mod tests {
         let (b, _) =
             train_checkpointed(&mut BufReader::new(data.as_slice()), 0.5, 9, Some(&store)).unwrap();
         assert_eq!(a, b, "checkpointed training is deterministic");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn convert_roundtrips_between_json_and_io2_with_verification() {
+        let mut data = Vec::new();
+        generate(0.004, 9, &mut data).unwrap();
+        let (model, _) = train(&mut BufReader::new(data.as_slice()), 0.5, 9).unwrap();
+        let dir = std::env::temp_dir().join(format!("cats_cli_convert_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("model.json");
+        let cats_path = dir.join("model.cats");
+        let back_path = dir.join("back.json");
+        cats_io::write_checksummed(&json_path, model.as_bytes()).unwrap();
+
+        // JSON -> IO2, with cross-format score verification.
+        let s = convert(&json_path, &cats_path, true).unwrap();
+        assert_eq!((s.in_format, s.out_format), ("json", "cats-io2"));
+        assert!(s.verified_items > 0, "verification scored a non-empty batch");
+        let io2 = cats_io::read_checksummed(&cats_path).unwrap();
+        assert!(cats_io::io2::is_io2(&io2), "convert wrote an IO2 container");
+
+        // IO2 -> JSON back again.
+        let s = convert(&cats_path, &back_path, true).unwrap();
+        assert_eq!((s.in_format, s.out_format), ("cats-io2", "json"));
+
+        // Detect reports are identical whichever format the model is in.
+        let mut via_json = Vec::new();
+        detect(model.as_bytes(), &mut BufReader::new(data.as_slice()), &mut via_json).unwrap();
+        let mut via_io2 = Vec::new();
+        detect(&io2, &mut BufReader::new(data.as_slice()), &mut via_io2).unwrap();
+        assert_eq!(via_json, via_io2, "reports identical across model formats");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -768,7 +906,7 @@ mod tests {
     #[test]
     fn detect_rejects_bad_model() {
         let mut out = Vec::new();
-        let err = detect("{not json", &mut BufReader::new("".as_bytes()), &mut out).unwrap_err();
+        let err = detect(b"{not json", &mut BufReader::new("".as_bytes()), &mut out).unwrap_err();
         assert!(err.starts_with("model:"), "{err}");
     }
 
@@ -779,7 +917,7 @@ mod tests {
         let (model, _) = train(&mut BufReader::new(data.as_slice()), 0.5, 9).unwrap();
         let mut reports = Vec::new();
         let (res, profile) = profiled("cli.detect", || {
-            detect(&model, &mut BufReader::new(data.as_slice()), &mut reports)
+            detect(model.as_bytes(), &mut BufReader::new(data.as_slice()), &mut reports)
         });
         res.unwrap();
         let names: Vec<&str> = profile.stages.iter().map(|s| s.name.as_str()).collect();

@@ -6,7 +6,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cats-cli generate --scale <f64> --seed <u64>            (JSONL to stdout)\n  cats-cli crawl    --scale <f64> --seed <u64> [--faults <0..1>]  (JSONL to stdout)\n  cats-cli train    --input <jsonl> --model <out.json> [--threshold <f64>] [--seed <u64>] [--metrics-out <json>] [--checkpoint-dir <dir>] [--resume]\n  cats-cli detect   --model <json> --input <jsonl> [--metrics-out <json>]  (reports to stdout)\n  cats-cli serve    --model <json> [--addr <host:port>] [--watch] [--max-batch <n>] [--max-delay-ms <n>] [--queue <n>] [--workers <n>] [--checkpoint-dir <dir>]\n  cats-cli serve    --model <json> --shards <n> [--addr <host:port>] [--workers <n>] [--score-threads <n>]   (multi-process cluster)\n  cats-cli serve    --model <json> --shard-of <id> [--addr <host:port>] [--workers <n>] [--score-threads <n>] (one cluster shard)\n  cats-cli score    --input <jsonl> [--addr <host:port>]  (reports to stdout)\n  cats-cli analyze  --reports <jsonl> --labeled <jsonl>\n  cats-cli metrics  --profile <json>                      (pretty-print a RunProfile)"
+        "usage:\n  cats-cli generate --scale <f64> --seed <u64>            (JSONL to stdout)\n  cats-cli crawl    --scale <f64> --seed <u64> [--faults <0..1>]  (JSONL to stdout)\n  cats-cli train    --input <jsonl> --model <out.json|out.cats> [--threshold <f64>] [--seed <u64>] [--metrics-out <json>] [--checkpoint-dir <dir>] [--resume]\n  cats-cli detect   --model <json|cats> --input <jsonl> [--metrics-out <json>]  (reports to stdout)\n  cats-cli convert  --in <snapshot.json|.cats> --out <snapshot.cats|.json> [--verify]  (rewrite a model between JSON and CATS-IO2)\n  cats-cli serve    --model <json|cats> [--addr <host:port>] [--watch] [--max-batch <n>] [--max-delay-ms <n>] [--queue <n>] [--workers <n>] [--checkpoint-dir <dir>]\n  cats-cli serve    --model <json|cats> --shards <n> [--addr <host:port>] [--workers <n>] [--score-threads <n>]   (multi-process cluster)\n  cats-cli serve    --model <json|cats> --shard-of <id> [--addr <host:port>] [--workers <n>] [--score-threads <n>] (one cluster shard)\n  cats-cli score    --input <jsonl> [--addr <host:port>]  (reports to stdout)\n  cats-cli analyze  --reports <jsonl> --labeled <jsonl>\n  cats-cli metrics  --profile <json>                      (pretty-print a RunProfile)"
     );
     ExitCode::from(2)
 }
@@ -106,25 +106,31 @@ fn run() -> Result<(), String> {
                 cats_cli::commands::train_checkpointed(&mut input, threshold, seed, store.as_ref())
             });
             let (json, n) = result?;
-            // Checksummed + atomic: a kill mid-write leaves either the
-            // old model or none, never a torn file, and serve/detect
-            // verify the checksum before trusting the bytes.
-            cats_io::write_checksummed(std::path::Path::new(&model_path), json.as_bytes())
-                .map_err(|e| e.to_string())?;
+            let model = std::path::Path::new(&model_path);
+            // Atomic either way: a kill mid-write leaves the old model or
+            // none, never a torn file. A `.cats` extension selects the
+            // CATS-IO2 binary container (per-section CRCs); anything else
+            // writes the legacy checksummed JSON, and serve/detect sniff
+            // whichever they are given.
+            if model.extension().is_some_and(|e| e == "cats") {
+                cats_core::pipeline::PipelineSnapshot::from_json(&json)
+                    .and_then(|s| s.save(model))
+                    .map_err(|e| e.to_string())?;
+            } else {
+                cats_io::write_checksummed(model, json.as_bytes()).map_err(|e| e.to_string())?;
+            }
+            let kib = std::fs::metadata(model).map_or(json.len() as u64, |m| m.len()) / 1024;
             write_metrics(get("metrics-out"), &profile)?;
-            eprintln!(
-                "trained on {n} items; model written to {model_path} ({} KiB)",
-                json.len() / 1024
-            );
+            eprintln!("trained on {n} items; model written to {model_path} ({kib} KiB)");
             Ok(())
         }
         "detect" => {
             let model_path = get("model").ok_or("--model is required")?;
-            // Verifies the checksum on `train` output; legacy raw-JSON
-            // snapshots pass through unchanged.
-            let model_bytes = cats_io::read_checksummed(std::path::Path::new(&model_path))
+            // Verifies the checksum on legacy `train` output; CATS-IO2
+            // containers (self-checksummed per section) and raw-JSON
+            // snapshots pass through and are sniffed by `detect`.
+            let model = cats_io::read_checksummed(std::path::Path::new(&model_path))
                 .map_err(|e| e.to_string())?;
-            let model = String::from_utf8(model_bytes).map_err(|e| format!("{model_path}: {e}"))?;
             let mut input = open("input")?;
             let stdout = std::io::stdout();
             let mut lock = stdout.lock();
@@ -135,6 +141,28 @@ fn run() -> Result<(), String> {
             lock.flush().ok();
             write_metrics(get("metrics-out"), &profile)?;
             eprintln!("{summary}");
+            Ok(())
+        }
+        "convert" => {
+            let in_path = get("in").ok_or("--in is required")?;
+            let out_path = get("out").ok_or("--out is required")?;
+            let verify = flags.contains_key("verify");
+            let s = cats_cli::commands::convert(
+                std::path::Path::new(&in_path),
+                std::path::Path::new(&out_path),
+                verify,
+            )?;
+            let verified = if verify {
+                format!("; scores verified bit-identical on {} items", s.verified_items)
+            } else {
+                String::new()
+            };
+            eprintln!(
+                "converted {in_path} ({}) -> {out_path} ({}, {} KiB){verified}",
+                s.in_format,
+                s.out_format,
+                s.out_bytes / 1024,
+            );
             Ok(())
         }
         "serve" => {

@@ -177,9 +177,8 @@ impl CatsPipeline {
                 );
                 let data = crate::detector::training_dataset(&rows, &labels);
                 assert!(!data.is_empty(), "no finite training rows");
-                let mut gbt = cats_ml::gbt::GradientBoostedTrees::new(
-                    cats_ml::gbt::GbtConfig::default(),
-                );
+                let mut gbt =
+                    cats_ml::gbt::GradientBoostedTrees::new(cats_ml::gbt::GbtConfig::default());
                 gbt.fit_checkpointed(&data, store, "gbt", GBT_CKPT_EVERY);
                 let mut d = Detector::new(detector_cfg, Box::new(gbt));
                 d.mark_fitted();
@@ -480,49 +479,172 @@ pub struct PipelineSnapshot {
 }
 
 impl PipelineSnapshot {
-    /// Serializes the snapshot to JSON.
-    pub fn to_json(&self) -> Result<String, String> {
-        serde_json::to_string(self).map_err(|e| e.to_string())
+    /// Serializes the snapshot to JSON (the legacy interchange format;
+    /// [`PipelineSnapshot::to_io2_bytes`] is the binary hot path).
+    pub fn to_json(&self) -> Result<String, PersistError> {
+        serde_json::to_string(self).map_err(|e| PersistError::Format(format!("model: {e}")))
     }
 
     /// Parses a snapshot from JSON, rejecting versions newer than this
     /// build understands (a model hot-swap watcher must never load half
     /// a format it cannot interpret, so the check happens before any
     /// field is trusted).
-    pub fn from_json(json: &str) -> Result<Self, String> {
+    pub fn from_json(json: &str) -> Result<Self, PersistError> {
         let snap: PipelineSnapshot =
-            serde_json::from_str(json).map_err(|e| format!("model: {e}"))?;
+            serde_json::from_str(json).map_err(|e| PersistError::Format(format!("model: {e}")))?;
         if snap.format_version > SNAPSHOT_FORMAT_VERSION {
-            return Err(format!(
+            return Err(PersistError::Format(format!(
                 "model: snapshot format {} is newer than supported {}",
                 snap.format_version, SNAPSHOT_FORMAT_VERSION
-            ));
+            )));
         }
         Ok(snap)
     }
 
+    /// Encodes the snapshot as a `CATS-IO2` container: a `meta` section
+    /// carrying the snapshot format version, the detector configuration
+    /// as a small JSON section, the lexicon as sorted length-prefixed
+    /// word lists, and the sentiment and GBT models as flat binary
+    /// arrays. The encoding is canonical — decoding and re-encoding
+    /// reproduces the bytes exactly — which is what the `convert`
+    /// round-trip verification checks.
+    pub fn to_io2_bytes(&self) -> Result<Vec<u8>, PersistError> {
+        Ok(self.io2_builder()?.finish())
+    }
+
+    fn io2_builder(&self) -> Result<cats_io::io2::Io2Builder, PersistError> {
+        use cats_io::io2::{Enc, Io2Builder};
+        let mut meta = Enc::new();
+        meta.u32(self.format_version);
+
+        let detector = serde_json::to_vec(&self.detector_config)
+            .map_err(|e| PersistError::Format(format!("model: detector config: {e}")))?;
+
+        // Lexicon sets iterate in hash order; sort for a canonical layout.
+        let lex = self.analyzer.lexicon();
+        let mut pos: Vec<&str> = lex.positive_words().collect();
+        let mut neg: Vec<&str> = lex.negative_words().collect();
+        pos.sort_unstable();
+        neg.sort_unstable();
+        let mut lexicon = Enc::new();
+        lexicon.u64(pos.len() as u64);
+        for w in pos {
+            lexicon.str(w);
+        }
+        lexicon.u64(neg.len() as u64);
+        for w in neg {
+            lexicon.str(w);
+        }
+
+        let gbt =
+            self.gbt.to_io2_bytes().map_err(|e| PersistError::Format(format!("model: {e}")))?;
+
+        let mut b = Io2Builder::new();
+        b.section("meta", meta.into_bytes());
+        b.section("detector", detector);
+        b.section("lexicon", lexicon.into_bytes());
+        b.section("sentiment", self.analyzer.sentiment().to_io2_payload());
+        b.section("gbt", gbt);
+        Ok(b)
+    }
+
+    /// Decodes a `CATS-IO2` snapshot container. Section CRCs have already
+    /// been verified by the parser; unknown sections from future writers
+    /// are skipped, and a `meta` format version newer than this build
+    /// understands is rejected up front.
+    pub fn from_io2_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        use cats_io::io2::{Dec, Io2File};
+        let file = Io2File::parse(bytes, "snapshot")?;
+        let fmt = |e: String| PersistError::Format(format!("model: {e}"));
+
+        let mut meta = Dec::new(file.require("meta", "snapshot")?);
+        let format_version = meta.u32().map_err(fmt)?;
+        if format_version > SNAPSHOT_FORMAT_VERSION {
+            return Err(PersistError::Format(format!(
+                "model: snapshot format {format_version} is newer than supported \
+                 {SNAPSHOT_FORMAT_VERSION}"
+            )));
+        }
+
+        let detector_config: DetectorConfig =
+            serde_json::from_slice(file.require("detector", "snapshot")?)
+                .map_err(|e| PersistError::Format(format!("model: detector config: {e}")))?;
+
+        let mut lex = Dec::new(file.require("lexicon", "snapshot")?);
+        let read_words = |d: &mut Dec<'_>| -> Result<Vec<String>, String> {
+            let n = d.u64()? as usize;
+            // Every word costs at least its 8-byte length prefix: reject a
+            // lying count before trusting it for an allocation.
+            if n.checked_mul(8).is_none_or(|b| b > d.remaining()) {
+                return Err(format!("lexicon word count {n} exceeds section size"));
+            }
+            let mut words = Vec::with_capacity(n);
+            for _ in 0..n {
+                words.push(d.str()?);
+            }
+            Ok(words)
+        };
+        let positive = read_words(&mut lex).map_err(fmt)?;
+        let negative = read_words(&mut lex).map_err(fmt)?;
+        let lexicon = cats_text::Lexicon::new(positive, negative);
+
+        let sentiment = cats_sentiment::SentimentModel::from_io2_payload(
+            file.require("sentiment", "snapshot")?,
+        )
+        .map_err(fmt)?;
+
+        let gbt =
+            cats_ml::gbt::GradientBoostedTrees::from_io2_bytes(file.require("gbt", "snapshot")?)
+                .map_err(fmt)?;
+
+        Ok(Self {
+            format_version,
+            analyzer: SemanticAnalyzer::from_parts(lexicon, sentiment),
+            detector_config,
+            gbt,
+        })
+    }
+
+    /// Parses a snapshot from raw bytes, sniffing the format by magic:
+    /// `CATS-IO2` containers decode through the binary path, anything
+    /// else must be UTF-8 JSON. This is the single entry point the serve
+    /// layer and the CLI share, so every caller accepts both formats.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        if cats_io::io2::is_io2(bytes) {
+            return Self::from_io2_bytes(bytes);
+        }
+        let json = std::str::from_utf8(bytes)
+            .map_err(|e| PersistError::Format(format!("model: snapshot is not UTF-8: {e}")))?;
+        Self::from_json(json)
+    }
+
     /// Writes the snapshot to `path` atomically (temp file + fsync +
-    /// rename) with a CRC32 header, so a crash mid-write leaves the
-    /// previous file intact and any later corruption — truncation, torn
-    /// rewrite, bit flips — is detected at load instead of producing a
-    /// silently wrong model.
+    /// rename) in the binary `CATS-IO2` format, whose per-section CRC32s
+    /// catch truncation, torn rewrites and bit flips at load instead of
+    /// producing a silently wrong model.
     pub fn save(&self, path: &Path) -> Result<(), PersistError> {
-        let json = self.to_json().map_err(PersistError::Format)?;
+        self.io2_builder()?.write(path)?;
+        Ok(())
+    }
+
+    /// Writes the snapshot as checksummed JSON (the pre-IO2 on-disk
+    /// format) — kept for interchange and for the `convert` subcommand.
+    pub fn save_json(&self, path: &Path) -> Result<(), PersistError> {
+        let json = self.to_json()?;
         cats_io::write_checksummed(path, json.as_bytes())?;
         Ok(())
     }
 
-    /// Loads a snapshot written by [`PipelineSnapshot::save`], verifying
-    /// its checksum; files without the checksum header (pre-cats-io
-    /// snapshots, or hand-written JSON) are accepted verbatim for
-    /// backward compatibility. Never panics and never yields a
-    /// half-loaded model: every corruption class surfaces as a typed
-    /// [`PersistError`].
+    /// Loads a snapshot written by [`PipelineSnapshot::save`] (binary
+    /// `CATS-IO2`), [`PipelineSnapshot::save_json`] (`CATS-IO1`-framed
+    /// JSON), or hand-written plain JSON — the format is sniffed by
+    /// magic. Never panics and never yields a half-loaded model: every
+    /// corruption class surfaces as a typed [`PersistError`].
     pub fn load(path: &Path) -> Result<Self, PersistError> {
+        // `read_checksummed` verifies and strips a CATS-IO1 frame and
+        // passes any other byte stream (IO2, bare JSON) through verbatim.
         let bytes = cats_io::read_checksummed(path)?;
-        let json = String::from_utf8(bytes)
-            .map_err(|e| PersistError::Format(format!("model: snapshot is not UTF-8: {e}")))?;
-        Self::from_json(&json).map_err(PersistError::Format)
+        Self::from_bytes(&bytes)
     }
 }
 
@@ -685,7 +807,89 @@ mod tests {
             1,
         );
         let err = PipelineSnapshot::from_json(&future).unwrap_err();
-        assert!(err.contains("newer than supported"), "{err}");
+        assert!(err.to_string().contains("newer than supported"), "{err}");
+    }
+
+    #[test]
+    fn io2_snapshot_roundtrips_and_scores_bit_identically() {
+        use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
+        use cats_ml::Classifier as _;
+        let p = trained();
+        let mut items = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            items.push(fraud_item(i));
+            labels.push(1u8);
+            items.push(normal_item(i));
+            labels.push(0u8);
+        }
+        let rows = crate::features::extract_batch(&items, p.analyzer(), 0);
+        let mut data = cats_ml::Dataset::new(crate::features::N_FEATURES);
+        for (r, &l) in rows.iter().zip(&labels) {
+            data.push(r.as_slice(), l);
+        }
+        let mut gbt = GradientBoostedTrees::new(GbtConfig::default());
+        gbt.fit(&data);
+
+        let snap = CatsPipeline::snapshot(p.analyzer().clone(), DetectorConfig::default(), gbt);
+        let json = snap.to_json().unwrap();
+        let bytes = snap.to_io2_bytes().unwrap();
+        assert!(cats_io::io2::is_io2(&bytes));
+
+        // Canonical: decode → encode reproduces the container exactly.
+        let back = PipelineSnapshot::from_io2_bytes(&bytes).unwrap();
+        assert_eq!(back.to_io2_bytes().unwrap(), bytes, "canonical IO2 encoding");
+
+        // `from_bytes` sniffs both formats, and the two decoded pipelines
+        // must produce byte-equal verdicts at every thread count.
+        let test_items: Vec<ItemComments> = (0..12)
+            .map(|i| if i % 2 == 0 { fraud_item(100 + i) } else { normal_item(i) })
+            .collect();
+        let sales = vec![50u64; test_items.len()];
+        for threads in [1usize, 2, 8] {
+            let par = Parallelism { threads, deterministic: true };
+            let mut sa = PipelineSnapshot::from_bytes(&bytes).unwrap();
+            let mut sb = PipelineSnapshot::from_bytes(json.as_bytes()).unwrap();
+            sa.detector_config.parallelism = par;
+            sb.detector_config.parallelism = par;
+            let ra = CatsPipeline::restore(sa).detect(&test_items, &sales);
+            let rb = CatsPipeline::restore(sb).detect(&test_items, &sales);
+            for (x, y) in ra.iter().zip(&rb) {
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "threads={threads}");
+                assert_eq!(x.is_fraud, y.is_fraud);
+            }
+        }
+    }
+
+    #[test]
+    fn io2_snapshot_save_load_and_legacy_json_fallback() {
+        use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
+        let snap = CatsPipeline::snapshot(
+            trained().analyzer().clone(),
+            DetectorConfig::default(),
+            GradientBoostedTrees::new(GbtConfig::default()),
+        );
+        let dir = std::env::temp_dir().join(format!("cats_snap_io2_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // save() writes IO2; load() reads it back.
+        let binary = dir.join("model.cats");
+        snap.save(&binary).unwrap();
+        assert!(cats_io::io2::is_io2(&std::fs::read(&binary).unwrap()));
+        let loaded = PipelineSnapshot::load(&binary).unwrap();
+        assert_eq!(loaded.format_version, snap.format_version);
+
+        // save_json() writes the legacy CATS-IO1-framed JSON; load() sniffs
+        // and falls back. Bare JSON (no frame at all) also loads.
+        let legacy = dir.join("model.json");
+        snap.save_json(&legacy).unwrap();
+        PipelineSnapshot::load(&legacy).unwrap();
+        let bare = dir.join("bare.json");
+        std::fs::write(&bare, snap.to_json().unwrap()).unwrap();
+        PipelineSnapshot::load(&bare).unwrap();
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

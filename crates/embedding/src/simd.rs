@@ -1,0 +1,203 @@
+//! Branch-lite 8-wide f32 kernels for the embedding hot loops.
+//!
+//! The word2vec inner loops — the SGNS dot product and the cosine
+//! similarity behind lexicon expansion — spend their time in
+//! one-element-at-a-time f32 reductions that the compiler cannot
+//! profitably vectorize because a single serial accumulator chains every
+//! add. These kernels process slices in explicit 8-wide chunks with eight
+//! independent accumulators, then combine them with a *fixed* pairwise
+//! fold. That breaks the dependency chain (so the autovectorizer can keep
+//! 256-bit lanes busy) while keeping the summation order a pure function
+//! of the slice length — the same input always reduces in the same order,
+//! preserving the crate's bit-identical determinism guarantees.
+//!
+//! Changing from one serial accumulator to eight changes *which* order
+//! floats are added in, so results differ from a naive loop in the last
+//! ulps — but deterministically so. All cross-thread reproducibility
+//! tests compare runs that share these kernels, and every external
+//! consumer of cosine similarity is tolerance-based.
+
+/// Width of a chunk: eight f32 lanes (one AVX2 register).
+pub const LANES: usize = 8;
+
+/// Reduces eight lane accumulators with a fixed pairwise tree:
+/// `(a0+a4)+(a2+a6)` + `(a1+a5)+(a3+a7)` — the order never depends on
+/// data, only on lane position.
+#[inline]
+fn fold8(acc: [f32; LANES]) -> f32 {
+    let b0 = acc[0] + acc[4];
+    let b1 = acc[1] + acc[5];
+    let b2 = acc[2] + acc[6];
+    let b3 = acc[3] + acc[7];
+    (b0 + b2) + (b1 + b3)
+}
+
+/// Dot product of two equal-length slices, 8-wide chunked.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: mismatched lengths");
+    let mut acc = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    for c in 0..chunks {
+        let base = c * LANES;
+        for l in 0..LANES {
+            acc[l] += a[base + l] * b[base + l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * LANES..a.len() {
+        tail += a[i] * b[i];
+    }
+    fold8(acc) + tail
+}
+
+/// Fused dot product and squared norms: `(a·b, a·a, b·b)` in one pass.
+/// This is the cosine-similarity kernel — one traversal instead of three.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot_norms(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+    assert_eq!(a.len(), b.len(), "dot_norms: mismatched lengths");
+    let mut dot = [0.0f32; LANES];
+    let mut na = [0.0f32; LANES];
+    let mut nb = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    for c in 0..chunks {
+        let base = c * LANES;
+        for l in 0..LANES {
+            let (x, y) = (a[base + l], b[base + l]);
+            dot[l] += x * y;
+            na[l] += x * x;
+            nb[l] += y * y;
+        }
+    }
+    let (mut td, mut ta, mut tb) = (0.0f32, 0.0f32, 0.0f32);
+    for i in chunks * LANES..a.len() {
+        let (x, y) = (a[i], b[i]);
+        td += x * y;
+        ta += x * x;
+        tb += y * y;
+    }
+    (fold8(dot) + td, fold8(na) + ta, fold8(nb) + tb)
+}
+
+/// `out[i] += scale * src[i]`, 8-wide chunked (the axpy of the SGNS
+/// gradient-accumulation and weight-update loops).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(scale: f32, src: &[f32], out: &mut [f32]) {
+    assert_eq!(src.len(), out.len(), "axpy: mismatched lengths");
+    let chunks = src.len() / LANES;
+    for c in 0..chunks {
+        let base = c * LANES;
+        for l in 0..LANES {
+            out[base + l] += scale * src[base + l];
+        }
+    }
+    for i in chunks * LANES..src.len() {
+        out[i] += scale * src[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64 — deterministic test vectors without external crates.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        fn f32(&mut self) -> f32 {
+            (self.next() >> 40) as f32 / (1u64 << 24) as f32 * 2.0 - 1.0
+        }
+        fn vec(&mut self, n: usize) -> Vec<f32> {
+            (0..n).map(|_| self.f32()).collect()
+        }
+    }
+
+    fn reference_dot(a: &[f32], b: &[f32]) -> f64 {
+        a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
+    }
+
+    #[test]
+    fn dot_matches_reference_within_f32_resummation_error() {
+        let mut rng = Rng(7);
+        // Cover: empty, sub-chunk, exact multiples of 8, ragged tails.
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 64, 100, 257] {
+            let (a, b) = (rng.vec(n), rng.vec(n));
+            let got = dot(&a, &b) as f64;
+            let want = reference_dot(&a, &b);
+            let tol = 1e-4 * (n.max(1) as f64);
+            assert!((got - want).abs() < tol, "n={n}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn dot_is_deterministic_across_calls() {
+        let mut rng = Rng(11);
+        let (a, b) = (rng.vec(123), rng.vec(123));
+        let first = dot(&a, &b).to_bits();
+        for _ in 0..10 {
+            assert_eq!(dot(&a, &b).to_bits(), first);
+        }
+    }
+
+    #[test]
+    fn dot_norms_matches_separate_dots_bitwise() {
+        // The fused kernel must reduce in exactly the same order as three
+        // independent kernel calls — same chunking, same fold.
+        let mut rng = Rng(13);
+        for n in [5usize, 8, 31, 96] {
+            let (a, b) = (rng.vec(n), rng.vec(n));
+            let (d, na, nb) = dot_norms(&a, &b);
+            assert_eq!(d.to_bits(), dot(&a, &b).to_bits(), "n={n}");
+            assert_eq!(na.to_bits(), dot(&a, &a).to_bits(), "n={n}");
+            assert_eq!(nb.to_bits(), dot(&b, &b).to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_update() {
+        let mut rng = Rng(17);
+        for n in [0usize, 4, 8, 21, 80] {
+            let src = rng.vec(n);
+            let mut out = rng.vec(n);
+            let mut want = out.clone();
+            axpy(0.25, &src, &mut out);
+            for i in 0..n {
+                want[i] += 0.25 * src[i];
+            }
+            // Element-wise updates have no reduction order: bit-exact.
+            assert_eq!(
+                out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_order_is_position_not_value_dependent() {
+        // Two inputs with permuted values in the same positions reduce via
+        // the same tree; swapping values across lanes may change the result
+        // (different order), but the *same* input twice never does.
+        let a: Vec<f32> = (0..16).map(|i| (i as f32) * 0.1).collect();
+        let b = vec![1.0f32; 16];
+        assert_eq!(dot(&a, &b).to_bits(), dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched lengths")]
+    fn mismatched_lengths_panic() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

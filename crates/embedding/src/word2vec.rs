@@ -186,16 +186,12 @@ impl Embedding {
 }
 
 /// Cosine similarity of two equal-length vectors (0 when either is zero).
+///
+/// Computed with the fused 8-wide kernel ([`crate::simd::dot_norms`]):
+/// one traversal yields dot product and both squared norms, with a fixed
+/// lane-fold reduction order that depends only on the vector length.
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut dot = 0.0f32;
-    let mut na = 0.0f32;
-    let mut nb = 0.0f32;
-    for (&x, &y) in a.iter().zip(b) {
-        dot += x * y;
-        na += x * x;
-        nb += y * y;
-    }
+    let (dot, na, nb) = crate::simd::dot_norms(a, b);
     if na == 0.0 || nb == 0.0 {
         return 0.0;
     }
@@ -241,7 +237,11 @@ impl Word2VecTrainer {
         self.train_impl(corpus, Some((store, stage)))
     }
 
-    fn train_impl(&self, corpus: &Corpus, ckpt: Option<(&cats_io::CheckpointStore, &str)>) -> Embedding {
+    fn train_impl(
+        &self,
+        corpus: &Corpus,
+        ckpt: Option<(&cats_io::CheckpointStore, &str)>,
+    ) -> Embedding {
         let _span = cats_obs::span!("cats.embedding.w2v.train", { corpus.len() });
         let cfg = self.config;
         let vocab = corpus.vocab();
@@ -728,10 +728,7 @@ fn sgns_update<W: Weights>(
         .zip(std::iter::once(&1.0f32).chain(std::iter::repeat(&0.0f32)))
     {
         let u = idx * dim;
-        let mut dot = 0.0f32;
-        for d in 0..dim {
-            dot += syn0.get(v + d) * syn1.get(u + d);
-        }
+        let dot = dot_weights(syn0, syn1, v, u, dim);
         let pred = fast_sigmoid(dot, sigmoid);
         residual += (label - pred).abs();
         pairs += 1;
@@ -745,6 +742,34 @@ fn sgns_update<W: Weights>(
         syn0.add(v + d, grad[d]);
     }
     (residual, pairs)
+}
+
+/// 8-wide chunked dot product over generic weight storage — the same
+/// fixed pairwise lane fold as [`crate::simd::dot`], duplicated here
+/// because [`Weights`] is private to this module. Eight independent
+/// accumulators break the serial dependency chain of the SGNS inner
+/// product; the reduction order is a function of `dim` alone, so the
+/// Cell-based deterministic schedules remain bit-identical run-to-run.
+#[inline]
+fn dot_weights<W: Weights>(syn0: &W, syn1: &W, v: usize, u: usize, dim: usize) -> f32 {
+    const L: usize = crate::simd::LANES;
+    let mut acc = [0.0f32; L];
+    let chunks = dim / L;
+    for c in 0..chunks {
+        let base = c * L;
+        for (l, a) in acc.iter_mut().enumerate() {
+            *a += syn0.get(v + base + l) * syn1.get(u + base + l);
+        }
+    }
+    let mut tail = 0.0f32;
+    for d in chunks * L..dim {
+        tail += syn0.get(v + d) * syn1.get(u + d);
+    }
+    let b0 = acc[0] + acc[4];
+    let b1 = acc[1] + acc[5];
+    let b2 = acc[2] + acc[6];
+    let b3 = acc[3] + acc[7];
+    ((b0 + b2) + (b1 + b3)) + tail
 }
 
 /// Builds the unigram^0.75 negative-sampling table over trained words.
@@ -979,8 +1004,7 @@ mod tests {
     }
 
     fn ckpt_store(name: &str) -> cats_io::CheckpointStore {
-        let dir =
-            std::env::temp_dir().join(format!("cats_w2v_{}_{name}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("cats_w2v_{}_{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         cats_io::CheckpointStore::open(&dir).expect("open checkpoint store")
     }

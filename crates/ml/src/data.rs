@@ -1,7 +1,13 @@
 //! Dense datasets, splits, and standardization.
 
+use crate::flat::ColMatrix;
+use cats_io::io2::{Dec, Enc, Io2Builder, Io2File};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Byte-format version of the dataset `meta` section.
+const DATASET_CODEC_VERSION: u32 = 1;
 
 /// A dense binary-classification dataset: row-major feature matrix plus
 /// 0/1 labels (1 = fraud in the CATS pipeline).
@@ -73,6 +79,72 @@ impl Dataset {
     /// Count of positive (label 1) rows.
     pub fn n_positive(&self) -> usize {
         self.y.iter().filter(|&&l| l == 1).count()
+    }
+
+    /// The feature matrix transposed into column-major storage, so
+    /// per-feature walks (split scans, batch tree descent) read
+    /// contiguous memory instead of striding by `n_features`.
+    pub fn to_cols(&self) -> ColMatrix {
+        if self.n_features == 0 {
+            return ColMatrix::default();
+        }
+        ColMatrix::from_row_major(&self.x, self.n_features)
+    }
+
+    /// Saves the dataset as a `CATS-IO2` container — sections `meta`
+    /// (codec version and shape), `x` (feature matrix, raw little-endian
+    /// f64), and `y` (labels). Loading is a bounds check plus a byte
+    /// sweep; no JSON is parsed.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let mut meta = Enc::new();
+        meta.u32(DATASET_CODEC_VERSION).u64(self.n_features as u64).u64(self.y.len() as u64);
+        let mut x = Enc::new();
+        x.f64s(&self.x);
+        let mut y = Enc::new();
+        y.u8s(&self.y);
+        let mut container = Io2Builder::new();
+        container
+            .section("meta", meta.into_bytes())
+            .section("x", x.into_bytes())
+            .section("y", y.into_bytes());
+        container.write(path).map_err(|e| e.to_string())
+    }
+
+    /// Loads a dataset saved by [`Dataset::save`], sniffing the format
+    /// by magic: `CATS-IO2` containers decode binary; anything else
+    /// falls back to the legacy serde-JSON encoding (optionally behind
+    /// `CATS-IO1` framing).
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let name = path.display().to_string();
+        let bytes = cats_io::read_checksummed(path).map_err(|e| e.to_string())?;
+        if !cats_io::io2::is_io2(&bytes) {
+            return serde_json::from_slice(&bytes).map_err(|e| format!("{name}: {e}"));
+        }
+        let file = Io2File::parse(&bytes, &name).map_err(|e| e.to_string())?;
+        let mut meta = Dec::new(file.require("meta", &name).map_err(|e| e.to_string())?);
+        let version = meta.u32()?;
+        if version != DATASET_CODEC_VERSION {
+            return Err(format!(
+                "{name}: dataset codec version {version} is newer than supported \
+                 {DATASET_CODEC_VERSION}"
+            ));
+        }
+        let n_features = meta.u64()? as usize;
+        let n_rows = meta.u64()? as usize;
+        let x = Dec::new(file.require("x", &name).map_err(|e| e.to_string())?).f64s()?;
+        let y = Dec::new(file.require("y", &name).map_err(|e| e.to_string())?).u8s()?;
+        if y.len() != n_rows || x.len() != n_rows.saturating_mul(n_features) {
+            return Err(format!(
+                "{name}: dataset shape mismatch: meta says {n_rows}×{n_features}, found \
+                 x={} y={}",
+                x.len(),
+                y.len()
+            ));
+        }
+        if y.iter().any(|&l| l > 1) {
+            return Err(format!("{name}: labels must be 0 or 1"));
+        }
+        Ok(Self { n_features, x, y })
     }
 
     /// A new dataset containing the rows at `indices` (in that order).

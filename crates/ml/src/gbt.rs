@@ -15,9 +15,11 @@
 
 use crate::classifier::Classifier;
 use crate::data::Dataset;
+use crate::flat::{ColMatrix, FlatForest};
 use cats_par::Parallelism;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Split-finding strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -127,7 +129,12 @@ impl RegTree {
 }
 
 /// The boosted model.
+///
+/// Serde goes through [`GbtWire`] (the historical field set, so the JSON
+/// encoding is byte-for-byte unchanged); deserializing rebuilds the
+/// branch-lite [`FlatForest`] the scoring hot path descends.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "GbtWire", into = "GbtWire")]
 pub struct GradientBoostedTrees {
     config: GbtConfig,
     trees: Vec<RegTree>,
@@ -137,6 +144,80 @@ pub struct GradientBoostedTrees {
     /// Total structure gain accumulated per feature (the "gain"
     /// importance variant).
     gain_sums: Vec<f64>,
+    /// The ensemble flattened into a contiguous struct-of-arrays node
+    /// pool (DESIGN.md §12). Kept in lockstep with `trees` by every
+    /// construction path (fit, serde, binary decode); mid-fit it is
+    /// deliberately stale-empty and the enum walk serves predictions.
+    flat: FlatForest,
+}
+
+/// Serde wire shape of [`GradientBoostedTrees`]: exactly the pre-flat
+/// field set and order, keeping the JSON encoding byte-compatible in
+/// both directions.
+#[derive(Clone, Serialize, Deserialize)]
+struct GbtWire {
+    config: GbtConfig,
+    trees: Vec<RegTree>,
+    base_score: f64,
+    split_counts: Vec<u64>,
+    gain_sums: Vec<f64>,
+}
+
+impl From<GbtWire> for GradientBoostedTrees {
+    fn from(w: GbtWire) -> Self {
+        let flat = flatten_trees(&w.trees);
+        Self {
+            config: w.config,
+            trees: w.trees,
+            base_score: w.base_score,
+            split_counts: w.split_counts,
+            gain_sums: w.gain_sums,
+            flat,
+        }
+    }
+}
+
+impl From<GradientBoostedTrees> for GbtWire {
+    fn from(m: GradientBoostedTrees) -> Self {
+        Self {
+            config: m.config,
+            trees: m.trees,
+            base_score: m.base_score,
+            split_counts: m.split_counts,
+            gain_sums: m.gain_sums,
+        }
+    }
+}
+
+/// Flattens enum-arena trees into one breadth-first sibling-adjacent
+/// node pool. Deterministic: the same trees always produce the same
+/// pool (and therefore the same [`FlatForest::to_bytes`] bytes).
+fn flatten_trees(trees: &[RegTree]) -> FlatForest {
+    let mut flat = FlatForest::new();
+    let mut queue = VecDeque::new();
+    for tree in trees {
+        if tree.nodes.is_empty() {
+            // Defensive: no builder produces an empty tree, but a
+            // hand-edited JSON model must not panic the flattener.
+            let root = flat.push_root();
+            flat.set_leaf(root, 0.0);
+            continue;
+        }
+        let root = flat.push_root();
+        queue.push_back((0usize, root));
+        while let Some((src, dst)) = queue.pop_front() {
+            match &tree.nodes[src] {
+                Node::Leaf { weight } => flat.set_leaf(dst, *weight),
+                Node::Split { feature, threshold, left, right } => {
+                    let l = flat.alloc_children();
+                    flat.set_split(dst, *feature as u32, *threshold, l);
+                    queue.push_back((*left, l));
+                    queue.push_back((*right, l + 1));
+                }
+            }
+        }
+    }
+    flat
 }
 
 impl GradientBoostedTrees {
@@ -154,6 +235,7 @@ impl GradientBoostedTrees {
             base_score: 0.0,
             split_counts: Vec::new(),
             gain_sums: Vec::new(),
+            flat: FlatForest::new(),
         }
     }
 
@@ -180,14 +262,152 @@ impl GradientBoostedTrees {
         &self.gain_sums
     }
 
-    /// Raw margin (log-odds) for a row.
+    /// Whether the flat pool mirrors the enum trees. False only mid-fit
+    /// (the pool rebuilds once at fit end) — every load path builds it.
+    #[inline]
+    fn flat_is_fresh(&self) -> bool {
+        !self.trees.is_empty() && self.flat.n_trees() == self.trees.len()
+    }
+
+    /// Raw margin (log-odds) for a row. Descends the branch-lite flat
+    /// pool when it is in sync with the trees (every fitted/loaded
+    /// model); falls back to the enum walk mid-fit. Both paths are
+    /// bit-identical — same comparisons, same f64 accumulation order.
     pub fn predict_margin(&self, row: &[f64]) -> f64 {
+        if self.flat_is_fresh() {
+            self.flat.margin(self.base_score, row)
+        } else {
+            self.predict_margin_recursive(row)
+        }
+    }
+
+    /// The pre-flat enum-arena walk, kept as the comparison baseline
+    /// (`exp_scaling` measures flat vs recursive) and the mid-fit path
+    /// while the flat pool is stale.
+    pub fn predict_margin_recursive(&self, row: &[f64]) -> f64 {
         let mut m = self.base_score;
         for t in &self.trees {
             m += t.predict(row);
         }
         m
     }
+
+    /// Batch margins over a column-major feature matrix: rows in chunks
+    /// of 8, trees tree-major per chunk (see
+    /// [`FlatForest::margin_batch`]). Output row `i` is bit-identical to
+    /// `predict_margin` of that row.
+    pub fn predict_margin_batch(&self, cols: &ColMatrix) -> Vec<f64> {
+        let mut out = Vec::new();
+        if self.flat_is_fresh() {
+            self.flat.margin_batch(cols, self.base_score, &mut out);
+        } else {
+            let mut row = vec![0.0; cols.n_cols()];
+            for r in 0..cols.n_rows() {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = cols.at(r, c);
+                }
+                out.push(self.predict_margin_recursive(&row));
+            }
+        }
+        out
+    }
+
+    /// Binary (`CATS-IO2` section payload) encoding: a small JSON head
+    /// (config, base score, importances) followed by the forest as flat
+    /// little-endian arrays. Deterministic — the same model always
+    /// yields the same bytes.
+    pub fn to_io2_bytes(&self) -> Result<Vec<u8>, String> {
+        let head = GbtHead {
+            config: self.config,
+            base_score: self.base_score,
+            split_counts: self.split_counts.clone(),
+            gain_sums: self.gain_sums.clone(),
+        };
+        let head_json = serde_json::to_string(&head).map_err(|e| e.to_string())?;
+        let flat =
+            if self.flat_is_fresh() { self.flat.clone() } else { flatten_trees(&self.trees) };
+        let mut e = cats_io::io2::Enc::new();
+        e.str(&head_json).u8s(&flat.to_bytes());
+        Ok(e.into_bytes())
+    }
+
+    /// Decodes [`GradientBoostedTrees::to_io2_bytes`]. The flat pool is
+    /// taken as stored (so re-encoding is byte-identical) and the enum
+    /// arena is reconstructed from it; split feature indices are
+    /// validated against the feature count.
+    pub fn from_io2_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut d = cats_io::io2::Dec::new(bytes);
+        let head: GbtHead =
+            serde_json::from_str(&d.str()?).map_err(|e| format!("gbt head: {e}"))?;
+        let flat = FlatForest::from_bytes(&d.u8s()?)?;
+        let n_features = head.split_counts.len();
+        if head.gain_sums.len() != n_features {
+            return Err(format!(
+                "gbt head: importance arrays disagree ({n_features} vs {})",
+                head.gain_sums.len()
+            ));
+        }
+        if let Some(f) = flat.max_feature() {
+            if f as usize >= n_features {
+                return Err(format!(
+                    "forest references feature {f} but the model has {n_features} features"
+                ));
+            }
+        }
+        let trees = unflatten_trees(&flat)?;
+        Ok(Self {
+            config: head.config,
+            trees,
+            base_score: head.base_score,
+            split_counts: head.split_counts,
+            gain_sums: head.gain_sums,
+            flat,
+        })
+    }
+}
+
+/// JSON head of the binary GBT encoding — everything except the forest.
+#[derive(Serialize, Deserialize)]
+struct GbtHead {
+    config: GbtConfig,
+    base_score: f64,
+    split_counts: Vec<u64>,
+    gain_sums: Vec<f64>,
+}
+
+/// Rebuilds enum-arena trees from a flat pool. Relies on the builder's
+/// layout invariant that tree `t`'s nodes occupy the contiguous index
+/// range `[roots[t], roots[t+1])`; links escaping their tree's range are
+/// rejected (a crafted file must not panic downstream walks).
+fn unflatten_trees(flat: &FlatForest) -> Result<Vec<RegTree>, String> {
+    let mut trees = Vec::with_capacity(flat.n_trees());
+    for t in 0..flat.n_trees() {
+        let start = flat.root(t) as usize;
+        let end = if t + 1 < flat.n_trees() { flat.root(t + 1) as usize } else { flat.n_nodes() };
+        if end <= start {
+            return Err(format!("tree {t}: roots are not strictly increasing"));
+        }
+        let mut nodes = Vec::with_capacity(end - start);
+        for i in start..end {
+            let f = flat.node_feature(i);
+            if f == crate::flat::LEAF {
+                nodes.push(Node::Leaf { weight: flat.node_leaf(i) });
+            } else {
+                let l = flat.node_left(i) as usize;
+                if l + 1 >= end {
+                    return Err(format!("tree {t}: node {i} links outside its tree"));
+                }
+                nodes.push(Node::Split {
+                    feature: f as usize,
+                    threshold: flat.node_threshold(i),
+                    left: l - start,
+                    right: l + 1 - start,
+                });
+            }
+        }
+        trees.push(RegTree { nodes });
+    }
+    Ok(trees)
 }
 
 impl GradientBoostedTrees {
@@ -251,8 +471,17 @@ impl GradientBoostedTrees {
         let cfg = self.config;
         let n = data.len();
         self.trees.clear();
+        // The flat pool is rebuilt once at fit end; while trees are
+        // growing it stays empty so predict_margin (early-stopping
+        // log-loss) walks the enum arena.
+        self.flat = FlatForest::new();
         self.split_counts = vec![0; data.n_features()];
         self.gain_sums = vec![0.0; data.n_features()];
+
+        // One transpose up front: split scans walk whole feature columns
+        // (and re-walk them once per node), so contiguous columns beat
+        // the row-major matrix's n_features-strided reads.
+        let cols = data.to_cols();
 
         // Base score: log-odds of the positive prior (clamped away from
         // degenerate single-class priors).
@@ -275,18 +504,17 @@ impl GradientBoostedTrees {
             SplitMode::Histogram { bins } => {
                 assert!(bins >= 2, "histogram mode needs at least 2 bins");
                 Some(cats_par::map_indexed(row_par, data.n_features(), |f| {
-                    quantile_thresholds(data, f, bins)
+                    quantile_thresholds(cols.col(f), bins)
                 }))
             }
         };
 
         // Pre-sorted feature orders, reused by every tree.
         let sorted: Vec<Vec<u32>> = cats_par::map_indexed(row_par, data.n_features(), |f| {
+            let col = cols.col(f);
             let mut idx: Vec<u32> = (0..n as u32).collect();
             idx.sort_by(|&a, &b| {
-                data.row(a as usize)[f]
-                    .partial_cmp(&data.row(b as usize)[f])
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                col[a as usize].partial_cmp(&col[b as usize]).unwrap_or(std::cmp::Ordering::Equal)
             });
             idx
         });
@@ -389,6 +617,7 @@ impl GradientBoostedTrees {
 
             let mut builder = TreeBuilder {
                 data,
+                cols: &cols,
                 grad: &grad,
                 hess: &hess,
                 sorted: &sorted,
@@ -455,6 +684,7 @@ impl GradientBoostedTrees {
         if early.is_some() {
             self.trees.truncate(best_round.max(1));
         }
+        self.flat = flatten_trees(&self.trees);
         if let Some((store, stage, _)) = ckpt {
             store.clear(stage);
         }
@@ -526,10 +756,10 @@ fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
 }
 
-/// Global quantile thresholds of one feature: up to `bins − 1` distinct
-/// cut points at evenly spaced sample quantiles.
-fn quantile_thresholds(data: &Dataset, feature: usize, bins: usize) -> Vec<f64> {
-    let mut values: Vec<f64> = (0..data.len()).map(|i| data.row(i)[feature]).collect();
+/// Global quantile thresholds of one feature column: up to `bins − 1`
+/// distinct cut points at evenly spaced sample quantiles.
+fn quantile_thresholds(col: &[f64], bins: usize) -> Vec<f64> {
+    let mut values: Vec<f64> = col.to_vec();
     values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let mut out = Vec::with_capacity(bins.saturating_sub(1));
     for b in 1..bins {
@@ -545,6 +775,9 @@ fn quantile_thresholds(data: &Dataset, feature: usize, bins: usize) -> Vec<f64> 
 /// Grows one regression tree over (grad, hess).
 struct TreeBuilder<'a> {
     data: &'a Dataset,
+    /// Column-major mirror of `data`'s features: scans touch one feature
+    /// across many rows, which is contiguous here.
+    cols: &'a ColMatrix,
     grad: &'a [f64],
     hess: &'a [f64],
     sorted: &'a [Vec<u32>],
@@ -572,8 +805,9 @@ impl TreeBuilder<'_> {
             return self.nodes.len() - 1;
         };
 
+        let col = self.cols.col(feature);
         let (left, right): (Vec<u32>, Vec<u32>) =
-            members.into_iter().partition(|&i| self.data.row(i as usize)[feature] < threshold);
+            members.into_iter().partition(|&i| col[i as usize] < threshold);
         if left.is_empty() || right.is_empty() {
             self.nodes.push(Node::Leaf { weight: leaf_weight });
             return self.nodes.len() - 1;
@@ -635,8 +869,9 @@ impl TreeBuilder<'_> {
         // bucket is everything >= the final threshold.
         let mut g_bins = vec![0.0f64; thresholds.len() + 1];
         let mut h_bins = vec![0.0f64; thresholds.len() + 1];
+        let col = self.cols.col(feature);
         for &i in members {
-            let v = self.data.row(i as usize)[feature];
+            let v = col[i as usize];
             let b = thresholds.partition_point(|&t| t <= v);
             g_bins[b] += self.grad[i as usize];
             h_bins[b] += self.hess[i as usize];
@@ -700,12 +935,13 @@ impl TreeBuilder<'_> {
         let mut gl = 0.0;
         let mut hl = 0.0;
         let mut prev_val: Option<f64> = None;
+        let col = self.cols.col(feature);
         for &i in &self.sorted[feature] {
             let i = i as usize;
             if !in_node[i] {
                 continue;
             }
-            let v = self.data.row(i)[feature];
+            let v = col[i];
             if let Some(pv) = prev_val {
                 if v > pv && hl >= cfg.min_child_weight {
                     let gr = g_total - gl;
@@ -1064,6 +1300,72 @@ mod tests {
         for i in 0..d.len() {
             assert_eq!(m.predict_proba(d.row(i)), m2.predict_proba(d.row(i)));
         }
+    }
+
+    #[test]
+    fn flat_walk_is_bit_identical_to_recursive_walk() {
+        let d = separable(120);
+        let mut m = GradientBoostedTrees::new(cfg_small());
+        m.fit(&d);
+        assert!(m.flat_is_fresh(), "fit must rebuild the flat pool");
+        for i in 0..d.len() {
+            assert_eq!(
+                m.predict_margin(d.row(i)).to_bits(),
+                m.predict_margin_recursive(d.row(i)).to_bits(),
+                "row {i}: flat and recursive walks diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_margin_matches_scalar_bitwise() {
+        // 59 rows: seven full chunks of 8 plus a ragged tail of 3.
+        let d = separable(59);
+        let mut m = GradientBoostedTrees::new(cfg_small());
+        m.fit(&d);
+        let batch = m.predict_margin_batch(&d.to_cols());
+        assert_eq!(batch.len(), d.len());
+        for i in 0..d.len() {
+            assert_eq!(batch[i].to_bits(), m.predict_margin(d.row(i)).to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn io2_roundtrip_preserves_predictions_bitwise() {
+        let d = separable(80);
+        let mut m = GradientBoostedTrees::new(cfg_small());
+        m.fit(&d);
+        let bytes = m.to_io2_bytes().unwrap();
+        let m2 = GradientBoostedTrees::from_io2_bytes(&bytes).unwrap();
+        for i in 0..d.len() {
+            assert_eq!(
+                m.predict_margin(d.row(i)).to_bits(),
+                m2.predict_margin(d.row(i)).to_bits(),
+                "row {i}: io2-decoded model diverged"
+            );
+            // The reconstructed enum arena (BFS node order) must score
+            // identically to the original DFS arena as well.
+            assert_eq!(
+                m.predict_margin_recursive(d.row(i)).to_bits(),
+                m2.predict_margin_recursive(d.row(i)).to_bits(),
+                "row {i}: unflattened arena diverged"
+            );
+        }
+        // The binary encoding is canonical: decode → encode is
+        // byte-identical (the property `cats-cli convert` verifies).
+        assert_eq!(m2.to_io2_bytes().unwrap(), bytes);
+    }
+
+    #[test]
+    fn io2_decode_rejects_damaged_payloads() {
+        let d = separable(40);
+        let mut m = GradientBoostedTrees::new(cfg_small());
+        m.fit(&d);
+        let bytes = m.to_io2_bytes().unwrap();
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() - 9);
+        assert!(GradientBoostedTrees::from_io2_bytes(&truncated).is_err());
+        assert!(GradientBoostedTrees::from_io2_bytes(&[]).is_err());
     }
 
     fn ckpt_store(name: &str) -> cats_io::CheckpointStore {

@@ -8,7 +8,9 @@
 //! scratch, plus the evaluation harness around them:
 //!
 //! * [`data`] — dense datasets, stratified splits/k-folds, feature
-//!   standardization;
+//!   standardization, binary (`CATS-IO2`) dataset persistence;
+//! * [`flat`] — branch-lite flattened forests and column-major feature
+//!   matrices, the contiguous-memory scoring hot path;
 //! * [`metrics`] — precision / recall / F-score / accuracy and confusion
 //!   counts (the quantities of Tables III & VI);
 //! * [`Classifier`] — object-safe train/predict interface all models
@@ -30,6 +32,7 @@
 pub mod adaboost;
 pub mod classifier;
 pub mod data;
+pub mod flat;
 pub mod gbt;
 pub mod metrics;
 pub mod mlp;
@@ -41,4 +44,5 @@ pub mod tree;
 
 pub use classifier::Classifier;
 pub use data::{Dataset, StandardScaler};
+pub use flat::{ColMatrix, FlatForest};
 pub use metrics::{confusion, BinaryMetrics};

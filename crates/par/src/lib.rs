@@ -206,8 +206,7 @@ fn worker<F: Fn(usize) + Sync>(
                 // to the next index rather than unwinding the pool.
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i as usize))) {
                     n_panics += 1;
-                    let mut slot =
-                        panic_slot.lock().unwrap_or_else(PoisonError::into_inner);
+                    let mut slot = panic_slot.lock().unwrap_or_else(PoisonError::into_inner);
                     if slot.is_none() {
                         *slot = Some(payload);
                     }
@@ -261,7 +260,8 @@ fn run_indexed<F: Fn(usize) + Sync>(par: Parallelism, n: usize, f: &F) {
         let panic_slot = &panic_slot;
         std::thread::scope(|scope| {
             for w in 0..threads {
-                scope.spawn(move || worker(w, queues, grain, f, popped, stolen, panics, panic_slot));
+                scope
+                    .spawn(move || worker(w, queues, grain, f, popped, stolen, panics, panic_slot));
             }
         });
     }

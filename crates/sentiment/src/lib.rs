@@ -17,11 +17,16 @@
 //!   per-token likelihood). Normalization keeps long comments from
 //!   saturating to exactly 0/1, matching the smooth densities of Fig 1.
 
+use cats_io::io2::{Dec, Enc};
 use cats_text::{Segmenter, TokenId, Vocab};
 use serde::{Deserialize, Serialize};
 
 /// Laplace smoothing pseudo-count.
 const ALPHA: f64 = 1.0;
+
+/// Version of the binary payload emitted by
+/// [`SentimentModel::to_io2_payload`] (the snapshot `sentiment` section).
+const SENTIMENT_CODEC_VERSION: u32 = 1;
 
 /// Sharpness of the length-normalized posterior. The per-token average
 /// log-likelihood ratio is multiplied by this before the sigmoid; it trades
@@ -202,26 +207,35 @@ impl SentimentModel {
 
     /// Scores a segmented comment: `P(positive)` with length-normalized
     /// token likelihoods. An empty comment scores exactly 0.5.
+    ///
+    /// The log-likelihood sums run in explicit 8-wide lane accumulators
+    /// with a fixed pairwise fold — the lane each feature lands in is a
+    /// function of its position alone, so the reduction order (and the
+    /// score, to the bit) depends only on the feature stream.
     pub fn score(&self, tokens: &[String]) -> f64 {
         if tokens.is_empty() {
             return 0.5;
         }
-        let mut lp = 0.0;
-        let mut ln = 0.0;
+        let mut lp_acc = [0.0f64; 8];
+        let mut ln_acc = [0.0f64; 8];
         let mut n_feats = 0usize;
-        for tok in feature_stream(tokens, self.order) {
+        for (f, tok) in feature_stream(tokens, self.order).iter().enumerate() {
             n_feats += 1;
-            match self.vocab.id(&tok) {
-                Some(TokenId(i)) => {
-                    lp += self.log_pos[i as usize];
-                    ln += self.log_neg[i as usize];
-                }
-                None => {
-                    lp += self.log_unseen_pos;
-                    ln += self.log_unseen_neg;
-                }
-            }
+            let (p, q) = match self.vocab.id(tok) {
+                Some(TokenId(i)) => (self.log_pos[i as usize], self.log_neg[i as usize]),
+                None => (self.log_unseen_pos, self.log_unseen_neg),
+            };
+            lp_acc[f % 8] += p;
+            ln_acc[f % 8] += q;
         }
+        let fold = |a: [f64; 8]| {
+            let b0 = a[0] + a[4];
+            let b1 = a[1] + a[5];
+            let b2 = a[2] + a[6];
+            let b3 = a[3] + a[7];
+            (b0 + b2) + (b1 + b3)
+        };
+        let (lp, ln) = (fold(lp_acc), fold(ln_acc));
         // Geometric-mean per-feature likelihood, then the prior once.
         let n = n_feats.max(1) as f64;
         let zp = lp / n + self.log_prior_pos / n;
@@ -248,6 +262,83 @@ impl SentimentModel {
     /// Vocabulary size seen during training.
     pub fn vocab_len(&self) -> usize {
         self.vocab.len()
+    }
+
+    /// Encodes the model as a flat binary payload (the `sentiment` section
+    /// of a `CATS-IO2` snapshot): codec version, feature order, the
+    /// vocabulary as `(word, count)` entries in id order, then the
+    /// log-likelihood arrays and scalars. The encoding is canonical —
+    /// decode followed by encode reproduces the bytes exactly.
+    pub fn to_io2_payload(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(SENTIMENT_CODEC_VERSION);
+        e.u8(match self.order {
+            FeatureOrder::Unigram => 0,
+            FeatureOrder::UnigramBigram => 1,
+        });
+        e.u64(self.vocab.len() as u64);
+        for (_, word, count) in self.vocab.iter() {
+            e.str(word);
+            e.u64(count);
+        }
+        e.f64s(&self.log_pos);
+        e.f64s(&self.log_neg);
+        e.f64(self.log_prior_pos);
+        e.f64(self.log_prior_neg);
+        e.f64(self.log_unseen_pos);
+        e.f64(self.log_unseen_neg);
+        e.into_bytes()
+    }
+
+    /// Decodes a payload produced by [`SentimentModel::to_io2_payload`].
+    pub fn from_io2_payload(bytes: &[u8]) -> Result<Self, String> {
+        let mut d = Dec::new(bytes);
+        let version = d.u32()?;
+        if version != SENTIMENT_CODEC_VERSION {
+            return Err(format!(
+                "sentiment codec version {version} is newer than supported \
+                 ({SENTIMENT_CODEC_VERSION})"
+            ));
+        }
+        let order = match d.u8()? {
+            0 => FeatureOrder::Unigram,
+            1 => FeatureOrder::UnigramBigram,
+            o => return Err(format!("unknown sentiment feature order {o}")),
+        };
+        let n_words = d.u64()? as usize;
+        if n_words > bytes.len() {
+            return Err(format!("sentiment vocab count {n_words} exceeds payload size"));
+        }
+        let mut entries = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            let word = d.str()?;
+            let count = d.u64()?;
+            entries.push((word, count));
+        }
+        let vocab = Vocab::from_entries(entries)?;
+        let log_pos = d.f64s()?;
+        let log_neg = d.f64s()?;
+        if log_pos.len() != n_words || log_neg.len() != n_words {
+            return Err(format!(
+                "sentiment likelihood arrays ({}, {}) do not match vocab size {n_words}",
+                log_pos.len(),
+                log_neg.len()
+            ));
+        }
+        let model = Self {
+            order,
+            vocab,
+            log_pos,
+            log_neg,
+            log_prior_pos: d.f64()?,
+            log_prior_neg: d.f64()?,
+            log_unseen_pos: d.f64()?,
+            log_unseen_neg: d.f64()?,
+        };
+        if d.remaining() != 0 {
+            return Err(format!("{} trailing bytes after sentiment payload", d.remaining()));
+        }
+        Ok(model)
     }
 }
 
@@ -421,6 +512,41 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn io2_payload_roundtrips_bitwise_and_is_canonical() {
+        let pos = docs(&["good great item", "love this good", "fine works great"]);
+        let neg = docs(&["bad awful broken", "terrible bad", "worst item return"]);
+        let probe: Vec<String> =
+            "good bad zzz great".split_whitespace().map(String::from).collect();
+        for order in [FeatureOrder::Unigram, FeatureOrder::UnigramBigram] {
+            let m = SentimentModel::train_with_order(&pos, &neg, order);
+            let bytes = m.to_io2_payload();
+            let m2 = SentimentModel::from_io2_payload(&bytes).unwrap();
+            assert_eq!(m.score(&probe).to_bits(), m2.score(&probe).to_bits(), "{order:?}");
+            assert_eq!(m.vocab_len(), m2.vocab_len());
+            assert_eq!(bytes, m2.to_io2_payload(), "canonical encoding {order:?}");
+        }
+    }
+
+    #[test]
+    fn io2_payload_rejects_corruption() {
+        let m = model();
+        let bytes = m.to_io2_payload();
+        // Truncation anywhere must error, never panic.
+        for cut in [0, 1, 4, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(SentimentModel::from_io2_payload(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Future codec version.
+        let mut future = bytes.clone();
+        future[0] = 99;
+        let err = SentimentModel::from_io2_payload(&future).unwrap_err();
+        assert!(err.contains("newer than supported"), "{err}");
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(SentimentModel::from_io2_payload(&long).unwrap_err().contains("trailing"));
     }
 
     #[test]

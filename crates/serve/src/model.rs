@@ -111,21 +111,23 @@ impl ModelSlot {
 }
 
 /// Restores a pipeline from a snapshot file (the `cats-cli train`
-/// output format). Checksummed snapshots (the `CATS-IO1` framing from
-/// `cats-io`) are verified before parsing; legacy raw-JSON snapshots
-/// pass through unchanged. Either way the snapshot format version is
-/// validated before the pipeline is rebuilt.
+/// output format). Binary `CATS-IO2` containers, `CATS-IO1`-framed JSON
+/// and legacy raw-JSON snapshots are all accepted — the format is
+/// sniffed by magic, and checksums (per-section CRC32s for IO2, the
+/// frame CRC for IO1) are verified before parsing. Either way the
+/// snapshot format version is validated before the pipeline is rebuilt.
 pub fn load_pipeline_file(path: &Path) -> Result<CatsPipeline, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
     parse_pipeline_bytes(&bytes, path)
 }
 
 fn parse_pipeline_bytes(bytes: &[u8], path: &Path) -> Result<CatsPipeline, String> {
+    // A CATS-IO1 frame is verified and stripped here; IO2 containers and
+    // bare JSON pass through verbatim. `from_bytes` then sniffs by magic,
+    // so one code path serves `.cats` binary and `.json` snapshots alike.
     let payload = cats_io::verify_checksummed(bytes, &path.display().to_string())
         .map_err(|e| e.to_string())?;
-    let json =
-        String::from_utf8(payload).map_err(|e| format!("{}: not UTF-8: {e}", path.display()))?;
-    let snapshot = PipelineSnapshot::from_json(&json)?;
+    let snapshot = PipelineSnapshot::from_bytes(&payload).map_err(|e| e.to_string())?;
     Ok(CatsPipeline::restore(snapshot))
 }
 
@@ -370,6 +372,48 @@ mod tests {
         assert!(slot.load_version(1).is_none(), "two-deep history only");
         assert!(slot.load_version(7).is_some());
         assert!(slot.load_version(9).is_some());
+    }
+
+    #[test]
+    fn watcher_hot_swaps_mixed_json_and_io2_formats() {
+        // The same snapshot file is rewritten across all three on-disk
+        // formats — bare JSON at startup, then a binary CATS-IO2
+        // container, then CATS-IO1-framed JSON. Each rewrite must swap
+        // (the (len, crc32) fingerprint is format-agnostic), and every
+        // loaded generation must score bit-identically.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cats_serve_mixed_{}.snap", std::process::id()));
+        let pipeline = testutil::trained(0.0);
+        let json = testutil::snapshot_json(&pipeline);
+        let io2 = PipelineSnapshot::from_json(&json).unwrap().to_io2_bytes().unwrap();
+        assert!(cats_io::io2::is_io2(&io2));
+        std::fs::write(&path, &json).unwrap();
+
+        let item = testutil::fraud_item(9);
+        let expect = pipeline.detect(&[item.clone()], &[50])[0].score;
+        let slot = Arc::new(ModelSlot::new(pipeline));
+        let watcher = ModelWatcher::spawn(slot.clone(), path.clone(), Duration::from_millis(10));
+
+        let wait_for = |v: u64| {
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while std::time::Instant::now() < deadline && slot.version() < v {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            assert!(slot.version() >= v, "expected swap to v{v}, at v{}", slot.version());
+        };
+
+        cats_io::atomic_write(&path, &io2).unwrap();
+        wait_for(2);
+        let got = slot.load().pipeline.detect(&[item.clone()], &[50])[0].score;
+        assert_eq!(got.to_bits(), expect.to_bits(), "IO2-loaded model must score identically");
+
+        cats_io::write_checksummed(&path, json.as_bytes()).unwrap();
+        wait_for(3);
+        let got = slot.load().pipeline.detect(&[item.clone()], &[50])[0].score;
+        assert_eq!(got.to_bits(), expect.to_bits(), "IO1-framed JSON must score identically");
+
+        watcher.stop();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

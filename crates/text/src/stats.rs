@@ -28,17 +28,29 @@ pub fn token_entropy(tokens: &[String]) -> f64 {
     for t in tokens {
         *freq.entry(t.as_str()).or_insert(0) += 1;
     }
-    let n = tokens.len() as f64;
     // Sum in sorted count order: entropy depends only on the count
     // multiset, and a deterministic order keeps the result bit-identical
     // across HashMap instances (and therefore across threads).
     let mut counts: Vec<u32> = freq.into_values().collect();
     counts.sort_unstable();
-    let mut h = 0.0;
-    for c in counts {
+    entropy_of_counts(&counts, tokens.len() as f64)
+}
+
+/// `-Σ p log2 p` over a count multiset, reduced in explicit 8-wide lane
+/// accumulators with a fixed pairwise fold. The lane a term lands in is a
+/// function of its position alone, so the summation order — and therefore
+/// the result, to the bit — depends only on the (sorted) count sequence.
+fn entropy_of_counts(counts: &[u32], n: f64) -> f64 {
+    let mut acc = [0.0f64; 8];
+    for (i, &c) in counts.iter().enumerate() {
         let p = f64::from(c) / n;
-        h -= p * p.log2();
+        acc[i % 8] -= p * p.log2();
     }
+    let b0 = acc[0] + acc[4];
+    let b1 = acc[1] + acc[5];
+    let b2 = acc[2] + acc[6];
+    let b3 = acc[3] + acc[7];
+    let h = (b0 + b2) + (b1 + b3);
     // -0.0 can appear when the comment is a single repeated token.
     if h == 0.0 {
         0.0
@@ -118,22 +130,11 @@ impl CommentStats {
         let entropy = if n == 0 {
             0.0
         } else {
-            let nf = n as f64;
-            // Deterministic order (see `token_entropy`).
+            // Deterministic order (see `token_entropy`); shares the 8-wide
+            // chunked reduction so bundle and individual paths agree bitwise.
             let mut counts: Vec<u32> = freq.values().copied().collect();
             counts.sort_unstable();
-            let h: f64 = counts
-                .iter()
-                .map(|&c| {
-                    let p = f64::from(c) / nf;
-                    -p * p.log2()
-                })
-                .sum();
-            if h == 0.0 {
-                0.0
-            } else {
-                h
-            }
+            entropy_of_counts(&counts, n as f64)
         };
         Self {
             entropy,

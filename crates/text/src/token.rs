@@ -66,6 +66,26 @@ impl Vocab {
         tokens.iter().map(|t| self.intern(t)).collect()
     }
 
+    /// Rebuilds a vocabulary from `(word, count)` entries in id order —
+    /// the persistence decode path, inverse of [`Vocab::iter`]. Entries
+    /// are assigned dense ids in input order with the given counts taken
+    /// verbatim, so `Vocab::from_entries(v.iter().map(|(_, w, c)|
+    /// (w.to_owned(), c)))` reproduces `v` exactly.
+    ///
+    /// Returns an error on a duplicate word: two entries can't share an id.
+    pub fn from_entries<I: IntoIterator<Item = (String, u64)>>(entries: I) -> Result<Self, String> {
+        let mut v = Self::new();
+        for (word, count) in entries {
+            let id = TokenId(v.words.len() as u32);
+            if v.index.insert(word.clone(), id).is_some() {
+                return Err(format!("duplicate vocabulary word {word:?}"));
+            }
+            v.words.push(word);
+            v.counts.push(count);
+        }
+        Ok(v)
+    }
+
     /// Looks up a word without interning it.
     pub fn id(&self, word: &str) -> Option<TokenId> {
         self.index.get(word).copied()
@@ -163,6 +183,22 @@ mod tests {
         let all = v.top_k(4);
         assert_eq!(v.word(all[2]), Some("a"));
         assert_eq!(v.word(all[3]), Some("d"));
+    }
+
+    #[test]
+    fn from_entries_is_inverse_of_iter() {
+        let mut v = Vocab::new();
+        for w in ["a", "b", "b", "c", "a", "a"] {
+            v.intern(w);
+        }
+        let rebuilt = Vocab::from_entries(v.iter().map(|(_, w, c)| (w.to_owned(), c))).unwrap();
+        assert_eq!(rebuilt.len(), v.len());
+        for (id, w, c) in v.iter() {
+            assert_eq!(rebuilt.id(w), Some(id));
+            assert_eq!(rebuilt.count(id), c);
+            assert_eq!(rebuilt.word(id), Some(w));
+        }
+        assert!(Vocab::from_entries([("x".to_string(), 1), ("x".to_string(), 2)]).is_err());
     }
 
     #[test]

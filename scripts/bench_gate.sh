@@ -159,6 +159,26 @@ fi
 
 # --- scaling benchmark -------------------------------------------------
 if [ -f BENCH_scaling.json ]; then
+  # Model-format invariants (hardware-independent ratios, gated
+  # outright): CATS-IO2 snapshots must load >=5x faster and score
+  # batches >=2x faster than the JSON/recursive baseline, stay smaller
+  # than JSON, and the flat scorer must agree with the recursive walk
+  # bit-for-bit.
+  load_speedup=$(num BENCH_scaling.json load_speedup)
+  score_speedup=$(num BENCH_scaling.json score_speedup)
+  size_ratio=$(num BENCH_scaling.json size_ratio)
+  bit_identical=$(num BENCH_scaling.json score_bit_identical)
+  gte "${load_speedup:-0}" 5 \
+    || fail "IO2 snapshot load only ${load_speedup:-?}x faster than JSON (want >=5x)"
+  gte "${score_speedup:-0}" 2 \
+    || fail "flat batch scoring only ${score_speedup:-?}x faster than recursive (want >=2x)"
+  gte "${size_ratio:-0}" 1.2 \
+    || fail "IO2 snapshot not smaller than JSON (ratio ${size_ratio:-?}, want >=1.2x)"
+  [ "${bit_identical:-0}" = "1" ] || fail "flat scoring diverged from the recursive walk"
+  if [ "${bit_identical:-0}" = "1" ] && gte "${load_speedup:-0}" 5 \
+    && gte "${score_speedup:-0}" 2 && gte "${size_ratio:-0}" 1.2; then
+    echo "bench-gate: ok: model format (load ${load_speedup}x, score ${score_speedup}x, size ${size_ratio}x, bit-identical)"
+  fi
   if ensure_baseline BENCH_scaling.json "$BASELINES/BENCH_scaling.json"; then
     items=$(num BENCH_scaling.json items)
     best=$(min_total BENCH_scaling.json)
@@ -167,6 +187,22 @@ if [ -f BENCH_scaling.json ]; then
     measured=$(awk -v i="$items" -v t="$best" 'BEGIN { printf "%.4f", i / t }')
     baseline=$(awk -v i="$base_items" -v t="$base_best" 'BEGIN { printf "%.4f", i / t }')
     hard_floor "scaling items/s" "$measured" "$baseline"
+    # Model load + batch-scoring throughput floors vs the committed
+    # baseline (hardware-dependent, so TOLERANCE applies). An old
+    # baseline without the model_format block skips quietly until
+    # refreshed with --update.
+    base_loads=$(num "$BASELINES/BENCH_scaling.json" io2_loads_per_s)
+    base_flat=$(num "$BASELINES/BENCH_scaling.json" score_flat_items_s)
+    if [ -n "${base_loads:-}" ]; then
+      hard_floor "scaling io2_loads_per_s" \
+        "$(num BENCH_scaling.json io2_loads_per_s)" "$base_loads"
+    else
+      echo "bench-gate: skip: baseline predates model_format (refresh with --update)"
+    fi
+    if [ -n "${base_flat:-}" ]; then
+      hard_floor "scaling score_flat_items_s" \
+        "$(num BENCH_scaling.json score_flat_items_s)" "$base_flat"
+    fi
   fi
 else
   echo "bench-gate: skip: BENCH_scaling.json missing (exp_scaling not run)"

@@ -267,12 +267,17 @@ fn rolling_swap_is_coordinated_and_single_version_under_load() {
     let addr = router.addr().to_string();
     let s = setup();
 
-    // Persist the snapshot as the v2 artifact (raw JSON passes the
-    // loader's legacy path).
+    // Persist the snapshot as a binary CATS-IO2 artifact: the rolling
+    // swap loads `.cats` files through the same sniffing loader as JSON,
+    // and the swapped-in model must keep producing verdicts bit-identical
+    // to the offline (JSON-restored) expectations.
     let dir = std::env::temp_dir().join(format!("cats_cluster_test_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create artifact dir");
-    let artifact = dir.join("model_v2.json");
-    std::fs::write(&artifact, &s.snapshot_json).expect("write artifact");
+    let artifact = dir.join("model_v2.cats");
+    PipelineSnapshot::from_json(&s.snapshot_json)
+        .expect("snapshot parses")
+        .save(&artifact)
+        .expect("write IO2 artifact");
 
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let clients: Vec<_> = (0..3)

@@ -133,7 +133,102 @@ fn snapshot_json_roundtrip_reports_are_byte_identical() {
         1,
     );
     let err = PipelineSnapshot::from_json(&future).expect_err("future version rejected");
-    assert!(err.contains("newer than supported"), "{err}");
+    assert!(err.to_string().contains("newer than supported"), "{err}");
+}
+
+#[test]
+fn io2_container_corruption_classes_fail_typed_and_never_panic() {
+    use cats::io::io2::{is_io2, Io2Builder, Io2File};
+
+    let train = datasets::d0(0.003, 91);
+    let (analyzer, gbt) = train_parts(&train, 91);
+    let snap = CatsPipeline::snapshot(analyzer, DetectorConfig::default(), gbt);
+
+    let dir = std::env::temp_dir().join(format!("cats_persist_io2_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("model.cats");
+
+    // The default save is now the CATS-IO2 binary container.
+    snap.save(&path).expect("IO2 save");
+    let good = std::fs::read(&path).expect("read container bytes");
+    assert!(is_io2(&good), "save writes a CATS-IO2 container");
+    let restored = PipelineSnapshot::load(&path).expect("intact container loads");
+    assert_eq!(restored.format_version, cats::core::SNAPSHOT_FORMAT_VERSION);
+
+    // Truncated mid-section-table: the header promises more entries
+    // than the file holds.
+    std::fs::write(&path, &good[..24]).expect("truncate table");
+    let err = PipelineSnapshot::load(&path).map(|_| ()).expect_err("torn table must fail");
+    assert!(
+        matches!(err, PersistError::Io(cats::io::IoError::LengthMismatch { .. })),
+        "want a typed length mismatch, got: {err}"
+    );
+
+    // Truncated mid-payload: the table is intact but a section's bytes
+    // run past EOF.
+    std::fs::write(&path, &good[..good.len() - 16]).expect("truncate payload");
+    let err = PipelineSnapshot::load(&path).map(|_| ()).expect_err("torn payload must fail");
+    assert!(
+        matches!(err, PersistError::Io(cats::io::IoError::LengthMismatch { .. })),
+        "want a typed length mismatch, got: {err}"
+    );
+
+    // A single flipped bit inside a section payload: the per-section
+    // CRC32 catches it.
+    let mut flipped = good.clone();
+    let n = flipped.len();
+    flipped[n - 2] ^= 0x40;
+    std::fs::write(&path, &flipped).expect("bit-flip");
+    let err = PipelineSnapshot::load(&path).map(|_| ()).expect_err("bit-flip must fail");
+    assert!(
+        matches!(err, PersistError::Io(cats::io::IoError::ChecksumMismatch { .. })),
+        "want a checksum mismatch, got: {err}"
+    );
+
+    // Zero-length file (create-then-crash artifact).
+    std::fs::write(&path, b"").expect("empty");
+    let err = PipelineSnapshot::load(&path).map(|_| ()).expect_err("empty must fail");
+    assert!(
+        matches!(err, PersistError::Io(cats::io::IoError::Empty { .. })),
+        "want the empty-file error, got: {err}"
+    );
+
+    // A container stamped with a future layout version must be rejected
+    // up front — this build cannot know how to read it.
+    let mut future = good.clone();
+    future[8..12].copy_from_slice(&2u32.to_le_bytes());
+    std::fs::write(&path, &future).expect("future version");
+    let err = PipelineSnapshot::load(&path).map(|_| ()).expect_err("future container rejected");
+    assert!(err.to_string().contains("newer than supported"), "{err}");
+
+    // An unknown section from a richer future writer is skipped, not
+    // fatal: rebuild the container with an extra section and reload.
+    let parsed = Io2File::parse(&good, "good").expect("parse good container");
+    let mut b = Io2Builder::new();
+    for name in parsed.section_names() {
+        b.section(name, parsed.section(name).expect("listed section").to_vec());
+    }
+    b.section("zz-future", b"from a future build".to_vec());
+    let with_future = b.finish();
+    let reloaded = PipelineSnapshot::from_bytes(&with_future).expect("unknown section skipped");
+    assert_eq!(
+        reloaded.to_io2_bytes().expect("re-encode").as_slice(),
+        good.as_slice(),
+        "decoding ignores the unknown section and re-encodes canonically"
+    );
+
+    // Format sniffing: the same model written as CATS-IO1-framed JSON
+    // and as bare JSON loads through the very same entry point.
+    snap.save_json(&path).expect("legacy checksummed JSON save");
+    let framed = std::fs::read(&path).expect("read framed bytes");
+    assert!(framed.starts_with(b"CATS-IO1"), "save_json writes the CATS-IO1 frame");
+    let legacy = PipelineSnapshot::load(&path).expect("CATS-IO1 JSON loads");
+    assert_eq!(legacy.format_version, cats::core::SNAPSHOT_FORMAT_VERSION);
+    std::fs::write(&path, snap.to_json().expect("serialize").as_bytes()).expect("bare JSON");
+    let bare = PipelineSnapshot::load(&path).expect("bare JSON loads");
+    assert_eq!(bare.format_version, cats::core::SNAPSHOT_FORMAT_VERSION);
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
