@@ -17,7 +17,7 @@ use cats_bench::{render, setup, Args};
 use cats_core::{CatsPipeline, DetectorConfig, PipelineSnapshot};
 use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
 use cats_ml::{Classifier, Dataset};
-use cats_serve::{BatchConfig, ModelSlot, ScoreClient, ScoreItem, ServeConfig, Server};
+use cats_serve::{BatchConfig, ModelSlot, ScoreClient, ScoreItem, ServeConfig};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -165,11 +165,10 @@ fn main() {
         .collect();
 
     let slot = Arc::new(ModelSlot::new(pipeline));
-    let server = Server::start(
+    let server = cats_bench::net::start_server_retrying(
         slot.clone(),
         ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() },
-    )
-    .expect("bind serve socket");
+    );
     let addr = server.addr().to_string();
     println!("serving on {addr} ({CLIENTS} clients x {ITEMS_PER_REQUEST} items/request)");
 
@@ -220,7 +219,7 @@ fn main() {
         let snap = PipelineSnapshot::from_json(&swap_json).expect("probe snapshot parses");
         Arc::new(ModelSlot::new(CatsPipeline::restore(snap)))
     };
-    let probe = Server::start(
+    let probe = cats_bench::net::start_server_retrying(
         probe_slot,
         ServeConfig {
             addr: "127.0.0.1:0".into(),
@@ -232,8 +231,7 @@ fn main() {
             },
             ..ServeConfig::default()
         },
-    )
-    .expect("bind probe socket");
+    );
     let probe_addr = probe.addr().to_string();
     let probe_t0 = Instant::now();
     let probe_handles: Vec<_> = (0..16)

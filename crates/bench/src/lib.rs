@@ -11,6 +11,7 @@
 //! alongside paper-vs-measured numbers.
 
 pub mod args;
+pub mod net;
 pub mod render;
 pub mod setup;
 

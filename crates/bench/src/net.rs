@@ -1,0 +1,69 @@
+//! Loopback listener startup for the serving benches.
+//!
+//! The load phases churn through thousands of short-lived client
+//! sockets; on a busy CI runner a later bind can collide with a
+//! lingering socket and fail with `AddrInUse` even when asking for an
+//! ephemeral port. `cats_serve::shard` already retries its own
+//! fixed-address respawn path; these wrappers give the benches' *own*
+//! listeners (`exp_serve`, `exp_cluster`) the same robustness — on
+//! `AddrInUse` the retry switches to `127.0.0.1:0` so each attempt asks
+//! the OS for a fresh ephemeral port instead of waiting on a specific
+//! one.
+
+use cats_serve::{ModelSlot, Router, RouterConfig, ServeConfig, Server};
+use std::io::ErrorKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Bind attempts before giving up.
+const BIND_ATTEMPTS: u32 = 10;
+
+/// Delay before retry `attempt` (bounded backoff for kernel cleanup).
+fn backoff(attempt: u32) -> Duration {
+    Duration::from_millis(25 << attempt.min(4))
+}
+
+/// [`Server::start`] that retries `AddrInUse` on a fresh ephemeral
+/// port. Panics (the bench convention) on any other error or once the
+/// attempts are exhausted.
+pub fn start_server_retrying(slot: Arc<ModelSlot>, config: ServeConfig) -> Server {
+    let mut config = config;
+    for attempt in 0..BIND_ATTEMPTS {
+        match Server::start(slot.clone(), config.clone()) {
+            Ok(server) => return server,
+            Err(e) if e.kind() == ErrorKind::AddrInUse => {
+                eprintln!(
+                    "bench: serve bind of {} hit AddrInUse (attempt {attempt}); \
+                     retrying on a fresh ephemeral port",
+                    config.addr
+                );
+                config.addr = "127.0.0.1:0".to_string();
+                std::thread::sleep(backoff(attempt));
+            }
+            Err(e) => panic!("bind serve socket {}: {e}", config.addr),
+        }
+    }
+    panic!("serve socket still AddrInUse after {BIND_ATTEMPTS} attempts");
+}
+
+/// [`Router::start`] that retries `AddrInUse` on a fresh ephemeral
+/// port, same contract as [`start_server_retrying`].
+pub fn start_router_retrying(shard_addrs: &[String], config: RouterConfig) -> Router {
+    let mut config = config;
+    for attempt in 0..BIND_ATTEMPTS {
+        match Router::start(shard_addrs.to_vec(), config.clone()) {
+            Ok(router) => return router,
+            Err(e) if e.kind() == ErrorKind::AddrInUse => {
+                eprintln!(
+                    "bench: router bind of {} hit AddrInUse (attempt {attempt}); \
+                     retrying on a fresh ephemeral port",
+                    config.addr
+                );
+                config.addr = "127.0.0.1:0".to_string();
+                std::thread::sleep(backoff(attempt));
+            }
+            Err(e) => panic!("bind router socket {}: {e}", config.addr),
+        }
+    }
+    panic!("router socket still AddrInUse after {BIND_ATTEMPTS} attempts");
+}

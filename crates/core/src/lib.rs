@@ -24,12 +24,17 @@
 
 pub mod detector;
 pub mod features;
+pub mod fusion;
 pub mod pipeline;
 pub mod report;
 pub mod semantic;
 
 pub use detector::{DetectionReport, Detector, DetectorConfig, FilterDecision};
 pub use features::{FeatureVector, ItemComments, FEATURE_NAMES, N_FEATURES};
+pub use fusion::{
+    fuse_scores, velocity_risk, StreamVerdict, VelocityFeatures, DEFAULT_FUSION_WEIGHT,
+    N_VELOCITY_FEATURES, VELOCITY_FEATURE_NAMES,
+};
 pub use pipeline::{
     CatsPipeline, EvaluationSlices, PersistError, PipelineConfig, PipelineSnapshot,
     SNAPSHOT_FORMAT_VERSION,

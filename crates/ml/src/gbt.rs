@@ -742,6 +742,14 @@ impl Classifier for GradientBoostedTrees {
         sigmoid(self.predict_margin(row))
     }
 
+    fn predict_proba_batch(&self, cols: &ColMatrix) -> Vec<f64> {
+        assert!(self.is_fit(), "predict before fit");
+        // margin_batch is bit-identical to per-row predict_margin, and
+        // sigmoid is a pure per-element map, so this override keeps the
+        // trait's bit-identity contract while scoring tree-major.
+        self.predict_margin_batch(cols).into_iter().map(sigmoid).collect()
+    }
+
     fn name(&self) -> &'static str {
         "Xgboost"
     }

@@ -14,7 +14,10 @@
 //!   distribution of §V, and a hired-promoter campaign model that makes
 //!   pool-mates co-purchase fraud items ([`campaign`]);
 //! * dataset presets shaped like D0, D1, and the E-platform crawl
-//!   ([`datasets`]).
+//!   ([`datasets`]);
+//! * a millisecond-clock temporal replay of the platform — organic
+//!   Poisson arrivals plus bursty hired campaign waves — for the
+//!   streaming detector ([`stream`]).
 //!
 //! Ground-truth labels ride along on [`entities::Item`] but are *latent*:
 //! the collector crate only exposes the public view, exactly as a
@@ -27,7 +30,9 @@ pub mod dist;
 pub mod entities;
 pub mod lexicon;
 pub mod platform;
+pub mod stream;
 
 pub use entities::{Category, Client, Comment, Item, ItemLabel, Shop, User};
 pub use lexicon::{LexiconConfig, SyntheticLexicon};
 pub use platform::{Platform, PlatformConfig};
+pub use stream::{BurstWave, TemporalTrace, TimedComment, TraceConfig};

@@ -1,0 +1,334 @@
+//! Temporal comment traces: the platform as a firehose.
+//!
+//! The batch generator ([`crate::platform`]) materializes each item's
+//! full comment *archive* with day-granularity dates — enough for the
+//! paper's offline experiments, but useless for streaming detection,
+//! where the signal is *when* comments arrive. This module replays the
+//! platform on a millisecond-granularity simulated clock:
+//!
+//! * **organic arrivals** are a per-item Poisson process at a low rate
+//!   (exponential inter-arrival gaps), styled by the normal comment
+//!   mixture;
+//! * **fraud campaign waves** hit each fraud item in one or more short
+//!   bursts: hired promoters from the item's campaign pool fire
+//!   [`CommentStyle::FraudPromo`] comments with near-machine-regular
+//!   gaps at tens of comments per minute — the burstiness fingerprint
+//!   the streaming detector exists to catch;
+//! * **delivery skew**: events are delivered in an order that may
+//!   differ from event-time order by a bounded jitter, modelling
+//!   collector fan-in — the consumer must tolerate out-of-order
+//!   arrivals within [`TraceConfig::max_skew_ms`].
+//!
+//! Everything is a pure function of the platform and
+//! [`TraceConfig::seed`]: the same inputs always produce the
+//! byte-identical event sequence, which is what makes streaming
+//! determinism testable end to end.
+
+use crate::campaign::Campaign;
+use crate::comment_model::{generate_comment_with_topic, CommentStyle, StyleMixture, N_TOPICS};
+use crate::platform::Platform;
+use rand::{rngs::StdRng, Rng, RngExt, SeedableRng};
+
+/// Configuration of one temporal trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// RNG seed; the trace is deterministic in it (and the platform).
+    pub seed: u64,
+    /// Simulated span of the trace in milliseconds.
+    pub duration_ms: u64,
+    /// Mean organic comment arrivals per item per minute.
+    pub organic_rate_per_min: f64,
+    /// Promo arrivals per minute while a fraud item's wave is firing.
+    pub burst_rate_per_min: f64,
+    /// Wave length is drawn uniformly from this range (ms).
+    pub burst_duration_ms: (u64, u64),
+    /// Campaign waves per fraud item.
+    pub waves_per_fraud_item: usize,
+    /// Maximum delivery skew: an event may be delivered after events
+    /// whose true time is up to this much later.
+    pub max_skew_ms: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x57E4,
+            duration_ms: 30 * 60 * 1000,
+            organic_rate_per_min: 0.2,
+            burst_rate_per_min: 60.0,
+            burst_duration_ms: (45_000, 120_000),
+            waves_per_fraud_item: 1,
+            max_skew_ms: 2_000,
+        }
+    }
+}
+
+/// One comment event on the simulated clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedComment {
+    /// True event time (ms on the trace clock). Delivery order may lag
+    /// this by up to [`TraceConfig::max_skew_ms`].
+    pub at_ms: u64,
+    /// Item the comment lands on.
+    pub item_id: u64,
+    /// Commenting user.
+    pub user_id: u32,
+    /// The item's public sales volume (stage-1 filter input).
+    pub sales_volume: u64,
+    /// Comment text in the platform language.
+    pub content: String,
+    /// Latent ground truth: emitted by a hired campaign wave. Never
+    /// exposed to the detector; evaluation only.
+    pub promo: bool,
+}
+
+/// Ground truth of one campaign wave — the unit detection latency is
+/// measured against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstWave {
+    /// Fraud item the wave targets.
+    pub item_id: u64,
+    /// First promo arrival of the wave (ms).
+    pub start_ms: u64,
+    /// Last promo arrival of the wave (ms).
+    pub end_ms: u64,
+}
+
+/// A generated temporal trace: events in delivery order plus the latent
+/// wave ground truth.
+#[derive(Debug, Clone)]
+pub struct TemporalTrace {
+    /// Events in *delivery* order (event-time order perturbed by a
+    /// bounded jitter).
+    pub events: Vec<TimedComment>,
+    /// Campaign-wave ground truth, one entry per generated wave.
+    pub waves: Vec<BurstWave>,
+    /// The generating configuration.
+    pub config: TraceConfig,
+}
+
+impl TemporalTrace {
+    /// Replays `platform` as a comment firehose under `config`.
+    pub fn from_platform(platform: &Platform, config: &TraceConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let pc = platform.config();
+        let users = platform.users();
+        let n_hired = users.iter().filter(|u| u.hired).count();
+        let n_users = users.len();
+        // Rebuilt exactly as the batch generator builds it (from_users
+        // is deterministic), so waves draw from the same hired pools
+        // that wrote the items' archived promo comments.
+        let campaign = Campaign::from_users(users, pc.n_campaign_pools.max(1));
+        let lexicon = platform.lexicon();
+
+        let mut events: Vec<TimedComment> = Vec::new();
+        let mut waves: Vec<BurstWave> = Vec::new();
+
+        for (ordinal, item) in platform.items().iter().enumerate() {
+            let topic = (item.id as usize).wrapping_mul(2654435761) % N_TOPICS;
+
+            // Organic background: Poisson arrivals over the whole span.
+            let organic = StyleMixture::normal();
+            let per_ms = (config.organic_rate_per_min / 60_000.0).max(0.0);
+            if per_ms > 0.0 {
+                let mut t = exp_gap_ms(&mut rng, per_ms);
+                while t < config.duration_ms as f64 {
+                    let style = organic.sample(&mut rng);
+                    events.push(TimedComment {
+                        at_ms: t as u64,
+                        item_id: item.id,
+                        user_id: crate::campaign::sample_organic_buyer(n_hired, n_users, &mut rng),
+                        sales_volume: item.sales_volume,
+                        content: generate_comment_with_topic(lexicon, style, topic, &mut rng),
+                        promo: false,
+                    });
+                    t += exp_gap_ms(&mut rng, per_ms);
+                }
+            }
+
+            // Campaign waves: fraud items only.
+            if !item.label.is_fraud() || config.burst_rate_per_min <= 0.0 {
+                continue;
+            }
+            let (dur_lo, dur_hi) = config.burst_duration_ms;
+            for _ in 0..config.waves_per_fraud_item {
+                let dur = if dur_hi > dur_lo { rng.random_range(dur_lo..=dur_hi) } else { dur_lo };
+                let dur = dur.min(config.duration_ms.saturating_sub(1));
+                let start = rng.random_range(0..config.duration_ms.saturating_sub(dur).max(1));
+                // Near-regular gaps: the wave tooling fires on a timer
+                // with mild jitter — low inter-arrival entropy, the
+                // opposite of the organic exponential tail.
+                let base_gap = 60_000.0 / config.burst_rate_per_min;
+                let mut t = start as f64;
+                let mut first: Option<u64> = None;
+                let mut last = start;
+                while t < (start + dur) as f64 && t < config.duration_ms as f64 {
+                    let at = t as u64;
+                    first.get_or_insert(at);
+                    last = at;
+                    events.push(TimedComment {
+                        at_ms: at,
+                        item_id: item.id,
+                        user_id: campaign.sample_promoter(ordinal, &mut rng),
+                        sales_volume: item.sales_volume,
+                        content: generate_comment_with_topic(
+                            lexicon,
+                            CommentStyle::FraudPromo,
+                            topic,
+                            &mut rng,
+                        ),
+                        promo: true,
+                    });
+                    t += base_gap * (0.7 + 0.6 * rng.random::<f64>());
+                }
+                if let Some(start_ms) = first {
+                    waves.push(BurstWave { item_id: item.id, start_ms, end_ms: last });
+                }
+            }
+        }
+
+        // Delivery order: sort by true time, then jitter each event's
+        // delivery stamp by up to max_skew_ms — adjacent events can swap,
+        // but no event is delivered after one more than max_skew_ms
+        // younger than it.
+        events.sort_by_key(|e| (e.at_ms, e.item_id, e.user_id));
+        let mut keyed: Vec<(u64, usize, TimedComment)> = events
+            .into_iter()
+            .enumerate()
+            .map(|(i, ev)| {
+                let jitter = if config.max_skew_ms > 0 {
+                    rng.random_range(0..=config.max_skew_ms)
+                } else {
+                    0
+                };
+                (ev.at_ms + jitter, i, ev)
+            })
+            .collect();
+        keyed.sort_by_key(|&(delivery, i, _)| (delivery, i));
+        let events = keyed.into_iter().map(|(_, _, ev)| ev).collect();
+
+        waves.sort_by_key(|w| (w.start_ms, w.item_id));
+        Self { events, waves, config: config.clone() }
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Exponential inter-arrival gap (ms) for a Poisson process with
+/// `per_ms` expected arrivals per millisecond.
+fn exp_gap_ms(rng: &mut impl Rng, per_ms: f64) -> f64 {
+    // Inverse-CDF sampling; 1-u keeps the log argument in (0, 1].
+    let u: f64 = rng.random::<f64>();
+    -(1.0 - u).ln() / per_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformConfig;
+
+    fn tiny_platform() -> Platform {
+        Platform::generate(PlatformConfig {
+            n_fraud_items: 3,
+            n_normal_items: 6,
+            n_shops: 4,
+            ..PlatformConfig::default()
+        })
+    }
+
+    fn tiny_config() -> TraceConfig {
+        TraceConfig {
+            duration_ms: 5 * 60 * 1000,
+            organic_rate_per_min: 0.5,
+            burst_rate_per_min: 90.0,
+            burst_duration_ms: (20_000, 40_000),
+            ..TraceConfig::default()
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_in_seed() {
+        let p = tiny_platform();
+        let a = TemporalTrace::from_platform(&p, &tiny_config());
+        let b = TemporalTrace::from_platform(&p, &tiny_config());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.waves, b.waves);
+    }
+
+    #[test]
+    fn delivery_skew_is_bounded() {
+        let p = tiny_platform();
+        let trace = TemporalTrace::from_platform(&p, &tiny_config());
+        assert!(!trace.is_empty());
+        let mut watermark = 0u64;
+        for ev in &trace.events {
+            assert!(
+                ev.at_ms + trace.config.max_skew_ms >= watermark,
+                "event at {} delivered after watermark {} (skew bound {})",
+                ev.at_ms,
+                watermark,
+                trace.config.max_skew_ms
+            );
+            watermark = watermark.max(ev.at_ms);
+        }
+    }
+
+    #[test]
+    fn every_fraud_item_gets_a_wave_and_waves_are_promo_dense() {
+        let p = tiny_platform();
+        let trace = TemporalTrace::from_platform(&p, &tiny_config());
+        let fraud_ids: Vec<u64> =
+            p.items().iter().filter(|i| i.label.is_fraud()).map(|i| i.id).collect();
+        for id in &fraud_ids {
+            assert!(
+                trace.waves.iter().any(|w| w.item_id == *id),
+                "fraud item {id} has no campaign wave"
+            );
+        }
+        for w in &trace.waves {
+            assert!(w.end_ms >= w.start_ms);
+            assert!(w.end_ms < trace.config.duration_ms);
+            let in_wave = trace
+                .events
+                .iter()
+                .filter(|e| e.item_id == w.item_id && e.at_ms >= w.start_ms && e.at_ms <= w.end_ms)
+                .count();
+            let promo_in_wave = trace
+                .events
+                .iter()
+                .filter(|e| {
+                    e.promo
+                        && e.item_id == w.item_id
+                        && e.at_ms >= w.start_ms
+                        && e.at_ms <= w.end_ms
+                })
+                .count();
+            assert!(in_wave >= 10, "wave with only {in_wave} events");
+            assert!(
+                promo_in_wave * 2 > in_wave,
+                "wave not promo-dominated: {promo_in_wave}/{in_wave}"
+            );
+        }
+    }
+
+    #[test]
+    fn normal_items_never_emit_promo_events() {
+        let p = tiny_platform();
+        let trace = TemporalTrace::from_platform(&p, &tiny_config());
+        let fraud_ids: std::collections::HashSet<u64> =
+            p.items().iter().filter(|i| i.label.is_fraud()).map(|i| i.id).collect();
+        for ev in &trace.events {
+            if ev.promo {
+                assert!(fraud_ids.contains(&ev.item_id));
+            }
+        }
+    }
+}

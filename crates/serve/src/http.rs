@@ -9,6 +9,7 @@
 //! | route               | behaviour                                          |
 //! |---------------------|----------------------------------------------------|
 //! | `POST /v1/score`    | parse → [`crate::Batcher::submit_pinned`] → 200    |
+//! | `POST /v1/ingest`   | stream events → windows → batcher on flush → 200   |
 //! | `GET /healthz`      | `ok`/`draining`, model version, queue depth        |
 //! | `GET /metrics`      | `cats-obs` Prometheus exporter (text format 0.0.4) |
 //! | `GET /metrics.json` | serde snapshot of the registry (router merges it)  |
@@ -24,8 +25,10 @@
 use crate::batcher::{BatchConfig, BatchReply, Batcher, RejectReason};
 use crate::model::ModelSlot;
 use crate::wire::{
-    AdminLoadRequest, AdminLoadResponse, ErrorResponse, HealthResponse, ScoreResponse, WireSnapshot,
+    AdminLoadRequest, AdminLoadResponse, ErrorResponse, HealthResponse, IngestResponse, ScoreItem,
+    ScoreResponse, WireSnapshot,
 };
+use cats_stream::{CommentEvent, StreamConfig, StreamEngine};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -47,6 +50,8 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// How long a request may wait for its scored batch before 504.
     pub request_timeout: Duration,
+    /// Sliding-window tuning for `POST /v1/ingest`.
+    pub stream: StreamConfig,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +61,7 @@ impl Default for ServeConfig {
             batch: BatchConfig::default(),
             max_body_bytes: 8 * 1024 * 1024,
             request_timeout: Duration::from_secs(60),
+            stream: StreamConfig::default(),
         }
     }
 }
@@ -65,6 +71,10 @@ struct ServerShared {
     slot: Arc<ModelSlot>,
     stop: AtomicBool,
     config: ServeConfig,
+    /// Sliding-window state behind `/v1/ingest`. One engine per server:
+    /// ingest holds the lock for O(1) ring updates only; scoring goes
+    /// through the (unlocked) micro-batcher.
+    stream: Mutex<StreamEngine>,
 }
 
 /// The running HTTP server: an accept loop plus per-connection threads.
@@ -85,6 +95,7 @@ impl Server {
             batcher: Batcher::new(slot.clone(), config.batch.clone()),
             slot,
             stop: AtomicBool::new(false),
+            stream: Mutex::new(StreamEngine::new(config.stream.clone())),
             config,
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -323,6 +334,7 @@ fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
 fn route(stream: &mut TcpStream, shared: &ServerShared, head: &RequestHead, body: &str) -> u16 {
     match (head.method.as_str(), head.path.as_str()) {
         ("POST", "/v1/score") => score(stream, shared, body),
+        ("POST", "/v1/ingest") => ingest(stream, shared, body),
         ("GET", "/healthz") => {
             let resp = HealthResponse {
                 status: if shared.batcher.is_draining() { "draining" } else { "ok" }.to_string(),
@@ -405,6 +417,146 @@ fn score(stream: &mut TcpStream, shared: &ServerShared, body: &str) -> u16 {
             // dropped the reply sender. The supervisor respawns the
             // worker; this client gets an immediate, explicit 500 — an
             // *answered* failure, never a dropped or stalled socket.
+            cats_obs::counter("cats.serve.http.internal_errors").inc();
+            write_json_error(stream, 500, "", "internal scoring error");
+            500
+        }
+    }
+}
+
+/// `POST /v1/ingest`: feed comment events into the sliding-window
+/// engine. Ingest itself is O(1) per event under a short lock; when the
+/// batch pushes the virtual clock over a flush boundary, every item
+/// touched since the last flush is re-scored through the *same
+/// micro-batcher* as `/v1/score` — same coalescing with concurrent
+/// score traffic, same 429/503 backpressure, same model versioning —
+/// and each content score is fused with the item's velocity risk
+/// ([`cats_core::fusion`]). Between flush boundaries the response
+/// carries counts only (`verdicts: []`).
+///
+/// A rejected flush (429/503/504) loses that interval's dirty set; the
+/// affected items are simply re-scored at the next flush that touches
+/// them — incremental verdicts are a stream, not a ledger.
+fn ingest(stream: &mut TcpStream, shared: &ServerShared, body: &str) -> u16 {
+    let events = match crate::wire::parse_ingest_request(body) {
+        Ok(events) => events,
+        Err(e) => {
+            write_json_error(stream, 400, "", &e);
+            return 400;
+        }
+    };
+
+    // Window updates under the lock; scoring strictly outside it.
+    let (accepted, late_dropped, watermark_ms, slices, fusion_weight) = {
+        let mut engine = cats_obs::lock_recover(&shared.stream, "cats.serve.http.stream");
+        let late_before = engine.late_dropped();
+        for ev in &events {
+            let _ = engine.ingest(&CommentEvent {
+                at_ms: ev.at_ms,
+                item_id: ev.item_id,
+                user_id: ev.user_id,
+                sales_volume: ev.sales_volume,
+                text: ev.text.clone(),
+            });
+        }
+        let late = engine.late_dropped() - late_before;
+        let slices = if engine.flush_due() { engine.drain_window_slices() } else { Vec::new() };
+        (
+            events.len() as u64 - late,
+            late,
+            engine.watermark_ms(),
+            slices,
+            engine.config().fusion_weight,
+        )
+    };
+
+    if slices.is_empty() {
+        let resp = IngestResponse {
+            model_version: shared.slot.version(),
+            accepted,
+            late_dropped,
+            watermark_ms,
+            verdicts: Vec::new(),
+        };
+        let body = serde_json::to_string(&resp).expect("ingest response serializes");
+        write_response(stream, 200, "application/json", "", &body);
+        return 200;
+    }
+
+    let items: Vec<ScoreItem> = slices
+        .iter()
+        .map(|s| ScoreItem {
+            item_id: s.item_id,
+            sales_volume: s.sales_volume,
+            comments: s.comments.texts.clone(),
+        })
+        .collect();
+    let rx = match shared.batcher.submit(items) {
+        Ok(rx) => rx,
+        Err(RejectReason::QueueFull) => {
+            let retry_after = format!("Retry-After: {}\r\n", shared.batcher.retry_after_secs());
+            write_json_error(stream, 429, &retry_after, "queue full, retry later");
+            return 429;
+        }
+        Err(RejectReason::Draining) => {
+            write_json_error(stream, 503, "", "server is draining");
+            return 503;
+        }
+    };
+    match rx.recv_timeout(shared.config.request_timeout) {
+        Ok(BatchReply::Scored(scored)) => {
+            // Read the threshold from the model that actually scored
+            // the batch (fall back to current across a concurrent swap).
+            let model = shared
+                .slot
+                .load_version(scored.model_version)
+                .unwrap_or_else(|| shared.slot.load());
+            let threshold = model.pipeline.detector().threshold();
+            let verdicts = slices
+                .iter()
+                .zip(&scored.verdicts)
+                .map(|(s, v)| {
+                    let risk = cats_core::velocity_risk(&s.velocity);
+                    let fused = cats_core::fuse_scores(v.score, risk, fusion_weight);
+                    cats_core::StreamVerdict {
+                        item_id: s.item_id,
+                        at_ms: watermark_ms,
+                        window_comments: s.comments.len() as u32,
+                        cats_score: v.score,
+                        velocity_risk: risk,
+                        fused_score: fused,
+                        is_fraud: fused >= threshold,
+                    }
+                })
+                .collect();
+            cats_obs::counter("cats.serve.ingest.flushes").inc();
+            let resp = IngestResponse {
+                model_version: scored.model_version,
+                accepted,
+                late_dropped,
+                watermark_ms,
+                verdicts,
+            };
+            let body = serde_json::to_string(&resp).expect("ingest response serializes");
+            write_response(stream, 200, "application/json", "", &body);
+            200
+        }
+        Ok(BatchReply::PinUnavailable { pinned, current }) => {
+            // Unpinned submissions never get this reply; keep the arm
+            // total rather than panicking a connection thread.
+            write_json_error(
+                stream,
+                409,
+                "",
+                &format!("model version {pinned} is gone (serving v{current})"),
+            );
+            409
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            write_json_error(stream, 504, "", "scoring timed out");
+            504
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
             cats_obs::counter("cats.serve.http.internal_errors").inc();
             write_json_error(stream, 500, "", "internal scoring error");
             500

@@ -18,9 +18,11 @@
 //!    `cats-par` pool). Queue overflow and drain are surfaced as typed
 //!    rejections, not stalls.
 //! 4. **HTTP server** ([`http`]): a minimal HTTP/1.1 listener exposing
-//!    `POST /v1/score`, `GET /healthz` and `GET /metrics` (the
-//!    `cats-obs` Prometheus exporter), mapping [`RejectReason`] to
-//!    429/503 and draining gracefully on shutdown.
+//!    `POST /v1/score`, `POST /v1/ingest` (the `cats-stream`
+//!    sliding-window lane, flushing through the same micro-batcher),
+//!    `GET /healthz` and `GET /metrics` (the `cats-obs` Prometheus
+//!    exporter), mapping [`RejectReason`] to 429/503 and draining
+//!    gracefully on shutdown.
 //!
 //! A small blocking [`client`] rounds it out: it is what `cats-cli
 //! score`, the `exp_serve` load generator and the integration tests
@@ -64,8 +66,9 @@ pub use model::{load_pipeline_file, ModelSlot, ModelWatcher, VersionedModel};
 pub use router::{HashRing, Router, RouterConfig};
 pub use shard::{announce_ready, start_shard, ShardOpts, ShardProcess, READY_PREFIX};
 pub use wire::{
-    AdminLoadRequest, AdminLoadResponse, HealthResponse, RouterHealthResponse, ScoreItem,
-    ScoreRequest, ScoreResponse, ScoreVerdict, ShardHealthInfo, WireSnapshot,
+    AdminLoadRequest, AdminLoadResponse, HealthResponse, IngestEvent, IngestRequest,
+    IngestResponse, RouterHealthResponse, ScoreItem, ScoreRequest, ScoreResponse, ScoreVerdict,
+    ShardHealthInfo, WireSnapshot,
 };
 
 #[cfg(test)]

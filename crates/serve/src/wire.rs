@@ -210,6 +210,54 @@ pub fn parse_score_request(body: &str) -> Result<(Vec<ScoreItem>, Option<u64>), 
         .map_err(|e| format!("body: {e}"))
 }
 
+/// One comment event for `POST /v1/ingest` — the streaming mirror of
+/// [`cats_stream::CommentEvent`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct IngestEvent {
+    /// Event time on the stream clock (virtual ms).
+    pub at_ms: u64,
+    /// Target item.
+    pub item_id: u64,
+    /// Commenting user.
+    pub user_id: u64,
+    /// The item's public sales volume (stage-1 filter input).
+    pub sales_volume: u64,
+    /// Raw comment text; segmented server-side.
+    pub text: String,
+}
+
+/// `POST /v1/ingest` wrapped request body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IngestRequest {
+    pub events: Vec<IngestEvent>,
+}
+
+/// Parses an ingest request body — bare array or `{"events": [...]}`.
+pub fn parse_ingest_request(body: &str) -> Result<Vec<IngestEvent>, String> {
+    serde_json::from_str::<Vec<IngestEvent>>(body)
+        .or_else(|_| serde_json::from_str::<IngestRequest>(body).map(|w| w.events))
+        .map_err(|e| format!("body: {e}"))
+}
+
+/// `POST /v1/ingest` response body. `verdicts` is non-empty only when
+/// the events pushed the stream clock over a flush boundary; it then
+/// carries one incremental [`cats_core::StreamVerdict`] per item
+/// touched since the previous flush (ascending item id).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IngestResponse {
+    /// Version of the model that scored `verdicts` (the current slot
+    /// version when no flush happened).
+    pub model_version: u64,
+    /// Events recorded into window state.
+    pub accepted: u64,
+    /// Events older than the long window could absorb, dropped.
+    pub late_dropped: u64,
+    /// The stream clock after this request (highest event time seen).
+    pub watermark_ms: u64,
+    /// Incremental verdicts, empty between flush boundaries.
+    pub verdicts: Vec<cats_core::StreamVerdict>,
+}
+
 /// `POST /admin/load` request body: install the snapshot file at `path`
 /// as model version `version`. Used by the router's rolling-swap
 /// coordinator and by operators doing a manual staged deploy.
@@ -275,6 +323,42 @@ mod tests {
         assert_eq!((bare_pin, wrapped_pin), (None, None), "no pin unless asked");
         assert!(parse_score_request("{oops").unwrap_err().starts_with("body:"));
         assert!(parse_score_request("[]").unwrap().0.is_empty(), "empty batch is legal");
+    }
+
+    #[test]
+    fn ingest_request_shapes_parse() {
+        let bare = r#"[{"at_ms":5,"item_id":1,"user_id":2,"sales_volume":9,"text":"hao"}]"#;
+        let wrapped = format!(r#"{{"events":{bare}}}"#);
+        let a = parse_ingest_request(bare).unwrap();
+        let b = parse_ingest_request(&wrapped).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a[0].at_ms, 5);
+        assert_eq!(a[0].item_id, 1);
+        assert!(parse_ingest_request("{nope").unwrap_err().starts_with("body:"));
+        assert!(parse_ingest_request("[]").unwrap().is_empty(), "empty batch is legal");
+    }
+
+    #[test]
+    fn ingest_response_roundtrips() {
+        let resp = IngestResponse {
+            model_version: 2,
+            accepted: 3,
+            late_dropped: 1,
+            watermark_ms: 60_000,
+            verdicts: vec![cats_core::StreamVerdict {
+                item_id: 7,
+                at_ms: 60_000,
+                window_comments: 4,
+                cats_score: 0.25,
+                velocity_risk: 0.5,
+                fused_score: 0.4375,
+                is_fraud: false,
+            }],
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: IngestResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.accepted, 3);
+        assert_eq!(back.verdicts[0].fused_score, 0.4375);
     }
 
     #[test]

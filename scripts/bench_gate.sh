@@ -18,6 +18,11 @@
 #   * serving-correctness invariants (zero dropped requests under
 #     hot-swap, 429s observed under overload, zero socket failures) are
 #     hard-gated: they are hardware-independent.
+#   * streaming invariants (bit-identical verdicts across thread counts,
+#     bounded window memory, zero in-skew sheds) and the virtual-clock
+#     detection metrics (catch rate vs the batch oracle, latency in
+#     virtual ms — fixed by the trace seed, not the machine) are
+#     hard-gated; only the sustained ingest rate uses a baseline floor.
 #   * a missing baseline bootstraps: the fresh result is copied into
 #     place and the gate passes (commit the new baseline).
 set -euo pipefail
@@ -77,7 +82,7 @@ ensure_baseline() {
 
 if [ "${1:-}" = "--update" ]; then
   mkdir -p "$BASELINES"
-  for f in BENCH_serve.json BENCH_scaling.json BENCH_cluster.json; do
+  for f in BENCH_serve.json BENCH_scaling.json BENCH_cluster.json BENCH_stream.json; do
     [ -f "$f" ] && cp "$f" "$BASELINES/$f" && echo "bench-gate: updated $BASELINES/$f"
   done
   exit 0
@@ -155,6 +160,39 @@ if [ -f BENCH_cluster.json ]; then
   fi
 else
   fail "BENCH_cluster.json missing (run: cargo run --release -p cats-bench --bin exp_cluster)"
+fi
+
+# --- streaming velocity ------------------------------------------------
+# Determinism, the memory bound, in-skew delivery and the virtual-clock
+# detection metrics are hardware-independent (latency is measured in
+# *virtual* ms, fixed by the trace seed) — all hard gates. Only the
+# sustained ingest rate depends on the machine and goes through the
+# baseline floor.
+if [ -f BENCH_stream.json ]; then
+  deterministic=$(num BENCH_stream.json deterministic)
+  mem_ok=$(num BENCH_stream.json memory_bounded)
+  late=$(num BENCH_stream.json late_dropped)
+  catch=$(num BENCH_stream.json catch_rate_vs_oracle)
+  lat_p95=$(num BENCH_stream.json latency_p95_virtual_ms)
+  [ "${deterministic:-0}" = "1" ] \
+    || fail "stream verdicts not bit-identical across 1/2/8 threads + rerun"
+  [ "${mem_ok:-0}" = "1" ] \
+    || fail "stream peak footprint grew with trace length (memory bound broken)"
+  [ "${late:-1}" = "0" ] || fail "stream shed ${late:-?} in-skew events (want 0)"
+  gte "${catch:-0}" 0.5 || fail "stream catch rate vs batch oracle ${catch:-?} (want >=0.5)"
+  gte 60000 "${lat_p95:-999999}" \
+    || fail "stream detection p95 ${lat_p95:-?} virtual ms (ceiling 60000)"
+  if [ "${deterministic:-0}${mem_ok:-0}${late:-1}" = "110" ] \
+    && gte "${catch:-0}" 0.5 && gte 60000 "${lat_p95:-999999}"; then
+    echo "bench-gate: ok: stream invariants (deterministic, memory bounded, 0 shed, catch ${catch}, p95 ${lat_p95} virtual ms)"
+  fi
+  if ensure_baseline BENCH_stream.json "$BASELINES/BENCH_stream.json"; then
+    hard_floor "stream sustained_comments_per_s" \
+      "$(num BENCH_stream.json sustained_comments_per_s)" \
+      "$(num "$BASELINES/BENCH_stream.json" sustained_comments_per_s)"
+  fi
+else
+  fail "BENCH_stream.json missing (run: cargo run --release -p cats-bench --bin exp_stream)"
 fi
 
 # --- scaling benchmark -------------------------------------------------

@@ -9,28 +9,52 @@ export CARGO_TERM_COLOR=always
 LOCKED=()
 [ -f Cargo.lock ] && LOCKED=(--locked)
 
+# Every bench invocation goes through bench(): its output is teed to
+# target/bench-logs/<bin>.log (uploaded by CI as an artifact when the
+# job fails) and its wall time printed, so a slow phase is attributable
+# from the job summary alone.
+LOG_DIR=target/bench-logs
+mkdir -p "$LOG_DIR"
+
+bench() {
+  local bin="$1"
+  shift
+  local t0 t1
+  t0=$(date +%s)
+  cargo run --release "${LOCKED[@]}" -p cats-bench --bin "$bin" -- "$@" \
+    2>&1 | tee "$LOG_DIR/$bin.log"
+  t1=$(date +%s)
+  echo "verify: $bin wall time $((t1 - t0))s"
+}
+
 scripts/check.sh
 cargo build --release "${LOCKED[@]}"
 # Smoke-run the full-pipeline scaling sweep at a tiny scale; exercises
 # every parallel stage end-to-end and regenerates BENCH_scaling.json
 # plus the per-run profile artifact PROFILE_scaling.json.
-cargo run --release "${LOCKED[@]}" -p cats-bench --bin exp_scaling -- --scale 0.002
+bench exp_scaling --scale 0.002
 # Serving benchmark: sustained load, hot-swap under load, overload
 # probe. Regenerates BENCH_serve.json and asserts the serving
 # invariants (zero drops, 429s under overload) internally.
-cargo run --release "${LOCKED[@]}" -p cats-bench --bin exp_serve -- --scale 0.01
+bench exp_serve --scale 0.01
 # Robustness soak: deterministic chaos injection (slow-loris clients,
 # torn snapshot rewrites under the hot-swap watcher, worker panics,
 # kill/resume training, kill-and-restart from the last-good mirror).
 # Regenerates BENCH_soak.json and asserts the DESIGN.md §10 invariants
 # (zero lost/torn responses, bounded respawns, bit-identical resume)
 # internally; bench_gate.sh re-checks them off the JSON.
-cargo run --release "${LOCKED[@]}" -p cats-bench --bin exp_soak -- --scale 0.004
+bench exp_soak --scale 0.004
 # Sharded cluster: 4 shard child processes behind the consistent-hash
 # router; measures 1->4 shard scaling against a machine-aware floor,
 # then SIGKILLs a shard mid-load, requires ejection -> respawn ->
 # re-admission and a rolling swap with zero lost responses and zero
 # version-skewed merges. Regenerates BENCH_cluster.json.
-cargo run --release "${LOCKED[@]}" -p cats-bench --bin exp_cluster -- --scale 0.004
+bench exp_cluster --scale 0.004
+# Streaming velocity lane (DESIGN.md §13): replays the platform as a
+# temporal comment stream through the cats-stream sliding windows,
+# asserting zero in-skew drops, bit-identical verdicts at 1/2/8
+# threads, a bounded peak footprint on a 2x trace, and the catch rate
+# vs the batch oracle. Regenerates BENCH_stream.json.
+bench exp_stream --scale 0.004
 # Regression gate: fresh BENCH_*.json vs results/baselines/.
 scripts/bench_gate.sh

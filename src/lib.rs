@@ -19,6 +19,7 @@ pub use cats_par as par;
 pub use cats_platform as platform;
 pub use cats_sentiment as sentiment;
 pub use cats_serve as serve;
+pub use cats_stream as stream;
 pub use cats_text as text;
 
 /// Common imports for examples and downstream users.

@@ -1,0 +1,195 @@
+//! Integration tests for the streaming velocity lane (`cats-stream`):
+//! ring eviction at exact boundary ticks, out-of-order arrivals within
+//! the trace's bounded skew, empty-window entropy (no NaNs), idle-item
+//! sweeps through a fitted pipeline, and bit-identical verdict streams
+//! at 1, 2 and 8 extraction threads.
+
+use cats_core::{CatsPipeline, ItemComments, PipelineConfig, StreamVerdict};
+use cats_platform::{datasets, TemporalTrace, TimedComment, TraceConfig};
+use cats_stream::{mix_user, CommentEvent, IngestOutcome, Ring, StreamConfig, StreamEngine};
+
+fn fraud_item(i: usize) -> ItemComments {
+    ItemComments::from_texts([
+        format!("hao0 hao0 zan1 ! hao0 bang2 w{i} ， hao0 hao0 zan0 hao1 hao1").as_str(),
+        "hen hao0 zan2 ！ hao2 hao0 hao0 bang0 hao0",
+    ])
+}
+
+fn normal_item(i: usize) -> ItemComments {
+    ItemComments::from_texts([format!("shu hao0 kan w{i}").as_str(), "dongxi cha0 le dian"])
+}
+
+/// A small fitted pipeline (the `cats-serve` test recipe): real training
+/// on a synthetic corpus, cheap enough to run per-test.
+fn trained() -> CatsPipeline {
+    let mut texts = Vec::new();
+    for i in 0..250 {
+        let v = i % 3;
+        texts.push(format!("hao{v} zan{v} hao{v} bang{v} kuai du"));
+        texts.push(format!("cha{v} lan{v} cha{v} huai{v} man du"));
+        texts.push("he zi kuai di shou dao".to_string());
+    }
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let mut training = Vec::new();
+    for i in 0..30 {
+        training.push(cats_core::pipeline::LabeledItem { comments: fraud_item(i), label: 1 });
+        training.push(cats_core::pipeline::LabeledItem { comments: normal_item(i), label: 0 });
+    }
+    CatsPipeline::train(
+        &refs,
+        &["hao0".to_string()],
+        &["cha0".to_string()],
+        &["hao0 zan0 bang0 hao1", "zan1 hao2 bang1"],
+        &["cha0 lan0 huai0", "lan1 cha2 huai2"],
+        &training,
+        None,
+        PipelineConfig::default(),
+    )
+}
+
+fn event(at_ms: u64, item_id: u64, user_id: u64) -> CommentEvent {
+    CommentEvent {
+        at_ms,
+        item_id,
+        user_id,
+        sales_volume: 50,
+        text: "hao0 zan0 hao0 bang0".to_string(),
+    }
+}
+
+fn to_event(ev: &TimedComment) -> CommentEvent {
+    CommentEvent {
+        at_ms: ev.at_ms,
+        item_id: ev.item_id,
+        user_id: ev.user_id as u64,
+        sales_volume: ev.sales_volume,
+        text: ev.content.clone(),
+    }
+}
+
+/// Replays a trace through a fresh engine, flushing on the virtual
+/// clock — the same driver loop `exp_stream` uses.
+fn replay(trace: &TemporalTrace, pipeline: &CatsPipeline, threads: usize) -> Vec<StreamVerdict> {
+    let mut engine = StreamEngine::new(StreamConfig { threads, ..StreamConfig::default() });
+    let mut verdicts = Vec::new();
+    for ev in &trace.events {
+        engine.ingest(&to_event(ev));
+        verdicts.extend(engine.maybe_flush(pipeline));
+    }
+    verdicts.extend(engine.flush(pipeline));
+    verdicts
+}
+
+#[test]
+fn ring_evicts_at_exact_boundary_tick() {
+    // 10 buckets of 1 s: the window covers (head-10, head] in bucket
+    // units, so an event in bucket 0 survives until head reaches 10.
+    let mut ring = Ring::new(1_000, 10);
+    assert!(ring.record(0, mix_user(1), None));
+    ring.advance_to(9_999); // head = bucket 9: one tick before the edge
+    assert_eq!(ring.stats().count, 1, "event must survive to the last covered tick");
+    ring.advance_to(10_000); // head = bucket 10: the exact boundary
+    assert_eq!(ring.stats().count, 0, "boundary tick must evict bucket 0");
+    // A late record aimed at the evicted bucket is rejected; the first
+    // still-covered bucket is accepted.
+    assert!(!ring.record(0, mix_user(2), None));
+    assert!(ring.record(1_000, mix_user(3), None));
+    assert_eq!(ring.stats().count, 1);
+}
+
+#[test]
+fn out_of_order_arrivals_within_bounded_skew_are_accepted() {
+    let mut engine = StreamEngine::new(StreamConfig::default());
+    assert_eq!(engine.ingest(&event(60_000, 1, 1)), IngestOutcome::Accepted);
+    // Delayed delivery 2 s behind the watermark — the trace generator's
+    // max skew — must land, and the watermark must not regress.
+    assert_eq!(engine.ingest(&event(58_000, 1, 2)), IngestOutcome::Accepted);
+    assert_eq!(engine.late_dropped(), 0);
+    assert_eq!(engine.watermark_ms(), 60_000);
+
+    // A whole seeded trace with bounded skew sheds nothing.
+    let platform = datasets::d0(0.001, 0xBEEF);
+    let trace = TemporalTrace::from_platform(
+        &platform,
+        &TraceConfig { seed: 0xBEEF, ..Default::default() },
+    );
+    assert!(!trace.is_empty());
+    let mut engine = StreamEngine::new(StreamConfig::default());
+    for ev in &trace.events {
+        assert_eq!(engine.ingest(&to_event(ev)), IngestOutcome::Accepted);
+    }
+    assert_eq!(engine.late_dropped(), 0);
+    assert_eq!(engine.events(), trace.len() as u64);
+}
+
+#[test]
+fn empty_window_stats_are_zero_not_nan() {
+    // A fresh ring reports zeros.
+    let ring = Ring::new(3_000, 10);
+    let s = ring.stats();
+    assert_eq!((s.count, s.distinct_est, s.gap_entropy), (0, 0.0, 0.0));
+
+    // So does one whose entire contents aged out.
+    let mut ring = Ring::new(3_000, 10);
+    ring.record(0, mix_user(1), None);
+    ring.record(100, mix_user(2), Some(100));
+    ring.record(2_000, mix_user(3), Some(1_900));
+    ring.advance_to(1_000_000);
+    let s = ring.stats();
+    assert_eq!(s.count, 0);
+    assert!(s.distinct_est == 0.0 && s.gap_entropy == 0.0);
+
+    // And the engine's velocity row over a drained window is finite.
+    let mut engine = StreamEngine::new(StreamConfig::default());
+    engine.ingest(&event(0, 1, 1));
+    engine.ingest(&event(400_000, 1, 2)); // old comment falls out of the window
+    let slices = engine.drain_window_slices();
+    assert_eq!(slices.len(), 1);
+    assert!(slices[0].velocity.is_finite());
+}
+
+#[test]
+fn idle_items_are_swept_at_flush() {
+    let pipeline = trained();
+    let mut engine = StreamEngine::new(StreamConfig::default());
+    engine.ingest(&event(1_000, 7, 1));
+    // Far-future activity on another item pushes the virtual clock past
+    // item 7's idle horizon (default 600 s), so the flush sweeps it
+    // before scoring: one verdict, one resident item.
+    engine.ingest(&event(1_000_000, 8, 2));
+    assert_eq!(engine.resident_items(), 2);
+    let verdicts = engine.flush(&pipeline);
+    assert_eq!(verdicts.len(), 1);
+    assert_eq!(verdicts[0].item_id, 8);
+    assert_eq!(engine.resident_items(), 1);
+}
+
+#[test]
+fn verdict_stream_is_bit_identical_across_thread_counts() {
+    let pipeline = trained();
+    let platform = datasets::d0(0.001, 0x51DE);
+    let trace = TemporalTrace::from_platform(
+        &platform,
+        &TraceConfig { seed: 0x51DE, ..Default::default() },
+    );
+    let reference = replay(&trace, &pipeline, 1);
+    assert!(!reference.is_empty(), "trace must produce verdicts");
+    for threads in [2usize, 8] {
+        let run = replay(&trace, &pipeline, threads);
+        assert_eq!(reference.len(), run.len(), "verdict count differs at {threads} threads");
+        for (a, b) in reference.iter().zip(&run) {
+            assert_eq!(a.item_id, b.item_id);
+            assert_eq!(a.at_ms, b.at_ms);
+            assert_eq!(a.window_comments, b.window_comments);
+            assert_eq!(
+                a.cats_score.to_bits(),
+                b.cats_score.to_bits(),
+                "content score diverges at {threads} threads (item {})",
+                a.item_id
+            );
+            assert_eq!(a.velocity_risk.to_bits(), b.velocity_risk.to_bits());
+            assert_eq!(a.fused_score.to_bits(), b.fused_score.to_bits());
+            assert_eq!(a.is_fraud, b.is_fraud);
+        }
+    }
+}
