@@ -27,9 +27,20 @@ fn backoff(attempt: u32) -> Duration {
 /// port. Panics (the bench convention) on any other error or once the
 /// attempts are exhausted.
 pub fn start_server_retrying(slot: Arc<ModelSlot>, config: ServeConfig) -> Server {
+    start_server_with_drift_retrying(slot, config, None)
+}
+
+/// [`Server::start_with_drift`] with the same `AddrInUse` retry contract
+/// as [`start_server_retrying`] — the drift bench wires a live
+/// [`cats_obs::DriftMonitor`] into the listener it load-tests.
+pub fn start_server_with_drift_retrying(
+    slot: Arc<ModelSlot>,
+    config: ServeConfig,
+    drift: Option<Arc<cats_obs::DriftMonitor>>,
+) -> Server {
     let mut config = config;
     for attempt in 0..BIND_ATTEMPTS {
-        match Server::start(slot.clone(), config.clone()) {
+        match Server::start_with_drift(slot.clone(), config.clone(), drift.clone()) {
             Ok(server) => return server,
             Err(e) if e.kind() == ErrorKind::AddrInUse => {
                 eprintln!(

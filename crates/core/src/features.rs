@@ -66,6 +66,65 @@ impl FeatureVector {
     }
 }
 
+/// Training-time reference of the 11 feature distributions: per feature,
+/// a sorted (and down-sampled to at most [`FeatureReferenceSet::MAX_SAMPLE`]
+/// values) sample of the finite training rows. Persisted inside the model
+/// artifact (the IO2 `featref` section) so a serving process can anchor a
+/// `cats_obs::DriftMonitor` on exactly the distribution the deployed
+/// model was trained against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureReferenceSet {
+    /// Training rows the reference was built from (before down-sampling).
+    pub rows: u64,
+    /// Per-feature sorted samples, in [`FEATURE_NAMES`] order.
+    pub per_feature: Vec<Vec<f64>>,
+}
+
+impl FeatureReferenceSet {
+    /// Per-feature sample cap. Down-sampling keeps evenly spaced order
+    /// statistics (quantiles), which is all PSI binning and the KS
+    /// statistic consume.
+    pub const MAX_SAMPLE: usize = 256;
+
+    /// Builds the reference from training feature rows. Non-finite
+    /// values are dropped per feature; columns longer than
+    /// [`Self::MAX_SAMPLE`] keep evenly strided order statistics
+    /// including both extremes.
+    pub fn from_rows(rows: &[FeatureVector]) -> Self {
+        let mut per_feature = Vec::with_capacity(N_FEATURES);
+        for f in 0..N_FEATURES {
+            let mut col: Vec<f64> = rows.iter().map(|r| r.0[f]).filter(|x| x.is_finite()).collect();
+            col.sort_by(f64::total_cmp);
+            if col.len() > Self::MAX_SAMPLE {
+                let n = col.len();
+                col = (0..Self::MAX_SAMPLE)
+                    .map(|i| col[i * (n - 1) / (Self::MAX_SAMPLE - 1)])
+                    .collect();
+            }
+            per_feature.push(col);
+        }
+        Self { rows: rows.len() as u64, per_feature }
+    }
+
+    /// Whether the reference carries no usable samples.
+    pub fn is_empty(&self) -> bool {
+        self.per_feature.iter().all(Vec::is_empty)
+    }
+
+    /// The reference as named `cats-obs` monitor inputs, in
+    /// [`FEATURE_NAMES`] order.
+    pub fn references(&self) -> Vec<cats_obs::FeatureReference> {
+        self.per_feature
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let name = FEATURE_NAMES.get(i).copied().unwrap_or("extra");
+                cats_obs::FeatureReference::new(name, s.clone())
+            })
+            .collect()
+    }
+}
+
 /// An item's comments, pre-segmented — the extractor's input unit.
 #[derive(Debug, Clone, Default)]
 pub struct ItemComments {

@@ -30,7 +30,7 @@ pub mod report;
 pub mod semantic;
 
 pub use detector::{DetectionReport, Detector, DetectorConfig, FilterDecision};
-pub use features::{FeatureVector, ItemComments, FEATURE_NAMES, N_FEATURES};
+pub use features::{FeatureReferenceSet, FeatureVector, ItemComments, FEATURE_NAMES, N_FEATURES};
 pub use fusion::{
     fuse_scores, velocity_risk, StreamVerdict, VelocityFeatures, DEFAULT_FUSION_WEIGHT,
     N_VELOCITY_FEATURES, VELOCITY_FEATURE_NAMES,

@@ -476,9 +476,22 @@ pub struct PipelineSnapshot {
     pub detector_config: DetectorConfig,
     /// The trained GBT classifier.
     pub gbt: cats_ml::gbt::GradientBoostedTrees,
+    /// Training-time feature distributions (drift-monitor anchor).
+    /// Optional: absent in snapshots produced before drift monitoring
+    /// existed, and omitted from JSON when absent, so pre-existing
+    /// artifacts round-trip byte-identically.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub feature_reference: Option<crate::features::FeatureReferenceSet>,
 }
 
 impl PipelineSnapshot {
+    /// Attaches a training-time feature reference (builder style) — the
+    /// drift-monitor anchor persisted in the `featref` IO2 section.
+    pub fn with_feature_reference(mut self, fr: crate::features::FeatureReferenceSet) -> Self {
+        self.feature_reference = Some(fr);
+        self
+    }
+
     /// Serializes the snapshot to JSON (the legacy interchange format;
     /// [`PipelineSnapshot::to_io2_bytes`] is the binary hot path).
     pub fn to_json(&self) -> Result<String, PersistError> {
@@ -545,6 +558,18 @@ impl PipelineSnapshot {
         b.section("lexicon", lexicon.into_bytes());
         b.section("sentiment", self.analyzer.sentiment().to_io2_payload());
         b.section("gbt", gbt);
+        // Optional trailing section: emitted only when present, so
+        // reference-less snapshots keep their exact pre-drift byte
+        // layout (the canonical-encoding property).
+        if let Some(fr) = &self.feature_reference {
+            let mut enc = Enc::new();
+            enc.u64(fr.rows);
+            enc.u32(fr.per_feature.len() as u32);
+            for col in &fr.per_feature {
+                enc.f64s(col);
+            }
+            b.section("featref", enc.into_bytes());
+        }
         Ok(b)
     }
 
@@ -597,11 +622,33 @@ impl PipelineSnapshot {
             cats_ml::gbt::GradientBoostedTrees::from_io2_bytes(file.require("gbt", "snapshot")?)
                 .map_err(fmt)?;
 
+        let feature_reference = match file.section("featref") {
+            Some(payload) => {
+                let mut d = Dec::new(payload);
+                let rows = d.u64().map_err(fmt)?;
+                let n = d.u32().map_err(fmt)? as usize;
+                // Every column costs at least its 8-byte count prefix:
+                // reject a lying feature count before allocating.
+                if n.checked_mul(8).is_none_or(|b| b > d.remaining()) {
+                    return Err(PersistError::Format(format!(
+                        "model: featref column count {n} exceeds section size"
+                    )));
+                }
+                let mut per_feature = Vec::with_capacity(n);
+                for _ in 0..n {
+                    per_feature.push(d.f64s().map_err(fmt)?);
+                }
+                Some(crate::features::FeatureReferenceSet { rows, per_feature })
+            }
+            None => None,
+        };
+
         Ok(Self {
             format_version,
             analyzer: SemanticAnalyzer::from_parts(lexicon, sentiment),
             detector_config,
             gbt,
+            feature_reference,
         })
     }
 
@@ -657,7 +704,13 @@ impl CatsPipeline {
         detector_config: DetectorConfig,
         gbt: cats_ml::gbt::GradientBoostedTrees,
     ) -> PipelineSnapshot {
-        PipelineSnapshot { format_version: SNAPSHOT_FORMAT_VERSION, analyzer, detector_config, gbt }
+        PipelineSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            analyzer,
+            detector_config,
+            gbt,
+            feature_reference: None,
+        }
     }
 
     /// Restores a pipeline from a snapshot.
@@ -806,7 +859,8 @@ mod tests {
             &format!("\"format_version\":{},", SNAPSHOT_FORMAT_VERSION + 1),
             1,
         );
-        let err = PipelineSnapshot::from_json(&future).unwrap_err();
+        let err =
+            PipelineSnapshot::from_json(&future).err().expect("future format must be rejected");
         assert!(err.to_string().contains("newer than supported"), "{err}");
     }
 
@@ -859,6 +913,62 @@ mod tests {
                 assert_eq!(x.is_fraud, y.is_fraud);
             }
         }
+    }
+
+    #[test]
+    fn feature_reference_roundtrips_in_io2_and_json() {
+        use crate::features::{extract_batch, FeatureReferenceSet, N_FEATURES};
+        use cats_ml::gbt::{GbtConfig, GradientBoostedTrees};
+        use cats_ml::Classifier as _;
+        let p = trained();
+        let mut items = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            items.push(fraud_item(i));
+            labels.push(1u8);
+            items.push(normal_item(i));
+            labels.push(0u8);
+        }
+        let rows = extract_batch(&items, p.analyzer(), 0);
+        let mut data = cats_ml::Dataset::new(N_FEATURES);
+        for (r, &l) in rows.iter().zip(&labels) {
+            data.push(r.as_slice(), l);
+        }
+        let mut gbt = GradientBoostedTrees::new(GbtConfig::default());
+        gbt.fit(&data);
+
+        let fr = FeatureReferenceSet::from_rows(&rows);
+        assert_eq!(fr.rows, rows.len() as u64);
+        assert_eq!(fr.per_feature.len(), N_FEATURES);
+        assert!(!fr.is_empty());
+        assert!(fr
+            .per_feature
+            .iter()
+            .all(|c| c.windows(2).all(|w| w[0] <= w[1])
+                && c.len() <= FeatureReferenceSet::MAX_SAMPLE));
+        assert_eq!(fr.references().len(), N_FEATURES);
+
+        let snap = CatsPipeline::snapshot(p.analyzer().clone(), DetectorConfig::default(), gbt)
+            .with_feature_reference(fr.clone());
+
+        // IO2 round-trip is canonical WITH the optional section present.
+        let bytes = snap.to_io2_bytes().unwrap();
+        let back = PipelineSnapshot::from_io2_bytes(&bytes).unwrap();
+        assert_eq!(back.feature_reference.as_ref(), Some(&fr));
+        assert_eq!(back.to_io2_bytes().unwrap(), bytes, "canonical with featref");
+
+        // JSON carries it too, and omits the field when absent.
+        let json = snap.to_json().unwrap();
+        assert!(json.contains("\"feature_reference\""));
+        let back_json = PipelineSnapshot::from_json(&json).unwrap();
+        assert_eq!(back_json.feature_reference.as_ref(), Some(&fr));
+        let bare = CatsPipeline::snapshot(
+            snap.analyzer.clone(),
+            DetectorConfig::default(),
+            GradientBoostedTrees::new(GbtConfig::default()),
+        );
+        assert!(!bare.to_json().unwrap().contains("feature_reference"));
+        assert!(bare.to_io2_bytes().unwrap().len() < bytes.len());
     }
 
     #[test]

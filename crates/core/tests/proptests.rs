@@ -1,8 +1,11 @@
-//! Property-based tests for the CATS core: feature extraction invariants
-//! and threshold calibration.
+//! Property-based tests for the CATS core: feature extraction invariants,
+//! threshold calibration, and the noisy-OR fusion contract.
 
 use cats_core::pipeline::{calibrate_balanced_threshold, calibrate_precision_threshold};
-use cats_core::{features, DetectionReport, FilterDecision, ItemComments, SemanticAnalyzer};
+use cats_core::{
+    features, fuse_scores, velocity_risk, DetectionReport, FilterDecision, ItemComments,
+    SemanticAnalyzer, VelocityFeatures, DEFAULT_FUSION_WEIGHT, N_VELOCITY_FEATURES,
+};
 use cats_sentiment::SentimentModel;
 use cats_text::Lexicon;
 use proptest::prelude::*;
@@ -122,5 +125,60 @@ proptest! {
         let m = cats_ml::metrics::BinaryMetrics::compute(&labels, &preds);
         prop_assert!((m.precision - 1.0).abs() < 1e-12);
         prop_assert!((m.recall - 1.0).abs() < 1e-12, "separable data allows full recall");
+    }
+
+    #[test]
+    fn fusion_is_bounded_and_anchored(
+        content in 0.0f64..1.0,
+        risk in 0.0f64..1.0,
+        weight in 0.0f64..1.0,
+    ) {
+        let fused = fuse_scores(content, risk, weight);
+        prop_assert!((0.0..=1.0).contains(&fused), "fused {fused} out of [0,1]");
+        // Noisy-OR anchors: fusion never lowers the content score, and a
+        // certain content verdict stays certain whatever the velocity says.
+        prop_assert!(fused >= content - 1e-12, "fusion weakened content: {fused} < {content}");
+        prop_assert!((fuse_scores(1.0, risk, weight) - 1.0).abs() < 1e-12);
+        // Zero-risk (or zero-weight) fusion is the identity on content.
+        prop_assert!((fuse_scores(content, 0.0, weight) - content).abs() < 1e-12);
+        prop_assert!((fuse_scores(content, risk, 0.0) - content).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fusion_is_monotone_in_both_inputs(
+        content_lo in 0.0f64..1.0,
+        content_hi in 0.0f64..1.0,
+        risk_lo in 0.0f64..1.0,
+        risk_hi in 0.0f64..1.0,
+        weight in 0.0f64..1.0,
+    ) {
+        let (c0, c1) = if content_lo <= content_hi { (content_lo, content_hi) } else { (content_hi, content_lo) };
+        let (r0, r1) = if risk_lo <= risk_hi { (risk_lo, risk_hi) } else { (risk_hi, risk_lo) };
+        prop_assert!(
+            fuse_scores(c0, r0, weight) <= fuse_scores(c1, r0, weight) + 1e-12,
+            "fusion must be monotone in the content score"
+        );
+        prop_assert!(
+            fuse_scores(c0, r0, weight) <= fuse_scores(c0, r1, weight) + 1e-12,
+            "fusion must be monotone in the velocity risk"
+        );
+    }
+
+    #[test]
+    fn velocity_risk_alone_never_crosses_the_default_threshold(
+        raw in prop::collection::vec(0.0f64..1e6, N_VELOCITY_FEATURES),
+    ) {
+        // The w = 0.5 safety contract (DESIGN.md §13): with zero content
+        // evidence, fused = w · risk ≤ 0.5 < the 0.5-exclusive default
+        // threshold — velocity bursts alone (a flash sale, a viral item)
+        // can never be reported as fraud.
+        let mut arr = [0.0f64; N_VELOCITY_FEATURES];
+        arr.copy_from_slice(&raw);
+        let v = VelocityFeatures(arr);
+        let risk = velocity_risk(&v);
+        prop_assert!((0.0..=1.0).contains(&risk), "velocity risk {risk} out of [0,1]");
+        let fused = fuse_scores(0.0, risk, DEFAULT_FUSION_WEIGHT);
+        prop_assert!(fused <= DEFAULT_FUSION_WEIGHT + 1e-12, "velocity-only fused {fused}");
+        prop_assert!(fused < 0.5 + 1e-12, "velocity alone must not cross the fraud threshold");
     }
 }

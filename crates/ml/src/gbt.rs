@@ -1203,7 +1203,8 @@ mod tests {
         for i in 0..97 {
             d.push(&[(i % 13) as f64], u8::from(i % 2 == 0));
         }
-        let t = quantile_thresholds(&d, 0, 8);
+        let col: Vec<f64> = (0..d.len()).map(|i| d.row(i)[0]).collect();
+        let t = quantile_thresholds(&col, 8);
         assert!(t.len() <= 7);
         assert!(t.windows(2).all(|w| w[0] < w[1]), "{t:?}");
     }
@@ -1214,7 +1215,8 @@ mod tests {
         for i in 0..40 {
             d.push(&[5.0, i as f64], u8::from(i >= 20));
         }
-        assert!(quantile_thresholds(&d, 0, 8).len() <= 1);
+        let col: Vec<f64> = (0..d.len()).map(|i| d.row(i)[0]).collect();
+        assert!(quantile_thresholds(&col, 8).len() <= 1);
         let mut m = GradientBoostedTrees::new(GbtConfig {
             split_mode: SplitMode::Histogram { bins: 8 },
             ..cfg_small()

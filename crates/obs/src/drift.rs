@@ -1,0 +1,631 @@
+//! Streaming distribution-drift monitor (DESIGN.md §15).
+//!
+//! Compares the *live* feature distributions the deployed detector is
+//! scoring against a *training-time reference* snapshot, per feature,
+//! with two complementary statistics:
+//!
+//! * **PSI** (population stability index) over reference-quantile bins —
+//!   sensitive to mass shifting between regions of the distribution;
+//! * **two-sample KS** — the max ECDF gap, sensitive to location and
+//!   shape changes PSI's coarse bins can smear out.
+//!
+//! Both are NaN-proof by construction: PSI floors empty and zero-mass
+//! bins at a small epsilon before taking the log ratio, and KS over
+//! constant (zero-variance) samples degenerates to an exact ECDF
+//! comparison that is 0.0 for identical constants and 1.0 for disjoint
+//! ones — never NaN, never infinite.
+//!
+//! On top of the statistics sits a [`DriftMonitor`]: a bounded sliding
+//! window of live rows, periodic evaluation, per-feature
+//! `cats.drift.psi.<feature>` / `cats.drift.ks.<feature>` gauges, and a
+//! [`DriftVerdict`] state machine with hysteresis (consecutive
+//! breaching evaluations to escalate, consecutive clean ones to
+//! de-escalate) so a single noisy window cannot flap the serving layer
+//! in and out of degraded mode.
+//!
+//! This crate sits below `cats-core`, so the monitor works on plain
+//! `&[f64]` rows plus caller-supplied feature names; the typed glue
+//! (building a reference from `FeatureVector`s, persisting it in the
+//! IO2 model artifact) lives in `cats-core`.
+
+use crate::metrics::gauge;
+use crate::sync::lock_recover;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Mass floor for PSI bins: an empty bin contributes a large-but-finite
+/// term instead of an infinite (or NaN) log ratio.
+const PSI_EPSILON: f64 = 1e-4;
+
+/// Population stability index between two *sample counts over the same
+/// bins*. `expected` is the reference binning, `actual` the live one.
+/// Counts are normalized to mass internally; zero-mass bins (on either
+/// side) are floored at a small epsilon so the result is always finite.
+/// Empty inputs (either side all-zero, or zero bins) return 0.0.
+pub fn psi(expected: &[f64], actual: &[f64]) -> f64 {
+    if expected.len() != actual.len() || expected.is_empty() {
+        return 0.0;
+    }
+    let clean = |w: f64| if w.is_finite() && w > 0.0 { w } else { 0.0 };
+    let e_total: f64 = expected.iter().copied().map(clean).sum();
+    let a_total: f64 = actual.iter().copied().map(clean).sum();
+    if e_total <= 0.0 || a_total <= 0.0 {
+        return 0.0;
+    }
+    let mut out = 0.0;
+    for (&e, &a) in expected.iter().zip(actual) {
+        let pe = (clean(e) / e_total).max(PSI_EPSILON);
+        let pa = (clean(a) / a_total).max(PSI_EPSILON);
+        out += (pa - pe) * (pa / pe).ln();
+    }
+    out
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic: the maximum gap between the
+/// empirical CDFs of `a` and `b`. Non-finite samples are dropped; an
+/// empty side returns 0.0 (no evidence of drift). Constant
+/// distributions are handled exactly: identical constants give 0.0,
+/// disjoint constants give 1.0 — always finite.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    let mut xs: Vec<f64> = a.iter().copied().filter(|x| x.is_finite()).collect();
+    let mut ys: Vec<f64> = b.iter().copied().filter(|x| x.is_finite()).collect();
+    if xs.is_empty() || ys.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
+    let (nx, ny) = (xs.len() as f64, ys.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < xs.len() && j < ys.len() {
+        let x = xs[i];
+        let y = ys[j];
+        let t = x.min(y);
+        while i < xs.len() && xs[i] <= t {
+            i += 1;
+        }
+        while j < ys.len() && ys[j] <= t {
+            j += 1;
+        }
+        d = d.max((i as f64 / nx - j as f64 / ny).abs());
+    }
+    // Exhausting one side pins its ECDF at 1.0; the final gap is
+    // 1 - F_other(t), maximal at the first remaining point.
+    if i < xs.len() {
+        d = d.max(1.0 - j as f64 / ny).max(1.0 - i as f64 / nx);
+    }
+    if j < ys.len() {
+        d = d.max(1.0 - i as f64 / nx).max(1.0 - j as f64 / ny);
+    }
+    d.clamp(0.0, 1.0)
+}
+
+/// Bin edges from a sorted reference sample: `n_bins − 1` interior
+/// quantile cuts, deduplicated. A constant reference degenerates to a
+/// single bin (no edges), which PSI then scores as mass-in-one-bin vs
+/// mass-in-one-bin — finite by construction.
+pub fn quantile_edges(sorted: &[f64], n_bins: usize) -> Vec<f64> {
+    let mut edges = Vec::new();
+    if sorted.is_empty() || n_bins < 2 {
+        return edges;
+    }
+    let min = sorted[0];
+    for k in 1..n_bins {
+        let q = k as f64 / n_bins as f64;
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        let e = sorted[idx];
+        // An edge at (or below) the minimum would create a permanently
+        // empty left bin; skipping it makes a constant reference
+        // degenerate to one bin, no edges.
+        if e.is_finite() && e > min && edges.last().is_none_or(|&last| e > last) {
+            edges.push(e);
+        }
+    }
+    edges
+}
+
+/// Histogram of `sample` over `edges` (bins = `edges.len() + 1`;
+/// value ≤ edge falls left). Non-finite samples are dropped.
+pub fn bin_counts(sample: &[f64], edges: &[f64]) -> Vec<f64> {
+    let mut counts = vec![0.0; edges.len() + 1];
+    for &x in sample {
+        if !x.is_finite() {
+            continue;
+        }
+        let bin = edges.iter().position(|&e| x <= e).unwrap_or(edges.len());
+        counts[bin] += 1.0;
+    }
+    counts
+}
+
+/// One feature's training-time reference: its name and a sorted,
+/// possibly down-sampled sample of training values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureReference {
+    /// Feature name (becomes the gauge suffix).
+    pub name: String,
+    /// Sorted reference sample (ascending, finite).
+    pub sample: Vec<f64>,
+}
+
+impl FeatureReference {
+    /// A reference from an unsorted sample; non-finite values dropped.
+    pub fn new(name: impl Into<String>, mut sample: Vec<f64>) -> Self {
+        sample.retain(|x| x.is_finite());
+        sample.sort_by(f64::total_cmp);
+        Self { name: name.into(), sample }
+    }
+}
+
+/// Drift-monitor thresholds and window geometry.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// PSI bins per feature (reference quantile cuts).
+    pub n_bins: usize,
+    /// Live rows kept per feature (ring buffer).
+    pub window: usize,
+    /// Minimum live rows before any evaluation fires.
+    pub min_window: usize,
+    /// Evaluate every this many observed rows.
+    pub eval_every: usize,
+    /// PSI above this on any feature is a Warning-level breach.
+    pub psi_warning: f64,
+    /// PSI above this on any feature is a Critical-level breach.
+    pub psi_critical: f64,
+    /// KS above this on any feature is a Warning-level breach.
+    pub ks_warning: f64,
+    /// KS above this on any feature is a Critical-level breach.
+    pub ks_critical: f64,
+    /// Consecutive breaching evaluations required to escalate.
+    pub escalate_after: usize,
+    /// Consecutive clean evaluations required to de-escalate one level.
+    pub clear_after: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            n_bins: 10,
+            window: 512,
+            min_window: 64,
+            eval_every: 64,
+            psi_warning: 0.2,
+            psi_critical: 0.5,
+            ks_warning: 0.15,
+            ks_critical: 0.35,
+            escalate_after: 2,
+            clear_after: 3,
+        }
+    }
+}
+
+/// The drift state machine's output, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DriftVerdict {
+    /// Live distributions match the reference.
+    Stable,
+    /// At least one feature breaches the warning thresholds.
+    Warning,
+    /// At least one feature breaches the critical thresholds — the
+    /// serving layer flags degraded mode and retraining may trigger.
+    Critical,
+}
+
+impl DriftVerdict {
+    /// Stable name, as surfaced on `/healthz`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DriftVerdict::Stable => "stable",
+            DriftVerdict::Warning => "warning",
+            DriftVerdict::Critical => "critical",
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            DriftVerdict::Stable => 0,
+            DriftVerdict::Warning => 1,
+            DriftVerdict::Critical => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => DriftVerdict::Stable,
+            1 => DriftVerdict::Warning,
+            _ => DriftVerdict::Critical,
+        }
+    }
+}
+
+/// One feature's latest statistics, from [`DriftMonitor::stats`].
+#[derive(Debug, Clone)]
+pub struct FeatureDrift {
+    /// Feature name.
+    pub name: String,
+    /// Latest PSI vs the reference binning.
+    pub psi: f64,
+    /// Latest two-sample KS vs the reference sample.
+    pub ks: f64,
+}
+
+struct FeatureState {
+    name: String,
+    reference: Vec<f64>,
+    ref_counts: Vec<f64>,
+    edges: Vec<f64>,
+    live: Vec<f64>,
+    head: usize,
+    psi: f64,
+    ks: f64,
+}
+
+impl FeatureState {
+    fn new(r: FeatureReference, n_bins: usize) -> Self {
+        let edges = quantile_edges(&r.sample, n_bins);
+        let ref_counts = bin_counts(&r.sample, &edges);
+        Self {
+            name: r.name,
+            reference: r.sample,
+            ref_counts,
+            edges,
+            live: Vec::new(),
+            head: 0,
+            psi: 0.0,
+            ks: 0.0,
+        }
+    }
+}
+
+struct MonitorState {
+    features: Vec<FeatureState>,
+    rows_seen: usize,
+    rows_since_eval: usize,
+    evaluations: u64,
+    breach_streak: usize,
+    clean_streak: usize,
+}
+
+/// Streaming drift monitor: feed it live feature rows, read back a
+/// hysteresis-smoothed [`DriftVerdict`]. Thread-safe; the verdict read
+/// ([`DriftMonitor::verdict`]) is a single atomic load so the serving
+/// hot path can poll it per request.
+pub struct DriftMonitor {
+    config: DriftConfig,
+    state: Mutex<MonitorState>,
+    verdict: AtomicU8,
+}
+
+impl DriftMonitor {
+    /// A monitor against the given per-feature references.
+    pub fn new(references: Vec<FeatureReference>, config: DriftConfig) -> Self {
+        let features =
+            references.into_iter().map(|r| FeatureState::new(r, config.n_bins)).collect();
+        Self {
+            config,
+            state: Mutex::new(MonitorState {
+                features,
+                rows_seen: 0,
+                rows_since_eval: 0,
+                evaluations: 0,
+                breach_streak: 0,
+                clean_streak: 0,
+            }),
+            verdict: AtomicU8::new(DriftVerdict::Stable.as_u8()),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Observes one live feature row (`row.len()` must match the
+    /// reference count; extra/missing trailing features are ignored —
+    /// references define what is monitored). Every
+    /// `config.eval_every` rows an evaluation runs inline.
+    pub fn observe_row(&self, row: &[f64]) {
+        let mut s = lock_recover(&self.state, "cats.drift.state");
+        for (f, &x) in s.features.iter_mut().zip(row) {
+            if !x.is_finite() {
+                continue;
+            }
+            if f.live.len() < self.config.window {
+                f.live.push(x);
+            } else {
+                let head = f.head;
+                f.live[head] = x;
+                f.head = (head + 1) % self.config.window;
+            }
+        }
+        s.rows_seen += 1;
+        s.rows_since_eval += 1;
+        if s.rows_since_eval >= self.config.eval_every {
+            s.rows_since_eval = 0;
+            self.evaluate_locked(&mut s);
+        }
+    }
+
+    /// Forces an evaluation now (e.g. at the end of an epoch), returning
+    /// the post-evaluation verdict.
+    pub fn evaluate(&self) -> DriftVerdict {
+        let mut s = lock_recover(&self.state, "cats.drift.state");
+        s.rows_since_eval = 0;
+        self.evaluate_locked(&mut s);
+        self.verdict()
+    }
+
+    fn evaluate_locked(&self, s: &mut MonitorState) {
+        let mut raw = DriftVerdict::Stable;
+        let window_full = s.features.iter().all(|f| f.live.len() >= self.config.min_window);
+        if window_full {
+            s.evaluations += 1;
+            for f in s.features.iter_mut() {
+                let live_counts = bin_counts(&f.live, &f.edges);
+                f.psi = psi(&f.ref_counts, &live_counts);
+                f.ks = ks_statistic(&f.reference, &f.live);
+                gauge(&format!("cats.drift.psi.{}", f.name)).set(f.psi);
+                gauge(&format!("cats.drift.ks.{}", f.name)).set(f.ks);
+                let level = if f.psi >= self.config.psi_critical || f.ks >= self.config.ks_critical
+                {
+                    DriftVerdict::Critical
+                } else if f.psi >= self.config.psi_warning || f.ks >= self.config.ks_warning {
+                    DriftVerdict::Warning
+                } else {
+                    DriftVerdict::Stable
+                };
+                raw = raw.max(level);
+            }
+        }
+        // Hysteresis: escalate only after `escalate_after` consecutive
+        // breaching evaluations at (or above) the candidate level;
+        // de-escalate one level per `clear_after` consecutive clean ones.
+        let current = self.verdict();
+        let next = if raw > current {
+            s.clean_streak = 0;
+            s.breach_streak += 1;
+            if s.breach_streak >= self.config.escalate_after {
+                s.breach_streak = 0;
+                raw
+            } else {
+                current
+            }
+        } else if raw < current {
+            s.breach_streak = 0;
+            s.clean_streak += 1;
+            if s.clean_streak >= self.config.clear_after {
+                s.clean_streak = 0;
+                DriftVerdict::from_u8(current.as_u8().saturating_sub(1))
+            } else {
+                current
+            }
+        } else {
+            s.breach_streak = 0;
+            s.clean_streak = 0;
+            current
+        };
+        self.verdict.store(next.as_u8(), Ordering::Release);
+        gauge("cats.drift.verdict").set(next.as_u8() as f64);
+    }
+
+    /// The current hysteresis-smoothed verdict (single atomic load).
+    pub fn verdict(&self) -> DriftVerdict {
+        DriftVerdict::from_u8(self.verdict.load(Ordering::Acquire))
+    }
+
+    /// Whether the serving layer should report degraded mode.
+    pub fn degraded(&self) -> bool {
+        self.verdict() >= DriftVerdict::Warning
+    }
+
+    /// Latest per-feature statistics (as of the last evaluation).
+    pub fn stats(&self) -> Vec<FeatureDrift> {
+        let s = lock_recover(&self.state, "cats.drift.state");
+        s.features
+            .iter()
+            .map(|f| FeatureDrift { name: f.name.clone(), psi: f.psi, ks: f.ks })
+            .collect()
+    }
+
+    /// Total rows observed.
+    pub fn rows_seen(&self) -> usize {
+        lock_recover(&self.state, "cats.drift.state").rows_seen
+    }
+
+    /// Evaluations that had a full-enough window to score.
+    pub fn evaluations(&self) -> u64 {
+        lock_recover(&self.state, "cats.drift.state").evaluations
+    }
+
+    /// Re-anchors the monitor on fresh references (after a retrain
+    /// promoted a new model): live windows, streaks and the verdict all
+    /// reset — the new model starts Stable against its own training
+    /// distribution.
+    pub fn reset(&self, references: Vec<FeatureReference>) {
+        let mut s = lock_recover(&self.state, "cats.drift.state");
+        s.features =
+            references.into_iter().map(|r| FeatureState::new(r, self.config.n_bins)).collect();
+        s.rows_since_eval = 0;
+        s.breach_streak = 0;
+        s.clean_streak = 0;
+        self.verdict.store(DriftVerdict::Stable.as_u8(), Ordering::Release);
+        gauge("cats.drift.verdict").set(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|i| lo + (hi - lo) * (i as f64 + 0.5) / n as f64).collect()
+    }
+
+    #[test]
+    fn psi_is_zero_for_identical_distributions() {
+        let c = [10.0, 20.0, 30.0, 40.0];
+        assert!(psi(&c, &c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psi_with_empty_and_zero_mass_bins_is_finite() {
+        // Live mass concentrated where the reference has none and vice
+        // versa — the classic log(0)/0 trap.
+        let expected = [100.0, 0.0, 0.0, 50.0];
+        let actual = [0.0, 80.0, 20.0, 0.0];
+        let v = psi(&expected, &actual);
+        assert!(v.is_finite(), "psi must be finite, got {v}");
+        assert!(v > 1.0, "disjoint mass should score large, got {v}");
+        // Degenerate inputs: empty, all-zero, mismatched lengths.
+        assert_eq!(psi(&[], &[]), 0.0);
+        assert_eq!(psi(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(psi(&[1.0, 2.0], &[0.0, 0.0]), 0.0);
+        assert_eq!(psi(&[1.0], &[1.0, 2.0]), 0.0);
+        assert!(psi(&[f64::NAN, 1.0], &[1.0, 1.0]).is_finite());
+    }
+
+    #[test]
+    fn ks_over_constant_distributions_is_finite() {
+        // Identical constants: no drift.
+        assert_eq!(ks_statistic(&[3.0; 50], &[3.0; 20]), 0.0);
+        // Disjoint constants: total drift, exactly 1.
+        assert_eq!(ks_statistic(&[0.0; 50], &[1.0; 20]), 1.0);
+        // Constant vs spread, and empties.
+        let spread = uniform(100, 0.0, 1.0);
+        let v = ks_statistic(&[0.5; 40], &spread);
+        assert!(v.is_finite() && (0.0..=1.0).contains(&v));
+        assert_eq!(ks_statistic(&[], &spread), 0.0);
+        assert_eq!(ks_statistic(&spread, &[]), 0.0);
+        assert!(ks_statistic(&[f64::NAN; 3], &spread).is_finite());
+    }
+
+    #[test]
+    fn ks_detects_location_shift() {
+        let a = uniform(200, 0.0, 1.0);
+        let b = uniform(200, 0.5, 1.5);
+        let v = ks_statistic(&a, &b);
+        assert!(v > 0.4, "half-width shift should score ~0.5, got {v}");
+        assert!(v <= 1.0);
+    }
+
+    #[test]
+    fn quantile_edges_dedup_constant_reference() {
+        assert!(quantile_edges(&[5.0; 100], 10).is_empty());
+        let e = quantile_edges(&uniform(100, 0.0, 1.0), 4);
+        assert_eq!(e.len(), 3);
+        assert!(e.windows(2).all(|w| w[0] < w[1]));
+        assert!(quantile_edges(&[], 10).is_empty());
+    }
+
+    fn monitor(config: DriftConfig) -> DriftMonitor {
+        let refs = vec![
+            FeatureReference::new("f0", uniform(256, 0.0, 1.0)),
+            FeatureReference::new("f1", uniform(256, 10.0, 20.0)),
+        ];
+        DriftMonitor::new(refs, config)
+    }
+
+    fn tight() -> DriftConfig {
+        DriftConfig {
+            window: 128,
+            min_window: 32,
+            eval_every: 32,
+            escalate_after: 2,
+            clear_after: 2,
+            ..DriftConfig::default()
+        }
+    }
+
+    #[test]
+    fn stable_input_stays_stable() {
+        let m = monitor(tight());
+        for i in 0..512u64 {
+            // A low-discrepancy scramble of [0,1): even partially filled
+            // warm-up windows look uniform, like real sampled traffic.
+            let x = ((i * 53 % 128) as f64 + 0.5) / 128.0;
+            m.observe_row(&[x, 10.0 + 10.0 * x]);
+        }
+        assert_eq!(m.verdict(), DriftVerdict::Stable);
+        assert!(!m.degraded());
+        assert!(m.evaluations() > 0);
+        for f in m.stats() {
+            assert!(f.psi < 0.2, "{}: psi {}", f.name, f.psi);
+            assert!(f.ks < 0.15, "{}: ks {}", f.name, f.ks);
+        }
+    }
+
+    #[test]
+    fn shifted_input_escalates_to_critical_with_hysteresis() {
+        let m = monitor(tight());
+        // Feed strongly shifted rows; the first breaching evaluation must
+        // NOT flip the verdict (hysteresis), the second may.
+        for i in 0..32 {
+            m.observe_row(&[5.0 + (i % 7) as f64 * 0.01, 50.0]);
+        }
+        let after_one = m.evaluations();
+        assert!(after_one >= 1);
+        assert_eq!(m.verdict(), DriftVerdict::Stable, "one breach must not escalate");
+        for i in 0..64 {
+            m.observe_row(&[5.0 + (i % 7) as f64 * 0.01, 50.0]);
+        }
+        assert_eq!(m.verdict(), DriftVerdict::Critical);
+        assert!(m.degraded());
+        let stats = m.stats();
+        assert!(stats.iter().all(|f| f.psi.is_finite() && f.ks.is_finite()));
+    }
+
+    #[test]
+    fn recovery_de_escalates_one_level_at_a_time() {
+        let m = monitor(tight());
+        for i in 0..96 {
+            m.observe_row(&[5.0 + (i % 7) as f64 * 0.01, 50.0]);
+        }
+        assert_eq!(m.verdict(), DriftVerdict::Critical);
+        // Back to in-distribution rows: the window flushes out the
+        // shifted mass and the verdict steps down Critical → Warning →
+        // Stable, `clear_after` clean evaluations per step.
+        for i in 0..1024 {
+            let x = (i % 89) as f64 / 89.0;
+            m.observe_row(&[x, 10.0 + 10.0 * x]);
+        }
+        assert_eq!(m.verdict(), DriftVerdict::Stable);
+    }
+
+    #[test]
+    fn reset_re_anchors_and_clears_verdict() {
+        let m = monitor(tight());
+        for i in 0..96 {
+            m.observe_row(&[5.0 + (i % 7) as f64 * 0.01, 50.0]);
+        }
+        assert_eq!(m.verdict(), DriftVerdict::Critical);
+        // Retrained model: the shifted region IS the new reference.
+        let shifted: Vec<f64> = (0..256).map(|i| 5.0 + (i % 7) as f64 * 0.01).collect();
+        m.reset(vec![
+            FeatureReference::new("f0", shifted),
+            FeatureReference::new("f1", vec![50.0; 256]),
+        ]);
+        assert_eq!(m.verdict(), DriftVerdict::Stable);
+        for i in 0..96 {
+            m.observe_row(&[5.0 + (i % 7) as f64 * 0.01, 50.0]);
+        }
+        assert_eq!(m.verdict(), DriftVerdict::Stable, "new reference matches live");
+    }
+
+    #[test]
+    fn short_window_never_evaluates() {
+        let m = monitor(DriftConfig { min_window: 64, eval_every: 8, ..tight() });
+        for _ in 0..32 {
+            m.observe_row(&[9.0, 90.0]);
+        }
+        assert_eq!(m.evaluations(), 0);
+        assert_eq!(m.verdict(), DriftVerdict::Stable);
+    }
+
+    #[test]
+    fn verdict_ordering_and_names() {
+        assert!(DriftVerdict::Stable < DriftVerdict::Warning);
+        assert!(DriftVerdict::Warning < DriftVerdict::Critical);
+        assert_eq!(DriftVerdict::Critical.as_str(), "critical");
+        assert_eq!(DriftVerdict::from_u8(1), DriftVerdict::Warning);
+    }
+}

@@ -27,6 +27,7 @@
 //! can sit below every other crate in the workspace.
 
 pub mod clock;
+pub mod drift;
 pub mod metrics;
 pub mod profile;
 pub mod span;
@@ -34,6 +35,9 @@ pub mod sync;
 
 pub use clock::{
     enabled, now_micros, observer, set_observer, NoopObserver, Observer, SimObserver, WallObserver,
+};
+pub use drift::{
+    ks_statistic, psi, DriftConfig, DriftMonitor, DriftVerdict, FeatureDrift, FeatureReference,
 };
 pub use metrics::{
     counter, gauge, global, histogram, Counter, Gauge, HistSnapshot, Histogram, Registry, Snapshot,

@@ -40,32 +40,32 @@ pub enum CommentStyle {
 
 /// Token-class sampling weights and shape parameters per style.
 #[derive(Debug, Clone, Copy)]
-struct StyleParams {
+pub(crate) struct StyleParams {
     /// Mean/SD of comment length in tokens (before punctuation insertion).
-    len_mean: f64,
-    len_sd: f64,
-    len_min: usize,
-    len_max: usize,
+    pub(crate) len_mean: f64,
+    pub(crate) len_sd: f64,
+    pub(crate) len_min: usize,
+    pub(crate) len_max: usize,
     /// Weights over [positive, negative, neutral, function] content words.
-    class_weights: [f64; 4],
+    pub(crate) class_weights: [f64; 4],
     /// Probability that a content token is immediately followed by a
     /// punctuation mark.
-    punct_after: f64,
+    pub(crate) punct_after: f64,
     /// Probability of duplicating a recently used content word instead of
     /// drawing a fresh one.
-    dup_prob: f64,
+    pub(crate) dup_prob: f64,
     /// Probability of splicing in a promotional bigram template.
-    template_prob: f64,
+    pub(crate) template_prob: f64,
     /// Probability that a just-emitted positive word is immediately
     /// followed by another positive word (sentiment bursts — "great,
     /// lovely, perfect!"). Bursts are what give polarity words the shared
     /// contexts word2vec needs for the Table I expansion.
-    pos_burst: f64,
+    pub(crate) pos_burst: f64,
     /// Same for negative words (complaint runs).
-    neg_burst: f64,
+    pub(crate) neg_burst: f64,
 }
 
-fn params(style: CommentStyle) -> StyleParams {
+pub(crate) fn params(style: CommentStyle) -> StyleParams {
     match style {
         CommentStyle::FraudPromo => StyleParams {
             len_mean: 55.0,
@@ -134,7 +134,43 @@ fn params(style: CommentStyle) -> StyleParams {
 /// canonical positives). Spliced verbatim into promo comments, they create
 /// the frequent positive 2-grams behind `averageNgramNumber` and give
 /// word2vec the shared contexts it needs to cluster positive words.
-const TEMPLATE_LEFT: &[&str] = &["hen", "zhen", "feichang", "jiushi", "queshi"];
+pub(crate) const TEMPLATE_LEFT: &[&str] = &["hen", "zhen", "feichang", "jiushi", "queshi"];
+
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Promo-comment parameters under adversarial evasion.
+///
+/// A campaign operator who knows the detector keys on length, punctuation,
+/// repetition, and positive-word saturation (Figs 1–5) reacts by making
+/// shill comments *look organic*: every style knob is interpolated from
+/// [`CommentStyle::FraudPromo`] toward [`CommentStyle::OrganicPositive`]
+/// by `evasion ∈ [0, 1]`. At 0 this is exactly the stock promo style; at 1
+/// the text statistics are indistinguishable from a genuine satisfied
+/// buyer and only non-textual signals (campaign structure, vocabulary
+/// variants) remain.
+pub(crate) fn evasive_promo_params(evasion: f64) -> StyleParams {
+    let t = evasion.clamp(0.0, 1.0);
+    let a = params(CommentStyle::FraudPromo);
+    let b = params(CommentStyle::OrganicPositive);
+    let mut class_weights = [0.0; 4];
+    for (i, w) in class_weights.iter_mut().enumerate() {
+        *w = lerp(a.class_weights[i], b.class_weights[i], t);
+    }
+    StyleParams {
+        len_mean: lerp(a.len_mean, b.len_mean, t),
+        len_sd: lerp(a.len_sd, b.len_sd, t),
+        len_min: lerp(a.len_min as f64, b.len_min as f64, t).round() as usize,
+        len_max: lerp(a.len_max as f64, b.len_max as f64, t).round() as usize,
+        class_weights,
+        punct_after: lerp(a.punct_after, b.punct_after, t),
+        dup_prob: lerp(a.dup_prob, b.dup_prob, t),
+        template_prob: lerp(a.template_prob, b.template_prob, t),
+        pos_burst: lerp(a.pos_burst, b.pos_burst, t),
+        neg_burst: lerp(a.neg_burst, b.neg_burst, t),
+    }
+}
 
 /// Draws a Zipf-skewed index into a polarity pool: real review language
 /// concentrates most polarity mass on a handful of canonical words (the
@@ -178,7 +214,21 @@ pub fn generate_comment_with_topic(
     topic: usize,
     rng: &mut impl Rng,
 ) -> String {
-    let p = params(style);
+    generate_with_params(lex, params(style), topic, TEMPLATE_LEFT, rng)
+}
+
+/// Core token sampler behind [`generate_comment_with_topic`], with the
+/// style parameters and the promotional-template pool injected. The drift
+/// layer uses this to emit evasive promo comments with rotated templates;
+/// the canonical path passes `params(style)` and [`TEMPLATE_LEFT`], which
+/// consumes the RNG identically to the pre-drift generator.
+pub(crate) fn generate_with_params(
+    lex: &SyntheticLexicon,
+    p: StyleParams,
+    topic: usize,
+    templates: &[&str],
+    rng: &mut impl Rng,
+) -> String {
     let target_len = clamp_round(normal(rng, p.len_mean, p.len_sd), p.len_min, p.len_max);
     let mut tokens: Vec<&str> = Vec::with_capacity(target_len + target_len / 4);
     let mut recent: Vec<&str> = Vec::with_capacity(8);
@@ -207,7 +257,7 @@ pub fn generate_comment_with_topic(
         }
         // Promotional template splice.
         if rng.random_bool(p.template_prob) {
-            let left = TEMPLATE_LEFT[rng.random_range(0..TEMPLATE_LEFT.len())];
+            let left = templates[rng.random_range(0..templates.len())];
             let pos = &lex.positive()[rng.random_range(0..lex.positive().len().min(24))];
             tokens.push(left);
             tokens.push(pos);

@@ -21,12 +21,11 @@ fn scaled(n: usize, scale: f64, min: usize) -> usize {
     (((n as f64) * scale).round() as usize).max(min)
 }
 
-/// Builds the D0-shaped training platform at `scale` (1.0 = paper size:
-/// 14k fraud / 20k normal / ~474k comments, i.e. ~14 comments per item).
-pub fn d0(scale: f64, seed: u64) -> Platform {
+/// The D0-shaped configuration at `scale` (see [`d0`]).
+pub fn d0_config(scale: f64, seed: u64) -> PlatformConfig {
     let n_fraud = scaled(14_000, scale, 50);
     let n_normal = scaled(20_000, scale, 80);
-    Platform::generate(PlatformConfig {
+    PlatformConfig {
         seed,
         n_fraud_items: n_fraud,
         n_normal_items: n_normal,
@@ -45,7 +44,29 @@ pub fn d0(scale: f64, seed: u64) -> Platform {
         fraud_promo_share: (0.18, 0.95),
         enthusiast_normal_fraction: 0.15,
         ..PlatformConfig::default()
-    })
+    }
+}
+
+/// Builds the D0-shaped training platform at `scale` (1.0 = paper size:
+/// 14k fraud / 20k normal / ~474k comments, i.e. ~14 comments per item).
+pub fn d0(scale: f64, seed: u64) -> Platform {
+    Platform::generate(d0_config(scale, seed))
+}
+
+/// Builds a D0-shaped platform whose fraud campaigns run under epoch
+/// `epoch` of the adversarial drift process. Each epoch draws fresh items
+/// and campaigns (the seed is folded with the epoch — a live marketplace
+/// lists new items continuously) while the language stays fixed, so
+/// detectors trained on one epoch can be scored on any other.
+pub fn d0_drift_epoch(
+    scale: f64,
+    seed: u64,
+    drift: &crate::drift::PlatformDriftConfig,
+    epoch: u32,
+) -> Platform {
+    let mut config = d0_config(scale, seed);
+    config.seed ^= (epoch as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    Platform::generate_drifted(config, drift, epoch)
 }
 
 /// Builds the D1-shaped evaluation platform at `scale` (1.0 = paper size:

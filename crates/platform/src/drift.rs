@@ -1,0 +1,257 @@
+//! Epoch-indexed adversarial drift.
+//!
+//! Fraud campaigns are not stationary: once a detector ships, operators
+//! probe it and adapt. This module models that arms race as a sequence of
+//! *epochs*, each one a coordinated shift of the fraud-generation process
+//! while organic behaviour stays fixed:
+//!
+//! * **vocabulary mutation** — every epoch mints fresh homograph variants
+//!   of the canonical positive words ([`SyntheticLexicon::coin_variant`]),
+//!   spellings a word2vec model trained in an earlier epoch has never
+//!   embedded, and swaps them into promo comments;
+//! * **template rotation** — the promotional bigram catchphrases (the
+//!   `hen haoping` 2-grams of set *G*) are replaced with out-of-vocabulary
+//!   intensifiers each epoch, eroding `averageNgramNumber`;
+//! * **feature-aware evasion** — promo style parameters migrate toward the
+//!   organic-positive distribution (length, punctuation, repetition,
+//!   positive-word saturation), directly attacking the 11 Table II
+//!   features the detector was trained on.
+//!
+//! Epoch 0 is defined to be a no-op: [`Platform::generate_drifted`] at
+//! epoch 0 reproduces [`Platform::generate`] byte-for-byte, so drift
+//! experiments share their baseline with the stationary pipeline.
+//!
+//! [`Platform::generate_drifted`]: crate::platform::Platform::generate_drifted
+//! [`Platform::generate`]: crate::platform::Platform::generate
+
+use crate::comment_model::{evasive_promo_params, generate_with_params, TEMPLATE_LEFT};
+use crate::lexicon::{SyntheticLexicon, CANONICAL_POSITIVE};
+use rand::{rngs::StdRng, Rng, RngExt, SeedableRng};
+
+/// Knobs of the epoch drift process.
+#[derive(Debug, Clone, Copy)]
+pub struct PlatformDriftConfig {
+    /// Seed of the drift process, independent of the platform seed so the
+    /// same adversary can be replayed against differently-seeded traffic.
+    pub seed: u64,
+    /// Fresh homograph variants minted per epoch (capped at the canonical
+    /// positive inventory).
+    pub variants_per_epoch: usize,
+    /// Probability that a canonical positive token inside a promo comment
+    /// is swapped for this epoch's variant. Kept below 1 so variants still
+    /// co-occur with their canonical forms — the shared contexts a
+    /// *retrained* word2vec needs to re-discover them.
+    pub variant_swap: f64,
+    /// Evasion added per epoch; epoch `e` runs at `e * evasion_per_epoch`,
+    /// clamped to `max_evasion`.
+    pub evasion_per_epoch: f64,
+    /// Evasion ceiling. Below 1.0 a residue of promo style always remains,
+    /// mirroring the paper's observation that campaigns cannot fully mimic
+    /// organic behaviour without losing their promotional function.
+    pub max_evasion: f64,
+    /// Whether promotional templates rotate each epoch.
+    pub rotate_templates: bool,
+}
+
+impl Default for PlatformDriftConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xD21F7,
+            variants_per_epoch: 6,
+            variant_swap: 0.35,
+            evasion_per_epoch: 0.22,
+            max_evasion: 0.85,
+            rotate_templates: true,
+        }
+    }
+}
+
+/// The fraud-side mutations of one drift epoch, derived deterministically
+/// from a [`PlatformDriftConfig`] and the epoch index.
+#[derive(Debug, Clone)]
+pub struct EpochDrift {
+    epoch: u32,
+    evasion: f64,
+    variant_swap: f64,
+    /// Canonical positive word → this epoch's fresh variant.
+    variant_map: Vec<(String, String)>,
+    /// Promotional template left-words in force this epoch.
+    templates: Vec<String>,
+}
+
+impl EpochDrift {
+    /// Derives epoch `epoch`'s mutations against `lex`. Epoch 0 carries no
+    /// mutations at all (empty variant map, canonical templates, zero
+    /// evasion) so drifted generation degenerates to the stationary model.
+    pub fn generate(lex: &SyntheticLexicon, config: &PlatformDriftConfig, epoch: u32) -> Self {
+        let mut rng =
+            StdRng::seed_from_u64(config.seed ^ 0x9E3779B97F4A7C15u64.wrapping_mul(epoch as u64));
+        let evasion = (epoch as f64 * config.evasion_per_epoch).min(config.max_evasion).max(0.0);
+        let mut variant_map = Vec::new();
+        let mut templates: Vec<String> = TEMPLATE_LEFT.iter().map(|s| s.to_string()).collect();
+        if epoch > 0 {
+            let n = config.variants_per_epoch.min(CANONICAL_POSITIVE.len());
+            for canon in CANONICAL_POSITIVE.iter().take(n) {
+                let variant = lex.coin_variant(canon, &mut rng);
+                variant_map.push(((*canon).to_string(), variant));
+            }
+            if config.rotate_templates {
+                templates = TEMPLATE_LEFT.iter().map(|t| lex.coin_variant(t, &mut rng)).collect();
+            }
+        }
+        Self { epoch, evasion, variant_swap: config.variant_swap, variant_map, templates }
+    }
+
+    /// The epoch index.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Evasion level in force, in `[0, 1]`.
+    pub fn evasion(&self) -> f64 {
+        self.evasion
+    }
+
+    /// This epoch's canonical-positive → variant pairs.
+    pub fn variants(&self) -> &[(String, String)] {
+        &self.variant_map
+    }
+
+    /// This epoch's promotional template left-words.
+    pub fn templates(&self) -> &[String] {
+        &self.templates
+    }
+
+    /// Generates one evasive promo comment: style parameters lerped toward
+    /// organic, this epoch's templates spliced, and canonical positive
+    /// tokens swapped for fresh variants at [`PlatformDriftConfig::variant_swap`].
+    pub fn promo_comment(
+        &self,
+        lex: &SyntheticLexicon,
+        topic: usize,
+        rng: &mut impl Rng,
+    ) -> String {
+        let refs: Vec<&str> = self.templates.iter().map(|s| s.as_str()).collect();
+        let raw = generate_with_params(lex, evasive_promo_params(self.evasion), topic, &refs, rng);
+        if self.variant_map.is_empty() {
+            return raw;
+        }
+        let mut out = String::with_capacity(raw.len() + 8);
+        for (i, tok) in raw.split(' ').enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let swapped = self
+                .variant_map
+                .iter()
+                .find(|(canon, _)| canon == tok)
+                .filter(|_| rng.random_bool(self.variant_swap))
+                .map(|(_, v)| v.as_str())
+                .unwrap_or(tok);
+            out.push_str(swapped);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::LexiconConfig;
+
+    fn lex() -> SyntheticLexicon {
+        SyntheticLexicon::generate(LexiconConfig::default(), 5)
+    }
+
+    #[test]
+    fn epoch_zero_is_identity() {
+        let l = lex();
+        let d = EpochDrift::generate(&l, &PlatformDriftConfig::default(), 0);
+        assert_eq!(d.evasion(), 0.0);
+        assert!(d.variants().is_empty());
+        assert_eq!(
+            d.templates().iter().map(String::as_str).collect::<Vec<_>>(),
+            TEMPLATE_LEFT.to_vec()
+        );
+    }
+
+    #[test]
+    fn variants_are_fresh_and_unknown_to_lexicon() {
+        let l = lex();
+        let d = EpochDrift::generate(&l, &PlatformDriftConfig::default(), 1);
+        assert_eq!(d.variants().len(), 6);
+        for (canon, variant) in d.variants() {
+            assert_ne!(canon, variant);
+            assert!(l.class_of(variant).is_none(), "variant {variant} leaked into lexicon");
+        }
+    }
+
+    #[test]
+    fn epochs_mint_different_variants_and_templates() {
+        let l = lex();
+        let cfg = PlatformDriftConfig::default();
+        let d1 = EpochDrift::generate(&l, &cfg, 1);
+        let d2 = EpochDrift::generate(&l, &cfg, 2);
+        assert_ne!(d1.variants(), d2.variants());
+        assert_ne!(d1.templates(), d2.templates());
+        for t in d1.templates() {
+            assert!(l.class_of(t).is_none(), "rotated template {t} is in-vocabulary");
+        }
+    }
+
+    #[test]
+    fn drift_is_deterministic() {
+        let l = lex();
+        let cfg = PlatformDriftConfig::default();
+        let a = EpochDrift::generate(&l, &cfg, 3);
+        let b = EpochDrift::generate(&l, &cfg, 3);
+        assert_eq!(a.variants(), b.variants());
+        assert_eq!(a.templates(), b.templates());
+        use rand::SeedableRng;
+        let mut ra = StdRng::seed_from_u64(77);
+        let mut rb = StdRng::seed_from_u64(77);
+        assert_eq!(a.promo_comment(&l, 4, &mut ra), b.promo_comment(&l, 4, &mut rb));
+    }
+
+    #[test]
+    fn evasion_shortens_and_depunctuates_promo_comments() {
+        let l = lex();
+        let cfg = PlatformDriftConfig::default();
+        let calm = EpochDrift::generate(&l, &cfg, 0);
+        let hot = EpochDrift::generate(&l, &cfg, 4);
+        assert!(hot.evasion() > 0.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let stat = |d: &EpochDrift, rng: &mut StdRng| {
+            let mut len = 0.0;
+            let mut punct = 0.0;
+            for _ in 0..300 {
+                let c = d.promo_comment(&l, 2, rng);
+                let toks: Vec<&str> = c.split(' ').collect();
+                len += toks.len() as f64;
+                punct += toks.iter().filter(|t| t.chars().all(|ch| !ch.is_alphanumeric())).count()
+                    as f64;
+            }
+            (len / 300.0, punct / 300.0)
+        };
+        let (len0, punct0) = stat(&calm, &mut rng);
+        let (len4, punct4) = stat(&hot, &mut rng);
+        assert!(len4 < 0.6 * len0, "evasion should shorten promos: {len4} vs {len0}");
+        assert!(punct4 < punct0, "evasion should shed punctuation: {punct4} vs {punct0}");
+    }
+
+    #[test]
+    fn variant_swap_injects_variants_into_promo_text() {
+        let l = lex();
+        let cfg = PlatformDriftConfig { variant_swap: 0.9, ..PlatformDriftConfig::default() };
+        let d = EpochDrift::generate(&l, &cfg, 2);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut hits = 0usize;
+        for _ in 0..200 {
+            let c = d.promo_comment(&l, 1, &mut rng);
+            if c.split(' ').any(|t| d.variants().iter().any(|(_, v)| v == t)) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 40, "expected variant tokens in promo comments, saw {hits}/200");
+    }
+}

@@ -19,7 +19,7 @@
 //! canonical words have fixed spellings so that seed lists in examples and
 //! tests are stable.
 
-use rand::{rngs::StdRng, RngExt, SeedableRng};
+use rand::{rngs::StdRng, Rng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -219,6 +219,69 @@ impl SyntheticLexicon {
     /// Total vocabulary size across all classes.
     pub fn total_words(&self) -> usize {
         self.positive.len() + self.negative.len() + self.neutral.len() + self.function.len()
+    }
+
+    /// Mints a fresh homograph variant of `word` — a small spelling
+    /// mutation (letter doubling, vowel substitution, or an appended
+    /// syllable) that belongs to **no** vocabulary class.
+    ///
+    /// This is the adversary's move in the drift model: campaign operators
+    /// coin obfuscated spellings (the real-world 好评 → 好坪 / 好平 churn)
+    /// faster than any fixed lexicon can track, so a detector trained on
+    /// yesterday's vocabulary has never embedded today's variants. Retries
+    /// until the candidate lands outside the lexicon and differs from
+    /// `word` itself.
+    pub fn coin_variant(&self, word: &str, rng: &mut impl Rng) -> String {
+        const VOWELS: &[char] = &['a', 'e', 'i', 'o', 'u'];
+        loop {
+            let chars: Vec<char> = word.chars().collect();
+            if chars.is_empty() {
+                return String::from("x");
+            }
+            let mut w = String::with_capacity(word.len() + 4);
+            match rng.random_range(0..3usize) {
+                0 => {
+                    // Double one letter: haoping → haopping.
+                    let at = rng.random_range(0..chars.len());
+                    for (i, c) in chars.iter().enumerate() {
+                        w.push(*c);
+                        if i == at {
+                            w.push(*c);
+                        }
+                    }
+                }
+                1 => {
+                    // Substitute one vowel: haoping → haopeng.
+                    let positions: Vec<usize> = chars
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| VOWELS.contains(c))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if positions.is_empty() {
+                        continue;
+                    }
+                    let at = positions[rng.random_range(0..positions.len())];
+                    let mut v = VOWELS[rng.random_range(0..VOWELS.len())];
+                    if v == chars[at] {
+                        let next =
+                            (VOWELS.iter().position(|&x| x == v).unwrap() + 1) % VOWELS.len();
+                        v = VOWELS[next];
+                    }
+                    for (i, c) in chars.iter().enumerate() {
+                        w.push(if i == at { v } else { *c });
+                    }
+                }
+                _ => {
+                    // Append a syllable: haoping → haopingzhen.
+                    w.push_str(word);
+                    w.push_str(SYLLABLES[rng.random_range(0..SYLLABLES.len())]);
+                }
+            }
+            if w != word && self.class_of(&w).is_none() {
+                return w;
+            }
+        }
     }
 }
 

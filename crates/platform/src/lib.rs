@@ -27,11 +27,13 @@ pub mod campaign;
 pub mod comment_model;
 pub mod datasets;
 pub mod dist;
+pub mod drift;
 pub mod entities;
 pub mod lexicon;
 pub mod platform;
 pub mod stream;
 
+pub use drift::{EpochDrift, PlatformDriftConfig};
 pub use entities::{Category, Client, Comment, Item, ItemLabel, Shop, User};
 pub use lexicon::{LexiconConfig, SyntheticLexicon};
 pub use platform::{Platform, PlatformConfig};

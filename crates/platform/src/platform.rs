@@ -7,6 +7,7 @@ use crate::campaign::{
 };
 use crate::comment_model::{generate_comment_with_topic, CommentStyle, StyleMixture, N_TOPICS};
 use crate::dist::{geometric, log_normal};
+use crate::drift::{EpochDrift, PlatformDriftConfig};
 use crate::entities::{format_date, Category, Comment, Item, ItemLabel, Shop, User};
 use crate::lexicon::{LexiconConfig, SyntheticLexicon};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
@@ -77,14 +78,33 @@ pub struct Platform {
     shops: Vec<Shop>,
     users: Vec<User>,
     items: Vec<Item>,
+    drift: Option<EpochDrift>,
 }
 
 impl Platform {
     /// Generates a platform from `config`. Items are laid out fraud-first
     /// then shuffled by id assignment; iteration order is deterministic.
     pub fn generate(config: PlatformConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Generates a platform whose fraud campaigns run under epoch `epoch`
+    /// of the adversarial drift process (see [`crate::drift`]). Organic
+    /// traffic is untouched; promo comments are generated evasively with
+    /// rotated templates and fresh vocabulary variants. Epoch 0 reproduces
+    /// [`Platform::generate`] exactly.
+    pub fn generate_drifted(
+        config: PlatformConfig,
+        drift: &PlatformDriftConfig,
+        epoch: u32,
+    ) -> Self {
+        Self::build(config, Some((drift, epoch)))
+    }
+
+    fn build(config: PlatformConfig, drift: Option<(&PlatformDriftConfig, u32)>) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let lexicon = SyntheticLexicon::generate(config.lexicon, config.language_seed);
+        let epoch_drift = drift.map(|(d, epoch)| EpochDrift::generate(&lexicon, d, epoch));
         let users = generate_users(config.users, &mut rng);
         let n_hired = users.iter().filter(|u| u.hired).count();
         let campaign = Campaign::from_users(&users, config.n_campaign_pools.max(1));
@@ -117,6 +137,7 @@ impl Platform {
                 &config,
                 &campaign,
                 n_hired,
+                epoch_drift.as_ref(),
                 &mut comment_id,
                 &mut rng,
             );
@@ -131,13 +152,14 @@ impl Platform {
                 &config,
                 &campaign,
                 n_hired,
+                epoch_drift.as_ref(),
                 &mut comment_id,
                 &mut rng,
             );
             items.push(item);
         }
 
-        Self { config, lexicon, shops, users, items }
+        Self { config, lexicon, shops, users, items, drift: epoch_drift }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -149,6 +171,7 @@ impl Platform {
         config: &PlatformConfig,
         campaign: &Campaign,
         n_hired: usize,
+        drift: Option<&EpochDrift>,
         comment_id: &mut u64,
         rng: &mut StdRng,
     ) -> Item {
@@ -187,7 +210,10 @@ impl Platform {
             } else {
                 sample_organic_buyer(n_hired, config.users.n_users, rng)
             };
-            let content = generate_comment_with_topic(lexicon, style, topic, rng);
+            let content = match drift {
+                Some(d) if promo => d.promo_comment(lexicon, topic, rng),
+                _ => generate_comment_with_topic(lexicon, style, topic, rng),
+            };
             let day = if promo {
                 campaign_start + rng.random_range(0..campaign_days)
             } else {
@@ -235,6 +261,11 @@ impl Platform {
     /// The platform language.
     pub fn lexicon(&self) -> &SyntheticLexicon {
         &self.lexicon
+    }
+
+    /// The drift epoch this platform was generated under, if any.
+    pub fn drift(&self) -> Option<&EpochDrift> {
+        self.drift.as_ref()
     }
 
     /// All shops.
@@ -383,6 +414,62 @@ mod tests {
         let nf = normal_hired as f64 / normal_total.max(1) as f64;
         assert!(ff > 0.45, "fraud hired fraction {ff}");
         assert!(nf < 0.05, "normal hired fraction {nf}");
+    }
+
+    #[test]
+    fn drifted_epoch_zero_matches_stationary_generation() {
+        let cfg = PlatformConfig {
+            seed: 42,
+            n_shops: 10,
+            n_fraud_items: 30,
+            n_normal_items: 60,
+            users: UserPopulationConfig { n_users: 2_000, hired_fraction: 0.05 },
+            ..PlatformConfig::default()
+        };
+        let a = Platform::generate(cfg.clone());
+        let b = Platform::generate_drifted(cfg, &PlatformDriftConfig::default(), 0);
+        assert_eq!(a.comment_count(), b.comment_count());
+        for (ia, ib) in a.items().iter().zip(b.items()) {
+            assert_eq!(ia.sales_volume, ib.sales_volume);
+            for (ca, cb) in ia.comments.iter().zip(&ib.comments) {
+                assert_eq!(ca.content, cb.content);
+            }
+        }
+    }
+
+    #[test]
+    fn drifted_epochs_put_variants_only_in_fraud_comments() {
+        let cfg = PlatformConfig {
+            seed: 42,
+            n_shops: 10,
+            n_fraud_items: 40,
+            n_normal_items: 80,
+            users: UserPopulationConfig { n_users: 2_000, hired_fraction: 0.05 },
+            ..PlatformConfig::default()
+        };
+        let p = Platform::generate_drifted(
+            cfg,
+            &PlatformDriftConfig { variant_swap: 0.8, ..PlatformDriftConfig::default() },
+            2,
+        );
+        let drift = p.drift().expect("drifted platform records its epoch");
+        assert_eq!(drift.epoch(), 2);
+        let is_variant = |tok: &str| drift.variants().iter().any(|(_, v)| v == tok);
+        let mut fraud_hits = 0usize;
+        for item in p.items() {
+            let hits = item
+                .comments
+                .iter()
+                .flat_map(|c| c.content.split(' '))
+                .filter(|t| is_variant(t))
+                .count();
+            if item.label.is_fraud() {
+                fraud_hits += hits;
+            } else {
+                assert_eq!(hits, 0, "variant leaked into normal item {}", item.id);
+            }
+        }
+        assert!(fraud_hits > 10, "expected variants in fraud comments, saw {fraud_hits}");
     }
 
     #[test]

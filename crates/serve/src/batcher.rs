@@ -131,6 +131,10 @@ struct Shared {
     last_drain_micros: AtomicU64,
     slot: Arc<ModelSlot>,
     config: BatchConfig,
+    /// Live drift monitor, when the server runs with one. Workers feed
+    /// it every classified item's extracted feature row after scoring —
+    /// observation rides the batch path, off the request latency path.
+    drift: Option<Arc<cats_obs::DriftMonitor>>,
 }
 
 impl Shared {
@@ -187,6 +191,16 @@ pub struct Batcher {
 impl Batcher {
     /// Spawns `config.workers` batch workers over the given model slot.
     pub fn new(slot: Arc<ModelSlot>, config: BatchConfig) -> Self {
+        Self::new_with_drift(slot, config, None)
+    }
+
+    /// [`Batcher::new`] plus a drift monitor fed from every classified
+    /// item scored by the workers (DESIGN.md §15).
+    pub fn new_with_drift(
+        slot: Arc<ModelSlot>,
+        config: BatchConfig,
+        drift: Option<Arc<cats_obs::DriftMonitor>>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             notify: Condvar::new(),
@@ -197,6 +211,7 @@ impl Batcher {
             last_drain_micros: AtomicU64::new(cats_obs::now_micros()),
             slot,
             config: config.clone(),
+            drift,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -445,6 +460,13 @@ fn worker_loop(shared: &Shared) {
                 model.pipeline.detect(&comments, &sales)
             };
             cats_obs::counter("cats.serve.items_scored").add(group_items as u64);
+            if let Some(monitor) = &shared.drift {
+                for rep in &reports {
+                    if let Some(f) = &rep.features {
+                        monitor.observe_row(&f.0);
+                    }
+                }
+            }
 
             // Slice the flat report vector back into per-request replies.
             let mut cursor = 0usize;
@@ -615,6 +637,14 @@ mod tests {
             Err(mpsc::RecvTimeoutError::Disconnected) => {}
             other => panic!("expected dropped reply after injected panic, got {other:?}"),
         }
+        // The reply sender drops mid-unwind, before the supervisor's
+        // catch_unwind counts the panic — give it a moment to land.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while (panics.get() <= panics_before || respawns.get() <= respawns_before)
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
         assert!(panics.get() > panics_before, "supervisor counted the panic");
         assert!(respawns.get() > respawns_before, "supervisor counted the respawn");
         // The respawned worker (same thread, re-entered loop) keeps scoring.
@@ -680,5 +710,31 @@ mod tests {
         let _ = scored(rx.recv_timeout(Duration::from_secs(30)).unwrap());
         let secs = batcher.retry_after_secs();
         assert!((1..=30).contains(&secs), "retry-after {secs} outside [1,30]");
+    }
+
+    #[test]
+    fn drift_monitor_sees_every_classified_row() {
+        let references: Vec<cats_obs::FeatureReference> = cats_core::FEATURE_NAMES
+            .iter()
+            .map(|name| {
+                cats_obs::FeatureReference::new(
+                    *name,
+                    (0..64).map(|i| i as f64 / 64.0).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let monitor =
+            Arc::new(cats_obs::DriftMonitor::new(references, cats_obs::DriftConfig::default()));
+        let batcher =
+            Batcher::new_with_drift(slot(), BatchConfig::default(), Some(monitor.clone()));
+        let rx = batcher.submit(vec![req(1, true), req(2, false), req(3, true)]).unwrap();
+        let scored = scored(rx.recv_timeout(Duration::from_secs(30)).unwrap());
+        let classified = scored.verdicts.iter().filter(|v| v.filter == "classified").count();
+        assert!(classified > 0, "test corpus should classify at least one item");
+        assert_eq!(
+            monitor.rows_seen(),
+            classified,
+            "one observed row per classified item, none for filtered items"
+        );
     }
 }

@@ -75,6 +75,10 @@ struct ServerShared {
     /// ingest holds the lock for O(1) ring updates only; scoring goes
     /// through the (unlocked) micro-batcher.
     stream: Mutex<StreamEngine>,
+    /// Drift monitor, fed by the batch workers and surfaced on
+    /// `/healthz` as degraded mode (DESIGN.md §15). `None` when the
+    /// model carries no feature reference.
+    drift: Option<Arc<cats_obs::DriftMonitor>>,
 }
 
 /// The running HTTP server: an accept loop plus per-connection threads.
@@ -88,15 +92,27 @@ pub struct Server {
 impl Server {
     /// Binds `config.addr` and starts serving `slot` immediately.
     pub fn start(slot: Arc<ModelSlot>, config: ServeConfig) -> std::io::Result<Self> {
+        Self::start_with_drift(slot, config, None)
+    }
+
+    /// [`Server::start`] with a drift monitor: batch workers feed it
+    /// every classified feature row, and `/healthz` reports its verdict
+    /// (`degraded: true` at warning or worse).
+    pub fn start_with_drift(
+        slot: Arc<ModelSlot>,
+        config: ServeConfig,
+        drift: Option<Arc<cats_obs::DriftMonitor>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
-            batcher: Batcher::new(slot.clone(), config.batch.clone()),
+            batcher: Batcher::new_with_drift(slot.clone(), config.batch.clone(), drift.clone()),
             slot,
             stop: AtomicBool::new(false),
             stream: Mutex::new(StreamEngine::new(config.stream.clone())),
             config,
+            drift,
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_thread = {
@@ -118,6 +134,11 @@ impl Server {
     /// Current batcher queue depth (exposed for health checks/tests).
     pub fn queue_depth(&self) -> usize {
         self.shared.batcher.queue_depth()
+    }
+
+    /// The drift monitor this server was started with, if any.
+    pub fn drift(&self) -> Option<&Arc<cats_obs::DriftMonitor>> {
+        self.shared.drift.as_ref()
     }
 
     /// Chaos hook: makes the next `n` batch-worker iterations panic
@@ -340,6 +361,12 @@ fn route(stream: &mut TcpStream, shared: &ServerShared, head: &RequestHead, body
                 status: if shared.batcher.is_draining() { "draining" } else { "ok" }.to_string(),
                 model_version: shared.slot.version(),
                 queue_depth: shared.batcher.queue_depth() as u64,
+                degraded: shared.drift.as_ref().is_some_and(|m| m.degraded()),
+                drift: shared
+                    .drift
+                    .as_ref()
+                    .map(|m| m.verdict().as_str().to_string())
+                    .unwrap_or_else(|| "off".to_string()),
             };
             let body = serde_json::to_string(&resp).expect("health serializes");
             write_response(stream, 200, "application/json", "", &body);

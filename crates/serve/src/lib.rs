@@ -40,6 +40,15 @@
 //! coordinates rolling model swaps so no request ever observes two
 //! model versions.
 //!
+//! The serving layer also survives *adversarial drift* (DESIGN.md §15):
+//! started with a [`cats_obs::DriftMonitor`], the batch workers feed it
+//! every classified feature row, `/healthz` reports degraded mode once
+//! the verdict escalates, and the [`retrain`] module closes the loop —
+//! a [`LabelLagBuffer`] of late-arriving ground truth plus a
+//! [`RetrainController`] that retrains on `Critical`, validates the
+//! candidate on held-out labels, and promotes through the same hot-swap
+//! machinery (or rejects it, keeping the incumbent).
+//!
 //! Everything is instrumented into the global `cats-obs` registry under
 //! `cats.serve.*`: queue depth, batch size, request latency
 //! (p50/p95/p99 via `/metrics`), rejection, swap and router
@@ -51,6 +60,7 @@ pub mod client;
 pub mod health;
 pub mod http;
 pub mod model;
+pub mod retrain;
 pub mod router;
 pub mod shard;
 pub mod wire;
@@ -63,6 +73,9 @@ pub use client::{ClientError, ScoreClient};
 pub use health::{HealthConfig, HealthEvent, ShardHealth, ShardState};
 pub use http::{ServeConfig, Server};
 pub use model::{load_pipeline_file, ModelSlot, ModelWatcher, VersionedModel};
+pub use retrain::{
+    LabelLagBuffer, LaggedExample, RetrainConfig, RetrainController, RetrainOutcome,
+};
 pub use router::{HashRing, Router, RouterConfig};
 pub use shard::{announce_ready, start_shard, ShardOpts, ShardProcess, READY_PREFIX};
 pub use wire::{

@@ -206,6 +206,10 @@ fn watch_loop(
 ) {
     let reloads = cats_obs::counter("cats.serve.model.reloads");
     let errors = cats_obs::counter("cats.serve.model.reload_errors");
+    // Rollback visibility (DESIGN.md §15): reload_errors alone cannot tell
+    // "file was garbage" apart from "we kept serving the incumbent", so
+    // every rejected rewrite also counts as a rollback to the old model.
+    let rollbacks = cats_obs::counter("cats.serve.model.watcher_rollbacks");
     let mut last = read_fingerprint(path);
     // Seed the last-good mirror from the startup snapshot so a restart
     // has a fallback even if the primary is never rewritten again.
@@ -257,6 +261,7 @@ fn watch_loop(
                 // unchanged garbage is not re-parsed (and re-counted)
                 // every tick.
                 errors.inc();
+                rollbacks.inc();
                 eprintln!("cats-serve: model reload failed, keeping current model: {e}");
                 last = now;
             }
@@ -332,6 +337,8 @@ mod tests {
         std::fs::write(&path, &json).unwrap();
 
         let slot = Arc::new(ModelSlot::new(pipeline));
+        let rollbacks = cats_obs::counter("cats.serve.model.watcher_rollbacks");
+        let rollbacks_before = rollbacks.get();
         let watcher = ModelWatcher::spawn(slot.clone(), path.clone(), Duration::from_millis(10));
 
         // Garbage rewrite: must NOT swap, must keep serving v1.
@@ -342,6 +349,14 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(slot.version(), 1, "garbage must not be swapped in");
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while std::time::Instant::now() < deadline && rollbacks.get() == rollbacks_before {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            rollbacks.get() > rollbacks_before,
+            "rejected garbage must be visible as a watcher rollback"
+        );
 
         // Valid rewrite: must swap (the garbage attempt left `last`
         // stale, so the very next poll retries).
@@ -458,11 +473,21 @@ mod tests {
 
         // A torn rewrite (checksummed file cut mid-payload) must fail
         // verification and must NOT be swapped in.
+        let rollbacks = cats_obs::counter("cats.serve.model.watcher_rollbacks");
+        let rollbacks_before = rollbacks.get();
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() / 2]).unwrap();
         std::thread::sleep(Duration::from_millis(60));
         assert_eq!(slot.version(), 1, "torn rewrite must not be swapped in");
         assert!(load_pipeline_file(&mirror).is_ok(), "mirror untouched by the torn rewrite");
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while std::time::Instant::now() < deadline && rollbacks.get() == rollbacks_before {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            rollbacks.get() > rollbacks_before,
+            "torn rewrite must be visible as a watcher rollback"
+        );
 
         // Completing the rewrite with valid checksummed bytes swaps.
         cats_io::write_checksummed(&path, json.as_bytes()).unwrap();

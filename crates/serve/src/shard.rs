@@ -176,7 +176,8 @@ mod tests {
             &[],
             Duration::from_millis(100),
         )
-        .unwrap_err();
+        .err()
+        .expect("spawn of a nonexistent binary must fail");
         assert!(err.contains("spawn shard 0"), "{err}");
     }
 
@@ -191,7 +192,8 @@ mod tests {
             &["5".to_string()],
             Duration::from_millis(200),
         )
-        .unwrap_err();
+        .err()
+        .expect("silent child must time out");
         assert!(err.contains("no ready line"), "{err}");
         assert!(started.elapsed() < Duration::from_secs(4), "child was not awaited to term");
     }

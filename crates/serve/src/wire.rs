@@ -55,6 +55,17 @@ pub struct HealthResponse {
     pub model_version: u64,
     /// Requests waiting in the batch queue right now.
     pub queue_depth: u64,
+    /// True when the drift monitor holds a `warning`/`critical` verdict:
+    /// the server still answers, but scores come from a model whose
+    /// training distribution no longer matches live traffic. Defaults
+    /// keep pre-drift peers parseable.
+    #[serde(default)]
+    pub degraded: bool,
+    /// Drift verdict string (`stable`/`warning`/`critical`), `"off"`
+    /// when the server runs without a monitor, `""` from pre-drift
+    /// peers.
+    #[serde(default)]
+    pub drift: String,
 }
 
 /// Error body for non-2xx responses.
@@ -394,6 +405,28 @@ mod tests {
         assert_eq!(filter_str(FilterDecision::FilteredLowSales), "filtered_low_sales");
         assert_eq!(filter_str(FilterDecision::FilteredNoPositiveEvidence), "filtered_no_evidence");
         assert_eq!(filter_str(FilterDecision::Quarantined), "quarantined");
+    }
+
+    #[test]
+    fn health_response_accepts_pre_drift_bodies() {
+        // A router probing a shard built before the drift monitor must
+        // still parse its health body; the new fields default.
+        let old = r#"{"status":"ok","model_version":3,"queue_depth":2}"#;
+        let h: HealthResponse = serde_json::from_str(old).unwrap();
+        assert_eq!(h.model_version, 3);
+        assert!(!h.degraded);
+        assert_eq!(h.drift, "");
+        let new = HealthResponse {
+            status: "ok".into(),
+            model_version: 3,
+            queue_depth: 0,
+            degraded: true,
+            drift: "critical".into(),
+        };
+        let json = serde_json::to_string(&new).unwrap();
+        let back: HealthResponse = serde_json::from_str(&json).unwrap();
+        assert!(back.degraded);
+        assert_eq!(back.drift, "critical");
     }
 
     #[test]

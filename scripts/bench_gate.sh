@@ -82,7 +82,7 @@ ensure_baseline() {
 
 if [ "${1:-}" = "--update" ]; then
   mkdir -p "$BASELINES"
-  for f in BENCH_serve.json BENCH_scaling.json BENCH_cluster.json BENCH_stream.json; do
+  for f in BENCH_serve.json BENCH_scaling.json BENCH_cluster.json BENCH_stream.json BENCH_drift.json; do
     [ -f "$f" ] && cp "$f" "$BASELINES/$f" && echo "bench-gate: updated $BASELINES/$f"
   done
   exit 0
@@ -193,6 +193,43 @@ if [ -f BENCH_stream.json ]; then
   fi
 else
   fail "BENCH_stream.json missing (run: cargo run --release -p cats-bench --bin exp_stream)"
+fi
+
+# --- adversarial drift survival ----------------------------------------
+# The closed monitor -> label-lag -> retrain -> hot-swap loop (DESIGN.md
+# §15). Everything here is pinned by the bench seed, not the machine:
+# the monitor must fire before the frozen lane decays, the adaptive lane
+# must end ahead of the frozen one, a poisoned (label-flipped) retrain
+# must be rejected by the promotion guard, and drift-triggered snapshot
+# rewrites under live HTTP load must lose zero responses — all hard
+# gates. The absolute adaptive tail F1 additionally holds a baseline
+# floor so the recovery cannot quietly erode while the margin survives.
+if [ -f BENCH_drift.json ]; then
+  fired=$(num BENCH_drift.json drift_monitor_fired_before_floor)
+  recovery=$(num BENCH_drift.json drift_recovery_ok)
+  promotions=$(num BENCH_drift.json drift_promotions)
+  poisoned=$(num BENCH_drift.json drift_poisoned_rejected)
+  zero_loss=$(num BENCH_drift.json drift_zero_loss)
+  versions=$(num BENCH_drift.json drift_versions_observed)
+  [ "${fired:-0}" = "1" ] \
+    || fail "drift monitor fired after the frozen lane had already decayed"
+  [ "${recovery:-0}" = "1" ] \
+    || fail "adaptive lane did not recover past the frozen lane's decay"
+  gte "${promotions:-0}" 1 || fail "closed loop never promoted a retrained model"
+  [ "${poisoned:-0}" = "1" ] || fail "poisoned retrain candidate was not rejected"
+  [ "${zero_loss:-0}" = "1" ] \
+    || fail "drift-triggered hot-swaps lost $(num BENCH_drift.json drift_http_lost) responses (want 0)"
+  gte "${versions:-0}" 2 || fail "HTTP load never observed a promoted model version"
+  if [ "${fired:-0}${recovery:-0}${poisoned:-0}${zero_loss:-0}" = "1111" ]; then
+    echo "bench-gate: ok: drift invariants (fired before decay, recovered, poisoned rejected, 0 lost)"
+  fi
+  if ensure_baseline BENCH_drift.json "$BASELINES/BENCH_drift.json"; then
+    hard_floor "drift adaptive_tail_f1" \
+      "$(num BENCH_drift.json adaptive_tail_f1)" \
+      "$(num "$BASELINES/BENCH_drift.json" adaptive_tail_f1)"
+  fi
+else
+  fail "BENCH_drift.json missing (run: cargo run --release -p cats-bench --bin exp_drift)"
 fi
 
 # --- scaling benchmark -------------------------------------------------

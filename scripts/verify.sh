@@ -56,5 +56,13 @@ bench exp_cluster --scale 0.004
 # threads, a bounded peak footprint on a 2x trace, and the catch rate
 # vs the batch oracle. Regenerates BENCH_stream.json.
 bench exp_stream --scale 0.004
+# Adversarial drift survival (DESIGN.md §15): sweeps the epoch-indexed
+# drift process against a frozen and an adaptive lane, requires the
+# monitor to fire before the frozen lane decays, the closed
+# label-lag -> retrain -> validate -> hot-swap loop to recover, a
+# poisoned retrain to be rejected, and zero lost responses while
+# drift-triggered rewrites hot-swap under live HTTP load. Regenerates
+# BENCH_drift.json.
+bench exp_drift --scale 0.004
 # Regression gate: fresh BENCH_*.json vs results/baselines/.
 scripts/bench_gate.sh

@@ -132,7 +132,8 @@ fn snapshot_json_roundtrip_reports_are_byte_identical() {
         &format!("\"format_version\":{}", cats::core::SNAPSHOT_FORMAT_VERSION + 1),
         1,
     );
-    let err = PipelineSnapshot::from_json(&future).expect_err("future version rejected");
+    let err =
+        PipelineSnapshot::from_json(&future).map(|_| ()).expect_err("future version rejected");
     assert!(err.to_string().contains("newer than supported"), "{err}");
 }
 
